@@ -1,0 +1,54 @@
+//! Ablation benches: one-knob studies of the DESIGN.md design choices
+//! (wireless overlay, steal policy, Eq. (1) clustering, headroom frontier).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mapwave::ablations::{
+    adaptive_router_contribution, clustering_contribution, headroom_sweep,
+    steal_policy_contribution, wireless_contribution,
+};
+use mapwave::prelude::*;
+use mapwave_bench::{bench_scale, print_once};
+use mapwave_phoenix::apps::App;
+
+fn bench(c: &mut Criterion) {
+    let cfg = PlatformConfig::paper().with_scale(bench_scale());
+    let flow = DesignFlow::new(cfg.clone()).expect("valid config");
+
+    let mut lines = String::new();
+    for app in [App::WordCount, App::Kmeans, App::Histogram] {
+        let design = flow.design(app);
+        for ablation in [
+            wireless_contribution(&flow, &design),
+            steal_policy_contribution(&flow, &design),
+            clustering_contribution(&flow, &design),
+            adaptive_router_contribution(&flow, &design),
+        ] {
+            lines.push_str(&format!(
+                "{:<8} {:<40} EDP benefit {:>6.3}x  time benefit {:>6.3}x\n",
+                app.name(),
+                ablation.knob,
+                ablation.edp_benefit(),
+                ablation.time_benefit()
+            ));
+        }
+    }
+    lines.push_str("\nheadroom frontier (HIST, VFI mesh vs NVFI mesh):\n");
+    for p in headroom_sweep(&cfg, App::Histogram, &[0.95, 0.8, 0.65, 0.5]) {
+        lines.push_str(&format!(
+            "  headroom {:>4.2}: time x{:.3}, EDP x{:.3}\n",
+            p.headroom, p.time_ratio, p.edp_ratio
+        ));
+    }
+    print_once("Ablations", &lines);
+
+    let design = flow.design(App::WordCount);
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("wireless_contribution_wc", |b| {
+        b.iter(|| wireless_contribution(&flow, &design))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

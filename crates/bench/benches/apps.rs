@@ -1,0 +1,26 @@
+//! Microbenchmarks of the instrumented applications: the real computation
+//! over generated inputs, per unit of scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mapwave_phoenix::apps::App;
+use mapwave_phoenix::runtime::{Executor, RuntimeConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("app_workload_generation");
+    group.sample_size(10);
+    for app in App::ALL {
+        group.bench_function(app.name(), |b| {
+            b.iter(|| app.workload(0.005, 1, 64))
+        });
+    }
+    group.finish();
+
+    let workload = App::WordCount.workload(0.01, 1, 64);
+    c.bench_function("executor/wc_64core", |b| {
+        let exec = Executor::new(RuntimeConfig::nvfi(64));
+        b.iter(|| exec.run(&workload))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

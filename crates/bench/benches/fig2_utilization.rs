@@ -1,0 +1,14 @@
+//! Regenerates Fig. 2: sorted per-core utilization on the NVFI platform.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mapwave::report;
+use mapwave_bench::{context, print_once};
+
+fn bench(c: &mut Criterion) {
+    let ctx = context();
+    print_once("Figure 2", &report::fig2(&ctx.fig2()));
+    c.bench_function("fig2/derive", |b| b.iter(|| ctx.fig2()));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

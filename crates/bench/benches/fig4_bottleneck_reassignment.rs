@@ -1,0 +1,15 @@
+//! Regenerates Fig. 4: VFI 1 vs VFI 2 execution time and EDP
+//! (PCA, HIST, MM), normalised to the NVFI mesh.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mapwave::report;
+use mapwave_bench::{context, print_once};
+
+fn bench(c: &mut Criterion) {
+    let ctx = context();
+    print_once("Figure 4", &report::fig4(&ctx.fig4()));
+    c.bench_function("fig4/derive", |b| b.iter(|| ctx.fig4()));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Regenerates Fig. 5: average vs bottleneck-core utilization.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mapwave::report;
+use mapwave_bench::{context, print_once};
+
+fn bench(c: &mut Criterion) {
+    let ctx = context();
+    print_once("Figure 5", &report::fig5(&ctx.fig5()));
+    c.bench_function("fig5/derive", |b| b.iter(|| ctx.fig5()));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Regenerates Fig. 6: network EDP of the maximised-wireless-utilisation
+//! placement relative to the minimised-hop-count placement, plus the
+//! (k_intra, k_inter) = (3,1) vs (2,2) sweep of Section 7.2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mapwave::report;
+use mapwave_bench::{context, print_once};
+use mapwave_phoenix::apps::App;
+
+fn bench(c: &mut Criterion) {
+    let ctx = context();
+    let degrees: Vec<_> = [App::WordCount, App::Histogram]
+        .iter()
+        .map(|&a| ctx.fig6_degrees(a))
+        .collect();
+    print_once(
+        "Figure 6",
+        &format!(
+            "{}\n{}",
+            report::fig6(&ctx.fig6()),
+            report::fig6_degrees(&degrees)
+        ),
+    );
+    c.bench_function("fig6/derive", |b| b.iter(|| ctx.fig6()));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Regenerates Fig. 7: normalised execution time per stage for the VFI
+//! mesh and the VFI WiNoC, relative to the NVFI mesh.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mapwave::report;
+use mapwave_bench::{context, print_once};
+
+fn bench(c: &mut Criterion) {
+    let ctx = context();
+    print_once("Figure 7", &report::fig7(&ctx.fig7()));
+    c.bench_function("fig7/derive", |b| b.iter(|| ctx.fig7()));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

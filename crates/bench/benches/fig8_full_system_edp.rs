@@ -1,0 +1,23 @@
+//! Regenerates Fig. 8: full-system EDP of the VFI mesh and VFI WiNoC
+//! relative to the NVFI mesh, plus the headline summary (33.7% average /
+//! 66.2% maximum EDP saving in the paper).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mapwave::report;
+use mapwave_bench::{context, print_once};
+
+fn bench(c: &mut Criterion) {
+    let ctx = context();
+    print_once(
+        "Figure 8",
+        &format!(
+            "{}\n{}",
+            report::fig8(&ctx.fig8()),
+            report::headline(&ctx.headline())
+        ),
+    );
+    c.bench_function("fig8/derive", |b| b.iter(|| ctx.fig8()));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

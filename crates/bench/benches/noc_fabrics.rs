@@ -1,0 +1,103 @@
+//! Microbenchmarks of the cycle-accurate NoC simulator itself: how fast
+//! each fabric simulates, at the traffic level the MapReduce workloads
+//! generate.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mapwave_noc::node::grid_positions;
+use mapwave_noc::prelude::*;
+use mapwave_noc::routing::RoutingTable;
+use mapwave_noc::sim::SimConfig;
+use mapwave_noc::topology::mesh::mesh;
+
+fn winoc() -> (mapwave_noc::Topology, WirelessOverlay, RoutingTable) {
+    let clusters: Vec<usize> = (0..64).map(|i| (i % 8) / 4 + 2 * ((i / 8) / 4)).collect();
+    let topo = SmallWorldBuilder::new(grid_positions(8, 8, 2.5), clusters)
+        .alpha(1.5)
+        .seed(0xDAC_2015)
+        .build()
+        .expect("builds");
+    let wis: Vec<WirelessInterface> = [
+        (9usize, 0usize),
+        (18, 1),
+        (27, 2),
+        (13, 0),
+        (22, 1),
+        (30, 2),
+        (41, 0),
+        (50, 1),
+        (33, 2),
+        (45, 0),
+        (54, 1),
+        (37, 2),
+    ]
+    .iter()
+    .map(|&(n, c)| WirelessInterface {
+        node: NodeId(n),
+        channel: ChannelId(c),
+    })
+    .collect();
+    let overlay = WirelessOverlay::new(wis, 3).expect("valid overlay");
+    let table = RoutingTable::up_down_weighted(&topo, &overlay, 1).expect("routable");
+    (topo, overlay, table)
+}
+
+fn bench(c: &mut Criterion) {
+    let traffic = TrafficMatrix::uniform(64, 0.01);
+    let mut group = c.benchmark_group("noc_sim_5k_cycles");
+    group.sample_size(10);
+
+    group.bench_function("mesh_8x8", |b| {
+        b.iter_batched(
+            || {
+                NetworkSim::new(
+                    mesh(8, 8, 2.5),
+                    WirelessOverlay::none(),
+                    RoutingTable::xy(8, 8),
+                    EnergyModel::default_65nm(),
+                    SimConfig::default(),
+                )
+                .expect("valid")
+            },
+            |mut sim| sim.run(&traffic, 500, 5_000, 20_000),
+            BatchSize::LargeInput,
+        )
+    });
+
+    let (topo, overlay, table) = winoc();
+    group.bench_function("winoc_8x8", |b| {
+        b.iter_batched(
+            || {
+                NetworkSim::new(
+                    topo.clone(),
+                    overlay.clone(),
+                    table.clone(),
+                    EnergyModel::default_65nm(),
+                    SimConfig::default(),
+                )
+                .expect("valid")
+            },
+            |mut sim| sim.run(&traffic, 500, 5_000, 20_000),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+
+    c.bench_function("routing/up_down_64", |b| {
+        let (topo, overlay, _) = winoc();
+        b.iter(|| RoutingTable::up_down_weighted(&topo, &overlay, 1).expect("routable"))
+    });
+
+    c.bench_function("topology/small_world_64", |b| {
+        let clusters: Vec<usize> =
+            (0..64).map(|i| (i % 8) / 4 + 2 * ((i / 8) / 4)).collect();
+        b.iter(|| {
+            SmallWorldBuilder::new(grid_positions(8, 8, 2.5), clusters.clone())
+                .seed(1)
+                .build()
+                .expect("builds")
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

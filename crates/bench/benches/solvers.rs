@@ -1,0 +1,50 @@
+//! Microbenchmarks of the optimisation substrates: the Eq. (1) clustering
+//! solvers (the Gurobi substitute) and the WI-placement annealer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mapwave::placement::anneal_wi_placement;
+use mapwave_noc::node::grid_positions;
+use mapwave_noc::prelude::*;
+use mapwave_vfi::clustering::ClusteringProblem;
+
+fn instance(n: usize, seed: u64) -> ClusteringProblem {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let u: Vec<f64> = (0..n).map(|_| next()).collect();
+    let f: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..n).map(|p| if i == p { 0.0 } else { next() * 0.2 }).collect())
+        .collect();
+    ClusteringProblem::new(u, f, 4).expect("valid instance")
+}
+
+fn bench(c: &mut Criterion) {
+    let small = instance(8, 7);
+    c.bench_function("clustering/exact_n8_m4", |b| b.iter(|| small.solve_exact()));
+
+    let paper = instance(64, 9);
+    let mut group = c.benchmark_group("clustering");
+    group.sample_size(10);
+    group.bench_function("heuristic_n64_m4", |b| b.iter(|| paper.solve()));
+    group.finish();
+
+    let clusters: Vec<usize> = (0..64).map(|i| (i % 8) / 4 + 2 * ((i / 8) / 4)).collect();
+    let topo = SmallWorldBuilder::new(grid_positions(8, 8, 2.5), clusters)
+        .seed(3)
+        .build()
+        .expect("builds");
+    let traffic = TrafficMatrix::uniform(64, 0.01);
+    let mut group = c.benchmark_group("placement");
+    group.sample_size(10);
+    group.bench_function("anneal_wi_64", |b| {
+        b.iter(|| anneal_wi_placement(&topo, &traffic, 8, 8, 3, 3, 11))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Regenerates Table 1: applications analysed and datasets used.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mapwave::report;
+use mapwave_bench::{context, print_once};
+
+fn bench(c: &mut Criterion) {
+    let ctx = context();
+    print_once("Table 1", &report::table1(&ctx.table1()));
+    c.bench_function("table1/derive", |b| b.iter(|| ctx.table1()));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

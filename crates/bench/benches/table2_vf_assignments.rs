@@ -1,0 +1,14 @@
+//! Regenerates Table 2: per-cluster V/F assignments (VFI 1 and VFI 2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mapwave::report;
+use mapwave_bench::{context, print_once};
+
+fn bench(c: &mut Criterion) {
+    let ctx = context();
+    print_once("Table 2", &report::table2(&ctx.table2()));
+    c.bench_function("table2/derive", |b| b.iter(|| ctx.table2()));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Shared infrastructure for the benchmark harness.
+//!
+//! Every table and figure of the paper has its own bench target (see
+//! `benches/`). Each target builds one shared [`ExperimentContext`] — the
+//! expensive part: the design flow plus all platform simulations for all
+//! six applications — prints the regenerated table/figure once, and then
+//! lets Criterion measure the derivation step.
+//!
+//! The input scale defaults to 2% of the paper's dataset sizes and can be
+//! overridden:
+//!
+//! ```sh
+//! MAPWAVE_BENCH_SCALE=0.25 cargo bench -p mapwave-bench
+//! ```
+
+use mapwave::prelude::*;
+use std::sync::OnceLock;
+
+/// The benchmark input scale (fraction of the paper's Table-1 sizes).
+pub fn bench_scale() -> f64 {
+    std::env::var("MAPWAVE_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.02)
+}
+
+/// The shared evaluation context, built once per bench binary.
+pub fn context() -> &'static ExperimentContext {
+    static CTX: OnceLock<ExperimentContext> = OnceLock::new();
+    CTX.get_or_init(|| {
+        let scale = bench_scale();
+        eprintln!(
+            "[mapwave-bench] designing & simulating all six applications \
+             at scale {scale} (64 cores)..."
+        );
+        ExperimentContext::new(PlatformConfig::paper().with_scale(scale))
+            .expect("paper configuration is valid")
+    })
+}
+
+/// Prints a rendered table once per process (benches call their derivation
+/// repeatedly; the artefact should appear a single time).
+pub fn print_once(header: &str, body: &str) {
+    static PRINTED: OnceLock<()> = OnceLock::new();
+    PRINTED.get_or_init(|| {
+        println!("\n================ {header} ================");
+        println!("{body}");
+    });
+}

@@ -1,0 +1,238 @@
+//! `mapwave` — command-line front end for the DAC'15 reproduction.
+//!
+//! ```text
+//! mapwave report   [--scale S] [--seed N]      full evaluation (all tables/figures)
+//! mapwave design   <APP> [--scale S]           design-flow detail for one application
+//! mapwave table1 | table2 | fig2 | fig4 | fig5 | fig6 | fig7 | fig8 | headline
+//!                  [--scale S]                 one artefact
+//! mapwave help                                 this text
+//! ```
+//!
+//! `S` is the input scale relative to the paper's Table-1 dataset sizes
+//! (default 0.02); `APP` is one of HIST, KMEANS, LR, MM, PCA, WC.
+
+use mapwave::experiments::headline_across_seeds;
+use mapwave::prelude::*;
+use mapwave::report;
+use mapwave_noc::topology::metrics::summarize;
+use mapwave_phoenix::apps::App;
+use mapwave_phoenix::runtime::{Executor, RuntimeConfig};
+
+struct Args {
+    command: String,
+    app: Option<App>,
+    scale: f64,
+    seed: u64,
+    seeds: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut command = String::from("help");
+    let mut app = None;
+    let mut scale = 0.02;
+    let mut seed = 0xDAC_2015u64;
+    let mut seeds = 3usize;
+    let mut it = std::env::args().skip(1);
+    if let Some(c) = it.next() {
+        command = c;
+    }
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = it
+                    .next()
+                    .ok_or("--scale needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad scale: {e}"))?;
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--seeds" => {
+                seeds = it
+                    .next()
+                    .ok_or("--seeds needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad seed count: {e}"))?;
+            }
+            other => {
+                let found = App::ALL
+                    .into_iter()
+                    .find(|a| a.name().eq_ignore_ascii_case(other));
+                match found {
+                    Some(a) => app = Some(a),
+                    None => return Err(format!("unknown argument '{other}'")),
+                }
+            }
+        }
+    }
+    Ok(Args {
+        command,
+        app,
+        scale,
+        seed,
+        seeds,
+    })
+}
+
+const HELP: &str = "\
+mapwave — energy-efficient MapReduce on a VFI + wireless-NoC multicore
+(reproduction of Duraisamy et al., DAC 2015)
+
+USAGE:
+    mapwave <COMMAND> [APP] [--scale S] [--seed N]
+
+COMMANDS:
+    report      run the whole evaluation and print every table and figure
+    design      print the design-flow products for one APP
+    table1      applications and datasets
+    table2      per-cluster V/F assignments (VFI 1 / VFI 2)
+    fig2        sorted per-core utilization (NVFI platform)
+    fig4        VFI 1 vs VFI 2 execution time and EDP
+    fig5        average vs bottleneck-core utilization
+    fig6        wireless placement methodology comparison
+    fig7        normalized execution time per stage
+    fig8        full-system EDP vs the NVFI mesh
+    headline    the aggregate EDP-saving / time-penalty summary
+    seeds       headline statistics across several workload seeds (--seeds N)
+    timeline    ASCII Gantt of one APP on the NVFI and VFI platforms
+    topology    graph metrics of the mesh and the designed WiNoC for APP
+    help        this text
+
+OPTIONS:
+    --scale S   input scale vs the paper's Table-1 sizes (default 0.02)
+    --seed  N   workload generation seed (default 0xDAC2015)
+
+APP is one of: HIST, KMEANS, LR, MM, PCA, WC.";
+
+fn main() -> Result<(), String> {
+    let args = parse_args()?;
+    let cfg = PlatformConfig::paper()
+        .with_scale(args.scale)
+        .with_seed(args.seed);
+
+    let needs_ctx = matches!(
+        args.command.as_str(),
+        "report" | "table1" | "table2" | "fig2" | "fig4" | "fig5" | "fig6" | "fig7" | "fig8"
+            | "headline"
+    );
+    if needs_ctx {
+        eprintln!(
+            "designing & simulating all six applications at scale {} ...",
+            args.scale
+        );
+        let ctx = ExperimentContext::new(cfg)?;
+        let out = match args.command.as_str() {
+            "report" => report::full_report(&ctx),
+            "table1" => report::table1(&ctx.table1()),
+            "table2" => report::table2(&ctx.table2()),
+            "fig2" => report::fig2(&ctx.fig2()),
+            "fig4" => report::fig4(&ctx.fig4()),
+            "fig5" => report::fig5(&ctx.fig5()),
+            "fig6" => report::fig6(&ctx.fig6()),
+            "fig7" => report::fig7(&ctx.fig7()),
+            "fig8" => report::fig8(&ctx.fig8()),
+            "headline" => report::headline(&ctx.headline()),
+            _ => unreachable!("guarded by needs_ctx"),
+        };
+        println!("{out}");
+        return Ok(());
+    }
+
+    match args.command.as_str() {
+        "design" => {
+            let app = args.app.ok_or("design needs an APP (e.g. `mapwave design WC`)")?;
+            let flow = DesignFlow::new(cfg)?;
+            let d = flow.design(app);
+            println!("== design-flow products for {app} ==");
+            println!("profile:   avg utilization {:.3}", d.profile.avg_utilization());
+            println!(
+                "           phases (ref cycles): lib-init {:.3e}, map {:.3e}, reduce {:.3e}, merge {:.3e}",
+                d.profile.phases.lib_init,
+                d.profile.phases.map,
+                d.profile.phases.reduce,
+                d.profile.phases.merge
+            );
+            println!("clusters:  {:?}", d.clustering.as_slice());
+            println!("VFI 1:     {}", d.vfi1);
+            println!("VFI 2:     {}", d.vfi2);
+            println!(
+                "bottlenecks: {:?} (homogeneous rest: {}, cv {:.2})",
+                d.analysis.bottleneck_cores, d.analysis.homogeneous, d.analysis.rest_cv
+            );
+            println!("stealing:  VFI1 {:?}, VFI2 {:?}", d.steal(VfStage::Vfi1), d.steal(VfStage::Vfi2));
+            Ok(())
+        }
+        "seeds" => {
+            let stats = headline_across_seeds(&cfg, args.seeds)?;
+            for (i, h) in stats.samples.iter().enumerate() {
+                println!(
+                    "seed {i}: avg saving {:>5.1}%, max {:>5.1}% ({}), worst penalty {:>+6.2}%",
+                    h.avg_edp_saving * 100.0,
+                    h.max_edp_saving * 100.0,
+                    h.best_app.name(),
+                    h.max_time_penalty * 100.0
+                );
+            }
+            println!(
+                "mean: saving {:.1}% ± {:.1}, penalty {:+.2}% ± {:.2}",
+                stats.avg_saving_mean * 100.0,
+                stats.avg_saving_std * 100.0,
+                stats.penalty_mean * 100.0,
+                stats.penalty_std * 100.0
+            );
+            Ok(())
+        }
+        "timeline" => {
+            let app = args.app.ok_or("timeline needs an APP")?;
+            let flow = DesignFlow::new(cfg.clone())?;
+            let d = flow.design(app);
+            let (_, nvfi) =
+                Executor::new(RuntimeConfig::nvfi(cfg.cores())).run_traced(&d.workload);
+            println!("== {app} on the NVFI platform ==");
+            println!("L lib-init | M map | R reduce | G merge | lower-case = stolen
+");
+            println!("{}", nvfi.render(96));
+            let speeds = d.vfi2.core_speeds(&d.clustering, &cfg.vf_table);
+            let (_, vfi) = Executor::new(
+                RuntimeConfig::nvfi(cfg.cores())
+                    .with_speeds(speeds)
+                    .with_steal_policy(d.steal(VfStage::Vfi2)),
+            )
+            .run_traced(&d.workload);
+            println!("== {app} on the VFI 2 islands ({}) ==
+", d.vfi2);
+            println!("{}", vfi.render(96));
+            Ok(())
+        }
+        "topology" => {
+            let app = args.app.ok_or("topology needs an APP")?;
+            let flow = DesignFlow::new(cfg.clone())?;
+            let d = flow.design(app);
+            let mesh_spec = flow.nvfi_spec();
+            println!("mesh       : {}", summarize(&mesh_spec.topology));
+            for strategy in [
+                PlacementStrategy::MinHopCount,
+                PlacementStrategy::MaxWirelessUtilization,
+            ] {
+                let spec = flow.winoc_spec(&d, strategy);
+                println!(
+                    "winoc {:<22}: {} ({} WIs)",
+                    strategy.to_string(),
+                    summarize(&spec.topology),
+                    spec.overlay.len()
+                );
+            }
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            println!("{HELP}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'; try `mapwave help`")),
+    }
+}

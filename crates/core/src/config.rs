@@ -1,0 +1,253 @@
+//! Platform configuration for the design flow and experiments.
+
+use mapwave_vfi::assignment::BottleneckParams;
+use mapwave_vfi::vf::VfTable;
+
+/// Which wireless placement / thread mapping methodology to use for the
+/// WiNoC (paper Section 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementStrategy {
+    /// Methodology 1: map threads to minimise the distance of highly
+    /// communicating cores, then simulated-annealing WI placement minimising
+    /// the traffic-weighted hop count.
+    MinHopCount,
+    /// Methodology 2: WIs at cluster centres, threads mapped
+    /// "logically near, physically far" to maximise wireless utilisation.
+    /// The paper finds this the consistently better choice (Fig. 6).
+    #[default]
+    MaxWirelessUtilization,
+}
+
+impl std::fmt::Display for PlacementStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlacementStrategy::MinHopCount => write!(f, "min-hop-count"),
+            PlacementStrategy::MaxWirelessUtilization => write!(f, "max-wireless-util"),
+        }
+    }
+}
+
+/// Full configuration of one platform study.
+///
+/// # Examples
+///
+/// ```
+/// use mapwave::config::PlatformConfig;
+///
+/// // The paper's 64-core platform at a small input scale for quick runs.
+/// let cfg = PlatformConfig::paper().with_scale(0.01);
+/// assert_eq!(cfg.cores(), 64);
+/// assert_eq!(cfg.clusters, 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformConfig {
+    /// Grid columns (the die is `cols × rows` tiles).
+    pub cols: usize,
+    /// Grid rows.
+    pub rows: usize,
+    /// Tile pitch in millimetres.
+    pub tile_mm: f64,
+    /// Number of VFI clusters (must divide the core count; quadrant layout
+    /// requires exactly 4).
+    pub clusters: usize,
+    /// The V/F menu.
+    pub vf_table: VfTable,
+    /// Input scale factor (1.0 = the paper's Table-1 sizes).
+    pub scale: f64,
+    /// Workload generation seed.
+    pub seed: u64,
+    /// V/F selection headroom (Section 4.1 assignment).
+    pub headroom: f64,
+    /// Bottleneck detector parameters (Section 4.2).
+    pub bottleneck: BottleneckParams,
+    /// WiNoC average intra-cluster degree ⟨k_intra⟩.
+    pub k_intra: f64,
+    /// WiNoC average inter-cluster degree ⟨k_inter⟩.
+    pub k_inter: f64,
+    /// Power-law wiring exponent of the small-world network (lower values
+    /// allow longer wires and shorter paths).
+    pub alpha: f64,
+    /// WiNoC wireless placement methodology.
+    pub placement: PlacementStrategy,
+    /// Wireless interfaces per cluster (one per channel in the paper).
+    pub wis_per_cluster: usize,
+    /// NoC simulation warmup cycles.
+    pub noc_warmup: u64,
+    /// NoC simulation measurement cycles.
+    pub noc_measure: u64,
+    /// Virtual channels per router port (1 = the paper's plain wormhole
+    /// switch).
+    pub noc_vcs: usize,
+    /// Duato-style minimal adaptive routing on the upper VCs (an extension
+    /// beyond the paper's router; requires `noc_vcs >= 2`).
+    pub noc_adaptive: bool,
+}
+
+impl PlatformConfig {
+    /// The paper's configuration: 64 cores in four 4×4 VFIs, ⟨k⟩ = (3, 1),
+    /// 12 WIs on 3 channels, full-scale inputs.
+    pub fn paper() -> Self {
+        PlatformConfig {
+            cols: 8,
+            rows: 8,
+            tile_mm: 2.5,
+            clusters: 4,
+            vf_table: VfTable::paper_levels(),
+            scale: 1.0,
+            seed: 0xDAC_2015,
+            headroom: 0.80,
+            bottleneck: BottleneckParams::default(),
+            k_intra: 3.0,
+            k_inter: 1.0,
+            alpha: 1.5,
+            placement: PlacementStrategy::MaxWirelessUtilization,
+            wis_per_cluster: 3,
+            noc_warmup: 1_000,
+            noc_measure: 5_000,
+            noc_vcs: 1,
+            noc_adaptive: false,
+        }
+    }
+
+    /// A reduced 16-core configuration for fast tests (4×4 die, 2×2-tile
+    /// VFIs).
+    pub fn small() -> Self {
+        PlatformConfig {
+            cols: 4,
+            rows: 4,
+            noc_warmup: 500,
+            noc_measure: 2_000,
+            ..PlatformConfig::paper()
+        }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// Sets the input scale.
+    pub fn with_scale(mut self, scale: f64) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Sets the workload seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the placement strategy.
+    pub fn with_placement(mut self, placement: PlacementStrategy) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Sets the WiNoC degree split (⟨k_intra⟩, ⟨k_inter⟩).
+    pub fn with_degrees(mut self, k_intra: f64, k_inter: f64) -> Self {
+        self.k_intra = k_intra;
+        self.k_inter = k_inter;
+        self
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cols == 0 || self.rows == 0 {
+            return Err("die dimensions must be nonzero".into());
+        }
+        if !self.cols.is_multiple_of(2) || !self.rows.is_multiple_of(2) {
+            return Err("quadrant VFIs need even die dimensions".into());
+        }
+        if self.clusters != 4 {
+            return Err("the quadrant layout supports exactly 4 clusters".into());
+        }
+        if !self.cores().is_multiple_of(self.clusters) {
+            return Err("clusters must evenly divide cores".into());
+        }
+        if !(self.scale > 0.0 && self.scale.is_finite()) {
+            return Err("scale must be positive".into());
+        }
+        if !(self.headroom > 0.0 && self.headroom <= 1.0) {
+            return Err("headroom must be in (0,1]".into());
+        }
+        if self.wis_per_cluster == 0 {
+            return Err("need at least one WI per cluster".into());
+        }
+        if self.noc_vcs == 0 {
+            return Err("need at least one virtual channel".into());
+        }
+        if self.noc_adaptive && self.noc_vcs < 2 {
+            return Err("adaptive routing needs at least two virtual channels".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        PlatformConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_is_valid() {
+        assert_eq!(PlatformConfig::paper().validate(), Ok(()));
+        assert_eq!(PlatformConfig::paper().cores(), 64);
+    }
+
+    #[test]
+    fn small_config_is_valid() {
+        assert_eq!(PlatformConfig::small().validate(), Ok(()));
+        assert_eq!(PlatformConfig::small().cores(), 16);
+    }
+
+    #[test]
+    fn rejects_odd_dimensions() {
+        let mut c = PlatformConfig::paper();
+        c.cols = 7;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_scale() {
+        assert!(PlatformConfig::paper().with_scale(0.0).validate().is_err());
+    }
+
+    #[test]
+    fn rejects_non_quadrant_clusters() {
+        let mut c = PlatformConfig::paper();
+        c.clusters = 8;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = PlatformConfig::paper()
+            .with_scale(0.5)
+            .with_seed(9)
+            .with_degrees(2.0, 2.0)
+            .with_placement(PlacementStrategy::MinHopCount);
+        assert_eq!(c.scale, 0.5);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.k_intra, 2.0);
+        assert_eq!(c.placement, PlacementStrategy::MinHopCount);
+    }
+
+    #[test]
+    fn strategy_display() {
+        assert_eq!(PlacementStrategy::MinHopCount.to_string(), "min-hop-count");
+        assert_eq!(
+            PlacementStrategy::MaxWirelessUtilization.to_string(),
+            "max-wireless-util"
+        );
+    }
+}

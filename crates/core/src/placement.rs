@@ -1,0 +1,459 @@
+//! Wireless interface placement and thread mapping (paper Section 6).
+//!
+//! Two methodologies are implemented:
+//!
+//! 1. **Minimised hop count** — threads are first mapped so that highly
+//!    communicating cores sit physically close (greedy swap refinement of
+//!    the traffic-weighted distance), then simulated annealing searches the
+//!    WI positions that minimise the average traffic-weighted hop count of
+//!    the routed network.
+//! 2. **Maximised wireless utilisation** — WIs are pinned near each VFI
+//!    cluster's centre, and threads are mapped *logically near, physically
+//!    far*: the heaviest external communicators of each cluster are placed
+//!    closest to its WIs, funnelling inter-cluster flits through the
+//!    energy-efficient wireless channels.
+//!
+//! Thread mapping always respects the VFI partition: cluster `j`'s threads
+//! live in die quadrant `j`, so swaps only occur within quadrants and the
+//! V/F islands stay spatially contiguous.
+
+use mapwave_manycore::mapping::ThreadMapping;
+use mapwave_noc::routing::RoutingTable;
+use mapwave_noc::topology::wireless::{ChannelId, WirelessInterface, WirelessOverlay};
+use mapwave_noc::{NodeId, Topology, TrafficMatrix};
+use mapwave_vfi::clustering::Clustering;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Hub-edge weight used when routing the WiNoC: a wireless traversal costs
+/// `2 ×` this in the hop metric (see [`RoutingTable::up_down_weighted`]),
+/// so wireless is taken whenever it saves at least two wired hops.
+pub const WINOC_HUB_EDGE_WEIGHT: u32 = 1;
+
+/// Physical quadrant of a tile on a `cols × rows` die.
+pub fn quadrant_of(tile: NodeId, cols: usize, rows: usize) -> usize {
+    let (c, r) = (tile.index() % cols, tile.index() / cols);
+    usize::from(c >= cols / 2) + 2 * usize::from(r >= rows / 2)
+}
+
+/// Tiles of quadrant `q`, in id order.
+pub fn quadrant_tiles(q: usize, cols: usize, rows: usize) -> Vec<NodeId> {
+    (0..cols * rows)
+        .map(NodeId)
+        .filter(|&t| quadrant_of(t, cols, rows) == q)
+        .collect()
+}
+
+/// The baseline mapping: cluster `j`'s threads, in id order, onto quadrant
+/// `j`'s tiles, in id order.
+///
+/// # Panics
+///
+/// Panics if the clustering size differs from `cols * rows` or has more
+/// clusters than quadrants.
+pub fn initial_mapping(clustering: &Clustering, cols: usize, rows: usize) -> ThreadMapping {
+    assert_eq!(clustering.len(), cols * rows, "clustering size mismatch");
+    assert!(
+        clustering.cluster_count() <= 4,
+        "quadrant layout supports at most 4 clusters"
+    );
+    let mut to_tile = vec![0usize; clustering.len()];
+    for j in 0..clustering.cluster_count() {
+        let threads = clustering.members(j);
+        let tiles = quadrant_tiles(j, cols, rows);
+        assert_eq!(
+            threads.len(),
+            tiles.len(),
+            "cluster {j} does not fill quadrant {j}"
+        );
+        for (&thread, &tile) in threads.iter().zip(tiles.iter()) {
+            to_tile[thread] = tile.index();
+        }
+    }
+    ThreadMapping::from_permutation(to_tile).expect("constructed a bijection")
+}
+
+/// Traffic-weighted distance of a mapping under a pairwise tile distance.
+pub fn mapping_cost<F: Fn(NodeId, NodeId) -> f64>(
+    mapping: &ThreadMapping,
+    traffic: &TrafficMatrix,
+    dist: F,
+) -> f64 {
+    let n = mapping.len();
+    let mut cost = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                let r = traffic.rate(NodeId(i), NodeId(j));
+                if r > 0.0 {
+                    cost += r * dist(mapping.tile_of(i), mapping.tile_of(j));
+                }
+            }
+        }
+    }
+    cost
+}
+
+/// Methodology 1, step 1: greedy best-improvement within-quadrant swaps
+/// minimising the traffic-weighted tile distance.
+pub fn refine_mapping_min_hop<F: Fn(NodeId, NodeId) -> f64>(
+    mut mapping: ThreadMapping,
+    clustering: &Clustering,
+    traffic: &TrafficMatrix,
+    dist: F,
+) -> ThreadMapping {
+    let n = mapping.len();
+    let max_passes = 2 * n;
+    for _ in 0..max_passes {
+        let mut best: Option<(usize, usize, f64)> = None;
+        let current = mapping_cost(&mapping, traffic, &dist);
+        for a in 0..n {
+            for b in a + 1..n {
+                if clustering.cluster_of(a) != clustering.cluster_of(b) {
+                    continue; // stay inside the VFI quadrant
+                }
+                mapping.swap_threads(a, b);
+                let cost = mapping_cost(&mapping, traffic, &dist);
+                mapping.swap_threads(a, b);
+                let delta = cost - current;
+                if delta < -1e-12 && best.is_none_or(|(_, _, d)| delta < d) {
+                    best = Some((a, b, delta));
+                }
+            }
+        }
+        match best {
+            Some((a, b, _)) => mapping.swap_threads(a, b),
+            None => break,
+        }
+    }
+    mapping
+}
+
+/// Methodology 2, step 1: WIs at the tiles nearest each quadrant's centre,
+/// one per channel.
+pub fn center_wis(
+    cols: usize,
+    rows: usize,
+    tile_mm: f64,
+    wis_per_cluster: usize,
+    channels: usize,
+) -> WirelessOverlay {
+    let mut wis = Vec::new();
+    for q in 0..4 {
+        let tiles = quadrant_tiles(q, cols, rows);
+        let cx = tiles
+            .iter()
+            .map(|t| (t.index() % cols) as f64)
+            .sum::<f64>()
+            / tiles.len() as f64;
+        let cy = tiles
+            .iter()
+            .map(|t| (t.index() / cols) as f64)
+            .sum::<f64>()
+            / tiles.len() as f64;
+        let mut by_center: Vec<NodeId> = tiles.clone();
+        by_center.sort_by(|a, b| {
+            let da = ((a.index() % cols) as f64 - cx).powi(2)
+                + ((a.index() / cols) as f64 - cy).powi(2);
+            let db = ((b.index() % cols) as f64 - cx).powi(2)
+                + ((b.index() / cols) as f64 - cy).powi(2);
+            da.partial_cmp(&db)
+                .expect("distances are finite")
+                .then(a.cmp(b))
+        });
+        for (i, &tile) in by_center.iter().take(wis_per_cluster).enumerate() {
+            wis.push(WirelessInterface {
+                node: tile,
+                channel: ChannelId(i % channels),
+            });
+        }
+    }
+    let _ = tile_mm;
+    WirelessOverlay::new(wis, channels).expect("centre WIs are distinct per quadrant")
+}
+
+/// Methodology 2, step 2: within each quadrant, place the threads with the
+/// heaviest *external* (inter-cluster) traffic on the tiles closest to the
+/// quadrant's WIs.
+pub fn refine_mapping_max_wireless(
+    mapping: &ThreadMapping,
+    clustering: &Clustering,
+    traffic: &TrafficMatrix,
+    overlay: &WirelessOverlay,
+    cols: usize,
+    rows: usize,
+) -> ThreadMapping {
+    let n = mapping.len();
+    let mut to_tile = vec![0usize; n];
+    for j in 0..clustering.cluster_count() {
+        let threads = clustering.members(j);
+        let tiles = quadrant_tiles(j, cols, rows);
+        let wi_tiles: Vec<NodeId> = tiles
+            .iter()
+            .copied()
+            .filter(|&t| overlay.is_wi(t))
+            .collect();
+        // Tiles ranked by distance to the nearest WI of the quadrant.
+        let mut ranked_tiles = tiles.clone();
+        let tile_key = |t: NodeId| {
+            wi_tiles
+                .iter()
+                .map(|&w| {
+                    let (tc, tr) = (t.index() % cols, t.index() / cols);
+                    let (wc, wr) = (w.index() % cols, w.index() / cols);
+                    tc.abs_diff(wc) + tr.abs_diff(wr)
+                })
+                .min()
+                .unwrap_or(0)
+        };
+        ranked_tiles.sort_by_key(|&t| (tile_key(t), t));
+        // Threads ranked by external traffic volume, heaviest first.
+        let mut ranked_threads = threads.clone();
+        let ext = |i: usize| -> f64 {
+            (0..n)
+                .filter(|&p| clustering.cluster_of(p) != j)
+                .map(|p| {
+                    traffic.rate(NodeId(i), NodeId(p)) + traffic.rate(NodeId(p), NodeId(i))
+                })
+                .sum()
+        };
+        ranked_threads.sort_by(|&a, &b| {
+            ext(b)
+                .partial_cmp(&ext(a))
+                .expect("traffic is finite")
+                .then(a.cmp(&b))
+        });
+        for (&thread, &tile) in ranked_threads.iter().zip(ranked_tiles.iter()) {
+            to_tile[thread] = tile.index();
+        }
+    }
+    ThreadMapping::from_permutation(to_tile).expect("constructed a bijection")
+}
+
+/// Methodology 1, step 2: simulated annealing over WI positions minimising
+/// the average traffic-weighted hop count of the routed network.
+///
+/// Moves relocate one WI to a free tile of the same quadrant; the objective
+/// re-derives the up\*/down\* routing table, so wireless shortcuts are
+/// evaluated exactly as the router will use them.
+///
+/// # Panics
+///
+/// Panics if a quadrant has fewer tiles than `wis_per_cluster`.
+pub fn anneal_wi_placement(
+    topo: &Topology,
+    traffic: &TrafficMatrix,
+    cols: usize,
+    rows: usize,
+    wis_per_cluster: usize,
+    channels: usize,
+    seed: u64,
+) -> WirelessOverlay {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut overlay = center_wis(cols, rows, 1.0, wis_per_cluster, channels);
+
+    let cost = |overlay: &WirelessOverlay| -> f64 {
+        match RoutingTable::up_down_weighted(topo, overlay, WINOC_HUB_EDGE_WEIGHT) {
+            Ok(table) => traffic.weighted_mean(|s, d| table.distance(s, d) as f64),
+            Err(_) => f64::INFINITY,
+        }
+    };
+
+    let mut current_cost = cost(&overlay);
+    let mut best = overlay.clone();
+    let mut best_cost = current_cost;
+
+    let iterations = 120;
+    for step in 0..iterations {
+        let temp = 0.3 * (1.0 - step as f64 / iterations as f64) + 1e-3;
+        // Move: relocate one WI within its quadrant.
+        let wis: Vec<WirelessInterface> = overlay.interfaces().to_vec();
+        let pick = rng.random_range(0..wis.len());
+        let victim = wis[pick];
+        let q = quadrant_of(victim.node, cols, rows);
+        let candidates: Vec<NodeId> = quadrant_tiles(q, cols, rows)
+            .into_iter()
+            .filter(|&t| !overlay.is_wi(t))
+            .collect();
+        if candidates.is_empty() {
+            continue;
+        }
+        let target = candidates[rng.random_range(0..candidates.len())];
+        let mut new_wis = wis.clone();
+        new_wis[pick] = WirelessInterface {
+            node: target,
+            channel: victim.channel,
+        };
+        let candidate =
+            WirelessOverlay::new(new_wis, channels).expect("relocation keeps nodes distinct");
+        let c = cost(&candidate);
+        let accept = c < current_cost
+            || rng.random::<f64>() < (-(c - current_cost) / temp.max(1e-9)).exp();
+        if accept {
+            overlay = candidate;
+            current_cost = c;
+            if c < best_cost {
+                best_cost = c;
+                best = overlay.clone();
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapwave_noc::node::grid_positions;
+    use mapwave_noc::topology::small_world::SmallWorldBuilder;
+
+    fn quad_clustering(cols: usize, rows: usize) -> Clustering {
+        Clustering::grid_quadrants(cols, rows)
+    }
+
+    #[test]
+    fn quadrants_partition_the_die() {
+        let mut counts = [0usize; 4];
+        for t in 0..64 {
+            counts[quadrant_of(NodeId(t), 8, 8)] += 1;
+        }
+        assert_eq!(counts, [16, 16, 16, 16]);
+        assert_eq!(quadrant_tiles(0, 8, 8).len(), 16);
+        assert_eq!(quadrant_of(NodeId(0), 8, 8), 0);
+        assert_eq!(quadrant_of(NodeId(7), 8, 8), 1);
+        assert_eq!(quadrant_of(NodeId(63), 8, 8), 3);
+    }
+
+    #[test]
+    fn initial_mapping_respects_quadrants() {
+        let clustering = quad_clustering(4, 4);
+        let mapping = initial_mapping(&clustering, 4, 4);
+        for thread in 0..16 {
+            let tile = mapping.tile_of(thread);
+            assert_eq!(
+                clustering.cluster_of(thread),
+                quadrant_of(tile, 4, 4),
+                "thread {thread} must live in its cluster's quadrant"
+            );
+        }
+    }
+
+    #[test]
+    fn min_hop_refinement_reduces_cost() {
+        // Threads 0 and 15 talk heavily but 0 is in quadrant 0, 15 in
+        // quadrant 3 — refinement can only move them to facing corners.
+        let clustering = quad_clustering(4, 4);
+        let mut traffic = TrafficMatrix::zeros(16);
+        traffic.set(NodeId(0), NodeId(15), 1.0);
+        traffic.set(NodeId(15), NodeId(0), 1.0);
+        let dist = |a: NodeId, b: NodeId| {
+            let (ac, ar) = (a.index() % 4, a.index() / 4);
+            let (bc, br) = (b.index() % 4, b.index() / 4);
+            (ac.abs_diff(bc) + ar.abs_diff(br)) as f64
+        };
+        let initial = initial_mapping(&clustering, 4, 4);
+        let before = mapping_cost(&initial, &traffic, dist);
+        let refined = refine_mapping_min_hop(initial, &clustering, &traffic, dist);
+        let after = mapping_cost(&refined, &traffic, dist);
+        assert!(after <= before);
+        // Quadrant constraint still holds.
+        for thread in 0..16 {
+            assert_eq!(
+                clustering.cluster_of(thread),
+                quadrant_of(refined.tile_of(thread), 4, 4)
+            );
+        }
+        // The facing corners of quadrants 0 and 3 are tiles 5 and 10
+        // (distance 2); the refinement must reach that optimum.
+        assert!((after - 2.0 * 2.0).abs() < 1e-9, "cost {after}");
+    }
+
+    #[test]
+    fn center_wis_land_in_quadrant_centres() {
+        let overlay = center_wis(8, 8, 2.5, 3, 3);
+        assert_eq!(overlay.len(), 12);
+        for wi in overlay.interfaces() {
+            let q = quadrant_of(wi.node, 8, 8);
+            let (c, r) = (wi.node.index() % 8, wi.node.index() / 8);
+            // Quadrant-0 centre tiles are around (1..=2, 1..=2), etc.
+            let (qc, qr) = (q % 2, q / 2);
+            assert!(
+                (c as i64 - (qc * 4 + 1) as i64).abs() <= 2,
+                "WI col {c} off-centre for quadrant {q}"
+            );
+            assert!((r as i64 - (qr * 4 + 1) as i64).abs() <= 2);
+        }
+        // One WI per channel per quadrant.
+        for q in 0..4 {
+            let mut chans: Vec<usize> = overlay
+                .interfaces()
+                .iter()
+                .filter(|w| quadrant_of(w.node, 8, 8) == q)
+                .map(|w| w.channel.index())
+                .collect();
+            chans.sort_unstable();
+            assert_eq!(chans, vec![0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn max_wireless_mapping_puts_talkers_near_wis() {
+        let clustering = quad_clustering(4, 4);
+        let overlay = center_wis(4, 4, 1.0, 1, 1);
+        let mut traffic = TrafficMatrix::zeros(16);
+        // Thread 1 (cluster 0) talks across clusters heavily.
+        traffic.set(NodeId(1), NodeId(15), 5.0);
+        let base = initial_mapping(&clustering, 4, 4);
+        let mapped =
+            refine_mapping_max_wireless(&base, &clustering, &traffic, &overlay, 4, 4);
+        // Thread 1 must land on the quadrant-0 WI tile itself (distance 0).
+        let wi0 = overlay
+            .interfaces()
+            .iter()
+            .find(|w| quadrant_of(w.node, 4, 4) == 0)
+            .expect("quadrant 0 has a WI")
+            .node;
+        assert_eq!(mapped.tile_of(1), wi0);
+    }
+
+    #[test]
+    fn annealed_placement_beats_or_matches_random_start() {
+        let clusters: Vec<usize> = (0..64)
+            .map(|i| quadrant_of(NodeId(i), 8, 8))
+            .collect();
+        let topo = SmallWorldBuilder::new(grid_positions(8, 8, 2.5), clusters)
+            .seed(5)
+            .build()
+            .unwrap();
+        // Cross-die traffic that wireless should shortcut.
+        let mut traffic = TrafficMatrix::zeros(64);
+        traffic.set(NodeId(0), NodeId(63), 1.0);
+        traffic.set(NodeId(7), NodeId(56), 1.0);
+        let annealed = anneal_wi_placement(&topo, &traffic, 8, 8, 3, 3, 11);
+        let centre = center_wis(8, 8, 2.5, 3, 3);
+        let cost = |o: &WirelessOverlay| {
+            let t = RoutingTable::up_down(&topo, o).unwrap();
+            traffic.weighted_mean(|s, d| t.distance(s, d) as f64)
+        };
+        assert!(
+            cost(&annealed) <= cost(&centre) + 1e-9,
+            "annealing must not be worse than its start"
+        );
+        assert_eq!(annealed.len(), 12);
+    }
+
+    #[test]
+    fn anneal_is_deterministic() {
+        let clusters: Vec<usize> = (0..16).map(|i| quadrant_of(NodeId(i), 4, 4)).collect();
+        let topo = SmallWorldBuilder::new(grid_positions(4, 4, 2.5), clusters)
+            .k_intra(2.0)
+            .k_inter(2.0)
+            .seed(3)
+            .build()
+            .unwrap();
+        let traffic = TrafficMatrix::uniform(16, 0.05);
+        let a = anneal_wi_placement(&topo, &traffic, 4, 4, 1, 1, 7);
+        let b = anneal_wi_placement(&topo, &traffic, 4, 4, 1, 1, 7);
+        assert_eq!(a, b);
+    }
+}

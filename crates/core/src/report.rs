@@ -1,0 +1,417 @@
+//! Text rendering of the experiment results — the same rows and series the
+//! paper's tables and figures report.
+
+use crate::experiments::{
+    DegreeComparison, ExperimentContext, Fig2Series, Fig4Row, Fig5Row, Fig6Row, Fig7Row,
+    Fig8Row, Headline, Table1Row, Table2Row,
+};
+
+fn hr(width: usize) -> String {
+    "-".repeat(width)
+}
+
+/// Renders Table 1.
+pub fn table1(rows: &[Table1Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Table 1. Applications analyzed and datasets used.\n");
+    out.push_str(&format!(
+        "{:<8} {:<36} {:>9} {:>14}\n",
+        "App", "Input dataset", "MapTasks", "Compute[Gcyc]"
+    ));
+    out.push_str(&hr(70));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&format!(
+            "{:<8} {:<36} {:>9} {:>14.3}\n",
+            r.app.name(),
+            r.input,
+            r.map_tasks,
+            r.compute_gcycles
+        ));
+    }
+    out
+}
+
+/// Renders the Fig. 2 series as compact deciles.
+pub fn fig2(series: &[Fig2Series]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Figure 2. Core utilization (sorted, deciles shown), 64-core NVFI platform.\n",
+    );
+    for s in series {
+        let n = s.sorted_utilization.len();
+        let deciles: Vec<String> = (0..=10)
+            .map(|d| {
+                let idx = ((d * (n - 1)) / 10).min(n - 1);
+                format!("{:.2}", s.sorted_utilization[idx])
+            })
+            .collect();
+        out.push_str(&format!(
+            "{:<8} avg={:.3}  p100..p0: [{}]\n",
+            s.app.name(),
+            s.average,
+            deciles.join(" ")
+        ));
+    }
+    out
+}
+
+/// Renders Table 2.
+pub fn table2(rows: &[Table2Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Table 2. V/F assignments for MapReduce applications.\n");
+    out.push_str(&format!(
+        "{:<8} {:<52} {:<52} {}\n",
+        "App", "VFI 1 (C1..C4)", "VFI 2 (C1..C4)", "Reassigned"
+    ));
+    out.push_str(&hr(120));
+    out.push('\n');
+    for r in rows {
+        let fmt = |v: &[mapwave_vfi::vf::VfPair]| {
+            v.iter()
+                .map(|p| format!("{:.1}/{:.2}", p.voltage_v, p.freq_ghz))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&format!(
+            "{:<8} {:<52} {:<52} {}\n",
+            r.app.name(),
+            fmt(&r.vfi1),
+            fmt(&r.vfi2),
+            if r.reassigned { "yes" } else { "no" }
+        ));
+    }
+    out
+}
+
+/// Renders Fig. 4.
+pub fn fig4(rows: &[Fig4Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 4. VFI 1 vs VFI 2 (normalized to NVFI mesh).\n");
+    out.push_str(&format!(
+        "{:<8} {:>10} {:>10} {:>10} {:>10}\n",
+        "App", "VFI1 time", "VFI2 time", "VFI1 EDP", "VFI2 EDP"
+    ));
+    out.push_str(&hr(52));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&format!(
+            "{:<8} {:>10.3} {:>10.3} {:>10.3} {:>10.3}\n",
+            r.app.name(),
+            r.vfi1_time,
+            r.vfi2_time,
+            r.vfi1_edp,
+            r.vfi2_edp
+        ));
+    }
+    out
+}
+
+/// Renders Fig. 5.
+pub fn fig5(rows: &[Fig5Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 5. Core utilization values.\n");
+    out.push_str(&format!(
+        "{:<8} {:>12} {:>18} {:>8}\n",
+        "App", "Average", "Bottleneck-core", "Ratio"
+    ));
+    out.push_str(&hr(50));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&format!(
+            "{:<8} {:>12.3} {:>18.3} {:>8.2}\n",
+            r.app.name(),
+            r.average_utilization,
+            r.bottleneck_utilization,
+            r.bottleneck_utilization / r.average_utilization.max(1e-9)
+        ));
+    }
+    out
+}
+
+/// Renders Fig. 6.
+pub fn fig6(rows: &[Fig6Row]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Figure 6. Network EDP of maximized wireless usage relative to minimized hop count.\n",
+    );
+    out.push_str(&format!(
+        "{:<8} {:>14} {:>16} {:>16}\n",
+        "App", "Relative EDP", "WL share (max)", "WL share (min)"
+    ));
+    out.push_str(&hr(58));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&format!(
+            "{:<8} {:>14.3} {:>16.3} {:>16.3}\n",
+            r.app.name(),
+            r.relative_network_edp,
+            r.wireless_share_max,
+            r.wireless_share_min
+        ));
+    }
+    out
+}
+
+/// Renders the (3,1) vs (2,2) degree comparison.
+pub fn fig6_degrees(rows: &[DegreeComparison]) -> String {
+    let mut out = String::new();
+    out.push_str("Degree sweep: (k_intra, k_inter) network EDP.\n");
+    out.push_str(&format!(
+        "{:<8} {:>14} {:>14} {:>10}\n",
+        "App", "EDP (3,1)", "EDP (2,2)", "(3,1)/(2,2)"
+    ));
+    out.push_str(&hr(50));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&format!(
+            "{:<8} {:>14.4e} {:>14.4e} {:>10.3}\n",
+            r.app.name(),
+            r.edp_31,
+            r.edp_22,
+            r.edp_31 / r.edp_22
+        ));
+    }
+    out
+}
+
+/// Renders Fig. 7.
+pub fn fig7(rows: &[Fig7Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 7. Normalized execution time per stage (vs NVFI mesh = 1.0).\n");
+    out.push_str(&format!(
+        "{:<8} {:<10} {:>8} {:>8} {:>8} {:>8} {:>8}\n",
+        "App", "System", "Map", "Reduce", "Merge", "LibInit", "Total"
+    ));
+    out.push_str(&hr(64));
+    out.push('\n');
+    for r in rows {
+        for (label, p) in [("VFI Mesh", &r.vfi_mesh), ("VFI WiN", &r.vfi_winoc)] {
+            out.push_str(&format!(
+                "{:<8} {:<10} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}\n",
+                r.app.name(),
+                label,
+                p.map,
+                p.reduce,
+                p.merge,
+                p.lib_init,
+                p.total()
+            ));
+        }
+    }
+    out
+}
+
+/// Renders Fig. 8.
+pub fn fig8(rows: &[Fig8Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 8. Full-system EDP (normalized to NVFI mesh).\n");
+    out.push_str(&format!(
+        "{:<8} {:>10} {:>11}\n",
+        "App", "VFI Mesh", "VFI WiNoC"
+    ));
+    out.push_str(&hr(32));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&format!(
+            "{:<8} {:>10.3} {:>11.3}\n",
+            r.app.name(),
+            r.vfi_mesh_edp,
+            r.vfi_winoc_edp
+        ));
+    }
+    out
+}
+
+/// Renders the headline summary.
+pub fn headline(h: &Headline) -> String {
+    format!(
+        "Headline: VFI WiNoC saves {:.1}% EDP on average (max {:.1}% on {}), \
+         worst execution-time penalty {:+.2}%.\n",
+        h.avg_edp_saving * 100.0,
+        h.max_edp_saving * 100.0,
+        h.best_app.name(),
+        h.max_time_penalty * 100.0
+    )
+}
+
+/// Runs every experiment in `ctx` and renders the full report.
+pub fn full_report(ctx: &ExperimentContext) -> String {
+    let mut out = String::new();
+    out.push_str(&table1(&ctx.table1()));
+    out.push('\n');
+    out.push_str(&fig2(&ctx.fig2()));
+    out.push('\n');
+    out.push_str(&table2(&ctx.table2()));
+    out.push('\n');
+    out.push_str(&fig4(&ctx.fig4()));
+    out.push('\n');
+    out.push_str(&fig5(&ctx.fig5()));
+    out.push('\n');
+    out.push_str(&fig6(&ctx.fig6()));
+    out.push('\n');
+    out.push_str(&fig7(&ctx.fig7()));
+    out.push('\n');
+    out.push_str(&fig8(&ctx.fig8()));
+    out.push('\n');
+    out.push_str(&headline(&ctx.headline()));
+    out
+}
+
+/// CSV renderings of the figure series, for external plotting.
+pub mod csv {
+    use super::*;
+
+    /// Fig. 2 as `app,core_rank,utilization` rows.
+    pub fn fig2(series: &[Fig2Series]) -> String {
+        let mut out = String::from("app,core_rank,utilization\n");
+        for s in series {
+            for (rank, u) in s.sorted_utilization.iter().enumerate() {
+                out.push_str(&format!("{},{},{:.6}\n", s.app.name(), rank, u));
+            }
+        }
+        out
+    }
+
+    /// Fig. 4 as `app,config,metric,value` rows.
+    pub fn fig4(rows: &[Fig4Row]) -> String {
+        let mut out = String::from("app,config,metric,value\n");
+        for r in rows {
+            for (config, time, edp) in [
+                ("VFI1", r.vfi1_time, r.vfi1_edp),
+                ("VFI2", r.vfi2_time, r.vfi2_edp),
+            ] {
+                out.push_str(&format!("{},{config},time,{time:.6}\n", r.app.name()));
+                out.push_str(&format!("{},{config},edp,{edp:.6}\n", r.app.name()));
+            }
+        }
+        out
+    }
+
+    /// Fig. 6 as `app,relative_network_edp,wl_share_max,wl_share_min` rows.
+    pub fn fig6(rows: &[Fig6Row]) -> String {
+        let mut out = String::from("app,relative_network_edp,wl_share_max,wl_share_min\n");
+        for r in rows {
+            out.push_str(&format!(
+                "{},{:.6},{:.6},{:.6}\n",
+                r.app.name(),
+                r.relative_network_edp,
+                r.wireless_share_max,
+                r.wireless_share_min
+            ));
+        }
+        out
+    }
+
+    /// Fig. 7 as `app,system,stage,normalized_time` rows.
+    pub fn fig7(rows: &[Fig7Row]) -> String {
+        let mut out = String::from("app,system,stage,normalized_time\n");
+        for r in rows {
+            for (system, p) in [("vfi_mesh", &r.vfi_mesh), ("vfi_winoc", &r.vfi_winoc)] {
+                for (stage, v) in [
+                    ("lib_init", p.lib_init),
+                    ("map", p.map),
+                    ("reduce", p.reduce),
+                    ("merge", p.merge),
+                ] {
+                    out.push_str(&format!("{},{system},{stage},{v:.6}\n", r.app.name()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Fig. 8 as `app,vfi_mesh_edp,vfi_winoc_edp` rows.
+    pub fn fig8(rows: &[Fig8Row]) -> String {
+        let mut out = String::from("app,vfi_mesh_edp,vfi_winoc_edp\n");
+        for r in rows {
+            out.push_str(&format!(
+                "{},{:.6},{:.6}\n",
+                r.app.name(),
+                r.vfi_mesh_edp,
+                r.vfi_winoc_edp
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{Fig8Row, Headline};
+    use mapwave_phoenix::apps::App;
+
+    #[test]
+    fn fig8_renders_rows() {
+        let rows = vec![Fig8Row {
+            app: App::Kmeans,
+            vfi_mesh_edp: 0.42,
+            vfi_winoc_edp: 0.34,
+        }];
+        let s = fig8(&rows);
+        assert!(s.contains("KMEANS"));
+        assert!(s.contains("0.420"));
+        assert!(s.contains("0.340"));
+    }
+
+    #[test]
+    fn csv_fig8_shape() {
+        let rows = vec![
+            Fig8Row {
+                app: App::Kmeans,
+                vfi_mesh_edp: 0.42,
+                vfi_winoc_edp: 0.34,
+            },
+            Fig8Row {
+                app: App::WordCount,
+                vfi_mesh_edp: 0.86,
+                vfi_winoc_edp: 0.68,
+            },
+        ];
+        let s = csv::fig8(&rows);
+        let lines: Vec<&str> = s.trim_end().lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "app,vfi_mesh_edp,vfi_winoc_edp");
+        assert!(lines[1].starts_with("KMEANS,0.420000,"));
+    }
+
+    #[test]
+    fn csv_fig7_has_all_stages() {
+        use mapwave_phoenix::workload::PhaseBreakdown;
+        let rows = vec![crate::experiments::Fig7Row {
+            app: App::LinearRegression,
+            vfi_mesh: PhaseBreakdown {
+                lib_init: 0.1,
+                map: 0.6,
+                reduce: 0.1,
+                merge: 0.0,
+            },
+            vfi_winoc: PhaseBreakdown {
+                lib_init: 0.1,
+                map: 0.55,
+                reduce: 0.1,
+                merge: 0.0,
+            },
+        }];
+        let s = csv::fig7(&rows);
+        assert_eq!(s.trim_end().lines().count(), 1 + 8);
+        assert!(s.contains("LR,vfi_mesh,map,0.600000"));
+        assert!(s.contains("LR,vfi_winoc,merge,0.000000"));
+    }
+
+    #[test]
+    fn headline_renders_percentages() {
+        let h = Headline {
+            avg_edp_saving: 0.337,
+            max_edp_saving: 0.662,
+            best_app: App::Kmeans,
+            max_time_penalty: 0.0322,
+        };
+        let s = headline(&h);
+        assert!(s.contains("33.7%"));
+        assert!(s.contains("66.2%"));
+        assert!(s.contains("+3.22%"));
+        assert!(s.contains("KMEANS"));
+    }
+}

@@ -1,0 +1,351 @@
+//! Full-system simulation: runtime model × NoC simulation × power models.
+//!
+//! [`run_system`] couples the three substrates the way the paper couples
+//! GEM5, the RTL-calibrated NoC simulator and McPAT:
+//!
+//! 1. the MapReduce runtime model executes the workload at the platform's
+//!    per-cluster frequencies, producing phase times, per-core utilization
+//!    and the inter-core traffic matrix;
+//! 2. the traffic (transported to physical tile space by the thread
+//!    mapping) drives the cycle-accurate NoC simulation, yielding the
+//!    average network latency and per-flit energy;
+//! 3. the measured latency feeds back into the runtime model's cache-stall
+//!    term (remote L2 round trips), and the final execution is costed with
+//!    the core power model and the network energy accounting.
+
+use crate::config::PlatformConfig;
+use crate::placement::quadrant_of;
+use mapwave_manycore::mapping::ThreadMapping;
+use mapwave_noc::routing::RoutingTable;
+use mapwave_noc::sim::{NetworkSim, SimConfig};
+use mapwave_noc::topology::wireless::WirelessOverlay;
+use mapwave_noc::{EnergyModel, NetworkStats, NodeId, Topology};
+use mapwave_phoenix::runtime::{Executor, RuntimeConfig};
+use mapwave_phoenix::stealing::StealPolicy;
+use mapwave_phoenix::task::PhaseKind;
+use mapwave_phoenix::workload::{AppWorkload, ExecutionReport, PhaseLatencies};
+use mapwave_vfi::assignment::VfAssignment;
+use mapwave_vfi::clustering::Clustering;
+use mapwave_vfi::power::CorePowerModel;
+
+/// A fully assembled platform configuration ready to run workloads.
+#[derive(Debug, Clone)]
+pub struct SystemSpec {
+    /// Human-readable configuration name ("NVFI Mesh", "VFI WiNoC", …).
+    pub label: String,
+    /// The wireline interconnect.
+    pub topology: Topology,
+    /// The wireless overlay (empty for wired-only systems).
+    pub overlay: WirelessOverlay,
+    /// The routing function.
+    pub routing: RoutingTable,
+    /// Thread → tile placement.
+    pub mapping: ThreadMapping,
+    /// The logical VFI partition.
+    pub clustering: Clustering,
+    /// Per-cluster operating points.
+    pub vf: VfAssignment,
+    /// Steal policy of the runtime.
+    pub steal: StealPolicy,
+}
+
+/// Everything measured from one workload execution on one [`SystemSpec`].
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The configuration name.
+    pub label: String,
+    /// Runtime-model observables (phase times, utilization, traffic).
+    pub exec: ExecutionReport,
+    /// Aggregate NoC-simulation statistics over all simulated stages.
+    pub net: NetworkStats,
+    /// Per-stage NoC statistics (stages with zero traffic are omitted).
+    pub net_by_phase: Vec<(PhaseKind, NetworkStats)>,
+    /// Wall-clock execution time in seconds.
+    pub exec_seconds: f64,
+    /// Total core energy in joules.
+    pub core_energy_j: f64,
+    /// Total network energy in joules.
+    pub net_energy_j: f64,
+    /// Full-system energy–delay product (J·s).
+    pub edp: f64,
+}
+
+impl RunReport {
+    /// Total (core + network) energy in joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.core_energy_j + self.net_energy_j
+    }
+
+    /// Network energy–delay product: network energy × average packet
+    /// latency (the Fig. 6 metric).
+    pub fn network_edp(&self) -> f64 {
+        self.net_energy_j * self.net.avg_latency()
+    }
+}
+
+/// Runs `workload` on `spec` and reports times, energies and EDP.
+///
+/// # Panics
+///
+/// Panics if the spec's components disagree on the platform size or the
+/// NoC simulator rejects the configuration (all specs built by
+/// [`crate::design_flow::DesignFlow`] are consistent by construction).
+pub fn run_system(
+    spec: &SystemSpec,
+    workload: &AppWorkload,
+    cfg: &PlatformConfig,
+    power: &CorePowerModel,
+) -> RunReport {
+    let n = cfg.cores();
+    assert_eq!(spec.topology.len(), n, "topology size mismatch");
+    assert_eq!(spec.mapping.len(), n, "mapping size mismatch");
+    assert_eq!(spec.clustering.len(), n, "clustering size mismatch");
+
+    let table = &cfg.vf_table;
+    let speeds = spec.vf.core_speeds(&spec.clustering, table);
+
+    // Pass 1: execute with a nominal network latency to obtain traffic.
+    let base_cfg = RuntimeConfig::nvfi(n)
+        .with_speeds(speeds.clone())
+        .with_steal_policy(spec.steal);
+    let mut exec = Executor::new(base_cfg.clone()).run(workload);
+
+    // The NoC is VFI-partitioned too: each quadrant's switches run at the
+    // quadrant cluster's frequency.
+    let tile_speed: Vec<f64> = (0..n)
+        .map(|t| spec.vf.speed_of(quadrant_of(NodeId(t), cfg.cols, cfg.rows), table))
+        .collect();
+    let tile_domain: Vec<usize> = (0..n)
+        .map(|t| quadrant_of(NodeId(t), cfg.cols, cfg.rows))
+        .collect();
+
+    let sim_cfg = SimConfig {
+        vcs: cfg.noc_vcs,
+        adaptive: cfg.noc_adaptive,
+        ..SimConfig::default()
+    };
+    let mut sim = NetworkSim::with_clocks(
+        spec.topology.clone(),
+        spec.overlay.clone(),
+        spec.routing.clone(),
+        EnergyModel::default_65nm(),
+        sim_cfg,
+        tile_speed,
+        tile_domain,
+    )
+    .expect("spec-consistent network");
+
+    // Phase-resolved NoC simulation: each stage's traffic pattern loads the
+    // network differently (Map's memory streaming vs Reduce's key shuffle
+    // vs Merge's partition movement), so each gets its own window. The
+    // executor and the network are relaxed jointly: measured latencies
+    // stretch congested stages, which lowers their offered rates — two
+    // rounds settle all the operating points used in the evaluation.
+    let default_rt = base_cfg.remote_l2_latency.map;
+    let mut map_net: Option<NetworkStats> = None;
+    let mut reduce_net: Option<NetworkStats> = None;
+    let mut merge_net: Option<NetworkStats> = None;
+    let mut prev = PhaseLatencies::uniform(default_rt);
+    for round in 0..3 {
+        let mut run_phase_net =
+            |traffic: &mapwave_noc::TrafficMatrix| -> Option<NetworkStats> {
+                if traffic.total_rate() <= 1e-9 {
+                    return None;
+                }
+                let physical = spec.mapping.traffic_to_tiles(traffic);
+                Some(sim.run(
+                    &physical,
+                    cfg.noc_warmup,
+                    cfg.noc_measure,
+                    cfg.noc_measure * 10,
+                ))
+            };
+        map_net = run_phase_net(&exec.phase_traffic.map);
+        reduce_net = run_phase_net(&exec.phase_traffic.reduce);
+        merge_net = run_phase_net(&exec.phase_traffic.merge);
+
+        let rt = |stats: &Option<NetworkStats>, fallback: f64| -> f64 {
+            stats
+                .as_ref()
+                .filter(|s| s.packets_delivered > 0)
+                .map(|s| (2.0 * s.avg_latency()).max(6.0))
+                .unwrap_or(fallback)
+        };
+        // Damped update: an over-estimated rate from a previous round would
+        // otherwise alternate between congested and idle fixpoints.
+        let blend = |prev: f64, measured: f64| -> f64 {
+            if round == 0 {
+                measured
+            } else {
+                0.5 * prev + 0.5 * measured
+            }
+        };
+        let map_rt = blend(prev.map, rt(&map_net, default_rt));
+        let latencies = PhaseLatencies {
+            lib_init: map_rt,
+            map: map_rt,
+            reduce: blend(prev.reduce, rt(&reduce_net, map_rt)),
+            merge: blend(prev.merge, rt(&merge_net, map_rt)),
+        };
+        exec = Executor::new(base_cfg.clone().with_phase_latencies(latencies)).run(workload);
+        prev = latencies;
+    }
+
+    let ref_ghz = table.max().freq_ghz;
+    let exec_seconds = exec.exec_seconds(ref_ghz);
+
+    // Core energy: every core integrates its utilization at its island's
+    // operating point over the whole execution.
+    let core_energy_j: f64 = (0..n)
+        .map(|i| {
+            let vf = spec.vf.vf_of(spec.clustering.cluster_of(i));
+            power.energy_j(exec.utilization[i], vf, exec_seconds)
+        })
+        .sum();
+
+    // Network energy: each stage's flits at that stage's measured energy
+    // per flit (falling back to the Map window's figure).
+    let packet_flits = 4.0;
+    let fallback_pj = map_net
+        .as_ref()
+        .map(NetworkStats::energy_per_flit_pj)
+        .unwrap_or(0.0);
+    let pj = |stats: &Option<NetworkStats>| -> f64 {
+        stats
+            .as_ref()
+            .filter(|s| s.flits_delivered > 0)
+            .map(NetworkStats::energy_per_flit_pj)
+            .unwrap_or(fallback_pj)
+    };
+    let stage_energy = |traffic: &mapwave_noc::TrafficMatrix,
+                        stage_cycles: f64,
+                        stats: &Option<NetworkStats>|
+     -> f64 {
+        traffic.total_rate() * packet_flits * stage_cycles * pj(stats) * 1e-12
+    };
+    let net_energy_j = stage_energy(&exec.phase_traffic.map, exec.phases.map, &map_net)
+        + stage_energy(&exec.phase_traffic.reduce, exec.phases.reduce, &reduce_net)
+        + stage_energy(&exec.phase_traffic.merge, exec.phases.merge, &merge_net);
+
+    let edp = (core_energy_j + net_energy_j) * exec_seconds;
+
+    // Aggregate network statistics for reporting.
+    let net = NetworkStats::merged(
+        [&map_net, &reduce_net, &merge_net]
+            .into_iter()
+            .flatten(),
+    );
+    let net_by_phase: Vec<(PhaseKind, NetworkStats)> = [
+        (PhaseKind::Map, map_net),
+        (PhaseKind::Reduce, reduce_net),
+        (PhaseKind::Merge, merge_net),
+    ]
+    .into_iter()
+    .filter_map(|(k, s)| s.map(|s| (k, s)))
+    .collect();
+
+    RunReport {
+        label: spec.label.clone(),
+        exec,
+        net,
+        net_by_phase,
+        exec_seconds,
+        core_energy_j,
+        net_energy_j,
+        edp,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapwave_noc::topology::mesh::mesh;
+    use mapwave_phoenix::apps::App;
+    use mapwave_vfi::vf::VfTable;
+
+    fn small_cfg() -> PlatformConfig {
+        PlatformConfig::small().with_scale(0.002)
+    }
+
+    fn mesh_spec(label: &str, cfg: &PlatformConfig, vf: VfAssignment) -> SystemSpec {
+        SystemSpec {
+            label: label.into(),
+            topology: mesh(cfg.cols, cfg.rows, cfg.tile_mm),
+            overlay: WirelessOverlay::none(),
+            routing: RoutingTable::xy(cfg.cols, cfg.rows),
+            mapping: ThreadMapping::identity(cfg.cores()),
+            clustering: Clustering::grid_quadrants(cfg.cols, cfg.rows),
+            vf: VfAssignment::uniform(4, vf.vf_of(0)),
+            steal: StealPolicy::Default,
+        }
+        .with_vf(vf)
+    }
+
+    impl SystemSpec {
+        fn with_vf(mut self, vf: VfAssignment) -> Self {
+            self.vf = vf;
+            self
+        }
+    }
+
+    #[test]
+    fn nvfi_mesh_runs_end_to_end() {
+        let cfg = small_cfg();
+        let table = VfTable::paper_levels();
+        let spec = mesh_spec("NVFI Mesh", &cfg, VfAssignment::uniform(4, table.max()));
+        let workload = App::WordCount.workload(cfg.scale, cfg.seed, cfg.cores());
+        let report = run_system(&spec, &workload, &cfg, &CorePowerModel::default_x86());
+        assert!(report.exec_seconds > 0.0);
+        assert!(report.core_energy_j > 0.0);
+        assert!(report.net_energy_j > 0.0);
+        assert!(report.edp > 0.0);
+        assert!(report.net.packets_delivered > 0);
+    }
+
+    #[test]
+    fn vfi_trades_time_for_energy() {
+        let cfg = small_cfg();
+        let table = VfTable::paper_levels();
+        // Compute-bound MM: the clock stretch dominates any congestion relief.
+        let workload = App::MatrixMult.workload(cfg.scale, cfg.seed, cfg.cores());
+        let power = CorePowerModel::default_x86();
+
+        let nvfi = run_system(
+            &mesh_spec("NVFI Mesh", &cfg, VfAssignment::uniform(4, table.max())),
+            &workload,
+            &cfg,
+            &power,
+        );
+        // All clusters at the slowest level: decisive compute stretch.
+        let slow = run_system(
+            &mesh_spec(
+                "VFI Mesh",
+                &cfg,
+                VfAssignment::uniform(4, table.levels()[0]),
+            ),
+            &workload,
+            &cfg,
+            &power,
+        );
+        assert!(slow.exec_seconds > nvfi.exec_seconds, "lower f is slower");
+        assert!(
+            slow.core_energy_j < nvfi.core_energy_j,
+            "lower V/f saves core energy: {} vs {}",
+            slow.core_energy_j,
+            nvfi.core_energy_j
+        );
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let cfg = small_cfg();
+        let table = VfTable::paper_levels();
+        let spec = mesh_spec("NVFI Mesh", &cfg, VfAssignment::uniform(4, table.max()));
+        let workload = App::LinearRegression.workload(cfg.scale, cfg.seed, cfg.cores());
+        let power = CorePowerModel::default_x86();
+        let a = run_system(&spec, &workload, &cfg, &power);
+        let b = run_system(&spec, &workload, &cfg, &power);
+        assert_eq!(a.exec, b.exec);
+        assert_eq!(a.edp, b.edp);
+    }
+}

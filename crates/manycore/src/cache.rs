@@ -1,0 +1,177 @@
+//! Memory-hierarchy model: private L1s over a shared, distributed L2.
+//!
+//! The paper's GEM5 configuration is a MOESI directory protocol with private
+//! 64 KB L1s and a 32 MB shared L2 distributed as 512 KB slices per tile
+//! (S-NUCA). What the study consumes from that machinery is:
+//!
+//! * the **stall time** a core pays per instruction for L1 misses that must
+//!   cross the network to a (usually remote) L2 slice or to memory, and
+//! * the **coherence/data traffic** those misses inject into the NoC.
+//!
+//! [`CacheModel`] produces both from a per-phase [`MemoryProfile`]
+//! (miss intensities measured by the MapReduce runtime model) and the
+//! network round-trip latency measured by the cycle-level NoC simulation —
+//! the same feedback loop GEM5's Ruby + Garnet provide.
+
+/// Per-phase memory behaviour of a workload, in misses per kilo-instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryProfile {
+    /// L1 misses per 1000 instructions (these become L2 slice accesses).
+    pub l1_mpki: f64,
+    /// Fraction of L2 accesses that miss to off-chip memory.
+    pub l2_miss_rate: f64,
+    /// Fraction of L2 accesses whose home slice is remote (address
+    /// interleaving makes this `(n-1)/n` for uniformly spread data; locality
+    /// optimisations lower it).
+    pub remote_fraction: f64,
+}
+
+impl MemoryProfile {
+    /// Creates a profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any field is negative, non-finite, or a rate exceeds 1.
+    pub fn new(l1_mpki: f64, l2_miss_rate: f64, remote_fraction: f64) -> Self {
+        assert!(l1_mpki >= 0.0 && l1_mpki.is_finite(), "invalid l1_mpki");
+        assert!(
+            (0.0..=1.0).contains(&l2_miss_rate),
+            "l2_miss_rate must be in [0,1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&remote_fraction),
+            "remote_fraction must be in [0,1]"
+        );
+        MemoryProfile {
+            l1_mpki,
+            l2_miss_rate,
+            remote_fraction,
+        }
+    }
+}
+
+/// Latency/geometry parameters of the cache hierarchy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheModel {
+    /// Cache line size in bytes (64 B, so a line is 16 32-bit flits).
+    pub line_bytes: usize,
+    /// L2 slice access latency in core cycles (tag + data array).
+    pub l2_latency_cycles: f64,
+    /// Off-chip memory latency in core cycles.
+    pub mem_latency_cycles: f64,
+    /// Fraction of an L1 miss's latency the core cannot hide with
+    /// out-of-order execution / MLP (1.0 = fully blocking).
+    pub exposed_fraction: f64,
+    /// Fraction of L1 misses that actually cross the network: spatial
+    /// locality, MSHR coalescing and prefetch batching satisfy the rest
+    /// from in-flight lines.
+    pub network_fraction: f64,
+}
+
+impl CacheModel {
+    /// The configuration used throughout the reproduction (matches the
+    /// paper's 64 KB L1 / 512 KB-per-tile L2 setup at 2.5 GHz).
+    pub fn default_64core() -> Self {
+        CacheModel {
+            line_bytes: 64,
+            l2_latency_cycles: 10.0,
+            mem_latency_cycles: 150.0,
+            exposed_fraction: 0.6,
+            network_fraction: 0.35,
+        }
+    }
+
+    /// Average stall cycles per instruction given the measured average
+    /// network round-trip latency (cycles) to a remote L2 slice.
+    ///
+    /// Local-slice hits pay only the L2 latency; remote hits add the network
+    /// round trip; L2 misses add the memory latency on top.
+    pub fn stall_cycles_per_inst(&self, prof: &MemoryProfile, net_round_trip: f64) -> f64 {
+        let per_miss = self.l2_latency_cycles
+            + prof.remote_fraction * net_round_trip
+            + prof.l2_miss_rate * self.mem_latency_cycles;
+        (prof.l1_mpki / 1000.0) * per_miss * self.exposed_fraction
+    }
+
+    /// Network packets injected per instruction by L1 misses: one request
+    /// (1 flit) and one data reply (line) per network-visible remote L2
+    /// access.
+    pub fn packets_per_inst(&self, prof: &MemoryProfile) -> f64 {
+        (prof.l1_mpki / 1000.0) * prof.remote_fraction * self.network_fraction * 2.0
+    }
+
+    /// Flits in a data packet carrying one cache line (32-bit flits plus a
+    /// head flit).
+    pub fn line_flits(&self) -> usize {
+        self.line_bytes / 4 + 1
+    }
+}
+
+impl Default for CacheModel {
+    fn default() -> Self {
+        CacheModel::default_64core()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stall_grows_with_network_latency() {
+        let m = CacheModel::default_64core();
+        let p = MemoryProfile::new(20.0, 0.1, 0.9);
+        let near = m.stall_cycles_per_inst(&p, 20.0);
+        let far = m.stall_cycles_per_inst(&p, 60.0);
+        assert!(far > near);
+    }
+
+    #[test]
+    fn stall_zero_without_misses() {
+        let m = CacheModel::default_64core();
+        let p = MemoryProfile::new(0.0, 0.5, 0.9);
+        assert_eq!(m.stall_cycles_per_inst(&p, 100.0), 0.0);
+    }
+
+    #[test]
+    fn local_only_traffic_is_zero() {
+        let m = CacheModel::default_64core();
+        let p = MemoryProfile::new(20.0, 0.0, 0.0);
+        assert_eq!(m.packets_per_inst(&p), 0.0);
+        // but stalls still pay the L2 latency
+        assert!(m.stall_cycles_per_inst(&p, 50.0) > 0.0);
+    }
+
+    #[test]
+    fn packets_per_inst_counts_request_and_reply() {
+        let m = CacheModel::default_64core();
+        let p = MemoryProfile::new(10.0, 0.0, 1.0);
+        // 0.01 misses/inst × 0.35 network-visible × 2 packets.
+        assert!((m.packets_per_inst(&p) - 0.007).abs() < 1e-12);
+    }
+
+    #[test]
+    fn line_flits_for_64b_lines() {
+        assert_eq!(CacheModel::default_64core().line_flits(), 17);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_miss_rate() {
+        let _ = MemoryProfile::new(1.0, 1.5, 0.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_negative_mpki() {
+        let _ = MemoryProfile::new(-1.0, 0.5, 0.5);
+    }
+
+    #[test]
+    fn stall_monotone_in_l2_miss_rate() {
+        let m = CacheModel::default_64core();
+        let lo = m.stall_cycles_per_inst(&MemoryProfile::new(10.0, 0.0, 0.5), 30.0);
+        let hi = m.stall_cycles_per_inst(&MemoryProfile::new(10.0, 0.3, 0.5), 30.0);
+        assert!(hi > lo);
+    }
+}

@@ -1,0 +1,118 @@
+//! Per-core clock domains.
+//!
+//! In a VFI-partitioned platform every island runs its own clock. The
+//! runtime model works in *reference cycles* (cycles of the fastest clock);
+//! [`ClockDomains`] converts work expressed in core cycles into wall-clock
+//! seconds given each core's frequency.
+
+/// Per-core clock frequencies.
+///
+/// # Examples
+///
+/// ```
+/// use mapwave_manycore::clock::ClockDomains;
+///
+/// let clocks = ClockDomains::new(vec![2.5, 1.5]);
+/// // 2.5e9 cycles at 2.5 GHz take one second...
+/// assert!((clocks.seconds_for_cycles(0, 2.5e9) - 1.0).abs() < 1e-9);
+/// // ...and take 2.5/1.5 times longer on the slow core.
+/// assert!(clocks.seconds_for_cycles(1, 2.5e9) > 1.6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClockDomains {
+    freq_ghz: Vec<f64>,
+}
+
+impl ClockDomains {
+    /// Creates domains from per-core frequencies in GHz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any frequency is not positive and finite.
+    pub fn new(freq_ghz: Vec<f64>) -> Self {
+        assert!(
+            freq_ghz.iter().all(|&f| f > 0.0 && f.is_finite()),
+            "frequencies must be positive"
+        );
+        ClockDomains { freq_ghz }
+    }
+
+    /// Uniform domains: every core at `freq_ghz`.
+    pub fn uniform(n: usize, freq_ghz: f64) -> Self {
+        ClockDomains::new(vec![freq_ghz; n])
+    }
+
+    /// Number of cores.
+    pub fn len(&self) -> usize {
+        self.freq_ghz.len()
+    }
+
+    /// Whether there are no cores.
+    pub fn is_empty(&self) -> bool {
+        self.freq_ghz.is_empty()
+    }
+
+    /// Frequency of `core` in GHz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn freq_ghz(&self, core: usize) -> f64 {
+        self.freq_ghz[core]
+    }
+
+    /// The fastest frequency present.
+    pub fn max_freq_ghz(&self) -> f64 {
+        self.freq_ghz.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Relative speed of `core` versus the fastest core.
+    pub fn speed_ratio(&self, core: usize) -> f64 {
+        self.freq_ghz[core] / self.max_freq_ghz()
+    }
+
+    /// Wall-clock seconds for `core` to execute `cycles` of its own clock.
+    pub fn seconds_for_cycles(&self, core: usize, cycles: f64) -> f64 {
+        cycles / (self.freq_ghz[core] * 1e9)
+    }
+
+    /// Cycles of `core`'s clock elapsed in `seconds`.
+    pub fn cycles_in_seconds(&self, core: usize, seconds: f64) -> f64 {
+        seconds * self.freq_ghz[core] * 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_speeds() {
+        let c = ClockDomains::uniform(4, 2.5);
+        assert_eq!(c.len(), 4);
+        for i in 0..4 {
+            assert!((c.speed_ratio(i) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn speed_ratio_relative_to_max() {
+        let c = ClockDomains::new(vec![2.5, 2.0, 1.5]);
+        assert!((c.speed_ratio(1) - 0.8).abs() < 1e-12);
+        assert!((c.speed_ratio(2) - 0.6).abs() < 1e-12);
+        assert!((c.max_freq_ghz() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roundtrip_cycles_seconds() {
+        let c = ClockDomains::new(vec![2.25]);
+        let s = c.seconds_for_cycles(0, 1e6);
+        assert!((c.cycles_in_seconds(0, s) - 1e6).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_frequency() {
+        let _ = ClockDomains::new(vec![2.5, 0.0]);
+    }
+}

@@ -1,0 +1,53 @@
+//! # mapwave-manycore
+//!
+//! The tiled-manycore platform substrate of the DAC'15 reproduction — the
+//! parts of a GEM5 full-system model that the study actually consumes:
+//!
+//! * [`platform`] — die geometry, tiles, S-NUCA home-slice interleaving;
+//! * [`cache`] — L1/L2 stall and coherence-traffic model fed by the
+//!   NoC-measured round-trip latency;
+//! * [`clock`] — per-core clock domains (the VFI frequencies);
+//! * [`mapping`] — thread-to-tile placement and profile transport;
+//! * [`memory`] — off-chip memory controllers and DRAM latency geometry;
+//! * [`event`] — the deterministic discrete-event queue driving the
+//!   MapReduce runtime model.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use mapwave_manycore::prelude::*;
+//!
+//! let platform = Platform::paper_64core();
+//! let cache = CacheModel::default_64core();
+//! let profile = MemoryProfile::new(15.0, 0.05, 0.9);
+//! // Stall per instruction once the NoC reports a 40-cycle round trip:
+//! let stall = cache.stall_cycles_per_inst(&profile, 40.0);
+//! assert!(stall > 0.0);
+//! assert_eq!(platform.len(), 64);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod clock;
+pub mod event;
+pub mod mapping;
+pub mod memory;
+pub mod platform;
+
+pub use cache::{CacheModel, MemoryProfile};
+pub use clock::ClockDomains;
+pub use event::EventQueue;
+pub use mapping::{MappingError, ThreadMapping};
+pub use memory::{ControllerLayout, MemorySystem};
+pub use platform::Platform;
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::cache::{CacheModel, MemoryProfile};
+    pub use crate::clock::ClockDomains;
+    pub use crate::event::EventQueue;
+    pub use crate::mapping::ThreadMapping;
+    pub use crate::platform::Platform;
+}

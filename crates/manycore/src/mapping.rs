@@ -1,0 +1,217 @@
+//! Thread-to-tile mapping.
+//!
+//! The VFI clustering of Section 4.1 groups *logical* threads; the physical
+//! islands are fixed die regions (the four quadrants). A [`ThreadMapping`]
+//! is the permutation placing each logical thread on a physical tile, and
+//! is what the thread-mapping optimisers of Section 6 search over. It also
+//! transports logical-space profiles (utilization vectors, traffic
+//! matrices) into physical tile space for the NoC and power simulations.
+
+use mapwave_noc::{NodeId, TrafficMatrix};
+use std::fmt;
+
+/// Errors from mapping construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MappingError {
+    /// The vector is not a permutation of `0..n`.
+    NotAPermutation,
+}
+
+impl fmt::Display for MappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappingError::NotAPermutation => {
+                write!(f, "mapping must be a permutation of 0..n")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MappingError {}
+
+/// A bijection from logical threads to physical tiles.
+///
+/// # Examples
+///
+/// ```
+/// use mapwave_manycore::mapping::ThreadMapping;
+/// use mapwave_noc::NodeId;
+///
+/// let m = ThreadMapping::from_permutation(vec![2, 0, 1])?;
+/// assert_eq!(m.tile_of(0), NodeId(2));
+/// assert_eq!(m.thread_at(NodeId(2)), 0);
+/// # Ok::<(), mapwave_manycore::mapping::MappingError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadMapping {
+    to_tile: Vec<usize>,
+    to_thread: Vec<usize>,
+}
+
+impl ThreadMapping {
+    /// The identity mapping: thread `i` on tile `i`.
+    pub fn identity(n: usize) -> Self {
+        ThreadMapping {
+            to_tile: (0..n).collect(),
+            to_thread: (0..n).collect(),
+        }
+    }
+
+    /// Builds a mapping from `to_tile[thread] = tile`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MappingError::NotAPermutation`] unless the vector is a
+    /// permutation of `0..n`.
+    pub fn from_permutation(to_tile: Vec<usize>) -> Result<Self, MappingError> {
+        let n = to_tile.len();
+        let mut to_thread = vec![usize::MAX; n];
+        for (thread, &tile) in to_tile.iter().enumerate() {
+            if tile >= n || to_thread[tile] != usize::MAX {
+                return Err(MappingError::NotAPermutation);
+            }
+            to_thread[tile] = thread;
+        }
+        Ok(ThreadMapping { to_tile, to_thread })
+    }
+
+    /// Number of threads/tiles.
+    pub fn len(&self) -> usize {
+        self.to_tile.len()
+    }
+
+    /// Whether the mapping is empty.
+    pub fn is_empty(&self) -> bool {
+        self.to_tile.is_empty()
+    }
+
+    /// Tile hosting `thread`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` is out of range.
+    pub fn tile_of(&self, thread: usize) -> NodeId {
+        NodeId(self.to_tile[thread])
+    }
+
+    /// Thread running on `tile`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile` is out of range.
+    pub fn thread_at(&self, tile: NodeId) -> usize {
+        self.to_thread[tile.index()]
+    }
+
+    /// Swaps the tiles of two threads (a thread-mapping optimiser move).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either thread is out of range.
+    pub fn swap_threads(&mut self, a: usize, b: usize) {
+        let (ta, tb) = (self.to_tile[a], self.to_tile[b]);
+        self.to_tile.swap(a, b);
+        self.to_thread.swap(ta, tb);
+    }
+
+    /// Transports a logical-thread traffic matrix into physical tile space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix size differs from the mapping size.
+    pub fn traffic_to_tiles(&self, logical: &TrafficMatrix) -> TrafficMatrix {
+        assert_eq!(logical.len(), self.len(), "traffic size mismatch");
+        let n = self.len();
+        let mut phys = TrafficMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    let r = logical.rate(NodeId(i), NodeId(j));
+                    if r > 0.0 {
+                        phys.set(self.tile_of(i), self.tile_of(j), r);
+                    }
+                }
+            }
+        }
+        phys
+    }
+
+    /// Transports per-thread values (utilization, speeds, domains…) into
+    /// per-tile values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length differs from the mapping size.
+    pub fn values_to_tiles<T: Copy>(&self, per_thread: &[T]) -> Vec<T> {
+        assert_eq!(per_thread.len(), self.len(), "value length mismatch");
+        (0..self.len())
+            .map(|tile| per_thread[self.thread_at(NodeId(tile))])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_roundtrip() {
+        let m = ThreadMapping::identity(5);
+        for i in 0..5 {
+            assert_eq!(m.tile_of(i), NodeId(i));
+            assert_eq!(m.thread_at(NodeId(i)), i);
+        }
+    }
+
+    #[test]
+    fn rejects_non_permutation() {
+        assert_eq!(
+            ThreadMapping::from_permutation(vec![0, 0, 1]),
+            Err(MappingError::NotAPermutation)
+        );
+        assert_eq!(
+            ThreadMapping::from_permutation(vec![0, 3]),
+            Err(MappingError::NotAPermutation)
+        );
+    }
+
+    #[test]
+    fn swap_threads_keeps_bijection() {
+        let mut m = ThreadMapping::identity(4);
+        m.swap_threads(1, 3);
+        assert_eq!(m.tile_of(1), NodeId(3));
+        assert_eq!(m.tile_of(3), NodeId(1));
+        assert_eq!(m.thread_at(NodeId(3)), 1);
+        assert_eq!(m.thread_at(NodeId(1)), 3);
+        // Others untouched.
+        assert_eq!(m.tile_of(0), NodeId(0));
+    }
+
+    #[test]
+    fn traffic_transport() {
+        let m = ThreadMapping::from_permutation(vec![1, 2, 0]).unwrap();
+        let mut logical = TrafficMatrix::zeros(3);
+        logical.set(NodeId(0), NodeId(2), 0.5);
+        let phys = m.traffic_to_tiles(&logical);
+        assert!((phys.rate(NodeId(1), NodeId(0)) - 0.5).abs() < 1e-12);
+        assert_eq!(phys.rate(NodeId(0), NodeId(2)), 0.0);
+    }
+
+    #[test]
+    fn values_transport() {
+        let m = ThreadMapping::from_permutation(vec![2, 0, 1]).unwrap();
+        // thread 0 -> tile 2, thread 1 -> tile 0, thread 2 -> tile 1
+        let v = m.values_to_tiles(&[10, 20, 30]);
+        assert_eq!(v, vec![20, 30, 10]);
+    }
+
+    #[test]
+    fn total_traffic_preserved() {
+        let m = ThreadMapping::from_permutation(vec![3, 1, 0, 2]).unwrap();
+        let mut logical = TrafficMatrix::zeros(4);
+        logical.set(NodeId(0), NodeId(1), 0.25);
+        logical.set(NodeId(2), NodeId(3), 0.75);
+        let phys = m.traffic_to_tiles(&logical);
+        assert!((phys.total_rate() - logical.total_rate()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,166 @@
+//! Off-chip memory controllers.
+//!
+//! L2 misses leave the chip through memory controllers on the die edge.
+//! The [`CacheModel`](crate::cache::CacheModel) folds their latency into a
+//! single average; this module supplies that average from an actual
+//! controller placement — the standard four-corner or four-edge-midpoint
+//! layouts — so the platform's DRAM latency is grounded in geometry
+//! rather than a free constant.
+
+use crate::platform::Platform;
+use mapwave_noc::NodeId;
+
+/// Placement of the off-chip memory controllers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControllerLayout {
+    /// One controller at each die corner.
+    Corners,
+    /// One controller at the midpoint of each die edge.
+    EdgeMidpoints,
+}
+
+/// The off-chip memory system: controller tiles and DRAM timing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemorySystem {
+    controllers: Vec<NodeId>,
+    /// DRAM access time once a request reaches a controller, in core
+    /// cycles at the reference clock.
+    pub dram_latency_cycles: f64,
+    /// Cycles per mesh hop for the controller-bound request/response trip
+    /// (used for the geometric average; the detailed NoC simulation covers
+    /// on-chip L2 traffic).
+    pub cycles_per_hop: f64,
+}
+
+impl MemorySystem {
+    /// Places controllers on `platform` with the given layout.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mapwave_manycore::memory::{ControllerLayout, MemorySystem};
+    /// use mapwave_manycore::platform::Platform;
+    ///
+    /// let mem = MemorySystem::new(&Platform::paper_64core(), ControllerLayout::Corners);
+    /// assert_eq!(mem.controllers().len(), 4);
+    /// ```
+    pub fn new(platform: &Platform, layout: ControllerLayout) -> Self {
+        let (cols, rows) = (platform.cols(), platform.rows());
+        let at = |c: usize, r: usize| NodeId(r * cols + c);
+        let controllers = match layout {
+            ControllerLayout::Corners => vec![
+                at(0, 0),
+                at(cols - 1, 0),
+                at(0, rows - 1),
+                at(cols - 1, rows - 1),
+            ],
+            ControllerLayout::EdgeMidpoints => vec![
+                at(cols / 2, 0),
+                at(0, rows / 2),
+                at(cols - 1, rows / 2),
+                at(cols / 2, rows - 1),
+            ],
+        };
+        MemorySystem {
+            controllers,
+            dram_latency_cycles: 120.0,
+            cycles_per_hop: 3.0,
+        }
+    }
+
+    /// The controller tiles.
+    pub fn controllers(&self) -> &[NodeId] {
+        &self.controllers
+    }
+
+    /// The controller closest (in mesh hops) to `tile`, ties to the lowest
+    /// id.
+    pub fn nearest_controller(&self, platform: &Platform, tile: NodeId) -> NodeId {
+        let (tc, tr) = platform.coords(tile);
+        *self
+            .controllers
+            .iter()
+            .min_by_key(|&&m| {
+                let (mc, mr) = platform.coords(m);
+                (tc.abs_diff(mc) + tr.abs_diff(mr), m.index())
+            })
+            .expect("layouts place at least one controller")
+    }
+
+    /// End-to-end memory latency for a miss from `tile`: the round trip to
+    /// its nearest controller plus the DRAM access, in reference cycles.
+    pub fn miss_latency_cycles(&self, platform: &Platform, tile: NodeId) -> f64 {
+        let m = self.nearest_controller(platform, tile);
+        let (tc, tr) = platform.coords(tile);
+        let (mc, mr) = platform.coords(m);
+        let hops = (tc.abs_diff(mc) + tr.abs_diff(mr)) as f64;
+        self.dram_latency_cycles + 2.0 * hops * self.cycles_per_hop
+    }
+
+    /// Die-wide average miss latency — the figure the
+    /// [`CacheModel`](crate::cache::CacheModel)'s `mem_latency_cycles`
+    /// should be calibrated to.
+    pub fn avg_miss_latency_cycles(&self, platform: &Platform) -> f64 {
+        let n = platform.len();
+        (0..n)
+            .map(|t| self.miss_latency_cycles(platform, NodeId(t)))
+            .sum::<f64>()
+            / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corners_layout_places_four() {
+        let p = Platform::paper_64core();
+        let mem = MemorySystem::new(&p, ControllerLayout::Corners);
+        assert_eq!(
+            mem.controllers(),
+            &[NodeId(0), NodeId(7), NodeId(56), NodeId(63)]
+        );
+    }
+
+    #[test]
+    fn nearest_controller_is_manhattan_nearest() {
+        let p = Platform::paper_64core();
+        let mem = MemorySystem::new(&p, ControllerLayout::Corners);
+        assert_eq!(mem.nearest_controller(&p, NodeId(0)), NodeId(0));
+        // Tile 62 (col 6, row 7) is closest to corner 63.
+        assert_eq!(mem.nearest_controller(&p, NodeId(62)), NodeId(63));
+        // The exact centre ties toward the lowest-id controller.
+        assert_eq!(mem.nearest_controller(&p, NodeId(27)), NodeId(0));
+    }
+
+    #[test]
+    fn corner_tiles_pay_only_dram() {
+        let p = Platform::paper_64core();
+        let mem = MemorySystem::new(&p, ControllerLayout::Corners);
+        assert!((mem.miss_latency_cycles(&p, NodeId(0)) - 120.0).abs() < 1e-12);
+        // Centre tiles pay the hop round trip on top.
+        assert!(mem.miss_latency_cycles(&p, NodeId(27)) > 120.0);
+    }
+
+    #[test]
+    fn edge_midpoints_lower_average_latency() {
+        let p = Platform::paper_64core();
+        let corners = MemorySystem::new(&p, ControllerLayout::Corners);
+        let edges = MemorySystem::new(&p, ControllerLayout::EdgeMidpoints);
+        assert!(
+            edges.avg_miss_latency_cycles(&p) < corners.avg_miss_latency_cycles(&p),
+            "edge midpoints cut the mean distance"
+        );
+    }
+
+    #[test]
+    fn average_is_near_the_cache_model_constant() {
+        // The CacheModel's default 150-cycle memory latency sits in the
+        // geometric band of both layouts.
+        let p = Platform::paper_64core();
+        let mem = MemorySystem::new(&p, ControllerLayout::Corners);
+        let avg = mem.avg_miss_latency_cycles(&p);
+        assert!((130.0..170.0).contains(&avg), "avg {avg}");
+    }
+}

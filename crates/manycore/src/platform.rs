@@ -1,0 +1,142 @@
+//! The tiled platform: die geometry, tiles, and address interleaving.
+
+use mapwave_noc::node::grid_positions;
+use mapwave_noc::topology::mesh::mesh;
+use mapwave_noc::{NodeId, Position, Topology};
+
+/// A `cols x rows` tiled die. Every tile holds one core, a private L1, one
+/// L2 slice (S-NUCA) and one NoC switch.
+///
+/// # Examples
+///
+/// ```
+/// use mapwave_manycore::platform::Platform;
+///
+/// let p = Platform::paper_64core();
+/// assert_eq!(p.len(), 64);
+/// assert_eq!(p.cols(), 8);
+/// let m = p.mesh_topology();
+/// assert!(m.is_connected());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platform {
+    cols: usize,
+    rows: usize,
+    tile_mm: f64,
+}
+
+impl Platform {
+    /// Creates a platform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension is zero or the pitch is not positive.
+    pub fn new(cols: usize, rows: usize, tile_mm: f64) -> Self {
+        assert!(cols > 0 && rows > 0, "platform dimensions must be nonzero");
+        assert!(
+            tile_mm > 0.0 && tile_mm.is_finite(),
+            "tile pitch must be positive"
+        );
+        Platform {
+            cols,
+            rows,
+            tile_mm,
+        }
+    }
+
+    /// The paper's 64-core die: 8×8 tiles at 2.5 mm pitch (20 mm die edge).
+    pub fn paper_64core() -> Self {
+        Platform::new(8, 8, 2.5)
+    }
+
+    /// Number of tiles.
+    pub fn len(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// Whether the platform has no tiles (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Grid columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Grid rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Tile pitch in millimetres.
+    pub fn tile_mm(&self) -> f64 {
+        self.tile_mm
+    }
+
+    /// Physical positions of all tiles (row-major).
+    pub fn positions(&self) -> Vec<Position> {
+        grid_positions(self.cols, self.rows, self.tile_mm)
+    }
+
+    /// `(col, row)` of a tile.
+    pub fn coords(&self, tile: NodeId) -> (usize, usize) {
+        (tile.index() % self.cols, tile.index() / self.cols)
+    }
+
+    /// The baseline mesh interconnect for this die.
+    pub fn mesh_topology(&self) -> Topology {
+        mesh(self.cols, self.rows, self.tile_mm)
+    }
+
+    /// Home tile of a cache block: low-order block-address interleaving
+    /// across all L2 slices, as in the paper's distributed 512 KB-per-tile
+    /// shared L2.
+    pub fn home_tile(&self, block_addr: u64) -> NodeId {
+        NodeId((block_addr % self.len() as u64) as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_platform_geometry() {
+        let p = Platform::paper_64core();
+        assert_eq!(p.len(), 64);
+        assert_eq!(p.positions().len(), 64);
+        assert_eq!(p.coords(NodeId(9)), (1, 1));
+        assert!((p.tile_mm() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn home_tiles_cover_all_slices() {
+        let p = Platform::new(4, 4, 1.0);
+        let mut seen = [false; 16];
+        for b in 0..64u64 {
+            seen[p.home_tile(b).index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn mesh_matches_dimensions() {
+        let p = Platform::new(3, 5, 2.0);
+        let m = p.mesh_topology();
+        assert_eq!(m.len(), 15);
+        assert!(m.is_connected());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_cols() {
+        let _ = Platform::new(0, 4, 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_pitch() {
+        let _ = Platform::new(2, 2, 0.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Network energy model.
+//!
+//! The paper obtains switch energy from synthesised 65-nm netlists
+//! (Synopsys Prime Power), wire energy from HSPICE runs over the laid-out
+//! wire lengths, and wireless transceiver energy from the mm-wave designs of
+//! Deb et al. \[8\]. Here the same accounting is done parametrically, with
+//! per-event energies calibrated to the 65-nm numbers those papers report:
+//!
+//! * a flit traversing a switch costs buffer write/read + arbitration +
+//!   crossbar energy, growing with the switch radix;
+//! * a flit traversing a wire costs energy proportional to the wire's
+//!   physical (rectilinear) length;
+//! * a flit transmitted over a mm-wave wireless channel costs a fixed
+//!   transceiver energy, independent of distance — which is exactly why
+//!   long-range shortcuts pay off energetically.
+
+/// Per-event network energy parameters. All energies in picojoules per flit.
+///
+/// # Examples
+///
+/// ```
+/// use mapwave_noc::energy::EnergyModel;
+///
+/// let m = EnergyModel::default_65nm();
+/// // A 10 mm wire costs more than a wireless transmission...
+/// assert!(m.wire_energy_pj(10.0) > m.wireless_energy_pj());
+/// // ...but a 2.5 mm neighbour hop costs much less.
+/// assert!(m.wire_energy_pj(2.5) < m.wireless_energy_pj());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyModel {
+    /// Radix-independent switch traversal energy (pJ/flit): buffering + control.
+    pub switch_base_pj: f64,
+    /// Additional switch energy per port of radix (pJ/flit): crossbar growth.
+    pub switch_per_port_pj: f64,
+    /// Wireline energy per millimetre (pJ/flit/mm).
+    pub wire_pj_per_mm: f64,
+    /// Wireless transceiver energy per flit (pJ), distance-independent.
+    pub wireless_pj: f64,
+}
+
+impl EnergyModel {
+    /// The 65-nm calibration used throughout the paper reproduction:
+    /// 32-bit flits, TSMC 65 nm switch synthesis, mm-wave transceivers at
+    /// ~2.3 pJ/bit \[8\].
+    pub fn default_65nm() -> Self {
+        EnergyModel {
+            switch_base_pj: 45.0,   // buffer write/read + arbitration
+            switch_per_port_pj: 3.0, // crossbar growth per port
+            wire_pj_per_mm: 14.4,   // 0.45 pJ/bit/mm * 32 bits
+            wireless_pj: 73.6,      // 2.3 pJ/bit * 32 bits
+        }
+    }
+
+    /// Energy for one flit to traverse a switch of the given radix
+    /// (port count including the local port).
+    pub fn switch_energy_pj(&self, radix: usize) -> f64 {
+        self.switch_base_pj + self.switch_per_port_pj * radix as f64
+    }
+
+    /// Energy for one flit to traverse a wire of `length_mm`.
+    pub fn wire_energy_pj(&self, length_mm: f64) -> f64 {
+        self.wire_pj_per_mm * length_mm
+    }
+
+    /// Energy for one flit over a wireless channel.
+    pub fn wireless_energy_pj(&self) -> f64 {
+        self.wireless_pj
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel::default_65nm()
+    }
+}
+
+/// Accumulated network energy, split by component.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Switch traversal energy (pJ).
+    pub switch_pj: f64,
+    /// Wireline energy (pJ).
+    pub wire_pj: f64,
+    /// Wireless transceiver energy (pJ).
+    pub wireless_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total network energy (pJ).
+    pub fn total_pj(&self) -> f64 {
+        self.switch_pj + self.wire_pj + self.wireless_pj
+    }
+
+    /// Adds another breakdown in place.
+    pub fn accumulate(&mut self, other: EnergyBreakdown) {
+        self.switch_pj += other.switch_pj;
+        self.wire_pj += other.wire_pj;
+        self.wireless_pj += other.wireless_pj;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switch_energy_grows_with_radix() {
+        let m = EnergyModel::default_65nm();
+        assert!(m.switch_energy_pj(7) > m.switch_energy_pj(4));
+    }
+
+    #[test]
+    fn wire_energy_linear_in_length() {
+        let m = EnergyModel::default_65nm();
+        let e1 = m.wire_energy_pj(1.0);
+        let e4 = m.wire_energy_pj(4.0);
+        assert!((e4 - 4.0 * e1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wireless_beats_long_wires_only() {
+        let m = EnergyModel::default_65nm();
+        // Crossover around 5.1 mm for the default calibration.
+        assert!(m.wire_energy_pj(2.5) < m.wireless_energy_pj());
+        assert!(m.wire_energy_pj(7.5) > m.wireless_energy_pj());
+    }
+
+    #[test]
+    fn breakdown_total_and_accumulate() {
+        let mut a = EnergyBreakdown {
+            switch_pj: 1.0,
+            wire_pj: 2.0,
+            wireless_pj: 3.0,
+        };
+        let b = EnergyBreakdown {
+            switch_pj: 0.5,
+            wire_pj: 0.5,
+            wireless_pj: 0.5,
+        };
+        a.accumulate(b);
+        assert!((a.total_pj() - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_is_65nm() {
+        assert_eq!(EnergyModel::default(), EnergyModel::default_65nm());
+    }
+}

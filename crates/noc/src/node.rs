@@ -1,0 +1,159 @@
+//! Node identifiers and on-die geometry.
+//!
+//! Every switch (and the tile attached to it) is identified by a [`NodeId`]
+//! and has a physical [`Position`] on the die. Positions are used to compute
+//! wireline link lengths (and therefore wire energy) and to reason about
+//! "physically far" nodes when placing wireless interfaces.
+
+use std::fmt;
+
+/// Index of a switch/tile in the network.
+///
+/// `NodeId` is a plain newtype over `usize`; it exists so that node indices
+/// cannot be confused with port numbers, cluster ids, or flit counts.
+///
+/// # Examples
+///
+/// ```
+/// use mapwave_noc::NodeId;
+///
+/// let n = NodeId(5);
+/// assert_eq!(n.index(), 5);
+/// assert_eq!(format!("{n}"), "n5");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// Returns the underlying index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(value: usize) -> Self {
+        NodeId(value)
+    }
+}
+
+/// Physical position of a tile centre on the die, in millimetres.
+///
+/// # Examples
+///
+/// ```
+/// use mapwave_noc::Position;
+///
+/// let a = Position::new(0.0, 0.0);
+/// let b = Position::new(3.0, 4.0);
+/// assert_eq!(a.manhattan(b), 7.0);
+/// assert!((a.euclidean(b) - 5.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Position {
+    /// Horizontal coordinate in mm.
+    pub x: f64,
+    /// Vertical coordinate in mm.
+    pub y: f64,
+}
+
+impl Position {
+    /// Creates a position from coordinates in millimetres.
+    pub fn new(x: f64, y: f64) -> Self {
+        Position { x, y }
+    }
+
+    /// Manhattan (rectilinear) distance to `other`, in mm.
+    ///
+    /// On-chip wires are routed rectilinearly, so wire lengths use this
+    /// metric.
+    pub fn manhattan(self, other: Position) -> f64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Euclidean (line-of-sight) distance to `other`, in mm.
+    ///
+    /// Millimetre-wave wireless propagation is line-of-sight, so wireless
+    /// reachability checks use this metric.
+    pub fn euclidean(self, other: Position) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// Lays tiles of a `cols x rows` grid on a die, returning one [`Position`]
+/// per node in row-major order.
+///
+/// `tile_mm` is the pitch between adjacent tile centres.
+///
+/// # Examples
+///
+/// ```
+/// use mapwave_noc::node::grid_positions;
+///
+/// let pos = grid_positions(8, 8, 2.5);
+/// assert_eq!(pos.len(), 64);
+/// // Adjacent tiles are one pitch apart.
+/// assert_eq!(pos[0].manhattan(pos[1]), 2.5);
+/// ```
+pub fn grid_positions(cols: usize, rows: usize, tile_mm: f64) -> Vec<Position> {
+    let mut out = Vec::with_capacity(cols * rows);
+    for r in 0..rows {
+        for c in 0..cols {
+            out.push(Position::new(c as f64 * tile_mm, r as f64 * tile_mm));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let n: NodeId = 7usize.into();
+        assert_eq!(n.index(), 7);
+        assert_eq!(n, NodeId(7));
+    }
+
+    #[test]
+    fn node_id_display_nonempty() {
+        assert_eq!(NodeId(0).to_string(), "n0");
+    }
+
+    #[test]
+    fn manhattan_is_symmetric() {
+        let a = Position::new(1.0, 2.0);
+        let b = Position::new(-3.0, 5.5);
+        assert_eq!(a.manhattan(b), b.manhattan(a));
+    }
+
+    #[test]
+    fn euclidean_le_manhattan() {
+        let a = Position::new(0.0, 0.0);
+        let b = Position::new(2.0, 3.0);
+        assert!(a.euclidean(b) <= a.manhattan(b));
+    }
+
+    #[test]
+    fn grid_positions_row_major() {
+        let pos = grid_positions(4, 2, 1.0);
+        assert_eq!(pos.len(), 8);
+        assert_eq!(pos[0], Position::new(0.0, 0.0));
+        assert_eq!(pos[3], Position::new(3.0, 0.0));
+        assert_eq!(pos[4], Position::new(0.0, 1.0));
+    }
+
+    #[test]
+    fn grid_positions_pitch() {
+        let pos = grid_positions(3, 3, 2.5);
+        assert!((pos[1].x - 2.5).abs() < 1e-12);
+        assert!((pos[3].y - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,681 @@
+//! Deterministic, deadlock-free routing tables.
+//!
+//! Two algorithms cover the paper's fabrics:
+//!
+//! * **XY dimension-order** for 2-D meshes (the NVFI / VFI mesh baselines) —
+//!   deadlock-free by the turn-model argument;
+//! * **up\*/down\*** for the irregular small-world WiNoC — a BFS spanning
+//!   tree orients every link, and routes never take an *up* link after a
+//!   *down* link, which makes the channel dependency graph acyclic.
+//!
+//! Wireless channels participate in up\*/down\* as *virtual hub* vertices:
+//! each channel becomes a vertex adjacent to all of its wireless interfaces,
+//! so a wireless transmission is the two-edge path `WI → hub → WI` (and is
+//! therefore charged 2 in the hop metric, reflecting the token/serialisation
+//! overhead of the shared medium — a wireless shortcut pays off exactly when
+//! it replaces ≥ 3 wired hops).
+//!
+//! Tables are *state-indexed*: a packet carries a [`Phase`] bit (whether it
+//! has taken a down link yet), and the next hop is a function of
+//! `(current switch, phase, destination)`. This keeps per-hop decisions
+//! legal without recomputing whole paths in the router.
+
+use crate::node::NodeId;
+use crate::topology::wireless::{ChannelId, WirelessOverlay};
+use crate::topology::Topology;
+use std::collections::VecDeque;
+
+/// Routing phase of a packet under up\*/down\*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Phase {
+    /// The packet has not yet taken a *down* link; both directions allowed.
+    #[default]
+    Up,
+    /// The packet has gone *down*; only further down links are allowed.
+    Down,
+}
+
+/// One routing step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Hop {
+    /// The packet is at its destination; eject to the local core.
+    Local,
+    /// Forward over the wire to this neighbouring switch.
+    Wire(NodeId),
+    /// Transmit on `channel` to the wireless interface at `to`.
+    Wireless {
+        /// Channel to transmit on.
+        channel: ChannelId,
+        /// Receiving wireless interface.
+        to: NodeId,
+    },
+}
+
+/// A table entry: the hop to take and the packet's phase after taking it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteEntry {
+    /// The hop to take.
+    pub hop: Hop,
+    /// Phase the packet carries after this hop.
+    pub next_phase: Phase,
+}
+
+/// Errors from routing-table construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RoutingError {
+    /// The topology (with wireless hubs) is not connected.
+    Disconnected,
+    /// The topology is empty.
+    Empty,
+}
+
+impl std::fmt::Display for RoutingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RoutingError::Disconnected => write!(f, "topology is not connected"),
+            RoutingError::Empty => write!(f, "topology has no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for RoutingError {}
+
+/// A complete deterministic routing function for one network.
+///
+/// # Examples
+///
+/// ```
+/// use mapwave_noc::routing::{RoutingTable, Hop, Phase};
+/// use mapwave_noc::topology::mesh::mesh;
+/// use mapwave_noc::NodeId;
+///
+/// let table = RoutingTable::xy(8, 8);
+/// // XY routes horizontally first: node 0 -> node 3 starts eastward.
+/// let entry = table.next_hop(NodeId(0), Phase::Up, NodeId(3));
+/// assert_eq!(entry.hop, Hop::Wire(NodeId(1)));
+/// # let _ = mesh(8, 8, 2.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RoutingTable {
+    n: usize,
+    /// `entries[(v * 2 + phase) * n + dest]`
+    entries: Vec<Option<RouteEntry>>,
+    /// `dist[(v * 2 + phase) * n + dest]` in hop-metric units (wireless = 2).
+    dist: Vec<u32>,
+}
+
+impl RoutingTable {
+    /// Number of switches covered by the table.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the table covers no switches.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    fn idx(&self, v: NodeId, phase: Phase, dest: NodeId) -> usize {
+        let p = match phase {
+            Phase::Up => 0,
+            Phase::Down => 1,
+        };
+        (v.index() * 2 + p) * self.n + dest.index()
+    }
+
+    /// The next hop for a packet at `v` in `phase` heading to `dest`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no legal route exists from this state — the simulator only
+    /// consults states that lie on precomputed legal routes, so this fires
+    /// only on misuse (e.g. fabricating a `Down` phase at an arbitrary node).
+    pub fn next_hop(&self, v: NodeId, phase: Phase, dest: NodeId) -> RouteEntry {
+        self.entries[self.idx(v, phase, dest)]
+            .unwrap_or_else(|| panic!("no route from {v} (phase {phase:?}) to {dest}"))
+    }
+
+    /// Hop-metric distance from `src` (fresh packet, phase Up) to `dest`.
+    /// Wireless traversals count 2; wire hops count 1.
+    pub fn distance(&self, src: NodeId, dest: NodeId) -> u32 {
+        self.dist[self.idx(src, Phase::Up, dest)]
+    }
+
+    /// The full hop sequence from `src` to `dest` (excluding the final
+    /// `Local` ejection).
+    pub fn path(&self, src: NodeId, dest: NodeId) -> Vec<Hop> {
+        let mut hops = Vec::new();
+        let mut at = src;
+        let mut phase = Phase::Up;
+        while at != dest {
+            let e = self.next_hop(at, phase, dest);
+            match e.hop {
+                Hop::Local => break,
+                Hop::Wire(w) => {
+                    hops.push(e.hop);
+                    at = w;
+                }
+                Hop::Wireless { to, .. } => {
+                    hops.push(e.hop);
+                    at = to;
+                }
+            }
+            phase = e.next_phase;
+            assert!(
+                hops.len() <= 4 * self.n + 8,
+                "routing loop detected {src}->{dest}"
+            );
+        }
+        hops
+    }
+
+    /// Number of wireless traversals on the `src → dest` route.
+    pub fn wireless_hops(&self, src: NodeId, dest: NodeId) -> usize {
+        self.path(src, dest)
+            .iter()
+            .filter(|h| matches!(h, Hop::Wireless { .. }))
+            .count()
+    }
+
+    /// Builds the XY dimension-order table for a `cols x rows` mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols == 0 || rows == 0`.
+    pub fn xy(cols: usize, rows: usize) -> Self {
+        assert!(cols > 0 && rows > 0, "mesh dimensions must be nonzero");
+        let n = cols * rows;
+        let mut entries = vec![None; n * 2 * n];
+        let mut dist = vec![0u32; n * 2 * n];
+        let mut table = RoutingTable { n, entries: Vec::new(), dist: Vec::new() };
+        for v in 0..n {
+            let (vc, vr) = (v % cols, v / cols);
+            for d in 0..n {
+                let (dc, dr) = (d % cols, d / cols);
+                let hop = if v == d {
+                    Hop::Local
+                } else if vc < dc {
+                    Hop::Wire(NodeId(v + 1))
+                } else if vc > dc {
+                    Hop::Wire(NodeId(v - 1))
+                } else if vr < dr {
+                    Hop::Wire(NodeId(v + cols))
+                } else {
+                    Hop::Wire(NodeId(v - cols))
+                };
+                let h = (vc.abs_diff(dc) + vr.abs_diff(dr)) as u32;
+                for p in 0..2 {
+                    entries[(v * 2 + p) * n + d] = Some(RouteEntry {
+                        hop,
+                        next_phase: Phase::Up,
+                    });
+                    dist[(v * 2 + p) * n + d] = h;
+                }
+            }
+        }
+        table.entries = entries;
+        table.dist = dist;
+        table
+    }
+
+    /// Builds an up\*/down\* table for an arbitrary connected topology with
+    /// an optional wireless overlay.
+    ///
+    /// The spanning tree is rooted at the highest-degree switch (ties: lowest
+    /// id). Shortest legal routes are computed on the phase-expanded graph;
+    /// ties prefer wired hops, then lower node ids, keeping the table
+    /// deterministic.
+    ///
+    /// # Errors
+    ///
+    /// [`RoutingError::Disconnected`] if some pair has no legal route (an
+    /// up\*/down\* route exists between every pair whenever the graph is
+    /// connected, because root-via paths are always legal);
+    /// [`RoutingError::Empty`] for an empty topology.
+    pub fn up_down(
+        topo: &Topology,
+        overlay: &WirelessOverlay,
+    ) -> Result<Self, RoutingError> {
+        Self::up_down_weighted(topo, overlay, 1)
+    }
+
+    /// [`RoutingTable::up_down`] with an explicit hub-edge weight: a
+    /// wireless traversal costs `2 * hub_edge_weight` in the distance
+    /// metric, so raising the weight reserves the scarce shared channels
+    /// for routes that replace many wired hops. The default (weight 1,
+    /// wireless hop = 2) uses wireless aggressively; the WiNoC platform
+    /// uses weight 2 (wireless hop = 4), reflecting the channel's lower
+    /// bandwidth and token-access latency relative to point-to-point wires.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RoutingTable::up_down`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hub_edge_weight == 0`.
+    pub fn up_down_weighted(
+        topo: &Topology,
+        overlay: &WirelessOverlay,
+        hub_edge_weight: u32,
+    ) -> Result<Self, RoutingError> {
+        assert!(hub_edge_weight > 0, "hub edge weight must be nonzero");
+        let n = topo.len();
+        if n == 0 {
+            return Err(RoutingError::Empty);
+        }
+        let hubs = overlay.channel_count();
+        let total = n + hubs; // switches then hub vertices
+
+        // Extended adjacency.
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); total];
+        for v in topo.nodes() {
+            adj[v.index()] = topo.neighbors(v).iter().map(|w| w.index()).collect();
+        }
+        for wi in overlay.interfaces() {
+            let hub = n + wi.channel.index();
+            adj[wi.node.index()].push(hub);
+            adj[hub].push(wi.node.index());
+        }
+        for a in &mut adj {
+            a.sort_unstable();
+        }
+
+        // BFS levels from the root for the up/down orientation. The root
+        // must be a high-degree switch: every "crossing" route climbs
+        // toward the root, so the root's port count bounds the bandwidth of
+        // the tree's upper cut.
+        let root = (0..n)
+            .max_by_key(|&v| (adj[v].len(), usize::MAX - v))
+            .expect("n > 0");
+        let mut level = vec![usize::MAX; total];
+        level[root] = 0;
+        let mut queue = VecDeque::from([root]);
+        while let Some(v) = queue.pop_front() {
+            for &w in &adj[v] {
+                if level[w] == usize::MAX {
+                    level[w] = level[v] + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        if level.contains(&usize::MAX) {
+            return Err(RoutingError::Disconnected);
+        }
+
+        // Edge direction: going v -> w is "up" iff (level[w], w) < (level[v], v).
+        let is_up = |v: usize, w: usize| (level[w], w) < (level[v], v);
+
+        // Per-destination reverse Dijkstra over the phase-expanded graph.
+        // State id: vertex * 2 + phase (phase 0 = Up, 1 = Down).
+        // Wire edges weigh 1; hub (wireless) edges weigh `hub_edge_weight`.
+        let state = |v: usize, p: usize| v * 2 + p;
+        let edge_w = |a: usize, b: usize| -> u32 {
+            if a >= n || b >= n {
+                hub_edge_weight
+            } else {
+                1
+            }
+        };
+        let mut entries = vec![None; n * 2 * n];
+        let mut dist_out = vec![u32::MAX; n * 2 * n];
+
+        // Forward transitions: (v, p) -> (w, q) legal?
+        //   p == Up:  up edge -> (w, Up); down edge -> (w, Down)
+        //   p == Down: down edge only -> (w, Down)
+        // The reverse search needs predecessors of (w, q):
+        //   (w, Up)  <- (v, Up) where v->w is up
+        //   (w, Down)<- (v, Up) or (v, Down) where v->w is down
+        for d in 0..n {
+            let mut dist = vec![u32::MAX; total * 2];
+            let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u32, usize)>> =
+                std::collections::BinaryHeap::new();
+            for p in 0..2 {
+                dist[state(d, p)] = 0;
+                heap.push(std::cmp::Reverse((0, state(d, p))));
+            }
+            while let Some(std::cmp::Reverse((c, s))) = heap.pop() {
+                if c > dist[s] {
+                    continue;
+                }
+                let (w, q) = (s / 2, s % 2);
+                for &v in &adj[w] {
+                    let up = is_up(v, w);
+                    // Which predecessor states may step v -> w into phase q?
+                    let preds: &[usize] = if up {
+                        if q == 0 { &[0] } else { &[] }
+                    } else if q == 1 {
+                        &[0, 1]
+                    } else {
+                        &[]
+                    };
+                    let nc = c + edge_w(v, w);
+                    for &pp in preds {
+                        let ps = state(v, pp);
+                        if nc < dist[ps] {
+                            dist[ps] = nc;
+                            heap.push(std::cmp::Reverse((nc, ps)));
+                        }
+                    }
+                }
+            }
+
+            // Fill table entries for destination d.
+            for v in 0..n {
+                for p in 0..2 {
+                    let out = (v * 2 + p) * n + d;
+                    if v == d {
+                        entries[out] = Some(RouteEntry {
+                            hop: Hop::Local,
+                            next_phase: if p == 0 { Phase::Up } else { Phase::Down },
+                        });
+                        dist_out[out] = 0;
+                        continue;
+                    }
+                    let my = dist[state(v, p)];
+                    if my == u32::MAX {
+                        continue; // unreachable state; never consulted
+                    }
+                    dist_out[out] = my;
+                    // Collect every legal equal-cost next state and pick one
+                    // by a deterministic hash of (v, d): equal-cost path
+                    // diversity spreads load across the up*/down* DAG
+                    // instead of funnelling all flows through the same
+                    // lowest-id links.
+                    let mut candidates: Vec<(bool, usize, usize)> = Vec::new();
+                    for &w in &adj[v] {
+                        let up = is_up(v, w);
+                        let q = if p == 1 {
+                            if up {
+                                continue;
+                            }
+                            1
+                        } else if up {
+                            0
+                        } else {
+                            1
+                        };
+                        if dist[state(w, q)].saturating_add(edge_w(v, w)) == my {
+                            candidates.push((w >= n, w, q));
+                        }
+                    }
+                    candidates.sort_unstable();
+                    assert!(
+                        !candidates.is_empty(),
+                        "finite distance implies a next state"
+                    );
+                    // Wired candidates sort first, so the shared wireless
+                    // channels are taken only when no equal-cost wire
+                    // exists; ties then break toward the lowest vertex id,
+                    // keeping the table deterministic.
+                    let (is_hub, w, q) = candidates[0];
+                    if !is_hub {
+                        entries[out] = Some(RouteEntry {
+                            hop: Hop::Wire(NodeId(w)),
+                            next_phase: if q == 0 { Phase::Up } else { Phase::Down },
+                        });
+                    } else {
+                        // Resolve through the hub to the receiving WI.
+                        let hub = w;
+                        let mut best_wi: Option<(usize, usize)> = None;
+                        for &u in &adj[hub] {
+                            if u == v {
+                                continue;
+                            }
+                            let up2 = is_up(hub, u);
+                            let q2 = if q == 1 {
+                                if up2 {
+                                    continue;
+                                }
+                                1
+                            } else if up2 {
+                                0
+                            } else {
+                                1
+                            };
+                            if dist[state(u, q2)] == my.saturating_sub(2 * hub_edge_weight)
+                                && best_wi.is_none_or(|(bu, bq)| (u, q2) < (bu, bq)) {
+                                    best_wi = Some((u, q2));
+                                }
+                        }
+                        let (u, q2) = best_wi.expect("hub on shortest path has an exit WI");
+                        entries[out] = Some(RouteEntry {
+                            hop: Hop::Wireless {
+                                channel: ChannelId(hub - n),
+                                to: NodeId(u),
+                            },
+                            next_phase: if q2 == 0 { Phase::Up } else { Phase::Down },
+                        });
+                    }
+                }
+            }
+        }
+
+        // A connected graph always admits legal routes from phase Up.
+        for v in 0..n {
+            for d in 0..n {
+                if entries[(v * 2) * n + d].is_none() {
+                    return Err(RoutingError::Disconnected);
+                }
+            }
+        }
+
+        Ok(RoutingTable {
+            n,
+            entries,
+            dist: dist_out,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::mesh::mesh;
+    use crate::topology::small_world::SmallWorldBuilder;
+    use crate::topology::wireless::{WirelessInterface, WirelessOverlay};
+    use crate::node::grid_positions;
+
+    #[test]
+    fn xy_routes_reach_destination() {
+        let t = RoutingTable::xy(4, 4);
+        for s in 0..16 {
+            for d in 0..16 {
+                let path = t.path(NodeId(s), NodeId(d));
+                let mut at = NodeId(s);
+                for hop in &path {
+                    match hop {
+                        Hop::Wire(w) => at = *w,
+                        _ => panic!("mesh path must be wired"),
+                    }
+                }
+                assert_eq!(at, NodeId(d));
+                assert_eq!(path.len() as u32, t.distance(NodeId(s), NodeId(d)));
+            }
+        }
+    }
+
+    #[test]
+    fn xy_distance_is_manhattan() {
+        let t = RoutingTable::xy(8, 8);
+        assert_eq!(t.distance(NodeId(0), NodeId(63)), 14);
+        assert_eq!(t.distance(NodeId(0), NodeId(7)), 7);
+        assert_eq!(t.distance(NodeId(9), NodeId(9)), 0);
+    }
+
+    #[test]
+    fn xy_goes_horizontal_first() {
+        let t = RoutingTable::xy(4, 4);
+        // 0 -> 15: east, east, east, then south.
+        let path = t.path(NodeId(0), NodeId(15));
+        assert_eq!(path[0], Hop::Wire(NodeId(1)));
+        assert_eq!(path[2], Hop::Wire(NodeId(3)));
+        assert_eq!(path[3], Hop::Wire(NodeId(7)));
+    }
+
+    #[test]
+    fn up_down_on_mesh_reaches_everything() {
+        let m = mesh(4, 4, 1.0);
+        let t = RoutingTable::up_down(&m, &WirelessOverlay::none()).unwrap();
+        for s in 0..16 {
+            for d in 0..16 {
+                let path = t.path(NodeId(s), NodeId(d));
+                let mut at = NodeId(s);
+                for hop in &path {
+                    if let Hop::Wire(w) = hop {
+                        assert!(m.has_link(at, *w), "nonexistent link used");
+                        at = *w;
+                    }
+                }
+                assert_eq!(at, NodeId(d));
+            }
+        }
+    }
+
+    #[test]
+    fn up_down_never_up_after_down() {
+        // Structural check: follow every path and verify phase monotonicity
+        // is respected by the entries themselves (Down states only produce
+        // Down next-phases).
+        let m = mesh(5, 5, 1.0);
+        let t = RoutingTable::up_down(&m, &WirelessOverlay::none()).unwrap();
+        for v in 0..25 {
+            for d in 0..25 {
+                if v == d {
+                    continue;
+                }
+                if t.dist[(v * 2 + 1) * 25 + d] != u32::MAX {
+                    let e = t.next_hop(NodeId(v), Phase::Down, NodeId(d));
+                    assert_eq!(e.next_phase, Phase::Down);
+                }
+            }
+        }
+    }
+
+    fn quadrant_clusters() -> Vec<usize> {
+        (0..64).map(|i| (i % 8) / 4 + 2 * ((i / 8) / 4)).collect()
+    }
+
+    fn paper_overlay() -> WirelessOverlay {
+        // One WI per channel per quadrant, near quadrant centres.
+        let nodes = [
+            (9, 0), (18, 1), (27, 2), // cluster 0
+            (13, 0), (22, 1), (31, 2), // cluster 1
+            (41, 0), (50, 1), (33, 2), // cluster 2
+            (45, 0), (54, 1), (37, 2), // cluster 3
+        ];
+        WirelessOverlay::new(
+            nodes
+                .iter()
+                .map(|&(n, c)| WirelessInterface {
+                    node: NodeId(n),
+                    channel: ChannelId(c),
+                })
+                .collect(),
+            3,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn up_down_with_wireless_reaches_everything() {
+        let topo = SmallWorldBuilder::new(grid_positions(8, 8, 2.5), quadrant_clusters())
+            .seed(3)
+            .build()
+            .unwrap();
+        let overlay = paper_overlay();
+        let t = RoutingTable::up_down(&topo, &overlay).unwrap();
+        let mut wireless_used = 0usize;
+        for s in 0..64 {
+            for d in 0..64 {
+                let path = t.path(NodeId(s), NodeId(d));
+                let mut at = NodeId(s);
+                for hop in &path {
+                    match hop {
+                        Hop::Wire(w) => {
+                            assert!(topo.has_link(at, *w));
+                            at = *w;
+                        }
+                        Hop::Wireless { channel, to } => {
+                            assert_eq!(overlay.wireless_hop(at, *to), Some(*channel));
+                            at = *to;
+                            wireless_used += 1;
+                        }
+                        Hop::Local => unreachable!(),
+                    }
+                }
+                assert_eq!(at, NodeId(d));
+            }
+        }
+        assert!(wireless_used > 0, "wireless shortcuts should be used");
+    }
+
+    #[test]
+    fn wireless_shortcut_shortens_long_paths() {
+        // A long line of 30 nodes with WIs at both ends: the wireless hop
+        // (cost 2) must beat the 29-hop wire path.
+        let mut topo = Topology::new(
+            (0..30)
+                .map(|i| crate::node::Position::new(i as f64, 0.0))
+                .collect(),
+            crate::topology::TopologyKind::Custom,
+        );
+        for i in 0..29 {
+            topo.add_link(NodeId(i), NodeId(i + 1)).unwrap();
+        }
+        let overlay = WirelessOverlay::new(
+            vec![
+                WirelessInterface { node: NodeId(0), channel: ChannelId(0) },
+                WirelessInterface { node: NodeId(29), channel: ChannelId(0) },
+            ],
+            1,
+        )
+        .unwrap();
+        let t = RoutingTable::up_down(&topo, &overlay).unwrap();
+        assert_eq!(t.distance(NodeId(0), NodeId(29)), 2);
+        assert_eq!(t.wireless_hops(NodeId(0), NodeId(29)), 1);
+    }
+
+    #[test]
+    fn disconnected_topology_rejected() {
+        let topo = Topology::new(
+            vec![
+                crate::node::Position::new(0.0, 0.0),
+                crate::node::Position::new(1.0, 0.0),
+            ],
+            crate::topology::TopologyKind::Custom,
+        );
+        assert_eq!(
+            RoutingTable::up_down(&topo, &WirelessOverlay::none()),
+            Err(RoutingError::Disconnected)
+        );
+    }
+
+    impl PartialEq for RoutingTable {
+        fn eq(&self, other: &Self) -> bool {
+            self.n == other.n && self.entries == other.entries
+        }
+    }
+
+    #[test]
+    fn empty_topology_rejected() {
+        let topo = Topology::new(vec![], crate::topology::TopologyKind::Custom);
+        assert_eq!(
+            RoutingTable::up_down(&topo, &WirelessOverlay::none()).unwrap_err(),
+            RoutingError::Empty
+        );
+    }
+
+    #[test]
+    fn single_node_routes_locally() {
+        let topo = Topology::new(
+            vec![crate::node::Position::new(0.0, 0.0)],
+            crate::topology::TopologyKind::Custom,
+        );
+        let t = RoutingTable::up_down(&topo, &WirelessOverlay::none()).unwrap();
+        assert_eq!(
+            t.next_hop(NodeId(0), Phase::Up, NodeId(0)).hop,
+            Hop::Local
+        );
+    }
+}

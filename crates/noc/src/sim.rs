@@ -1,0 +1,1140 @@
+//! Cycle-accurate network simulation.
+//!
+//! [`NetworkSim`] advances a wormhole-switched network cycle by cycle:
+//! flits are injected by a Bernoulli process driven by a
+//! [`crate::traffic::TrafficMatrix`] sampling, traverse input-buffered
+//! switches under round-robin arbitration with credit-based flow control,
+//! optionally hop across token-arbitrated wireless channels, and are ejected
+//! at their destinations, accumulating latency and energy statistics.
+//!
+//! ## Clocking and VFI
+//!
+//! Each switch belongs to a clock domain and runs at a relative speed in
+//! `(0, 1]` of the fastest domain; a switch only operates on cycles its
+//! fractional clock accumulator fires. Flits crossing clock-domain
+//! boundaries pay a mixed-clock FIFO synchronisation penalty. This models
+//! the VFI-partitioned NoC of the paper, where each island's switches are
+//! clocked at the island's frequency.
+
+use crate::energy::EnergyModel;
+use crate::flit::{flits_of, Flit, PacketId};
+use crate::mac::{macs_for, ChannelMac};
+use crate::node::NodeId;
+use crate::routing::{Hop, Phase, RoutingTable};
+use crate::stats::NetworkStats;
+use crate::switch::{OutRoute, Owner, PortMap, SwitchState, PORT_LOCAL};
+use crate::topology::wireless::WirelessOverlay;
+use crate::topology::Topology;
+use crate::traffic::{Injector, TrafficMatrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+
+/// Tunable microarchitecture parameters of the simulated network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Input FIFO depth of ordinary ports, in flits (paper: 2).
+    pub buffer_depth: usize,
+    /// Input FIFO depth of wireless-interface ports, in flits (paper: 8).
+    pub wi_buffer_depth: usize,
+    /// Flits per packet.
+    pub packet_len: usize,
+    /// Extra cycles a flit pays when crossing clock-domain boundaries
+    /// (mixed-clock FIFO synchronisation).
+    pub sync_penalty: u64,
+    /// Router pipeline depth: extra cycles a flit spends in each switch
+    /// (buffer write, route compute, VC/switch allocation) beyond the
+    /// single traversal cycle.
+    pub router_delay: u64,
+    /// Virtual channels per port. With 1 VC the router is the paper's
+    /// plain wormhole switch; with ≥ 2, VC 0 is a deadlock-free *escape*
+    /// channel following the routing table and the upper VCs are available
+    /// for adaptive traffic (see [`SimConfig::adaptive`]).
+    pub vcs: usize,
+    /// Duato-style minimal adaptive routing (an extension beyond the
+    /// paper's router): head flits on the upper VCs may take any wired
+    /// neighbour that strictly reduces the hop distance, falling back to
+    /// the escape VC (table-routed, deadlock-free) whenever the adaptive
+    /// channels are blocked. Escape packets never return to the adaptive
+    /// VCs — the conservative sufficient condition for deadlock freedom.
+    /// Requires `vcs >= 2`.
+    pub adaptive: bool,
+    /// RNG seed for the injection process.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            buffer_depth: 2,
+            wi_buffer_depth: 8,
+            packet_len: 4,
+            sync_penalty: 1,
+            router_delay: 2,
+            vcs: 1,
+            adaptive: false,
+            seed: 0,
+        }
+    }
+}
+
+/// Errors from [`NetworkSim::new`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// Routing table size doesn't match the topology.
+    TableSizeMismatch {
+        /// Nodes in the topology.
+        topology: usize,
+        /// Nodes covered by the table.
+        table: usize,
+    },
+    /// Per-switch speed vector has the wrong length or invalid values.
+    InvalidSpeeds,
+    /// Clock-domain vector has the wrong length.
+    InvalidDomains,
+    /// Buffer depths, packet length or VC count of zero, or adaptive
+    /// routing without at least two VCs.
+    InvalidConfig,
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::TableSizeMismatch { topology, table } => write!(
+                f,
+                "routing table covers {table} nodes but topology has {topology}"
+            ),
+            SimError::InvalidSpeeds => {
+                write!(f, "switch speeds must have one entry in (0,1] per node")
+            }
+            SimError::InvalidDomains => {
+                write!(f, "clock domains must have one entry per node")
+            }
+            SimError::InvalidConfig => {
+                write!(f, "buffer depths and packet length must be nonzero")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A cycle-accurate simulator instance for one network configuration.
+///
+/// # Examples
+///
+/// ```
+/// use mapwave_noc::sim::{NetworkSim, SimConfig};
+/// use mapwave_noc::routing::RoutingTable;
+/// use mapwave_noc::topology::mesh::mesh;
+/// use mapwave_noc::topology::wireless::WirelessOverlay;
+/// use mapwave_noc::traffic::TrafficMatrix;
+/// use mapwave_noc::energy::EnergyModel;
+///
+/// let topo = mesh(4, 4, 2.5);
+/// let table = RoutingTable::xy(4, 4);
+/// let mut sim = NetworkSim::new(
+///     topo,
+///     WirelessOverlay::none(),
+///     table,
+///     EnergyModel::default_65nm(),
+///     SimConfig::default(),
+/// )?;
+/// let traffic = TrafficMatrix::uniform(16, 0.02);
+/// let stats = sim.run(&traffic, 500, 2000, 5000);
+/// assert!(stats.packets_delivered > 0);
+/// assert!(stats.avg_latency() > 0.0);
+/// # Ok::<(), mapwave_noc::sim::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetworkSim {
+    topo: Topology,
+    overlay: WirelessOverlay,
+    table: RoutingTable,
+    ports: PortMap,
+    energy_model: EnergyModel,
+    cfg: SimConfig,
+    speeds: Vec<f64>,
+    domains: Vec<usize>,
+
+    switches: Vec<SwitchState>,
+    macs: Vec<ChannelMac>,
+    src_q: Vec<VecDeque<Flit>>,
+    now: u64,
+    next_packet: u64,
+    measure_start: u64,
+    measure_end: u64,
+    injected_measured: u64,
+    delivered_measured: u64,
+    stats: NetworkStats,
+    /// Measured flits per directed wire link (`from * n + to`).
+    link_flits: Vec<u64>,
+    /// All-pairs wireline hop distances (adaptive routing only).
+    hop_dist: Vec<Vec<usize>>,
+}
+
+impl NetworkSim {
+    /// Creates a simulator over `topo` with uniform full-speed clocks.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`].
+    pub fn new(
+        topo: Topology,
+        overlay: WirelessOverlay,
+        table: RoutingTable,
+        energy_model: EnergyModel,
+        cfg: SimConfig,
+    ) -> Result<Self, SimError> {
+        let n = topo.len();
+        Self::with_clocks(topo, overlay, table, energy_model, cfg, vec![1.0; n], vec![0; n])
+    }
+
+    /// Creates a simulator with per-switch clock speeds (relative to the
+    /// fastest domain, in `(0, 1]`) and clock-domain labels (flits crossing
+    /// domains pay [`SimConfig::sync_penalty`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`].
+    pub fn with_clocks(
+        topo: Topology,
+        overlay: WirelessOverlay,
+        table: RoutingTable,
+        energy_model: EnergyModel,
+        cfg: SimConfig,
+        speeds: Vec<f64>,
+        domains: Vec<usize>,
+    ) -> Result<Self, SimError> {
+        let n = topo.len();
+        if table.len() != n {
+            return Err(SimError::TableSizeMismatch {
+                topology: n,
+                table: table.len(),
+            });
+        }
+        if speeds.len() != n || speeds.iter().any(|&s| !(s > 0.0 && s <= 1.0)) {
+            return Err(SimError::InvalidSpeeds);
+        }
+        if domains.len() != n {
+            return Err(SimError::InvalidDomains);
+        }
+        if cfg.buffer_depth == 0
+            || cfg.wi_buffer_depth == 0
+            || cfg.packet_len == 0
+            || cfg.vcs == 0
+            || (cfg.adaptive && cfg.vcs < 2)
+        {
+            return Err(SimError::InvalidConfig);
+        }
+        let ports = PortMap::new(&topo, &overlay);
+        let switches = (0..n)
+            .map(|v| {
+                let v = NodeId(v);
+                let count = ports.port_count(v);
+                let caps = (0..count)
+                    .map(|p| {
+                        if Some(p) == ports.wireless_port(v) {
+                            cfg.wi_buffer_depth
+                        } else {
+                            cfg.buffer_depth
+                        }
+                    })
+                    .collect();
+                SwitchState::new(caps, cfg.vcs)
+            })
+            .collect();
+        let macs = macs_for(&overlay);
+        let hop_dist = if cfg.adaptive {
+            topo.hop_counts()
+        } else {
+            Vec::new()
+        };
+        Ok(NetworkSim {
+            link_flits: vec![0; n * n],
+            hop_dist,
+            src_q: vec![VecDeque::new(); n],
+            switches,
+            macs,
+            topo,
+            overlay,
+            table,
+            ports,
+            energy_model,
+            cfg,
+            speeds,
+            domains,
+            now: 0,
+            next_packet: 0,
+            measure_start: 0,
+            measure_end: u64::MAX,
+            injected_measured: 0,
+            delivered_measured: 0,
+            stats: NetworkStats::default(),
+        })
+    }
+
+    /// The topology being simulated.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The routing table in use.
+    pub fn routing(&self) -> &RoutingTable {
+        &self.table
+    }
+
+    fn reset(&mut self) {
+        for s in &mut self.switches {
+            for port in &mut s.in_buf {
+                for vc in port {
+                    vc.clear();
+                }
+            }
+            for port in &mut s.in_route {
+                port.iter_mut().for_each(|r| *r = None);
+            }
+            for port in &mut s.out_owner {
+                port.iter_mut().for_each(|o| *o = None);
+            }
+            s.rr_next = 0;
+            s.clock_acc = 0.0;
+        }
+        self.macs = macs_for(&self.overlay);
+        for q in &mut self.src_q {
+            q.clear();
+        }
+        self.now = 0;
+        self.next_packet = 0;
+        self.injected_measured = 0;
+        self.delivered_measured = 0;
+        self.stats = NetworkStats::default();
+        self.link_flits.iter_mut().for_each(|c| *c = 0);
+    }
+
+    /// Runs `warmup` cycles, then `measure` cycles of measured injection,
+    /// then drains in-flight measured packets for up to `drain_limit`
+    /// cycles, and returns the statistics of the measurement window.
+    ///
+    /// The simulator state is reset first, so a `NetworkSim` can be reused
+    /// across traffic patterns.
+    pub fn run(
+        &mut self,
+        traffic: &TrafficMatrix,
+        warmup: u64,
+        measure: u64,
+        drain_limit: u64,
+    ) -> NetworkStats {
+        self.reset();
+        self.measure_start = warmup;
+        self.measure_end = warmup + measure;
+        let injector = Injector::new(traffic);
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+
+        for _ in 0..warmup + measure {
+            self.step(Some((&injector, &mut rng)));
+        }
+        let mut drained = 0u64;
+        while drained < drain_limit && self.delivered_measured < self.injected_measured {
+            self.step(None);
+            drained += 1;
+        }
+        self.stats.cycles = measure;
+        self.stats.packets_injected = self.injected_measured;
+        self.stats.in_flight_at_end = self.injected_measured - self.delivered_measured;
+        let n = self.topo.len();
+        self.stats.link_loads = (0..n * n)
+            .filter(|&idx| self.link_flits[idx] > 0)
+            .map(|idx| crate::stats::LinkLoad {
+                from: NodeId(idx / n),
+                to: NodeId(idx % n),
+                flits: self.link_flits[idx],
+            })
+            .collect();
+        self.stats.clone()
+    }
+
+    /// Whether a flit (packet) is inside the measurement window.
+    fn measured(&self, f: &Flit) -> bool {
+        f.created >= self.measure_start && f.created < self.measure_end
+    }
+
+    /// One global clock cycle.
+    fn step(&mut self, mut inject: Option<(&Injector, &mut StdRng)>) {
+        let n = self.topo.len();
+
+        // 1. Packet generation into source queues.
+        if let Some((injector, rng)) = inject.as_mut() {
+            for s in 0..n {
+                if let Some(d) = injector.sample(NodeId(s), rng) {
+                    if d.index() != s {
+                        let id = PacketId(self.next_packet);
+                        self.next_packet += 1;
+                        let flits =
+                            flits_of(id, NodeId(s), d, self.cfg.packet_len, self.now);
+                        if self.now >= self.measure_start && self.now < self.measure_end {
+                            self.injected_measured += 1;
+                        }
+                        self.src_q[s].extend(flits);
+                    }
+                }
+            }
+        }
+
+        // 2. Move one flit per node from the source queue into the local
+        //    input port. New packets start on the top VC (the adaptive one
+        //    when adaptive routing is on).
+        let inject_vc = if self.cfg.adaptive { self.cfg.vcs - 1 } else { 0 };
+        for s in 0..n {
+            if !self.src_q[s].is_empty() && self.switches[s].space(PORT_LOCAL, inject_vc) > 0 {
+                let mut f = self.src_q[s].pop_front().expect("checked nonempty");
+                // Entering the injection port costs the router pipeline too.
+                f.ready_at = f.ready_at.max(self.now + self.cfg.router_delay);
+                self.switches[s].in_buf[PORT_LOCAL][inject_vc].push_back(f);
+            }
+        }
+
+        // 3. Clock gating: decide which switches fire this cycle.
+        let mut fires = vec![false; n];
+        #[allow(clippy::needless_range_loop)] // lockstep over two arrays
+        for v in 0..n {
+            self.switches[v].clock_acc += self.speeds[v];
+            if self.switches[v].clock_acc >= 1.0 {
+                self.switches[v].clock_acc -= 1.0;
+                fires[v] = true;
+            }
+        }
+
+        // 4. MAC: snapshot holders and usage flags per channel.
+        let holders: Vec<Option<NodeId>> = self.macs.iter().map(ChannelMac::holder).collect();
+        let mut channel_used = vec![false; self.macs.len()];
+
+        // 5. Switch operation.
+        #[allow(clippy::needless_range_loop)] // lockstep over two arrays
+        for v in 0..n {
+            if fires[v] {
+                self.process_switch(NodeId(v), &holders, &mut channel_used);
+            }
+        }
+
+        // 6. MAC bookkeeping.
+        for (c, mac) in self.macs.iter_mut().enumerate() {
+            let holds_packet = holders[c].is_some_and(|h| {
+                let wp = self.ports.wireless_port(h);
+                wp.is_some_and(|wp| {
+                    self.switches[h.index()].out_owner[wp]
+                        .iter()
+                        .any(Option::is_some)
+                })
+            });
+            mac.end_cycle(channel_used[c], holds_packet);
+        }
+
+        self.now += 1;
+    }
+
+    /// Translates an escape-table entry into a concrete route (down-VC 0).
+    fn escape_route(&self, v: NodeId, phase: Phase, dest: NodeId) -> (OutRoute, Phase) {
+        let entry = self.table.next_hop(v, phase, dest);
+        let route = match entry.hop {
+            Hop::Local => OutRoute {
+                out_port: PORT_LOCAL,
+                wireless_to: None,
+                down_vc: 0,
+            },
+            Hop::Wire(w) => OutRoute {
+                out_port: self.ports.wire_port(v, w),
+                wireless_to: None,
+                down_vc: 0,
+            },
+            Hop::Wireless { to, .. } => OutRoute {
+                out_port: self
+                    .ports
+                    .wireless_port(v)
+                    .expect("route uses wireless at a non-WI switch"),
+                wireless_to: Some(to),
+                down_vc: 0,
+            },
+        };
+        (route, entry.next_phase)
+    }
+
+    /// Routes a head flit at `(v, in-VC vc)`: the escape VC follows the
+    /// table; adaptive VCs take any free minimal wired hop and fall back to
+    /// the escape channel when blocked (conservative Duato).
+    fn route_head(
+        &self,
+        v: NodeId,
+        vc: usize,
+        f: &Flit,
+        out_used: &[bool],
+    ) -> (OutRoute, Option<Phase>) {
+        if f.dest == v {
+            return (
+                OutRoute {
+                    out_port: PORT_LOCAL,
+                    wireless_to: None,
+                    down_vc: 0,
+                },
+                None,
+            );
+        }
+        if vc == 0 || !self.cfg.adaptive {
+            let (route, next_phase) = self.escape_route(v, f.phase, f.dest);
+            return (route, Some(next_phase));
+        }
+        // Adaptive: any wired neighbour strictly closer to the destination,
+        // preferring the one with the most free downstream adaptive space.
+        let sw = &self.switches[v.index()];
+        let my_dist = self.hop_dist[v.index()][f.dest.index()];
+        let mut best: Option<(usize, OutRoute)> = None; // (space, route)
+        for &w in self.topo.neighbors(v) {
+            if self.hop_dist[w.index()][f.dest.index()] >= my_dist {
+                continue;
+            }
+            let o = self.ports.wire_port(v, w);
+            if out_used[o] {
+                continue;
+            }
+            let wp = self.ports.wire_port(w, v);
+            // Pick the free downstream adaptive VC with the most space.
+            let Some((dvc, space)) = (1..self.cfg.vcs)
+                .filter(|&c| sw.out_owner[o][c].is_none())
+                .map(|c| (c, self.switches[w.index()].space(wp, c)))
+                .max_by_key(|&(c, s)| (s, usize::MAX - c))
+            else {
+                continue;
+            };
+            if space == 0 {
+                continue;
+            }
+            if best.as_ref().is_none_or(|(bs, _)| space > *bs) {
+                best = Some((
+                    space,
+                    OutRoute {
+                        out_port: o,
+                        wireless_to: None,
+                        down_vc: dvc,
+                    },
+                ));
+            }
+        }
+        match best {
+            Some((_, route)) => (route, None),
+            None => {
+                // All minimal adaptive channels blocked: drain via the
+                // escape network, restarting the up*/down* phase here.
+                let (route, next_phase) = self.escape_route(v, Phase::Up, f.dest);
+                (route, Some(next_phase))
+            }
+        }
+    }
+
+    /// Moves flits through one switch for one of its active cycles.
+    fn process_switch(
+        &mut self,
+        v: NodeId,
+        holders: &[Option<NodeId>],
+        channel_used: &mut [bool],
+    ) {
+        let ports = self.ports.port_count(v);
+        let vcs = self.cfg.vcs;
+        let mut out_used = vec![false; ports];
+
+        // Pass A: continue established wormholes.
+        for p in 0..ports {
+            for vc in 0..vcs {
+                if let Some(route) = self.switches[v.index()].in_route[p][vc] {
+                    self.try_advance(
+                        v, p, vc, route, None, &mut out_used, holders, channel_used, false,
+                    );
+                }
+            }
+        }
+
+        // Pass B: route new head flits, round-robin over input ports
+        // (escape VC first within a port, so draining traffic keeps
+        // priority over fresh adaptive traffic).
+        let start = self.switches[v.index()].rr_next;
+        for off in 0..ports {
+            let p = (start + off) % ports;
+            for vc in 0..vcs {
+                if self.switches[v.index()].in_route[p][vc].is_some() {
+                    continue;
+                }
+                let Some(f) = self.switches[v.index()].in_buf[p][vc].front().copied() else {
+                    continue;
+                };
+                if f.ready_at > self.now || !f.kind.is_head() {
+                    continue;
+                }
+                let (route, next_phase) = self.route_head(v, vc, &f, &out_used);
+                let o = route.out_port;
+                if out_used[o]
+                    || self.switches[v.index()].out_owner[o][route.down_vc].is_some()
+                {
+                    continue;
+                }
+                let moved = self.try_advance(
+                    v,
+                    p,
+                    vc,
+                    route,
+                    next_phase,
+                    &mut out_used,
+                    holders,
+                    channel_used,
+                    true,
+                );
+                if moved {
+                    self.switches[v.index()].rr_next = (p + 1) % ports;
+                }
+            }
+        }
+    }
+
+    /// Attempts to move the head flit of input `(p, vc)` at switch `v`
+    /// along `route`. Head flits take `next_phase` with them only when the
+    /// move succeeds (a blocked flit must keep its pre-hop routing state).
+    /// Returns whether a flit moved.
+    #[allow(clippy::too_many_arguments)]
+    fn try_advance(
+        &mut self,
+        v: NodeId,
+        p: usize,
+        vc: usize,
+        route: OutRoute,
+        next_phase: Option<crate::routing::Phase>,
+        out_used: &mut [bool],
+        holders: &[Option<NodeId>],
+        channel_used: &mut [bool],
+        is_new_packet: bool,
+    ) -> bool {
+        let o = route.out_port;
+        if out_used[o] {
+            return false;
+        }
+        let Some(&f) = self.switches[v.index()].in_buf[p][vc].front() else {
+            return false;
+        };
+        if f.ready_at > self.now {
+            return false;
+        }
+
+        let measured = self.measured(&f);
+        let radix = self.ports.radix(v);
+
+        enum Dest {
+            Eject,
+            Into(NodeId, usize, u64, f64, bool), // node, port, penalty, link energy, wireless
+        }
+
+        let dest = if o == PORT_LOCAL {
+            Dest::Eject
+        } else if Some(o) == self.ports.wireless_port(v) {
+            let to = route.wireless_to.expect("wireless route carries target");
+            let ch = self
+                .overlay
+                .channel_of(v)
+                .expect("WI switch has a channel")
+                .index();
+            if holders[ch] != Some(v) || channel_used[ch] {
+                return false;
+            }
+            let tp = self
+                .ports
+                .wireless_port(to)
+                .expect("wireless target is a WI");
+            if self.switches[to.index()].space(tp, route.down_vc) == 0 {
+                return false;
+            }
+            let penalty = if self.domains[v.index()] != self.domains[to.index()] {
+                self.cfg.sync_penalty
+            } else {
+                0
+            };
+            Dest::Into(to, tp, penalty, self.energy_model.wireless_energy_pj(), true)
+        } else {
+            let w = self.ports.peer(v, o).expect("wired port has a peer");
+            let wp = self.ports.wire_port(w, v);
+            if self.switches[w.index()].space(wp, route.down_vc) == 0 {
+                return false;
+            }
+            let penalty = if self.domains[v.index()] != self.domains[w.index()] {
+                self.cfg.sync_penalty
+            } else {
+                0
+            };
+            let e = self
+                .energy_model
+                .wire_energy_pj(self.topo.link_length_mm(v, w));
+            Dest::Into(w, wp, penalty, e, false)
+        };
+
+        // Commit the move.
+        let mut f = self.switches[v.index()].in_buf[p][vc]
+            .pop_front()
+            .expect("head flit present");
+        if let Some(ph) = next_phase {
+            f.phase = ph;
+        }
+        if measured {
+            self.stats.energy.switch_pj += self.energy_model.switch_energy_pj(radix);
+        }
+        match dest {
+            Dest::Eject => {
+                if measured {
+                    self.stats.flits_delivered += 1;
+                    if f.kind.is_tail() {
+                        let latency = self.now + 1 - f.created;
+                        self.stats.packets_delivered += 1;
+                        self.stats.latency_sum += latency;
+                        self.stats.max_latency = self.stats.max_latency.max(latency);
+                        self.stats.record_latency(latency);
+                        self.delivered_measured += 1;
+                    }
+                } else if f.kind.is_tail() && f.created >= self.measure_start {
+                    // Tail of a packet injected after the window; ignore.
+                }
+            }
+            Dest::Into(w, wp, penalty, link_pj, wireless) => {
+                f.ready_at = self.now + 1 + self.cfg.router_delay + penalty;
+                if measured {
+                    if wireless {
+                        self.stats.energy.wireless_pj += link_pj;
+                        self.stats.wireless_flit_hops += 1;
+                    } else {
+                        self.stats.energy.wire_pj += link_pj;
+                        self.stats.wire_flit_hops += 1;
+                        if route.down_vc > 0 {
+                            self.stats.adaptive_flit_hops += 1;
+                        }
+                        self.link_flits[v.index() * self.topo.len() + w.index()] += 1;
+                    }
+                }
+                if wireless {
+                    let ch = self
+                        .overlay
+                        .channel_of(v)
+                        .expect("WI switch has a channel")
+                        .index();
+                    channel_used[ch] = true;
+                }
+                self.switches[w.index()].in_buf[wp][route.down_vc].push_back(f);
+            }
+        }
+        out_used[o] = true;
+
+        // Wormhole bookkeeping.
+        if f.kind.is_tail() {
+            self.switches[v.index()].in_route[p][vc] = None;
+            self.switches[v.index()].out_owner[o][route.down_vc] = None;
+        } else if is_new_packet {
+            self.switches[v.index()].in_route[p][vc] = Some(route);
+            self.switches[v.index()].out_owner[o][route.down_vc] =
+                Some(Owner { in_port: p, in_vc: vc });
+        }
+        true
+    }
+
+    /// Total flits currently buffered anywhere in the network (diagnostics).
+    pub fn buffered_flits(&self) -> usize {
+        self.switches.iter().map(SwitchState::occupancy).sum::<usize>()
+            + self.src_q.iter().map(VecDeque::len).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::mesh::mesh;
+    use crate::topology::small_world::SmallWorldBuilder;
+    use crate::topology::wireless::{ChannelId, WirelessInterface};
+    use crate::node::grid_positions;
+
+    fn mesh_sim(cols: usize, rows: usize) -> NetworkSim {
+        NetworkSim::new(
+            mesh(cols, rows, 2.5),
+            WirelessOverlay::none(),
+            RoutingTable::xy(cols, rows),
+            EnergyModel::default_65nm(),
+            SimConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn delivers_uniform_traffic() {
+        let mut sim = mesh_sim(4, 4);
+        let stats = sim.run(&TrafficMatrix::uniform(16, 0.05), 200, 2000, 20_000);
+        assert!(stats.packets_injected > 50);
+        assert_eq!(stats.in_flight_at_end, 0, "all measured packets drain");
+        assert_eq!(stats.packets_delivered, stats.packets_injected);
+        // 4 flits per packet.
+        assert_eq!(stats.flits_delivered, 4 * stats.packets_delivered);
+    }
+
+    #[test]
+    fn latency_exceeds_distance_plus_serialization() {
+        let mut sim = mesh_sim(4, 4);
+        let mut tm = TrafficMatrix::zeros(16);
+        tm.set(NodeId(0), NodeId(15), 0.01);
+        let stats = sim.run(&tm, 0, 3000, 10_000);
+        assert!(stats.packets_delivered > 0);
+        // distance 6 + 4 flits serialization - 1 = at least 9 cycles.
+        assert!(stats.avg_latency() >= 9.0, "latency {}", stats.avg_latency());
+        assert!(stats.avg_latency() < 40.0, "latency {}", stats.avg_latency());
+    }
+
+    #[test]
+    fn energy_scales_with_distance() {
+        let mut sim = mesh_sim(4, 4);
+        let mut near = TrafficMatrix::zeros(16);
+        near.set(NodeId(0), NodeId(1), 0.02);
+        let near_stats = sim.run(&near, 100, 2000, 10_000);
+        let mut far = TrafficMatrix::zeros(16);
+        far.set(NodeId(0), NodeId(15), 0.02);
+        let far_stats = sim.run(&far, 100, 2000, 10_000);
+        assert!(
+            far_stats.energy_per_flit_pj() > 2.0 * near_stats.energy_per_flit_pj(),
+            "far {} near {}",
+            far_stats.energy_per_flit_pj(),
+            near_stats.energy_per_flit_pj()
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = mesh_sim(4, 4);
+        let mut b = mesh_sim(4, 4);
+        let tm = TrafficMatrix::uniform(16, 0.08);
+        assert_eq!(a.run(&tm, 100, 1000, 10_000), b.run(&tm, 100, 1000, 10_000));
+    }
+
+    #[test]
+    fn rerun_resets_state() {
+        let mut sim = mesh_sim(4, 4);
+        let tm = TrafficMatrix::uniform(16, 0.08);
+        let first = sim.run(&tm, 100, 1000, 10_000);
+        let second = sim.run(&tm, 100, 1000, 10_000);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn congestion_raises_latency() {
+        let mut sim = mesh_sim(4, 4);
+        let light = sim.run(&TrafficMatrix::uniform(16, 0.02), 300, 2000, 20_000);
+        let heavy = sim.run(&TrafficMatrix::uniform(16, 0.25), 300, 2000, 20_000);
+        assert!(heavy.avg_latency() > light.avg_latency());
+    }
+
+    fn line_with_wireless(len: usize) -> (Topology, WirelessOverlay) {
+        let mut topo = Topology::new(
+            (0..len)
+                .map(|i| crate::node::Position::new(i as f64 * 2.5, 0.0))
+                .collect(),
+            crate::topology::TopologyKind::Custom,
+        );
+        for i in 0..len - 1 {
+            topo.add_link(NodeId(i), NodeId(i + 1)).unwrap();
+        }
+        let overlay = WirelessOverlay::new(
+            vec![
+                WirelessInterface { node: NodeId(0), channel: ChannelId(0) },
+                WirelessInterface { node: NodeId(len - 1), channel: ChannelId(0) },
+            ],
+            1,
+        )
+        .unwrap();
+        (topo, overlay)
+    }
+
+    #[test]
+    fn wireless_carries_long_distance_traffic() {
+        let (topo, overlay) = line_with_wireless(20);
+        let table = RoutingTable::up_down(&topo, &overlay).unwrap();
+        let mut sim = NetworkSim::new(
+            topo,
+            overlay,
+            table,
+            EnergyModel::default_65nm(),
+            SimConfig::default(),
+        )
+        .unwrap();
+        let mut tm = TrafficMatrix::zeros(20);
+        tm.set(NodeId(0), NodeId(19), 0.02);
+        let stats = sim.run(&tm, 100, 3000, 20_000);
+        assert!(stats.packets_delivered > 0);
+        assert!(stats.wireless_flit_hops > 0, "wireless must be used");
+        assert_eq!(stats.in_flight_at_end, 0);
+        // End-to-end over wireless is far faster than 19 wire hops.
+        assert!(stats.avg_latency() < 19.0 + 10.0);
+        assert!(stats.energy.wireless_pj > 0.0);
+    }
+
+    #[test]
+    fn wireless_contention_shares_channel() {
+        // Four WIs on one channel, cross traffic: everything still drains.
+        let mut topo = Topology::new(
+            grid_positions(4, 4, 2.5),
+            crate::topology::TopologyKind::Custom,
+        );
+        // Sparse wired ring so wireless is attractive.
+        let ring = [0usize, 1, 2, 3, 7, 11, 15, 14, 13, 12, 8, 4];
+        for i in 0..ring.len() {
+            topo.add_link(NodeId(ring[i]), NodeId(ring[(i + 1) % ring.len()]))
+                .unwrap();
+        }
+        topo.add_link(NodeId(5), NodeId(4)).unwrap();
+        topo.add_link(NodeId(6), NodeId(7)).unwrap();
+        topo.add_link(NodeId(9), NodeId(8)).unwrap();
+        topo.add_link(NodeId(10), NodeId(11)).unwrap();
+        let overlay = WirelessOverlay::new(
+            vec![
+                WirelessInterface { node: NodeId(0), channel: ChannelId(0) },
+                WirelessInterface { node: NodeId(3), channel: ChannelId(0) },
+                WirelessInterface { node: NodeId(12), channel: ChannelId(0) },
+                WirelessInterface { node: NodeId(15), channel: ChannelId(0) },
+            ],
+            1,
+        )
+        .unwrap();
+        let table = RoutingTable::up_down(&topo, &overlay).unwrap();
+        let mut sim = NetworkSim::new(
+            topo,
+            overlay,
+            table,
+            EnergyModel::default_65nm(),
+            SimConfig::default(),
+        )
+        .unwrap();
+        let mut tm = TrafficMatrix::zeros(16);
+        tm.set(NodeId(0), NodeId(15), 0.02);
+        tm.set(NodeId(3), NodeId(12), 0.02);
+        tm.set(NodeId(15), NodeId(0), 0.02);
+        let stats = sim.run(&tm, 200, 3000, 30_000);
+        assert_eq!(stats.in_flight_at_end, 0, "channel sharing must not wedge");
+        assert!(stats.packets_delivered > 0);
+    }
+
+    #[test]
+    fn slower_clocks_increase_latency() {
+        let tm = TrafficMatrix::uniform(16, 0.03);
+        let mut fast = mesh_sim(4, 4);
+        let fast_stats = fast.run(&tm, 200, 2000, 20_000);
+        let mut slow = NetworkSim::with_clocks(
+            mesh(4, 4, 2.5),
+            WirelessOverlay::none(),
+            RoutingTable::xy(4, 4),
+            EnergyModel::default_65nm(),
+            SimConfig::default(),
+            vec![0.5; 16],
+            vec![0; 16],
+        )
+        .unwrap();
+        let slow_stats = slow.run(&tm, 200, 2000, 20_000);
+        assert!(
+            slow_stats.avg_latency() > 1.5 * fast_stats.avg_latency(),
+            "slow {} fast {}",
+            slow_stats.avg_latency(),
+            fast_stats.avg_latency()
+        );
+        assert_eq!(slow_stats.in_flight_at_end, 0);
+    }
+
+    #[test]
+    fn domain_crossing_pays_sync_penalty() {
+        let tm = {
+            let mut t = TrafficMatrix::zeros(16);
+            t.set(NodeId(0), NodeId(3), 0.01);
+            t
+        };
+        let run = |domains: Vec<usize>, penalty: u64| {
+            let cfg = SimConfig { sync_penalty: penalty, ..SimConfig::default() };
+            let mut sim = NetworkSim::with_clocks(
+                mesh(4, 4, 2.5),
+                WirelessOverlay::none(),
+                RoutingTable::xy(4, 4),
+                EnergyModel::default_65nm(),
+                cfg,
+                vec![1.0; 16],
+                domains,
+            )
+            .unwrap();
+            sim.run(&tm, 100, 2000, 10_000).avg_latency()
+        };
+        let same = run(vec![0; 16], 3);
+        // Domain boundary between columns 1 and 2.
+        let split: Vec<usize> = (0..16).map(|i| usize::from(i % 4 >= 2)).collect();
+        let cross = run(split, 3);
+        assert!(cross > same, "cross {cross} same {same}");
+    }
+
+    #[test]
+    fn rejects_mismatched_table() {
+        let err = NetworkSim::new(
+            mesh(4, 4, 1.0),
+            WirelessOverlay::none(),
+            RoutingTable::xy(3, 3),
+            EnergyModel::default_65nm(),
+            SimConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::TableSizeMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_bad_speeds() {
+        let err = NetworkSim::with_clocks(
+            mesh(2, 2, 1.0),
+            WirelessOverlay::none(),
+            RoutingTable::xy(2, 2),
+            EnergyModel::default_65nm(),
+            SimConfig::default(),
+            vec![1.0, 0.0, 1.0, 1.0],
+            vec![0; 4],
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::InvalidSpeeds);
+    }
+
+    #[test]
+    fn rejects_zero_packet_len() {
+        let cfg = SimConfig { packet_len: 0, ..SimConfig::default() };
+        let err = NetworkSim::new(
+            mesh(2, 2, 1.0),
+            WirelessOverlay::none(),
+            RoutingTable::xy(2, 2),
+            EnergyModel::default_65nm(),
+            cfg,
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::InvalidConfig);
+    }
+
+    #[test]
+    fn adaptive_requires_two_vcs() {
+        let cfg = SimConfig { adaptive: true, vcs: 1, ..SimConfig::default() };
+        let err = NetworkSim::new(
+            mesh(2, 2, 1.0),
+            WirelessOverlay::none(),
+            RoutingTable::xy(2, 2),
+            EnergyModel::default_65nm(),
+            cfg,
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::InvalidConfig);
+    }
+
+    fn adaptive_mesh_sim(cols: usize, rows: usize) -> NetworkSim {
+        let cfg = SimConfig { vcs: 2, adaptive: true, ..SimConfig::default() };
+        NetworkSim::new(
+            mesh(cols, rows, 2.5),
+            WirelessOverlay::none(),
+            RoutingTable::xy(cols, rows),
+            EnergyModel::default_65nm(),
+            cfg,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn adaptive_mesh_conserves_packets() {
+        let mut sim = adaptive_mesh_sim(4, 4);
+        let stats = sim.run(&TrafficMatrix::uniform(16, 0.05), 200, 2000, 30_000);
+        assert_eq!(stats.in_flight_at_end, 0, "adaptive network must drain");
+        assert_eq!(stats.packets_delivered, stats.packets_injected);
+        assert_eq!(stats.flits_delivered, 4 * stats.packets_delivered);
+    }
+
+    #[test]
+    fn adaptive_relieves_transpose_hotspots() {
+        // Transpose traffic concentrates on the diagonal under XY routing;
+        // minimal adaptive routing spreads it over both dimension orders.
+        let tm = TrafficMatrix::transpose(8, 0.05);
+        let mut xy = mesh_sim(8, 8);
+        let base = xy.run(&tm, 500, 4000, 60_000);
+        let mut ad = adaptive_mesh_sim(8, 8);
+        let adaptive = ad.run(&tm, 500, 4000, 60_000);
+        assert_eq!(adaptive.in_flight_at_end, 0);
+        assert!(
+            adaptive.avg_latency() < base.avg_latency(),
+            "adaptive {} vs XY {}",
+            adaptive.avg_latency(),
+            base.avg_latency()
+        );
+        // Most hops actually use the adaptive channels.
+        assert!(adaptive.adaptive_share() > 0.5, "{}", adaptive.adaptive_share());
+        assert_eq!(base.adaptive_share(), 0.0);
+    }
+
+    #[test]
+    fn adaptive_raises_small_world_capacity() {
+        // The up*/down*-routed small world saturates around 0.03 pkts/cyc
+        // per node; two VCs with minimal adaptive routing push the knee out.
+        let clusters: Vec<usize> =
+            (0..64).map(|i| (i % 8) / 4 + 2 * ((i / 8) / 4)).collect();
+        let topo = SmallWorldBuilder::new(grid_positions(8, 8, 2.5), clusters)
+            .alpha(1.5)
+            .seed(1)
+            .build()
+            .unwrap();
+        let table = RoutingTable::up_down(&topo, &WirelessOverlay::none()).unwrap();
+        let tm = TrafficMatrix::uniform(64, 0.03);
+        let mut escape_only = NetworkSim::new(
+            topo.clone(),
+            WirelessOverlay::none(),
+            table.clone(),
+            EnergyModel::default_65nm(),
+            SimConfig::default(),
+        )
+        .unwrap();
+        let base = escape_only.run(&tm, 500, 3000, 60_000);
+        let cfg = SimConfig { vcs: 2, adaptive: true, ..SimConfig::default() };
+        let mut adaptive = NetworkSim::new(
+            topo,
+            WirelessOverlay::none(),
+            table,
+            EnergyModel::default_65nm(),
+            cfg,
+        )
+        .unwrap();
+        let ad = adaptive.run(&tm, 500, 3000, 60_000);
+        assert!(
+            ad.avg_latency() < base.avg_latency() * 0.5,
+            "adaptive {} vs escape-only {}",
+            ad.avg_latency(),
+            base.avg_latency()
+        );
+        assert_eq!(ad.in_flight_at_end, 0);
+    }
+
+    #[test]
+    fn adaptive_is_deterministic() {
+        let tm = TrafficMatrix::uniform(16, 0.06);
+        let mut a = adaptive_mesh_sim(4, 4);
+        let mut b = adaptive_mesh_sim(4, 4);
+        assert_eq!(a.run(&tm, 100, 1500, 20_000), b.run(&tm, 100, 1500, 20_000));
+    }
+
+    #[test]
+    fn small_world_full_sweep_drains() {
+        let clusters: Vec<usize> = (0..64).map(|i| (i % 8) / 4 + 2 * ((i / 8) / 4)).collect();
+        let topo = SmallWorldBuilder::new(grid_positions(8, 8, 2.5), clusters)
+            .seed(1)
+            .build()
+            .unwrap();
+        let table = RoutingTable::up_down(&topo, &WirelessOverlay::none()).unwrap();
+        let mut sim = NetworkSim::new(
+            topo,
+            WirelessOverlay::none(),
+            table,
+            EnergyModel::default_65nm(),
+            SimConfig::default(),
+        )
+        .unwrap();
+        let stats = sim.run(&TrafficMatrix::uniform(64, 0.03), 300, 2000, 30_000);
+        assert_eq!(stats.in_flight_at_end, 0);
+        assert!(stats.packets_delivered > 100);
+    }
+}

@@ -1,0 +1,318 @@
+//! Measurement results of a network simulation.
+
+use crate::energy::EnergyBreakdown;
+use crate::node::NodeId;
+
+/// Number of latency histogram buckets (powers of two: `[2^k, 2^(k+1))`).
+pub const LATENCY_BUCKETS: usize = 16;
+
+/// A directed link's measured utilisation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkLoad {
+    /// Sending switch.
+    pub from: NodeId,
+    /// Receiving switch.
+    pub to: NodeId,
+    /// Flits carried during the measurement window.
+    pub flits: u64,
+}
+
+/// Aggregate statistics collected during the measurement window of a
+/// [`crate::sim::NetworkSim`] run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NetworkStats {
+    /// Cycles in the measurement window.
+    pub cycles: u64,
+    /// Packets injected during measurement.
+    pub packets_injected: u64,
+    /// Packets fully delivered during measurement.
+    pub packets_delivered: u64,
+    /// Flits delivered during measurement.
+    pub flits_delivered: u64,
+    /// Sum of packet latencies (creation → tail ejection), cycles.
+    pub latency_sum: u64,
+    /// Largest single packet latency observed, cycles.
+    pub max_latency: u64,
+    /// Flit-hops that travelled over a wireless channel.
+    pub wireless_flit_hops: u64,
+    /// Flit-hops that travelled over wires.
+    pub wire_flit_hops: u64,
+    /// Wire flit-hops taken on an adaptive virtual channel (0 unless the
+    /// router runs with `vcs >= 2` and adaptive routing).
+    pub adaptive_flit_hops: u64,
+    /// Energy consumed during measurement.
+    pub energy: EnergyBreakdown,
+    /// Packets still in flight when measurement ended.
+    pub in_flight_at_end: u64,
+    /// Packet latency histogram: bucket `k` counts latencies in
+    /// `[2^k, 2^(k+1))` cycles (the last bucket absorbs the overflow).
+    pub latency_histogram: Vec<u64>,
+    /// Measured flits per directed wire link (nonzero entries only,
+    /// deterministic order).
+    pub link_loads: Vec<LinkLoad>,
+}
+
+impl NetworkStats {
+    /// Mean packet latency in cycles (0 when nothing was delivered).
+    pub fn avg_latency(&self) -> f64 {
+        if self.packets_delivered == 0 {
+            0.0
+        } else {
+            self.latency_sum as f64 / self.packets_delivered as f64
+        }
+    }
+
+    /// Delivered throughput in packets/cycle.
+    pub fn throughput(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.packets_delivered as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of wire flit-hops that used an adaptive virtual channel.
+    pub fn adaptive_share(&self) -> f64 {
+        if self.wire_flit_hops == 0 {
+            0.0
+        } else {
+            self.adaptive_flit_hops as f64 / self.wire_flit_hops as f64
+        }
+    }
+
+    /// Fraction of flit-hops carried by wireless channels.
+    pub fn wireless_utilization(&self) -> f64 {
+        let total = self.wireless_flit_hops + self.wire_flit_hops;
+        if total == 0 {
+            0.0
+        } else {
+            self.wireless_flit_hops as f64 / total as f64
+        }
+    }
+
+    /// Mean network energy per delivered flit (pJ).
+    pub fn energy_per_flit_pj(&self) -> f64 {
+        if self.flits_delivered == 0 {
+            0.0
+        } else {
+            self.energy.total_pj() / self.flits_delivered as f64
+        }
+    }
+
+    /// Network energy–delay product: total energy (pJ) × average latency
+    /// (cycles). This is the metric of the paper's Section 7.2 network
+    /// comparison (Fig. 6).
+    pub fn network_edp(&self) -> f64 {
+        self.energy.total_pj() * self.avg_latency()
+    }
+
+    /// Records one packet latency into the histogram.
+    pub fn record_latency(&mut self, latency: u64) {
+        if self.latency_histogram.len() != LATENCY_BUCKETS {
+            self.latency_histogram = vec![0; LATENCY_BUCKETS];
+        }
+        let bucket = (64 - latency.max(1).leading_zeros() as usize - 1)
+            .min(LATENCY_BUCKETS - 1);
+        self.latency_histogram[bucket] += 1;
+    }
+
+    /// An upper bound on the `q`-quantile packet latency (from the
+    /// power-of-two histogram), or 0 when nothing was delivered.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `q ∈ [0, 1]`.
+    pub fn latency_quantile_bound(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        let total: u64 = self.latency_histogram.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = (q * total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (k, &count) in self.latency_histogram.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return 1u64 << (k + 1);
+            }
+        }
+        1u64 << LATENCY_BUCKETS
+    }
+
+    /// Merges several measurement windows into one aggregate: counts,
+    /// energies and latency sums add; `cycles` takes the maximum (windows
+    /// of the same length represent concurrent aspects, not concatenation);
+    /// link loads merge per directed link.
+    pub fn merged<'a, I: IntoIterator<Item = &'a NetworkStats>>(windows: I) -> NetworkStats {
+        let mut out = NetworkStats::default();
+        let mut links: std::collections::BTreeMap<(usize, usize), u64> =
+            std::collections::BTreeMap::new();
+        for w in windows {
+            out.cycles = out.cycles.max(w.cycles);
+            out.packets_injected += w.packets_injected;
+            out.packets_delivered += w.packets_delivered;
+            out.flits_delivered += w.flits_delivered;
+            out.latency_sum += w.latency_sum;
+            out.max_latency = out.max_latency.max(w.max_latency);
+            out.wireless_flit_hops += w.wireless_flit_hops;
+            out.wire_flit_hops += w.wire_flit_hops;
+            out.adaptive_flit_hops += w.adaptive_flit_hops;
+            out.energy.accumulate(w.energy);
+            out.in_flight_at_end += w.in_flight_at_end;
+            if out.latency_histogram.len() != LATENCY_BUCKETS {
+                out.latency_histogram = vec![0; LATENCY_BUCKETS];
+            }
+            for (k, &c) in w.latency_histogram.iter().enumerate() {
+                out.latency_histogram[k] += c;
+            }
+            for l in &w.link_loads {
+                *links.entry((l.from.index(), l.to.index())).or_insert(0) += l.flits;
+            }
+        }
+        out.link_loads = links
+            .into_iter()
+            .map(|((from, to), flits)| LinkLoad {
+                from: NodeId(from),
+                to: NodeId(to),
+                flits,
+            })
+            .collect();
+        out
+    }
+
+    /// The busiest directed wire link's load in flits/cycle (0 when no
+    /// wire carried measured traffic).
+    pub fn max_link_load(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.link_loads
+            .iter()
+            .map(|l| l.flits as f64 / self.cycles as f64)
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean load over links that carried any measured traffic, flits/cycle.
+    pub fn mean_link_load(&self) -> f64 {
+        if self.cycles == 0 || self.link_loads.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.link_loads.iter().map(|l| l.flits).sum();
+        total as f64 / self.cycles as f64 / self.link_loads.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> NetworkStats {
+        NetworkStats {
+            cycles: 1000,
+            packets_injected: 110,
+            packets_delivered: 100,
+            flits_delivered: 400,
+            latency_sum: 2500,
+            max_latency: 90,
+            wireless_flit_hops: 50,
+            wire_flit_hops: 150,
+            adaptive_flit_hops: 30,
+            energy: EnergyBreakdown {
+                switch_pj: 10.0,
+                wire_pj: 20.0,
+                wireless_pj: 10.0,
+            },
+            in_flight_at_end: 10,
+            latency_histogram: vec![0; LATENCY_BUCKETS],
+            link_loads: vec![
+                LinkLoad {
+                    from: NodeId(0),
+                    to: NodeId(1),
+                    flits: 100,
+                },
+                LinkLoad {
+                    from: NodeId(1),
+                    to: NodeId(2),
+                    flits: 300,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn avg_latency() {
+        assert!((sample().avg_latency() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput() {
+        assert!((sample().throughput() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wireless_utilization() {
+        assert!((sample().wireless_utilization() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adaptive_share() {
+        assert!((sample().adaptive_share() - 0.2).abs() < 1e-12);
+        assert_eq!(NetworkStats::default().adaptive_share(), 0.0);
+    }
+
+    #[test]
+    fn energy_per_flit() {
+        assert!((sample().energy_per_flit_pj() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edp_is_energy_times_latency() {
+        assert!((sample().network_edp() - 40.0 * 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = NetworkStats::default();
+        assert_eq!(s.avg_latency(), 0.0);
+        assert_eq!(s.throughput(), 0.0);
+        assert_eq!(s.wireless_utilization(), 0.0);
+        assert_eq!(s.energy_per_flit_pj(), 0.0);
+        assert_eq!(s.latency_quantile_bound(0.5), 0);
+        assert_eq!(s.max_link_load(), 0.0);
+        assert_eq!(s.mean_link_load(), 0.0);
+    }
+
+    #[test]
+    fn latency_histogram_buckets() {
+        let mut s = NetworkStats::default();
+        s.record_latency(1); // bucket 0
+        s.record_latency(3); // bucket 1
+        s.record_latency(8); // bucket 3
+        s.record_latency(u64::MAX); // clamped to the last bucket
+        assert_eq!(s.latency_histogram[0], 1);
+        assert_eq!(s.latency_histogram[1], 1);
+        assert_eq!(s.latency_histogram[3], 1);
+        assert_eq!(s.latency_histogram[LATENCY_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn latency_quantile_bound_is_monotone() {
+        let mut s = NetworkStats::default();
+        for l in [2u64, 4, 8, 16, 32, 64, 128] {
+            s.record_latency(l);
+        }
+        let q50 = s.latency_quantile_bound(0.5);
+        let q90 = s.latency_quantile_bound(0.9);
+        let q100 = s.latency_quantile_bound(1.0);
+        assert!(q50 <= q90 && q90 <= q100);
+        assert!(q50 >= 8, "median bound {q50} too low");
+    }
+
+    #[test]
+    fn link_load_statistics() {
+        let s = sample();
+        // Busiest link: 300 flits over 1000 cycles.
+        assert!((s.max_link_load() - 0.3).abs() < 1e-12);
+        assert!((s.mean_link_load() - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,260 @@
+//! Switch microarchitecture state: ports, virtual-channel buffers, wormhole
+//! bindings.
+//!
+//! Port numbering at each switch is fixed and deterministic:
+//!
+//! * port 0 — the local core (injection on the input side, ejection on the
+//!   output side);
+//! * ports `1..=degree` — one per wired neighbour, in sorted neighbour
+//!   order;
+//! * port `degree + 1` — the wireless port, present only on switches that
+//!   carry a wireless interface.
+//!
+//! Every input port holds one FIFO per **virtual channel**. With a single
+//! VC this is the paper's plain wormhole router; with more, VC 0 is the
+//! deadlock-free *escape* channel (up\*/down\* routed) and the upper VCs
+//! carry minimally-adaptive traffic (see [`crate::sim`]).
+
+use crate::flit::Flit;
+use crate::node::NodeId;
+use crate::topology::wireless::WirelessOverlay;
+use crate::topology::Topology;
+use std::collections::VecDeque;
+
+/// Index of the local (core) port on every switch.
+pub const PORT_LOCAL: usize = 0;
+
+/// Static port layout of every switch in a network.
+#[derive(Debug, Clone)]
+pub struct PortMap {
+    /// `wire_port[v]` maps a neighbour id to the local port index at `v`.
+    wire_port: Vec<Vec<(NodeId, usize)>>,
+    /// `port_peer[v][p - 1]` is the neighbour behind wired port `p`.
+    port_peer: Vec<Vec<NodeId>>,
+    /// Wireless port index at `v`, if `v` carries a WI.
+    wireless_port: Vec<Option<usize>>,
+}
+
+impl PortMap {
+    /// Builds the port layout for `topo` with `overlay`.
+    pub fn new(topo: &Topology, overlay: &WirelessOverlay) -> Self {
+        let n = topo.len();
+        let mut wire_port = Vec::with_capacity(n);
+        let mut port_peer = Vec::with_capacity(n);
+        let mut wireless_port = Vec::with_capacity(n);
+        for v in topo.nodes() {
+            let neigh = topo.neighbors(v);
+            wire_port.push(
+                neigh
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &w)| (w, i + 1))
+                    .collect(),
+            );
+            port_peer.push(neigh.to_vec());
+            wireless_port.push(if overlay.is_wi(v) {
+                Some(neigh.len() + 1)
+            } else {
+                None
+            });
+        }
+        PortMap {
+            wire_port,
+            port_peer,
+            wireless_port,
+        }
+    }
+
+    /// Number of ports at `v` (local + wires + wireless if present).
+    pub fn port_count(&self, v: NodeId) -> usize {
+        1 + self.port_peer[v.index()].len() + usize::from(self.wireless_port[v.index()].is_some())
+    }
+
+    /// Port at `v` that faces wired neighbour `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not a neighbour of `v`.
+    pub fn wire_port(&self, v: NodeId, w: NodeId) -> usize {
+        self.wire_port[v.index()]
+            .iter()
+            .find(|&&(n, _)| n == w)
+            .map(|&(_, p)| p)
+            .unwrap_or_else(|| panic!("{w} is not a wired neighbour of {v}"))
+    }
+
+    /// The neighbour behind wired port `p` of `v`, if `p` is a wired port.
+    pub fn peer(&self, v: NodeId, p: usize) -> Option<NodeId> {
+        if p == PORT_LOCAL {
+            return None;
+        }
+        self.port_peer[v.index()].get(p - 1).copied()
+    }
+
+    /// Wireless port index at `v`, if any.
+    pub fn wireless_port(&self, v: NodeId) -> Option<usize> {
+        self.wireless_port[v.index()]
+    }
+
+    /// Switch radix at `v` (same as [`PortMap::port_count`]); used for
+    /// energy accounting.
+    pub fn radix(&self, v: NodeId) -> usize {
+        self.port_count(v)
+    }
+}
+
+/// Where a wormhole at an input VC is currently streaming.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutRoute {
+    /// Output port reserved by the packet.
+    pub out_port: usize,
+    /// Receiving wireless interface for wireless output ports.
+    pub wireless_to: Option<NodeId>,
+    /// Downstream virtual channel the packet was allocated.
+    pub down_vc: usize,
+}
+
+/// The input VC currently owning an output port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Owner {
+    /// Owning input port.
+    pub in_port: usize,
+    /// Owning input virtual channel.
+    pub in_vc: usize,
+}
+
+/// Dynamic state of one switch.
+#[derive(Debug, Clone)]
+pub struct SwitchState {
+    /// One FIFO per input port per virtual channel: `in_buf[port][vc]`.
+    pub in_buf: Vec<Vec<VecDeque<Flit>>>,
+    /// Per-VC capacity of each input port's FIFOs.
+    pub in_cap: Vec<usize>,
+    /// Wormhole binding per input port per VC (set by the head, cleared by
+    /// the tail).
+    pub in_route: Vec<Vec<Option<OutRoute>>>,
+    /// Which input VC owns each `(output port, downstream VC)` pair. The
+    /// physical port is time-multiplexed per flit between downstream VCs —
+    /// per-VC ownership is what keeps a stalled adaptive wormhole from
+    /// blocking the escape network on a shared link.
+    pub out_owner: Vec<Vec<Option<Owner>>>,
+    /// Round-robin pointer for new-packet arbitration.
+    pub rr_next: usize,
+    /// Fractional clock accumulator (fires when ≥ 1).
+    pub clock_acc: f64,
+}
+
+impl SwitchState {
+    /// Creates the state for a switch with the given per-port (per-VC)
+    /// capacities and `vcs` virtual channels per port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vcs == 0`.
+    pub fn new(in_cap: Vec<usize>, vcs: usize) -> Self {
+        assert!(vcs > 0, "need at least one virtual channel");
+        let ports = in_cap.len();
+        SwitchState {
+            in_buf: (0..ports)
+                .map(|_| (0..vcs).map(|_| VecDeque::new()).collect())
+                .collect(),
+            in_cap,
+            in_route: vec![vec![None; vcs]; ports],
+            out_owner: vec![vec![None; vcs]; ports],
+            rr_next: 0,
+            clock_acc: 0.0,
+        }
+    }
+
+    /// Number of virtual channels per port.
+    pub fn vcs(&self) -> usize {
+        self.in_buf.first().map_or(0, Vec::len)
+    }
+
+    /// Free slots in input buffer `(p, vc)`.
+    pub fn space(&self, p: usize, vc: usize) -> usize {
+        self.in_cap[p].saturating_sub(self.in_buf[p][vc].len())
+    }
+
+    /// Total flits buffered in this switch.
+    pub fn occupancy(&self) -> usize {
+        self.in_buf
+            .iter()
+            .flat_map(|port| port.iter())
+            .map(VecDeque::len)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::mesh::mesh;
+    use crate::topology::wireless::{ChannelId, WirelessInterface};
+
+    fn overlay_at(node: usize) -> WirelessOverlay {
+        WirelessOverlay::new(
+            vec![WirelessInterface {
+                node: NodeId(node),
+                channel: ChannelId(0),
+            }],
+            1,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn port_map_mesh_corner() {
+        let m = mesh(3, 3, 1.0);
+        let pm = PortMap::new(&m, &WirelessOverlay::none());
+        // Corner 0 has neighbours 1 and 3 -> ports 1 and 2 plus local.
+        assert_eq!(pm.port_count(NodeId(0)), 3);
+        assert_eq!(pm.wire_port(NodeId(0), NodeId(1)), 1);
+        assert_eq!(pm.wire_port(NodeId(0), NodeId(3)), 2);
+        assert_eq!(pm.peer(NodeId(0), 1), Some(NodeId(1)));
+        assert_eq!(pm.peer(NodeId(0), 0), None);
+        assert_eq!(pm.wireless_port(NodeId(0)), None);
+    }
+
+    #[test]
+    fn port_map_with_wi() {
+        let m = mesh(3, 3, 1.0);
+        let pm = PortMap::new(&m, &overlay_at(4));
+        // Centre has 4 neighbours, so wireless is port 5.
+        assert_eq!(pm.wireless_port(NodeId(4)), Some(5));
+        assert_eq!(pm.port_count(NodeId(4)), 6);
+        assert_eq!(pm.radix(NodeId(4)), 6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wire_port_panics_for_non_neighbor() {
+        let m = mesh(3, 3, 1.0);
+        let pm = PortMap::new(&m, &WirelessOverlay::none());
+        let _ = pm.wire_port(NodeId(0), NodeId(8));
+    }
+
+    #[test]
+    fn switch_state_space_per_vc() {
+        let mut s = SwitchState::new(vec![2, 2, 8], 2);
+        assert_eq!(s.vcs(), 2);
+        assert_eq!(s.space(2, 0), 8);
+        assert_eq!(s.space(2, 1), 8);
+        s.in_buf[2][1].push_back(crate::flit::flits_of(
+            crate::flit::PacketId(0),
+            NodeId(0),
+            NodeId(1),
+            1,
+            0,
+        )[0]);
+        assert_eq!(s.space(2, 1), 7);
+        assert_eq!(s.space(2, 0), 8);
+        assert_eq!(s.occupancy(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_vcs_panics() {
+        let _ = SwitchState::new(vec![2], 0);
+    }
+}

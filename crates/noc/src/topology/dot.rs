@@ -1,0 +1,122 @@
+//! Graphviz (DOT) export of topologies — handy for eyeballing the
+//! small-world wiring and the wireless overlay.
+//!
+//! ```sh
+//! cargo run --release --bin mapwave -- design WC   # then render:
+//! dot -Kneato -n -Tpng winoc.dot -o winoc.png
+//! ```
+
+use super::Topology;
+use crate::topology::wireless::WirelessOverlay;
+use std::fmt::Write as _;
+
+/// Renders `topo` (and optionally a wireless overlay) as a Graphviz graph.
+///
+/// Nodes are pinned to their physical positions (use `-Kneato -n` when
+/// rendering), wireless interfaces are filled and labelled with their
+/// channel, and wireless channels are drawn as dashed cliques.
+///
+/// # Examples
+///
+/// ```
+/// use mapwave_noc::topology::mesh::mesh;
+/// use mapwave_noc::topology::dot::to_dot;
+/// use mapwave_noc::topology::wireless::WirelessOverlay;
+///
+/// let dot = to_dot(&mesh(2, 2, 1.0), &WirelessOverlay::none());
+/// assert!(dot.starts_with("graph noc {"));
+/// assert!(dot.contains("n0 -- n1"));
+/// ```
+pub fn to_dot(topo: &Topology, overlay: &WirelessOverlay) -> String {
+    let mut out = String::from("graph noc {\n");
+    out.push_str("  node [shape=circle, fontsize=10, width=0.35, fixedsize=true];\n");
+
+    for v in topo.nodes() {
+        let pos = topo.position(v);
+        match overlay.channel_of(v) {
+            Some(ch) => {
+                let _ = writeln!(
+                    out,
+                    "  n{} [pos=\"{:.1},{:.1}!\", style=filled, fillcolor=lightblue, \
+                     xlabel=\"{}\"];",
+                    v.index(),
+                    pos.x * 40.0,
+                    -pos.y * 40.0,
+                    ch
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "  n{} [pos=\"{:.1},{:.1}!\"];",
+                    v.index(),
+                    pos.x * 40.0,
+                    -pos.y * 40.0
+                );
+            }
+        }
+    }
+
+    for (a, b) in topo.links() {
+        let _ = writeln!(out, "  n{} -- n{};", a.index(), b.index());
+    }
+
+    // Dashed cliques per wireless channel.
+    for c in 0..overlay.channel_count() {
+        let members = overlay.channel_members(crate::topology::wireless::ChannelId(c));
+        for (i, &a) in members.iter().enumerate() {
+            for &b in &members[i + 1..] {
+                let _ = writeln!(
+                    out,
+                    "  n{} -- n{} [style=dashed, color=steelblue, constraint=false];",
+                    a.index(),
+                    b.index()
+                );
+            }
+        }
+    }
+
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeId;
+    use crate::topology::mesh::mesh;
+    use crate::topology::wireless::{ChannelId, WirelessInterface};
+
+    #[test]
+    fn mesh_export_lists_all_links() {
+        let m = mesh(3, 3, 1.0);
+        let dot = to_dot(&m, &WirelessOverlay::none());
+        assert_eq!(dot.matches(" -- ").count(), m.link_count());
+        for v in 0..9 {
+            assert!(dot.contains(&format!("n{v} [pos=")));
+        }
+    }
+
+    #[test]
+    fn wireless_members_are_marked_and_linked() {
+        let m = mesh(3, 3, 1.0);
+        let overlay = WirelessOverlay::new(
+            vec![
+                WirelessInterface { node: NodeId(0), channel: ChannelId(0) },
+                WirelessInterface { node: NodeId(8), channel: ChannelId(0) },
+            ],
+            1,
+        )
+        .unwrap();
+        let dot = to_dot(&m, &overlay);
+        assert!(dot.contains("fillcolor=lightblue"));
+        assert!(dot.contains("n0 -- n8 [style=dashed"));
+    }
+
+    #[test]
+    fn output_is_wellformed() {
+        let dot = to_dot(&mesh(2, 2, 1.0), &WirelessOverlay::none());
+        assert!(dot.starts_with("graph noc {"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

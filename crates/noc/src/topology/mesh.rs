@@ -1,0 +1,117 @@
+//! Regular 2-D mesh generator — the paper's baseline interconnect.
+
+use super::{Topology, TopologyKind};
+use crate::node::{grid_positions, NodeId};
+
+/// Builds a `cols x rows` 2-D mesh with tile pitch `tile_mm`.
+///
+/// Node ids are row-major: node `r * cols + c` sits at column `c`, row `r`.
+/// Every node links to its 4-neighbourhood, giving corner nodes degree 2,
+/// edge nodes degree 3 and interior nodes degree 4 — the conventional
+/// mesh NoC the paper uses for both the NVFI and VFI-mesh baselines.
+///
+/// # Panics
+///
+/// Panics if `cols == 0 || rows == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use mapwave_noc::topology::mesh::mesh;
+///
+/// let m = mesh(8, 8, 2.5);
+/// assert_eq!(m.len(), 64);
+/// assert!(m.is_connected());
+/// assert_eq!(m.diameter(), 14); // (8-1)+(8-1)
+/// ```
+pub fn mesh(cols: usize, rows: usize, tile_mm: f64) -> Topology {
+    assert!(cols > 0 && rows > 0, "mesh dimensions must be nonzero");
+    let mut t = Topology::new(
+        grid_positions(cols, rows, tile_mm),
+        TopologyKind::Mesh { cols, rows },
+    );
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = NodeId(r * cols + c);
+            if c + 1 < cols {
+                t.add_link(v, NodeId(r * cols + c + 1))
+                    .expect("mesh link must be fresh");
+            }
+            if r + 1 < rows {
+                t.add_link(v, NodeId((r + 1) * cols + c))
+                    .expect("mesh link must be fresh");
+            }
+        }
+    }
+    t
+}
+
+/// Returns `(col, row)` coordinates of `node` in a `cols`-wide mesh.
+pub fn coords(node: NodeId, cols: usize) -> (usize, usize) {
+    (node.index() % cols, node.index() / cols)
+}
+
+/// Returns the node at `(col, row)` in a `cols`-wide mesh.
+pub fn node_at(col: usize, row: usize, cols: usize) -> NodeId {
+    NodeId(row * cols + col)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_link_count() {
+        // cols*(rows-1) + rows*(cols-1)
+        let m = mesh(4, 3, 1.0);
+        assert_eq!(m.link_count(), 4 * 2 + 3 * 3);
+    }
+
+    #[test]
+    fn mesh_degrees() {
+        let m = mesh(3, 3, 1.0);
+        assert_eq!(m.degree(NodeId(0)), 2); // corner
+        assert_eq!(m.degree(NodeId(1)), 3); // edge
+        assert_eq!(m.degree(NodeId(4)), 4); // centre
+    }
+
+    #[test]
+    fn mesh_8x8_matches_paper_baseline() {
+        let m = mesh(8, 8, 2.5);
+        assert_eq!(m.len(), 64);
+        assert!(m.is_connected());
+        // ⟨k⟩ of an 8x8 mesh is 2*112/64 = 3.5, bounded by 4.
+        assert!(m.avg_degree() <= 4.0);
+        assert_eq!(m.max_degree(), 4);
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        for i in 0..64 {
+            let (c, r) = coords(NodeId(i), 8);
+            assert_eq!(node_at(c, r, 8), NodeId(i));
+        }
+    }
+
+    #[test]
+    fn single_node_mesh() {
+        let m = mesh(1, 1, 1.0);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.link_count(), 0);
+        assert!(m.is_connected());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_dim_mesh_panics() {
+        let _ = mesh(0, 3, 1.0);
+    }
+
+    #[test]
+    fn mesh_link_lengths_equal_pitch() {
+        let m = mesh(3, 3, 2.5);
+        for (a, b) in m.links() {
+            assert!((m.link_length_mm(a, b) - 2.5).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Graph-theoretic topology metrics.
+//!
+//! The WiNoC literature the paper builds on (Ogras & Marculescu's
+//! long-range link insertion, Petermann & De Los Rios' spatial small
+//! worlds) characterises fabrics by their *small-worldness*: a small-world
+//! network combines the high clustering of a lattice with the short paths
+//! of a random graph. These metrics quantify that for any [`Topology`]:
+//!
+//! * [`clustering_coefficient`] — the Watts–Strogatz average local
+//!   clustering `C`;
+//! * [`Topology::avg_hop_count`] — the characteristic path length `L`;
+//! * [`small_world_sigma`] — `σ = (C/C_rand) / (L/L_rand)` against an
+//!   Erdős–Rényi null model of the same size and density (`σ > 1` is the
+//!   usual small-world criterion);
+//! * [`degree_histogram`] — the port-usage distribution bounded by the
+//!   builder's `k_max`.
+
+use super::Topology;
+
+
+/// Watts–Strogatz average local clustering coefficient.
+///
+/// For each node, the fraction of its neighbour pairs that are themselves
+/// linked; nodes of degree < 2 contribute 0. Returns 0 for empty graphs.
+///
+/// # Examples
+///
+/// ```
+/// use mapwave_noc::topology::metrics::clustering_coefficient;
+/// use mapwave_noc::topology::mesh::mesh;
+///
+/// // Meshes are triangle-free: clustering 0.
+/// assert_eq!(clustering_coefficient(&mesh(4, 4, 1.0)), 0.0);
+/// ```
+pub fn clustering_coefficient(topo: &Topology) -> f64 {
+    if topo.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for v in topo.nodes() {
+        let neigh = topo.neighbors(v);
+        let k = neigh.len();
+        if k < 2 {
+            continue;
+        }
+        let mut closed = 0usize;
+        for (i, &a) in neigh.iter().enumerate() {
+            for &b in &neigh[i + 1..] {
+                if topo.has_link(a, b) {
+                    closed += 1;
+                }
+            }
+        }
+        total += 2.0 * closed as f64 / (k * (k - 1)) as f64;
+    }
+    total / topo.len() as f64
+}
+
+/// Analytic expectations for an Erdős–Rényi random graph with the same
+/// node count and mean degree: `C_rand ≈ ⟨k⟩/n`, `L_rand ≈ ln n / ln ⟨k⟩`.
+fn random_baseline(n: usize, avg_degree: f64) -> (f64, f64) {
+    let c_rand = (avg_degree / n as f64).max(1e-12);
+    let l_rand = if avg_degree > 1.0 {
+        ((n as f64).ln() / avg_degree.ln()).max(1.0)
+    } else {
+        n as f64
+    };
+    (c_rand, l_rand)
+}
+
+/// The small-world coefficient `σ = (C/C_rand) / (L/L_rand)`.
+///
+/// `σ > 1` indicates a small-world graph (lattice-like clustering, random-
+/// graph-like distances). Returns 0 for graphs with fewer than 3 nodes or
+/// without paths.
+pub fn small_world_sigma(topo: &Topology) -> f64 {
+    let n = topo.len();
+    if n < 3 {
+        return 0.0;
+    }
+    let l = topo.avg_hop_count();
+    if l <= 0.0 {
+        return 0.0;
+    }
+    let c = clustering_coefficient(topo);
+    let (c_rand, l_rand) = random_baseline(n, topo.avg_degree());
+    (c / c_rand) / (l / l_rand)
+}
+
+/// Histogram of wireline degrees: `hist[k]` counts nodes with `k` links.
+pub fn degree_histogram(topo: &Topology) -> Vec<usize> {
+    let mut hist = vec![0usize; topo.max_degree() + 1];
+    for v in topo.nodes() {
+        hist[topo.degree(v)] += 1;
+    }
+    hist
+}
+
+/// Mean physical wire length over all links, in mm (0 for edgeless graphs).
+pub fn mean_link_length_mm(topo: &Topology) -> f64 {
+    let count = topo.link_count();
+    if count == 0 {
+        return 0.0;
+    }
+    topo.links()
+        .map(|(a, b)| topo.link_length_mm(a, b))
+        .sum::<f64>()
+        / count as f64
+}
+
+/// A one-line summary of a topology's shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologySummary {
+    /// Node count.
+    pub nodes: usize,
+    /// Link count.
+    pub links: usize,
+    /// Mean degree ⟨k⟩.
+    pub avg_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Characteristic path length `L`.
+    pub avg_hops: f64,
+    /// Diameter in hops.
+    pub diameter: usize,
+    /// Clustering coefficient `C`.
+    pub clustering: f64,
+    /// Small-world coefficient `σ`.
+    pub sigma: f64,
+    /// Mean wire length, mm.
+    pub mean_wire_mm: f64,
+}
+
+/// Computes a [`TopologySummary`].
+pub fn summarize(topo: &Topology) -> TopologySummary {
+    TopologySummary {
+        nodes: topo.len(),
+        links: topo.link_count(),
+        avg_degree: topo.avg_degree(),
+        max_degree: topo.max_degree(),
+        avg_hops: topo.avg_hop_count(),
+        diameter: topo.diameter(),
+        clustering: clustering_coefficient(topo),
+        sigma: small_world_sigma(topo),
+        mean_wire_mm: mean_link_length_mm(topo),
+    }
+}
+
+impl std::fmt::Display for TopologySummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} links={} <k>={:.2} kmax={} L={:.2} D={} C={:.3} sigma={:.2} wire={:.2}mm",
+            self.nodes,
+            self.links,
+            self.avg_degree,
+            self.max_degree,
+            self.avg_hops,
+            self.diameter,
+            self.clustering,
+            self.sigma,
+            self.mean_wire_mm
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{grid_positions, NodeId};
+    use crate::topology::mesh::mesh;
+    use crate::topology::small_world::SmallWorldBuilder;
+    use crate::topology::TopologyKind;
+    use crate::node::Position;
+
+    fn triangle() -> Topology {
+        let mut t = Topology::new(
+            vec![
+                Position::new(0.0, 0.0),
+                Position::new(1.0, 0.0),
+                Position::new(0.0, 1.0),
+            ],
+            TopologyKind::Custom,
+        );
+        t.add_link(NodeId(0), NodeId(1)).unwrap();
+        t.add_link(NodeId(1), NodeId(2)).unwrap();
+        t.add_link(NodeId(0), NodeId(2)).unwrap();
+        t
+    }
+
+    #[test]
+    fn triangle_is_fully_clustered() {
+        assert!((clustering_coefficient(&triangle()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mesh_has_zero_clustering() {
+        assert_eq!(clustering_coefficient(&mesh(5, 5, 1.0)), 0.0);
+    }
+
+    #[test]
+    fn small_world_beats_mesh_on_path_length() {
+        let clusters: Vec<usize> = (0..64).map(|i| (i % 8) / 4 + 2 * ((i / 8) / 4)).collect();
+        let sw = SmallWorldBuilder::new(grid_positions(8, 8, 2.5), clusters)
+            .alpha(1.5)
+            .seed(1)
+            .build()
+            .unwrap();
+        let m = mesh(8, 8, 2.5);
+        assert!(sw.avg_hop_count() < m.avg_hop_count());
+        // The power-law graph has triangles, the mesh has none.
+        assert!(clustering_coefficient(&sw) > 0.0);
+        assert!(small_world_sigma(&sw) > small_world_sigma(&m));
+    }
+
+    #[test]
+    fn degree_histogram_sums_to_n() {
+        let m = mesh(4, 4, 1.0);
+        let hist = degree_histogram(&m);
+        assert_eq!(hist.iter().sum::<usize>(), 16);
+        // 4 corners (deg 2), 8 edges (deg 3), 4 interior (deg 4).
+        assert_eq!(hist[2], 4);
+        assert_eq!(hist[3], 8);
+        assert_eq!(hist[4], 4);
+    }
+
+    #[test]
+    fn mean_link_length_of_mesh_is_pitch() {
+        assert!((mean_link_length_mm(&mesh(3, 3, 2.5)) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_renders() {
+        let s = summarize(&mesh(4, 4, 1.0));
+        assert_eq!(s.nodes, 16);
+        assert_eq!(s.links, 24);
+        let text = s.to_string();
+        assert!(text.contains("n=16"));
+        assert!(text.contains("D=6"));
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs() {
+        let empty = Topology::new(vec![], TopologyKind::Custom);
+        assert_eq!(clustering_coefficient(&empty), 0.0);
+        assert_eq!(small_world_sigma(&empty), 0.0);
+        assert_eq!(mean_link_length_mm(&empty), 0.0);
+        assert_eq!(small_world_sigma(&triangle()), small_world_sigma(&triangle()));
+    }
+}

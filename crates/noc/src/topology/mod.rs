@@ -1,0 +1,459 @@
+//! Network topologies: the switch graph and its geometric embedding.
+//!
+//! A [`Topology`] is an undirected graph of switches with physical positions.
+//! Generators for the paper's two wireline fabrics live in the submodules:
+//!
+//! * [`mesh`] — the conventional 2-D mesh used by the NVFI/VFI mesh baselines;
+//! * [`small_world`] — the power-law small-world wireline network underlying
+//!   the WiNoC, built cluster-aware (⟨k_intra⟩/⟨k_inter⟩ split).
+//!
+//! The wireless overlay (wireless interfaces and channels) is described by
+//! [`wireless::WirelessOverlay`] and is kept separate from the wireline graph
+//! so that routing and energy accounting can distinguish the two media.
+
+pub mod dot;
+pub mod mesh;
+pub mod metrics;
+pub mod small_world;
+pub mod wireless;
+
+use crate::node::{NodeId, Position};
+use std::collections::VecDeque;
+
+/// What generated a topology; carried along for reporting and for routing
+/// algorithm selection (meshes may use XY routing, irregular graphs use
+/// up*/down*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyKind {
+    /// Regular 2-D mesh with the given dimensions.
+    Mesh {
+        /// Number of columns.
+        cols: usize,
+        /// Number of rows.
+        rows: usize,
+    },
+    /// Power-law small-world wireline graph.
+    SmallWorld,
+    /// Anything hand-built.
+    Custom,
+}
+
+/// Errors produced while constructing or mutating a [`Topology`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A link endpoint referenced a node outside the graph.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// Number of nodes in the graph.
+        len: usize,
+    },
+    /// A self-loop was requested.
+    SelfLoop(NodeId),
+    /// The link already exists.
+    DuplicateLink(NodeId, NodeId),
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::NodeOutOfRange { node, len } => {
+                write!(f, "node {node} out of range for topology of {len} nodes")
+            }
+            TopologyError::SelfLoop(n) => write!(f, "self-loop requested at {n}"),
+            TopologyError::DuplicateLink(a, b) => {
+                write!(f, "link {a}-{b} already exists")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// An undirected switch graph with a physical embedding.
+///
+/// Nodes are `0..len()`. Links are undirected and unique; neighbour lists are
+/// kept sorted so that iteration order (and therefore every simulation that
+/// consumes a topology) is deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use mapwave_noc::{Topology, NodeId};
+///
+/// let mut t = Topology::ring(4, 1.0);
+/// assert_eq!(t.len(), 4);
+/// assert!(t.is_connected());
+/// assert_eq!(t.degree(NodeId(0)), 2);
+/// t.add_link(NodeId(0), NodeId(2)).unwrap();
+/// assert_eq!(t.degree(NodeId(0)), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Topology {
+    positions: Vec<Position>,
+    adj: Vec<Vec<NodeId>>,
+    kind: TopologyKind,
+}
+
+impl Topology {
+    /// Creates an edgeless topology over the given tile positions.
+    pub fn new(positions: Vec<Position>, kind: TopologyKind) -> Self {
+        let n = positions.len();
+        Topology {
+            positions,
+            adj: vec![Vec::new(); n],
+            kind,
+        }
+    }
+
+    /// Creates a ring of `n` equally spaced nodes (spacing `pitch_mm`).
+    ///
+    /// Mostly useful in tests and examples; real fabrics come from
+    /// [`mesh::mesh`] and [`small_world::SmallWorldBuilder`].
+    pub fn ring(n: usize, pitch_mm: f64) -> Self {
+        let positions = (0..n)
+            .map(|i| Position::new(i as f64 * pitch_mm, 0.0))
+            .collect();
+        let mut t = Topology::new(positions, TopologyKind::Custom);
+        for i in 0..n {
+            if n > 1 {
+                let j = (i + 1) % n;
+                if i < j || (j == 0 && i == n - 1 && n > 2) {
+                    let _ = t.add_link(NodeId(i), NodeId(j));
+                }
+            }
+        }
+        t
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The generator that produced this topology.
+    pub fn kind(&self) -> TopologyKind {
+        self.kind
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.len()).map(NodeId)
+    }
+
+    /// Physical position of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn position(&self, node: NodeId) -> Position {
+        self.positions[node.index()]
+    }
+
+    /// Sorted list of wireline neighbours of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.adj[node.index()]
+    }
+
+    /// Number of wireline links at `node` (excludes the local core port and
+    /// any wireless port).
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.adj[node.index()].len()
+    }
+
+    /// Largest wireline degree in the graph.
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Average wireline degree ⟨k⟩.
+    pub fn avg_degree(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        2.0 * self.link_count() as f64 / self.len() as f64
+    }
+
+    /// Total number of undirected links.
+    pub fn link_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Whether an undirected link `a`–`b` exists.
+    pub fn has_link(&self, a: NodeId, b: NodeId) -> bool {
+        a.index() < self.len() && self.adj[a.index()].binary_search(&b).is_ok()
+    }
+
+    /// Adds the undirected link `a`–`b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError`] if either endpoint is out of range, if
+    /// `a == b`, or if the link already exists.
+    pub fn add_link(&mut self, a: NodeId, b: NodeId) -> Result<(), TopologyError> {
+        let len = self.len();
+        for n in [a, b] {
+            if n.index() >= len {
+                return Err(TopologyError::NodeOutOfRange { node: n, len });
+            }
+        }
+        if a == b {
+            return Err(TopologyError::SelfLoop(a));
+        }
+        if self.has_link(a, b) {
+            return Err(TopologyError::DuplicateLink(a, b));
+        }
+        let ia = self.adj[a.index()].binary_search(&b).unwrap_err();
+        self.adj[a.index()].insert(ia, b);
+        let ib = self.adj[b.index()].binary_search(&a).unwrap_err();
+        self.adj[b.index()].insert(ib, a);
+        Ok(())
+    }
+
+    /// Removes the undirected link `a`–`b` if present; reports whether it
+    /// existed.
+    pub fn remove_link(&mut self, a: NodeId, b: NodeId) -> bool {
+        if !self.has_link(a, b) {
+            return false;
+        }
+        let ia = self.adj[a.index()].binary_search(&b).unwrap();
+        self.adj[a.index()].remove(ia);
+        let ib = self.adj[b.index()].binary_search(&a).unwrap();
+        self.adj[b.index()].remove(ib);
+        true
+    }
+
+    /// Iterator over all undirected links as `(a, b)` with `a < b`.
+    pub fn links(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes().flat_map(move |a| {
+            self.adj[a.index()]
+                .iter()
+                .copied()
+                .filter(move |&b| a < b)
+                .map(move |b| (a, b))
+        })
+    }
+
+    /// Physical (rectilinear) length of the wire implementing link `a`–`b`,
+    /// in mm.
+    pub fn link_length_mm(&self, a: NodeId, b: NodeId) -> f64 {
+        self.position(a).manhattan(self.position(b))
+    }
+
+    /// Whether every node can reach every other node over wireline links.
+    pub fn is_connected(&self) -> bool {
+        if self.is_empty() {
+            return true;
+        }
+        let mut seen = vec![false; self.len()];
+        let mut queue = VecDeque::new();
+        seen[0] = true;
+        queue.push_back(NodeId(0));
+        let mut count = 1;
+        while let Some(v) = queue.pop_front() {
+            for &w in self.neighbors(v) {
+                if !seen[w.index()] {
+                    seen[w.index()] = true;
+                    count += 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        count == self.len()
+    }
+
+    /// Hop distance from `src` to every node (BFS); unreachable nodes get
+    /// `usize::MAX`.
+    pub fn hops_from(&self, src: NodeId) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.len()];
+        let mut queue = VecDeque::new();
+        dist[src.index()] = 0;
+        queue.push_back(src);
+        while let Some(v) = queue.pop_front() {
+            for &w in self.neighbors(v) {
+                if dist[w.index()] == usize::MAX {
+                    dist[w.index()] = dist[v.index()] + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        dist
+    }
+
+    /// All-pairs hop distances (`result[s][d]`); unreachable pairs get
+    /// `usize::MAX`.
+    pub fn hop_counts(&self) -> Vec<Vec<usize>> {
+        self.nodes().map(|s| self.hops_from(s)).collect()
+    }
+
+    /// Mean hop count over all ordered pairs of distinct, mutually reachable
+    /// nodes. Returns 0 for graphs with fewer than two nodes.
+    pub fn avg_hop_count(&self) -> f64 {
+        let mut total = 0usize;
+        let mut pairs = 0usize;
+        for s in self.nodes() {
+            for (d, &h) in self.hops_from(s).iter().enumerate() {
+                if d != s.index() && h != usize::MAX {
+                    total += h;
+                    pairs += 1;
+                }
+            }
+        }
+        if pairs == 0 {
+            0.0
+        } else {
+            total as f64 / pairs as f64
+        }
+    }
+
+    /// Longest shortest path in hops; `usize::MAX` if disconnected.
+    pub fn diameter(&self) -> usize {
+        let mut best = 0usize;
+        for s in self.nodes() {
+            for (d, &h) in self.hops_from(s).iter().enumerate() {
+                if d != s.index() {
+                    if h == usize::MAX {
+                        return usize::MAX;
+                    }
+                    best = best.max(h);
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize) -> Topology {
+        let mut t = Topology::new(
+            (0..n).map(|i| Position::new(i as f64, 0.0)).collect(),
+            TopologyKind::Custom,
+        );
+        for i in 0..n.saturating_sub(1) {
+            t.add_link(NodeId(i), NodeId(i + 1)).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn add_link_rejects_self_loop() {
+        let mut t = line(3);
+        assert_eq!(
+            t.add_link(NodeId(1), NodeId(1)),
+            Err(TopologyError::SelfLoop(NodeId(1)))
+        );
+    }
+
+    #[test]
+    fn add_link_rejects_duplicate() {
+        let mut t = line(3);
+        assert_eq!(
+            t.add_link(NodeId(0), NodeId(1)),
+            Err(TopologyError::DuplicateLink(NodeId(0), NodeId(1)))
+        );
+        // Reverse orientation is the same undirected link.
+        assert_eq!(
+            t.add_link(NodeId(1), NodeId(0)),
+            Err(TopologyError::DuplicateLink(NodeId(1), NodeId(0)))
+        );
+    }
+
+    #[test]
+    fn add_link_rejects_out_of_range() {
+        let mut t = line(3);
+        assert!(matches!(
+            t.add_link(NodeId(0), NodeId(9)),
+            Err(TopologyError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn neighbors_stay_sorted() {
+        let mut t = line(5);
+        t.add_link(NodeId(4), NodeId(0)).unwrap();
+        t.add_link(NodeId(2), NodeId(0)).unwrap();
+        assert_eq!(t.neighbors(NodeId(0)), &[NodeId(1), NodeId(2), NodeId(4)]);
+    }
+
+    #[test]
+    fn remove_link_works() {
+        let mut t = line(4);
+        assert!(t.remove_link(NodeId(1), NodeId(2)));
+        assert!(!t.has_link(NodeId(1), NodeId(2)));
+        assert!(!t.remove_link(NodeId(1), NodeId(2)));
+        assert!(!t.is_connected());
+    }
+
+    #[test]
+    fn line_metrics() {
+        let t = line(5);
+        assert_eq!(t.link_count(), 4);
+        assert_eq!(t.diameter(), 4);
+        assert!(t.is_connected());
+        assert_eq!(t.hops_from(NodeId(0))[4], 4);
+    }
+
+    #[test]
+    fn ring_is_connected_with_degree_two() {
+        let t = Topology::ring(6, 1.0);
+        assert!(t.is_connected());
+        for v in t.nodes() {
+            assert_eq!(t.degree(v), 2);
+        }
+        assert_eq!(t.diameter(), 3);
+    }
+
+    #[test]
+    fn avg_hop_count_of_pair() {
+        let t = line(2);
+        assert!((t.avg_hop_count() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn links_iterator_unique_and_ordered() {
+        let t = Topology::ring(4, 1.0);
+        let links: Vec<_> = t.links().collect();
+        assert_eq!(links.len(), t.link_count());
+        for (a, b) in links {
+            assert!(a < b);
+        }
+    }
+
+    #[test]
+    fn link_length_uses_manhattan() {
+        let mut t = Topology::new(
+            vec![Position::new(0.0, 0.0), Position::new(2.0, 1.5)],
+            TopologyKind::Custom,
+        );
+        t.add_link(NodeId(0), NodeId(1)).unwrap();
+        assert!((t.link_length_mm(NodeId(0), NodeId(1)) - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_topology_is_connected() {
+        let t = Topology::new(vec![], TopologyKind::Custom);
+        assert!(t.is_connected());
+        assert_eq!(t.avg_degree(), 0.0);
+    }
+
+    #[test]
+    fn disconnected_diameter_is_max() {
+        let t = Topology::new(
+            vec![Position::new(0.0, 0.0), Position::new(1.0, 0.0)],
+            TopologyKind::Custom,
+        );
+        assert_eq!(t.diameter(), usize::MAX);
+    }
+}

@@ -1,0 +1,255 @@
+//! Wireless overlay: mm-wave wireless interfaces (WIs) and channels.
+//!
+//! Following Deb et al. \[8\], three non-overlapping mm-wave channels can be
+//! realised on-chip, and for a 64-core system the optimum WI count is 12
+//! (Wettin et al. \[20\]). The paper assigns three WIs — one per channel — to
+//! each of the four VFI clusters. A WI gives its switch one extra port with
+//! a deeper (8-flit) buffer; all WIs tuned to the same channel share that
+//! medium under a token-passing MAC (see [`crate::mac`]).
+
+use crate::node::NodeId;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a wireless channel (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ChannelId(pub usize);
+
+impl ChannelId {
+    /// Returns the underlying index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ch{}", self.0)
+    }
+}
+
+/// A wireless interface: one switch equipped with a transceiver tuned to one
+/// channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WirelessInterface {
+    /// The switch carrying this WI.
+    pub node: NodeId,
+    /// The channel the transceiver is tuned to.
+    pub channel: ChannelId,
+}
+
+/// Errors from [`WirelessOverlay::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WirelessError {
+    /// The same switch was given two WIs.
+    DuplicateNode(NodeId),
+    /// A WI referenced a channel ≥ the channel count.
+    ChannelOutOfRange {
+        /// The offending channel.
+        channel: ChannelId,
+        /// Number of channels in the overlay.
+        channels: usize,
+    },
+}
+
+impl fmt::Display for WirelessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WirelessError::DuplicateNode(n) => write!(f, "node {n} has more than one WI"),
+            WirelessError::ChannelOutOfRange { channel, channels } => {
+                write!(f, "{channel} out of range for {channels} channels")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WirelessError {}
+
+/// The set of wireless interfaces overlaid on a wireline topology.
+///
+/// # Examples
+///
+/// ```
+/// use mapwave_noc::topology::wireless::{WirelessOverlay, WirelessInterface, ChannelId};
+/// use mapwave_noc::NodeId;
+///
+/// let overlay = WirelessOverlay::new(
+///     vec![
+///         WirelessInterface { node: NodeId(0), channel: ChannelId(0) },
+///         WirelessInterface { node: NodeId(9), channel: ChannelId(0) },
+///         WirelessInterface { node: NodeId(5), channel: ChannelId(1) },
+///         WirelessInterface { node: NodeId(12), channel: ChannelId(1) },
+///     ],
+///     2,
+/// )?;
+/// assert_eq!(overlay.len(), 4);
+/// assert_eq!(overlay.channel_members(ChannelId(0)), vec![NodeId(0), NodeId(9)]);
+/// assert!(overlay.is_wi(NodeId(5)));
+/// # Ok::<(), mapwave_noc::topology::wireless::WirelessError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WirelessOverlay {
+    wis: Vec<WirelessInterface>,
+    channel_count: usize,
+    by_node: BTreeMap<NodeId, ChannelId>,
+}
+
+impl WirelessOverlay {
+    /// The number of non-overlapping mm-wave channels demonstrated in \[8\].
+    pub const PAPER_CHANNELS: usize = 3;
+    /// The optimum WI count for a 64-core system per \[20\].
+    pub const PAPER_WI_COUNT: usize = 12;
+
+    /// Creates an overlay from WIs and the channel count.
+    ///
+    /// WIs are kept sorted by node id so iteration is deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WirelessError`] if two WIs share a switch or a channel id is
+    /// out of range.
+    pub fn new(
+        mut wis: Vec<WirelessInterface>,
+        channel_count: usize,
+    ) -> Result<Self, WirelessError> {
+        wis.sort_by_key(|w| w.node);
+        let mut by_node = BTreeMap::new();
+        for wi in &wis {
+            if wi.channel.index() >= channel_count {
+                return Err(WirelessError::ChannelOutOfRange {
+                    channel: wi.channel,
+                    channels: channel_count,
+                });
+            }
+            if by_node.insert(wi.node, wi.channel).is_some() {
+                return Err(WirelessError::DuplicateNode(wi.node));
+            }
+        }
+        Ok(WirelessOverlay {
+            wis,
+            channel_count,
+            by_node,
+        })
+    }
+
+    /// An overlay with no wireless equipment (pure wireline network).
+    pub fn none() -> Self {
+        WirelessOverlay {
+            wis: Vec::new(),
+            channel_count: 0,
+            by_node: BTreeMap::new(),
+        }
+    }
+
+    /// Number of WIs.
+    pub fn len(&self) -> usize {
+        self.wis.len()
+    }
+
+    /// Whether the overlay has no WIs.
+    pub fn is_empty(&self) -> bool {
+        self.wis.is_empty()
+    }
+
+    /// Number of channels.
+    pub fn channel_count(&self) -> usize {
+        self.channel_count
+    }
+
+    /// All WIs, sorted by node id.
+    pub fn interfaces(&self) -> &[WirelessInterface] {
+        &self.wis
+    }
+
+    /// The channel of the WI at `node`, if any.
+    pub fn channel_of(&self, node: NodeId) -> Option<ChannelId> {
+        self.by_node.get(&node).copied()
+    }
+
+    /// Whether `node` carries a WI.
+    pub fn is_wi(&self, node: NodeId) -> bool {
+        self.by_node.contains_key(&node)
+    }
+
+    /// Nodes whose WIs are tuned to `channel`, sorted by id.
+    pub fn channel_members(&self, channel: ChannelId) -> Vec<NodeId> {
+        self.wis
+            .iter()
+            .filter(|w| w.channel == channel)
+            .map(|w| w.node)
+            .collect()
+    }
+
+    /// Whether a single wireless hop `a → b` exists (both are WIs on the same
+    /// channel and are distinct).
+    pub fn wireless_hop(&self, a: NodeId, b: NodeId) -> Option<ChannelId> {
+        match (self.channel_of(a), self.channel_of(b)) {
+            (Some(ca), Some(cb)) if ca == cb && a != b => Some(ca),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wi(node: usize, ch: usize) -> WirelessInterface {
+        WirelessInterface {
+            node: NodeId(node),
+            channel: ChannelId(ch),
+        }
+    }
+
+    #[test]
+    fn rejects_duplicate_node() {
+        let err = WirelessOverlay::new(vec![wi(3, 0), wi(3, 1)], 2).unwrap_err();
+        assert_eq!(err, WirelessError::DuplicateNode(NodeId(3)));
+    }
+
+    #[test]
+    fn rejects_channel_out_of_range() {
+        let err = WirelessOverlay::new(vec![wi(3, 2)], 2).unwrap_err();
+        assert!(matches!(err, WirelessError::ChannelOutOfRange { .. }));
+    }
+
+    #[test]
+    fn members_sorted() {
+        let o = WirelessOverlay::new(vec![wi(9, 0), wi(2, 0), wi(5, 1)], 2).unwrap();
+        assert_eq!(o.channel_members(ChannelId(0)), vec![NodeId(2), NodeId(9)]);
+    }
+
+    #[test]
+    fn wireless_hop_requires_same_channel() {
+        let o = WirelessOverlay::new(vec![wi(1, 0), wi(2, 0), wi(3, 1)], 2).unwrap();
+        assert_eq!(o.wireless_hop(NodeId(1), NodeId(2)), Some(ChannelId(0)));
+        assert_eq!(o.wireless_hop(NodeId(1), NodeId(3)), None);
+        assert_eq!(o.wireless_hop(NodeId(1), NodeId(1)), None);
+        assert_eq!(o.wireless_hop(NodeId(1), NodeId(7)), None);
+    }
+
+    #[test]
+    fn none_overlay_is_empty() {
+        let o = WirelessOverlay::none();
+        assert!(o.is_empty());
+        assert_eq!(o.channel_count(), 0);
+        assert!(!o.is_wi(NodeId(0)));
+    }
+
+    #[test]
+    fn paper_constants() {
+        assert_eq!(WirelessOverlay::PAPER_CHANNELS, 3);
+        assert_eq!(WirelessOverlay::PAPER_WI_COUNT, 12);
+    }
+
+    #[test]
+    fn paper_shape_overlay() {
+        // 12 WIs, 4 per channel, 3 channels.
+        let wis: Vec<_> = (0..12).map(|i| wi(i * 5, i % 3)).collect();
+        let o = WirelessOverlay::new(wis, 3).unwrap();
+        assert_eq!(o.len(), 12);
+        for c in 0..3 {
+            assert_eq!(o.channel_members(ChannelId(c)).len(), 4);
+        }
+    }
+}

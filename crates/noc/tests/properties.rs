@@ -1,0 +1,197 @@
+//! Property-based tests of the NoC simulator's invariants.
+
+use mapwave_noc::node::grid_positions;
+use mapwave_noc::prelude::*;
+use mapwave_noc::routing::{Hop, RoutingTable};
+use mapwave_noc::sim::SimConfig;
+use mapwave_noc::topology::mesh::mesh;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every injected packet is delivered once the network drains:
+    /// wormhole switching conserves flits under arbitrary admissible loads.
+    #[test]
+    fn mesh_conserves_packets(
+        cols in 2usize..5,
+        rows in 2usize..5,
+        rate in 0.001f64..0.05,
+        seed in 0u64..1000,
+    ) {
+        let n = cols * rows;
+        let cfg = SimConfig { seed, ..SimConfig::default() };
+        let mut sim = NetworkSim::new(
+            mesh(cols, rows, 1.0),
+            WirelessOverlay::none(),
+            RoutingTable::xy(cols, rows),
+            EnergyModel::default_65nm(),
+            cfg,
+        ).unwrap();
+        let stats = sim.run(&TrafficMatrix::uniform(n, rate), 100, 1500, 50_000);
+        prop_assert_eq!(stats.in_flight_at_end, 0);
+        prop_assert_eq!(stats.packets_delivered, stats.packets_injected);
+        prop_assert_eq!(stats.flits_delivered, 4 * stats.packets_delivered);
+    }
+
+    /// Energy accounting never goes negative and grows with delivery.
+    #[test]
+    fn energy_is_nonnegative_and_monotone(
+        rate in 0.005f64..0.04,
+        seed in 0u64..100,
+    ) {
+        let cfg = SimConfig { seed, ..SimConfig::default() };
+        let mut sim = NetworkSim::new(
+            mesh(4, 4, 2.5),
+            WirelessOverlay::none(),
+            RoutingTable::xy(4, 4),
+            EnergyModel::default_65nm(),
+            cfg,
+        ).unwrap();
+        let stats = sim.run(&TrafficMatrix::uniform(16, rate), 100, 1000, 20_000);
+        prop_assert!(stats.energy.switch_pj >= 0.0);
+        prop_assert!(stats.energy.wire_pj >= 0.0);
+        prop_assert!(stats.energy.wireless_pj == 0.0); // wired-only network
+        if stats.packets_delivered > 0 {
+            prop_assert!(stats.energy.total_pj() > 0.0);
+            prop_assert!(stats.avg_latency() >= 1.0);
+        }
+    }
+
+    /// Random small-world topologies are connected and routable for every
+    /// ordered pair, and routed paths only use existing links.
+    #[test]
+    fn random_small_worlds_route_everywhere(
+        seed in 0u64..500,
+        k_intra in 2.0f64..4.0,
+        alpha in 1.0f64..3.0,
+    ) {
+        let clusters: Vec<usize> = (0..16).map(|i| (i % 4) / 2 + 2 * ((i / 4) / 2)).collect();
+        let topo = SmallWorldBuilder::new(grid_positions(4, 4, 1.0), clusters)
+            .k_intra(k_intra)
+            .k_inter(4.0 - k_intra)
+            .alpha(alpha)
+            .seed(seed)
+            .build()
+            .unwrap();
+        prop_assert!(topo.is_connected());
+        let table = RoutingTable::up_down(&topo, &WirelessOverlay::none()).unwrap();
+        for s in 0..16 {
+            for d in 0..16 {
+                let path = table.path(NodeId(s), NodeId(d));
+                let mut at = NodeId(s);
+                for hop in &path {
+                    match hop {
+                        Hop::Wire(w) => {
+                            prop_assert!(topo.has_link(at, *w));
+                            at = *w;
+                        }
+                        _ => prop_assert!(false, "wired-only network"),
+                    }
+                }
+                prop_assert_eq!(at, NodeId(d));
+                prop_assert!(path.len() <= 2 * 16, "path blow-up {s}->{d}");
+            }
+        }
+    }
+
+    /// Raising the wireless hub weight never shortens the routed metric and
+    /// never increases the number of pairs using wireless.
+    #[test]
+    fn hub_weight_monotonicity(seed in 0u64..200) {
+        let clusters: Vec<usize> = (0..16).map(|i| (i % 4) / 2 + 2 * ((i / 4) / 2)).collect();
+        let topo = SmallWorldBuilder::new(grid_positions(4, 4, 1.0), clusters)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let overlay = WirelessOverlay::new(
+            vec![
+                WirelessInterface { node: NodeId(0), channel: ChannelId(0) },
+                WirelessInterface { node: NodeId(15), channel: ChannelId(0) },
+            ],
+            1,
+        ).unwrap();
+        let t1 = RoutingTable::up_down_weighted(&topo, &overlay, 1).unwrap();
+        let t3 = RoutingTable::up_down_weighted(&topo, &overlay, 3).unwrap();
+        let wl_pairs = |t: &RoutingTable| -> usize {
+            let mut c = 0;
+            for s in 0..16 {
+                for d in 0..16 {
+                    if s != d && t.wireless_hops(NodeId(s), NodeId(d)) > 0 {
+                        c += 1;
+                    }
+                }
+            }
+            c
+        };
+        prop_assert!(wl_pairs(&t3) <= wl_pairs(&t1));
+    }
+
+    /// The traffic matrix's derived quantities respect their definitions.
+    #[test]
+    fn traffic_matrix_identities(
+        rates in proptest::collection::vec(0.0f64..0.2, 36),
+    ) {
+        let mut m = TrafficMatrix::zeros(6);
+        for (idx, &r) in rates.iter().enumerate() {
+            m.set(NodeId(idx / 6), NodeId(idx % 6), r);
+        }
+        // Diagonal writes are ignored.
+        for i in 0..6 {
+            prop_assert_eq!(m.rate(NodeId(i), NodeId(i)), 0.0);
+        }
+        // Row rates sum to the total.
+        let total: f64 = (0..6).map(|s| m.row_rate(NodeId(s))).sum();
+        prop_assert!((total - m.total_rate()).abs() < 1e-9);
+        // Normalisation caps the maximum at 1.
+        let norm = m.normalized();
+        let max = (0..6)
+            .flat_map(|s| (0..6).map(move |d| (s, d)))
+            .map(|(s, d)| norm.rate(NodeId(s), NodeId(d)))
+            .fold(0.0, f64::max);
+        prop_assert!(max <= 1.0 + 1e-12);
+    }
+
+    /// With virtual channels and adaptive routing, flit conservation and
+    /// drain still hold on random small-world graphs under load.
+    #[test]
+    fn adaptive_small_worlds_conserve_packets(
+        seed in 0u64..200,
+        rate in 0.005f64..0.05,
+    ) {
+        let clusters: Vec<usize> = (0..16).map(|i| (i % 4) / 2 + 2 * ((i / 4) / 2)).collect();
+        let topo = SmallWorldBuilder::new(grid_positions(4, 4, 1.0), clusters)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let table = RoutingTable::up_down(&topo, &WirelessOverlay::none()).unwrap();
+        let cfg = SimConfig { vcs: 2, adaptive: true, seed, ..SimConfig::default() };
+        let mut sim = NetworkSim::new(
+            topo,
+            WirelessOverlay::none(),
+            table,
+            EnergyModel::default_65nm(),
+            cfg,
+        ).unwrap();
+        let stats = sim.run(&TrafficMatrix::uniform(16, rate), 100, 1500, 60_000);
+        prop_assert_eq!(stats.in_flight_at_end, 0, "adaptive network wedged");
+        prop_assert_eq!(stats.packets_delivered, stats.packets_injected);
+    }
+
+    /// Simulation is a pure function of its inputs.
+    #[test]
+    fn simulation_is_deterministic(seed in 0u64..50, rate in 0.005f64..0.05) {
+        let run = || {
+            let cfg = SimConfig { seed, ..SimConfig::default() };
+            let mut sim = NetworkSim::new(
+                mesh(3, 3, 1.0),
+                WirelessOverlay::none(),
+                RoutingTable::xy(3, 3),
+                EnergyModel::default_65nm(),
+                cfg,
+            ).unwrap();
+            sim.run(&TrafficMatrix::uniform(9, rate), 50, 500, 10_000)
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

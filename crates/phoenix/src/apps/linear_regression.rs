@@ -1,0 +1,214 @@
+//! Linear Regression (LR): least-squares fit over a point stream.
+//!
+//! Input at scale 1 is the paper's "Medium (100 MB)" point file
+//! (12.5 M `(x, y)` pairs). Map computes the five partial sums
+//! `Σx, Σy, Σx², Σy², Σxy` per chunk; Reduce combines them and the final
+//! slope/intercept fall out in closed form. There is **no Merge phase** and
+//! the library initialisation is negligible, which is why LR needs no
+//! bottleneck V/F reassignment (Section 4.2). Its pure streaming Map gives
+//! it the highest traffic injection rate of the six applications, with a
+//! strongly neighbour-local pattern — the reason WiNoC gains the least for
+//! it (Section 7.3).
+
+use crate::apps::digest_f64s;
+use crate::task::TaskWork;
+use crate::workload::{AppWorkload, IterationWorkload};
+use mapwave_manycore::cache::MemoryProfile;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Input bytes at scale 1 (Table 1: Medium, 100 MB).
+pub const INPUT_BYTES: f64 = 100e6;
+/// Bytes per point (two 32-bit fixed-point coordinates).
+pub const BYTES_PER_POINT: f64 = 8.0;
+/// Map tasks.
+pub const MAP_TASKS: usize = 384;
+
+/// Ground-truth slope of the generated data.
+pub const TRUE_SLOPE: f64 = 2.4;
+/// Ground-truth intercept of the generated data.
+pub const TRUE_INTERCEPT: f64 = -7.0;
+/// Noise amplitude.
+const NOISE: f64 = 3.0;
+
+/// Cycles per point (loads + 5 multiply-accumulates).
+const CYCLES_PER_POINT: f64 = 8.0;
+/// Instructions per point.
+const INSTR_PER_POINT: f64 = 11.0;
+
+/// The five partial sums of least squares.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+struct Sums {
+    n: f64,
+    sx: f64,
+    sy: f64,
+    sxx: f64,
+    sxy: f64,
+}
+
+impl Sums {
+    fn add(&mut self, x: f64, y: f64) {
+        self.n += 1.0;
+        self.sx += x;
+        self.sy += y;
+        self.sxx += x * x;
+        self.sxy += x * y;
+    }
+
+    fn combine(&mut self, o: Sums) {
+        self.n += o.n;
+        self.sx += o.sx;
+        self.sy += o.sy;
+        self.sxx += o.sxx;
+        self.sxy += o.sxy;
+    }
+}
+
+/// Outcome of a real Linear Regression run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearRegressionRun {
+    /// The recorded workload.
+    pub workload: AppWorkload,
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Points processed.
+    pub points: u64,
+}
+
+/// Runs Linear Regression at `scale` of the Table-1 input.
+///
+/// # Panics
+///
+/// Panics if `scale` is not positive or `cores == 0`.
+pub fn run(scale: f64, seed: u64, cores: usize) -> LinearRegressionRun {
+    assert!(scale > 0.0 && scale.is_finite(), "scale must be positive");
+    assert!(cores > 0, "need at least one core");
+
+    let points = ((INPUT_BYTES * scale / BYTES_PER_POINT) as usize).max(MAP_TASKS * 32);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let per_task = points / MAP_TASKS;
+    let mut global = Sums::default();
+    let mut map_tasks = Vec::with_capacity(MAP_TASKS);
+
+    for chunk in 0..MAP_TASKS {
+        let chunk_points = if chunk == MAP_TASKS - 1 {
+            points - per_task * (MAP_TASKS - 1)
+        } else {
+            per_task
+        };
+        let mut local = Sums::default();
+        for _ in 0..chunk_points {
+            let x = rng.random::<f64>() * 100.0;
+            let noise = (rng.random::<f64>() - 0.5) * 2.0 * NOISE;
+            let y = TRUE_SLOPE * x + TRUE_INTERCEPT + noise;
+            local.add(x, y);
+        }
+        map_tasks.push(TaskWork::new(
+            chunk_points as f64 * CYCLES_PER_POINT,
+            chunk_points as f64 * INSTR_PER_POINT,
+            5,
+        ));
+        global.combine(local);
+    }
+
+    let slope = (global.n * global.sxy - global.sx * global.sy)
+        / (global.n * global.sxx - global.sx * global.sx);
+    let intercept = (global.sy - slope * global.sx) / global.n;
+
+    let digest = digest_f64s([global.n, global.sx, global.sy, global.sxx, global.sxy]);
+
+    let map_total: f64 = map_tasks.iter().map(|t| t.cycles).sum();
+    let workload = AppWorkload {
+        name: "LR",
+        // LR "has very little library initialization period" (Section 4.2).
+        lib_init_cycles: map_total / cores as f64 * 0.01,
+        lib_init_instructions: map_total / cores as f64 * 0.006,
+        iterations: vec![IterationWorkload {
+            map_tasks,
+            // A single trivial reduce combining 96 × 5 scalars.
+            reduce_tasks: vec![TaskWork::new(
+                (MAP_TASKS * 5) as f64 * 6.0,
+                (MAP_TASKS * 5) as f64 * 4.0,
+                5,
+            )],
+            merge: None,
+            // The highest injection rate of the set: pure streaming.
+            map_memory: MemoryProfile::new(30.0, 0.12, 0.85),
+            reduce_memory: MemoryProfile::new(4.0, 0.02, 0.5),
+            kv_flits_per_key: 4.0,
+            // "Exchanges large data units with nearer cores" (Section 7.3).
+            neighbor_bias: 0.8,
+        }],
+        digest,
+    };
+
+    LinearRegressionRun {
+        workload,
+        slope,
+        intercept,
+        points: points as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_ground_truth() {
+        let r = run(0.002, 1, 64);
+        assert!(
+            (r.slope - TRUE_SLOPE).abs() < 0.05,
+            "slope {} vs {}",
+            r.slope,
+            TRUE_SLOPE
+        );
+        assert!(
+            (r.intercept - TRUE_INTERCEPT).abs() < 1.0,
+            "intercept {} vs {}",
+            r.intercept,
+            TRUE_INTERCEPT
+        );
+    }
+
+    #[test]
+    fn no_merge_and_tiny_lib_init() {
+        let r = run(0.001, 2, 64);
+        assert!(r.workload.iterations[0].merge.is_none());
+        let map_total: f64 = r.workload.iterations[0]
+            .map_tasks
+            .iter()
+            .map(|t| t.cycles)
+            .sum();
+        assert!(r.workload.lib_init_cycles < map_total / 64.0 * 0.05);
+    }
+
+    #[test]
+    fn highest_streaming_intensity() {
+        let r = run(0.001, 3, 64);
+        assert!(r.workload.iterations[0].map_memory.l1_mpki >= 30.0);
+        assert!(r.workload.iterations[0].neighbor_bias >= 0.7);
+    }
+
+    #[test]
+    fn single_reduce_task() {
+        let r = run(0.001, 4, 64);
+        assert_eq!(r.workload.iterations[0].reduce_tasks.len(), 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(run(0.001, 5, 64), run(0.001, 5, 64));
+    }
+
+    #[test]
+    fn work_scales_linearly() {
+        let small = run(0.001, 6, 64);
+        let large = run(0.003, 6, 64);
+        let ratio = large.points as f64 / small.points as f64;
+        assert!((ratio - 3.0).abs() < 0.1);
+    }
+}

@@ -1,0 +1,356 @@
+//! Phoenix++-style combiner containers.
+//!
+//! Phoenix++'s key innovation over the original Phoenix is *containers with
+//! combiners*: map workers fold values into a per-worker container as they
+//! are emitted, so the intermediate state stays small. Two container shapes
+//! cover the six applications:
+//!
+//! * [`HashContainer`] — open key space (Word Count's words, PCA's
+//!   covariance coordinates);
+//! * [`ArrayContainer`] — small dense key space known in advance
+//!   (Histogram's 768 colour bins, Kmeans' cluster ids).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Fold-in combination of values under one key (Phoenix++ `sum_combiner`
+/// generalised).
+pub trait Combine: Sized {
+    /// Folds `other` into `self`.
+    fn combine(&mut self, other: Self);
+}
+
+impl Combine for u64 {
+    fn combine(&mut self, other: Self) {
+        *self += other;
+    }
+}
+
+impl Combine for f64 {
+    fn combine(&mut self, other: Self) {
+        *self += other;
+    }
+}
+
+/// A hash-based combiner container for open key spaces.
+///
+/// # Examples
+///
+/// ```
+/// use mapwave_phoenix::container::HashContainer;
+///
+/// let mut c: HashContainer<&str, u64> = HashContainer::new();
+/// c.emit("the", 1);
+/// c.emit("cat", 1);
+/// c.emit("the", 1);
+/// assert_eq!(c.get(&"the"), Some(&2));
+/// assert_eq!(c.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HashContainer<K: Eq + Hash, V: Combine> {
+    map: HashMap<K, V>,
+}
+
+impl<K: Eq + Hash, V: Combine> HashContainer<K, V> {
+    /// An empty container.
+    pub fn new() -> Self {
+        HashContainer {
+            map: HashMap::new(),
+        }
+    }
+
+    /// Emits a (key, value) pair, combining with any existing value.
+    pub fn emit(&mut self, key: K, value: V) {
+        match self.map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().combine(value),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(value);
+            }
+        }
+    }
+
+    /// Merges another container into this one (the reduce/merge step).
+    pub fn merge(&mut self, other: HashContainer<K, V>) {
+        for (k, v) in other.map {
+            self.emit(k, v);
+        }
+    }
+
+    /// Number of distinct keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no keys were emitted.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Combined value of `key`, if present.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.map.get(key)
+    }
+
+    /// Consumes the container into its key–value pairs (unordered).
+    pub fn into_pairs(self) -> Vec<(K, V)> {
+        self.map.into_iter().collect()
+    }
+
+    /// Iterates over key–value pairs (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.map.iter()
+    }
+}
+
+impl<K: Eq + Hash, V: Combine> Default for HashContainer<K, V> {
+    fn default() -> Self {
+        HashContainer::new()
+    }
+}
+
+impl<K: Eq + Hash, V: Combine> FromIterator<(K, V)> for HashContainer<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut c = HashContainer::new();
+        for (k, v) in iter {
+            c.emit(k, v);
+        }
+        c
+    }
+}
+
+/// A dense-array combiner container for small fixed key spaces.
+///
+/// # Examples
+///
+/// ```
+/// use mapwave_phoenix::container::ArrayContainer;
+///
+/// let mut c: ArrayContainer<u64> = ArrayContainer::new(4);
+/// c.emit(1, 5);
+/// c.emit(1, 2);
+/// c.emit(3, 1);
+/// assert_eq!(c.slots(), &[0, 7, 0, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayContainer<V: Combine + Default + Clone> {
+    slots: Vec<V>,
+}
+
+impl<V: Combine + Default + Clone> ArrayContainer<V> {
+    /// A container over keys `0..keys`.
+    pub fn new(keys: usize) -> Self {
+        ArrayContainer {
+            slots: vec![V::default(); keys],
+        }
+    }
+
+    /// Emits a (key, value) pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is out of range.
+    pub fn emit(&mut self, key: usize, value: V) {
+        self.slots[key].combine(value);
+    }
+
+    /// Merges another container of the same key space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key spaces differ.
+    pub fn merge(&mut self, other: ArrayContainer<V>) {
+        assert_eq!(
+            self.slots.len(),
+            other.slots.len(),
+            "key spaces must match"
+        );
+        for (s, o) in self.slots.iter_mut().zip(other.slots) {
+            s.combine(o);
+        }
+    }
+
+    /// Number of keys (slots).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the container has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The combined values.
+    pub fn slots(&self) -> &[V] {
+        &self.slots
+    }
+
+    /// Consumes the container into its slot values.
+    pub fn into_slots(self) -> Vec<V> {
+        self.slots
+    }
+}
+
+/// Phoenix++'s third container shape: a **common array** shared by all
+/// workers, with per-key atomic-add semantics modelled as direct
+/// accumulation (the runtime model is single-threaded and deterministic).
+/// It fits workloads whose key space is dense and whose combiner is
+/// commutative — Histogram uses it at large worker counts, where
+/// per-worker [`ArrayContainer`]s would multiply the merge work.
+///
+/// # Examples
+///
+/// ```
+/// use mapwave_phoenix::container::CommonArrayContainer;
+///
+/// let mut c: CommonArrayContainer<u64> = CommonArrayContainer::new(4);
+/// c.emit(0, 2);
+/// c.emit(0, 3);
+/// assert_eq!(c.slots()[0], 5);
+/// assert_eq!(c.contenders(0), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommonArrayContainer<V: Combine + Default + Clone> {
+    slots: Vec<V>,
+    /// Emissions per key — the contention statistic an atomic-add
+    /// implementation would pay for.
+    writes: Vec<u64>,
+}
+
+impl<V: Combine + Default + Clone> CommonArrayContainer<V> {
+    /// A container over keys `0..keys`.
+    pub fn new(keys: usize) -> Self {
+        CommonArrayContainer {
+            slots: vec![V::default(); keys],
+            writes: vec![0; keys],
+        }
+    }
+
+    /// Emits a (key, value) pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is out of range.
+    pub fn emit(&mut self, key: usize, value: V) {
+        self.slots[key].combine(value);
+        self.writes[key] += 1;
+    }
+
+    /// Number of keys (slots).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the container has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The combined values.
+    pub fn slots(&self) -> &[V] {
+        &self.slots
+    }
+
+    /// How many emissions key `key` received (its contention).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is out of range.
+    pub fn contenders(&self, key: usize) -> u64 {
+        self.writes[key]
+    }
+
+    /// The most contended key and its write count (`None` when empty).
+    pub fn hottest_key(&self) -> Option<(usize, u64)> {
+        self.writes
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by_key(|&(k, w)| (w, usize::MAX - k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_container_combines() {
+        let mut c: HashContainer<u32, u64> = HashContainer::new();
+        for i in 0..100 {
+            c.emit(i % 10, 1);
+        }
+        assert_eq!(c.len(), 10);
+        assert_eq!(c.get(&3), Some(&10));
+    }
+
+    #[test]
+    fn hash_container_merge() {
+        let a: HashContainer<&str, u64> = [("x", 1u64), ("y", 2)].into_iter().collect();
+        let b: HashContainer<&str, u64> = [("y", 3u64), ("z", 4)].into_iter().collect();
+        let mut m = a;
+        m.merge(b);
+        assert_eq!(m.get(&"y"), Some(&5));
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn hash_container_float_values() {
+        let mut c: HashContainer<u8, f64> = HashContainer::new();
+        c.emit(0, 1.5);
+        c.emit(0, 2.5);
+        assert_eq!(c.get(&0), Some(&4.0));
+    }
+
+    #[test]
+    fn array_container_merge() {
+        let mut a: ArrayContainer<u64> = ArrayContainer::new(3);
+        a.emit(0, 1);
+        let mut b: ArrayContainer<u64> = ArrayContainer::new(3);
+        b.emit(0, 2);
+        b.emit(2, 7);
+        a.merge(b);
+        assert_eq!(a.slots(), &[3, 0, 7]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn array_container_rejects_out_of_range() {
+        let mut a: ArrayContainer<u64> = ArrayContainer::new(2);
+        a.emit(2, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn array_merge_rejects_mismatched_spaces() {
+        let mut a: ArrayContainer<u64> = ArrayContainer::new(2);
+        a.merge(ArrayContainer::new(3));
+    }
+
+    #[test]
+    fn common_array_tracks_contention() {
+        let mut c: CommonArrayContainer<u64> = CommonArrayContainer::new(3);
+        for _ in 0..5 {
+            c.emit(1, 2);
+        }
+        c.emit(2, 7);
+        assert_eq!(c.slots(), &[0, 10, 7]);
+        assert_eq!(c.contenders(1), 5);
+        assert_eq!(c.hottest_key(), Some((1, 5)));
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn common_array_empty() {
+        let c: CommonArrayContainer<u64> = CommonArrayContainer::new(0);
+        assert!(c.is_empty());
+        assert_eq!(c.hottest_key(), None);
+    }
+
+    #[test]
+    fn into_pairs_roundtrip() {
+        let c: HashContainer<u8, u64> = [(1u8, 10u64), (2, 20)].into_iter().collect();
+        let mut pairs = c.into_pairs();
+        pairs.sort();
+        assert_eq!(pairs, vec![(1, 10), (2, 20)]);
+    }
+}

@@ -1,0 +1,848 @@
+//! The Phoenix++ execution model: event-driven task scheduling with
+//! stealing over a frequency-heterogeneous platform.
+//!
+//! [`Executor::run`] replays an [`AppWorkload`] on a modelled platform and
+//! returns the [`ExecutionReport`] the rest of the study consumes. The
+//! model follows the paper's Fig. 1 flow per iteration:
+//!
+//! 1. **Library init** (+ Split): serial work on the master core;
+//! 2. **Map**: tasks round-robin assigned, executed at each core's
+//!    frequency, idle cores steal from the most-loaded victim (subject to
+//!    the [`StealPolicy`]);
+//! 3. **Reduce**: bucket tasks, same scheduling;
+//! 4. **Merge**: a binary tree with thread count halving per level.
+//!
+//! Task durations combine modelled compute cycles with cache-miss stalls
+//! that depend on the NoC round-trip latency — the coupling through which a
+//! better interconnect (the WiNoC) shortens execution.
+
+use crate::stealing::{caps_for_phase, StealPolicy};
+use crate::task::{PhaseKind, TaskWork};
+use crate::timeline::{Span, Timeline};
+use crate::workload::{AppWorkload, ExecutionReport, PhaseBreakdown, PhaseLatencies, PhaseTraffic};
+use mapwave_manycore::cache::{CacheModel, MemoryProfile};
+use mapwave_manycore::event::EventQueue;
+use mapwave_noc::{NodeId, TrafficMatrix};
+use std::collections::VecDeque;
+
+/// Platform/runtime parameters of one execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeConfig {
+    /// Number of cores (logical threads, one per core).
+    pub cores: usize,
+    /// The master core running library initialisation (Phoenix: thread 0).
+    pub master_core: usize,
+    /// Steal policy in force.
+    pub steal_policy: StealPolicy,
+    /// Per-core speed relative to the fastest clock, in `(0, 1]`.
+    pub core_speeds: Vec<f64>,
+    /// Cycles of overhead added to a stolen task (queue locking + data
+    /// re-fetch).
+    pub steal_overhead_cycles: f64,
+    /// Per-stage network round trips to a remote L2 slice, in reference
+    /// cycles (measured by phase-resolved NoC simulation).
+    pub remote_l2_latency: PhaseLatencies,
+    /// The cache hierarchy model.
+    pub cache: CacheModel,
+}
+
+impl RuntimeConfig {
+    /// The non-VFI baseline: every core at full speed, default stealing.
+    pub fn nvfi(cores: usize) -> Self {
+        RuntimeConfig {
+            cores,
+            master_core: 0,
+            steal_policy: StealPolicy::Default,
+            core_speeds: vec![1.0; cores],
+            steal_overhead_cycles: 1_500.0,
+            remote_l2_latency: PhaseLatencies::default(),
+            cache: CacheModel::default_64core(),
+        }
+    }
+
+    /// Replaces the per-core speeds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from `cores` or any speed is outside
+    /// `(0, 1]`.
+    pub fn with_speeds(mut self, speeds: Vec<f64>) -> Self {
+        assert_eq!(speeds.len(), self.cores, "speed vector length mismatch");
+        assert!(
+            speeds.iter().all(|&s| s > 0.0 && s <= 1.0 + 1e-12),
+            "speeds must be in (0,1]"
+        );
+        self.core_speeds = speeds;
+        self
+    }
+
+    /// Sets the steal policy.
+    pub fn with_steal_policy(mut self, policy: StealPolicy) -> Self {
+        self.steal_policy = policy;
+        self
+    }
+
+    /// Sets one measured remote-L2 round-trip latency for every stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if negative or non-finite.
+    pub fn with_remote_latency(mut self, cycles: f64) -> Self {
+        assert!(
+            cycles >= 0.0 && cycles.is_finite(),
+            "latency must be nonnegative"
+        );
+        self.remote_l2_latency = PhaseLatencies::uniform(cycles);
+        self
+    }
+
+    /// Sets per-stage remote-L2 round-trip latencies.
+    pub fn with_phase_latencies(mut self, latencies: PhaseLatencies) -> Self {
+        self.remote_l2_latency = latencies;
+        self
+    }
+}
+
+/// Outcome of scheduling one task-parallel phase.
+#[derive(Debug, Clone)]
+struct PhaseOutcome {
+    duration: f64,
+    executed_by: Vec<usize>,
+    steals: u64,
+    /// Per-task `(core, start, end, stolen)` in phase-relative time.
+    spans: Vec<(usize, f64, f64, bool)>,
+}
+
+/// The execution engine.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    cfg: RuntimeConfig,
+}
+
+impl Executor {
+    /// Creates an executor for `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is internally inconsistent (zero cores, speed
+    /// vector length mismatch, master out of range).
+    pub fn new(cfg: RuntimeConfig) -> Self {
+        assert!(cfg.cores > 0, "need at least one core");
+        assert_eq!(
+            cfg.core_speeds.len(),
+            cfg.cores,
+            "speed vector length mismatch"
+        );
+        assert!(cfg.master_core < cfg.cores, "master core out of range");
+        Executor { cfg }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.cfg
+    }
+
+    /// Effective duration of `task` on `core`, in reference cycles.
+    ///
+    /// Compute cycles stretch with the core's clock divider, but cache-miss
+    /// stalls do not: an L2/network/DRAM access takes fixed wall-clock time
+    /// regardless of the requesting core's frequency. This memory-bound
+    /// slack is exactly the lever VFI pulls — slowing a stall-heavy core
+    /// barely stretches it while cutting its V²f energy.
+    fn task_duration(
+        &self,
+        task: &TaskWork,
+        memory: &MemoryProfile,
+        core: usize,
+        latency: f64,
+    ) -> f64 {
+        let stall = self.cfg.cache.stall_cycles_per_inst(memory, latency);
+        task.cycles / self.cfg.core_speeds[core] + task.instructions * stall
+    }
+
+    /// Replays `workload` and reports the observables.
+    pub fn run(&self, workload: &AppWorkload) -> ExecutionReport {
+        self.run_traced(workload).0
+    }
+
+    /// Like [`Executor::run`], but also records the full schedule as a
+    /// [`Timeline`] (per-core busy spans for Gantt-style inspection).
+    pub fn run_traced(&self, workload: &AppWorkload) -> (ExecutionReport, Timeline) {
+        let n = self.cfg.cores;
+        let lat = self.cfg.remote_l2_latency;
+        let mut phases = PhaseBreakdown::default();
+        let mut busy = vec![0.0f64; n];
+        let mut map_flits = vec![0.0f64; n * n];
+        let mut reduce_flits = vec![0.0f64; n * n];
+        let mut merge_flits = vec![0.0f64; n * n];
+        let mut steals = 0u64;
+        let mut tasks_per_core = vec![0u32; n];
+        let mut timeline = Timeline::new(n);
+        let mut clock = 0.0f64;
+
+        for it in &workload.iterations {
+            // --- Library init (serial, on the master core) ---
+            let master = self.cfg.master_core;
+            let li_task = TaskWork::new(
+                workload.lib_init_cycles,
+                workload.lib_init_instructions,
+                0,
+            );
+            let li = self.task_duration(&li_task, &it.map_memory, master, lat.lib_init);
+            busy[master] += li;
+            phases.lib_init += li;
+            timeline.push(Span {
+                core: master,
+                phase: PhaseKind::LibraryInit,
+                start: clock,
+                end: clock + li,
+                stolen: false,
+            });
+            clock += li;
+
+            // --- Map ---
+            let map = self.run_phase(&it.map_tasks, &it.map_memory, lat.map);
+            phases.map += map.duration;
+            for &(core, start, end, stolen) in &map.spans {
+                timeline.push(Span {
+                    core,
+                    phase: PhaseKind::Map,
+                    start: clock + start,
+                    end: clock + end,
+                    stolen,
+                });
+            }
+            clock += map.duration;
+            for (t, &c) in map.executed_by.iter().enumerate() {
+                let dur = self.task_duration(&it.map_tasks[t], &it.map_memory, c, lat.map);
+                busy[c] += dur;
+                tasks_per_core[c] += 1;
+            }
+            steals += map.steals;
+            self.account_memory_flits(&mut map_flits, &it.map_tasks, &map.executed_by, &it.map_memory, it.neighbor_bias);
+
+            // --- Reduce ---
+            let red = self.run_phase(&it.reduce_tasks, &it.reduce_memory, lat.reduce);
+            phases.reduce += red.duration;
+            for &(core, start, end, stolen) in &red.spans {
+                timeline.push(Span {
+                    core,
+                    phase: PhaseKind::Reduce,
+                    start: clock + start,
+                    end: clock + end,
+                    stolen,
+                });
+            }
+            clock += red.duration;
+            for (t, &c) in red.executed_by.iter().enumerate() {
+                let dur =
+                    self.task_duration(&it.reduce_tasks[t], &it.reduce_memory, c, lat.reduce);
+                busy[c] += dur;
+                tasks_per_core[c] += 1;
+            }
+            steals += red.steals;
+            self.account_memory_flits(&mut reduce_flits, &it.reduce_tasks, &red.executed_by, &it.reduce_memory, it.neighbor_bias);
+
+            // --- Shuffle traffic: map cores → reduce cores, keys spread
+            //     uniformly over buckets by hashing. In shared-memory
+            //     Phoenix++ the transfer is cache-mediated: producers write
+            //     container buckets back during Map and consumers fetch
+            //     them during Reduce, so the flits split between the two
+            //     windows instead of bursting into the (short) Reduce. ---
+            if !it.reduce_tasks.is_empty() {
+                let r = it.reduce_tasks.len() as f64;
+                for (t, &c_m) in map.executed_by.iter().enumerate() {
+                    let keys = it.map_tasks[t].keys_emitted as f64;
+                    if keys == 0.0 {
+                        continue;
+                    }
+                    let per_bucket = keys * it.kv_flits_per_key / r / 2.0;
+                    for (b, &c_r) in red.executed_by.iter().enumerate() {
+                        let _ = b;
+                        if c_m != c_r {
+                            map_flits[c_m * n + c_r] += per_bucket;
+                            reduce_flits[c_m * n + c_r] += per_bucket;
+                        }
+                    }
+                }
+            }
+
+            // --- Merge: binary tree, active threads halve per level. After
+            //     the hash-partitioned Reduce, each of the n partitions
+            //     holds ~total_items/n keys; a merger at level l therefore
+            //     combines two partitions of total_items·2^l/n keys each,
+            //     so the critical path is ~2·total_items·cycles_per_item
+            //     while early levels stay cheap and wide. ---
+            if let Some(merge) = it.merge {
+                let levels = (n as f64).log2().ceil() as u32;
+                for l in 0..levels {
+                    let stride = 1usize << (l + 1);
+                    let half = 1usize << l;
+                    let partition_items =
+                        merge.total_items * (1usize << l) as f64 / n as f64;
+                    let merged_items = 2.0 * partition_items;
+                    let mtask = TaskWork::new(
+                        merged_items * merge.cycles_per_item,
+                        merged_items * merge.instructions_per_item,
+                        0,
+                    );
+                    let mut level_time = 0.0f64;
+                    let mut merger = 0usize;
+                    while merger < n {
+                        let partner = merger + half;
+                        if partner < n {
+                            let dur = self.task_duration(
+                                &mtask,
+                                &it.reduce_memory,
+                                merger,
+                                lat.merge,
+                            );
+                            busy[merger] += dur;
+                            timeline.push(Span {
+                                core: merger,
+                                phase: PhaseKind::Merge,
+                                start: clock,
+                                end: clock + dur,
+                                stolen: false,
+                            });
+                            level_time = level_time.max(dur);
+                            // Partner ships its partition to the merger.
+                            merge_flits[partner * n + merger] +=
+                                partition_items * merge.flits_per_item;
+                        }
+                        merger += stride;
+                    }
+                    phases.merge += level_time;
+                    clock += level_time;
+                }
+            }
+        }
+
+        let total = phases.total().max(1e-9);
+        let utilization: Vec<f64> = busy.iter().map(|&b| (b / total).min(1.0)).collect();
+
+        // Convert flit counts to packets per reference cycle: stage rates
+        // are relative to each stage's own duration, the aggregate to the
+        // whole execution.
+        let packet_flits = 4.0; // matches the NoC simulator's default packet length
+        let to_matrix = |flits: &[f64], cycles: f64| -> TrafficMatrix {
+            let mut m = TrafficMatrix::zeros(n);
+            if cycles <= 0.0 {
+                return m;
+            }
+            for s in 0..n {
+                for d in 0..n {
+                    if s != d && flits[s * n + d] > 0.0 {
+                        m.set(NodeId(s), NodeId(d), flits[s * n + d] / packet_flits / cycles);
+                    }
+                }
+            }
+            m
+        };
+        let total_flits: Vec<f64> = (0..n * n)
+            .map(|i| map_flits[i] + reduce_flits[i] + merge_flits[i])
+            .collect();
+        let traffic = to_matrix(&total_flits, total);
+        let phase_traffic = PhaseTraffic {
+            map: to_matrix(&map_flits, phases.map),
+            reduce: to_matrix(&reduce_flits, phases.reduce),
+            merge: to_matrix(&merge_flits, phases.merge),
+        };
+
+        (
+            ExecutionReport {
+                name: workload.name,
+                phases,
+                busy_cycles: busy,
+                utilization,
+                traffic,
+                phase_traffic,
+                steals,
+                tasks_per_core,
+            },
+            timeline,
+        )
+    }
+
+    /// Distributes the memory traffic of executed tasks: requests to home L2
+    /// slices and line-sized replies back, with a neighbour-locality bias.
+    fn account_memory_flits(
+        &self,
+        flits: &mut [f64],
+        tasks: &[TaskWork],
+        executed_by: &[usize],
+        memory: &MemoryProfile,
+        neighbor_bias: f64,
+    ) {
+        let n = self.cfg.cores;
+        if n < 2 {
+            return;
+        }
+        let line_flits = self.cfg.cache.line_flits() as f64;
+        const NEIGHBORHOOD: isize = 4;
+        for (t, &c) in executed_by.iter().enumerate() {
+            let accesses = tasks[t].instructions
+                * (memory.l1_mpki / 1000.0)
+                * memory.remote_fraction
+                * self.cfg.cache.network_fraction;
+            if accesses <= 0.0 {
+                continue;
+            }
+            let req = accesses; // 1 flit per request
+            let rep = accesses * line_flits;
+            // Neighbour share: split over up to 2*NEIGHBORHOOD nearby cores.
+            let mut neighbors: Vec<usize> = Vec::new();
+            for off in 1..=NEIGHBORHOOD {
+                let lo = c as isize - off;
+                let hi = c as isize + off;
+                if lo >= 0 {
+                    neighbors.push(lo as usize);
+                }
+                if (hi as usize) < n {
+                    neighbors.push(hi as usize);
+                }
+            }
+            if !neighbors.is_empty() {
+                let share = neighbor_bias / neighbors.len() as f64;
+                for &d in &neighbors {
+                    flits[c * n + d] += req * share;
+                    flits[d * n + c] += rep * share;
+                }
+            }
+            let uniform = (1.0 - neighbor_bias) / (n - 1) as f64;
+            for d in 0..n {
+                if d != c {
+                    flits[c * n + d] += req * uniform;
+                    flits[d * n + c] += rep * uniform;
+                }
+            }
+        }
+    }
+
+    /// Event-driven scheduling of one task-parallel phase.
+    fn run_phase(
+        &self,
+        tasks: &[TaskWork],
+        memory: &MemoryProfile,
+        latency: f64,
+    ) -> PhaseOutcome {
+        let n = self.cfg.cores;
+        let mut executed_by = vec![usize::MAX; tasks.len()];
+        if tasks.is_empty() {
+            return PhaseOutcome {
+                duration: 0.0,
+                executed_by,
+                steals: 0,
+                spans: Vec::new(),
+            };
+        }
+
+        // Round-robin initial assignment (Phoenix chunk distribution).
+        let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); n];
+        for t in 0..tasks.len() {
+            queues[t % n].push_back(t);
+        }
+        let mut caps = caps_for_phase(self.cfg.steal_policy, tasks.len(), &self.cfg.core_speeds);
+        let mut done = vec![0usize; n];
+        let mut queued = tasks.len();
+        let mut steals = 0u64;
+        let mut phase_end = 0.0f64;
+        let mut spans: Vec<(usize, f64, f64, bool)> = Vec::with_capacity(tasks.len());
+
+        #[derive(Debug, Clone, Copy)]
+        struct Completion {
+            core: usize,
+        }
+
+        let mut events: EventQueue<Completion> = EventQueue::new();
+        let mut idle: Vec<bool> = vec![false; n];
+
+        // Pick the next task for `core`: own queue first, else steal from
+        // the most-loaded victim. Returns (task, stolen).
+        let next_task = |queues: &mut Vec<VecDeque<usize>>, core: usize| -> Option<(usize, bool)> {
+            if let Some(t) = queues[core].pop_front() {
+                return Some((t, false));
+            }
+            let victim = (0..queues.len())
+                .filter(|&v| v != core && !queues[v].is_empty())
+                .max_by_key(|&v| (queues[v].len(), usize::MAX - v));
+            victim.map(|v| {
+                (
+                    queues[v].pop_back().expect("victim queue nonempty"),
+                    true,
+                )
+            })
+        };
+
+        // Start as many cores as possible at t = 0.
+        let start_core =
+            |core: usize,
+             now: f64,
+             queues: &mut Vec<VecDeque<usize>>,
+             events: &mut EventQueue<Completion>,
+             executed_by: &mut Vec<usize>,
+             done: &mut Vec<usize>,
+             queued: &mut usize,
+             steals: &mut u64,
+             idle: &mut Vec<bool>,
+             caps: &[usize],
+             spans: &mut Vec<(usize, f64, f64, bool)>| {
+                if done[core] >= caps[core] {
+                    idle[core] = true;
+                    return;
+                }
+                match next_task(queues, core) {
+                    Some((t, stolen)) => {
+                        let mut dur = self.task_duration(&tasks[t], memory, core, latency);
+                        if stolen {
+                            dur += self.cfg.steal_overhead_cycles
+                                / self.cfg.core_speeds[core];
+                            *steals += 1;
+                        }
+                        executed_by[t] = core;
+                        done[core] += 1;
+                        *queued -= 1;
+                        events.push(now + dur, Completion { core });
+                        spans.push((core, now, now + dur, stolen));
+                        idle[core] = false;
+                    }
+                    None => {
+                        idle[core] = true;
+                    }
+                }
+            };
+
+        for core in 0..n {
+            start_core(
+                core,
+                0.0,
+                &mut queues,
+                &mut events,
+                &mut executed_by,
+                &mut done,
+                &mut queued,
+                &mut steals,
+                &mut idle,
+                &caps,
+                &mut spans,
+            );
+        }
+
+        loop {
+            while let Some((now, ev)) = events.pop() {
+                phase_end = phase_end.max(now);
+                // The finishing core tries to pick up more work.
+                start_core(
+                    ev.core,
+                    now,
+                    &mut queues,
+                    &mut events,
+                    &mut executed_by,
+                    &mut done,
+                    &mut queued,
+                    &mut steals,
+                    &mut idle,
+                    &caps,
+                    &mut spans,
+                );
+                // Any idle core may now find stealable work (e.g. a capped
+                // core's leftovers became the only queue with tasks).
+                if queued > 0 {
+                    for core in 0..n {
+                        if idle[core] && done[core] < caps[core] {
+                            start_core(
+                                core,
+                                now,
+                                &mut queues,
+                                &mut events,
+                                &mut executed_by,
+                                &mut done,
+                                &mut queued,
+                                &mut steals,
+                                &mut idle,
+                                &caps,
+                                &mut spans,
+                            );
+                        }
+                    }
+                }
+            }
+            if queued == 0 {
+                break;
+            }
+            // Every core hit its cap while tasks remain (possible only when
+            // no core runs at f_max): lift the caps and resume.
+            caps.fill(usize::MAX);
+            for core in 0..n {
+                start_core(
+                    core,
+                    phase_end,
+                    &mut queues,
+                    &mut events,
+                    &mut executed_by,
+                    &mut done,
+                    &mut queued,
+                    &mut steals,
+                    &mut idle,
+                    &caps,
+                    &mut spans,
+                );
+            }
+        }
+
+        debug_assert!(executed_by.iter().all(|&c| c != usize::MAX));
+        PhaseOutcome {
+            duration: phase_end,
+            executed_by,
+            steals,
+            spans,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{IterationWorkload, MergeSpec};
+
+    fn simple_workload(tasks: usize, cycles: f64) -> AppWorkload {
+        AppWorkload {
+            name: "test",
+            lib_init_cycles: 1_000.0,
+            lib_init_instructions: 500.0,
+            iterations: vec![IterationWorkload {
+                map_tasks: vec![TaskWork::new(cycles, cycles / 2.0, 10); tasks],
+                reduce_tasks: vec![TaskWork::new(cycles / 10.0, cycles / 20.0, 0); 8],
+                merge: Some(MergeSpec {
+                    total_items: 100.0,
+                    cycles_per_item: 5.0,
+                    instructions_per_item: 2.0,
+                    flits_per_item: 4.0,
+                }),
+                map_memory: MemoryProfile::new(10.0, 0.05, 0.9),
+                reduce_memory: MemoryProfile::new(5.0, 0.05, 0.9),
+                kv_flits_per_key: 4.0,
+                neighbor_bias: 0.1,
+            }],
+            digest: 42,
+        }
+    }
+
+    #[test]
+    fn all_tasks_execute_exactly_once() {
+        let exec = Executor::new(RuntimeConfig::nvfi(8));
+        let report = exec.run(&simple_workload(37, 10_000.0));
+        assert_eq!(
+            report.tasks_per_core.iter().map(|&t| t as usize).sum::<usize>(),
+            37 + 8
+        );
+    }
+
+    #[test]
+    fn balanced_tasks_give_homogeneous_utilization() {
+        let exec = Executor::new(RuntimeConfig::nvfi(8));
+        let report = exec.run(&simple_workload(64, 50_000.0));
+        let u = &report.utilization;
+        let max = u.iter().cloned().fold(0.0, f64::max);
+        let min = u.iter().cloned().fold(1.0, f64::min);
+        assert!(max - min < 0.3, "utilization spread too wide: {u:?}");
+        assert!(report.avg_utilization() > 0.5);
+    }
+
+    #[test]
+    fn master_core_is_busiest_with_long_lib_init() {
+        let mut w = simple_workload(64, 10_000.0);
+        w.lib_init_cycles = 200_000.0;
+        let exec = Executor::new(RuntimeConfig::nvfi(8));
+        let report = exec.run(&w);
+        let master_u = report.utilization[0];
+        assert!(
+            report.utilization.iter().skip(1).all(|&u| u < master_u),
+            "master must be the bottleneck: {:?}",
+            report.utilization
+        );
+    }
+
+    #[test]
+    fn slower_cores_stretch_execution() {
+        let w = simple_workload(64, 50_000.0);
+        let fast = Executor::new(RuntimeConfig::nvfi(8)).run(&w);
+        let slow = Executor::new(RuntimeConfig::nvfi(8).with_speeds(vec![0.6; 8])).run(&w);
+        let ratio = slow.total_cycles() / fast.total_cycles();
+        assert!(
+            ratio > 1.3 && ratio < 1.8,
+            "expected ~1/0.6 stretch, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn stealing_happens_with_imbalanced_work() {
+        // One heavy task among light ones forces idle cores to steal.
+        let mut w = simple_workload(16, 1_000.0);
+        w.iterations[0].map_tasks[0] = TaskWork::new(500_000.0, 1_000.0, 10);
+        let exec = Executor::new(RuntimeConfig::nvfi(8));
+        let report = exec.run(&w);
+        assert!(report.steals > 0);
+    }
+
+    #[test]
+    fn vfi_capped_reduces_slow_core_tasks() {
+        // The paper's Section 4.3 pathology in miniature: a slow core that
+        // finishes its short initial task early would, under default
+        // stealing, pick up the long tail task and stretch the phase; the
+        // Eq. (3) cap leaves that task for the fast core.
+        let speeds = vec![0.8, 1.0];
+        let mut w = simple_workload(3, 0.0);
+        w.iterations[0].map_tasks = vec![
+            TaskWork::new(100_000.0, 0.0, 10), // short, on the slow core
+            TaskWork::new(200_000.0, 0.0, 10), // on the fast core
+            TaskWork::new(400_000.0, 0.0, 10), // tail task, queued at core 0
+        ];
+        w.iterations[0].reduce_tasks.clear();
+        w.iterations[0].merge = None;
+        let default_run = Executor::new(
+            RuntimeConfig::nvfi(2)
+                .with_speeds(speeds.clone())
+                .with_steal_policy(StealPolicy::Default),
+        )
+        .run(&w);
+        let capped_run = Executor::new(
+            RuntimeConfig::nvfi(2)
+                .with_speeds(speeds)
+                .with_steal_policy(StealPolicy::VfiCapped),
+        )
+        .run(&w);
+        let slow_default: u32 = default_run.tasks_per_core[..1].iter().sum();
+        let slow_capped: u32 = capped_run.tasks_per_core[..1].iter().sum();
+        assert!(
+            slow_capped < slow_default,
+            "cap must shift work to fast cores ({slow_capped} vs {slow_default})"
+        );
+        // In this regime the modified policy must be strictly faster.
+        assert!(
+            capped_run.phases.map < default_run.phases.map,
+            "capped {} vs default {}",
+            capped_run.phases.map,
+            default_run.phases.map
+        );
+    }
+
+    #[test]
+    fn all_slow_cores_still_complete() {
+        // No core at f_max: caps must be lifted rather than deadlock.
+        let w = simple_workload(32, 10_000.0);
+        let exec = Executor::new(
+            RuntimeConfig::nvfi(4)
+                .with_speeds(vec![0.8, 0.8, 0.6, 0.6])
+                .with_steal_policy(StealPolicy::VfiCapped),
+        );
+        let report = exec.run(&w);
+        assert_eq!(
+            report.tasks_per_core.iter().map(|&t| t as usize).sum::<usize>(),
+            32 + 8
+        );
+    }
+
+    #[test]
+    fn higher_network_latency_stretches_execution() {
+        let w = simple_workload(64, 20_000.0);
+        let near = Executor::new(RuntimeConfig::nvfi(8).with_remote_latency(20.0)).run(&w);
+        let far = Executor::new(RuntimeConfig::nvfi(8).with_remote_latency(200.0)).run(&w);
+        assert!(far.total_cycles() > near.total_cycles());
+    }
+
+    #[test]
+    fn traffic_matrix_is_populated() {
+        let exec = Executor::new(RuntimeConfig::nvfi(8));
+        let report = exec.run(&simple_workload(64, 20_000.0));
+        assert!(report.traffic.total_rate() > 0.0);
+        // Diagonal stays empty.
+        for i in 0..8 {
+            assert_eq!(report.traffic.rate(NodeId(i), NodeId(i)), 0.0);
+        }
+    }
+
+    #[test]
+    fn neighbor_bias_concentrates_traffic() {
+        let mut w = simple_workload(64, 20_000.0);
+        w.iterations[0].neighbor_bias = 0.0;
+        let uniform = Executor::new(RuntimeConfig::nvfi(8)).run(&w);
+        w.iterations[0].neighbor_bias = 0.9;
+        let local = Executor::new(RuntimeConfig::nvfi(8)).run(&w);
+        // Traffic between cores 0 and 1 (adjacent) grows with bias.
+        assert!(
+            local.traffic.rate(NodeId(0), NodeId(1))
+                > uniform.traffic.rate(NodeId(0), NodeId(1))
+        );
+    }
+
+    #[test]
+    fn deterministic_execution() {
+        let w = simple_workload(50, 30_000.0);
+        let a = Executor::new(RuntimeConfig::nvfi(8)).run(&w);
+        let b = Executor::new(RuntimeConfig::nvfi(8)).run(&w);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn merge_busy_lands_on_tree_mergers() {
+        let exec = Executor::new(RuntimeConfig::nvfi(8));
+        let report = exec.run(&simple_workload(8, 1_000.0));
+        // Core 0 merges at every level; core 1 never merges.
+        assert!(report.busy_cycles[0] > report.busy_cycles[1]);
+        assert!(report.phases.merge > 0.0);
+    }
+
+    #[test]
+    fn timeline_is_consistent_with_report() {
+        let w = simple_workload(40, 20_000.0);
+        let exec = Executor::new(RuntimeConfig::nvfi(8));
+        let (report, timeline) = exec.run_traced(&w);
+        // The schedule's makespan is the reported execution time.
+        assert!(
+            (timeline.makespan() - report.total_cycles()).abs()
+                < 1e-6 * report.total_cycles(),
+            "makespan {} vs total {}",
+            timeline.makespan(),
+            report.total_cycles()
+        );
+        // Per-core busy agrees with the report.
+        for core in 0..8 {
+            assert!(
+                (timeline.busy(core) - report.busy_cycles[core]).abs()
+                    < 1e-6 * report.busy_cycles[core].max(1.0),
+                "core {core}"
+            );
+        }
+        // Steal spans match the steal counter.
+        assert_eq!(timeline.steals() as u64, report.steals);
+        // Stage totals are all represented.
+        use crate::task::PhaseKind;
+        assert!(timeline.stage_busy(PhaseKind::Map) > 0.0);
+        assert!(timeline.stage_busy(PhaseKind::LibraryInit) > 0.0);
+    }
+
+    #[test]
+    fn empty_iteration_zero_cost_phases() {
+        let w = AppWorkload {
+            name: "empty",
+            lib_init_cycles: 100.0,
+            lib_init_instructions: 0.0,
+            iterations: vec![IterationWorkload {
+                map_tasks: vec![],
+                reduce_tasks: vec![],
+                merge: None,
+                map_memory: MemoryProfile::new(0.0, 0.0, 0.0),
+                reduce_memory: MemoryProfile::new(0.0, 0.0, 0.0),
+                kv_flits_per_key: 0.0,
+                neighbor_bias: 0.0,
+            }],
+            digest: 0,
+        };
+        let report = Executor::new(RuntimeConfig::nvfi(4)).run(&w);
+        assert_eq!(report.phases.map, 0.0);
+        assert_eq!(report.phases.reduce, 0.0);
+        assert_eq!(report.phases.merge, 0.0);
+        assert!(report.phases.lib_init > 0.0);
+    }
+}

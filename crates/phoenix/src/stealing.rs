@@ -1,0 +1,147 @@
+//! Task stealing policies (paper Section 4.3).
+//!
+//! Phoenix++ lets an idle core steal unfinished tasks from loaded cores. On
+//! a VFI platform this backfires: a *slow* core that finishes its short
+//! initial task early steals work that a *fast* core would have completed
+//! sooner, leaving fast cores idle and stretching the phase. The paper's fix
+//! caps the number of tasks a below-maximum-frequency core may execute at
+//!
+//! ```text
+//! N_f = ⌊ (N / C) · (1 − (f_max − f) / f_max) ⌋        (Eq. 3)
+//! ```
+//!
+//! where `N` is the task count of the phase, `C` the core count, `f` the
+//! core's frequency and `f_max` the maximum frequency in the system.
+
+/// How idle cores acquire more work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StealPolicy {
+    /// Phoenix++ default: any idle core steals from the most loaded core.
+    #[default]
+    Default,
+    /// VFI-aware stealing: cores below the maximum frequency execute at most
+    /// `N_f` tasks (Eq. 3); their leftover tasks are stolen by fast cores.
+    VfiCapped,
+}
+
+/// Eq. (3): the task cap for a core at relative speed `f / f_max`, given
+/// `total_tasks` in the phase and `cores` in the system.
+///
+/// Cores at full speed (`speed_ratio >= 1`) are uncapped (`usize::MAX`).
+///
+/// # Panics
+///
+/// Panics if `cores == 0` or `speed_ratio` is not in `(0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use mapwave_phoenix::stealing::task_cap;
+///
+/// // 100 tasks, 64 cores, f = 2.0 GHz of f_max = 2.5 GHz:
+/// // ⌊100/64 · (1 − 0.5/2.5)⌋ = ⌊1.5625 · 0.8⌋ = 1.
+/// assert_eq!(task_cap(100, 64, 0.8), 1);
+/// assert_eq!(task_cap(100, 64, 1.0), usize::MAX);
+/// ```
+pub fn task_cap(total_tasks: usize, cores: usize, speed_ratio: f64) -> usize {
+    assert!(cores > 0, "cores must be nonzero");
+    assert!(
+        speed_ratio > 0.0 && speed_ratio <= 1.0 + 1e-12,
+        "speed ratio must be in (0,1]"
+    );
+    if speed_ratio >= 1.0 - 1e-12 {
+        return usize::MAX;
+    }
+    ((total_tasks as f64 / cores as f64) * speed_ratio).floor() as usize
+}
+
+/// Per-core task caps for a phase under `policy`.
+///
+/// `speed_ratios[i]` is core `i`'s frequency relative to a reference clock.
+/// Eq. (3)'s `f_max` is the **maximum frequency of operation present in the
+/// system**, so ratios are re-normalised to the fastest core before the cap
+/// is computed — a system whose fastest island runs below the table maximum
+/// still keeps that island uncapped. Under [`StealPolicy::Default`] every
+/// core is uncapped.
+pub fn caps_for_phase(
+    policy: StealPolicy,
+    total_tasks: usize,
+    speed_ratios: &[f64],
+) -> Vec<usize> {
+    match policy {
+        StealPolicy::Default => vec![usize::MAX; speed_ratios.len()],
+        StealPolicy::VfiCapped => {
+            let fastest = speed_ratios.iter().cloned().fold(0.0, f64::max);
+            if fastest <= 0.0 {
+                return vec![usize::MAX; speed_ratios.len()];
+            }
+            speed_ratios
+                .iter()
+                .map(|&s| task_cap(total_tasks, speed_ratios.len(), s / fastest))
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_word_count_example() {
+        // WC: 100 tasks, 64 cores, two speeds 2.0/2.5 = 0.8 and full speed.
+        assert_eq!(task_cap(100, 64, 0.8), 1);
+        assert_eq!(task_cap(100, 64, 1.0), usize::MAX);
+    }
+
+    #[test]
+    fn cap_monotone_in_speed() {
+        let mut prev = 0;
+        for s in [0.2, 0.4, 0.6, 0.8, 0.99] {
+            let c = task_cap(1000, 8, s);
+            assert!(c >= prev, "cap must grow with speed");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn cap_scales_with_tasks() {
+        assert!(task_cap(1000, 64, 0.8) > task_cap(100, 64, 0.8));
+    }
+
+    #[test]
+    fn default_policy_uncapped() {
+        let caps = caps_for_phase(StealPolicy::Default, 100, &[0.6, 0.8, 1.0]);
+        assert!(caps.iter().all(|&c| c == usize::MAX));
+    }
+
+    #[test]
+    fn vfi_policy_caps_slow_cores_only() {
+        let caps = caps_for_phase(StealPolicy::VfiCapped, 64, &[0.6, 1.0, 0.8, 1.0]);
+        assert_eq!(caps[1], usize::MAX);
+        assert_eq!(caps[3], usize::MAX);
+        assert!(caps[0] < caps[2], "slower core gets smaller cap");
+        assert_eq!(caps[0], (16.0 * 0.6) as usize);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_cores() {
+        let _ = task_cap(10, 0, 0.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_speed() {
+        let _ = task_cap(10, 4, 0.0);
+    }
+
+    #[test]
+    fn at_least_one_uncapped_core_when_max_present() {
+        // Eq. (3) applies only to f < f_max, so a system always retains
+        // uncapped capacity as long as some core runs at f_max.
+        let speeds = [0.6, 0.6, 1.0, 0.8];
+        let caps = caps_for_phase(StealPolicy::VfiCapped, 50, &speeds);
+        assert!(caps.contains(&usize::MAX));
+    }
+}

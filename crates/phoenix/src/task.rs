@@ -1,0 +1,117 @@
+//! Tasks: the schedulable work units of the Phoenix++ runtime model.
+
+use std::fmt;
+
+/// Which execution stage a task belongs to (paper Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PhaseKind {
+    /// Library initialisation: serial scheduler/storage setup on the master
+    /// core, once per MapReduce iteration.
+    LibraryInit,
+    /// Map: per-chunk processing emitting intermediate (key, value) pairs.
+    Map,
+    /// Reduce: combining all values of each key.
+    Reduce,
+    /// Merge: the log-tree combination of reduced partitions.
+    Merge,
+}
+
+impl fmt::Display for PhaseKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PhaseKind::LibraryInit => "lib-init",
+            PhaseKind::Map => "map",
+            PhaseKind::Reduce => "reduce",
+            PhaseKind::Merge => "merge",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The modelled cost of one task, measured while the application really
+/// executed its computation over the (synthetic) input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskWork {
+    /// Compute cycles at the reference (maximum) clock.
+    pub cycles: f64,
+    /// Committed instructions (drives the cache/stall and traffic models).
+    pub instructions: f64,
+    /// Intermediate keys emitted (drives reduce-phase communication).
+    pub keys_emitted: usize,
+}
+
+impl TaskWork {
+    /// Creates a task-work record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if cycles or instructions are negative or non-finite.
+    pub fn new(cycles: f64, instructions: f64, keys_emitted: usize) -> Self {
+        assert!(
+            cycles >= 0.0 && cycles.is_finite(),
+            "cycles must be nonnegative"
+        );
+        assert!(
+            instructions >= 0.0 && instructions.is_finite(),
+            "instructions must be nonnegative"
+        );
+        TaskWork {
+            cycles,
+            instructions,
+            keys_emitted,
+        }
+    }
+
+    /// A zero-cost task (useful as a neutral element).
+    pub fn zero() -> Self {
+        TaskWork {
+            cycles: 0.0,
+            instructions: 0.0,
+            keys_emitted: 0,
+        }
+    }
+
+    /// Sums two work records (e.g. when fusing tasks).
+    pub fn merged(self, other: TaskWork) -> TaskWork {
+        TaskWork {
+            cycles: self.cycles + other.cycles,
+            instructions: self.instructions + other.instructions,
+            keys_emitted: self.keys_emitted + other.keys_emitted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merged_sums_fields() {
+        let a = TaskWork::new(100.0, 50.0, 3);
+        let b = TaskWork::new(200.0, 25.0, 4);
+        let m = a.merged(b);
+        assert_eq!(m.cycles, 300.0);
+        assert_eq!(m.instructions, 75.0);
+        assert_eq!(m.keys_emitted, 7);
+    }
+
+    #[test]
+    fn zero_is_neutral() {
+        let a = TaskWork::new(10.0, 5.0, 1);
+        assert_eq!(a.merged(TaskWork::zero()), a);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_negative_cycles() {
+        let _ = TaskWork::new(-1.0, 0.0, 0);
+    }
+
+    #[test]
+    fn phase_kind_display() {
+        assert_eq!(PhaseKind::LibraryInit.to_string(), "lib-init");
+        assert_eq!(PhaseKind::Map.to_string(), "map");
+        assert_eq!(PhaseKind::Reduce.to_string(), "reduce");
+        assert_eq!(PhaseKind::Merge.to_string(), "merge");
+    }
+}

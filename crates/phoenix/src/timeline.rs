@@ -1,0 +1,192 @@
+//! Execution timelines: per-core busy intervals of a modelled run.
+//!
+//! A [`Timeline`] records what every core executed and when — the data
+//! behind Gantt-style views of the Fig. 1 stage flow, and the easiest way
+//! to *see* the effects the paper reasons about: the serial library-init
+//! stripe on the master core, stealing filling the Map tail, the thinning
+//! Merge tree, and slow islands stretching their spans.
+
+use crate::task::PhaseKind;
+use std::fmt::Write as _;
+
+/// One contiguous busy interval on one core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Span {
+    /// The core that was busy.
+    pub core: usize,
+    /// The stage the work belonged to.
+    pub phase: PhaseKind,
+    /// Start time in reference cycles.
+    pub start: f64,
+    /// End time in reference cycles.
+    pub end: f64,
+    /// Whether the task was stolen from another core's queue.
+    pub stolen: bool,
+}
+
+impl Span {
+    /// Span length in reference cycles.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// The recorded schedule of one execution.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Timeline {
+    spans: Vec<Span>,
+    cores: usize,
+}
+
+impl Timeline {
+    /// An empty timeline over `cores` cores.
+    pub fn new(cores: usize) -> Self {
+        Timeline {
+            spans: Vec::new(),
+            cores,
+        }
+    }
+
+    /// Appends a span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span is inverted or its core is out of range.
+    pub fn push(&mut self, span: Span) {
+        assert!(span.end >= span.start, "inverted span");
+        assert!(span.core < self.cores, "core out of range");
+        self.spans.push(span);
+    }
+
+    /// All spans, in insertion order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// End of the last span (the makespan), 0 when empty.
+    pub fn makespan(&self) -> f64 {
+        self.spans.iter().map(|s| s.end).fold(0.0, f64::max)
+    }
+
+    /// Total busy time of one core.
+    pub fn busy(&self, core: usize) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| s.core == core)
+            .map(Span::duration)
+            .sum()
+    }
+
+    /// Time spent in one stage across all cores.
+    pub fn stage_busy(&self, phase: PhaseKind) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| s.phase == phase)
+            .map(Span::duration)
+            .sum()
+    }
+
+    /// Number of stolen-task spans.
+    pub fn steals(&self) -> usize {
+        self.spans.iter().filter(|s| s.stolen).count()
+    }
+
+    /// Renders an ASCII Gantt chart, `width` characters wide. Each core is
+    /// one row; stages print as `L` (lib-init), `M` (map), `R` (reduce),
+    /// `G` (merge); stolen tasks are lower-cased; idle time is `.`.
+    pub fn render(&self, width: usize) -> String {
+        let mut out = String::new();
+        let makespan = self.makespan();
+        if makespan <= 0.0 || width == 0 {
+            return out;
+        }
+        for core in 0..self.cores {
+            let mut row = vec!['.'; width];
+            for s in self.spans.iter().filter(|s| s.core == core) {
+                let from = ((s.start / makespan) * width as f64) as usize;
+                let to = (((s.end / makespan) * width as f64).ceil() as usize).min(width);
+                let mut ch = match s.phase {
+                    PhaseKind::LibraryInit => 'L',
+                    PhaseKind::Map => 'M',
+                    PhaseKind::Reduce => 'R',
+                    PhaseKind::Merge => 'G',
+                };
+                if s.stolen {
+                    ch = ch.to_ascii_lowercase();
+                }
+                for slot in row.iter_mut().take(to).skip(from.min(width)) {
+                    *slot = ch;
+                }
+            }
+            let _ = writeln!(out, "core {core:>2} |{}|", row.iter().collect::<String>());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(core: usize, phase: PhaseKind, start: f64, end: f64) -> Span {
+        Span {
+            core,
+            phase,
+            start,
+            end,
+            stolen: false,
+        }
+    }
+
+    #[test]
+    fn accounting() {
+        let mut t = Timeline::new(2);
+        t.push(span(0, PhaseKind::LibraryInit, 0.0, 10.0));
+        t.push(span(0, PhaseKind::Map, 10.0, 30.0));
+        t.push(span(1, PhaseKind::Map, 10.0, 25.0));
+        assert_eq!(t.makespan(), 30.0);
+        assert_eq!(t.busy(0), 30.0);
+        assert_eq!(t.busy(1), 15.0);
+        assert_eq!(t.stage_busy(PhaseKind::Map), 35.0);
+        assert_eq!(t.stage_busy(PhaseKind::Merge), 0.0);
+        assert_eq!(t.steals(), 0);
+    }
+
+    #[test]
+    fn render_shape() {
+        let mut t = Timeline::new(2);
+        t.push(span(0, PhaseKind::Map, 0.0, 50.0));
+        t.push(Span {
+            core: 1,
+            phase: PhaseKind::Map,
+            start: 50.0,
+            end: 100.0,
+            stolen: true,
+        });
+        let g = t.render(10);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("MMMMM"));
+        assert!(lines[1].contains("mmmmm"), "{g}");
+        assert!(lines[0].contains('.'));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_inverted_span() {
+        let mut t = Timeline::new(1);
+        t.push(span(0, PhaseKind::Map, 5.0, 1.0));
+    }
+
+    #[test]
+    fn empty_render_is_empty() {
+        let t = Timeline::new(4);
+        assert!(t.render(20).is_empty());
+        assert_eq!(t.makespan(), 0.0);
+    }
+}

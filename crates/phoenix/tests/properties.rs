@@ -1,0 +1,166 @@
+//! Property-based tests of the MapReduce runtime model.
+
+use mapwave_manycore::cache::MemoryProfile;
+use mapwave_phoenix::container::{ArrayContainer, HashContainer};
+use mapwave_phoenix::prelude::*;
+use mapwave_phoenix::stealing::{caps_for_phase, task_cap};
+use mapwave_phoenix::workload::IterationWorkload;
+use proptest::prelude::*;
+
+fn workload_from(cycles: &[f64], cores: usize) -> AppWorkload {
+    AppWorkload {
+        name: "prop",
+        lib_init_cycles: 500.0,
+        lib_init_instructions: 250.0,
+        iterations: vec![IterationWorkload {
+            map_tasks: cycles
+                .iter()
+                .map(|&c| TaskWork::new(c, c * 0.7, 3))
+                .collect(),
+            reduce_tasks: vec![TaskWork::new(100.0, 70.0, 1); cores.min(8)],
+            merge: None,
+            map_memory: MemoryProfile::new(10.0, 0.05, 0.9),
+            reduce_memory: MemoryProfile::new(5.0, 0.05, 0.9),
+            kv_flits_per_key: 4.0,
+            neighbor_bias: 0.2,
+        }],
+        digest: 0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every task runs exactly once regardless of speeds and policies, and
+    /// the observables stay within their definitions.
+    #[test]
+    fn executor_conserves_tasks(
+        cycles in proptest::collection::vec(100.0f64..100_000.0, 1..40),
+        cores in 2usize..12,
+        slow in 0.5f64..1.0,
+        capped in proptest::bool::ANY,
+    ) {
+        let w = workload_from(&cycles, cores);
+        let mut speeds = vec![1.0; cores];
+        for s in speeds.iter_mut().take(cores / 2) {
+            *s = slow;
+        }
+        let policy = if capped { StealPolicy::VfiCapped } else { StealPolicy::Default };
+        let report = Executor::new(
+            RuntimeConfig::nvfi(cores)
+                .with_speeds(speeds)
+                .with_steal_policy(policy),
+        )
+        .run(&w);
+        let executed: usize = report.tasks_per_core.iter().map(|&t| t as usize).sum();
+        prop_assert_eq!(executed, cycles.len() + cores.min(8));
+        prop_assert!(report.utilization.iter().all(|&u| (0.0..=1.0).contains(&u)));
+        prop_assert!(report.total_cycles() > 0.0);
+        // Busy time never exceeds cores × wall time.
+        let busy: f64 = report.busy_cycles.iter().sum();
+        prop_assert!(busy <= report.total_cycles() * cores as f64 * (1.0 + 1e-9));
+    }
+
+    /// Slowing every core never speeds execution up, and at equal speeds
+    /// the execution is invariant.
+    #[test]
+    fn slowdown_monotonicity(
+        cycles in proptest::collection::vec(1_000.0f64..50_000.0, 4..32),
+        speed in 0.4f64..1.0,
+    ) {
+        let w = workload_from(&cycles, 8);
+        let fast = Executor::new(RuntimeConfig::nvfi(8)).run(&w);
+        let slow = Executor::new(RuntimeConfig::nvfi(8).with_speeds(vec![speed; 8])).run(&w);
+        prop_assert!(slow.total_cycles() >= fast.total_cycles() - 1e-6);
+    }
+
+    /// Eq. (3): the cap is monotone in tasks and speed, zero-safe, and
+    /// uncapped exactly at the system maximum.
+    #[test]
+    fn task_cap_properties(
+        tasks in 0usize..10_000,
+        cores in 1usize..256,
+        s1 in 0.01f64..1.0,
+        s2 in 0.01f64..1.0,
+    ) {
+        let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+        prop_assert!(task_cap(tasks, cores, lo) <= task_cap(tasks, cores, hi));
+        prop_assert_eq!(task_cap(tasks, cores, 1.0), usize::MAX);
+        // Normalised caps leave the fastest core unbounded.
+        let speeds = vec![lo, hi, hi];
+        let caps = caps_for_phase(StealPolicy::VfiCapped, tasks, &speeds);
+        prop_assert_eq!(caps[1], usize::MAX);
+        prop_assert_eq!(caps[2], usize::MAX);
+    }
+
+    /// HashContainer combining is order-independent in its totals.
+    #[test]
+    fn hash_container_totals(
+        keys in proptest::collection::vec(0u32..50, 0..200),
+    ) {
+        let mut forward: HashContainer<u32, u64> = HashContainer::new();
+        for &k in &keys {
+            forward.emit(k, 1);
+        }
+        let mut backward: HashContainer<u32, u64> = HashContainer::new();
+        for &k in keys.iter().rev() {
+            backward.emit(k, 1);
+        }
+        let total = |c: &HashContainer<u32, u64>| -> u64 { c.iter().map(|(_, &v)| v).sum() };
+        prop_assert_eq!(total(&forward), keys.len() as u64);
+        prop_assert_eq!(total(&forward), total(&backward));
+        prop_assert_eq!(forward.len(), backward.len());
+    }
+
+    /// ArrayContainer merge equals elementwise sum.
+    #[test]
+    fn array_container_merge_is_sum(
+        a in proptest::collection::vec(0u64..100, 8),
+        b in proptest::collection::vec(0u64..100, 8),
+    ) {
+        let mut ca: ArrayContainer<u64> = ArrayContainer::new(8);
+        let mut cb: ArrayContainer<u64> = ArrayContainer::new(8);
+        for i in 0..8 {
+            ca.emit(i, a[i]);
+            cb.emit(i, b[i]);
+        }
+        ca.merge(cb);
+        for i in 0..8 {
+            prop_assert_eq!(ca.slots()[i], a[i] + b[i]);
+        }
+    }
+
+    /// The executor is a pure function of its inputs.
+    #[test]
+    fn executor_determinism(
+        cycles in proptest::collection::vec(100.0f64..10_000.0, 1..24),
+        cores in 2usize..8,
+    ) {
+        let w = workload_from(&cycles, cores);
+        let a = Executor::new(RuntimeConfig::nvfi(cores)).run(&w);
+        let b = Executor::new(RuntimeConfig::nvfi(cores)).run(&w);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Traffic matrices from executions have an empty diagonal and finite
+    /// nonnegative rates.
+    #[test]
+    fn execution_traffic_is_well_formed(
+        cycles in proptest::collection::vec(1_000.0f64..20_000.0, 4..24),
+    ) {
+        let w = workload_from(&cycles, 6);
+        let report = Executor::new(RuntimeConfig::nvfi(6)).run(&w);
+        for s in 0..6 {
+            for d in 0..6 {
+                let r = report.traffic.rate(
+                    mapwave_noc::NodeId(s),
+                    mapwave_noc::NodeId(d),
+                );
+                prop_assert!(r.is_finite() && r >= 0.0);
+                if s == d {
+                    prop_assert_eq!(r, 0.0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! Per-cluster V/F assignment and bottleneck-core reassignment
+//! (paper Sections 4.2 and 7.1).
+//!
+//! The initial assignment (**VFI 1**) gives every cluster the slowest V/F
+//! level that can absorb the cluster's mean utilization with some headroom.
+//! Certain Phoenix++ applications (PCA, MM, HIST) have a *nearly
+//! homogeneous* utilization profile plus a few **bottleneck cores** (the
+//! master cores running library initialisation and the late Merge
+//! sub-stages). When traffic placement drops such a bottleneck core into a
+//! slow cluster, the whole application stalls behind it. The fix (**VFI 2**)
+//! raises the V/F of every cluster containing a bottleneck core to the
+//! maximum level, leaving the clustering — and therefore the traffic
+//! pattern — untouched.
+
+use crate::clustering::Clustering;
+use crate::vf::{VfPair, VfTable};
+use std::fmt;
+
+/// A V/F level per cluster.
+///
+/// # Examples
+///
+/// ```
+/// use mapwave_vfi::assignment::VfAssignment;
+/// use mapwave_vfi::vf::{VfPair, VfTable};
+///
+/// let a = VfAssignment::new(vec![VfPair::new(0.8, 2.0), VfPair::new(1.0, 2.5)]);
+/// assert_eq!(a.cluster_count(), 2);
+/// assert!((a.speed_of(0, &VfTable::paper_levels()) - 0.8).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct VfAssignment {
+    per_cluster: Vec<VfPair>,
+}
+
+impl VfAssignment {
+    /// Wraps per-cluster operating points.
+    pub fn new(per_cluster: Vec<VfPair>) -> Self {
+        VfAssignment { per_cluster }
+    }
+
+    /// A uniform assignment (every cluster at `pair`) — the non-VFI
+    /// baseline uses this at the table maximum.
+    pub fn uniform(m: usize, pair: VfPair) -> Self {
+        VfAssignment {
+            per_cluster: vec![pair; m],
+        }
+    }
+
+    /// Number of clusters covered.
+    pub fn cluster_count(&self) -> usize {
+        self.per_cluster.len()
+    }
+
+    /// Operating point of cluster `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn vf_of(&self, j: usize) -> VfPair {
+        self.per_cluster[j]
+    }
+
+    /// All operating points.
+    pub fn as_slice(&self) -> &[VfPair] {
+        &self.per_cluster
+    }
+
+    /// Relative speed of cluster `j` versus the table maximum.
+    pub fn speed_of(&self, j: usize, table: &VfTable) -> f64 {
+        self.per_cluster[j].speed_ratio(table.max().freq_ghz)
+    }
+
+    /// Per-core speed ratios for `clustering` (used to clock the platform
+    /// and NoC simulations).
+    pub fn core_speeds(&self, clustering: &Clustering, table: &VfTable) -> Vec<f64> {
+        (0..clustering.len())
+            .map(|i| self.speed_of(clustering.cluster_of(i), table))
+            .collect()
+    }
+}
+
+impl fmt::Display for VfAssignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (j, p) in self.per_cluster.iter().enumerate() {
+            if j > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "C{j}={p}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Parameters of the bottleneck-core detector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BottleneckParams {
+    /// A core is a bottleneck when its utilization exceeds the mean by this
+    /// factor.
+    pub ratio_threshold: f64,
+    /// The profile counts as "nearly homogeneous" when the coefficient of
+    /// variation of the non-bottleneck cores is below this.
+    pub homogeneity_cv: f64,
+    /// At most this fraction of cores may be flagged (bottlenecks are "a
+    /// few" cores; more than this means the profile is simply heterogeneous).
+    pub max_fraction: f64,
+}
+
+impl Default for BottleneckParams {
+    fn default() -> Self {
+        BottleneckParams {
+            ratio_threshold: 1.32,
+            homogeneity_cv: 0.30,
+            max_fraction: 0.15,
+        }
+    }
+}
+
+/// Result of bottleneck analysis over a utilization profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BottleneckAnalysis {
+    /// Indices of the detected bottleneck cores (empty if none).
+    pub bottleneck_cores: Vec<usize>,
+    /// Ratio of the strongest bottleneck utilization to the mean.
+    pub peak_ratio: f64,
+    /// Mean utilization over all cores.
+    pub mean_utilization: f64,
+    /// Mean utilization over the bottleneck cores (0 when none).
+    pub bottleneck_utilization: f64,
+    /// Whether the non-bottleneck profile is nearly homogeneous.
+    pub homogeneous: bool,
+    /// Coefficient of variation of the non-bottleneck cores (the
+    /// homogeneity statistic).
+    pub rest_cv: f64,
+}
+
+impl BottleneckAnalysis {
+    /// Whether V/F reassignment (VFI 2) is warranted: bottleneck cores exist
+    /// *and* the remaining profile is nearly homogeneous — heterogeneous
+    /// profiles (Kmeans, WC) already place their hot cores in fast clusters.
+    pub fn needs_reassignment(&self) -> bool {
+        !self.bottleneck_cores.is_empty() && self.homogeneous
+    }
+}
+
+/// Detects bottleneck cores in a utilization profile.
+///
+/// # Panics
+///
+/// Panics if `utilization` is empty.
+pub fn detect_bottlenecks(utilization: &[f64], params: &BottleneckParams) -> BottleneckAnalysis {
+    assert!(!utilization.is_empty(), "utilization must be nonempty");
+    let n = utilization.len();
+    let mean = utilization.iter().sum::<f64>() / n as f64;
+    let threshold = mean * params.ratio_threshold;
+    let mut bottleneck_cores: Vec<usize> = (0..n)
+        .filter(|&i| utilization[i] > threshold && mean > 0.0)
+        .collect();
+    let max_bottlenecks = ((params.max_fraction * n as f64) as usize).max(1);
+    if bottleneck_cores.len() > max_bottlenecks {
+        // Too many "hot" cores: the profile is heterogeneous, not
+        // homogeneous-with-bottlenecks.
+        bottleneck_cores.clear();
+    }
+
+    let rest: Vec<f64> = (0..n)
+        .filter(|i| !bottleneck_cores.contains(i))
+        .map(|i| utilization[i])
+        .collect();
+    let rest_mean = rest.iter().sum::<f64>() / rest.len().max(1) as f64;
+    let rest_var = rest
+        .iter()
+        .map(|&u| (u - rest_mean).powi(2))
+        .sum::<f64>()
+        / rest.len().max(1) as f64;
+    let cv = if rest_mean > 0.0 {
+        rest_var.sqrt() / rest_mean
+    } else {
+        0.0
+    };
+
+    let bottleneck_utilization = if bottleneck_cores.is_empty() {
+        0.0
+    } else {
+        bottleneck_cores
+            .iter()
+            .map(|&i| utilization[i])
+            .sum::<f64>()
+            / bottleneck_cores.len() as f64
+    };
+    let peak = utilization.iter().cloned().fold(0.0, f64::max);
+
+    BottleneckAnalysis {
+        bottleneck_cores,
+        peak_ratio: if mean > 0.0 { peak / mean } else { 0.0 },
+        mean_utilization: mean,
+        bottleneck_utilization,
+        homogeneous: cv < params.homogeneity_cv,
+        rest_cv: cv,
+    }
+}
+
+/// The initial per-cluster V/F assignment (**VFI 1**): each cluster gets the
+/// slowest level that absorbs its mean utilization with `headroom`.
+///
+/// # Panics
+///
+/// Panics if `utilization.len() != clustering.len()` or `headroom ∉ (0, 1]`.
+pub fn assign_initial(
+    clustering: &Clustering,
+    utilization: &[f64],
+    table: &VfTable,
+    headroom: f64,
+) -> VfAssignment {
+    assert_eq!(
+        utilization.len(),
+        clustering.len(),
+        "utilization length mismatch"
+    );
+    let per_cluster = (0..clustering.cluster_count())
+        .map(|j| {
+            let members = clustering.members(j);
+            let mean =
+                members.iter().map(|&i| utilization[i]).sum::<f64>() / members.len() as f64;
+            table.level_for_utilization(mean, headroom)
+        })
+        .collect();
+    VfAssignment::new(per_cluster)
+}
+
+/// The bottleneck reassignment (**VFI 2**): clusters hosting bottleneck
+/// cores are raised one V/F level (the paper's PCA/HIST/MM all moved
+/// 0.9 V/2.25 GHz → 1.0 V/2.5 GHz — a single step); all other clusters
+/// keep their VFI 1 levels. Returns the input unchanged when
+/// [`BottleneckAnalysis::needs_reassignment`] is false.
+pub fn reassign_for_bottlenecks(
+    initial: &VfAssignment,
+    clustering: &Clustering,
+    analysis: &BottleneckAnalysis,
+    table: &VfTable,
+) -> VfAssignment {
+    if !analysis.needs_reassignment() {
+        return initial.clone();
+    }
+    let mut per_cluster = initial.as_slice().to_vec();
+    for &core in &analysis.bottleneck_cores {
+        let j = clustering.cluster_of(core);
+        per_cluster[j] = table.step_up(initial.vf_of(j));
+    }
+    VfAssignment::new(per_cluster)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_profile(n: usize, base: f64, spikes: &[(usize, f64)]) -> Vec<f64> {
+        let mut u = vec![base; n];
+        for &(i, v) in spikes {
+            u[i] = v;
+        }
+        u
+    }
+
+    #[test]
+    fn detects_single_bottleneck_in_flat_profile() {
+        let u = flat_profile(16, 0.5, &[(3, 0.9)]);
+        let a = detect_bottlenecks(&u, &BottleneckParams::default());
+        assert_eq!(a.bottleneck_cores, vec![3]);
+        assert!(a.homogeneous);
+        assert!(a.needs_reassignment());
+        assert!(a.peak_ratio > 1.25);
+        assert!((a.bottleneck_utilization - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heterogeneous_profile_needs_no_reassignment() {
+        // Kmeans-like: half the cores much cooler than the rest.
+        let u: Vec<f64> = (0..16)
+            .map(|i| if i < 8 { 0.9 } else { 0.2 })
+            .collect();
+        let a = detect_bottlenecks(&u, &BottleneckParams::default());
+        assert!(!a.needs_reassignment());
+    }
+
+    #[test]
+    fn flat_profile_has_no_bottlenecks() {
+        let u = flat_profile(16, 0.6, &[]);
+        let a = detect_bottlenecks(&u, &BottleneckParams::default());
+        assert!(a.bottleneck_cores.is_empty());
+        assert!(!a.needs_reassignment());
+        assert!(a.homogeneous);
+    }
+
+    #[test]
+    fn too_many_hot_cores_is_not_bottleneck() {
+        // 6 of 16 hot (> 15% cap): treated as heterogeneous.
+        let spikes: Vec<(usize, f64)> = (0..6).map(|i| (i, 0.95)).collect();
+        let u = flat_profile(16, 0.4, &spikes);
+        let a = detect_bottlenecks(&u, &BottleneckParams::default());
+        assert!(a.bottleneck_cores.is_empty());
+    }
+
+    #[test]
+    fn initial_assignment_uses_cluster_means() {
+        let clustering = Clustering::new(vec![0, 0, 1, 1], 2).unwrap();
+        let u = vec![0.2, 0.3, 0.85, 0.9];
+        let table = VfTable::paper_levels();
+        let a = assign_initial(&clustering, &u, &table, 0.9);
+        assert!(a.vf_of(0).freq_ghz < a.vf_of(1).freq_ghz);
+        assert_eq!(a.vf_of(1).freq_ghz, 2.5);
+    }
+
+    #[test]
+    fn reassignment_raises_only_bottleneck_clusters() {
+        let clustering = Clustering::new(vec![0, 0, 1, 1], 2).unwrap();
+        let u = vec![0.5, 0.95, 0.5, 0.5];
+        let table = VfTable::paper_levels();
+        let vfi1 = assign_initial(&clustering, &u, &table, 0.9);
+        let analysis = detect_bottlenecks(&u, &BottleneckParams::default());
+        assert!(analysis.needs_reassignment());
+        let vfi2 = reassign_for_bottlenecks(&vfi1, &clustering, &analysis, &table);
+        assert_eq!(vfi2.vf_of(0), table.max());
+        assert_eq!(vfi2.vf_of(1), vfi1.vf_of(1));
+    }
+
+    #[test]
+    fn no_reassignment_when_not_needed() {
+        let clustering = Clustering::new(vec![0, 1], 2).unwrap();
+        let table = VfTable::paper_levels();
+        let vfi1 = VfAssignment::uniform(2, table.min());
+        let analysis = detect_bottlenecks(&[0.5, 0.5], &BottleneckParams::default());
+        let vfi2 = reassign_for_bottlenecks(&vfi1, &clustering, &analysis, &table);
+        assert_eq!(vfi1, vfi2);
+    }
+
+    #[test]
+    fn core_speeds_follow_clusters() {
+        let clustering = Clustering::new(vec![0, 1, 0, 1], 2).unwrap();
+        let table = VfTable::paper_levels();
+        let a = VfAssignment::new(vec![VfPair::new(0.6, 1.5), VfPair::new(1.0, 2.5)]);
+        let speeds = a.core_speeds(&clustering, &table);
+        assert_eq!(speeds, vec![0.6, 1.0, 0.6, 1.0]);
+    }
+
+    #[test]
+    fn display_lists_clusters() {
+        let a = VfAssignment::uniform(2, VfPair::new(1.0, 2.5));
+        assert_eq!(a.to_string(), "C0=1.00V/2.50GHz, C1=1.00V/2.50GHz");
+    }
+
+    #[test]
+    fn zero_utilization_profile() {
+        let a = detect_bottlenecks(&[0.0; 8], &BottleneckParams::default());
+        assert!(a.bottleneck_cores.is_empty());
+        assert_eq!(a.peak_ratio, 0.0);
+    }
+}

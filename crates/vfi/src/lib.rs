@@ -1,0 +1,57 @@
+//! # mapwave-vfi
+//!
+//! Voltage/Frequency Island machinery for the DAC'15 reproduction:
+//!
+//! * [`vf`] — the discrete V/F operating points of the paper's Table 2;
+//! * [`clustering`] — the 0-1 quadratic VFI clustering program of Eq. (1)
+//!   with an exact branch-and-bound solver (the Gurobi substitute) and a
+//!   scalable deterministic heuristic;
+//! * [`assignment`] — per-cluster V/F selection (VFI 1), bottleneck-core
+//!   detection, and the VFI 2 reassignment of Section 4.2;
+//! * [`power`] — the analytic core power model standing in for McPAT.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use mapwave_vfi::prelude::*;
+//!
+//! // Eight cores, two islands: cohabit the heavy talkers, group similar
+//! // utilizations, then pick V/F per island.
+//! let utilization = vec![0.2, 0.25, 0.3, 0.2, 0.8, 0.85, 0.8, 0.9];
+//! let mut traffic = vec![vec![0.0; 8]; 8];
+//! traffic[4][5] = 1.0;
+//! traffic[5][4] = 1.0;
+//! let problem = ClusteringProblem::new(utilization.clone(), traffic, 2)?;
+//! let clustering = problem.solve();
+//! let table = VfTable::paper_levels();
+//! let vfi1 = assign_initial(&clustering, &utilization, &table, 0.9);
+//! assert_eq!(vfi1.cluster_count(), 2);
+//! # Ok::<(), mapwave_vfi::clustering::ClusteringError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod assignment;
+pub mod clustering;
+pub mod power;
+pub mod vf;
+
+pub use assignment::{
+    assign_initial, detect_bottlenecks, reassign_for_bottlenecks, BottleneckAnalysis,
+    BottleneckParams, VfAssignment,
+};
+pub use clustering::{Clustering, ClusteringError, ClusteringProblem};
+pub use power::{edp, CorePowerModel};
+pub use vf::{VfPair, VfTable};
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::assignment::{
+        assign_initial, detect_bottlenecks, reassign_for_bottlenecks, BottleneckAnalysis,
+        BottleneckParams, VfAssignment,
+    };
+    pub use crate::clustering::{Clustering, ClusteringProblem};
+    pub use crate::power::{edp, CorePowerModel};
+    pub use crate::vf::{VfPair, VfTable};
+}

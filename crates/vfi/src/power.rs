@@ -1,0 +1,176 @@
+//! Core-level power and energy models (the McPAT substitute).
+//!
+//! The study needs only the parts of McPAT that respond to the knobs it
+//! turns: dynamic power scaling as `u · C_eff · V² · f` with utilization,
+//! voltage and frequency, and leakage growing superlinearly with voltage.
+//! Defaults are calibrated to a mid-2010s x86 core: ~2 W dynamic at full
+//! utilization and 1.0 V / 2.5 GHz, ~0.5 W leakage at 1.0 V.
+
+use crate::vf::VfPair;
+
+/// Analytic per-core power model.
+///
+/// # Examples
+///
+/// ```
+/// use mapwave_vfi::power::CorePowerModel;
+/// use mapwave_vfi::vf::VfPair;
+///
+/// let m = CorePowerModel::default_x86();
+/// let fast = m.power_w(1.0, VfPair::new(1.0, 2.5));
+/// let slow = m.power_w(1.0, VfPair::new(0.6, 1.5));
+/// assert!(slow < fast / 2.0); // V²f scaling bites hard
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorePowerModel {
+    /// Effective switched capacitance in nanofarads: `P_dyn = u·C·V²·f`.
+    pub c_eff_nf: f64,
+    /// Leakage coefficient in watts per volt²: `P_leak = k·V²`.
+    pub leak_w_per_v2: f64,
+    /// Fraction of dynamic power drawn when a core idles (clock tree,
+    /// front-end). Idle cores are clock-gated, not power-gated.
+    pub idle_activity: f64,
+}
+
+impl CorePowerModel {
+    /// Calibration used throughout the reproduction: a thin 65-nm-era x86
+    /// core (~0.75 W dynamic at 1.0 V / 2.5 GHz and full utilization,
+    /// ~0.2 W leakage), which keeps the interconnect at the realistic
+    /// 5–15% share of chip energy.
+    pub fn default_x86() -> Self {
+        CorePowerModel {
+            c_eff_nf: 0.3,
+            leak_w_per_v2: 0.2,
+            idle_activity: 0.25,
+        }
+    }
+
+    /// Dynamic power at `utilization ∈ [0, 1]` and operating point `vf`, in
+    /// watts. Utilization below the idle floor is clamped up to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `utilization` is negative or non-finite.
+    pub fn dynamic_power_w(&self, utilization: f64, vf: VfPair) -> f64 {
+        assert!(
+            utilization >= 0.0 && utilization.is_finite(),
+            "utilization must be nonnegative"
+        );
+        let activity = utilization.max(self.idle_activity);
+        activity * self.c_eff_nf * 1e-9 * vf.voltage_v.powi(2) * vf.freq_ghz * 1e9
+    }
+
+    /// Leakage power at `vf`, in watts.
+    pub fn leakage_power_w(&self, vf: VfPair) -> f64 {
+        self.leak_w_per_v2 * vf.voltage_v.powi(2)
+    }
+
+    /// Total core power in watts.
+    pub fn power_w(&self, utilization: f64, vf: VfPair) -> f64 {
+        self.dynamic_power_w(utilization, vf) + self.leakage_power_w(vf)
+    }
+
+    /// Energy in joules for running at `utilization` and `vf` for
+    /// `seconds`.
+    pub fn energy_j(&self, utilization: f64, vf: VfPair, seconds: f64) -> f64 {
+        self.power_w(utilization, vf) * seconds
+    }
+}
+
+impl Default for CorePowerModel {
+    fn default() -> Self {
+        CorePowerModel::default_x86()
+    }
+}
+
+/// Energy–delay product: `energy × delay`. The paper uses execution time as
+/// the delay term for full-system EDP and average packet latency for
+/// network EDP.
+pub fn edp(energy_j: f64, delay_s: f64) -> f64 {
+    energy_j * delay_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CorePowerModel {
+        CorePowerModel::default_x86()
+    }
+
+    #[test]
+    fn default_calibration_magnitudes() {
+        let m = model();
+        let p = m.power_w(1.0, VfPair::new(1.0, 2.5));
+        // ~0.75 W dynamic + 0.2 W leakage.
+        assert!((p - 0.95).abs() < 0.01, "power {p}");
+    }
+
+    #[test]
+    fn dynamic_scales_with_v_squared_f() {
+        let m = model();
+        let hi = m.dynamic_power_w(1.0, VfPair::new(1.0, 2.5));
+        let lo = m.dynamic_power_w(1.0, VfPair::new(0.5, 1.25));
+        // (0.5² · 1.25) / (1² · 2.5) = 0.125
+        assert!((lo / hi - 0.125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leakage_scales_with_v_squared() {
+        let m = model();
+        let hi = m.leakage_power_w(VfPair::new(1.0, 2.5));
+        let lo = m.leakage_power_w(VfPair::new(0.5, 1.25));
+        assert!((lo / hi - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_monotone_in_utilization() {
+        let m = model();
+        let vf = VfPair::new(0.9, 2.25);
+        let mut prev = 0.0;
+        for i in 0..=10 {
+            let p = m.power_w(i as f64 / 10.0, vf);
+            assert!(p >= prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn idle_floor_applies() {
+        let m = model();
+        let vf = VfPair::new(1.0, 2.5);
+        assert_eq!(m.dynamic_power_w(0.0, vf), m.dynamic_power_w(0.05, vf));
+        assert!(m.dynamic_power_w(0.0, vf) > 0.0);
+    }
+
+    #[test]
+    fn energy_linear_in_time() {
+        let m = model();
+        let vf = VfPair::new(0.8, 2.0);
+        let e1 = m.energy_j(0.5, vf, 1.0);
+        let e3 = m.energy_j(0.5, vf, 3.0);
+        assert!((e3 - 3.0 * e1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edp_definition() {
+        assert!((edp(2.0, 3.0) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_utilization_panics() {
+        let _ = model().dynamic_power_w(-0.1, VfPair::new(1.0, 2.5));
+    }
+
+    #[test]
+    fn dvfs_saves_energy_for_slack_workloads() {
+        // A workload needing 0.6 of peak throughput: run it at 2.5 GHz with
+        // u = 0.6, or at 2.0 GHz (0.8 V) with u = 0.75 for the same work.
+        // The slower point must win on energy for equal wall-clock time.
+        let m = model();
+        let fast = m.energy_j(0.6, VfPair::new(1.0, 2.5), 1.0);
+        let slow = m.energy_j(0.75, VfPair::new(0.8, 2.0), 1.0);
+        assert!(slow < fast, "slow {slow} fast {fast}");
+    }
+}

@@ -1,0 +1,257 @@
+//! Voltage/frequency operating points.
+//!
+//! The paper's platform exposes four discrete V/F levels (Table 2):
+//! 0.6 V / 1.5 GHz, 0.8 V / 2.0 GHz, 0.9 V / 2.25 GHz and 1.0 V / 2.5 GHz.
+//! Every VFI cluster is assigned one of these pairs; the non-VFI baseline
+//! runs every core at the maximum level.
+
+use std::fmt;
+
+/// One voltage/frequency operating point.
+///
+/// # Examples
+///
+/// ```
+/// use mapwave_vfi::vf::VfPair;
+///
+/// let p = VfPair::new(0.9, 2.25);
+/// assert_eq!(format!("{p}"), "0.90V/2.25GHz");
+/// assert!((p.speed_ratio(2.5) - 0.9).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct VfPair {
+    /// Supply voltage in volts.
+    pub voltage_v: f64,
+    /// Clock frequency in GHz.
+    pub freq_ghz: f64,
+}
+
+impl VfPair {
+    /// Creates an operating point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if voltage or frequency is not positive and finite.
+    pub fn new(voltage_v: f64, freq_ghz: f64) -> Self {
+        assert!(
+            voltage_v > 0.0 && voltage_v.is_finite(),
+            "voltage must be positive"
+        );
+        assert!(
+            freq_ghz > 0.0 && freq_ghz.is_finite(),
+            "frequency must be positive"
+        );
+        VfPair { voltage_v, freq_ghz }
+    }
+
+    /// Relative speed of this point versus a reference frequency
+    /// (`freq / reference`).
+    pub fn speed_ratio(&self, reference_ghz: f64) -> f64 {
+        self.freq_ghz / reference_ghz
+    }
+}
+
+impl fmt::Display for VfPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}V/{:.2}GHz", self.voltage_v, self.freq_ghz)
+    }
+}
+
+/// The ordered menu of available operating points (ascending frequency).
+///
+/// # Examples
+///
+/// ```
+/// use mapwave_vfi::vf::VfTable;
+///
+/// let t = VfTable::paper_levels();
+/// assert_eq!(t.len(), 4);
+/// assert_eq!(t.max().freq_ghz, 2.5);
+/// assert_eq!(t.min().freq_ghz, 1.5);
+/// // The lowest level able to serve 70% sustained utilization with 10%
+/// // headroom is 2.0 GHz (needs >= 0.7 * 2.5 / 0.9 = 1.94 GHz).
+/// assert_eq!(t.level_for_utilization(0.7, 0.9).freq_ghz, 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct VfTable {
+    levels: Vec<VfPair>,
+}
+
+impl VfTable {
+    /// Builds a table from operating points (sorted ascending by frequency).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is empty.
+    pub fn new(mut levels: Vec<VfPair>) -> Self {
+        assert!(!levels.is_empty(), "a VF table needs at least one level");
+        levels.sort_by(|a, b| {
+            a.freq_ghz
+                .partial_cmp(&b.freq_ghz)
+                .expect("frequencies are finite")
+        });
+        VfTable { levels }
+    }
+
+    /// The four levels used throughout the paper (Table 2).
+    pub fn paper_levels() -> Self {
+        VfTable::new(vec![
+            VfPair::new(0.6, 1.5),
+            VfPair::new(0.8, 2.0),
+            VfPair::new(0.9, 2.25),
+            VfPair::new(1.0, 2.5),
+        ])
+    }
+
+    /// Number of levels.
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Whether the table has no levels (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// All levels, ascending by frequency.
+    pub fn levels(&self) -> &[VfPair] {
+        &self.levels
+    }
+
+    /// The fastest level.
+    pub fn max(&self) -> VfPair {
+        *self.levels.last().expect("table is nonempty")
+    }
+
+    /// The slowest level.
+    pub fn min(&self) -> VfPair {
+        *self.levels.first().expect("table is nonempty")
+    }
+
+    /// The slowest level whose frequency can absorb a sustained utilization
+    /// of `utilization` (measured at the maximum frequency) while staying
+    /// below the occupancy fraction `headroom` ∈ (0, 1].
+    ///
+    /// A cluster whose cores commit `u` of peak issue slots at `f_max` needs
+    /// `f ≥ u · f_max / headroom`; anything slower would saturate the cores
+    /// and stretch execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headroom` is not in `(0, 1]` or `utilization` is negative.
+    pub fn level_for_utilization(&self, utilization: f64, headroom: f64) -> VfPair {
+        assert!(
+            headroom > 0.0 && headroom <= 1.0,
+            "headroom must be in (0,1]"
+        );
+        assert!(utilization >= 0.0, "utilization must be nonnegative");
+        let needed = utilization * self.max().freq_ghz / headroom;
+        for &level in &self.levels {
+            if level.freq_ghz >= needed {
+                return level;
+            }
+        }
+        self.max()
+    }
+
+    /// The next faster level after `pair`, or `pair` itself if already at
+    /// (or above) the top.
+    pub fn step_up(&self, pair: VfPair) -> VfPair {
+        for &level in &self.levels {
+            if level.freq_ghz > pair.freq_ghz + 1e-12 {
+                return level;
+            }
+        }
+        self.max()
+    }
+
+    /// Index of the level equal to `pair`, if present.
+    pub fn index_of(&self, pair: VfPair) -> Option<usize> {
+        self.levels.iter().position(|&l| {
+            (l.freq_ghz - pair.freq_ghz).abs() < 1e-9
+                && (l.voltage_v - pair.voltage_v).abs() < 1e-9
+        })
+    }
+}
+
+impl Default for VfTable {
+    fn default() -> Self {
+        VfTable::paper_levels()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_levels_sorted() {
+        let t = VfTable::paper_levels();
+        let freqs: Vec<f64> = t.levels().iter().map(|l| l.freq_ghz).collect();
+        assert_eq!(freqs, vec![1.5, 2.0, 2.25, 2.5]);
+    }
+
+    #[test]
+    fn level_for_low_utilization_is_slowest() {
+        let t = VfTable::paper_levels();
+        assert_eq!(t.level_for_utilization(0.2, 0.9).freq_ghz, 1.5);
+    }
+
+    #[test]
+    fn level_for_high_utilization_is_fastest() {
+        let t = VfTable::paper_levels();
+        assert_eq!(t.level_for_utilization(0.95, 0.9).freq_ghz, 2.5);
+        // Even beyond 1.0 we clamp to the max level.
+        assert_eq!(t.level_for_utilization(1.5, 0.9).freq_ghz, 2.5);
+    }
+
+    #[test]
+    fn level_monotone_in_utilization() {
+        let t = VfTable::paper_levels();
+        let mut prev = 0.0;
+        for i in 0..=20 {
+            let u = i as f64 / 20.0;
+            let f = t.level_for_utilization(u, 0.9).freq_ghz;
+            assert!(f >= prev, "level must not decrease with utilization");
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn step_up_moves_one_level() {
+        let t = VfTable::paper_levels();
+        assert_eq!(t.step_up(VfPair::new(0.9, 2.25)).freq_ghz, 2.5);
+        assert_eq!(t.step_up(VfPair::new(1.0, 2.5)).freq_ghz, 2.5);
+        assert_eq!(t.step_up(VfPair::new(0.6, 1.5)).freq_ghz, 2.0);
+    }
+
+    #[test]
+    fn index_of_finds_levels() {
+        let t = VfTable::paper_levels();
+        assert_eq!(t.index_of(VfPair::new(0.8, 2.0)), Some(1));
+        assert_eq!(t.index_of(VfPair::new(0.7, 1.8)), None);
+    }
+
+    #[test]
+    fn speed_ratio() {
+        let p = VfPair::new(0.8, 2.0);
+        assert!((p.speed_ratio(2.5) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nonpositive_voltage() {
+        let _ = VfPair::new(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_headroom() {
+        let _ = VfTable::paper_levels().level_for_utilization(0.5, 0.0);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(VfPair::new(1.0, 2.5).to_string(), "1.00V/2.50GHz");
+    }
+}

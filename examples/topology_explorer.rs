@@ -1,0 +1,83 @@
+//! Compare the paper's interconnect fabrics as graphs, and optionally dump
+//! Graphviz renderings.
+//!
+//! ```sh
+//! cargo run --release --example topology_explorer            # metrics table
+//! cargo run --release --example topology_explorer -- dot     # + .dot files
+//! dot -Kneato -n -Tpng winoc.dot -o winoc.png                # render
+//! ```
+
+use mapwave_noc::node::grid_positions;
+use mapwave_noc::prelude::*;
+use mapwave_noc::topology::dot::to_dot;
+use mapwave_noc::topology::mesh::mesh;
+use mapwave_noc::topology::metrics::summarize;
+
+fn quadrants() -> Vec<usize> {
+    (0..64).map(|i| (i % 8) / 4 + 2 * ((i / 8) / 4)).collect()
+}
+
+fn paper_overlay() -> WirelessOverlay {
+    // Three WIs per quadrant near the centres, one per channel.
+    let wis: Vec<WirelessInterface> = [
+        (9usize, 0usize),
+        (18, 1),
+        (27, 2),
+        (13, 0),
+        (22, 1),
+        (30, 2),
+        (41, 0),
+        (50, 1),
+        (33, 2),
+        (45, 0),
+        (54, 1),
+        (37, 2),
+    ]
+    .iter()
+    .map(|&(n, c)| WirelessInterface {
+        node: NodeId(n),
+        channel: ChannelId(c),
+    })
+    .collect();
+    WirelessOverlay::new(wis, 3).expect("valid overlay")
+}
+
+fn main() {
+    let dump_dot = std::env::args().nth(1).as_deref() == Some("dot");
+
+    let m = mesh(8, 8, 2.5);
+    println!("mesh 8x8        : {}", summarize(&m));
+
+    println!("\npower-law small worlds (⟨k_intra⟩, ⟨k_inter⟩) = (3,1):");
+    for alpha in [2.5, 2.0, 1.5, 1.0] {
+        let sw = SmallWorldBuilder::new(grid_positions(8, 8, 2.5), quadrants())
+            .alpha(alpha)
+            .seed(0xDAC_2015)
+            .build()
+            .expect("builds");
+        println!("  alpha = {alpha:<4}: {}", summarize(&sw));
+    }
+
+    println!("\ndegree split at alpha = 1.5:");
+    for (ki, ke) in [(3.0, 1.0), (2.0, 2.0)] {
+        let sw = SmallWorldBuilder::new(grid_positions(8, 8, 2.5), quadrants())
+            .k_intra(ki)
+            .k_inter(ke)
+            .alpha(1.5)
+            .seed(0xDAC_2015)
+            .build()
+            .expect("builds");
+        println!("  ({ki:.0},{ke:.0})       : {}", summarize(&sw));
+    }
+
+    if dump_dot {
+        let sw = SmallWorldBuilder::new(grid_positions(8, 8, 2.5), quadrants())
+            .alpha(1.5)
+            .seed(0xDAC_2015)
+            .build()
+            .expect("builds");
+        std::fs::write("mesh.dot", to_dot(&m, &WirelessOverlay::none())).expect("write mesh.dot");
+        std::fs::write("winoc.dot", to_dot(&sw, &paper_overlay())).expect("write winoc.dot");
+        println!("\nwrote mesh.dot and winoc.dot (render with: dot -Kneato -n -Tpng ...)");
+    }
+}

@@ -1,0 +1,27 @@
+//! # mapwave-repro
+//!
+//! Repository façade for the **mapwave** workspace — a from-scratch Rust
+//! reproduction of *"Energy Efficient MapReduce with VFI-enabled Multicore
+//! Platforms"* (DAC 2015).
+//!
+//! This crate re-exports the workspace members so repository-level
+//! integration tests and examples can address the whole stack through one
+//! dependency:
+//!
+//! * [`mapwave`] — the design flow, placement, full-system simulation and
+//!   experiment reproductions (the paper's contribution);
+//! * [`mapwave_noc`] — the cycle-accurate mesh / small-world / wireless
+//!   NoC simulator;
+//! * [`mapwave_vfi`] — VFI clustering, V/F assignment and power models;
+//! * [`mapwave_manycore`] — the tiled-platform substrate;
+//! * [`mapwave_phoenix`] — the Phoenix++-style runtime model and the six
+//!   instrumented applications.
+//!
+//! See the workspace `README.md` for a tour and `EXPERIMENTS.md` for the
+//! paper-versus-measured record.
+
+pub use mapwave;
+pub use mapwave_manycore;
+pub use mapwave_noc;
+pub use mapwave_phoenix;
+pub use mapwave_vfi;

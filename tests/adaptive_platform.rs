@@ -1,0 +1,72 @@
+//! The virtual-channel / adaptive-router extension driven through the whole
+//! platform stack: design flow, phase-resolved coupling and EDP accounting
+//! must all keep working when the router microarchitecture changes.
+
+use mapwave::prelude::*;
+use mapwave_phoenix::apps::App;
+
+fn small(noc_vcs: usize, noc_adaptive: bool) -> PlatformConfig {
+    let mut cfg = PlatformConfig::small().with_scale(0.002);
+    cfg.noc_vcs = noc_vcs;
+    cfg.noc_adaptive = noc_adaptive;
+    cfg
+}
+
+#[test]
+fn invalid_router_configs_are_rejected() {
+    assert!(DesignFlow::new(small(0, false)).is_err());
+    assert!(DesignFlow::new(small(1, true)).is_err());
+    assert!(DesignFlow::new(small(2, true)).is_ok());
+}
+
+#[test]
+fn adaptive_platform_runs_all_apps() {
+    let flow = DesignFlow::new(small(2, true)).expect("valid enhanced config");
+    for app in [App::WordCount, App::Histogram, App::Kmeans] {
+        let d = flow.design(app);
+        let spec = flow.winoc_spec(&d, PlacementStrategy::MaxWirelessUtilization);
+        let r = run_system(&spec, &d.workload, flow.config(), flow.power());
+        assert!(r.exec_seconds > 0.0, "{app}");
+        assert!(r.edp > 0.0, "{app}");
+        assert_eq!(r.net.in_flight_at_end, 0, "{app}: network must drain");
+        // Adaptive channels actually carry traffic.
+        assert!(
+            r.net.adaptive_share() > 0.0,
+            "{app}: adaptive VCs unused ({:.3})",
+            r.net.adaptive_share()
+        );
+    }
+}
+
+#[test]
+fn adaptive_router_does_not_slow_the_winoc() {
+    let plain = DesignFlow::new(small(1, false)).expect("valid");
+    let enhanced = DesignFlow::new(small(2, true)).expect("valid");
+    for app in [App::LinearRegression, App::WordCount] {
+        let d = plain.design(app);
+        let spec = plain.winoc_spec(&d, PlacementStrategy::MaxWirelessUtilization);
+        let base = run_system(&spec, &d.workload, plain.config(), plain.power());
+        let fast = run_system(&spec, &d.workload, enhanced.config(), enhanced.power());
+        assert!(
+            fast.exec_seconds <= base.exec_seconds * 1.02,
+            "{app}: enhanced {} vs plain {}",
+            fast.exec_seconds,
+            base.exec_seconds
+        );
+    }
+}
+
+#[test]
+fn vcs_without_adaptivity_behave_like_extra_buffering() {
+    // 2 VCs with table routing only: everything still drains and latency
+    // does not degrade versus the single-VC router.
+    let plain = DesignFlow::new(small(1, false)).expect("valid");
+    let buffered = DesignFlow::new(small(2, false)).expect("valid");
+    let d = plain.design(App::Histogram);
+    let spec = plain.vfi_mesh_spec(&d, VfStage::Vfi2);
+    let a = run_system(&spec, &d.workload, plain.config(), plain.power());
+    let b = run_system(&spec, &d.workload, buffered.config(), buffered.power());
+    assert_eq!(a.net.in_flight_at_end, 0);
+    assert_eq!(b.net.in_flight_at_end, 0);
+    assert!(b.net.avg_latency() <= a.net.avg_latency() * 1.10);
+}

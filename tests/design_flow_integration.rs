@@ -1,0 +1,125 @@
+//! Cross-crate integration: the Fig. 3 design flow end to end on the
+//! reduced 16-core platform, for every application.
+
+use mapwave::prelude::*;
+use mapwave::placement::quadrant_of;
+use mapwave_noc::NodeId;
+use mapwave_phoenix::apps::App;
+
+fn flow() -> DesignFlow {
+    DesignFlow::new(PlatformConfig::small().with_scale(0.002)).expect("small config is valid")
+}
+
+#[test]
+fn every_app_designs_cleanly() {
+    let f = flow();
+    for app in App::ALL {
+        let d = f.design(app);
+        // Balanced quadrant-compatible clustering.
+        assert_eq!(d.clustering.cluster_count(), 4, "{app}");
+        assert_eq!(d.clustering.cluster_size(), 4, "{app}");
+        // V/F levels come from the configured table.
+        let table = &f.config().vf_table;
+        for j in 0..4 {
+            assert!(table.index_of(d.vfi1.vf_of(j)).is_some(), "{app} vfi1 C{j}");
+            assert!(table.index_of(d.vfi2.vf_of(j)).is_some(), "{app} vfi2 C{j}");
+            assert!(
+                d.vfi2.vf_of(j).freq_ghz >= d.vfi1.vf_of(j).freq_ghz - 1e-9,
+                "{app}: VFI2 only raises levels"
+            );
+        }
+        // Profile observables are sane.
+        assert_eq!(d.profile.utilization.len(), 16, "{app}");
+        assert!(
+            d.profile.utilization.iter().all(|&u| (0.0..=1.0).contains(&u)),
+            "{app}: utilization in [0,1]"
+        );
+        assert!(d.profile.total_cycles() > 0.0, "{app}");
+    }
+}
+
+#[test]
+fn mappings_keep_clusters_in_quadrants() {
+    let f = flow();
+    let cfg = f.config();
+    for app in [App::WordCount, App::Kmeans, App::LinearRegression] {
+        let d = f.design(app);
+        for (label, spec) in [
+            ("mesh", f.vfi_mesh_spec(&d, VfStage::Vfi2)),
+            ("winoc-minhop", f.winoc_spec(&d, PlacementStrategy::MinHopCount)),
+            (
+                "winoc-maxwl",
+                f.winoc_spec(&d, PlacementStrategy::MaxWirelessUtilization),
+            ),
+        ] {
+            for thread in 0..cfg.cores() {
+                assert_eq!(
+                    d.clustering.cluster_of(thread),
+                    quadrant_of(spec.mapping.tile_of(thread), cfg.cols, cfg.rows),
+                    "{app}/{label}: thread {thread} escaped its island"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn winoc_specs_route_everything() {
+    let f = flow();
+    let d = f.design(App::Histogram);
+    for strategy in [
+        PlacementStrategy::MinHopCount,
+        PlacementStrategy::MaxWirelessUtilization,
+    ] {
+        let spec = f.winoc_spec(&d, strategy);
+        assert!(spec.topology.is_connected());
+        for s in 0..16 {
+            for t in 0..16 {
+                // A finite routed distance exists for every pair.
+                let dist = spec.routing.distance(NodeId(s), NodeId(t));
+                assert!(dist < u32::MAX, "{strategy}: no route {s}->{t}");
+            }
+        }
+    }
+}
+
+#[test]
+fn whole_flow_is_deterministic() {
+    let a = flow();
+    let b = flow();
+    for app in App::ALL {
+        let da = a.design(app);
+        let db = b.design(app);
+        assert_eq!(da.clustering, db.clustering, "{app}");
+        assert_eq!(da.vfi1, db.vfi1, "{app}");
+        assert_eq!(da.vfi2, db.vfi2, "{app}");
+        assert_eq!(da.profile, db.profile, "{app}");
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = DesignFlow::new(PlatformConfig::small().with_scale(0.002).with_seed(1)).unwrap();
+    let b = DesignFlow::new(PlatformConfig::small().with_scale(0.002).with_seed(2)).unwrap();
+    let da = a.design(App::WordCount);
+    let db = b.design(App::WordCount);
+    assert_ne!(da.workload.digest, db.workload.digest);
+}
+
+#[test]
+fn full_system_runs_produce_consistent_energy() {
+    let f = flow();
+    let d = f.design(App::LinearRegression);
+    let report = mapwave::run_system(&f.nvfi_spec(), &d.workload, f.config(), f.power());
+    assert!(report.exec_seconds > 0.0);
+    assert!(report.core_energy_j > 0.0);
+    assert!(report.net_energy_j >= 0.0);
+    let expected_edp = report.total_energy_j() * report.exec_seconds;
+    assert!((report.edp - expected_edp).abs() < 1e-12 * expected_edp.max(1.0));
+    // Network energy is a minority share but not negligible.
+    let share = report.net_energy_j / report.total_energy_j();
+    assert!(
+        (0.001..0.6).contains(&share),
+        "network energy share {share} out of plausible range"
+    );
+}

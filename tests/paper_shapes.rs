@@ -1,0 +1,219 @@
+//! The paper's qualitative results ("shapes") on the full 64-core platform.
+//!
+//! These tests run the whole evaluation at a reduced input scale and assert
+//! the orderings the paper reports — who wins, in which direction, roughly
+//! by how much — not the absolute numbers (our substrate is a calibrated
+//! simulator, not the authors' GEM5 + RTL testbed).
+
+use mapwave::prelude::*;
+use mapwave_phoenix::apps::App;
+use std::sync::OnceLock;
+
+/// One shared evaluation context: building it runs the design flow and all
+/// platform configurations for all six apps, which is the expensive part.
+fn ctx() -> &'static ExperimentContext {
+    static CTX: OnceLock<ExperimentContext> = OnceLock::new();
+    CTX.get_or_init(|| {
+        ExperimentContext::new(PlatformConfig::paper().with_scale(0.01))
+            .expect("paper config is valid")
+    })
+}
+
+#[test]
+fn fig2_kmeans_is_the_most_heterogeneous() {
+    let fig2 = ctx().fig2();
+    let spread = |app: App| {
+        let s = &fig2
+            .iter()
+            .find(|s| s.app == app)
+            .expect("app present")
+            .sorted_utilization;
+        s.first().unwrap() - s.last().unwrap()
+    };
+    // Kmeans' utilization spread dominates the homogeneous apps (Fig. 2a vs 2c/2d).
+    assert!(
+        spread(App::Kmeans) > spread(App::Histogram),
+        "kmeans {} vs hist {}",
+        spread(App::Kmeans),
+        spread(App::Histogram)
+    );
+    assert!(spread(App::Kmeans) > spread(App::MatrixMult));
+}
+
+#[test]
+fn fig2_every_profile_is_sorted_and_bounded() {
+    for s in ctx().fig2() {
+        assert_eq!(s.sorted_utilization.len(), 64);
+        assert!(s
+            .sorted_utilization
+            .windows(2)
+            .all(|w| w[0] >= w[1] - 1e-12));
+        assert!(s
+            .sorted_utilization
+            .iter()
+            .all(|&u| (0.0..=1.0).contains(&u)));
+        assert!(s.average > 0.0 && s.average < 1.0);
+    }
+}
+
+#[test]
+fn table2_kmeans_runs_the_slowest_islands() {
+    let table2 = ctx().table2();
+    let min_freq = |app: App| {
+        table2
+            .iter()
+            .find(|r| r.app == app)
+            .expect("app present")
+            .vfi2
+            .iter()
+            .map(|p| p.freq_ghz)
+            .fold(f64::INFINITY, f64::min)
+    };
+    // Kmeans (heterogeneous, low utilization) gets the deepest V/F scaling;
+    // LR (uniformly hot) cannot be scaled at all (Table 2).
+    assert!(min_freq(App::Kmeans) < min_freq(App::LinearRegression));
+}
+
+#[test]
+fn table2_reassignment_targets_the_bottleneck_apps() {
+    let table2 = ctx().table2();
+    let reassigned =
+        |app: App| table2.iter().find(|r| r.app == app).expect("app").reassigned;
+    // The paper reassigns PCA, HIST and MM (Section 4.2 / Fig. 4).
+    assert!(reassigned(App::Pca), "PCA must be reassigned");
+    assert!(reassigned(App::Histogram), "HIST must be reassigned");
+    assert!(reassigned(App::MatrixMult), "MM must be reassigned");
+    // Kmeans and LR need no reassignment.
+    assert!(!reassigned(App::Kmeans));
+    assert!(!reassigned(App::LinearRegression));
+}
+
+#[test]
+fn fig4_reassignment_recovers_execution_time() {
+    for row in ctx().fig4() {
+        assert!(
+            row.vfi2_time <= row.vfi1_time + 1e-9,
+            "{}: VFI2 ({}) must not be slower than VFI1 ({})",
+            row.app,
+            row.vfi2_time,
+            row.vfi1_time
+        );
+    }
+    // PCA benefits most from the reassignment (Fig. 4a).
+    let fig4 = ctx().fig4();
+    let gain = |app: App| {
+        let r = fig4.iter().find(|r| r.app == app).expect("app");
+        r.vfi1_time - r.vfi2_time
+    };
+    assert!(
+        gain(App::Pca) >= gain(App::Histogram),
+        "PCA gain {} vs HIST gain {}",
+        gain(App::Pca),
+        gain(App::Histogram)
+    );
+}
+
+#[test]
+fn fig5_bottleneck_cores_run_hotter() {
+    for row in ctx().fig5() {
+        assert!(
+            row.bottleneck_utilization > row.average_utilization,
+            "{}: bottleneck {} <= average {}",
+            row.app,
+            row.bottleneck_utilization,
+            row.average_utilization
+        );
+        assert!(row.bottleneck_utilization <= 1.0);
+    }
+}
+
+#[test]
+fn fig6_placement_strategies_are_comparable() {
+    for row in ctx().fig6() {
+        assert!(
+            (0.4..2.5).contains(&row.relative_network_edp),
+            "{}: implausible placement EDP ratio {}",
+            row.app,
+            row.relative_network_edp
+        );
+        assert!(row.wireless_share_max > 0.0, "{}: wireless unused", row.app);
+    }
+}
+
+#[test]
+fn fig6_degree_split_31_beats_22() {
+    // Section 7.2: (k_intra, k_inter) = (3,1) consistently outperforms (2,2).
+    let cmp = ctx().fig6_degrees(App::WordCount);
+    assert!(
+        cmp.edp_31 < cmp.edp_22 * 1.15,
+        "(3,1) EDP {} should not lose badly to (2,2) {}",
+        cmp.edp_31,
+        cmp.edp_22
+    );
+}
+
+#[test]
+fn fig7_winoc_recovers_vfi_time_loss() {
+    for row in ctx().fig7() {
+        assert!(
+            row.winoc_total() <= row.mesh_total() * 1.02,
+            "{}: WiNoC total {} vs mesh {}",
+            row.app,
+            row.winoc_total(),
+            row.mesh_total()
+        );
+        // All stage times are nonnegative and the split sums to the total.
+        for p in [&row.vfi_mesh, &row.vfi_winoc] {
+            assert!(p.lib_init >= 0.0 && p.map >= 0.0 && p.reduce >= 0.0 && p.merge >= 0.0);
+        }
+    }
+}
+
+#[test]
+fn fig8_vfi_saves_edp_and_winoc_saves_more() {
+    let fig8 = ctx().fig8();
+    for row in &fig8 {
+        assert!(
+            row.vfi_mesh_edp < 1.0,
+            "{}: VFI mesh must beat NVFI ({})",
+            row.app,
+            row.vfi_mesh_edp
+        );
+        assert!(
+            row.vfi_winoc_edp < 1.0,
+            "{}: VFI WiNoC must beat NVFI ({})",
+            row.app,
+            row.vfi_winoc_edp
+        );
+        assert!(
+            row.vfi_winoc_edp <= row.vfi_mesh_edp * 1.05,
+            "{}: WiNoC {} should not lose to mesh {}",
+            row.app,
+            row.vfi_winoc_edp,
+            row.vfi_mesh_edp
+        );
+    }
+    // On average the WiNoC strictly beats the VFI mesh (the paper's thesis).
+    let avg = |f: &dyn Fn(&mapwave::experiments::Fig8Row) -> f64| {
+        fig8.iter().map(f).sum::<f64>() / fig8.len() as f64
+    };
+    assert!(avg(&|r| r.vfi_winoc_edp) < avg(&|r| r.vfi_mesh_edp));
+}
+
+#[test]
+fn headline_savings_are_substantial() {
+    let h = ctx().headline();
+    // Paper: 33.7% average EDP saving, ≤3.22% time penalty. The calibrated
+    // simulator reproduces the direction and a substantial magnitude.
+    assert!(
+        h.avg_edp_saving > 0.10,
+        "average EDP saving {} too small",
+        h.avg_edp_saving
+    );
+    assert!(h.max_edp_saving > h.avg_edp_saving);
+    assert!(
+        h.max_time_penalty < 0.40,
+        "worst time penalty {} implausible",
+        h.max_time_penalty
+    );
+}

@@ -1,0 +1,112 @@
+//! Integration of the output/analysis surfaces: CSV exports, timelines,
+//! graph metrics, DOT rendering and ablations over a real (small) run.
+
+use mapwave::ablations::wireless_contribution;
+use mapwave::prelude::*;
+use mapwave::report;
+use mapwave_noc::topology::dot::to_dot;
+use mapwave_noc::topology::metrics::{small_world_sigma, summarize};
+use mapwave_phoenix::apps::App;
+use mapwave_phoenix::runtime::{Executor, RuntimeConfig};
+use std::sync::OnceLock;
+
+fn ctx() -> &'static ExperimentContext {
+    static CTX: OnceLock<ExperimentContext> = OnceLock::new();
+    CTX.get_or_init(|| {
+        ExperimentContext::new(PlatformConfig::small().with_scale(0.002))
+            .expect("small config is valid")
+    })
+}
+
+#[test]
+fn csv_exports_parse_back() {
+    let fig8_csv = report::csv::fig8(&ctx().fig8());
+    let mut lines = fig8_csv.lines();
+    assert_eq!(lines.next(), Some("app,vfi_mesh_edp,vfi_winoc_edp"));
+    let mut rows = 0;
+    for line in lines {
+        let cols: Vec<&str> = line.split(',').collect();
+        assert_eq!(cols.len(), 3, "{line}");
+        let mesh: f64 = cols[1].parse().expect("numeric");
+        let winoc: f64 = cols[2].parse().expect("numeric");
+        assert!(mesh > 0.0 && winoc > 0.0);
+        rows += 1;
+    }
+    assert_eq!(rows, 6);
+
+    let fig7_csv = report::csv::fig7(&ctx().fig7());
+    assert_eq!(fig7_csv.lines().count(), 1 + 6 * 2 * 4);
+    let fig2_csv = report::csv::fig2(&ctx().fig2());
+    assert_eq!(fig2_csv.lines().count(), 1 + 4 * 16);
+    let fig6_csv = report::csv::fig6(&ctx().fig6());
+    assert_eq!(fig6_csv.lines().count(), 1 + 6);
+    let fig4_csv = report::csv::fig4(&ctx().fig4());
+    assert_eq!(fig4_csv.lines().count(), 1 + 3 * 4);
+}
+
+#[test]
+fn full_report_mentions_every_artifact() {
+    let text = report::full_report(ctx());
+    for needle in [
+        "Table 1",
+        "Figure 2",
+        "Table 2",
+        "Figure 4",
+        "Figure 5",
+        "Figure 6",
+        "Figure 7",
+        "Figure 8",
+        "Headline",
+    ] {
+        assert!(text.contains(needle), "report is missing {needle}");
+    }
+    for app in App::ALL {
+        assert!(text.contains(app.name()), "report is missing {app}");
+    }
+}
+
+#[test]
+fn winoc_topology_is_a_small_world_and_renders() {
+    let d = ctx().design(App::WordCount);
+    let spec = ctx()
+        .flow()
+        .winoc_spec(d, PlacementStrategy::MaxWirelessUtilization);
+    let summary = summarize(&spec.topology);
+    assert!(summary.avg_hops < 3.0, "16-node small world: {summary}");
+    assert!(small_world_sigma(&spec.topology).is_finite());
+
+    let dot = to_dot(&spec.topology, &spec.overlay);
+    assert!(dot.starts_with("graph noc {"));
+    assert!(dot.contains("fillcolor=lightblue"), "WIs must be marked");
+    assert!(
+        dot.matches("style=dashed").count() > 0,
+        "wireless cliques rendered"
+    );
+}
+
+#[test]
+fn timeline_of_designed_system_is_consistent() {
+    let d = ctx().design(App::Kmeans);
+    let cfg = ctx().flow().config();
+    let speeds = d.vfi2.core_speeds(&d.clustering, &cfg.vf_table);
+    let exec = Executor::new(
+        RuntimeConfig::nvfi(cfg.cores())
+            .with_speeds(speeds)
+            .with_steal_policy(d.steal(VfStage::Vfi2)),
+    );
+    let (report, timeline) = exec.run_traced(&d.workload);
+    assert!((timeline.makespan() - report.total_cycles()).abs() < 1e-6 * report.total_cycles());
+    let gantt = timeline.render(60);
+    assert_eq!(gantt.lines().count(), cfg.cores());
+    assert!(gantt.contains('M'), "map spans must render");
+}
+
+#[test]
+fn ablation_runs_on_the_shared_context() {
+    let d = ctx().design(App::Histogram);
+    let a = wireless_contribution(ctx().flow(), d);
+    assert!(a.with_feature.edp > 0.0);
+    assert!(a.without_feature.edp > 0.0);
+    assert!(a.edp_benefit().is_finite());
+    assert!(a.time_benefit().is_finite());
+}
