@@ -1,12 +1,12 @@
 //! Ablation benches: one-knob studies of the DESIGN.md design choices
 //! (wireless overlay, steal policy, Eq. (1) clustering, headroom frontier).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mapwave::ablations::{
     adaptive_router_contribution, clustering_contribution, headroom_sweep,
     steal_policy_contribution, wireless_contribution,
 };
 use mapwave::prelude::*;
+use mapwave_bench::micro::{criterion_group, criterion_main, Criterion};
 use mapwave_bench::{bench_scale, print_once};
 use mapwave_phoenix::apps::App;
 

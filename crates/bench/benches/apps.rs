@@ -1,7 +1,7 @@
 //! Microbenchmarks of the instrumented applications: the real computation
 //! over generated inputs, per unit of scale.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mapwave_bench::micro::{criterion_group, criterion_main, Criterion};
 use mapwave_phoenix::apps::App;
 use mapwave_phoenix::runtime::{Executor, RuntimeConfig};
 
@@ -9,9 +9,7 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("app_workload_generation");
     group.sample_size(10);
     for app in App::ALL {
-        group.bench_function(app.name(), |b| {
-            b.iter(|| app.workload(0.005, 1, 64))
-        });
+        group.bench_function(app.name(), |b| b.iter(|| app.workload(0.005, 1, 64)));
     }
     group.finish();
 

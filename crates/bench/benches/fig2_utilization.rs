@@ -1,7 +1,7 @@
 //! Regenerates Fig. 2: sorted per-core utilization on the NVFI platform.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mapwave::report;
+use mapwave_bench::micro::{criterion_group, criterion_main, Criterion};
 use mapwave_bench::{context, print_once};
 
 fn bench(c: &mut Criterion) {

@@ -1,8 +1,8 @@
 //! Regenerates Fig. 4: VFI 1 vs VFI 2 execution time and EDP
 //! (PCA, HIST, MM), normalised to the NVFI mesh.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mapwave::report;
+use mapwave_bench::micro::{criterion_group, criterion_main, Criterion};
 use mapwave_bench::{context, print_once};
 
 fn bench(c: &mut Criterion) {

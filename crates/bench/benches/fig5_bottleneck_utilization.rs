@@ -1,7 +1,7 @@
 //! Regenerates Fig. 5: average vs bottleneck-core utilization.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mapwave::report;
+use mapwave_bench::micro::{criterion_group, criterion_main, Criterion};
 use mapwave_bench::{context, print_once};
 
 fn bench(c: &mut Criterion) {

@@ -2,8 +2,8 @@
 //! placement relative to the minimised-hop-count placement, plus the
 //! (k_intra, k_inter) = (3,1) vs (2,2) sweep of Section 7.2.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mapwave::report;
+use mapwave_bench::micro::{criterion_group, criterion_main, Criterion};
 use mapwave_bench::{context, print_once};
 use mapwave_phoenix::apps::App;
 

@@ -1,8 +1,8 @@
 //! Regenerates Fig. 7: normalised execution time per stage for the VFI
 //! mesh and the VFI WiNoC, relative to the NVFI mesh.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mapwave::report;
+use mapwave_bench::micro::{criterion_group, criterion_main, Criterion};
 use mapwave_bench::{context, print_once};
 
 fn bench(c: &mut Criterion) {

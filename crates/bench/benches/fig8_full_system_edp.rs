@@ -2,8 +2,8 @@
 //! relative to the NVFI mesh, plus the headline summary (33.7% average /
 //! 66.2% maximum EDP saving in the paper).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mapwave::report;
+use mapwave_bench::micro::{criterion_group, criterion_main, Criterion};
 use mapwave_bench::{context, print_once};
 
 fn bench(c: &mut Criterion) {

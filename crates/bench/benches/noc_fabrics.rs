@@ -2,7 +2,7 @@
 //! each fabric simulates, at the traffic level the MapReduce workloads
 //! generate.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mapwave_bench::micro::{criterion_group, criterion_main, BatchSize, Criterion};
 use mapwave_noc::node::grid_positions;
 use mapwave_noc::prelude::*;
 use mapwave_noc::routing::RoutingTable;
@@ -88,8 +88,7 @@ fn bench(c: &mut Criterion) {
     });
 
     c.bench_function("topology/small_world_64", |b| {
-        let clusters: Vec<usize> =
-            (0..64).map(|i| (i % 8) / 4 + 2 * ((i / 8) / 4)).collect();
+        let clusters: Vec<usize> = (0..64).map(|i| (i % 8) / 4 + 2 * ((i / 8) / 4)).collect();
         b.iter(|| {
             SmallWorldBuilder::new(grid_positions(8, 8, 2.5), clusters.clone())
                 .seed(1)

@@ -1,8 +1,8 @@
 //! Microbenchmarks of the optimisation substrates: the Eq. (1) clustering
 //! solvers (the Gurobi substitute) and the WI-placement annealer.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mapwave::placement::anneal_wi_placement;
+use mapwave_bench::micro::{criterion_group, criterion_main, Criterion};
 use mapwave_noc::node::grid_positions;
 use mapwave_noc::prelude::*;
 use mapwave_vfi::clustering::ClusteringProblem;
@@ -17,7 +17,11 @@ fn instance(n: usize, seed: u64) -> ClusteringProblem {
     };
     let u: Vec<f64> = (0..n).map(|_| next()).collect();
     let f: Vec<Vec<f64>> = (0..n)
-        .map(|i| (0..n).map(|p| if i == p { 0.0 } else { next() * 0.2 }).collect())
+        .map(|i| {
+            (0..n)
+                .map(|p| if i == p { 0.0 } else { next() * 0.2 })
+                .collect()
+        })
         .collect();
     ClusteringProblem::new(u, f, 4).expect("valid instance")
 }

@@ -1,7 +1,7 @@
 //! Regenerates Table 2: per-cluster V/F assignments (VFI 1 and VFI 2).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mapwave::report;
+use mapwave_bench::micro::{criterion_group, criterion_main, Criterion};
 use mapwave_bench::{context, print_once};
 
 fn bench(c: &mut Criterion) {

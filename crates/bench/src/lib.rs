@@ -4,14 +4,16 @@
 //! `benches/`). Each target builds one shared [`ExperimentContext`] — the
 //! expensive part: the design flow plus all platform simulations for all
 //! six applications — prints the regenerated table/figure once, and then
-//! lets Criterion measure the derivation step.
+//! lets the in-tree [`micro`] harness measure the derivation step.
 //!
 //! The input scale defaults to 2% of the paper's dataset sizes and can be
-//! overridden:
+//! overridden, as can the sample count:
 //!
 //! ```sh
-//! MAPWAVE_BENCH_SCALE=0.25 cargo bench -p mapwave-bench
+//! MAPWAVE_BENCH_SCALE=0.25 MAPWAVE_BENCH_SAMPLES=50 cargo bench -p mapwave-bench
 //! ```
+
+pub mod micro;
 
 use mapwave::prelude::*;
 use std::sync::OnceLock;

@@ -1,0 +1,253 @@
+//! A small in-tree micro-benchmark harness.
+//!
+//! Exposes the subset of the Criterion API the bench targets use
+//! ([`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! `criterion_group!` / `criterion_main!`) so the `benches/` sources stay
+//! idiomatic while the workspace builds fully offline with no external
+//! dependencies.
+//!
+//! Each benchmark is calibrated so one sample runs long enough to time
+//! reliably (~2 ms), warmed up, then sampled `sample_size` times; the
+//! min / median / mean per-iteration time is printed. Telemetry spans
+//! (`bench.sample`) are recorded when [`mapwave_harness::telemetry`] is
+//! enabled, so `--trace` style analyses work on bench runs too.
+
+use std::hint::black_box as bb;
+use std::time::{Duration, Instant};
+
+/// Re-export for `$crate`-relative use and to keep call sites identical to
+/// the upstream API.
+pub use crate::{criterion_group, criterion_main};
+
+const TARGET_SAMPLE: Duration = Duration::from_millis(2);
+const MAX_CALIBRATION: Duration = Duration::from_millis(200);
+
+/// Entry point handed to each bench function; registry of results.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let sample_size = std::env::var("MAPWAVE_BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(20);
+        Criterion { sample_size }
+    }
+}
+
+impl Criterion {
+    /// Measures `f` under `name` and prints a one-line report.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group; measurements print as `group/function`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample count.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Measures `f` under `group/name`.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{name}", self.name), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// How batched inputs are grouped; accepted for API parity — the in-tree
+/// harness always pre-builds one input per iteration outside the timing.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Inputs are cheap to hold in memory.
+    SmallInput,
+    /// Inputs are large; upstream would batch fewer per sample.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// Passed to the measured closure; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` the calibrated number of times and records the
+    /// wall-clock total. The routine's output is passed through
+    /// [`std::hint::black_box`] so it cannot be optimised away.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            bb(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Like [`Bencher::iter`], but with a per-iteration `setup` whose cost
+    /// is excluded from the measurement: all inputs are built first, then
+    /// the routine is timed consuming them.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let inputs: Vec<I> = (0..self.iters).map(|_| setup()).collect();
+        let start = Instant::now();
+        for input in inputs {
+            bb(routine(input));
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn one_sample<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+    // Calibrate the per-sample iteration count so each sample is long
+    // enough to time, without spending more than a bounded budget here.
+    let mut iters: u64 = 1;
+    let calibration_start = Instant::now();
+    loop {
+        let t = one_sample(&mut f, iters);
+        if t >= TARGET_SAMPLE || calibration_start.elapsed() >= MAX_CALIBRATION {
+            break;
+        }
+        iters = iters.saturating_mul(if t.is_zero() {
+            16
+        } else {
+            (TARGET_SAMPLE.as_nanos() / t.as_nanos().max(1) + 1) as u64
+        });
+    }
+
+    // One warmup sample, then the timed ones.
+    one_sample(&mut f, iters);
+    let mut per_iter_ns: Vec<f64> = (0..sample_size.max(2))
+        .map(|_| {
+            let _span = mapwave_harness::telemetry::span("bench.sample");
+            one_sample(&mut f, iters).as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+
+    let min = per_iter_ns[0];
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+    println!(
+        "{name:<44} time: [min {}, median {}, mean {}]  ({} samples x {iters} iters)",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean),
+        per_iter_ns.len(),
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a bench group function calling each registered bench.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::micro::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running each declared group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_and_calibrates() {
+        // A cheap routine calibrates up to many iterations and reports a
+        // sane per-iteration time.
+        let mut acc = 0u64;
+        run_benchmark("test/cheap", 3, |b| {
+            b.iter(|| {
+                acc = acc.wrapping_add(1);
+                acc
+            })
+        });
+        assert!(acc > 0);
+    }
+
+    #[test]
+    fn group_prefixes_names_and_clamps_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(1); // clamped to 2
+        assert_eq!(g.sample_size, 2);
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+
+    #[test]
+    fn formats_cover_all_ranges() {
+        assert_eq!(fmt_ns(12.0), "12.0 ns");
+        assert_eq!(fmt_ns(1.2e4), "12.000 us");
+        assert_eq!(fmt_ns(1.2e7), "12.000 ms");
+        assert_eq!(fmt_ns(1.2e10), "12.000 s");
+    }
+}

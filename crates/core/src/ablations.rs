@@ -163,11 +163,7 @@ pub struct HeadroomPoint {
 /// # Panics
 ///
 /// Panics if a headroom value makes the configuration invalid.
-pub fn headroom_sweep(
-    base: &PlatformConfig,
-    app: App,
-    headrooms: &[f64],
-) -> Vec<HeadroomPoint> {
+pub fn headroom_sweep(base: &PlatformConfig, app: App, headrooms: &[f64]) -> Vec<HeadroomPoint> {
     let base_flow = DesignFlow::new(base.clone()).expect("base config is valid");
     let nvfi = {
         let d = base_flow.design(app);

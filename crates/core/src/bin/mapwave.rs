@@ -1,19 +1,25 @@
 //! `mapwave` — command-line front end for the DAC'15 reproduction.
 //!
 //! ```text
-//! mapwave report   [--scale S] [--seed N]      full evaluation (all tables/figures)
-//! mapwave design   <APP> [--scale S]           design-flow detail for one application
+//! mapwave report   [--scale S] [--seed N] [--jobs J] [--trace F]
+//!                                               full evaluation (all tables/figures)
+//! mapwave design   <APP> [--scale S]            design-flow detail for one application
 //! mapwave table1 | table2 | fig2 | fig4 | fig5 | fig6 | fig7 | fig8 | headline
-//!                  [--scale S]                 one artefact
-//! mapwave help                                 this text
+//!                  [--scale S] [--jobs J]       one artefact
+//! mapwave help                                  this text
 //! ```
 //!
 //! `S` is the input scale relative to the paper's Table-1 dataset sizes
-//! (default 0.02); `APP` is one of HIST, KMEANS, LR, MM, PCA, WC.
+//! (default 0.02); `APP` is one of HIST, KMEANS, LR, MM, PCA, WC. `--jobs`
+//! parallelises the evaluation over a worker pool with byte-identical
+//! output, and `--trace` writes a Chrome-trace JSON of every recorded
+//! stage to the given path.
 
-use mapwave::experiments::headline_across_seeds;
+use mapwave::experiments::headline_across_seeds_with_jobs;
+use mapwave::orchestrator;
 use mapwave::prelude::*;
 use mapwave::report;
+use mapwave_harness::telemetry;
 use mapwave_noc::topology::metrics::summarize;
 use mapwave_phoenix::apps::App;
 use mapwave_phoenix::runtime::{Executor, RuntimeConfig};
@@ -24,6 +30,8 @@ struct Args {
     scale: f64,
     seed: u64,
     seeds: usize,
+    jobs: usize,
+    trace: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -32,6 +40,8 @@ fn parse_args() -> Result<Args, String> {
     let mut scale = 0.02;
     let mut seed = 0xDAC_2015u64;
     let mut seeds = 3usize;
+    let mut jobs = 1usize;
+    let mut trace = None;
     let mut it = std::env::args().skip(1);
     if let Some(c) = it.next() {
         command = c;
@@ -59,6 +69,19 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad seed count: {e}"))?;
             }
+            "--jobs" => {
+                jobs = it
+                    .next()
+                    .ok_or("--jobs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad job count: {e}"))?;
+                if jobs == 0 {
+                    return Err("--jobs needs at least one worker".into());
+                }
+            }
+            "--trace" => {
+                trace = Some(it.next().ok_or("--trace needs a file path")?);
+            }
             other => {
                 let found = App::ALL
                     .into_iter()
@@ -76,7 +99,24 @@ fn parse_args() -> Result<Args, String> {
         scale,
         seed,
         seeds,
+        jobs,
+        trace,
     })
+}
+
+/// Prints the per-stage timing table and cache statistics to stderr (so
+/// stdout stays byte-identical across `--jobs` values), then writes the
+/// Chrome trace if requested.
+fn finish_telemetry(trace: Option<&str>) -> Result<(), String> {
+    let summary = telemetry::snapshot();
+    eprintln!("{}", summary.text_summary());
+    eprint!("{}", orchestrator::cache_stats_summary());
+    if let Some(path) = trace {
+        std::fs::write(path, summary.chrome_trace_json())
+            .map_err(|e| format!("cannot write trace to {path}: {e}"))?;
+        eprintln!("trace written to {path} (load in chrome://tracing or Perfetto)");
+    }
+    Ok(())
 }
 
 const HELP: &str = "\
@@ -106,6 +146,9 @@ COMMANDS:
 OPTIONS:
     --scale S   input scale vs the paper's Table-1 sizes (default 0.02)
     --seed  N   workload generation seed (default 0xDAC2015)
+    --jobs  J   worker threads for the evaluation job graph (default 1;
+                output is byte-identical for any J)
+    --trace F   write a Chrome-trace JSON of all recorded stages to F
 
 APP is one of: HIST, KMEANS, LR, MM, PCA, WC.";
 
@@ -117,15 +160,26 @@ fn main() -> Result<(), String> {
 
     let needs_ctx = matches!(
         args.command.as_str(),
-        "report" | "table1" | "table2" | "fig2" | "fig4" | "fig5" | "fig6" | "fig7" | "fig8"
+        "report"
+            | "table1"
+            | "table2"
+            | "fig2"
+            | "fig4"
+            | "fig5"
+            | "fig6"
+            | "fig7"
+            | "fig8"
             | "headline"
     );
     if needs_ctx {
         eprintln!(
-            "designing & simulating all six applications at scale {} ...",
-            args.scale
+            "designing & simulating all six applications at scale {} ({} worker{}) ...",
+            args.scale,
+            args.jobs,
+            if args.jobs == 1 { "" } else { "s" }
         );
-        let ctx = ExperimentContext::new(cfg)?;
+        telemetry::enable();
+        let ctx = ExperimentContext::new_parallel(cfg, args.jobs)?;
         let out = match args.command.as_str() {
             "report" => report::full_report(&ctx),
             "table1" => report::table1(&ctx.table1()),
@@ -140,16 +194,22 @@ fn main() -> Result<(), String> {
             _ => unreachable!("guarded by needs_ctx"),
         };
         println!("{out}");
+        finish_telemetry(args.trace.as_deref())?;
         return Ok(());
     }
 
     match args.command.as_str() {
         "design" => {
-            let app = args.app.ok_or("design needs an APP (e.g. `mapwave design WC`)")?;
+            let app = args
+                .app
+                .ok_or("design needs an APP (e.g. `mapwave design WC`)")?;
             let flow = DesignFlow::new(cfg)?;
             let d = flow.design(app);
             println!("== design-flow products for {app} ==");
-            println!("profile:   avg utilization {:.3}", d.profile.avg_utilization());
+            println!(
+                "profile:   avg utilization {:.3}",
+                d.profile.avg_utilization()
+            );
             println!(
                 "           phases (ref cycles): lib-init {:.3e}, map {:.3e}, reduce {:.3e}, merge {:.3e}",
                 d.profile.phases.lib_init,
@@ -164,11 +224,16 @@ fn main() -> Result<(), String> {
                 "bottlenecks: {:?} (homogeneous rest: {}, cv {:.2})",
                 d.analysis.bottleneck_cores, d.analysis.homogeneous, d.analysis.rest_cv
             );
-            println!("stealing:  VFI1 {:?}, VFI2 {:?}", d.steal(VfStage::Vfi1), d.steal(VfStage::Vfi2));
+            println!(
+                "stealing:  VFI1 {:?}, VFI2 {:?}",
+                d.steal(VfStage::Vfi1),
+                d.steal(VfStage::Vfi2)
+            );
             Ok(())
         }
         "seeds" => {
-            let stats = headline_across_seeds(&cfg, args.seeds)?;
+            telemetry::enable();
+            let stats = headline_across_seeds_with_jobs(&cfg, args.seeds, args.jobs)?;
             for (i, h) in stats.samples.iter().enumerate() {
                 println!(
                     "seed {i}: avg saving {:>5.1}%, max {:>5.1}% ({}), worst penalty {:>+6.2}%",
@@ -185,17 +250,18 @@ fn main() -> Result<(), String> {
                 stats.penalty_mean * 100.0,
                 stats.penalty_std * 100.0
             );
-            Ok(())
+            finish_telemetry(args.trace.as_deref())
         }
         "timeline" => {
             let app = args.app.ok_or("timeline needs an APP")?;
             let flow = DesignFlow::new(cfg.clone())?;
             let d = flow.design(app);
-            let (_, nvfi) =
-                Executor::new(RuntimeConfig::nvfi(cfg.cores())).run_traced(&d.workload);
+            let (_, nvfi) = Executor::new(RuntimeConfig::nvfi(cfg.cores())).run_traced(&d.workload);
             println!("== {app} on the NVFI platform ==");
-            println!("L lib-init | M map | R reduce | G merge | lower-case = stolen
-");
+            println!(
+                "L lib-init | M map | R reduce | G merge | lower-case = stolen
+"
+            );
             println!("{}", nvfi.render(96));
             let speeds = d.vfi2.core_speeds(&d.clustering, &cfg.vf_table);
             let (_, vfi) = Executor::new(
@@ -204,8 +270,11 @@ fn main() -> Result<(), String> {
                     .with_steal_policy(d.steal(VfStage::Vfi2)),
             )
             .run_traced(&d.workload);
-            println!("== {app} on the VFI 2 islands ({}) ==
-", d.vfi2);
+            println!(
+                "== {app} on the VFI 2 islands ({}) ==
+",
+                d.vfi2
+            );
             println!("{}", vfi.render(96));
             Ok(())
         }

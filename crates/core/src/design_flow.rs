@@ -28,8 +28,7 @@ use mapwave_phoenix::apps::App;
 use mapwave_phoenix::stealing::StealPolicy;
 use mapwave_phoenix::workload::{AppWorkload, ExecutionReport};
 use mapwave_vfi::assignment::{
-    assign_initial, detect_bottlenecks, reassign_for_bottlenecks, BottleneckAnalysis,
-    VfAssignment,
+    assign_initial, detect_bottlenecks, reassign_for_bottlenecks, BottleneckAnalysis, VfAssignment,
 };
 use mapwave_vfi::clustering::{Clustering, ClusteringProblem};
 use mapwave_vfi::power::CorePowerModel;
@@ -132,6 +131,7 @@ impl DesignFlow {
 
     /// Runs the Fig. 3 flow for `app`.
     pub fn design(&self, app: App) -> Design {
+        let _span = mapwave_harness::telemetry::span_labeled("core.design", app.name());
         let cfg = &self.cfg;
         let workload = app.workload(cfg.scale, cfg.seed, cfg.cores());
 
@@ -268,11 +268,8 @@ impl DesignFlow {
                 // die geometry: a power-law network's neighbours are not
                 // always physically adjacent.
                 let hops = topology.hop_counts();
-                let base = crate::placement::initial_mapping(
-                    &design.clustering,
-                    cfg.cols,
-                    cfg.rows,
-                );
+                let base =
+                    crate::placement::initial_mapping(&design.clustering, cfg.cols, cfg.rows);
                 let mapping = refine_mapping_min_hop(
                     base,
                     &design.clustering,
@@ -450,11 +447,13 @@ mod tests {
         };
         let chosen = time(d.steal(VfStage::Vfi2));
         let default = time(StealPolicy::Default);
-        assert!(chosen <= default + 1e-9, "chosen {chosen} vs default {default}");
+        assert!(
+            chosen <= default + 1e-9,
+            "chosen {chosen} vs default {default}"
+        );
         // Homogeneous assignments always keep the default policy.
-        let distinct: std::collections::BTreeSet<u64> = (0..4)
-            .map(|j| d.vfi2.vf_of(j).freq_ghz.to_bits())
-            .collect();
+        let distinct: std::collections::BTreeSet<u64> =
+            (0..4).map(|j| d.vfi2.vf_of(j).freq_ghz.to_bits()).collect();
         if distinct.len() == 1 {
             assert_eq!(d.steal(VfStage::Vfi2), StealPolicy::Default);
         }

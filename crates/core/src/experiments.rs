@@ -5,13 +5,98 @@
 //! all six applications once; each `figN`/`tableN` method then derives its
 //! rows from those runs (Fig. 6 builds its extra placement/degree variants
 //! on demand). Use [`crate::report`] to render the results as text tables.
+//!
+//! Evaluation work is dispatched as a [`mapwave_harness::jobs::JobGraph`]:
+//! one design job per application, five run jobs depending on it.
+//! [`ExperimentContext::new_parallel`] executes that graph on a worker
+//! pool; because every job is deterministic and results are collected by
+//! job id, the outputs are byte-identical to the single-threaded run (and
+//! to the pre-harness serial loops). Stages are also memoised through
+//! [`crate::orchestrator`]'s content-addressed caches, so repeated
+//! evaluations of the same configuration are effectively free.
 
 use crate::config::{PlacementStrategy, PlatformConfig};
-use crate::design_flow::{Design, DesignFlow, VfStage};
+use crate::design_flow::{Design, DesignFlow};
+use crate::orchestrator::{design_cached, run_cached, RunVariant};
 use crate::system::{run_system, RunReport};
+use mapwave_harness::jobs::JobGraph;
 use mapwave_phoenix::apps::App;
 use mapwave_phoenix::workload::PhaseBreakdown;
 use mapwave_vfi::vf::VfPair;
+use std::sync::Arc;
+
+/// A job output: either a design or one system run (see the module docs).
+enum Artifact {
+    Design(Box<Design>),
+    Run(Box<RunReport>),
+}
+
+impl Artifact {
+    fn as_design(&self) -> &Design {
+        match self {
+            Artifact::Design(d) => d,
+            Artifact::Run(_) => unreachable!("job graph wiring returns a design here"),
+        }
+    }
+
+    fn into_run(self) -> RunReport {
+        match self {
+            Artifact::Run(r) => *r,
+            Artifact::Design(_) => unreachable!("job graph wiring returns a run here"),
+        }
+    }
+
+    fn into_design(self) -> Design {
+        match self {
+            Artifact::Design(d) => *d,
+            Artifact::Run(_) => unreachable!("job graph wiring returns a design here"),
+        }
+    }
+}
+
+/// Adds one application's design job and its five run jobs to `graph`,
+/// returning the job ids as `(design, [runs; 5])`.
+fn add_app_jobs(
+    graph: &mut JobGraph<Artifact>,
+    flow: &Arc<DesignFlow>,
+    app: App,
+) -> (usize, [usize; 5]) {
+    let design_flow = Arc::clone(flow);
+    let design_id = graph.add(format!("design/{}", app.name()), vec![], move |_| {
+        Artifact::Design(Box::new(design_cached(&design_flow, app)))
+    });
+    let run_ids = RunVariant::ALL.map(|variant| {
+        let run_flow = Arc::clone(flow);
+        graph.add(
+            format!("run/{}/{}", app.name(), variant.name()),
+            vec![design_id],
+            move |deps| {
+                let design = deps[0].as_design();
+                Artifact::Run(Box::new(run_cached(&run_flow, design, variant)))
+            },
+        )
+    });
+    (design_id, run_ids)
+}
+
+/// Collects one application's artifacts from a finished graph.
+///
+/// The drain consumes results in ascending id order, so callers must
+/// process apps in the order their jobs were added.
+fn collect_app(results: &mut std::vec::IntoIter<Artifact>) -> (Design, AppRuns) {
+    let design = results.next().expect("design job ran").into_design();
+    let app = design.app;
+    let mut next_run = || results.next().expect("run job ran").into_run();
+    let app_runs = AppRuns {
+        app,
+        nvfi: next_run(),
+        vfi1_mesh: next_run(),
+        vfi_mesh: next_run(),
+        winoc_min_hop: next_run(),
+        winoc_max_wireless: next_run(),
+    };
+    (design, app_runs)
+}
 
 /// The standard runs of one application.
 #[derive(Debug, Clone)]
@@ -62,36 +147,39 @@ pub struct ExperimentContext {
 }
 
 impl ExperimentContext {
-    /// Designs and runs all six applications under `cfg`.
+    /// Designs and runs all six applications under `cfg`, single-threaded.
+    ///
+    /// Equivalent to [`ExperimentContext::new_parallel`] with one job —
+    /// the job graph executes in insertion order, exactly like the
+    /// original serial loops.
     ///
     /// # Errors
     ///
     /// Returns the validation message if `cfg` is inconsistent.
     pub fn new(cfg: PlatformConfig) -> Result<Self, String> {
-        let flow = DesignFlow::new(cfg)?;
-        let mut entries = Vec::with_capacity(App::ALL.len());
-        for app in App::ALL {
-            let design = flow.design(app);
-            let runs = Self::standard_runs(&flow, &design);
-            entries.push((design, runs));
-        }
-        Ok(ExperimentContext { flow, entries })
+        Self::new_parallel(cfg, 1)
     }
 
-    fn standard_runs(flow: &DesignFlow, design: &Design) -> AppRuns {
-        let cfg = flow.config();
-        let power = flow.power();
-        let run = |spec| run_system(&spec, &design.workload, cfg, power);
-        AppRuns {
-            app: design.app,
-            nvfi: run(flow.nvfi_spec()),
-            vfi1_mesh: run(flow.vfi_mesh_spec(design, VfStage::Vfi1)),
-            vfi_mesh: run(flow.vfi_mesh_spec(design, VfStage::Vfi2)),
-            winoc_min_hop: run(flow.winoc_spec(design, PlacementStrategy::MinHopCount)),
-            winoc_max_wireless: run(
-                flow.winoc_spec(design, PlacementStrategy::MaxWirelessUtilization),
-            ),
+    /// Designs and runs all six applications under `cfg` on a pool of
+    /// `jobs` worker threads.
+    ///
+    /// The result is byte-identical to [`ExperimentContext::new`] for any
+    /// `jobs`: every job is deterministic and outputs are merged in a
+    /// fixed order, independent of completion order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation message if `cfg` is inconsistent.
+    pub fn new_parallel(cfg: PlatformConfig, jobs: usize) -> Result<Self, String> {
+        let flow = Arc::new(DesignFlow::new(cfg)?);
+        let mut graph: JobGraph<Artifact> = JobGraph::new();
+        for app in App::ALL {
+            add_app_jobs(&mut graph, &flow, app);
         }
+        let mut results = graph.run(jobs).into_iter();
+        let entries = App::ALL.iter().map(|_| collect_app(&mut results)).collect();
+        let flow = Arc::try_unwrap(flow).unwrap_or_else(|arc| (*arc).clone());
+        Ok(ExperimentContext { flow, entries })
     }
 
     /// The design-flow driver in use.
@@ -359,11 +447,7 @@ impl ExperimentContext {
         let d = self.design(app);
         let power = self.flow.power();
         let run_with = |k_intra: f64, k_inter: f64| {
-            let cfg = self
-                .flow
-                .config()
-                .clone()
-                .with_degrees(k_intra, k_inter);
+            let cfg = self.flow.config().clone().with_degrees(k_intra, k_inter);
             let flow = DesignFlow::new(cfg.clone()).expect("degree variant is valid");
             let spec = flow.winoc_spec(d, cfg.placement);
             run_system(&spec, &d.workload, &cfg, power).network_edp()
@@ -532,23 +616,60 @@ pub struct HeadlineStats {
 ///
 /// Panics if `seeds == 0`.
 pub fn headline_across_seeds(cfg: &PlatformConfig, seeds: usize) -> Result<HeadlineStats, String> {
+    headline_across_seeds_with_jobs(cfg, seeds, 1)
+}
+
+/// [`headline_across_seeds`] with the whole sweep — every seed's designs
+/// and runs — flattened into one job graph executed on `jobs` workers.
+/// Output is byte-identical for any worker count.
+///
+/// # Errors
+///
+/// Returns the validation message if `cfg` is inconsistent.
+///
+/// # Panics
+///
+/// Panics if `seeds == 0`.
+pub fn headline_across_seeds_with_jobs(
+    cfg: &PlatformConfig,
+    seeds: usize,
+    jobs: usize,
+) -> Result<HeadlineStats, String> {
     assert!(seeds > 0, "need at least one seed");
+    // Validate every per-seed configuration up front so errors surface
+    // before any work is scheduled.
+    let flows: Vec<Arc<DesignFlow>> = (0..seeds)
+        .map(|i| {
+            let seed = cfg.seed.wrapping_add(i as u64 * 7919);
+            DesignFlow::new(cfg.clone().with_seed(seed)).map(Arc::new)
+        })
+        .collect::<Result<_, String>>()?;
+
+    let mut graph: JobGraph<Artifact> = JobGraph::new();
+    for flow in &flows {
+        for app in App::ALL {
+            add_app_jobs(&mut graph, flow, app);
+        }
+    }
+    let mut results = graph.run(jobs).into_iter();
     let mut samples = Vec::with_capacity(seeds);
-    for i in 0..seeds {
-        let seed = cfg.seed.wrapping_add(i as u64 * 7919);
-        let ctx = ExperimentContext::new(cfg.clone().with_seed(seed))?;
+    for flow in flows {
+        let entries: Vec<(Design, AppRuns)> =
+            App::ALL.iter().map(|_| collect_app(&mut results)).collect();
+        let ctx = ExperimentContext {
+            flow: Arc::try_unwrap(flow).unwrap_or_else(|arc| (*arc).clone()),
+            entries,
+        };
         samples.push(ctx.headline());
     }
     let stats = |values: Vec<f64>| -> (f64, f64) {
         let mean = values.iter().sum::<f64>() / values.len() as f64;
-        let var =
-            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
         (mean, var.sqrt())
     };
     let (avg_saving_mean, avg_saving_std) =
         stats(samples.iter().map(|h| h.avg_edp_saving).collect());
-    let (penalty_mean, penalty_std) =
-        stats(samples.iter().map(|h| h.max_time_penalty).collect());
+    let (penalty_mean, penalty_std) = stats(samples.iter().map(|h| h.max_time_penalty).collect());
     Ok(HeadlineStats {
         samples,
         avg_saving_mean,
@@ -643,16 +764,32 @@ mod tests {
     }
 
     #[test]
-    fn seed_sweep_aggregates() {
-        let stats = headline_across_seeds(
-            &PlatformConfig::small().with_scale(0.002),
-            2,
-        )
-        .unwrap();
+    fn seed_sweep_aggregates() -> Result<(), String> {
+        let stats = headline_across_seeds(&PlatformConfig::small().with_scale(0.002), 2)?;
         assert_eq!(stats.samples.len(), 2);
         assert!(stats.avg_saving_std >= 0.0);
         assert!(stats.penalty_std >= 0.0);
         assert!(stats.avg_saving_mean.is_finite());
+        Ok(())
+    }
+
+    #[test]
+    fn parallel_dispatch_matches_serial() -> Result<(), String> {
+        let cfg = PlatformConfig::small().with_scale(0.002).with_seed(77);
+        let serial = ExperimentContext::new_parallel(cfg.clone(), 1)?;
+        let parallel = ExperimentContext::new_parallel(cfg, 4)?;
+        for app in App::ALL {
+            assert_eq!(
+                format!("{:?}", serial.runs(app)),
+                format!("{:?}", parallel.runs(app)),
+                "{app}: worker count must not change results"
+            );
+        }
+        assert_eq!(
+            format!("{:?}", serial.headline()),
+            format!("{:?}", parallel.headline())
+        );
+        Ok(())
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //!   methodologies of Section 6;
 //! * [`system`] — the coupled full-system simulation producing execution
 //!   time, energy and EDP;
-//! * [`experiments`] — one method per table and figure of the evaluation;
+//! * [`experiments`] — one method per table and figure of the evaluation,
+//!   dispatched through the [`mapwave_harness`] job graph;
+//! * [`orchestrator`] — stable configuration keys and the cached
+//!   design/run stages behind that dispatch;
 //! * [`ablations`] — controlled one-knob studies of the design choices;
 //! * [`report`] — text rendering of the results.
 //!
@@ -52,6 +55,7 @@ pub mod ablations;
 pub mod config;
 pub mod design_flow;
 pub mod experiments;
+pub mod orchestrator;
 pub mod placement;
 pub mod report;
 pub mod system;

@@ -1,0 +1,270 @@
+//! Harness integration: stable configuration keys, the stage caches, and
+//! cached design/run stages for the job-graph dispatch in
+//! [`crate::experiments`].
+//!
+//! Every expensive stage of the evaluation is a pure function of the
+//! [`PlatformConfig`] plus a small set of discrete inputs (the application,
+//! the system variant). The caches therefore key semantically —
+//! `(config key, app, variant)` — instead of hashing the large derived
+//! structures ([`Design`], [`crate::system::SystemSpec`]), which is sound
+//! because those are themselves deterministic functions of the same key.
+//!
+//! # Examples
+//!
+//! ```
+//! use mapwave::config::PlatformConfig;
+//! use mapwave::orchestrator::config_key;
+//!
+//! let a = PlatformConfig::small().with_scale(0.01);
+//! let b = PlatformConfig::small().with_scale(0.01);
+//! assert_eq!(config_key(&a), config_key(&b));
+//! assert_ne!(config_key(&a), config_key(&a.clone().with_seed(7)));
+//! ```
+
+use crate::config::{PlacementStrategy, PlatformConfig};
+use crate::design_flow::{Design, DesignFlow, VfStage};
+use crate::system::{run_system, RunReport};
+use mapwave_harness::cache::{CacheStats, StageCache};
+use mapwave_harness::hash::{CacheKey, StableHash, StableHasher};
+use mapwave_phoenix::apps::App;
+
+impl StableHash for PlacementStrategy {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write(&[match self {
+            PlacementStrategy::MinHopCount => 0u8,
+            PlacementStrategy::MaxWirelessUtilization => 1u8,
+        }]);
+    }
+}
+
+impl StableHash for PlatformConfig {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.cols.stable_hash(h);
+        self.rows.stable_hash(h);
+        self.tile_mm.stable_hash(h);
+        self.clusters.stable_hash(h);
+        self.vf_table.stable_hash(h);
+        self.scale.stable_hash(h);
+        self.seed.stable_hash(h);
+        self.headroom.stable_hash(h);
+        self.bottleneck.stable_hash(h);
+        self.k_intra.stable_hash(h);
+        self.k_inter.stable_hash(h);
+        self.alpha.stable_hash(h);
+        self.placement.stable_hash(h);
+        self.wis_per_cluster.stable_hash(h);
+        self.noc_warmup.stable_hash(h);
+        self.noc_measure.stable_hash(h);
+        self.noc_vcs.stable_hash(h);
+        self.noc_adaptive.stable_hash(h);
+    }
+}
+
+/// The stable 128-bit key of a configuration — equal exactly for
+/// structurally equal configurations, stable across processes.
+pub fn config_key(cfg: &PlatformConfig) -> CacheKey {
+    mapwave_harness::hash::stable_hash_of(cfg)
+}
+
+/// One of the five standard system runs of an application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunVariant {
+    /// Non-VFI mesh baseline.
+    Nvfi,
+    /// Initial-assignment VFI mesh (VFI 1).
+    Vfi1Mesh,
+    /// Final VFI mesh (VFI 2 + steal modification).
+    VfiMesh,
+    /// VFI WiNoC, minimised-hop-count methodology.
+    WinocMinHop,
+    /// VFI WiNoC, maximised-wireless-utilisation methodology.
+    WinocMaxWireless,
+}
+
+impl RunVariant {
+    /// All variants, in the order [`crate::experiments::AppRuns`] stores
+    /// them (the serial execution order of the pre-harness loops).
+    pub const ALL: [RunVariant; 5] = [
+        RunVariant::Nvfi,
+        RunVariant::Vfi1Mesh,
+        RunVariant::VfiMesh,
+        RunVariant::WinocMinHop,
+        RunVariant::WinocMaxWireless,
+    ];
+
+    /// A short stable name (used in cache keys and job labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            RunVariant::Nvfi => "nvfi",
+            RunVariant::Vfi1Mesh => "vfi1-mesh",
+            RunVariant::VfiMesh => "vfi-mesh",
+            RunVariant::WinocMinHop => "winoc-min-hop",
+            RunVariant::WinocMaxWireless => "winoc-max-wireless",
+        }
+    }
+
+    /// Builds this variant's [`crate::system::SystemSpec`] from a design.
+    pub fn spec(self, flow: &DesignFlow, design: &Design) -> crate::system::SystemSpec {
+        match self {
+            RunVariant::Nvfi => flow.nvfi_spec(),
+            RunVariant::Vfi1Mesh => flow.vfi_mesh_spec(design, VfStage::Vfi1),
+            RunVariant::VfiMesh => flow.vfi_mesh_spec(design, VfStage::Vfi2),
+            RunVariant::WinocMinHop => flow.winoc_spec(design, PlacementStrategy::MinHopCount),
+            RunVariant::WinocMaxWireless => {
+                flow.winoc_spec(design, PlacementStrategy::MaxWirelessUtilization)
+            }
+        }
+    }
+}
+
+static DESIGN_CACHE: StageCache<Design> = StageCache::new("design");
+static RUN_CACHE: StageCache<RunReport> = StageCache::new("run");
+
+fn design_key(cfg_key: CacheKey, app: App) -> CacheKey {
+    mapwave_harness::hash::stable_hash_of(&("design", cfg_key.to_hex(), app.name()))
+}
+
+fn run_key(cfg_key: CacheKey, app: App, variant: RunVariant) -> CacheKey {
+    mapwave_harness::hash::stable_hash_of(&("run", cfg_key.to_hex(), app.name(), variant.name()))
+}
+
+/// The design for `app` under `flow`'s configuration, computed once per
+/// `(config, app)` pair process-wide.
+pub fn design_cached(flow: &DesignFlow, app: App) -> Design {
+    let key = design_key(config_key(flow.config()), app);
+    DESIGN_CACHE.get_or_insert_with(key, || flow.design(app))
+}
+
+/// The run report of one system variant, computed once per
+/// `(config, app, variant)` triple process-wide.
+pub fn run_cached(flow: &DesignFlow, design: &Design, variant: RunVariant) -> RunReport {
+    let key = run_key(config_key(flow.config()), design.app, variant);
+    RUN_CACHE.get_or_insert_with(key, || {
+        let spec = variant.spec(flow, design);
+        run_system(&spec, &design.workload, flow.config(), flow.power())
+    })
+}
+
+/// Hit/miss statistics of every stage cache, by stage name.
+pub fn cache_stats() -> Vec<(&'static str, CacheStats)> {
+    vec![
+        (DESIGN_CACHE.name(), DESIGN_CACHE.stats()),
+        (RUN_CACHE.name(), RUN_CACHE.stats()),
+    ]
+}
+
+/// A one-line-per-stage text rendering of [`cache_stats`].
+pub fn cache_stats_summary() -> String {
+    let mut out = String::new();
+    for (name, s) in cache_stats() {
+        out.push_str(&format!(
+            "cache {name:<8} hits {:>6}  misses {:>6}  hit-rate {:>5.1}%\n",
+            s.hits,
+            s.misses,
+            s.hit_rate() * 100.0
+        ));
+    }
+    out
+}
+
+/// Empties both stage caches (statistics are kept; primarily for tests).
+pub fn clear_caches() {
+    DESIGN_CACHE.clear();
+    RUN_CACHE.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_configs_key_equal() {
+        let a = PlatformConfig::paper().with_scale(0.01).with_seed(42);
+        let b = PlatformConfig::paper().with_scale(0.01).with_seed(42);
+        assert_eq!(config_key(&a), config_key(&b));
+    }
+
+    #[test]
+    fn every_field_change_misses() {
+        let base = PlatformConfig::paper();
+        let k = config_key(&base);
+        let variants: Vec<PlatformConfig> = vec![
+            PlatformConfig {
+                cols: 10,
+                ..base.clone()
+            },
+            PlatformConfig {
+                rows: 10,
+                ..base.clone()
+            },
+            PlatformConfig {
+                tile_mm: 2.0,
+                ..base.clone()
+            },
+            base.clone().with_scale(0.5),
+            base.clone().with_seed(1),
+            PlatformConfig {
+                headroom: 0.7,
+                ..base.clone()
+            },
+            base.clone().with_degrees(2.0, 2.0),
+            PlatformConfig {
+                alpha: 2.0,
+                ..base.clone()
+            },
+            base.clone().with_placement(PlacementStrategy::MinHopCount),
+            PlatformConfig {
+                wis_per_cluster: 2,
+                ..base.clone()
+            },
+            PlatformConfig {
+                noc_warmup: 999,
+                ..base.clone()
+            },
+            PlatformConfig {
+                noc_measure: 999,
+                ..base.clone()
+            },
+            PlatformConfig {
+                noc_vcs: 2,
+                ..base.clone()
+            },
+            PlatformConfig {
+                noc_adaptive: true,
+                noc_vcs: 2,
+                ..base.clone()
+            },
+            PlatformConfig {
+                bottleneck: mapwave_vfi::assignment::BottleneckParams {
+                    ratio_threshold: 9.0,
+                    ..base.bottleneck
+                },
+                ..base.clone()
+            },
+        ];
+        for (i, v) in variants.iter().enumerate() {
+            assert_ne!(config_key(v), k, "field change {i} must change the key");
+        }
+    }
+
+    #[test]
+    fn stage_keys_separate_namespaces() {
+        let k = config_key(&PlatformConfig::small());
+        assert_ne!(
+            design_key(k, App::WordCount),
+            run_key(k, App::WordCount, RunVariant::Nvfi)
+        );
+        let runs: std::collections::BTreeSet<String> = RunVariant::ALL
+            .iter()
+            .map(|&v| run_key(k, App::WordCount, v).to_hex())
+            .collect();
+        assert_eq!(runs.len(), 5, "each variant has a distinct key");
+    }
+
+    #[test]
+    fn variant_names_are_distinct() {
+        let names: std::collections::BTreeSet<&str> =
+            RunVariant::ALL.iter().map(|v| v.name()).collect();
+        assert_eq!(names.len(), 5);
+    }
+}

@@ -17,13 +17,13 @@
 //! live in die quadrant `j`, so swaps only occur within quadrants and the
 //! V/F islands stay spatially contiguous.
 
+use mapwave_harness::rng::StdRng;
+use mapwave_harness::rng::{RngExt, SeedableRng};
 use mapwave_manycore::mapping::ThreadMapping;
 use mapwave_noc::routing::RoutingTable;
 use mapwave_noc::topology::wireless::{ChannelId, WirelessInterface, WirelessOverlay};
 use mapwave_noc::{NodeId, Topology, TrafficMatrix};
 use mapwave_vfi::clustering::Clustering;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 /// Hub-edge weight used when routing the WiNoC: a wireless traversal costs
 /// `2 ×` this in the hop metric (see [`RoutingTable::up_down_weighted`]),
@@ -141,22 +141,14 @@ pub fn center_wis(
     let mut wis = Vec::new();
     for q in 0..4 {
         let tiles = quadrant_tiles(q, cols, rows);
-        let cx = tiles
-            .iter()
-            .map(|t| (t.index() % cols) as f64)
-            .sum::<f64>()
-            / tiles.len() as f64;
-        let cy = tiles
-            .iter()
-            .map(|t| (t.index() / cols) as f64)
-            .sum::<f64>()
-            / tiles.len() as f64;
+        let cx = tiles.iter().map(|t| (t.index() % cols) as f64).sum::<f64>() / tiles.len() as f64;
+        let cy = tiles.iter().map(|t| (t.index() / cols) as f64).sum::<f64>() / tiles.len() as f64;
         let mut by_center: Vec<NodeId> = tiles.clone();
         by_center.sort_by(|a, b| {
-            let da = ((a.index() % cols) as f64 - cx).powi(2)
-                + ((a.index() / cols) as f64 - cy).powi(2);
-            let db = ((b.index() % cols) as f64 - cx).powi(2)
-                + ((b.index() / cols) as f64 - cy).powi(2);
+            let da =
+                ((a.index() % cols) as f64 - cx).powi(2) + ((a.index() / cols) as f64 - cy).powi(2);
+            let db =
+                ((b.index() % cols) as f64 - cx).powi(2) + ((b.index() / cols) as f64 - cy).powi(2);
             da.partial_cmp(&db)
                 .expect("distances are finite")
                 .then(a.cmp(b))
@@ -212,9 +204,7 @@ pub fn refine_mapping_max_wireless(
         let ext = |i: usize| -> f64 {
             (0..n)
                 .filter(|&p| clustering.cluster_of(p) != j)
-                .map(|p| {
-                    traffic.rate(NodeId(i), NodeId(p)) + traffic.rate(NodeId(p), NodeId(i))
-                })
+                .map(|p| traffic.rate(NodeId(i), NodeId(p)) + traffic.rate(NodeId(p), NodeId(i)))
                 .sum()
         };
         ranked_threads.sort_by(|&a, &b| {
@@ -287,8 +277,8 @@ pub fn anneal_wi_placement(
         let candidate =
             WirelessOverlay::new(new_wis, channels).expect("relocation keeps nodes distinct");
         let c = cost(&candidate);
-        let accept = c < current_cost
-            || rng.random::<f64>() < (-(c - current_cost) / temp.max(1e-9)).exp();
+        let accept =
+            c < current_cost || rng.random::<f64>() < (-(c - current_cost) / temp.max(1e-9)).exp();
         if accept {
             overlay = candidate;
             current_cost = c;
@@ -404,8 +394,7 @@ mod tests {
         // Thread 1 (cluster 0) talks across clusters heavily.
         traffic.set(NodeId(1), NodeId(15), 5.0);
         let base = initial_mapping(&clustering, 4, 4);
-        let mapped =
-            refine_mapping_max_wireless(&base, &clustering, &traffic, &overlay, 4, 4);
+        let mapped = refine_mapping_max_wireless(&base, &clustering, &traffic, &overlay, 4, 4);
         // Thread 1 must land on the quadrant-0 WI tile itself (distance 0).
         let wi0 = overlay
             .interfaces()
@@ -418,9 +407,7 @@ mod tests {
 
     #[test]
     fn annealed_placement_beats_or_matches_random_start() {
-        let clusters: Vec<usize> = (0..64)
-            .map(|i| quadrant_of(NodeId(i), 8, 8))
-            .collect();
+        let clusters: Vec<usize> = (0..64).map(|i| quadrant_of(NodeId(i), 8, 8)).collect();
         let topo = SmallWorldBuilder::new(grid_positions(8, 8, 2.5), clusters)
             .seed(5)
             .build()

@@ -2,8 +2,8 @@
 //! paper's tables and figures report.
 
 use crate::experiments::{
-    DegreeComparison, ExperimentContext, Fig2Series, Fig4Row, Fig5Row, Fig6Row, Fig7Row,
-    Fig8Row, Headline, Table1Row, Table2Row,
+    DegreeComparison, ExperimentContext, Fig2Series, Fig4Row, Fig5Row, Fig6Row, Fig7Row, Fig8Row,
+    Headline, Table1Row, Table2Row,
 };
 
 fn hr(width: usize) -> String {
@@ -35,9 +35,7 @@ pub fn table1(rows: &[Table1Row]) -> String {
 /// Renders the Fig. 2 series as compact deciles.
 pub fn fig2(series: &[Fig2Series]) -> String {
     let mut out = String::new();
-    out.push_str(
-        "Figure 2. Core utilization (sorted, deciles shown), 64-core NVFI platform.\n",
-    );
+    out.push_str("Figure 2. Core utilization (sorted, deciles shown), 64-core NVFI platform.\n");
     for s in series {
         let n = s.sorted_utilization.len();
         let deciles: Vec<String> = (0..=10)

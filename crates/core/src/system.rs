@@ -96,6 +96,7 @@ pub fn run_system(
     cfg: &PlatformConfig,
     power: &CorePowerModel,
 ) -> RunReport {
+    let _span = mapwave_harness::telemetry::span_labeled("core.run_system", spec.label.clone());
     let n = cfg.cores();
     assert_eq!(spec.topology.len(), n, "topology size mismatch");
     assert_eq!(spec.mapping.len(), n, "mapping size mismatch");
@@ -113,7 +114,10 @@ pub fn run_system(
     // The NoC is VFI-partitioned too: each quadrant's switches run at the
     // quadrant cluster's frequency.
     let tile_speed: Vec<f64> = (0..n)
-        .map(|t| spec.vf.speed_of(quadrant_of(NodeId(t), cfg.cols, cfg.rows), table))
+        .map(|t| {
+            spec.vf
+                .speed_of(quadrant_of(NodeId(t), cfg.cols, cfg.rows), table)
+        })
         .collect();
     let tile_domain: Vec<usize> = (0..n)
         .map(|t| quadrant_of(NodeId(t), cfg.cols, cfg.rows))
@@ -147,19 +151,18 @@ pub fn run_system(
     let mut merge_net: Option<NetworkStats> = None;
     let mut prev = PhaseLatencies::uniform(default_rt);
     for round in 0..3 {
-        let mut run_phase_net =
-            |traffic: &mapwave_noc::TrafficMatrix| -> Option<NetworkStats> {
-                if traffic.total_rate() <= 1e-9 {
-                    return None;
-                }
-                let physical = spec.mapping.traffic_to_tiles(traffic);
-                Some(sim.run(
-                    &physical,
-                    cfg.noc_warmup,
-                    cfg.noc_measure,
-                    cfg.noc_measure * 10,
-                ))
-            };
+        let mut run_phase_net = |traffic: &mapwave_noc::TrafficMatrix| -> Option<NetworkStats> {
+            if traffic.total_rate() <= 1e-9 {
+                return None;
+            }
+            let physical = spec.mapping.traffic_to_tiles(traffic);
+            Some(sim.run(
+                &physical,
+                cfg.noc_warmup,
+                cfg.noc_measure,
+                cfg.noc_measure * 10,
+            ))
+        };
         map_net = run_phase_net(&exec.phase_traffic.map);
         reduce_net = run_phase_net(&exec.phase_traffic.reduce);
         merge_net = run_phase_net(&exec.phase_traffic.merge);
@@ -217,12 +220,11 @@ pub fn run_system(
             .map(NetworkStats::energy_per_flit_pj)
             .unwrap_or(fallback_pj)
     };
-    let stage_energy = |traffic: &mapwave_noc::TrafficMatrix,
-                        stage_cycles: f64,
-                        stats: &Option<NetworkStats>|
-     -> f64 {
-        traffic.total_rate() * packet_flits * stage_cycles * pj(stats) * 1e-12
-    };
+    let stage_energy =
+        |traffic: &mapwave_noc::TrafficMatrix,
+         stage_cycles: f64,
+         stats: &Option<NetworkStats>|
+         -> f64 { traffic.total_rate() * packet_flits * stage_cycles * pj(stats) * 1e-12 };
     let net_energy_j = stage_energy(&exec.phase_traffic.map, exec.phases.map, &map_net)
         + stage_energy(&exec.phase_traffic.reduce, exec.phases.reduce, &reduce_net)
         + stage_energy(&exec.phase_traffic.merge, exec.phases.merge, &merge_net);
@@ -230,11 +232,7 @@ pub fn run_system(
     let edp = (core_energy_j + net_energy_j) * exec_seconds;
 
     // Aggregate network statistics for reporting.
-    let net = NetworkStats::merged(
-        [&map_net, &reduce_net, &merge_net]
-            .into_iter()
-            .flatten(),
-    );
+    let net = NetworkStats::merged([&map_net, &reduce_net, &merge_net].into_iter().flatten());
     let net_by_phase: Vec<(PhaseKind, NetworkStats)> = [
         (PhaseKind::Map, map_net),
         (PhaseKind::Reduce, reduce_net),

@@ -85,8 +85,15 @@ impl<E> EventQueue<E> {
     }
 
     /// Removes and returns the earliest event.
+    ///
+    /// Each pop increments the `manycore.events_processed` telemetry
+    /// counter (one relaxed atomic load when telemetry is disabled).
     pub fn pop(&mut self) -> Option<(f64, E)> {
-        self.heap.pop().map(|e| (e.time, e.event))
+        let popped = self.heap.pop().map(|e| (e.time, e.event));
+        if popped.is_some() {
+            mapwave_harness::telemetry::count("manycore.events_processed", 1);
+        }
+        popped
     }
 
     /// The time of the earliest event without removing it.

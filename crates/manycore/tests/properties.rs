@@ -1,97 +1,117 @@
-//! Property-based tests of the platform substrate.
+//! Property tests of the platform substrate, driven by deterministic
+//! seeded sweeps (in-tree PRNG; no external dependencies).
 
+use mapwave_harness::rng::{RngExt, SeedableRng, StdRng};
 use mapwave_manycore::cache::{CacheModel, MemoryProfile};
 use mapwave_manycore::event::EventQueue;
 use mapwave_manycore::mapping::ThreadMapping;
 use mapwave_manycore::platform::Platform;
 use mapwave_noc::{NodeId, TrafficMatrix};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Events come out in nondecreasing time order, FIFO within ties.
-    #[test]
-    fn event_queue_is_ordered(times in proptest::collection::vec(0.0f64..100.0, 0..200)) {
+/// Events come out in nondecreasing time order, FIFO within ties.
+#[test]
+fn event_queue_is_ordered() {
+    let mut rng = StdRng::seed_from_u64(0xD001);
+    for case in 0..64 {
+        let len = rng.random_range(0..200usize);
+        // Coarse quantisation makes time ties common enough to exercise
+        // the FIFO tie-break.
+        let times: Vec<f64> = (0..len)
+            .map(|_| (100.0 * rng.random::<f64>()).floor() / 4.0)
+            .collect();
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.push(t, i);
         }
         let mut last_time = f64::NEG_INFINITY;
-        let mut seen = Vec::new();
+        let mut seen: Vec<usize> = Vec::new();
         while let Some((t, id)) = q.pop() {
-            prop_assert!(t >= last_time);
+            assert!(t >= last_time, "case {case}");
             if t == last_time {
                 // FIFO among equal times: ids with equal time ascend.
                 if let Some(&prev) = seen.last() {
                     if times[prev] == t {
-                        prop_assert!(id > prev);
+                        assert!(id > prev, "case {case}");
                     }
                 }
             }
             last_time = t;
             seen.push(id);
         }
-        prop_assert_eq!(seen.len(), times.len());
+        assert_eq!(seen.len(), times.len(), "case {case}");
     }
+}
 
-    /// Any permutation builds a valid mapping and round-trips.
-    #[test]
-    fn mapping_roundtrip(perm in proptest::sample::subsequence((0..12usize).collect::<Vec<_>>(), 12)) {
-        // `subsequence` of the full range with len 12 is a no-op; shuffle
-        // instead by using the sequence as ranks.
+/// Any permutation builds a valid mapping and round-trips.
+#[test]
+fn mapping_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xD002);
+    for case in 0..64 {
         let mut order: Vec<usize> = (0..12).collect();
-        order.sort_by_key(|&i| perm.get(i).copied().unwrap_or(i));
+        rng.shuffle(&mut order);
         let m = ThreadMapping::from_permutation(order.clone()).unwrap();
         for (thread, &tile) in order.iter().enumerate() {
-            prop_assert_eq!(m.tile_of(thread), NodeId(tile));
-            prop_assert_eq!(m.thread_at(NodeId(tile)), thread);
+            assert_eq!(m.tile_of(thread), NodeId(tile), "case {case}");
+            assert_eq!(m.thread_at(NodeId(tile)), thread, "case {case}");
         }
     }
+}
 
-    /// Traffic transport through a mapping preserves the total rate.
-    #[test]
-    fn traffic_transport_preserves_total(
-        rates in proptest::collection::vec(0.0f64..1.0, 64),
-        rot in 0usize..8,
-    ) {
+/// Traffic transport through a mapping preserves the total rate.
+#[test]
+fn traffic_transport_preserves_total() {
+    let mut rng = StdRng::seed_from_u64(0xD003);
+    for case in 0..64 {
         let mut logical = TrafficMatrix::zeros(8);
-        for (idx, &r) in rates.iter().enumerate() {
-            logical.set(NodeId(idx / 8), NodeId(idx % 8), r);
+        for idx in 0..64 {
+            logical.set(NodeId(idx / 8), NodeId(idx % 8), rng.random::<f64>());
         }
+        let rot = rng.random_range(0..8usize);
         let perm: Vec<usize> = (0..8).map(|i| (i + rot) % 8).collect();
         let m = ThreadMapping::from_permutation(perm).unwrap();
         let phys = m.traffic_to_tiles(&logical);
-        prop_assert!((phys.total_rate() - logical.total_rate()).abs() < 1e-9);
+        assert!(
+            (phys.total_rate() - logical.total_rate()).abs() < 1e-9,
+            "case {case}"
+        );
     }
+}
 
-    /// Stalls are monotone in every memory-profile dimension.
-    #[test]
-    fn stall_monotonicity(
-        mpki in 0.0f64..50.0,
-        miss in 0.0f64..1.0,
-        remote in 0.0f64..1.0,
-        rt in 0.0f64..300.0,
-    ) {
-        let c = CacheModel::default_64core();
+/// Stalls are monotone in every memory-profile dimension.
+#[test]
+fn stall_monotonicity() {
+    let mut rng = StdRng::seed_from_u64(0xD004);
+    let c = CacheModel::default_64core();
+    for case in 0..64 {
+        let mpki = 50.0 * rng.random::<f64>();
+        let miss = rng.random::<f64>();
+        let remote = rng.random::<f64>();
+        let rt = 300.0 * rng.random::<f64>();
         let base = MemoryProfile::new(mpki, miss, remote);
         let s = c.stall_cycles_per_inst(&base, rt);
-        prop_assert!(s >= 0.0 && s.is_finite());
+        assert!(s >= 0.0 && s.is_finite(), "case {case}");
         let more_mpki = MemoryProfile::new(mpki + 1.0, miss, remote);
-        prop_assert!(c.stall_cycles_per_inst(&more_mpki, rt) >= s);
-        prop_assert!(c.stall_cycles_per_inst(&base, rt + 10.0) >= s);
-        prop_assert!(c.packets_per_inst(&base) >= 0.0);
+        assert!(c.stall_cycles_per_inst(&more_mpki, rt) >= s, "case {case}");
+        assert!(
+            c.stall_cycles_per_inst(&base, rt + 10.0) >= s,
+            "case {case}"
+        );
+        assert!(c.packets_per_inst(&base) >= 0.0, "case {case}");
     }
+}
 
-    /// Home-slice interleaving spreads blocks over every tile.
-    #[test]
-    fn home_tiles_are_uniformly_spread(start in 0u64..1_000_000) {
-        let p = Platform::new(4, 4, 1.0);
+/// Home-slice interleaving spreads blocks over every tile.
+#[test]
+fn home_tiles_are_uniformly_spread() {
+    let mut rng = StdRng::seed_from_u64(0xD005);
+    let p = Platform::new(4, 4, 1.0);
+    for case in 0..64 {
+        let start = rng.random_range(0..1_000_000u64);
         let mut counts = [0usize; 16];
         for b in start..start + 160 {
             counts[p.home_tile(b).index()] += 1;
         }
         // Exactly 10 each: low-order interleaving over a contiguous range.
-        prop_assert!(counts.iter().all(|&c| c == 10));
+        assert!(counts.iter().all(|&c| c == 10), "case {case}");
     }
 }

@@ -45,10 +45,10 @@ impl EnergyModel {
     /// ~2.3 pJ/bit \[8\].
     pub fn default_65nm() -> Self {
         EnergyModel {
-            switch_base_pj: 45.0,   // buffer write/read + arbitration
+            switch_base_pj: 45.0,    // buffer write/read + arbitration
             switch_per_port_pj: 3.0, // crossbar growth per port
-            wire_pj_per_mm: 14.4,   // 0.45 pJ/bit/mm * 32 bits
-            wireless_pj: 73.6,      // 2.3 pJ/bit * 32 bits
+            wire_pj_per_mm: 14.4,    // 0.45 pJ/bit/mm * 32 bits
+            wireless_pj: 73.6,       // 2.3 pJ/bit * 32 bits
         }
     }
 

@@ -113,9 +113,18 @@ mod tests {
     fn macs_for_overlay() {
         let overlay = WirelessOverlay::new(
             vec![
-                WirelessInterface { node: NodeId(0), channel: ChannelId(0) },
-                WirelessInterface { node: NodeId(4), channel: ChannelId(1) },
-                WirelessInterface { node: NodeId(2), channel: ChannelId(0) },
+                WirelessInterface {
+                    node: NodeId(0),
+                    channel: ChannelId(0),
+                },
+                WirelessInterface {
+                    node: NodeId(4),
+                    channel: ChannelId(1),
+                },
+                WirelessInterface {
+                    node: NodeId(2),
+                    channel: ChannelId(0),
+                },
             ],
             2,
         )

@@ -187,7 +187,11 @@ impl RoutingTable {
         let n = cols * rows;
         let mut entries = vec![None; n * 2 * n];
         let mut dist = vec![0u32; n * 2 * n];
-        let mut table = RoutingTable { n, entries: Vec::new(), dist: Vec::new() };
+        let mut table = RoutingTable {
+            n,
+            entries: Vec::new(),
+            dist: Vec::new(),
+        };
         for v in 0..n {
             let (vc, vr) = (v % cols, v / cols);
             for d in 0..n {
@@ -232,10 +236,7 @@ impl RoutingTable {
     /// up\*/down\* route exists between every pair whenever the graph is
     /// connected, because root-via paths are always legal);
     /// [`RoutingError::Empty`] for an empty topology.
-    pub fn up_down(
-        topo: &Topology,
-        overlay: &WirelessOverlay,
-    ) -> Result<Self, RoutingError> {
+    pub fn up_down(topo: &Topology, overlay: &WirelessOverlay) -> Result<Self, RoutingError> {
         Self::up_down_weighted(topo, overlay, 1)
     }
 
@@ -343,7 +344,11 @@ impl RoutingTable {
                     let up = is_up(v, w);
                     // Which predecessor states may step v -> w into phase q?
                     let preds: &[usize] = if up {
-                        if q == 0 { &[0] } else { &[] }
+                        if q == 0 {
+                            &[0]
+                        } else {
+                            &[]
+                        }
                     } else if q == 1 {
                         &[0, 1]
                     } else {
@@ -434,9 +439,10 @@ impl RoutingTable {
                                 1
                             };
                             if dist[state(u, q2)] == my.saturating_sub(2 * hub_edge_weight)
-                                && best_wi.is_none_or(|(bu, bq)| (u, q2) < (bu, bq)) {
-                                    best_wi = Some((u, q2));
-                                }
+                                && best_wi.is_none_or(|(bu, bq)| (u, q2) < (bu, bq))
+                            {
+                                best_wi = Some((u, q2));
+                            }
                         }
                         let (u, q2) = best_wi.expect("hub on shortest path has an exit WI");
                         entries[out] = Some(RouteEntry {
@@ -471,10 +477,10 @@ impl RoutingTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::node::grid_positions;
     use crate::topology::mesh::mesh;
     use crate::topology::small_world::SmallWorldBuilder;
     use crate::topology::wireless::{WirelessInterface, WirelessOverlay};
-    use crate::node::grid_positions;
 
     #[test]
     fn xy_routes_reach_destination() {
@@ -559,10 +565,18 @@ mod tests {
     fn paper_overlay() -> WirelessOverlay {
         // One WI per channel per quadrant, near quadrant centres.
         let nodes = [
-            (9, 0), (18, 1), (27, 2), // cluster 0
-            (13, 0), (22, 1), (31, 2), // cluster 1
-            (41, 0), (50, 1), (33, 2), // cluster 2
-            (45, 0), (54, 1), (37, 2), // cluster 3
+            (9, 0),
+            (18, 1),
+            (27, 2), // cluster 0
+            (13, 0),
+            (22, 1),
+            (31, 2), // cluster 1
+            (41, 0),
+            (50, 1),
+            (33, 2), // cluster 2
+            (45, 0),
+            (54, 1),
+            (37, 2), // cluster 3
         ];
         WirelessOverlay::new(
             nodes
@@ -625,8 +639,14 @@ mod tests {
         }
         let overlay = WirelessOverlay::new(
             vec![
-                WirelessInterface { node: NodeId(0), channel: ChannelId(0) },
-                WirelessInterface { node: NodeId(29), channel: ChannelId(0) },
+                WirelessInterface {
+                    node: NodeId(0),
+                    channel: ChannelId(0),
+                },
+                WirelessInterface {
+                    node: NodeId(29),
+                    channel: ChannelId(0),
+                },
             ],
             1,
         )
@@ -673,9 +693,6 @@ mod tests {
             crate::topology::TopologyKind::Custom,
         );
         let t = RoutingTable::up_down(&topo, &WirelessOverlay::none()).unwrap();
-        assert_eq!(
-            t.next_hop(NodeId(0), Phase::Up, NodeId(0)).hop,
-            Hop::Local
-        );
+        assert_eq!(t.next_hop(NodeId(0), Phase::Up, NodeId(0)).hop, Hop::Local);
     }
 }

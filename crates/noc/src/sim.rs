@@ -26,8 +26,9 @@ use crate::switch::{OutRoute, Owner, PortMap, SwitchState, PORT_LOCAL};
 use crate::topology::wireless::WirelessOverlay;
 use crate::topology::Topology;
 use crate::traffic::{Injector, TrafficMatrix};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mapwave_harness::rng::SeedableRng;
+use mapwave_harness::rng::StdRng;
+use mapwave_harness::telemetry;
 use std::collections::VecDeque;
 
 /// Tunable microarchitecture parameters of the simulated network.
@@ -187,7 +188,15 @@ impl NetworkSim {
         cfg: SimConfig,
     ) -> Result<Self, SimError> {
         let n = topo.len();
-        Self::with_clocks(topo, overlay, table, energy_model, cfg, vec![1.0; n], vec![0; n])
+        Self::with_clocks(
+            topo,
+            overlay,
+            table,
+            energy_model,
+            cfg,
+            vec![1.0; n],
+            vec![0; n],
+        )
     }
 
     /// Creates a simulator with per-switch clock speeds (relative to the
@@ -325,6 +334,7 @@ impl NetworkSim {
         measure: u64,
         drain_limit: u64,
     ) -> NetworkStats {
+        let _span = telemetry::span("noc.sim.run");
         self.reset();
         self.measure_start = warmup;
         self.measure_end = warmup + measure;
@@ -351,6 +361,9 @@ impl NetworkSim {
                 flits: self.link_flits[idx],
             })
             .collect();
+        telemetry::count("noc.packets_injected", self.stats.packets_injected);
+        telemetry::count("noc.packets_delivered", self.stats.packets_delivered);
+        telemetry::count("noc.flits_delivered", self.stats.flits_delivered);
         self.stats.clone()
     }
 
@@ -370,8 +383,7 @@ impl NetworkSim {
                     if d.index() != s {
                         let id = PacketId(self.next_packet);
                         self.next_packet += 1;
-                        let flits =
-                            flits_of(id, NodeId(s), d, self.cfg.packet_len, self.now);
+                        let flits = flits_of(id, NodeId(s), d, self.cfg.packet_len, self.now);
                         if self.now >= self.measure_start && self.now < self.measure_end {
                             self.injected_measured += 1;
                         }
@@ -384,7 +396,11 @@ impl NetworkSim {
         // 2. Move one flit per node from the source queue into the local
         //    input port. New packets start on the top VC (the adaptive one
         //    when adaptive routing is on).
-        let inject_vc = if self.cfg.adaptive { self.cfg.vcs - 1 } else { 0 };
+        let inject_vc = if self.cfg.adaptive {
+            self.cfg.vcs - 1
+        } else {
+            0
+        };
         for s in 0..n {
             if !self.src_q[s].is_empty() && self.switches[s].space(PORT_LOCAL, inject_vc) > 0 {
                 let mut f = self.src_q[s].pop_front().expect("checked nonempty");
@@ -531,12 +547,7 @@ impl NetworkSim {
     }
 
     /// Moves flits through one switch for one of its active cycles.
-    fn process_switch(
-        &mut self,
-        v: NodeId,
-        holders: &[Option<NodeId>],
-        channel_used: &mut [bool],
-    ) {
+    fn process_switch(&mut self, v: NodeId, holders: &[Option<NodeId>], channel_used: &mut [bool]) {
         let ports = self.ports.port_count(v);
         let vcs = self.cfg.vcs;
         let mut out_used = vec![false; ports];
@@ -546,7 +557,15 @@ impl NetworkSim {
             for vc in 0..vcs {
                 if let Some(route) = self.switches[v.index()].in_route[p][vc] {
                     self.try_advance(
-                        v, p, vc, route, None, &mut out_used, holders, channel_used, false,
+                        v,
+                        p,
+                        vc,
+                        route,
+                        None,
+                        &mut out_used,
+                        holders,
+                        channel_used,
+                        false,
                     );
                 }
             }
@@ -570,9 +589,7 @@ impl NetworkSim {
                 }
                 let (route, next_phase) = self.route_head(v, vc, &f, &out_used);
                 let o = route.out_port;
-                if out_used[o]
-                    || self.switches[v.index()].out_owner[o][route.down_vc].is_some()
-                {
+                if out_used[o] || self.switches[v.index()].out_owner[o][route.down_vc].is_some() {
                     continue;
                 }
                 let moved = self.try_advance(
@@ -653,7 +670,13 @@ impl NetworkSim {
             } else {
                 0
             };
-            Dest::Into(to, tp, penalty, self.energy_model.wireless_energy_pj(), true)
+            Dest::Into(
+                to,
+                tp,
+                penalty,
+                self.energy_model.wireless_energy_pj(),
+                true,
+            )
         } else {
             let w = self.ports.peer(v, o).expect("wired port has a peer");
             let wp = self.ports.wire_port(w, v);
@@ -731,15 +754,20 @@ impl NetworkSim {
             self.switches[v.index()].out_owner[o][route.down_vc] = None;
         } else if is_new_packet {
             self.switches[v.index()].in_route[p][vc] = Some(route);
-            self.switches[v.index()].out_owner[o][route.down_vc] =
-                Some(Owner { in_port: p, in_vc: vc });
+            self.switches[v.index()].out_owner[o][route.down_vc] = Some(Owner {
+                in_port: p,
+                in_vc: vc,
+            });
         }
         true
     }
 
     /// Total flits currently buffered anywhere in the network (diagnostics).
     pub fn buffered_flits(&self) -> usize {
-        self.switches.iter().map(SwitchState::occupancy).sum::<usize>()
+        self.switches
+            .iter()
+            .map(SwitchState::occupancy)
+            .sum::<usize>()
             + self.src_q.iter().map(VecDeque::len).sum::<usize>()
     }
 }
@@ -747,10 +775,10 @@ impl NetworkSim {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::node::grid_positions;
     use crate::topology::mesh::mesh;
     use crate::topology::small_world::SmallWorldBuilder;
     use crate::topology::wireless::{ChannelId, WirelessInterface};
-    use crate::node::grid_positions;
 
     fn mesh_sim(cols: usize, rows: usize) -> NetworkSim {
         NetworkSim::new(
@@ -782,8 +810,16 @@ mod tests {
         let stats = sim.run(&tm, 0, 3000, 10_000);
         assert!(stats.packets_delivered > 0);
         // distance 6 + 4 flits serialization - 1 = at least 9 cycles.
-        assert!(stats.avg_latency() >= 9.0, "latency {}", stats.avg_latency());
-        assert!(stats.avg_latency() < 40.0, "latency {}", stats.avg_latency());
+        assert!(
+            stats.avg_latency() >= 9.0,
+            "latency {}",
+            stats.avg_latency()
+        );
+        assert!(
+            stats.avg_latency() < 40.0,
+            "latency {}",
+            stats.avg_latency()
+        );
     }
 
     #[test]
@@ -840,8 +876,14 @@ mod tests {
         }
         let overlay = WirelessOverlay::new(
             vec![
-                WirelessInterface { node: NodeId(0), channel: ChannelId(0) },
-                WirelessInterface { node: NodeId(len - 1), channel: ChannelId(0) },
+                WirelessInterface {
+                    node: NodeId(0),
+                    channel: ChannelId(0),
+                },
+                WirelessInterface {
+                    node: NodeId(len - 1),
+                    channel: ChannelId(0),
+                },
             ],
             1,
         )
@@ -891,10 +933,22 @@ mod tests {
         topo.add_link(NodeId(10), NodeId(11)).unwrap();
         let overlay = WirelessOverlay::new(
             vec![
-                WirelessInterface { node: NodeId(0), channel: ChannelId(0) },
-                WirelessInterface { node: NodeId(3), channel: ChannelId(0) },
-                WirelessInterface { node: NodeId(12), channel: ChannelId(0) },
-                WirelessInterface { node: NodeId(15), channel: ChannelId(0) },
+                WirelessInterface {
+                    node: NodeId(0),
+                    channel: ChannelId(0),
+                },
+                WirelessInterface {
+                    node: NodeId(3),
+                    channel: ChannelId(0),
+                },
+                WirelessInterface {
+                    node: NodeId(12),
+                    channel: ChannelId(0),
+                },
+                WirelessInterface {
+                    node: NodeId(15),
+                    channel: ChannelId(0),
+                },
             ],
             1,
         )
@@ -950,7 +1004,10 @@ mod tests {
             t
         };
         let run = |domains: Vec<usize>, penalty: u64| {
-            let cfg = SimConfig { sync_penalty: penalty, ..SimConfig::default() };
+            let cfg = SimConfig {
+                sync_penalty: penalty,
+                ..SimConfig::default()
+            };
             let mut sim = NetworkSim::with_clocks(
                 mesh(4, 4, 2.5),
                 WirelessOverlay::none(),
@@ -1000,7 +1057,10 @@ mod tests {
 
     #[test]
     fn rejects_zero_packet_len() {
-        let cfg = SimConfig { packet_len: 0, ..SimConfig::default() };
+        let cfg = SimConfig {
+            packet_len: 0,
+            ..SimConfig::default()
+        };
         let err = NetworkSim::new(
             mesh(2, 2, 1.0),
             WirelessOverlay::none(),
@@ -1014,7 +1074,11 @@ mod tests {
 
     #[test]
     fn adaptive_requires_two_vcs() {
-        let cfg = SimConfig { adaptive: true, vcs: 1, ..SimConfig::default() };
+        let cfg = SimConfig {
+            adaptive: true,
+            vcs: 1,
+            ..SimConfig::default()
+        };
         let err = NetworkSim::new(
             mesh(2, 2, 1.0),
             WirelessOverlay::none(),
@@ -1027,7 +1091,11 @@ mod tests {
     }
 
     fn adaptive_mesh_sim(cols: usize, rows: usize) -> NetworkSim {
-        let cfg = SimConfig { vcs: 2, adaptive: true, ..SimConfig::default() };
+        let cfg = SimConfig {
+            vcs: 2,
+            adaptive: true,
+            ..SimConfig::default()
+        };
         NetworkSim::new(
             mesh(cols, rows, 2.5),
             WirelessOverlay::none(),
@@ -1064,7 +1132,11 @@ mod tests {
             base.avg_latency()
         );
         // Most hops actually use the adaptive channels.
-        assert!(adaptive.adaptive_share() > 0.5, "{}", adaptive.adaptive_share());
+        assert!(
+            adaptive.adaptive_share() > 0.5,
+            "{}",
+            adaptive.adaptive_share()
+        );
         assert_eq!(base.adaptive_share(), 0.0);
     }
 
@@ -1072,8 +1144,7 @@ mod tests {
     fn adaptive_raises_small_world_capacity() {
         // The up*/down*-routed small world saturates around 0.03 pkts/cyc
         // per node; two VCs with minimal adaptive routing push the knee out.
-        let clusters: Vec<usize> =
-            (0..64).map(|i| (i % 8) / 4 + 2 * ((i / 8) / 4)).collect();
+        let clusters: Vec<usize> = (0..64).map(|i| (i % 8) / 4 + 2 * ((i / 8) / 4)).collect();
         let topo = SmallWorldBuilder::new(grid_positions(8, 8, 2.5), clusters)
             .alpha(1.5)
             .seed(1)
@@ -1090,7 +1161,11 @@ mod tests {
         )
         .unwrap();
         let base = escape_only.run(&tm, 500, 3000, 60_000);
-        let cfg = SimConfig { vcs: 2, adaptive: true, ..SimConfig::default() };
+        let cfg = SimConfig {
+            vcs: 2,
+            adaptive: true,
+            ..SimConfig::default()
+        };
         let mut adaptive = NetworkSim::new(
             topo,
             WirelessOverlay::none(),

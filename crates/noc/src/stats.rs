@@ -111,8 +111,7 @@ impl NetworkStats {
         if self.latency_histogram.len() != LATENCY_BUCKETS {
             self.latency_histogram = vec![0; LATENCY_BUCKETS];
         }
-        let bucket = (64 - latency.max(1).leading_zeros() as usize - 1)
-            .min(LATENCY_BUCKETS - 1);
+        let bucket = (64 - latency.max(1).leading_zeros() as usize - 1).min(LATENCY_BUCKETS - 1);
         self.latency_histogram[bucket] += 1;
     }
 

@@ -44,13 +44,7 @@ impl PortMap {
         let mut wireless_port = Vec::with_capacity(n);
         for v in topo.nodes() {
             let neigh = topo.neighbors(v);
-            wire_port.push(
-                neigh
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &w)| (w, i + 1))
-                    .collect(),
-            );
+            wire_port.push(neigh.iter().enumerate().map(|(i, &w)| (w, i + 1)).collect());
             port_peer.push(neigh.to_vec());
             wireless_port.push(if overlay.is_wi(v) {
                 Some(neigh.len() + 1)
@@ -240,13 +234,9 @@ mod tests {
         assert_eq!(s.vcs(), 2);
         assert_eq!(s.space(2, 0), 8);
         assert_eq!(s.space(2, 1), 8);
-        s.in_buf[2][1].push_back(crate::flit::flits_of(
-            crate::flit::PacketId(0),
-            NodeId(0),
-            NodeId(1),
-            1,
-            0,
-        )[0]);
+        s.in_buf[2][1].push_back(
+            crate::flit::flits_of(crate::flit::PacketId(0), NodeId(0), NodeId(1), 1, 0)[0],
+        );
         assert_eq!(s.space(2, 1), 7);
         assert_eq!(s.space(2, 0), 8);
         assert_eq!(s.occupancy(), 1);

@@ -102,8 +102,14 @@ mod tests {
         let m = mesh(3, 3, 1.0);
         let overlay = WirelessOverlay::new(
             vec![
-                WirelessInterface { node: NodeId(0), channel: ChannelId(0) },
-                WirelessInterface { node: NodeId(8), channel: ChannelId(0) },
+                WirelessInterface {
+                    node: NodeId(0),
+                    channel: ChannelId(0),
+                },
+                WirelessInterface {
+                    node: NodeId(8),
+                    channel: ChannelId(0),
+                },
             ],
             1,
         )

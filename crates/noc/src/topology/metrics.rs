@@ -17,7 +17,6 @@
 
 use super::Topology;
 
-
 /// Watts–Strogatz average local clustering coefficient.
 ///
 /// For each node, the fraction of its neighbour pairs that are themselves
@@ -167,11 +166,11 @@ impl std::fmt::Display for TopologySummary {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::node::Position;
     use crate::node::{grid_positions, NodeId};
     use crate::topology::mesh::mesh;
     use crate::topology::small_world::SmallWorldBuilder;
     use crate::topology::TopologyKind;
-    use crate::node::Position;
 
     fn triangle() -> Topology {
         let mut t = Topology::new(
@@ -245,6 +244,9 @@ mod tests {
         assert_eq!(clustering_coefficient(&empty), 0.0);
         assert_eq!(small_world_sigma(&empty), 0.0);
         assert_eq!(mean_link_length_mm(&empty), 0.0);
-        assert_eq!(small_world_sigma(&triangle()), small_world_sigma(&triangle()));
+        assert_eq!(
+            small_world_sigma(&triangle()),
+            small_world_sigma(&triangle())
+        );
     }
 }

@@ -17,8 +17,8 @@
 
 use super::{Topology, TopologyKind};
 use crate::node::{NodeId, Position};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use mapwave_harness::rng::StdRng;
+use mapwave_harness::rng::{RngExt, SeedableRng};
 
 /// Errors from [`SmallWorldBuilder::build`].
 #[derive(Debug, Clone, PartialEq)]
@@ -293,8 +293,8 @@ impl SmallWorldBuilder {
         }
 
         // Extra links up to the intra-degree budget.
-        let target_links = ((self.k_intra * size as f64 / 2.0).round() as usize)
-            .min(size * (size - 1) / 2);
+        let target_links =
+            ((self.k_intra * size as f64 / 2.0).round() as usize).min(size * (size - 1) / 2);
         while topo_links_within(topo, mem) < target_links {
             let mut cands: Vec<(NodeId, NodeId, f64)> = Vec::new();
             for (i, &a) in mem.iter().enumerate() {
@@ -503,7 +503,11 @@ mod tests {
     fn respects_port_cap() {
         for seed in 0..5 {
             let t = build(seed);
-            assert!(t.max_degree() <= 7, "seed {seed}: degree {}", t.max_degree());
+            assert!(
+                t.max_degree() <= 7,
+                "seed {seed}: degree {}",
+                t.max_degree()
+            );
         }
     }
 
@@ -532,10 +536,7 @@ mod tests {
         let t = build(3);
         let clusters = quadrant_clusters();
         for c in 0..4 {
-            let mem: Vec<NodeId> = (0..64)
-                .filter(|&i| clusters[i] == c)
-                .map(NodeId)
-                .collect();
+            let mem: Vec<NodeId> = (0..64).filter(|&i| clusters[i] == c).map(NodeId).collect();
             // BFS restricted to the cluster.
             let set: std::collections::HashSet<_> = mem.iter().copied().collect();
             let mut seen = std::collections::HashSet::new();
@@ -548,7 +549,11 @@ mod tests {
                     }
                 }
             }
-            assert_eq!(seen.len(), mem.len(), "cluster {c} not internally connected");
+            assert_eq!(
+                seen.len(),
+                mem.len(),
+                "cluster {c} not internally connected"
+            );
         }
     }
 
@@ -614,11 +619,8 @@ mod tests {
             .seed(11)
             .build()
             .unwrap();
-        let mean_link: f64 = t
-            .links()
-            .map(|(a, b)| t.link_length_mm(a, b))
-            .sum::<f64>()
-            / t.link_count() as f64;
+        let mean_link: f64 =
+            t.links().map(|(a, b)| t.link_length_mm(a, b)).sum::<f64>() / t.link_count() as f64;
         assert!(mean_link < 3.0, "mean link length {mean_link}");
     }
 

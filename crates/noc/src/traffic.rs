@@ -7,8 +7,8 @@
 //! expectation while keeping per-cycle work `O(n)`.
 
 use crate::node::NodeId;
-use rand::rngs::StdRng;
-use rand::RngExt;
+use mapwave_harness::rng::RngExt;
+use mapwave_harness::rng::StdRng;
 
 /// Errors from traffic-matrix construction.
 #[derive(Debug, Clone, PartialEq)]
@@ -349,7 +349,7 @@ impl Injector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use mapwave_harness::rng::SeedableRng;
 
     #[test]
     fn uniform_row_rate() {

@@ -1,71 +1,92 @@
-//! Property-based tests of the NoC simulator's invariants.
+//! Property tests of the NoC simulator's invariants, driven by
+//! deterministic seeded sweeps (in-tree PRNG; no external dependencies).
 
+use mapwave_harness::rng::{RngExt, SeedableRng, StdRng};
 use mapwave_noc::node::grid_positions;
 use mapwave_noc::prelude::*;
 use mapwave_noc::routing::{Hop, RoutingTable};
 use mapwave_noc::sim::SimConfig;
 use mapwave_noc::topology::mesh::mesh;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Every injected packet is delivered once the network drains:
-    /// wormhole switching conserves flits under arbitrary admissible loads.
-    #[test]
-    fn mesh_conserves_packets(
-        cols in 2usize..5,
-        rows in 2usize..5,
-        rate in 0.001f64..0.05,
-        seed in 0u64..1000,
-    ) {
+/// Every injected packet is delivered once the network drains:
+/// wormhole switching conserves flits under arbitrary admissible loads.
+#[test]
+fn mesh_conserves_packets() {
+    let mut rng = StdRng::seed_from_u64(0xA001);
+    for case in 0..24 {
+        let cols = rng.random_range(2..5usize);
+        let rows = rng.random_range(2..5usize);
+        let rate = 0.001 + 0.049 * rng.random::<f64>();
+        let seed = rng.random_range(0..1000u64);
         let n = cols * rows;
-        let cfg = SimConfig { seed, ..SimConfig::default() };
+        let cfg = SimConfig {
+            seed,
+            ..SimConfig::default()
+        };
         let mut sim = NetworkSim::new(
             mesh(cols, rows, 1.0),
             WirelessOverlay::none(),
             RoutingTable::xy(cols, rows),
             EnergyModel::default_65nm(),
             cfg,
-        ).unwrap();
+        )
+        .unwrap();
         let stats = sim.run(&TrafficMatrix::uniform(n, rate), 100, 1500, 50_000);
-        prop_assert_eq!(stats.in_flight_at_end, 0);
-        prop_assert_eq!(stats.packets_delivered, stats.packets_injected);
-        prop_assert_eq!(stats.flits_delivered, 4 * stats.packets_delivered);
+        assert_eq!(stats.in_flight_at_end, 0, "case {case}");
+        assert_eq!(
+            stats.packets_delivered, stats.packets_injected,
+            "case {case}"
+        );
+        assert_eq!(
+            stats.flits_delivered,
+            4 * stats.packets_delivered,
+            "case {case}"
+        );
     }
+}
 
-    /// Energy accounting never goes negative and grows with delivery.
-    #[test]
-    fn energy_is_nonnegative_and_monotone(
-        rate in 0.005f64..0.04,
-        seed in 0u64..100,
-    ) {
-        let cfg = SimConfig { seed, ..SimConfig::default() };
+/// Energy accounting never goes negative and grows with delivery.
+#[test]
+fn energy_is_nonnegative_and_monotone() {
+    let mut rng = StdRng::seed_from_u64(0xA002);
+    for case in 0..16 {
+        let rate = 0.005 + 0.035 * rng.random::<f64>();
+        let seed = rng.random_range(0..100u64);
+        let cfg = SimConfig {
+            seed,
+            ..SimConfig::default()
+        };
         let mut sim = NetworkSim::new(
             mesh(4, 4, 2.5),
             WirelessOverlay::none(),
             RoutingTable::xy(4, 4),
             EnergyModel::default_65nm(),
             cfg,
-        ).unwrap();
+        )
+        .unwrap();
         let stats = sim.run(&TrafficMatrix::uniform(16, rate), 100, 1000, 20_000);
-        prop_assert!(stats.energy.switch_pj >= 0.0);
-        prop_assert!(stats.energy.wire_pj >= 0.0);
-        prop_assert!(stats.energy.wireless_pj == 0.0); // wired-only network
+        assert!(stats.energy.switch_pj >= 0.0, "case {case}");
+        assert!(stats.energy.wire_pj >= 0.0, "case {case}");
+        assert_eq!(
+            stats.energy.wireless_pj, 0.0,
+            "wired-only network, case {case}"
+        );
         if stats.packets_delivered > 0 {
-            prop_assert!(stats.energy.total_pj() > 0.0);
-            prop_assert!(stats.avg_latency() >= 1.0);
+            assert!(stats.energy.total_pj() > 0.0, "case {case}");
+            assert!(stats.avg_latency() >= 1.0, "case {case}");
         }
     }
+}
 
-    /// Random small-world topologies are connected and routable for every
-    /// ordered pair, and routed paths only use existing links.
-    #[test]
-    fn random_small_worlds_route_everywhere(
-        seed in 0u64..500,
-        k_intra in 2.0f64..4.0,
-        alpha in 1.0f64..3.0,
-    ) {
+/// Random small-world topologies are connected and routable for every
+/// ordered pair, and routed paths only use existing links.
+#[test]
+fn random_small_worlds_route_everywhere() {
+    let mut rng = StdRng::seed_from_u64(0xA003);
+    for case in 0..12 {
+        let seed = rng.random_range(0..500u64);
+        let k_intra = 2.0 + 2.0 * rng.random::<f64>();
+        let alpha = 1.0 + 2.0 * rng.random::<f64>();
         let clusters: Vec<usize> = (0..16).map(|i| (i % 4) / 2 + 2 * ((i / 4) / 2)).collect();
         let topo = SmallWorldBuilder::new(grid_positions(4, 4, 1.0), clusters)
             .k_intra(k_intra)
@@ -74,7 +95,7 @@ proptest! {
             .seed(seed)
             .build()
             .unwrap();
-        prop_assert!(topo.is_connected());
+        assert!(topo.is_connected(), "case {case}");
         let table = RoutingTable::up_down(&topo, &WirelessOverlay::none()).unwrap();
         for s in 0..16 {
             for d in 0..16 {
@@ -83,22 +104,26 @@ proptest! {
                 for hop in &path {
                     match hop {
                         Hop::Wire(w) => {
-                            prop_assert!(topo.has_link(at, *w));
+                            assert!(topo.has_link(at, *w), "case {case}");
                             at = *w;
                         }
-                        _ => prop_assert!(false, "wired-only network"),
+                        _ => panic!("wired-only network, case {case}"),
                     }
                 }
-                prop_assert_eq!(at, NodeId(d));
-                prop_assert!(path.len() <= 2 * 16, "path blow-up {s}->{d}");
+                assert_eq!(at, NodeId(d), "case {case}");
+                assert!(path.len() <= 2 * 16, "path blow-up {s}->{d}, case {case}");
             }
         }
     }
+}
 
-    /// Raising the wireless hub weight never shortens the routed metric and
-    /// never increases the number of pairs using wireless.
-    #[test]
-    fn hub_weight_monotonicity(seed in 0u64..200) {
+/// Raising the wireless hub weight never increases the number of pairs
+/// using wireless.
+#[test]
+fn hub_weight_monotonicity() {
+    let mut rng = StdRng::seed_from_u64(0xA004);
+    for case in 0..12 {
+        let seed = rng.random_range(0..200u64);
         let clusters: Vec<usize> = (0..16).map(|i| (i % 4) / 2 + 2 * ((i / 4) / 2)).collect();
         let topo = SmallWorldBuilder::new(grid_positions(4, 4, 1.0), clusters)
             .seed(seed)
@@ -106,11 +131,18 @@ proptest! {
             .unwrap();
         let overlay = WirelessOverlay::new(
             vec![
-                WirelessInterface { node: NodeId(0), channel: ChannelId(0) },
-                WirelessInterface { node: NodeId(15), channel: ChannelId(0) },
+                WirelessInterface {
+                    node: NodeId(0),
+                    channel: ChannelId(0),
+                },
+                WirelessInterface {
+                    node: NodeId(15),
+                    channel: ChannelId(0),
+                },
             ],
             1,
-        ).unwrap();
+        )
+        .unwrap();
         let t1 = RoutingTable::up_down_weighted(&topo, &overlay, 1).unwrap();
         let t3 = RoutingTable::up_down_weighted(&topo, &overlay, 3).unwrap();
         let wl_pairs = |t: &RoutingTable| -> usize {
@@ -124,74 +156,99 @@ proptest! {
             }
             c
         };
-        prop_assert!(wl_pairs(&t3) <= wl_pairs(&t1));
+        assert!(wl_pairs(&t3) <= wl_pairs(&t1), "case {case}");
     }
+}
 
-    /// The traffic matrix's derived quantities respect their definitions.
-    #[test]
-    fn traffic_matrix_identities(
-        rates in proptest::collection::vec(0.0f64..0.2, 36),
-    ) {
+/// The traffic matrix's derived quantities respect their definitions.
+#[test]
+fn traffic_matrix_identities() {
+    let mut rng = StdRng::seed_from_u64(0xA005);
+    for _case in 0..24 {
+        let rates: Vec<f64> = (0..36).map(|_| 0.2 * rng.random::<f64>()).collect();
         let mut m = TrafficMatrix::zeros(6);
         for (idx, &r) in rates.iter().enumerate() {
             m.set(NodeId(idx / 6), NodeId(idx % 6), r);
         }
         // Diagonal writes are ignored.
         for i in 0..6 {
-            prop_assert_eq!(m.rate(NodeId(i), NodeId(i)), 0.0);
+            assert_eq!(m.rate(NodeId(i), NodeId(i)), 0.0);
         }
         // Row rates sum to the total.
         let total: f64 = (0..6).map(|s| m.row_rate(NodeId(s))).sum();
-        prop_assert!((total - m.total_rate()).abs() < 1e-9);
+        assert!((total - m.total_rate()).abs() < 1e-9);
         // Normalisation caps the maximum at 1.
         let norm = m.normalized();
         let max = (0..6)
             .flat_map(|s| (0..6).map(move |d| (s, d)))
             .map(|(s, d)| norm.rate(NodeId(s), NodeId(d)))
             .fold(0.0, f64::max);
-        prop_assert!(max <= 1.0 + 1e-12);
+        assert!(max <= 1.0 + 1e-12);
     }
+}
 
-    /// With virtual channels and adaptive routing, flit conservation and
-    /// drain still hold on random small-world graphs under load.
-    #[test]
-    fn adaptive_small_worlds_conserve_packets(
-        seed in 0u64..200,
-        rate in 0.005f64..0.05,
-    ) {
+/// With virtual channels and adaptive routing, flit conservation and
+/// drain still hold on random small-world graphs under load.
+#[test]
+fn adaptive_small_worlds_conserve_packets() {
+    let mut rng = StdRng::seed_from_u64(0xA006);
+    for case in 0..10 {
+        let seed = rng.random_range(0..200u64);
+        let rate = 0.005 + 0.045 * rng.random::<f64>();
         let clusters: Vec<usize> = (0..16).map(|i| (i % 4) / 2 + 2 * ((i / 4) / 2)).collect();
         let topo = SmallWorldBuilder::new(grid_positions(4, 4, 1.0), clusters)
             .seed(seed)
             .build()
             .unwrap();
         let table = RoutingTable::up_down(&topo, &WirelessOverlay::none()).unwrap();
-        let cfg = SimConfig { vcs: 2, adaptive: true, seed, ..SimConfig::default() };
+        let cfg = SimConfig {
+            vcs: 2,
+            adaptive: true,
+            seed,
+            ..SimConfig::default()
+        };
         let mut sim = NetworkSim::new(
             topo,
             WirelessOverlay::none(),
             table,
             EnergyModel::default_65nm(),
             cfg,
-        ).unwrap();
+        )
+        .unwrap();
         let stats = sim.run(&TrafficMatrix::uniform(16, rate), 100, 1500, 60_000);
-        prop_assert_eq!(stats.in_flight_at_end, 0, "adaptive network wedged");
-        prop_assert_eq!(stats.packets_delivered, stats.packets_injected);
+        assert_eq!(
+            stats.in_flight_at_end, 0,
+            "adaptive network wedged, case {case}"
+        );
+        assert_eq!(
+            stats.packets_delivered, stats.packets_injected,
+            "case {case}"
+        );
     }
+}
 
-    /// Simulation is a pure function of its inputs.
-    #[test]
-    fn simulation_is_deterministic(seed in 0u64..50, rate in 0.005f64..0.05) {
+/// Simulation is a pure function of its inputs.
+#[test]
+fn simulation_is_deterministic() {
+    let mut rng = StdRng::seed_from_u64(0xA007);
+    for _case in 0..8 {
+        let seed = rng.random_range(0..50u64);
+        let rate = 0.005 + 0.045 * rng.random::<f64>();
         let run = || {
-            let cfg = SimConfig { seed, ..SimConfig::default() };
+            let cfg = SimConfig {
+                seed,
+                ..SimConfig::default()
+            };
             let mut sim = NetworkSim::new(
                 mesh(3, 3, 1.0),
                 WirelessOverlay::none(),
                 RoutingTable::xy(3, 3),
                 EnergyModel::default_65nm(),
                 cfg,
-            ).unwrap();
+            )
+            .unwrap();
             sim.run(&TrafficMatrix::uniform(9, rate), 50, 500, 10_000)
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run());
     }
 }

@@ -11,9 +11,9 @@ use crate::apps::digest_u64s;
 use crate::container::ArrayContainer;
 use crate::task::TaskWork;
 use crate::workload::{AppWorkload, IterationWorkload, MergeSpec};
+use mapwave_harness::rng::StdRng;
+use mapwave_harness::rng::{RngExt, SeedableRng};
 use mapwave_manycore::cache::MemoryProfile;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 /// Histogram bins: 256 per colour channel.
 pub const BINS: usize = 768;
@@ -83,10 +83,8 @@ pub fn run(scale: f64, seed: u64, cores: usize) -> HistogramRun {
 
     // Reduce: combining 96 sub-histograms of 768 bins, bucketised.
     let items = (BINS * MAP_TASKS) as f64 / REDUCE_TASKS as f64;
-    let reduce_tasks = vec![
-        TaskWork::new(items * 6.0, items * 4.0, BINS / REDUCE_TASKS);
-        REDUCE_TASKS
-    ];
+    let reduce_tasks =
+        vec![TaskWork::new(items * 6.0, items * 4.0, BINS / REDUCE_TASKS); REDUCE_TASKS];
 
     let digest = digest_u64s(global.slots().iter().copied());
 

@@ -16,9 +16,9 @@
 use crate::apps::digest_f64s;
 use crate::task::TaskWork;
 use crate::workload::{AppWorkload, IterationWorkload, MergeSpec};
+use mapwave_harness::rng::StdRng;
+use mapwave_harness::rng::{RngExt, SeedableRng};
 use mapwave_manycore::cache::MemoryProfile;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 /// Vector dimensionality (Table 1).
 pub const DIM: usize = 512;
@@ -249,8 +249,16 @@ mod tests {
     #[test]
     fn second_iteration_is_much_cheaper() {
         let r = run(0.02, 3, 64);
-        let c1: f64 = r.workload.iterations[0].map_tasks.iter().map(|t| t.cycles).sum();
-        let c2: f64 = r.workload.iterations[1].map_tasks.iter().map(|t| t.cycles).sum();
+        let c1: f64 = r.workload.iterations[0]
+            .map_tasks
+            .iter()
+            .map(|t| t.cycles)
+            .sum();
+        let c2: f64 = r.workload.iterations[1]
+            .map_tasks
+            .iter()
+            .map(|t| t.cycles)
+            .sum();
         assert!(
             c2 < 0.4 * c1,
             "converged iteration should be cheap: {c2} vs {c1}"

@@ -11,9 +11,9 @@
 use crate::apps::digest_f64s;
 use crate::task::TaskWork;
 use crate::workload::{AppWorkload, IterationWorkload, MergeSpec};
+use mapwave_harness::rng::StdRng;
+use mapwave_harness::rng::{RngExt, SeedableRng};
 use mapwave_manycore::cache::MemoryProfile;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 /// Matrix dimension at scale 1 (Table 1).
 pub const DIM: usize = 999;
@@ -95,10 +95,11 @@ pub fn run(scale: f64, seed: u64, cores: usize) -> MatrixMultRun {
     let map_total: f64 = map_tasks.iter().map(|t| t.cycles).sum();
     // Output-assembly reduce: touch each C tile once.
     let tile_items = (dim * dim) as f64 / REDUCE_TASKS as f64;
-    let reduce_tasks = vec![
-        TaskWork::new(tile_items * 1.5, tile_items * 1.2, dim / REDUCE_TASKS + 1);
-        REDUCE_TASKS
-    ];
+    let reduce_tasks =
+        vec![
+            TaskWork::new(tile_items * 1.5, tile_items * 1.2, dim / REDUCE_TASKS + 1);
+            REDUCE_TASKS
+        ];
 
     let workload = AppWorkload {
         name: "MM",

@@ -157,8 +157,7 @@ mod tests {
     #[test]
     fn all_apps_listed_once() {
         assert_eq!(App::ALL.len(), 6);
-        let names: std::collections::HashSet<_> =
-            App::ALL.iter().map(|a| a.name()).collect();
+        let names: std::collections::HashSet<_> = App::ALL.iter().map(|a| a.name()).collect();
         assert_eq!(names.len(), 6);
     }
 

@@ -12,9 +12,9 @@
 use crate::apps::digest_f64s;
 use crate::task::TaskWork;
 use crate::workload::{AppWorkload, IterationWorkload, MergeSpec};
+use mapwave_harness::rng::StdRng;
+use mapwave_harness::rng::{RngExt, SeedableRng};
 use mapwave_manycore::cache::MemoryProfile;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 /// Matrix dimension at scale 1 (Table 1).
 pub const DIM: usize = 960;
@@ -133,10 +133,7 @@ pub fn run(scale: f64, seed: u64, cores: usize) -> PcaRun {
         iterations: vec![
             IterationWorkload {
                 map_tasks: iter1_tasks,
-                reduce_tasks: vec![
-                    TaskWork::new(n as f64 * 3.0, n as f64 * 2.0, 1);
-                    32.min(n)
-                ],
+                reduce_tasks: vec![TaskWork::new(n as f64 * 3.0, n as f64 * 2.0, 1); 32.min(n)],
                 merge: Some(MergeSpec {
                     total_items: n as f64,
                     cycles_per_item: 3.0,
@@ -214,8 +211,16 @@ mod tests {
     #[test]
     fn two_iterations_cov_dominates() {
         let r = run(1e-6, 3, 64);
-        let c1: f64 = r.workload.iterations[0].map_tasks.iter().map(|t| t.cycles).sum();
-        let c2: f64 = r.workload.iterations[1].map_tasks.iter().map(|t| t.cycles).sum();
+        let c1: f64 = r.workload.iterations[0]
+            .map_tasks
+            .iter()
+            .map(|t| t.cycles)
+            .sum();
+        let c2: f64 = r.workload.iterations[1]
+            .map_tasks
+            .iter()
+            .map(|t| t.cycles)
+            .sum();
         assert!(c2 > 5.0 * c1, "covariance must dominate: {c2} vs {c1}");
     }
 
@@ -230,7 +235,11 @@ mod tests {
     fn heavy_lib_init() {
         let r = run(1e-6, 5, 64);
         assert!(r.workload.lib_init_cycles > 0.0);
-        let c2: f64 = r.workload.iterations[1].map_tasks.iter().map(|t| t.cycles).sum();
+        let c2: f64 = r.workload.iterations[1]
+            .map_tasks
+            .iter()
+            .map(|t| t.cycles)
+            .sum();
         let frac = r.workload.lib_init_cycles / (c2 / 64.0);
         assert!((0.3..0.7).contains(&frac), "lib-init fraction {frac}");
     }

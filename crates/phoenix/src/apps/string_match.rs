@@ -13,9 +13,9 @@
 use crate::apps::digest_u64s;
 use crate::task::TaskWork;
 use crate::workload::{AppWorkload, IterationWorkload};
+use mapwave_harness::rng::StdRng;
+use mapwave_harness::rng::{RngExt, SeedableRng};
 use mapwave_manycore::cache::MemoryProfile;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 /// Input bytes at scale 1 (the Phoenix "large" string-match input).
 pub const INPUT_BYTES: f64 = 100e6;

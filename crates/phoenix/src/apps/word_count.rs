@@ -12,9 +12,9 @@ use crate::apps::digest_u64s;
 use crate::container::HashContainer;
 use crate::task::TaskWork;
 use crate::workload::{AppWorkload, IterationWorkload, MergeSpec};
+use mapwave_harness::rng::StdRng;
+use mapwave_harness::rng::{RngExt, SeedableRng};
 use mapwave_manycore::cache::MemoryProfile;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 /// Vocabulary size of the generated corpus.
 pub const VOCABULARY: usize = 12_000;
@@ -66,8 +66,7 @@ pub fn run(scale: f64, seed: u64, cores: usize) -> WordCountRun {
     assert!(scale > 0.0 && scale.is_finite(), "scale must be positive");
     assert!(cores > 0, "need at least one core");
 
-    let total_words =
-        ((INPUT_BYTES * scale / BYTES_PER_WORD) as usize).max(MAP_TASKS * 20);
+    let total_words = ((INPUT_BYTES * scale / BYTES_PER_WORD) as usize).max(MAP_TASKS * 20);
 
     // Zipf CDF over the vocabulary.
     let mut cdf = Vec::with_capacity(VOCABULARY);
@@ -83,7 +82,9 @@ pub fn run(scale: f64, seed: u64, cores: usize) -> WordCountRun {
     // varies ±40% (file splits land on document boundaries, not bytes, and
     // documents differ wildly) — the source of Word Count's heterogeneous
     // utilization profile.
-    let weights: Vec<f64> = (0..MAP_TASKS).map(|_| 0.6 + 0.8 * rng.random::<f64>()).collect();
+    let weights: Vec<f64> = (0..MAP_TASKS)
+        .map(|_| 0.6 + 0.8 * rng.random::<f64>())
+        .collect();
     let weight_sum: f64 = weights.iter().sum();
 
     let mut global: HashContainer<u32, u64> = HashContainer::new();
@@ -125,9 +126,7 @@ pub fn run(scale: f64, seed: u64, cores: usize) -> WordCountRun {
         REDUCE_TASKS
     ];
 
-    let digest = digest_u64s(
-        [counted_words, distinct as u64, top_id as u64, top_count],
-    );
+    let digest = digest_u64s([counted_words, distinct as u64, top_id as u64, top_count]);
 
     let map_total: f64 = map_tasks.iter().map(|t| t.cycles).sum();
     let workload = AppWorkload {
@@ -217,7 +216,10 @@ mod tests {
     #[test]
     fn deterministic() {
         assert_eq!(run(0.001, 9, 64), run(0.001, 9, 64));
-        assert_ne!(run(0.001, 9, 64).digest_of(), run(0.001, 10, 64).digest_of());
+        assert_ne!(
+            run(0.001, 9, 64).digest_of(),
+            run(0.001, 10, 64).digest_of()
+        );
     }
 
     impl WordCountRun {

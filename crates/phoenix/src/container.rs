@@ -159,11 +159,7 @@ impl<V: Combine + Default + Clone> ArrayContainer<V> {
     ///
     /// Panics if the key spaces differ.
     pub fn merge(&mut self, other: ArrayContainer<V>) {
-        assert_eq!(
-            self.slots.len(),
-            other.slots.len(),
-            "key spaces must match"
-        );
+        assert_eq!(self.slots.len(), other.slots.len(), "key spaces must match");
         for (s, o) in self.slots.iter_mut().zip(other.slots) {
             s.combine(o);
         }

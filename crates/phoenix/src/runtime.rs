@@ -20,6 +20,7 @@ use crate::stealing::{caps_for_phase, StealPolicy};
 use crate::task::{PhaseKind, TaskWork};
 use crate::timeline::{Span, Timeline};
 use crate::workload::{AppWorkload, ExecutionReport, PhaseBreakdown, PhaseLatencies, PhaseTraffic};
+use mapwave_harness::telemetry;
 use mapwave_manycore::cache::{CacheModel, MemoryProfile};
 use mapwave_manycore::event::EventQueue;
 use mapwave_noc::{NodeId, TrafficMatrix};
@@ -168,6 +169,7 @@ impl Executor {
     /// Like [`Executor::run`], but also records the full schedule as a
     /// [`Timeline`] (per-core busy spans for Gantt-style inspection).
     pub fn run_traced(&self, workload: &AppWorkload) -> (ExecutionReport, Timeline) {
+        let _span = telemetry::span_labeled("phoenix.exec", workload.name);
         let n = self.cfg.cores;
         let lat = self.cfg.remote_l2_latency;
         let mut phases = PhaseBreakdown::default();
@@ -183,11 +185,8 @@ impl Executor {
         for it in &workload.iterations {
             // --- Library init (serial, on the master core) ---
             let master = self.cfg.master_core;
-            let li_task = TaskWork::new(
-                workload.lib_init_cycles,
-                workload.lib_init_instructions,
-                0,
-            );
+            let li_task =
+                TaskWork::new(workload.lib_init_cycles, workload.lib_init_instructions, 0);
             let li = self.task_duration(&li_task, &it.map_memory, master, lat.lib_init);
             busy[master] += li;
             phases.lib_init += li;
@@ -219,7 +218,13 @@ impl Executor {
                 tasks_per_core[c] += 1;
             }
             steals += map.steals;
-            self.account_memory_flits(&mut map_flits, &it.map_tasks, &map.executed_by, &it.map_memory, it.neighbor_bias);
+            self.account_memory_flits(
+                &mut map_flits,
+                &it.map_tasks,
+                &map.executed_by,
+                &it.map_memory,
+                it.neighbor_bias,
+            );
 
             // --- Reduce ---
             let red = self.run_phase(&it.reduce_tasks, &it.reduce_memory, lat.reduce);
@@ -235,13 +240,18 @@ impl Executor {
             }
             clock += red.duration;
             for (t, &c) in red.executed_by.iter().enumerate() {
-                let dur =
-                    self.task_duration(&it.reduce_tasks[t], &it.reduce_memory, c, lat.reduce);
+                let dur = self.task_duration(&it.reduce_tasks[t], &it.reduce_memory, c, lat.reduce);
                 busy[c] += dur;
                 tasks_per_core[c] += 1;
             }
             steals += red.steals;
-            self.account_memory_flits(&mut reduce_flits, &it.reduce_tasks, &red.executed_by, &it.reduce_memory, it.neighbor_bias);
+            self.account_memory_flits(
+                &mut reduce_flits,
+                &it.reduce_tasks,
+                &red.executed_by,
+                &it.reduce_memory,
+                it.neighbor_bias,
+            );
 
             // --- Shuffle traffic: map cores → reduce cores, keys spread
             //     uniformly over buckets by hashing. In shared-memory
@@ -278,8 +288,7 @@ impl Executor {
                 for l in 0..levels {
                     let stride = 1usize << (l + 1);
                     let half = 1usize << l;
-                    let partition_items =
-                        merge.total_items * (1usize << l) as f64 / n as f64;
+                    let partition_items = merge.total_items * (1usize << l) as f64 / n as f64;
                     let merged_items = 2.0 * partition_items;
                     let mtask = TaskWork::new(
                         merged_items * merge.cycles_per_item,
@@ -291,12 +300,8 @@ impl Executor {
                     while merger < n {
                         let partner = merger + half;
                         if partner < n {
-                            let dur = self.task_duration(
-                                &mtask,
-                                &it.reduce_memory,
-                                merger,
-                                lat.merge,
-                            );
+                            let dur =
+                                self.task_duration(&mtask, &it.reduce_memory, merger, lat.merge);
                             busy[merger] += dur;
                             timeline.push(Span {
                                 core: merger,
@@ -333,7 +338,11 @@ impl Executor {
             for s in 0..n {
                 for d in 0..n {
                     if s != d && flits[s * n + d] > 0.0 {
-                        m.set(NodeId(s), NodeId(d), flits[s * n + d] / packet_flits / cycles);
+                        m.set(
+                            NodeId(s),
+                            NodeId(d),
+                            flits[s * n + d] / packet_flits / cycles,
+                        );
                     }
                 }
             }
@@ -349,6 +358,11 @@ impl Executor {
             merge: to_matrix(&merge_flits, phases.merge),
         };
 
+        telemetry::count(
+            "phoenix.tasks_executed",
+            tasks_per_core.iter().map(|&t| u64::from(t)).sum(),
+        );
+        telemetry::count("phoenix.tasks_stolen", steals);
         (
             ExecutionReport {
                 name: workload.name,
@@ -420,12 +434,7 @@ impl Executor {
     }
 
     /// Event-driven scheduling of one task-parallel phase.
-    fn run_phase(
-        &self,
-        tasks: &[TaskWork],
-        memory: &MemoryProfile,
-        latency: f64,
-    ) -> PhaseOutcome {
+    fn run_phase(&self, tasks: &[TaskWork], memory: &MemoryProfile, latency: f64) -> PhaseOutcome {
         let n = self.cfg.cores;
         let mut executed_by = vec![usize::MAX; tasks.len()];
         if tasks.is_empty() {
@@ -466,51 +475,44 @@ impl Executor {
             let victim = (0..queues.len())
                 .filter(|&v| v != core && !queues[v].is_empty())
                 .max_by_key(|&v| (queues[v].len(), usize::MAX - v));
-            victim.map(|v| {
-                (
-                    queues[v].pop_back().expect("victim queue nonempty"),
-                    true,
-                )
-            })
+            victim.map(|v| (queues[v].pop_back().expect("victim queue nonempty"), true))
         };
 
         // Start as many cores as possible at t = 0.
-        let start_core =
-            |core: usize,
-             now: f64,
-             queues: &mut Vec<VecDeque<usize>>,
-             events: &mut EventQueue<Completion>,
-             executed_by: &mut Vec<usize>,
-             done: &mut Vec<usize>,
-             queued: &mut usize,
-             steals: &mut u64,
-             idle: &mut Vec<bool>,
-             caps: &[usize],
-             spans: &mut Vec<(usize, f64, f64, bool)>| {
-                if done[core] >= caps[core] {
+        let start_core = |core: usize,
+                          now: f64,
+                          queues: &mut Vec<VecDeque<usize>>,
+                          events: &mut EventQueue<Completion>,
+                          executed_by: &mut Vec<usize>,
+                          done: &mut Vec<usize>,
+                          queued: &mut usize,
+                          steals: &mut u64,
+                          idle: &mut Vec<bool>,
+                          caps: &[usize],
+                          spans: &mut Vec<(usize, f64, f64, bool)>| {
+            if done[core] >= caps[core] {
+                idle[core] = true;
+                return;
+            }
+            match next_task(queues, core) {
+                Some((t, stolen)) => {
+                    let mut dur = self.task_duration(&tasks[t], memory, core, latency);
+                    if stolen {
+                        dur += self.cfg.steal_overhead_cycles / self.cfg.core_speeds[core];
+                        *steals += 1;
+                    }
+                    executed_by[t] = core;
+                    done[core] += 1;
+                    *queued -= 1;
+                    events.push(now + dur, Completion { core });
+                    spans.push((core, now, now + dur, stolen));
+                    idle[core] = false;
+                }
+                None => {
                     idle[core] = true;
-                    return;
                 }
-                match next_task(queues, core) {
-                    Some((t, stolen)) => {
-                        let mut dur = self.task_duration(&tasks[t], memory, core, latency);
-                        if stolen {
-                            dur += self.cfg.steal_overhead_cycles
-                                / self.cfg.core_speeds[core];
-                            *steals += 1;
-                        }
-                        executed_by[t] = core;
-                        done[core] += 1;
-                        *queued -= 1;
-                        events.push(now + dur, Completion { core });
-                        spans.push((core, now, now + dur, stolen));
-                        idle[core] = false;
-                    }
-                    None => {
-                        idle[core] = true;
-                    }
-                }
-            };
+            }
+        };
 
         for core in 0..n {
             start_core(
@@ -633,7 +635,11 @@ mod tests {
         let exec = Executor::new(RuntimeConfig::nvfi(8));
         let report = exec.run(&simple_workload(37, 10_000.0));
         assert_eq!(
-            report.tasks_per_core.iter().map(|&t| t as usize).sum::<usize>(),
+            report
+                .tasks_per_core
+                .iter()
+                .map(|&t| t as usize)
+                .sum::<usize>(),
             37 + 8
         );
     }
@@ -738,7 +744,11 @@ mod tests {
         );
         let report = exec.run(&w);
         assert_eq!(
-            report.tasks_per_core.iter().map(|&t| t as usize).sum::<usize>(),
+            report
+                .tasks_per_core
+                .iter()
+                .map(|&t| t as usize)
+                .sum::<usize>(),
             32 + 8
         );
     }
@@ -771,8 +781,7 @@ mod tests {
         let local = Executor::new(RuntimeConfig::nvfi(8)).run(&w);
         // Traffic between cores 0 and 1 (adjacent) grows with bias.
         assert!(
-            local.traffic.rate(NodeId(0), NodeId(1))
-                > uniform.traffic.rate(NodeId(0), NodeId(1))
+            local.traffic.rate(NodeId(0), NodeId(1)) > uniform.traffic.rate(NodeId(0), NodeId(1))
         );
     }
 
@@ -800,8 +809,7 @@ mod tests {
         let (report, timeline) = exec.run_traced(&w);
         // The schedule's makespan is the reported execution time.
         assert!(
-            (timeline.makespan() - report.total_cycles()).abs()
-                < 1e-6 * report.total_cycles(),
+            (timeline.makespan() - report.total_cycles()).abs() < 1e-6 * report.total_cycles(),
             "makespan {} vs total {}",
             timeline.makespan(),
             report.total_cycles()

@@ -63,11 +63,7 @@ pub fn task_cap(total_tasks: usize, cores: usize, speed_ratio: f64) -> usize {
 /// is computed — a system whose fastest island runs below the table maximum
 /// still keeps that island uncapped. Under [`StealPolicy::Default`] every
 /// core is uncapped.
-pub fn caps_for_phase(
-    policy: StealPolicy,
-    total_tasks: usize,
-    speed_ratios: &[f64],
-) -> Vec<usize> {
+pub fn caps_for_phase(policy: StealPolicy, total_tasks: usize, speed_ratios: &[f64]) -> Vec<usize> {
     match policy {
         StealPolicy::Default => vec![usize::MAX; speed_ratios.len()],
         StealPolicy::VfiCapped => {

@@ -1,11 +1,12 @@
-//! Property-based tests of the MapReduce runtime model.
+//! Property tests of the MapReduce runtime model, driven by deterministic
+//! seeded sweeps (in-tree PRNG; no external dependencies).
 
+use mapwave_harness::rng::{RngExt, SeedableRng, StdRng};
 use mapwave_manycore::cache::MemoryProfile;
 use mapwave_phoenix::container::{ArrayContainer, HashContainer};
 use mapwave_phoenix::prelude::*;
 use mapwave_phoenix::stealing::{caps_for_phase, task_cap};
 use mapwave_phoenix::workload::IterationWorkload;
-use proptest::prelude::*;
 
 fn workload_from(cycles: &[f64], cores: usize) -> AppWorkload {
     AppWorkload {
@@ -28,24 +29,33 @@ fn workload_from(cycles: &[f64], cores: usize) -> AppWorkload {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn cycles_vec(rng: &mut StdRng, lo: f64, hi: f64, min_len: usize, max_len: usize) -> Vec<f64> {
+    let len = rng.random_range(min_len..max_len);
+    (0..len)
+        .map(|_| lo + (hi - lo) * rng.random::<f64>())
+        .collect()
+}
 
-    /// Every task runs exactly once regardless of speeds and policies, and
-    /// the observables stay within their definitions.
-    #[test]
-    fn executor_conserves_tasks(
-        cycles in proptest::collection::vec(100.0f64..100_000.0, 1..40),
-        cores in 2usize..12,
-        slow in 0.5f64..1.0,
-        capped in proptest::bool::ANY,
-    ) {
+/// Every task runs exactly once regardless of speeds and policies, and
+/// the observables stay within their definitions.
+#[test]
+fn executor_conserves_tasks() {
+    let mut rng = StdRng::seed_from_u64(0xC001);
+    for case in 0..48 {
+        let cycles = cycles_vec(&mut rng, 100.0, 100_000.0, 1, 40);
+        let cores = rng.random_range(2..12usize);
+        let slow = 0.5 + 0.5 * rng.random::<f64>();
+        let capped: bool = rng.random();
         let w = workload_from(&cycles, cores);
         let mut speeds = vec![1.0; cores];
         for s in speeds.iter_mut().take(cores / 2) {
             *s = slow;
         }
-        let policy = if capped { StealPolicy::VfiCapped } else { StealPolicy::Default };
+        let policy = if capped {
+            StealPolicy::VfiCapped
+        } else {
+            StealPolicy::Default
+        };
         let report = Executor::new(
             RuntimeConfig::nvfi(cores)
                 .with_speeds(speeds)
@@ -53,51 +63,69 @@ proptest! {
         )
         .run(&w);
         let executed: usize = report.tasks_per_core.iter().map(|&t| t as usize).sum();
-        prop_assert_eq!(executed, cycles.len() + cores.min(8));
-        prop_assert!(report.utilization.iter().all(|&u| (0.0..=1.0).contains(&u)));
-        prop_assert!(report.total_cycles() > 0.0);
+        assert_eq!(executed, cycles.len() + cores.min(8), "case {case}");
+        assert!(
+            report.utilization.iter().all(|&u| (0.0..=1.0).contains(&u)),
+            "case {case}"
+        );
+        assert!(report.total_cycles() > 0.0, "case {case}");
         // Busy time never exceeds cores × wall time.
         let busy: f64 = report.busy_cycles.iter().sum();
-        prop_assert!(busy <= report.total_cycles() * cores as f64 * (1.0 + 1e-9));
+        assert!(
+            busy <= report.total_cycles() * cores as f64 * (1.0 + 1e-9),
+            "case {case}"
+        );
     }
+}
 
-    /// Slowing every core never speeds execution up, and at equal speeds
-    /// the execution is invariant.
-    #[test]
-    fn slowdown_monotonicity(
-        cycles in proptest::collection::vec(1_000.0f64..50_000.0, 4..32),
-        speed in 0.4f64..1.0,
-    ) {
+/// Slowing every core never speeds execution up.
+#[test]
+fn slowdown_monotonicity() {
+    let mut rng = StdRng::seed_from_u64(0xC002);
+    for case in 0..32 {
+        let cycles = cycles_vec(&mut rng, 1_000.0, 50_000.0, 4, 32);
+        let speed = 0.4 + 0.6 * rng.random::<f64>();
         let w = workload_from(&cycles, 8);
         let fast = Executor::new(RuntimeConfig::nvfi(8)).run(&w);
         let slow = Executor::new(RuntimeConfig::nvfi(8).with_speeds(vec![speed; 8])).run(&w);
-        prop_assert!(slow.total_cycles() >= fast.total_cycles() - 1e-6);
+        assert!(
+            slow.total_cycles() >= fast.total_cycles() - 1e-6,
+            "case {case}"
+        );
     }
+}
 
-    /// Eq. (3): the cap is monotone in tasks and speed, zero-safe, and
-    /// uncapped exactly at the system maximum.
-    #[test]
-    fn task_cap_properties(
-        tasks in 0usize..10_000,
-        cores in 1usize..256,
-        s1 in 0.01f64..1.0,
-        s2 in 0.01f64..1.0,
-    ) {
+/// Eq. (3): the cap is monotone in tasks and speed, zero-safe, and
+/// uncapped exactly at the system maximum.
+#[test]
+fn task_cap_properties() {
+    let mut rng = StdRng::seed_from_u64(0xC003);
+    for case in 0..64 {
+        let tasks = rng.random_range(0..10_000usize);
+        let cores = rng.random_range(1..256usize);
+        let s1 = 0.01 + 0.99 * rng.random::<f64>();
+        let s2 = 0.01 + 0.99 * rng.random::<f64>();
         let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
-        prop_assert!(task_cap(tasks, cores, lo) <= task_cap(tasks, cores, hi));
-        prop_assert_eq!(task_cap(tasks, cores, 1.0), usize::MAX);
+        assert!(
+            task_cap(tasks, cores, lo) <= task_cap(tasks, cores, hi),
+            "case {case}"
+        );
+        assert_eq!(task_cap(tasks, cores, 1.0), usize::MAX, "case {case}");
         // Normalised caps leave the fastest core unbounded.
         let speeds = vec![lo, hi, hi];
         let caps = caps_for_phase(StealPolicy::VfiCapped, tasks, &speeds);
-        prop_assert_eq!(caps[1], usize::MAX);
-        prop_assert_eq!(caps[2], usize::MAX);
+        assert_eq!(caps[1], usize::MAX, "case {case}");
+        assert_eq!(caps[2], usize::MAX, "case {case}");
     }
+}
 
-    /// HashContainer combining is order-independent in its totals.
-    #[test]
-    fn hash_container_totals(
-        keys in proptest::collection::vec(0u32..50, 0..200),
-    ) {
+/// HashContainer combining is order-independent in its totals.
+#[test]
+fn hash_container_totals() {
+    let mut rng = StdRng::seed_from_u64(0xC004);
+    for case in 0..48 {
+        let len = rng.random_range(0..200usize);
+        let keys: Vec<u32> = (0..len).map(|_| rng.random_range(0..50u32)).collect();
         let mut forward: HashContainer<u32, u64> = HashContainer::new();
         for &k in &keys {
             forward.emit(k, 1);
@@ -107,17 +135,19 @@ proptest! {
             backward.emit(k, 1);
         }
         let total = |c: &HashContainer<u32, u64>| -> u64 { c.iter().map(|(_, &v)| v).sum() };
-        prop_assert_eq!(total(&forward), keys.len() as u64);
-        prop_assert_eq!(total(&forward), total(&backward));
-        prop_assert_eq!(forward.len(), backward.len());
+        assert_eq!(total(&forward), keys.len() as u64, "case {case}");
+        assert_eq!(total(&forward), total(&backward), "case {case}");
+        assert_eq!(forward.len(), backward.len(), "case {case}");
     }
+}
 
-    /// ArrayContainer merge equals elementwise sum.
-    #[test]
-    fn array_container_merge_is_sum(
-        a in proptest::collection::vec(0u64..100, 8),
-        b in proptest::collection::vec(0u64..100, 8),
-    ) {
+/// ArrayContainer merge equals elementwise sum.
+#[test]
+fn array_container_merge_is_sum() {
+    let mut rng = StdRng::seed_from_u64(0xC005);
+    for case in 0..48 {
+        let a: Vec<u64> = (0..8).map(|_| rng.random_range(0..100u64)).collect();
+        let b: Vec<u64> = (0..8).map(|_| rng.random_range(0..100u64)).collect();
         let mut ca: ArrayContainer<u64> = ArrayContainer::new(8);
         let mut cb: ArrayContainer<u64> = ArrayContainer::new(8);
         for i in 0..8 {
@@ -126,39 +156,42 @@ proptest! {
         }
         ca.merge(cb);
         for i in 0..8 {
-            prop_assert_eq!(ca.slots()[i], a[i] + b[i]);
+            assert_eq!(ca.slots()[i], a[i] + b[i], "case {case}");
         }
     }
+}
 
-    /// The executor is a pure function of its inputs.
-    #[test]
-    fn executor_determinism(
-        cycles in proptest::collection::vec(100.0f64..10_000.0, 1..24),
-        cores in 2usize..8,
-    ) {
+/// The executor is a pure function of its inputs.
+#[test]
+fn executor_determinism() {
+    let mut rng = StdRng::seed_from_u64(0xC006);
+    for case in 0..16 {
+        let cycles = cycles_vec(&mut rng, 100.0, 10_000.0, 1, 24);
+        let cores = rng.random_range(2..8usize);
         let w = workload_from(&cycles, cores);
         let a = Executor::new(RuntimeConfig::nvfi(cores)).run(&w);
         let b = Executor::new(RuntimeConfig::nvfi(cores)).run(&w);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
     }
+}
 
-    /// Traffic matrices from executions have an empty diagonal and finite
-    /// nonnegative rates.
-    #[test]
-    fn execution_traffic_is_well_formed(
-        cycles in proptest::collection::vec(1_000.0f64..20_000.0, 4..24),
-    ) {
+/// Traffic matrices from executions have an empty diagonal and finite
+/// nonnegative rates.
+#[test]
+fn execution_traffic_is_well_formed() {
+    let mut rng = StdRng::seed_from_u64(0xC007);
+    for case in 0..24 {
+        let cycles = cycles_vec(&mut rng, 1_000.0, 20_000.0, 4, 24);
         let w = workload_from(&cycles, 6);
         let report = Executor::new(RuntimeConfig::nvfi(6)).run(&w);
         for s in 0..6 {
             for d in 0..6 {
-                let r = report.traffic.rate(
-                    mapwave_noc::NodeId(s),
-                    mapwave_noc::NodeId(d),
-                );
-                prop_assert!(r.is_finite() && r >= 0.0);
+                let r = report
+                    .traffic
+                    .rate(mapwave_noc::NodeId(s), mapwave_noc::NodeId(d));
+                assert!(r.is_finite() && r >= 0.0, "case {case}");
                 if s == d {
-                    prop_assert_eq!(r, 0.0);
+                    assert_eq!(r, 0.0, "case {case}");
                 }
             }
         }

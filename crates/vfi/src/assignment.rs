@@ -14,6 +14,7 @@
 
 use crate::clustering::Clustering;
 use crate::vf::{VfPair, VfTable};
+use mapwave_harness::hash::{StableHash, StableHasher};
 use std::fmt;
 
 /// A V/F level per cluster.
@@ -106,6 +107,14 @@ pub struct BottleneckParams {
     pub max_fraction: f64,
 }
 
+impl StableHash for BottleneckParams {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.ratio_threshold.stable_hash(h);
+        self.homogeneity_cv.stable_hash(h);
+        self.max_fraction.stable_hash(h);
+    }
+}
+
 impl Default for BottleneckParams {
     fn default() -> Self {
         BottleneckParams {
@@ -168,11 +177,8 @@ pub fn detect_bottlenecks(utilization: &[f64], params: &BottleneckParams) -> Bot
         .map(|i| utilization[i])
         .collect();
     let rest_mean = rest.iter().sum::<f64>() / rest.len().max(1) as f64;
-    let rest_var = rest
-        .iter()
-        .map(|&u| (u - rest_mean).powi(2))
-        .sum::<f64>()
-        / rest.len().max(1) as f64;
+    let rest_var =
+        rest.iter().map(|&u| (u - rest_mean).powi(2)).sum::<f64>() / rest.len().max(1) as f64;
     let cv = if rest_mean > 0.0 {
         rest_var.sqrt() / rest_mean
     } else {
@@ -220,8 +226,7 @@ pub fn assign_initial(
     let per_cluster = (0..clustering.cluster_count())
         .map(|j| {
             let members = clustering.members(j);
-            let mean =
-                members.iter().map(|&i| utilization[i]).sum::<f64>() / members.len() as f64;
+            let mean = members.iter().map(|&i| utilization[i]).sum::<f64>() / members.len() as f64;
             table.level_for_utilization(mean, headroom)
         })
         .collect();
@@ -276,9 +281,7 @@ mod tests {
     #[test]
     fn heterogeneous_profile_needs_no_reassignment() {
         // Kmeans-like: half the cores much cooler than the rest.
-        let u: Vec<f64> = (0..16)
-            .map(|i| if i < 8 { 0.9 } else { 0.2 })
-            .collect();
+        let u: Vec<f64> = (0..16).map(|i| if i < 8 { 0.9 } else { 0.2 }).collect();
         let a = detect_bottlenecks(&u, &BottleneckParams::default());
         assert!(!a.needs_reassignment());
     }

@@ -162,10 +162,7 @@ impl Clustering {
                 usize::from(c >= cols / 2) + 2 * usize::from(r >= rows / 2)
             })
             .collect();
-        Clustering {
-            assignment,
-            m: 4,
-        }
+        Clustering { assignment, m: 4 }
     }
 
     /// Number of cores.
@@ -473,7 +470,8 @@ impl ClusteringProblem {
             // Symmetry breaking: cluster labels matter only through targets,
             // but identical targets make labels interchangeable; restrict the
             // first core entering an empty cluster to the lowest empty label.
-            if counts[j] == 0 && (0..j).any(|q| counts[q] == 0 && self.targets[q] == self.targets[j])
+            if counts[j] == 0
+                && (0..j).any(|q| counts[q] == 0 && self.targets[q] == self.targets[j])
             {
                 continue;
             }
@@ -758,7 +756,9 @@ mod tests {
         // Deterministic pseudo-random instances via a simple LCG.
         let mut state = 12345u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64 / 2.0)
         };
         for trial in 0..8 {
@@ -766,11 +766,7 @@ mod tests {
             let m = if trial % 2 == 0 { 2 } else { 4 };
             let u: Vec<f64> = (0..n).map(|_| next().min(1.0)).collect();
             let f: Vec<Vec<f64>> = (0..n)
-                .map(|i| {
-                    (0..n)
-                        .map(|p| if i == p { 0.0 } else { next() })
-                        .collect()
-                })
+                .map(|i| (0..n).map(|p| if i == p { 0.0 } else { next() }).collect())
                 .collect();
             let prob = ClusteringProblem::new(u, f, m).unwrap();
             let exact = prob.solve_exact();

@@ -5,6 +5,7 @@
 //! Every VFI cluster is assigned one of these pairs; the non-VFI baseline
 //! runs every core at the maximum level.
 
+use mapwave_harness::hash::{StableHash, StableHasher};
 use std::fmt;
 
 /// One voltage/frequency operating point.
@@ -41,7 +42,10 @@ impl VfPair {
             freq_ghz > 0.0 && freq_ghz.is_finite(),
             "frequency must be positive"
         );
-        VfPair { voltage_v, freq_ghz }
+        VfPair {
+            voltage_v,
+            freq_ghz,
+        }
     }
 
     /// Relative speed of this point versus a reference frequency
@@ -168,9 +172,21 @@ impl VfTable {
     /// Index of the level equal to `pair`, if present.
     pub fn index_of(&self, pair: VfPair) -> Option<usize> {
         self.levels.iter().position(|&l| {
-            (l.freq_ghz - pair.freq_ghz).abs() < 1e-9
-                && (l.voltage_v - pair.voltage_v).abs() < 1e-9
+            (l.freq_ghz - pair.freq_ghz).abs() < 1e-9 && (l.voltage_v - pair.voltage_v).abs() < 1e-9
         })
+    }
+}
+
+impl StableHash for VfPair {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.voltage_v.stable_hash(h);
+        self.freq_ghz.stable_hash(h);
+    }
+}
+
+impl StableHash for VfTable {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.levels.stable_hash(h);
     }
 }
 

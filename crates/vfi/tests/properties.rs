@@ -1,16 +1,14 @@
-//! Property-based tests of the VFI optimisation and power invariants.
+//! Property tests of the VFI optimisation and power invariants, driven by
+//! deterministic seeded sweeps (in-tree PRNG; no external dependencies).
 
+use mapwave_harness::rng::{RngExt, SeedableRng, StdRng};
 use mapwave_vfi::clustering::ClusteringProblem;
 use mapwave_vfi::prelude::*;
-use proptest::prelude::*;
 
-fn instance(
-    n: usize,
-    u_seed: &[f64],
-    f_seed: &[f64],
-    m: usize,
-) -> ClusteringProblem {
-    let u: Vec<f64> = (0..n).map(|i| u_seed[i % u_seed.len()].abs() % 1.0).collect();
+fn instance(n: usize, u_seed: &[f64], f_seed: &[f64], m: usize) -> ClusteringProblem {
+    let u: Vec<f64> = (0..n)
+        .map(|i| u_seed[i % u_seed.len()].abs() % 1.0)
+        .collect();
     let f: Vec<Vec<f64>> = (0..n)
         .map(|i| {
             (0..n)
@@ -27,107 +25,123 @@ fn instance(
     ClusteringProblem::new(u, f, m).expect("valid instance")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+fn unit_vec(rng: &mut StdRng, len: usize) -> Vec<f64> {
+    (0..len).map(|_| rng.random::<f64>()).collect()
+}
 
-    /// The heuristic always returns a balanced partition and never beats
-    /// the exact optimum (which would indicate an evaluation bug).
-    #[test]
-    fn heuristic_is_balanced_and_bounded_by_exact(
-        u_seed in proptest::collection::vec(0.0f64..1.0, 8),
-        f_seed in proptest::collection::vec(0.0f64..1.0, 16),
-    ) {
+/// The heuristic always returns a balanced partition and never beats
+/// the exact optimum (which would indicate an evaluation bug).
+#[test]
+fn heuristic_is_balanced_and_bounded_by_exact() {
+    let mut rng = StdRng::seed_from_u64(0xB001);
+    for case in 0..32 {
+        let u_seed = unit_vec(&mut rng, 8);
+        let f_seed = unit_vec(&mut rng, 16);
         let prob = instance(8, &u_seed, &f_seed, 2);
         let heur = prob.solve();
-        prop_assert_eq!(heur.cluster_count(), 2);
-        prop_assert_eq!(heur.members(0).len(), 4);
-        prop_assert_eq!(heur.members(1).len(), 4);
+        assert_eq!(heur.cluster_count(), 2, "case {case}");
+        assert_eq!(heur.members(0).len(), 4, "case {case}");
+        assert_eq!(heur.members(1).len(), 4, "case {case}");
         let exact = prob.solve_exact();
         let ce = prob.evaluate(exact.as_slice());
         let ch = prob.evaluate(heur.as_slice());
-        prop_assert!(ce <= ch + 1e-9, "exact {ce} beaten by heuristic {ch}");
+        assert!(
+            ce <= ch + 1e-9,
+            "exact {ce} beaten by heuristic {ch}, case {case}"
+        );
         // And the heuristic is within 5% of optimal on these tiny instances.
-        prop_assert!(ch <= ce * 1.05 + 1e-9, "heuristic {ch} too far from {ce}");
+        assert!(
+            ch <= ce * 1.05 + 1e-9,
+            "heuristic {ch} too far from {ce}, case {case}"
+        );
     }
+}
 
-    /// The objective respects its analytic lower bound: all traffic at the
-    /// intra-cluster discount plus the per-core best-target utilization.
-    #[test]
-    fn objective_respects_lower_bound(
-        u_seed in proptest::collection::vec(0.0f64..1.0, 8),
-        f_seed in proptest::collection::vec(0.0f64..1.0, 16),
-    ) {
+/// The objective is nonnegative and finite for arbitrary instances.
+#[test]
+fn objective_respects_lower_bound() {
+    let mut rng = StdRng::seed_from_u64(0xB002);
+    for case in 0..32 {
+        let u_seed = unit_vec(&mut rng, 8);
+        let f_seed = unit_vec(&mut rng, 16);
         let prob = instance(8, &u_seed, &f_seed, 4);
         let c = prob.solve();
         let cost = prob.evaluate(c.as_slice());
-        // Communication can never be cheaper than everything intra-cluster.
-        let all_intra: Vec<usize> = (0..8).map(|i| i / 2).collect();
-        let comm_floor = prob.comm_cost(&all_intra) * 0.0_f64.max(0.0);
-        let _ = comm_floor;
-        prop_assert!(cost >= 0.0);
-        prop_assert!(cost.is_finite());
+        assert!(cost >= 0.0, "case {case}");
+        assert!(cost.is_finite(), "case {case}");
     }
+}
 
-    /// V/F level selection is monotone in utilization and clamped to the
-    /// table range.
-    #[test]
-    fn level_selection_is_monotone(
-        u1 in 0.0f64..1.2,
-        u2 in 0.0f64..1.2,
-        headroom in 0.3f64..1.0,
-    ) {
-        let table = VfTable::paper_levels();
+/// V/F level selection is monotone in utilization and clamped to the
+/// table range.
+#[test]
+fn level_selection_is_monotone() {
+    let mut rng = StdRng::seed_from_u64(0xB003);
+    let table = VfTable::paper_levels();
+    for case in 0..64 {
+        let u1 = 1.2 * rng.random::<f64>();
+        let u2 = 1.2 * rng.random::<f64>();
+        let headroom = 0.3 + 0.7 * rng.random::<f64>();
         let (lo, hi) = if u1 <= u2 { (u1, u2) } else { (u2, u1) };
         let f_lo = table.level_for_utilization(lo, headroom).freq_ghz;
         let f_hi = table.level_for_utilization(hi, headroom).freq_ghz;
-        prop_assert!(f_lo <= f_hi);
-        prop_assert!(f_lo >= table.min().freq_ghz);
-        prop_assert!(f_hi <= table.max().freq_ghz);
+        assert!(f_lo <= f_hi, "case {case}");
+        assert!(f_lo >= table.min().freq_ghz, "case {case}");
+        assert!(f_hi <= table.max().freq_ghz, "case {case}");
     }
+}
 
-    /// Core power is monotone in utilization and in the operating point.
-    #[test]
-    fn power_monotonicity(
-        u in 0.0f64..1.0,
-        du in 0.0f64..0.5,
-    ) {
-        let m = CorePowerModel::default_x86();
-        let table = VfTable::paper_levels();
+/// Core power is monotone in utilization and in the operating point.
+#[test]
+fn power_monotonicity() {
+    let mut rng = StdRng::seed_from_u64(0xB004);
+    let m = CorePowerModel::default_x86();
+    let table = VfTable::paper_levels();
+    for case in 0..64 {
+        let u = rng.random::<f64>();
+        let du = 0.5 * rng.random::<f64>();
         let u2 = (u + du).min(1.0);
         for &vf in table.levels() {
-            prop_assert!(m.power_w(u2, vf) >= m.power_w(u, vf) - 1e-12);
+            assert!(m.power_w(u2, vf) >= m.power_w(u, vf) - 1e-12, "case {case}");
         }
         // Monotone across levels at fixed utilization.
         let levels = table.levels();
         for w in levels.windows(2) {
-            prop_assert!(m.power_w(u, w[1]) >= m.power_w(u, w[0]));
+            assert!(m.power_w(u, w[1]) >= m.power_w(u, w[0]), "case {case}");
         }
     }
+}
 
-    /// Bottleneck detection never flags more than the configured fraction
-    /// (plus the single-core floor) and its statistics stay in range.
-    #[test]
-    fn bottleneck_detection_bounds(
-        u in proptest::collection::vec(0.0f64..1.0, 16),
-    ) {
+/// Bottleneck detection never flags more than the configured fraction
+/// (plus the single-core floor) and its statistics stay in range.
+#[test]
+fn bottleneck_detection_bounds() {
+    let mut rng = StdRng::seed_from_u64(0xB005);
+    for case in 0..48 {
+        let u = unit_vec(&mut rng, 16);
         let params = BottleneckParams::default();
         let a = detect_bottlenecks(&u, &params);
         let cap = ((params.max_fraction * 16.0) as usize).max(1);
-        prop_assert!(a.bottleneck_cores.len() <= cap);
-        prop_assert!(a.mean_utilization >= 0.0 && a.mean_utilization <= 1.0);
-        prop_assert!(a.rest_cv >= 0.0);
+        assert!(a.bottleneck_cores.len() <= cap, "case {case}");
+        assert!(
+            a.mean_utilization >= 0.0 && a.mean_utilization <= 1.0,
+            "case {case}"
+        );
+        assert!(a.rest_cv >= 0.0, "case {case}");
         if a.needs_reassignment() {
-            prop_assert!(!a.bottleneck_cores.is_empty());
+            assert!(!a.bottleneck_cores.is_empty(), "case {case}");
         }
     }
+}
 
-    /// Reassignment only ever raises levels, and only for clusters hosting
-    /// bottleneck cores.
-    #[test]
-    fn reassignment_is_a_monotone_step(
-        u in proptest::collection::vec(0.0f64..1.0, 16),
-    ) {
-        let table = VfTable::paper_levels();
+/// Reassignment only ever raises levels, and only for clusters hosting
+/// bottleneck cores.
+#[test]
+fn reassignment_is_a_monotone_step() {
+    let mut rng = StdRng::seed_from_u64(0xB006);
+    let table = VfTable::paper_levels();
+    for case in 0..48 {
+        let u = unit_vec(&mut rng, 16);
         let clustering = Clustering::new((0..16).map(|i| i / 4).collect(), 4).unwrap();
         let vfi1 = assign_initial(&clustering, &u, &table, 0.8);
         let analysis = detect_bottlenecks(&u, &BottleneckParams::default());
@@ -140,9 +154,12 @@ proptest! {
         for j in 0..4 {
             let f1 = vfi1.vf_of(j).freq_ghz;
             let f2 = vfi2.vf_of(j).freq_ghz;
-            prop_assert!(f2 >= f1 - 1e-12);
+            assert!(f2 >= f1 - 1e-12, "case {case}");
             if !analysis.needs_reassignment() || !hot.contains(&j) {
-                prop_assert!((f2 - f1).abs() < 1e-12, "untouched cluster changed");
+                assert!(
+                    (f2 - f1).abs() < 1e-12,
+                    "untouched cluster changed, case {case}"
+                );
             }
         }
     }

@@ -14,7 +14,9 @@ use mapwave::prelude::*;
 use mapwave_phoenix::apps::App;
 
 fn parse_app(name: &str) -> Option<App> {
-    App::ALL.into_iter().find(|a| a.name().eq_ignore_ascii_case(name))
+    App::ALL
+        .into_iter()
+        .find(|a| a.name().eq_ignore_ascii_case(name))
 }
 
 fn main() -> Result<(), String> {

@@ -23,16 +23,33 @@ fn main() {
         .build()
         .unwrap();
     let wis: Vec<WirelessInterface> = [
-        (9usize, 0usize), (18, 1), (27, 2), (13, 0), (22, 1), (30, 2),
-        (41, 0), (50, 1), (33, 2), (45, 0), (54, 1), (37, 2),
+        (9usize, 0usize),
+        (18, 1),
+        (27, 2),
+        (13, 0),
+        (22, 1),
+        (30, 2),
+        (41, 0),
+        (50, 1),
+        (33, 2),
+        (45, 0),
+        (54, 1),
+        (37, 2),
     ]
     .iter()
-    .map(|&(n, c)| WirelessInterface { node: NodeId(n), channel: ChannelId(c) })
+    .map(|&(n, c)| WirelessInterface {
+        node: NodeId(n),
+        channel: ChannelId(c),
+    })
     .collect();
     let overlay = WirelessOverlay::new(wis, 3).unwrap();
     let wtable = RoutingTable::up_down_weighted(&topo, &overlay, 1).unwrap();
 
-    let adaptive_cfg = SimConfig { vcs: 2, adaptive: true, ..SimConfig::default() };
+    let adaptive_cfg = SimConfig {
+        vcs: 2,
+        adaptive: true,
+        ..SimConfig::default()
+    };
 
     println!(
         "{:>8} {:>12} {:>12} {:>14}",

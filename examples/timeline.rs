@@ -18,7 +18,11 @@ use mapwave_phoenix::runtime::{Executor, RuntimeConfig};
 fn main() -> Result<(), String> {
     let app = std::env::args()
         .nth(1)
-        .and_then(|s| App::ALL.into_iter().find(|a| a.name().eq_ignore_ascii_case(&s)))
+        .and_then(|s| {
+            App::ALL
+                .into_iter()
+                .find(|a| a.name().eq_ignore_ascii_case(&s))
+        })
         .unwrap_or(App::WordCount);
     let scale: f64 = std::env::args()
         .nth(2)
@@ -31,7 +35,10 @@ fn main() -> Result<(), String> {
     let design = flow.design(app);
     let table = &cfg.vf_table;
 
-    println!("== {app} at scale {scale}: NVFI (all cores {}): ==", table.max());
+    println!(
+        "== {app} at scale {scale}: NVFI (all cores {}): ==",
+        table.max()
+    );
     println!("legend: L lib-init | M map | R reduce | G merge | lower-case = stolen task\n");
     let nvfi = Executor::new(RuntimeConfig::nvfi(cfg.cores()));
     let (report, timeline) = nvfi.run_traced(&design.workload);

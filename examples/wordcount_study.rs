@@ -24,7 +24,10 @@ fn main() {
         .unwrap_or(0.05);
     let cores = 64;
 
-    println!("== Word Count at scale {scale}: {} map tasks ==\n", word_count::MAP_TASKS);
+    println!(
+        "== Word Count at scale {scale}: {} map tasks ==\n",
+        word_count::MAP_TASKS
+    );
     let run = word_count::run(scale, 0xDAC_2015, cores);
     println!(
         "corpus: {} words, {} distinct; top word #{} x{}",
@@ -38,10 +41,7 @@ fn main() {
     let durations = |speed: f64| -> (f64, f64, f64) {
         let tasks = &run.workload.iterations[0].map_tasks;
         let ref_ghz = 2.5e9;
-        let times: Vec<f64> = tasks
-            .iter()
-            .map(|t| (t.cycles / speed) / ref_ghz)
-            .collect();
+        let times: Vec<f64> = tasks.iter().map(|t| (t.cycles / speed) / ref_ghz).collect();
         let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = times.iter().cloned().fold(0.0, f64::max);
         let avg = times.iter().sum::<f64>() / times.len() as f64;
@@ -50,18 +50,39 @@ fn main() {
     let (min1, max1, avg1) = durations(1.0);
     let (min2, max2, avg2) = durations(0.8);
     println!("\ninitial map-task durations (compute only):");
-    println!("  cores at f1=2.5GHz: {:.3}ms to {:.3}ms (average {:.3}ms)", min1 * 1e3, max1 * 1e3, avg1 * 1e3);
-    println!("  cores at f2=2.0GHz: {:.3}ms to {:.3}ms (average {:.3}ms)", min2 * 1e3, max2 * 1e3, avg2 * 1e3);
+    println!(
+        "  cores at f1=2.5GHz: {:.3}ms to {:.3}ms (average {:.3}ms)",
+        min1 * 1e3,
+        max1 * 1e3,
+        avg1 * 1e3
+    );
+    println!(
+        "  cores at f2=2.0GHz: {:.3}ms to {:.3}ms (average {:.3}ms)",
+        min2 * 1e3,
+        max2 * 1e3,
+        avg2 * 1e3
+    );
     println!(
         "  ranges overlap: {}",
-        if max1 > min2 { "yes — slow cores can finish before fast ones" } else { "no" }
+        if max1 > min2 {
+            "yes — slow cores can finish before fast ones"
+        } else {
+            "no"
+        }
     );
 
     // --- Observation 2: the Eq. (3) caps ---
-    println!("\nEq. (3) caps for N={} tasks, C={cores} cores:", word_count::MAP_TASKS);
+    println!(
+        "\nEq. (3) caps for N={} tasks, C={cores} cores:",
+        word_count::MAP_TASKS
+    );
     for (f, ratio) in [(2.5f64, 1.0f64), (2.25, 0.9), (2.0, 0.8), (1.5, 0.6)] {
         let cap = task_cap(word_count::MAP_TASKS, cores, ratio);
-        let cap_str = if cap == usize::MAX { "unbounded".into() } else { cap.to_string() };
+        let cap_str = if cap == usize::MAX {
+            "unbounded".into()
+        } else {
+            cap.to_string()
+        };
         println!("  f = {f:.2} GHz  ->  N_f = {cap_str}");
     }
 

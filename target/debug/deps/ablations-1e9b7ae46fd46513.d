@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-1e9b7ae46fd46513.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/debug/deps/ablations-1e9b7ae46fd46513: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adaptive_platform-494bdecd7a9fd088.d: tests/adaptive_platform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadaptive_platform-494bdecd7a9fd088.rmeta: tests/adaptive_platform.rs Cargo.toml
+
+tests/adaptive_platform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

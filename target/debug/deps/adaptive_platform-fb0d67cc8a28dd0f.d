@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adaptive_platform-fb0d67cc8a28dd0f.d: tests/adaptive_platform.rs
+
+/root/repo/target/debug/deps/adaptive_platform-fb0d67cc8a28dd0f: tests/adaptive_platform.rs
+
+tests/adaptive_platform.rs:

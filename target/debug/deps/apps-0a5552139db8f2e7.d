@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/apps-0a5552139db8f2e7.d: crates/bench/benches/apps.rs
+
+/root/repo/target/debug/deps/apps-0a5552139db8f2e7: crates/bench/benches/apps.rs
+
+crates/bench/benches/apps.rs:

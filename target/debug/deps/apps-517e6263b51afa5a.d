@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/apps-517e6263b51afa5a.d: crates/bench/benches/apps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libapps-517e6263b51afa5a.rmeta: crates/bench/benches/apps.rs Cargo.toml
+
+crates/bench/benches/apps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/design_flow_integration-97ba55aa8f9212b4.d: tests/design_flow_integration.rs
+
+/root/repo/target/debug/deps/design_flow_integration-97ba55aa8f9212b4: tests/design_flow_integration.rs
+
+tests/design_flow_integration.rs:

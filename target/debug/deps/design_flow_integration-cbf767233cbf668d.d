@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/design_flow_integration-cbf767233cbf668d.d: tests/design_flow_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdesign_flow_integration-cbf767233cbf668d.rmeta: tests/design_flow_integration.rs Cargo.toml
+
+tests/design_flow_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

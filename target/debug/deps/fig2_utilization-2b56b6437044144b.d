@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_utilization-2b56b6437044144b.d: crates/bench/benches/fig2_utilization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_utilization-2b56b6437044144b.rmeta: crates/bench/benches/fig2_utilization.rs Cargo.toml
+
+crates/bench/benches/fig2_utilization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_utilization-e8535e8b2599bd34.d: crates/bench/benches/fig2_utilization.rs
+
+/root/repo/target/debug/deps/fig2_utilization-e8535e8b2599bd34: crates/bench/benches/fig2_utilization.rs
+
+crates/bench/benches/fig2_utilization.rs:

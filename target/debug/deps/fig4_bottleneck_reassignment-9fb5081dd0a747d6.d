@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_bottleneck_reassignment-9fb5081dd0a747d6.d: crates/bench/benches/fig4_bottleneck_reassignment.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_bottleneck_reassignment-9fb5081dd0a747d6.rmeta: crates/bench/benches/fig4_bottleneck_reassignment.rs Cargo.toml
+
+crates/bench/benches/fig4_bottleneck_reassignment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_bottleneck_reassignment-f9b14e3c134de13f.d: crates/bench/benches/fig4_bottleneck_reassignment.rs
+
+/root/repo/target/debug/deps/fig4_bottleneck_reassignment-f9b14e3c134de13f: crates/bench/benches/fig4_bottleneck_reassignment.rs
+
+crates/bench/benches/fig4_bottleneck_reassignment.rs:

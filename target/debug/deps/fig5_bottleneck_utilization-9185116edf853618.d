@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_bottleneck_utilization-9185116edf853618.d: crates/bench/benches/fig5_bottleneck_utilization.rs
+
+/root/repo/target/debug/deps/fig5_bottleneck_utilization-9185116edf853618: crates/bench/benches/fig5_bottleneck_utilization.rs
+
+crates/bench/benches/fig5_bottleneck_utilization.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_bottleneck_utilization-df524c09f58c2dd2.d: crates/bench/benches/fig5_bottleneck_utilization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_bottleneck_utilization-df524c09f58c2dd2.rmeta: crates/bench/benches/fig5_bottleneck_utilization.rs Cargo.toml
+
+crates/bench/benches/fig5_bottleneck_utilization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

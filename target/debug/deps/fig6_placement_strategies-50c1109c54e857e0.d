@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_placement_strategies-50c1109c54e857e0.d: crates/bench/benches/fig6_placement_strategies.rs
+
+/root/repo/target/debug/deps/fig6_placement_strategies-50c1109c54e857e0: crates/bench/benches/fig6_placement_strategies.rs
+
+crates/bench/benches/fig6_placement_strategies.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_placement_strategies-c31c5313d3862262.d: crates/bench/benches/fig6_placement_strategies.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_placement_strategies-c31c5313d3862262.rmeta: crates/bench/benches/fig6_placement_strategies.rs Cargo.toml
+
+crates/bench/benches/fig6_placement_strategies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_execution_time-02de37f77f2d3dbc.d: crates/bench/benches/fig7_execution_time.rs
+
+/root/repo/target/debug/deps/fig7_execution_time-02de37f77f2d3dbc: crates/bench/benches/fig7_execution_time.rs
+
+crates/bench/benches/fig7_execution_time.rs:

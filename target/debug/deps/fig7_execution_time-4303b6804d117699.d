@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_execution_time-4303b6804d117699.d: crates/bench/benches/fig7_execution_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_execution_time-4303b6804d117699.rmeta: crates/bench/benches/fig7_execution_time.rs Cargo.toml
+
+crates/bench/benches/fig7_execution_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

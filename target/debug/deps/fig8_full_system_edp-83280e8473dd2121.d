@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_full_system_edp-83280e8473dd2121.d: crates/bench/benches/fig8_full_system_edp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_full_system_edp-83280e8473dd2121.rmeta: crates/bench/benches/fig8_full_system_edp.rs Cargo.toml
+
+crates/bench/benches/fig8_full_system_edp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

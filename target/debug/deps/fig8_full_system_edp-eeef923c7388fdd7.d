@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_full_system_edp-eeef923c7388fdd7.d: crates/bench/benches/fig8_full_system_edp.rs
+
+/root/repo/target/debug/deps/fig8_full_system_edp-eeef923c7388fdd7: crates/bench/benches/fig8_full_system_edp.rs
+
+crates/bench/benches/fig8_full_system_edp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/harness_integration-87fd3cf6fdecb421.d: tests/harness_integration.rs
+
+/root/repo/target/debug/deps/harness_integration-87fd3cf6fdecb421: tests/harness_integration.rs
+
+tests/harness_integration.rs:

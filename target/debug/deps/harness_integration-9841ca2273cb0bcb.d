@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/harness_integration-9841ca2273cb0bcb.d: tests/harness_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libharness_integration-9841ca2273cb0bcb.rmeta: tests/harness_integration.rs Cargo.toml
+
+tests/harness_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

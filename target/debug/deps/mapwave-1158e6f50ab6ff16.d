@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/mapwave-1158e6f50ab6ff16.d: crates/core/src/lib.rs crates/core/src/ablations.rs crates/core/src/config.rs crates/core/src/design_flow.rs crates/core/src/experiments.rs crates/core/src/orchestrator.rs crates/core/src/placement.rs crates/core/src/report.rs crates/core/src/system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmapwave-1158e6f50ab6ff16.rmeta: crates/core/src/lib.rs crates/core/src/ablations.rs crates/core/src/config.rs crates/core/src/design_flow.rs crates/core/src/experiments.rs crates/core/src/orchestrator.rs crates/core/src/placement.rs crates/core/src/report.rs crates/core/src/system.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/ablations.rs:
+crates/core/src/config.rs:
+crates/core/src/design_flow.rs:
+crates/core/src/experiments.rs:
+crates/core/src/orchestrator.rs:
+crates/core/src/placement.rs:
+crates/core/src/report.rs:
+crates/core/src/system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mapwave-7c8fd140bb9dab6e.d: crates/core/src/bin/mapwave.rs
+
+/root/repo/target/debug/deps/mapwave-7c8fd140bb9dab6e: crates/core/src/bin/mapwave.rs
+
+crates/core/src/bin/mapwave.rs:

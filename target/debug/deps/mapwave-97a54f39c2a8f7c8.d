@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mapwave-97a54f39c2a8f7c8.d: crates/core/src/bin/mapwave.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmapwave-97a54f39c2a8f7c8.rmeta: crates/core/src/bin/mapwave.rs Cargo.toml
+
+crates/core/src/bin/mapwave.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

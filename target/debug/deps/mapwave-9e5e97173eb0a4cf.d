@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mapwave-9e5e97173eb0a4cf.d: crates/core/src/bin/mapwave.rs
+
+/root/repo/target/debug/deps/mapwave-9e5e97173eb0a4cf: crates/core/src/bin/mapwave.rs
+
+crates/core/src/bin/mapwave.rs:

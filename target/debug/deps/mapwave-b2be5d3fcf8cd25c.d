@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mapwave-b2be5d3fcf8cd25c.d: crates/core/src/lib.rs crates/core/src/ablations.rs crates/core/src/config.rs crates/core/src/design_flow.rs crates/core/src/experiments.rs crates/core/src/orchestrator.rs crates/core/src/placement.rs crates/core/src/report.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/mapwave-b2be5d3fcf8cd25c: crates/core/src/lib.rs crates/core/src/ablations.rs crates/core/src/config.rs crates/core/src/design_flow.rs crates/core/src/experiments.rs crates/core/src/orchestrator.rs crates/core/src/placement.rs crates/core/src/report.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ablations.rs:
+crates/core/src/config.rs:
+crates/core/src/design_flow.rs:
+crates/core/src/experiments.rs:
+crates/core/src/orchestrator.rs:
+crates/core/src/placement.rs:
+crates/core/src/report.rs:
+crates/core/src/system.rs:

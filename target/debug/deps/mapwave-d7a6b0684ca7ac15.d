@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mapwave-d7a6b0684ca7ac15.d: crates/core/src/bin/mapwave.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmapwave-d7a6b0684ca7ac15.rmeta: crates/core/src/bin/mapwave.rs Cargo.toml
+
+crates/core/src/bin/mapwave.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

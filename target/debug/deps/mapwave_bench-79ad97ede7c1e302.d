@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mapwave_bench-79ad97ede7c1e302.d: crates/bench/src/lib.rs crates/bench/src/micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmapwave_bench-79ad97ede7c1e302.rmeta: crates/bench/src/lib.rs crates/bench/src/micro.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mapwave_bench-b8e0d7452c061a78.d: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+/root/repo/target/debug/deps/libmapwave_bench-b8e0d7452c061a78.rlib: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+/root/repo/target/debug/deps/libmapwave_bench-b8e0d7452c061a78.rmeta: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/micro.rs:

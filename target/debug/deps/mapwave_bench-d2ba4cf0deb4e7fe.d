@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/mapwave_bench-d2ba4cf0deb4e7fe.d: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+/root/repo/target/debug/deps/mapwave_bench-d2ba4cf0deb4e7fe: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/micro.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mapwave_harness-4288f63f818be734.d: crates/harness/src/lib.rs crates/harness/src/cache.rs crates/harness/src/hash.rs crates/harness/src/jobs.rs crates/harness/src/rng.rs crates/harness/src/telemetry.rs
+
+/root/repo/target/debug/deps/libmapwave_harness-4288f63f818be734.rlib: crates/harness/src/lib.rs crates/harness/src/cache.rs crates/harness/src/hash.rs crates/harness/src/jobs.rs crates/harness/src/rng.rs crates/harness/src/telemetry.rs
+
+/root/repo/target/debug/deps/libmapwave_harness-4288f63f818be734.rmeta: crates/harness/src/lib.rs crates/harness/src/cache.rs crates/harness/src/hash.rs crates/harness/src/jobs.rs crates/harness/src/rng.rs crates/harness/src/telemetry.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/cache.rs:
+crates/harness/src/hash.rs:
+crates/harness/src/jobs.rs:
+crates/harness/src/rng.rs:
+crates/harness/src/telemetry.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mapwave_harness-6784dff92d5ee42a.d: crates/harness/src/lib.rs crates/harness/src/cache.rs crates/harness/src/hash.rs crates/harness/src/jobs.rs crates/harness/src/rng.rs crates/harness/src/telemetry.rs
+
+/root/repo/target/debug/deps/mapwave_harness-6784dff92d5ee42a: crates/harness/src/lib.rs crates/harness/src/cache.rs crates/harness/src/hash.rs crates/harness/src/jobs.rs crates/harness/src/rng.rs crates/harness/src/telemetry.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/cache.rs:
+crates/harness/src/hash.rs:
+crates/harness/src/jobs.rs:
+crates/harness/src/rng.rs:
+crates/harness/src/telemetry.rs:

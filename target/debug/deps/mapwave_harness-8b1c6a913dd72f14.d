@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mapwave_harness-8b1c6a913dd72f14.d: crates/harness/src/lib.rs crates/harness/src/cache.rs crates/harness/src/hash.rs crates/harness/src/jobs.rs crates/harness/src/rng.rs crates/harness/src/telemetry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmapwave_harness-8b1c6a913dd72f14.rmeta: crates/harness/src/lib.rs crates/harness/src/cache.rs crates/harness/src/hash.rs crates/harness/src/jobs.rs crates/harness/src/rng.rs crates/harness/src/telemetry.rs Cargo.toml
+
+crates/harness/src/lib.rs:
+crates/harness/src/cache.rs:
+crates/harness/src/hash.rs:
+crates/harness/src/jobs.rs:
+crates/harness/src/rng.rs:
+crates/harness/src/telemetry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mapwave_manycore-a6efcd47a0ead136.d: crates/manycore/src/lib.rs crates/manycore/src/cache.rs crates/manycore/src/clock.rs crates/manycore/src/event.rs crates/manycore/src/mapping.rs crates/manycore/src/memory.rs crates/manycore/src/platform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmapwave_manycore-a6efcd47a0ead136.rmeta: crates/manycore/src/lib.rs crates/manycore/src/cache.rs crates/manycore/src/clock.rs crates/manycore/src/event.rs crates/manycore/src/mapping.rs crates/manycore/src/memory.rs crates/manycore/src/platform.rs Cargo.toml
+
+crates/manycore/src/lib.rs:
+crates/manycore/src/cache.rs:
+crates/manycore/src/clock.rs:
+crates/manycore/src/event.rs:
+crates/manycore/src/mapping.rs:
+crates/manycore/src/memory.rs:
+crates/manycore/src/platform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mapwave_manycore-cf739a2dbea3b2ee.d: crates/manycore/src/lib.rs crates/manycore/src/cache.rs crates/manycore/src/clock.rs crates/manycore/src/event.rs crates/manycore/src/mapping.rs crates/manycore/src/memory.rs crates/manycore/src/platform.rs
+
+/root/repo/target/debug/deps/mapwave_manycore-cf739a2dbea3b2ee: crates/manycore/src/lib.rs crates/manycore/src/cache.rs crates/manycore/src/clock.rs crates/manycore/src/event.rs crates/manycore/src/mapping.rs crates/manycore/src/memory.rs crates/manycore/src/platform.rs
+
+crates/manycore/src/lib.rs:
+crates/manycore/src/cache.rs:
+crates/manycore/src/clock.rs:
+crates/manycore/src/event.rs:
+crates/manycore/src/mapping.rs:
+crates/manycore/src/memory.rs:
+crates/manycore/src/platform.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mapwave_manycore-e1132cf6f6847612.d: crates/manycore/src/lib.rs crates/manycore/src/cache.rs crates/manycore/src/clock.rs crates/manycore/src/event.rs crates/manycore/src/mapping.rs crates/manycore/src/memory.rs crates/manycore/src/platform.rs
+
+/root/repo/target/debug/deps/libmapwave_manycore-e1132cf6f6847612.rlib: crates/manycore/src/lib.rs crates/manycore/src/cache.rs crates/manycore/src/clock.rs crates/manycore/src/event.rs crates/manycore/src/mapping.rs crates/manycore/src/memory.rs crates/manycore/src/platform.rs
+
+/root/repo/target/debug/deps/libmapwave_manycore-e1132cf6f6847612.rmeta: crates/manycore/src/lib.rs crates/manycore/src/cache.rs crates/manycore/src/clock.rs crates/manycore/src/event.rs crates/manycore/src/mapping.rs crates/manycore/src/memory.rs crates/manycore/src/platform.rs
+
+crates/manycore/src/lib.rs:
+crates/manycore/src/cache.rs:
+crates/manycore/src/clock.rs:
+crates/manycore/src/event.rs:
+crates/manycore/src/mapping.rs:
+crates/manycore/src/memory.rs:
+crates/manycore/src/platform.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/mapwave_noc-5a225e4cf521957a.d: crates/noc/src/lib.rs crates/noc/src/energy.rs crates/noc/src/flit.rs crates/noc/src/mac.rs crates/noc/src/node.rs crates/noc/src/routing.rs crates/noc/src/sim.rs crates/noc/src/stats.rs crates/noc/src/switch.rs crates/noc/src/topology/mod.rs crates/noc/src/topology/dot.rs crates/noc/src/topology/mesh.rs crates/noc/src/topology/metrics.rs crates/noc/src/topology/small_world.rs crates/noc/src/topology/wireless.rs crates/noc/src/traffic.rs
+
+/root/repo/target/debug/deps/mapwave_noc-5a225e4cf521957a: crates/noc/src/lib.rs crates/noc/src/energy.rs crates/noc/src/flit.rs crates/noc/src/mac.rs crates/noc/src/node.rs crates/noc/src/routing.rs crates/noc/src/sim.rs crates/noc/src/stats.rs crates/noc/src/switch.rs crates/noc/src/topology/mod.rs crates/noc/src/topology/dot.rs crates/noc/src/topology/mesh.rs crates/noc/src/topology/metrics.rs crates/noc/src/topology/small_world.rs crates/noc/src/topology/wireless.rs crates/noc/src/traffic.rs
+
+crates/noc/src/lib.rs:
+crates/noc/src/energy.rs:
+crates/noc/src/flit.rs:
+crates/noc/src/mac.rs:
+crates/noc/src/node.rs:
+crates/noc/src/routing.rs:
+crates/noc/src/sim.rs:
+crates/noc/src/stats.rs:
+crates/noc/src/switch.rs:
+crates/noc/src/topology/mod.rs:
+crates/noc/src/topology/dot.rs:
+crates/noc/src/topology/mesh.rs:
+crates/noc/src/topology/metrics.rs:
+crates/noc/src/topology/small_world.rs:
+crates/noc/src/topology/wireless.rs:
+crates/noc/src/traffic.rs:

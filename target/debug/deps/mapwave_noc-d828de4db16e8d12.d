@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/mapwave_noc-d828de4db16e8d12.d: crates/noc/src/lib.rs crates/noc/src/energy.rs crates/noc/src/flit.rs crates/noc/src/mac.rs crates/noc/src/node.rs crates/noc/src/routing.rs crates/noc/src/sim.rs crates/noc/src/stats.rs crates/noc/src/switch.rs crates/noc/src/topology/mod.rs crates/noc/src/topology/dot.rs crates/noc/src/topology/mesh.rs crates/noc/src/topology/metrics.rs crates/noc/src/topology/small_world.rs crates/noc/src/topology/wireless.rs crates/noc/src/traffic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmapwave_noc-d828de4db16e8d12.rmeta: crates/noc/src/lib.rs crates/noc/src/energy.rs crates/noc/src/flit.rs crates/noc/src/mac.rs crates/noc/src/node.rs crates/noc/src/routing.rs crates/noc/src/sim.rs crates/noc/src/stats.rs crates/noc/src/switch.rs crates/noc/src/topology/mod.rs crates/noc/src/topology/dot.rs crates/noc/src/topology/mesh.rs crates/noc/src/topology/metrics.rs crates/noc/src/topology/small_world.rs crates/noc/src/topology/wireless.rs crates/noc/src/traffic.rs Cargo.toml
+
+crates/noc/src/lib.rs:
+crates/noc/src/energy.rs:
+crates/noc/src/flit.rs:
+crates/noc/src/mac.rs:
+crates/noc/src/node.rs:
+crates/noc/src/routing.rs:
+crates/noc/src/sim.rs:
+crates/noc/src/stats.rs:
+crates/noc/src/switch.rs:
+crates/noc/src/topology/mod.rs:
+crates/noc/src/topology/dot.rs:
+crates/noc/src/topology/mesh.rs:
+crates/noc/src/topology/metrics.rs:
+crates/noc/src/topology/small_world.rs:
+crates/noc/src/topology/wireless.rs:
+crates/noc/src/traffic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/mapwave_phoenix-994dda7cc326e82c.d: crates/phoenix/src/lib.rs crates/phoenix/src/apps/mod.rs crates/phoenix/src/apps/histogram.rs crates/phoenix/src/apps/kmeans.rs crates/phoenix/src/apps/linear_regression.rs crates/phoenix/src/apps/matrix_mult.rs crates/phoenix/src/apps/pca.rs crates/phoenix/src/apps/string_match.rs crates/phoenix/src/apps/word_count.rs crates/phoenix/src/container.rs crates/phoenix/src/runtime.rs crates/phoenix/src/stealing.rs crates/phoenix/src/task.rs crates/phoenix/src/timeline.rs crates/phoenix/src/workload.rs
+
+/root/repo/target/debug/deps/libmapwave_phoenix-994dda7cc326e82c.rlib: crates/phoenix/src/lib.rs crates/phoenix/src/apps/mod.rs crates/phoenix/src/apps/histogram.rs crates/phoenix/src/apps/kmeans.rs crates/phoenix/src/apps/linear_regression.rs crates/phoenix/src/apps/matrix_mult.rs crates/phoenix/src/apps/pca.rs crates/phoenix/src/apps/string_match.rs crates/phoenix/src/apps/word_count.rs crates/phoenix/src/container.rs crates/phoenix/src/runtime.rs crates/phoenix/src/stealing.rs crates/phoenix/src/task.rs crates/phoenix/src/timeline.rs crates/phoenix/src/workload.rs
+
+/root/repo/target/debug/deps/libmapwave_phoenix-994dda7cc326e82c.rmeta: crates/phoenix/src/lib.rs crates/phoenix/src/apps/mod.rs crates/phoenix/src/apps/histogram.rs crates/phoenix/src/apps/kmeans.rs crates/phoenix/src/apps/linear_regression.rs crates/phoenix/src/apps/matrix_mult.rs crates/phoenix/src/apps/pca.rs crates/phoenix/src/apps/string_match.rs crates/phoenix/src/apps/word_count.rs crates/phoenix/src/container.rs crates/phoenix/src/runtime.rs crates/phoenix/src/stealing.rs crates/phoenix/src/task.rs crates/phoenix/src/timeline.rs crates/phoenix/src/workload.rs
+
+crates/phoenix/src/lib.rs:
+crates/phoenix/src/apps/mod.rs:
+crates/phoenix/src/apps/histogram.rs:
+crates/phoenix/src/apps/kmeans.rs:
+crates/phoenix/src/apps/linear_regression.rs:
+crates/phoenix/src/apps/matrix_mult.rs:
+crates/phoenix/src/apps/pca.rs:
+crates/phoenix/src/apps/string_match.rs:
+crates/phoenix/src/apps/word_count.rs:
+crates/phoenix/src/container.rs:
+crates/phoenix/src/runtime.rs:
+crates/phoenix/src/stealing.rs:
+crates/phoenix/src/task.rs:
+crates/phoenix/src/timeline.rs:
+crates/phoenix/src/workload.rs:

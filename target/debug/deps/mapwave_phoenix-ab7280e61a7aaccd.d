@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/mapwave_phoenix-ab7280e61a7aaccd.d: crates/phoenix/src/lib.rs crates/phoenix/src/apps/mod.rs crates/phoenix/src/apps/histogram.rs crates/phoenix/src/apps/kmeans.rs crates/phoenix/src/apps/linear_regression.rs crates/phoenix/src/apps/matrix_mult.rs crates/phoenix/src/apps/pca.rs crates/phoenix/src/apps/string_match.rs crates/phoenix/src/apps/word_count.rs crates/phoenix/src/container.rs crates/phoenix/src/runtime.rs crates/phoenix/src/stealing.rs crates/phoenix/src/task.rs crates/phoenix/src/timeline.rs crates/phoenix/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmapwave_phoenix-ab7280e61a7aaccd.rmeta: crates/phoenix/src/lib.rs crates/phoenix/src/apps/mod.rs crates/phoenix/src/apps/histogram.rs crates/phoenix/src/apps/kmeans.rs crates/phoenix/src/apps/linear_regression.rs crates/phoenix/src/apps/matrix_mult.rs crates/phoenix/src/apps/pca.rs crates/phoenix/src/apps/string_match.rs crates/phoenix/src/apps/word_count.rs crates/phoenix/src/container.rs crates/phoenix/src/runtime.rs crates/phoenix/src/stealing.rs crates/phoenix/src/task.rs crates/phoenix/src/timeline.rs crates/phoenix/src/workload.rs Cargo.toml
+
+crates/phoenix/src/lib.rs:
+crates/phoenix/src/apps/mod.rs:
+crates/phoenix/src/apps/histogram.rs:
+crates/phoenix/src/apps/kmeans.rs:
+crates/phoenix/src/apps/linear_regression.rs:
+crates/phoenix/src/apps/matrix_mult.rs:
+crates/phoenix/src/apps/pca.rs:
+crates/phoenix/src/apps/string_match.rs:
+crates/phoenix/src/apps/word_count.rs:
+crates/phoenix/src/container.rs:
+crates/phoenix/src/runtime.rs:
+crates/phoenix/src/stealing.rs:
+crates/phoenix/src/task.rs:
+crates/phoenix/src/timeline.rs:
+crates/phoenix/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

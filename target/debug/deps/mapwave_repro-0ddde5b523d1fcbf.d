@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mapwave_repro-0ddde5b523d1fcbf.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmapwave_repro-0ddde5b523d1fcbf.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mapwave_repro-4febe4204be1e72f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmapwave_repro-4febe4204be1e72f.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmapwave_repro-4febe4204be1e72f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mapwave_repro-871f43da87f87fa3.d: src/lib.rs
+
+/root/repo/target/debug/deps/mapwave_repro-871f43da87f87fa3: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mapwave_repro-c3431e5109e8fb43.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmapwave_repro-c3431e5109e8fb43.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mapwave_vfi-4458527a7b00daec.d: crates/vfi/src/lib.rs crates/vfi/src/assignment.rs crates/vfi/src/clustering.rs crates/vfi/src/power.rs crates/vfi/src/vf.rs
+
+/root/repo/target/debug/deps/libmapwave_vfi-4458527a7b00daec.rlib: crates/vfi/src/lib.rs crates/vfi/src/assignment.rs crates/vfi/src/clustering.rs crates/vfi/src/power.rs crates/vfi/src/vf.rs
+
+/root/repo/target/debug/deps/libmapwave_vfi-4458527a7b00daec.rmeta: crates/vfi/src/lib.rs crates/vfi/src/assignment.rs crates/vfi/src/clustering.rs crates/vfi/src/power.rs crates/vfi/src/vf.rs
+
+crates/vfi/src/lib.rs:
+crates/vfi/src/assignment.rs:
+crates/vfi/src/clustering.rs:
+crates/vfi/src/power.rs:
+crates/vfi/src/vf.rs:

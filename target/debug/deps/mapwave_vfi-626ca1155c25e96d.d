@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mapwave_vfi-626ca1155c25e96d.d: crates/vfi/src/lib.rs crates/vfi/src/assignment.rs crates/vfi/src/clustering.rs crates/vfi/src/power.rs crates/vfi/src/vf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmapwave_vfi-626ca1155c25e96d.rmeta: crates/vfi/src/lib.rs crates/vfi/src/assignment.rs crates/vfi/src/clustering.rs crates/vfi/src/power.rs crates/vfi/src/vf.rs Cargo.toml
+
+crates/vfi/src/lib.rs:
+crates/vfi/src/assignment.rs:
+crates/vfi/src/clustering.rs:
+crates/vfi/src/power.rs:
+crates/vfi/src/vf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

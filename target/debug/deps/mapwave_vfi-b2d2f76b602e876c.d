@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mapwave_vfi-b2d2f76b602e876c.d: crates/vfi/src/lib.rs crates/vfi/src/assignment.rs crates/vfi/src/clustering.rs crates/vfi/src/power.rs crates/vfi/src/vf.rs
+
+/root/repo/target/debug/deps/mapwave_vfi-b2d2f76b602e876c: crates/vfi/src/lib.rs crates/vfi/src/assignment.rs crates/vfi/src/clustering.rs crates/vfi/src/power.rs crates/vfi/src/vf.rs
+
+crates/vfi/src/lib.rs:
+crates/vfi/src/assignment.rs:
+crates/vfi/src/clustering.rs:
+crates/vfi/src/power.rs:
+crates/vfi/src/vf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/noc_fabrics-3bb1e4497bf43831.d: crates/bench/benches/noc_fabrics.rs
+
+/root/repo/target/debug/deps/noc_fabrics-3bb1e4497bf43831: crates/bench/benches/noc_fabrics.rs
+
+crates/bench/benches/noc_fabrics.rs:

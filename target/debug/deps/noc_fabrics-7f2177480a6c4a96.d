@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/noc_fabrics-7f2177480a6c4a96.d: crates/bench/benches/noc_fabrics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnoc_fabrics-7f2177480a6c4a96.rmeta: crates/bench/benches/noc_fabrics.rs Cargo.toml
+
+crates/bench/benches/noc_fabrics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

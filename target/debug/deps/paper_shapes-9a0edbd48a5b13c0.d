@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-9a0edbd48a5b13c0.d: tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-9a0edbd48a5b13c0: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

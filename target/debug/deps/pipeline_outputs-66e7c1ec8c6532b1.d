@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_outputs-66e7c1ec8c6532b1.d: tests/pipeline_outputs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_outputs-66e7c1ec8c6532b1.rmeta: tests/pipeline_outputs.rs Cargo.toml
+
+tests/pipeline_outputs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_outputs-ac625143b3799cc3.d: tests/pipeline_outputs.rs
+
+/root/repo/target/debug/deps/pipeline_outputs-ac625143b3799cc3: tests/pipeline_outputs.rs
+
+tests/pipeline_outputs.rs:

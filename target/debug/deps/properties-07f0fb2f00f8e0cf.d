@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-07f0fb2f00f8e0cf.d: crates/noc/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-07f0fb2f00f8e0cf: crates/noc/tests/properties.rs
+
+crates/noc/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-61f6fc63c8a6ab71.d: crates/manycore/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-61f6fc63c8a6ab71.rmeta: crates/manycore/tests/properties.rs Cargo.toml
+
+crates/manycore/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

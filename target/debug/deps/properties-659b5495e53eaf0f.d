@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-659b5495e53eaf0f.d: crates/noc/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-659b5495e53eaf0f.rmeta: crates/noc/tests/properties.rs Cargo.toml
+
+crates/noc/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-6d33575236d9ed0f.d: crates/vfi/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-6d33575236d9ed0f: crates/vfi/tests/properties.rs
+
+crates/vfi/tests/properties.rs:

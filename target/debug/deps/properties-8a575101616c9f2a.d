@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-8a575101616c9f2a.d: crates/manycore/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-8a575101616c9f2a: crates/manycore/tests/properties.rs
+
+crates/manycore/tests/properties.rs:

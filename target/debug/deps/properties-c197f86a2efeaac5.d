@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-c197f86a2efeaac5.d: crates/vfi/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-c197f86a2efeaac5.rmeta: crates/vfi/tests/properties.rs Cargo.toml
+
+crates/vfi/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

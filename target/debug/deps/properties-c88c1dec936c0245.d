@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-c88c1dec936c0245.d: crates/phoenix/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-c88c1dec936c0245: crates/phoenix/tests/properties.rs
+
+crates/phoenix/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-d4c22c3480c843b7.d: crates/phoenix/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-d4c22c3480c843b7.rmeta: crates/phoenix/tests/properties.rs Cargo.toml
+
+crates/phoenix/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

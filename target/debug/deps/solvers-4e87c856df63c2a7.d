@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/solvers-4e87c856df63c2a7.d: crates/bench/benches/solvers.rs
+
+/root/repo/target/debug/deps/solvers-4e87c856df63c2a7: crates/bench/benches/solvers.rs
+
+crates/bench/benches/solvers.rs:

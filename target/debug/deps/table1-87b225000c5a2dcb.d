@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-87b225000c5a2dcb.d: crates/bench/benches/table1.rs
+
+/root/repo/target/debug/deps/table1-87b225000c5a2dcb: crates/bench/benches/table1.rs
+
+crates/bench/benches/table1.rs:

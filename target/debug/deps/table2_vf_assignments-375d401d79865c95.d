@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_vf_assignments-375d401d79865c95.d: crates/bench/benches/table2_vf_assignments.rs
+
+/root/repo/target/debug/deps/table2_vf_assignments-375d401d79865c95: crates/bench/benches/table2_vf_assignments.rs
+
+crates/bench/benches/table2_vf_assignments.rs:

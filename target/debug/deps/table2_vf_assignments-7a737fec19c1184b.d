@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_vf_assignments-7a737fec19c1184b.d: crates/bench/benches/table2_vf_assignments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_vf_assignments-7a737fec19c1184b.rmeta: crates/bench/benches/table2_vf_assignments.rs Cargo.toml
+
+crates/bench/benches/table2_vf_assignments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_space-bf646751c4913ab0.d: examples/design_space.rs
+
+/root/repo/target/debug/examples/design_space-bf646751c4913ab0: examples/design_space.rs
+
+examples/design_space.rs:

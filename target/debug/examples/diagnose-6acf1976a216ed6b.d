@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/diagnose-6acf1976a216ed6b.d: examples/diagnose.rs
+
+/root/repo/target/debug/examples/diagnose-6acf1976a216ed6b: examples/diagnose.rs
+
+examples/diagnose.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/diagnose-cac47ae0ff1ef9c9.d: examples/diagnose.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdiagnose-cac47ae0ff1ef9c9.rmeta: examples/diagnose.rs Cargo.toml
+
+examples/diagnose.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1b9ce92c8915e6b0.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-1b9ce92c8915e6b0: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/robustness-31af3eafdec190f2.d: examples/robustness.rs
+
+/root/repo/target/debug/examples/robustness-31af3eafdec190f2: examples/robustness.rs
+
+examples/robustness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/robustness-d97c6eaccfd83dd3.d: examples/robustness.rs Cargo.toml
+
+/root/repo/target/debug/examples/librobustness-d97c6eaccfd83dd3.rmeta: examples/robustness.rs Cargo.toml
+
+examples/robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/saturation-3c3b2114c50b0af2.d: examples/saturation.rs
+
+/root/repo/target/debug/examples/saturation-3c3b2114c50b0af2: examples/saturation.rs
+
+examples/saturation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/saturation-aba03bdb683bd7a4.d: examples/saturation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsaturation-aba03bdb683bd7a4.rmeta: examples/saturation.rs Cargo.toml
+
+examples/saturation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/timeline-320a5c6cc5957403.d: examples/timeline.rs
+
+/root/repo/target/debug/examples/timeline-320a5c6cc5957403: examples/timeline.rs
+
+examples/timeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/timeline-89f96f5612c8861a.d: examples/timeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtimeline-89f96f5612c8861a.rmeta: examples/timeline.rs Cargo.toml
+
+examples/timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

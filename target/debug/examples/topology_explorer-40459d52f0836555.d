@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/topology_explorer-40459d52f0836555.d: examples/topology_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtopology_explorer-40459d52f0836555.rmeta: examples/topology_explorer.rs Cargo.toml
+
+examples/topology_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

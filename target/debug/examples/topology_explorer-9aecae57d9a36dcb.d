@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/topology_explorer-9aecae57d9a36dcb.d: examples/topology_explorer.rs
+
+/root/repo/target/debug/examples/topology_explorer-9aecae57d9a36dcb: examples/topology_explorer.rs
+
+examples/topology_explorer.rs:

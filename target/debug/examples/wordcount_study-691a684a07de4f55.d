@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wordcount_study-691a684a07de4f55.d: examples/wordcount_study.rs
+
+/root/repo/target/debug/examples/wordcount_study-691a684a07de4f55: examples/wordcount_study.rs
+
+examples/wordcount_study.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/wordcount_study-af1da9dc903dbe43.d: examples/wordcount_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwordcount_study-af1da9dc903dbe43.rmeta: examples/wordcount_study.rs Cargo.toml
+
+examples/wordcount_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

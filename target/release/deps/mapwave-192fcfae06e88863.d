@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/mapwave-192fcfae06e88863.d: crates/core/src/lib.rs crates/core/src/ablations.rs crates/core/src/config.rs crates/core/src/design_flow.rs crates/core/src/experiments.rs crates/core/src/orchestrator.rs crates/core/src/placement.rs crates/core/src/report.rs crates/core/src/system.rs
+
+/root/repo/target/release/deps/libmapwave-192fcfae06e88863.rlib: crates/core/src/lib.rs crates/core/src/ablations.rs crates/core/src/config.rs crates/core/src/design_flow.rs crates/core/src/experiments.rs crates/core/src/orchestrator.rs crates/core/src/placement.rs crates/core/src/report.rs crates/core/src/system.rs
+
+/root/repo/target/release/deps/libmapwave-192fcfae06e88863.rmeta: crates/core/src/lib.rs crates/core/src/ablations.rs crates/core/src/config.rs crates/core/src/design_flow.rs crates/core/src/experiments.rs crates/core/src/orchestrator.rs crates/core/src/placement.rs crates/core/src/report.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ablations.rs:
+crates/core/src/config.rs:
+crates/core/src/design_flow.rs:
+crates/core/src/experiments.rs:
+crates/core/src/orchestrator.rs:
+crates/core/src/placement.rs:
+crates/core/src/report.rs:
+crates/core/src/system.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mapwave-745a3a22a8b58ed4.d: crates/core/src/bin/mapwave.rs
+
+/root/repo/target/release/deps/mapwave-745a3a22a8b58ed4: crates/core/src/bin/mapwave.rs
+
+crates/core/src/bin/mapwave.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mapwave_harness-551adaff4843e0f8.d: crates/harness/src/lib.rs crates/harness/src/cache.rs crates/harness/src/hash.rs crates/harness/src/jobs.rs crates/harness/src/rng.rs crates/harness/src/telemetry.rs
+
+/root/repo/target/release/deps/libmapwave_harness-551adaff4843e0f8.rlib: crates/harness/src/lib.rs crates/harness/src/cache.rs crates/harness/src/hash.rs crates/harness/src/jobs.rs crates/harness/src/rng.rs crates/harness/src/telemetry.rs
+
+/root/repo/target/release/deps/libmapwave_harness-551adaff4843e0f8.rmeta: crates/harness/src/lib.rs crates/harness/src/cache.rs crates/harness/src/hash.rs crates/harness/src/jobs.rs crates/harness/src/rng.rs crates/harness/src/telemetry.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/cache.rs:
+crates/harness/src/hash.rs:
+crates/harness/src/jobs.rs:
+crates/harness/src/rng.rs:
+crates/harness/src/telemetry.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mapwave_manycore-bc8720b1a56704ea.d: crates/manycore/src/lib.rs crates/manycore/src/cache.rs crates/manycore/src/clock.rs crates/manycore/src/event.rs crates/manycore/src/mapping.rs crates/manycore/src/memory.rs crates/manycore/src/platform.rs
+
+/root/repo/target/release/deps/libmapwave_manycore-bc8720b1a56704ea.rlib: crates/manycore/src/lib.rs crates/manycore/src/cache.rs crates/manycore/src/clock.rs crates/manycore/src/event.rs crates/manycore/src/mapping.rs crates/manycore/src/memory.rs crates/manycore/src/platform.rs
+
+/root/repo/target/release/deps/libmapwave_manycore-bc8720b1a56704ea.rmeta: crates/manycore/src/lib.rs crates/manycore/src/cache.rs crates/manycore/src/clock.rs crates/manycore/src/event.rs crates/manycore/src/mapping.rs crates/manycore/src/memory.rs crates/manycore/src/platform.rs
+
+crates/manycore/src/lib.rs:
+crates/manycore/src/cache.rs:
+crates/manycore/src/clock.rs:
+crates/manycore/src/event.rs:
+crates/manycore/src/mapping.rs:
+crates/manycore/src/memory.rs:
+crates/manycore/src/platform.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/release/deps/mapwave_noc-6b8fb27c60d6976e.d: crates/noc/src/lib.rs crates/noc/src/energy.rs crates/noc/src/flit.rs crates/noc/src/mac.rs crates/noc/src/node.rs crates/noc/src/routing.rs crates/noc/src/sim.rs crates/noc/src/stats.rs crates/noc/src/switch.rs crates/noc/src/topology/mod.rs crates/noc/src/topology/dot.rs crates/noc/src/topology/mesh.rs crates/noc/src/topology/metrics.rs crates/noc/src/topology/small_world.rs crates/noc/src/topology/wireless.rs crates/noc/src/traffic.rs
+
+/root/repo/target/release/deps/libmapwave_noc-6b8fb27c60d6976e.rlib: crates/noc/src/lib.rs crates/noc/src/energy.rs crates/noc/src/flit.rs crates/noc/src/mac.rs crates/noc/src/node.rs crates/noc/src/routing.rs crates/noc/src/sim.rs crates/noc/src/stats.rs crates/noc/src/switch.rs crates/noc/src/topology/mod.rs crates/noc/src/topology/dot.rs crates/noc/src/topology/mesh.rs crates/noc/src/topology/metrics.rs crates/noc/src/topology/small_world.rs crates/noc/src/topology/wireless.rs crates/noc/src/traffic.rs
+
+/root/repo/target/release/deps/libmapwave_noc-6b8fb27c60d6976e.rmeta: crates/noc/src/lib.rs crates/noc/src/energy.rs crates/noc/src/flit.rs crates/noc/src/mac.rs crates/noc/src/node.rs crates/noc/src/routing.rs crates/noc/src/sim.rs crates/noc/src/stats.rs crates/noc/src/switch.rs crates/noc/src/topology/mod.rs crates/noc/src/topology/dot.rs crates/noc/src/topology/mesh.rs crates/noc/src/topology/metrics.rs crates/noc/src/topology/small_world.rs crates/noc/src/topology/wireless.rs crates/noc/src/traffic.rs
+
+crates/noc/src/lib.rs:
+crates/noc/src/energy.rs:
+crates/noc/src/flit.rs:
+crates/noc/src/mac.rs:
+crates/noc/src/node.rs:
+crates/noc/src/routing.rs:
+crates/noc/src/sim.rs:
+crates/noc/src/stats.rs:
+crates/noc/src/switch.rs:
+crates/noc/src/topology/mod.rs:
+crates/noc/src/topology/dot.rs:
+crates/noc/src/topology/mesh.rs:
+crates/noc/src/topology/metrics.rs:
+crates/noc/src/topology/small_world.rs:
+crates/noc/src/topology/wireless.rs:
+crates/noc/src/traffic.rs:

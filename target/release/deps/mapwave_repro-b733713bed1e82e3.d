@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mapwave_repro-b733713bed1e82e3.d: src/lib.rs
+
+/root/repo/target/release/deps/libmapwave_repro-b733713bed1e82e3.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmapwave_repro-b733713bed1e82e3.rmeta: src/lib.rs
+
+src/lib.rs:

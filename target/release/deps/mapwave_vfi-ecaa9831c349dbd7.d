@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mapwave_vfi-ecaa9831c349dbd7.d: crates/vfi/src/lib.rs crates/vfi/src/assignment.rs crates/vfi/src/clustering.rs crates/vfi/src/power.rs crates/vfi/src/vf.rs
+
+/root/repo/target/release/deps/libmapwave_vfi-ecaa9831c349dbd7.rlib: crates/vfi/src/lib.rs crates/vfi/src/assignment.rs crates/vfi/src/clustering.rs crates/vfi/src/power.rs crates/vfi/src/vf.rs
+
+/root/repo/target/release/deps/libmapwave_vfi-ecaa9831c349dbd7.rmeta: crates/vfi/src/lib.rs crates/vfi/src/assignment.rs crates/vfi/src/clustering.rs crates/vfi/src/power.rs crates/vfi/src/vf.rs
+
+crates/vfi/src/lib.rs:
+crates/vfi/src/assignment.rs:
+crates/vfi/src/clustering.rs:
+crates/vfi/src/power.rs:
+crates/vfi/src/vf.rs:

@@ -1,8 +1,8 @@
 //! Cross-crate integration: the Fig. 3 design flow end to end on the
 //! reduced 16-core platform, for every application.
 
-use mapwave::prelude::*;
 use mapwave::placement::quadrant_of;
+use mapwave::prelude::*;
 use mapwave_noc::NodeId;
 use mapwave_phoenix::apps::App;
 
@@ -31,7 +31,10 @@ fn every_app_designs_cleanly() {
         // Profile observables are sane.
         assert_eq!(d.profile.utilization.len(), 16, "{app}");
         assert!(
-            d.profile.utilization.iter().all(|&u| (0.0..=1.0).contains(&u)),
+            d.profile
+                .utilization
+                .iter()
+                .all(|&u| (0.0..=1.0).contains(&u)),
             "{app}: utilization in [0,1]"
         );
         assert!(d.profile.total_cycles() > 0.0, "{app}");
@@ -46,7 +49,10 @@ fn mappings_keep_clusters_in_quadrants() {
         let d = f.design(app);
         for (label, spec) in [
             ("mesh", f.vfi_mesh_spec(&d, VfStage::Vfi2)),
-            ("winoc-minhop", f.winoc_spec(&d, PlacementStrategy::MinHopCount)),
+            (
+                "winoc-minhop",
+                f.winoc_spec(&d, PlacementStrategy::MinHopCount),
+            ),
             (
                 "winoc-maxwl",
                 f.winoc_spec(&d, PlacementStrategy::MaxWirelessUtilization),

@@ -77,8 +77,13 @@ fn table2_kmeans_runs_the_slowest_islands() {
 #[test]
 fn table2_reassignment_targets_the_bottleneck_apps() {
     let table2 = ctx().table2();
-    let reassigned =
-        |app: App| table2.iter().find(|r| r.app == app).expect("app").reassigned;
+    let reassigned = |app: App| {
+        table2
+            .iter()
+            .find(|r| r.app == app)
+            .expect("app")
+            .reassigned
+    };
     // The paper reassigns PCA, HIST and MM (Section 4.2 / Fig. 4).
     assert!(reassigned(App::Pca), "PCA must be reassigned");
     assert!(reassigned(App::Histogram), "HIST must be reassigned");

@@ -48,15 +48,8 @@ fn csv_exports_parse_back() {
 fn full_report_mentions_every_artifact() {
     let text = report::full_report(ctx());
     for needle in [
-        "Table 1",
-        "Figure 2",
-        "Table 2",
-        "Figure 4",
-        "Figure 5",
-        "Figure 6",
-        "Figure 7",
-        "Figure 8",
-        "Headline",
+        "Table 1", "Figure 2", "Table 2", "Figure 4", "Figure 5", "Figure 6", "Figure 7",
+        "Figure 8", "Headline",
     ] {
         assert!(text.contains(needle), "report is missing {needle}");
     }
