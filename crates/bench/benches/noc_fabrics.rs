@@ -58,7 +58,7 @@ fn bench(c: &mut Criterion) {
                 )
                 .expect("valid")
             },
-            |mut sim| sim.run(&traffic, 500, 5_000, 20_000),
+            |mut sim| sim.run(&traffic, 500, 5_000, 20_000).clone(),
             BatchSize::LargeInput,
         )
     });
@@ -76,7 +76,7 @@ fn bench(c: &mut Criterion) {
                 )
                 .expect("valid")
             },
-            |mut sim| sim.run(&traffic, 500, 5_000, 20_000),
+            |mut sim| sim.run(&traffic, 500, 5_000, 20_000).clone(),
             BatchSize::LargeInput,
         )
     });

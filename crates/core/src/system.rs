@@ -156,12 +156,15 @@ pub fn run_system(
                 return None;
             }
             let physical = spec.mapping.traffic_to_tiles(traffic);
-            Some(sim.run(
-                &physical,
-                cfg.noc_warmup,
-                cfg.noc_measure,
-                cfg.noc_measure * 10,
-            ))
+            Some(
+                sim.run(
+                    &physical,
+                    cfg.noc_warmup,
+                    cfg.noc_measure,
+                    cfg.noc_measure * 10,
+                )
+                .clone(),
+            )
         };
         map_net = run_phase_net(&exec.phase_traffic.map);
         reduce_net = run_phase_net(&exec.phase_traffic.reduce);

@@ -80,26 +80,41 @@ pub struct Flit {
 /// assert_eq!(fs[3].kind, FlitKind::Tail);
 /// ```
 pub fn flits_of(id: PacketId, src: NodeId, dest: NodeId, len: usize, now: u64) -> Vec<Flit> {
+    flit_sequence(id, src, dest, len, now).collect()
+}
+
+/// Iterator form of [`flits_of`]: yields the flit sequence without
+/// allocating a `Vec` (the simulator extends source queues from it
+/// directly).
+///
+/// # Panics
+///
+/// Panics if `len == 0`.
+pub fn flit_sequence(
+    id: PacketId,
+    src: NodeId,
+    dest: NodeId,
+    len: usize,
+    now: u64,
+) -> impl Iterator<Item = Flit> {
     assert!(len > 0, "a packet has at least one flit");
-    (0..len)
-        .map(|i| Flit {
-            packet: id,
-            kind: if len == 1 {
-                FlitKind::HeadTail
-            } else if i == 0 {
-                FlitKind::Head
-            } else if i == len - 1 {
-                FlitKind::Tail
-            } else {
-                FlitKind::Body
-            },
-            src,
-            dest,
-            phase: Phase::Up,
-            created: now,
-            ready_at: now,
-        })
-        .collect()
+    (0..len).map(move |i| Flit {
+        packet: id,
+        kind: if len == 1 {
+            FlitKind::HeadTail
+        } else if i == 0 {
+            FlitKind::Head
+        } else if i == len - 1 {
+            FlitKind::Tail
+        } else {
+            FlitKind::Body
+        },
+        src,
+        dest,
+        phase: Phase::Up,
+        created: now,
+        ready_at: now,
+    })
 }
 
 #[cfg(test)]

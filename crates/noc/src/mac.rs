@@ -54,6 +54,29 @@ impl ChannelMac {
             self.token = (self.token + 1) % self.members.len();
         }
     }
+
+    /// The WI that would hold the token after `k` idle rotations from the
+    /// current position.
+    pub fn holder_after(&self, k: usize) -> Option<NodeId> {
+        if self.members.is_empty() {
+            None
+        } else {
+            self.members
+                .get((self.token + k) % self.members.len())
+                .copied()
+        }
+    }
+
+    /// Advances the token over `cycles` consecutive idle cycles at once —
+    /// equivalent to that many `end_cycle(false, false)` calls. Used by the
+    /// simulator's fast-forward path when no flit can move for a stretch of
+    /// cycles.
+    pub fn advance_idle(&mut self, cycles: u64) {
+        if self.members.len() > 1 {
+            let step = (cycles % self.members.len() as u64) as usize;
+            self.token = (self.token + step) % self.members.len();
+        }
+    }
 }
 
 /// Builds one [`ChannelMac`] per channel of `overlay`.
@@ -92,6 +115,26 @@ mod tests {
         assert_eq!(m.holder(), Some(NodeId(1)));
         m.end_cycle(false, false);
         assert_eq!(m.holder(), Some(NodeId(5)));
+    }
+
+    #[test]
+    fn advance_idle_matches_repeated_end_cycle() {
+        for k in [0u64, 1, 2, 3, 7, 100, 1_000_003] {
+            let mut fast = mac3();
+            let mut slow = mac3();
+            fast.advance_idle(k);
+            for _ in 0..k.min(10_000) {
+                slow.end_cycle(false, false);
+            }
+            if k <= 10_000 {
+                assert_eq!(fast.holder(), slow.holder(), "k = {k}");
+            } else {
+                // Large jumps reduce modulo the member count.
+                let mut expect = mac3();
+                expect.advance_idle(k % 3);
+                assert_eq!(fast.holder(), expect.holder(), "k = {k}");
+            }
+        }
     }
 
     #[test]

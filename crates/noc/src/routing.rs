@@ -135,6 +135,13 @@ impl RoutingTable {
             .unwrap_or_else(|| panic!("no route from {v} (phase {phase:?}) to {dest}"))
     }
 
+    /// The table entry for this state, or `None` when the state has no
+    /// legal route (used when precomputing flat route tables, which must
+    /// cover unreachable states without panicking).
+    pub fn try_entry(&self, v: NodeId, phase: Phase, dest: NodeId) -> Option<RouteEntry> {
+        self.entries[self.idx(v, phase, dest)]
+    }
+
     /// Hop-metric distance from `src` (fresh packet, phase Up) to `dest`.
     /// Wireless traversals count 2; wire hops count 1.
     pub fn distance(&self, src: NodeId, dest: NodeId) -> u32 {

@@ -2,6 +2,7 @@
 
 use crate::energy::EnergyBreakdown;
 use crate::node::NodeId;
+use mapwave_harness::hash::{CacheKey, StableHash, StableHasher};
 
 /// Number of latency histogram buckets (powers of two: `[2^k, 2^(k+1))`).
 pub const LATENCY_BUCKETS: usize = 16;
@@ -52,7 +53,45 @@ pub struct NetworkStats {
     pub link_loads: Vec<LinkLoad>,
 }
 
+impl StableHash for LinkLoad {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.from.index().stable_hash(h);
+        self.to.index().stable_hash(h);
+        self.flits.stable_hash(h);
+    }
+}
+
+impl StableHash for NetworkStats {
+    /// Every field participates, with floating-point energies hashed by bit
+    /// pattern, so two runs hash equal exactly when their observables are
+    /// bit-identical.
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.cycles.stable_hash(h);
+        self.packets_injected.stable_hash(h);
+        self.packets_delivered.stable_hash(h);
+        self.flits_delivered.stable_hash(h);
+        self.latency_sum.stable_hash(h);
+        self.max_latency.stable_hash(h);
+        self.wireless_flit_hops.stable_hash(h);
+        self.wire_flit_hops.stable_hash(h);
+        self.adaptive_flit_hops.stable_hash(h);
+        self.energy.switch_pj.stable_hash(h);
+        self.energy.wire_pj.stable_hash(h);
+        self.energy.wireless_pj.stable_hash(h);
+        self.in_flight_at_end.stable_hash(h);
+        self.latency_histogram.stable_hash(h);
+        self.link_loads.stable_hash(h);
+    }
+}
+
 impl NetworkStats {
+    /// A 128-bit content digest of every observable field — the golden-hash
+    /// fingerprint used to prove simulator optimisations preserve behaviour
+    /// bit for bit.
+    pub fn digest(&self) -> CacheKey {
+        mapwave_harness::hash::stable_hash_of(self)
+    }
+
     /// Mean packet latency in cycles (0 when nothing was delivered).
     pub fn avg_latency(&self) -> f64 {
         if self.packets_delivered == 0 {

@@ -299,10 +299,12 @@ impl TrafficMatrix {
 /// the row's normalised weights.
 #[derive(Debug, Clone)]
 pub struct Injector {
+    n: usize,
     /// Per-source total rate, clamped to [0, 1].
     row_rate: Vec<f64>,
-    /// Per-source cumulative destination weights (len n each).
-    cumulative: Vec<Vec<f64>>,
+    /// Cumulative destination weights, one stride of `n` per source
+    /// (`cumulative[s * n..(s + 1) * n]`).
+    cumulative: Vec<f64>,
 }
 
 impl Injector {
@@ -310,19 +312,18 @@ impl Injector {
     pub fn new(matrix: &TrafficMatrix) -> Self {
         let n = matrix.len();
         let mut row_rate = Vec::with_capacity(n);
-        let mut cumulative = Vec::with_capacity(n);
+        let mut cumulative = Vec::with_capacity(n * n);
         for s in 0..n {
             let total = matrix.row_rate(NodeId(s));
             row_rate.push(total.min(1.0));
-            let mut cum = Vec::with_capacity(n);
             let mut acc = 0.0;
             for d in 0..n {
                 acc += matrix.rate(NodeId(s), NodeId(d));
-                cum.push(acc);
+                cumulative.push(acc);
             }
-            cumulative.push(cum);
         }
         Injector {
+            n,
             row_rate,
             cumulative,
         }
@@ -335,7 +336,7 @@ impl Injector {
         if rate <= 0.0 || rng.random::<f64>() >= rate {
             return None;
         }
-        let cum = &self.cumulative[src.index()];
+        let cum = &self.cumulative[src.index() * self.n..(src.index() + 1) * self.n];
         let total = *cum.last()?;
         if total <= 0.0 {
             return None;

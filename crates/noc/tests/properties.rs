@@ -248,6 +248,7 @@ fn simulation_is_deterministic() {
             )
             .unwrap();
             sim.run(&TrafficMatrix::uniform(9, rate), 50, 500, 10_000)
+                .clone()
         };
         assert_eq!(run(), run());
     }

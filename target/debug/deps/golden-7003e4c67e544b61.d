@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/golden-7003e4c67e544b61.d: crates/noc/tests/golden.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden-7003e4c67e544b61.rmeta: crates/noc/tests/golden.rs Cargo.toml
+
+crates/noc/tests/golden.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden-886f2879d43165cd.d: crates/noc/tests/golden.rs
+
+/root/repo/target/debug/deps/golden-886f2879d43165cd: crates/noc/tests/golden.rs
+
+crates/noc/tests/golden.rs:

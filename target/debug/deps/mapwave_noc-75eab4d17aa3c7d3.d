@@ -20,5 +20,5 @@ crates/noc/src/topology/wireless.rs:
 crates/noc/src/traffic.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_ARGS=
 # env-dep:CLIPPY_CONF_DIR

@@ -19,5 +19,5 @@ crates/phoenix/src/timeline.rs:
 crates/phoenix/src/workload.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_ARGS=
 # env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/noc_step-7b5107f0b3745812.d: crates/bench/benches/noc_step.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnoc_step-7b5107f0b3745812.rmeta: crates/bench/benches/noc_step.rs Cargo.toml
+
+crates/bench/benches/noc_step.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

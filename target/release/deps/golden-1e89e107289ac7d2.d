@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/golden-1e89e107289ac7d2.d: crates/noc/tests/golden.rs
+
+/root/repo/target/release/deps/golden-1e89e107289ac7d2: crates/noc/tests/golden.rs
+
+crates/noc/tests/golden.rs:

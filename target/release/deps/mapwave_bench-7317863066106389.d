@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/mapwave_bench-7317863066106389.d: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+/root/repo/target/release/deps/libmapwave_bench-7317863066106389.rlib: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+/root/repo/target/release/deps/libmapwave_bench-7317863066106389.rmeta: crates/bench/src/lib.rs crates/bench/src/micro.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/micro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/noc_step-6493e1923aa16f2e.d: crates/bench/benches/noc_step.rs
+
+/root/repo/target/release/deps/noc_step-6493e1923aa16f2e: crates/bench/benches/noc_step.rs
+
+crates/bench/benches/noc_step.rs:
