@@ -1,0 +1,167 @@
+//! Wall-clock micro-benches of the design-flow optimizer kernels and the
+//! full-system report path.
+//!
+//! Three stages are timed:
+//!
+//! * `cluster_refine` — multi-start Eq.(1) clustering at n=64, reference
+//!   (full swap-cost re-evaluation) vs incremental (aggregated W table +
+//!   improving-move cache);
+//! * `wi_anneal` — WI placement annealing on an 8×8 small-world fabric,
+//!   reference (routing table per candidate overlay) vs incremental
+//!   (distance-only up*/down* evaluation);
+//! * `run_system` — one WordCount WiNoC report on the 64-core paper
+//!   platform with the reused-simulator relaxation loop (current
+//!   implementation only; the pre-optimization median is recorded in
+//!   `BENCH_design_flow.json`).
+//!
+//! Both sides of each reference/incremental pair are required to produce
+//! bit-identical results (see `crates/core/tests/equivalence.rs` and the
+//! unit tests in `clustering.rs` / `placement.rs`), so the timings compare
+//! like for like.
+//!
+//! Prints one line per scenario; set `MAPWAVE_BENCH_JSON=<path>` to also
+//! write the medians as JSON (used to record before/after numbers in
+//! `BENCH_design_flow.json`).
+
+use mapwave::config::{PlacementStrategy, PlatformConfig};
+use mapwave::design_flow::DesignFlow;
+use mapwave::placement::{anneal_wi_placement, anneal_wi_placement_reference};
+use mapwave::system::run_system;
+use mapwave_noc::node::grid_positions;
+use mapwave_noc::prelude::*;
+use mapwave_phoenix::apps::App;
+use mapwave_vfi::clustering::ClusteringProblem;
+use std::time::Instant;
+
+/// Seeded clustering instance matching the equivalence tests.
+fn lcg_instance(n: usize, seed: u64) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        ((state >> 33) as f64) / (u32::MAX as f64 / 2.0)
+    };
+    let u: Vec<f64> = (0..n).map(|_| next().min(1.0)).collect();
+    let f: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|p| if i == p { 0.0 } else { next() * 0.1 })
+                .collect()
+        })
+        .collect();
+    (u, f)
+}
+
+/// Seeded dense traffic matching the placement equivalence tests.
+fn lcg_traffic(n: usize, seed: u64) -> TrafficMatrix {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        ((state >> 33) as f64) / (u32::MAX as f64 / 2.0)
+    };
+    let mut traffic = TrafficMatrix::zeros(n);
+    for s in 0..n {
+        for d in 0..n {
+            if s != d {
+                let r = next();
+                if r > 0.7 {
+                    traffic.set(NodeId(s), NodeId(d), r * 0.1);
+                }
+            }
+        }
+    }
+    traffic
+}
+
+/// Median wall-clock seconds per call over enough samples to spend a
+/// bounded ~second per scenario.
+fn median_secs<F: FnMut()>(mut f: F) -> f64 {
+    let start = Instant::now();
+    f();
+    let once = start.elapsed().as_secs_f64().max(1e-6);
+    let samples = ((1.0 / once).ceil() as usize).clamp(3, 30);
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+fn main() {
+    let mut results: Vec<(&str, f64)> = Vec::new();
+
+    // Clustering refinement, n=64 m=4, 4 starts (the design-flow default
+    // operating point for a 64-process workload).
+    let (u, f) = lcg_instance(64, 7);
+    let prob = ClusteringProblem::new(u, f, 4).expect("valid instance");
+    results.push((
+        "cluster_refine_n64/reference",
+        median_secs(|| {
+            std::hint::black_box(prob.solve_with_starts_reference(4, 7));
+        }),
+    ));
+    results.push((
+        "cluster_refine_n64/incremental",
+        median_secs(|| {
+            std::hint::black_box(prob.solve_with_starts(4, 7));
+        }),
+    ));
+
+    // WI annealing on an 8×8 small-world fabric, 3 WIs per quadrant over
+    // 3 channels — the paper's WiNoC configuration at 64 cores.
+    let clusters: Vec<usize> = (0..64).map(|i| (i % 8) / 4 + 2 * ((i / 8) / 4)).collect();
+    let topo = SmallWorldBuilder::new(grid_positions(8, 8, 2.5), clusters)
+        .alpha(1.5)
+        .seed(5)
+        .build()
+        .expect("builds");
+    let traffic = lcg_traffic(64, 11);
+    results.push((
+        "wi_anneal_64/reference",
+        median_secs(|| {
+            std::hint::black_box(anneal_wi_placement_reference(
+                &topo, &traffic, 8, 8, 3, 3, 7,
+            ));
+        }),
+    ));
+    results.push((
+        "wi_anneal_64/incremental",
+        median_secs(|| {
+            std::hint::black_box(anneal_wi_placement(&topo, &traffic, 8, 8, 3, 3, 7));
+        }),
+    ));
+
+    // One full-system report: WordCount on the min-hop WiNoC spec of the
+    // 64-core paper platform, the heaviest single call of the
+    // figure-regeneration benches.
+    let cfg = PlatformConfig::paper().with_scale(0.002);
+    let flow = DesignFlow::new(cfg.clone()).expect("valid platform");
+    let d = flow.design(App::WordCount);
+    let spec = flow.winoc_spec(&d, PlacementStrategy::MinHopCount);
+    results.push((
+        "run_system_paper/report",
+        median_secs(|| {
+            std::hint::black_box(run_system(&spec, &d.workload, &cfg, flow.power()));
+        }),
+    ));
+
+    for (name, secs) in &results {
+        println!("{name:<34} median {:>9.3} ms/call", secs * 1e3);
+    }
+
+    if let Ok(path) = std::env::var("MAPWAVE_BENCH_JSON") {
+        let entries: Vec<String> = results
+            .iter()
+            .map(|(k, v)| format!("    \"{k}\": {:.1}", v * 1e6))
+            .collect();
+        let json = format!(
+            "{{\n  \"unit\": \"microseconds/call (median)\",\n  \"results\": {{\n{}\n  }}\n}}\n",
+            entries.join(",\n")
+        );
+        std::fs::write(&path, json).expect("write bench json");
+        println!("wrote {path}");
+    }
+}

@@ -19,8 +19,9 @@
 
 use mapwave_harness::rng::StdRng;
 use mapwave_harness::rng::{RngExt, SeedableRng};
+use mapwave_harness::telemetry;
 use mapwave_manycore::mapping::ThreadMapping;
-use mapwave_noc::routing::RoutingTable;
+use mapwave_noc::routing::{RoutingTable, UpDownDistances};
 use mapwave_noc::topology::wireless::{ChannelId, WirelessInterface, WirelessOverlay};
 use mapwave_noc::{NodeId, Topology, TrafficMatrix};
 use mapwave_vfi::clustering::Clustering;
@@ -96,7 +97,78 @@ pub fn mapping_cost<F: Fn(NodeId, NodeId) -> f64>(
 
 /// Methodology 1, step 1: greedy best-improvement within-quadrant swaps
 /// minimising the traffic-weighted tile distance.
+///
+/// The tile-distance grid and traffic rates are flattened once, and each
+/// candidate swap is scored by an O(n) directed delta over the two threads'
+/// traffic rows/columns instead of an O(n²) full-cost recomputation —
+/// same scan order and acceptance rule as
+/// [`refine_mapping_min_hop_reference`], so the refined mapping is
+/// identical (pinned by the equivalence tests).
 pub fn refine_mapping_min_hop<F: Fn(NodeId, NodeId) -> f64>(
+    mut mapping: ThreadMapping,
+    clustering: &Clustering,
+    traffic: &TrafficMatrix,
+    dist: F,
+) -> ThreadMapping {
+    let n = mapping.len();
+    // Flat lookups: d[t*n+u] = tile distance, r[i*n+j] = traffic rate, and
+    // the within-quadrant candidate pairs (a < b) in scan order.
+    let d: Vec<f64> = (0..n * n)
+        .map(|k| dist(NodeId(k / n), NodeId(k % n)))
+        .collect();
+    let r: Vec<f64> = (0..n * n)
+        .map(|k| traffic.rate(NodeId(k / n), NodeId(k % n)))
+        .collect();
+    let pairs: Vec<(usize, usize)> = (0..n)
+        .flat_map(|a| (a + 1..n).map(move |b| (a, b)))
+        .filter(|&(a, b)| clustering.cluster_of(a) == clustering.cluster_of(b))
+        .collect();
+    let max_passes = 2 * n;
+    for _ in 0..max_passes {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for &(a, b) in &pairs {
+            let (ta, tb) = (mapping.tile_of(a).index(), mapping.tile_of(b).index());
+            // Swapping threads a <-> b only changes terms involving a or b:
+            // a's traffic is re-routed from tile ta to tb and vice versa.
+            let mut delta = 0.0;
+            for t in 0..n {
+                if t == a || t == b {
+                    continue;
+                }
+                let tt = mapping.tile_of(t).index();
+                let (rat, rta) = (r[a * n + t], r[t * n + a]);
+                if rat != 0.0 {
+                    delta += rat * (d[tb * n + tt] - d[ta * n + tt]);
+                }
+                if rta != 0.0 {
+                    delta += rta * (d[tt * n + tb] - d[tt * n + ta]);
+                }
+                let (rbt, rtb) = (r[b * n + t], r[t * n + b]);
+                if rbt != 0.0 {
+                    delta += rbt * (d[ta * n + tt] - d[tb * n + tt]);
+                }
+                if rtb != 0.0 {
+                    delta += rtb * (d[tt * n + ta] - d[tt * n + tb]);
+                }
+            }
+            delta += r[a * n + b] * (d[tb * n + ta] - d[ta * n + tb]);
+            delta += r[b * n + a] * (d[ta * n + tb] - d[tb * n + ta]);
+            if delta < -1e-12 && best.is_none_or(|(_, _, dd)| delta < dd) {
+                best = Some((a, b, delta));
+            }
+        }
+        match best {
+            Some((a, b, _)) => mapping.swap_threads(a, b),
+            None => break,
+        }
+    }
+    mapping
+}
+
+/// Pre-optimization [`refine_mapping_min_hop`]: full traffic-weighted cost
+/// recomputed for every candidate swap. Kept as the equivalence baseline
+/// for tests and the `design_flow` bench.
+pub fn refine_mapping_min_hop_reference<F: Fn(NodeId, NodeId) -> f64>(
     mut mapping: ThreadMapping,
     clustering: &Clustering,
     traffic: &TrafficMatrix,
@@ -198,18 +270,22 @@ pub fn refine_mapping_max_wireless(
                 .min()
                 .unwrap_or(0)
         };
-        ranked_tiles.sort_by_key(|&t| (tile_key(t), t));
-        // Threads ranked by external traffic volume, heaviest first.
+        ranked_tiles.sort_by_cached_key(|&t| (tile_key(t), t));
+        // Threads ranked by external traffic volume, heaviest first. The
+        // aggregate ext(i) is computed once per thread (same accumulation
+        // order as summing inside the comparator, so identical values)
+        // rather than on every comparison.
         let mut ranked_threads = threads.clone();
-        let ext = |i: usize| -> f64 {
-            (0..n)
+        let mut ext = vec![0.0f64; n];
+        for &i in &ranked_threads {
+            ext[i] = (0..n)
                 .filter(|&p| clustering.cluster_of(p) != j)
                 .map(|p| traffic.rate(NodeId(i), NodeId(p)) + traffic.rate(NodeId(p), NodeId(i)))
-                .sum()
-        };
+                .sum();
+        }
         ranked_threads.sort_by(|&a, &b| {
-            ext(b)
-                .partial_cmp(&ext(a))
+            ext[b]
+                .partial_cmp(&ext[a])
                 .expect("traffic is finite")
                 .then(a.cmp(&b))
         });
@@ -224,8 +300,14 @@ pub fn refine_mapping_max_wireless(
 /// the average traffic-weighted hop count of the routed network.
 ///
 /// Moves relocate one WI to a free tile of the same quadrant; the objective
-/// re-derives the up\*/down\* routing table, so wireless shortcuts are
-/// evaluated exactly as the router will use them.
+/// is the routed up\*/down\* hop metric, so wireless shortcuts are
+/// evaluated exactly as the router will use them. Per move, only the
+/// distances of destinations that actually receive traffic are recomputed
+/// (via [`UpDownDistances`], no port-table materialisation), and the
+/// traffic-weighted mean is re-accumulated in
+/// [`TrafficMatrix::weighted_mean`]'s pair order — so every cost value, and
+/// therefore the whole annealing trajectory, is bit-identical to
+/// [`anneal_wi_placement_reference`].
 ///
 /// # Panics
 ///
@@ -239,21 +321,87 @@ pub fn anneal_wi_placement(
     channels: usize,
     seed: u64,
 ) -> WirelessOverlay {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut overlay = center_wis(cols, rows, 1.0, wis_per_cluster, channels);
+    let n = topo.len();
+    // Nonzero traffic pairs in weighted_mean's (s-major) order, the fixed
+    // denominator, and the set of destinations worth a Dijkstra pass.
+    let mut pairs: Vec<(usize, usize, f64)> = Vec::new();
+    let mut den = 0.0;
+    let mut is_dest = vec![false; n];
+    for s in 0..n {
+        for (d, dest) in is_dest.iter_mut().enumerate() {
+            let r = traffic.rate(NodeId(s), NodeId(d));
+            if s != d && r > 0.0 {
+                pairs.push((s, d, r));
+                den += r;
+                *dest = true;
+            }
+        }
+    }
+    let dests: Vec<usize> = (0..n).filter(|&d| is_dest[d]).collect();
 
+    let mut eval = UpDownDistances::new(topo, WINOC_HUB_EDGE_WEIGHT);
+    let mut grid = vec![0u32; n * n]; // grid[d * n + s], rows for `dests` only
+    let cost = move |overlay: &WirelessOverlay| -> f64 {
+        telemetry::count("placement.routing_rebuilds_avoided", 1);
+        if !eval.prepare(overlay) {
+            return f64::INFINITY; // the reference's RoutingError arm
+        }
+        for &d in &dests {
+            eval.distances_into(NodeId(d), &mut grid[d * n..(d + 1) * n]);
+        }
+        if den <= 0.0 {
+            return 0.0;
+        }
+        let mut num = 0.0;
+        for &(s, d, r) in &pairs {
+            num += r * f64::from(grid[d * n + s]);
+        }
+        num / den
+    };
+    anneal_overlay(cols, rows, wis_per_cluster, channels, seed, cost)
+}
+
+/// Pre-optimization [`anneal_wi_placement`]: rebuilds the full
+/// [`RoutingTable`] for every candidate overlay. Kept as the equivalence
+/// baseline for tests and the `design_flow` bench.
+pub fn anneal_wi_placement_reference(
+    topo: &Topology,
+    traffic: &TrafficMatrix,
+    cols: usize,
+    rows: usize,
+    wis_per_cluster: usize,
+    channels: usize,
+    seed: u64,
+) -> WirelessOverlay {
     let cost = |overlay: &WirelessOverlay| -> f64 {
         match RoutingTable::up_down_weighted(topo, overlay, WINOC_HUB_EDGE_WEIGHT) {
             Ok(table) => traffic.weighted_mean(|s, d| table.distance(s, d) as f64),
             Err(_) => f64::INFINITY,
         }
     };
+    anneal_overlay(cols, rows, wis_per_cluster, channels, seed, cost)
+}
+
+/// The shared annealing schedule: both the optimized and reference entry
+/// points drive this exact loop (same RNG stream, same move proposals,
+/// same acceptance rule), differing only in how `cost` is evaluated.
+fn anneal_overlay(
+    cols: usize,
+    rows: usize,
+    wis_per_cluster: usize,
+    channels: usize,
+    seed: u64,
+    mut cost: impl FnMut(&WirelessOverlay) -> f64,
+) -> WirelessOverlay {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut overlay = center_wis(cols, rows, 1.0, wis_per_cluster, channels);
 
     let mut current_cost = cost(&overlay);
     let mut best = overlay.clone();
     let mut best_cost = current_cost;
 
     let iterations = 120;
+    let mut evaluated = 0u64;
     for step in 0..iterations {
         let temp = 0.3 * (1.0 - step as f64 / iterations as f64) + 1e-3;
         // Move: relocate one WI within its quadrant.
@@ -277,6 +425,7 @@ pub fn anneal_wi_placement(
         let candidate =
             WirelessOverlay::new(new_wis, channels).expect("relocation keeps nodes distinct");
         let c = cost(&candidate);
+        evaluated += 1;
         let accept =
             c < current_cost || rng.random::<f64>() < (-(c - current_cost) / temp.max(1e-9)).exp();
         if accept {
@@ -288,6 +437,7 @@ pub fn anneal_wi_placement(
             }
         }
     }
+    telemetry::count("placement.sa_moves_evaluated", evaluated);
     best
 }
 
@@ -427,6 +577,66 @@ mod tests {
             "annealing must not be worse than its start"
         );
         assert_eq!(annealed.len(), 12);
+    }
+
+    /// Seeded dense traffic with an LCG (no external dependency) so the
+    /// equivalence tests exercise realistic non-uniform rates.
+    fn lcg_traffic(n: usize, seed: u64) -> TrafficMatrix {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64) / (u32::MAX as f64 / 2.0)
+        };
+        let mut traffic = TrafficMatrix::zeros(n);
+        for s in 0..n {
+            for d in 0..n {
+                if s != d {
+                    let r = next();
+                    if r > 0.7 {
+                        traffic.set(NodeId(s), NodeId(d), r * 0.1);
+                    }
+                }
+            }
+        }
+        traffic
+    }
+
+    #[test]
+    fn anneal_matches_reference_implementation() {
+        // The distance-only cost path must reproduce the table-building
+        // reference bit for bit: same RNG stream, same accept decisions,
+        // same final overlay.
+        let clusters: Vec<usize> = (0..64).map(|i| quadrant_of(NodeId(i), 8, 8)).collect();
+        for (topo_seed, traffic_seed, sa_seed) in [(5u64, 11u64, 7u64), (3, 42, 99)] {
+            let topo = SmallWorldBuilder::new(grid_positions(8, 8, 2.5), clusters.clone())
+                .seed(topo_seed)
+                .build()
+                .unwrap();
+            let traffic = lcg_traffic(64, traffic_seed);
+            let fast = anneal_wi_placement(&topo, &traffic, 8, 8, 3, 3, sa_seed);
+            let slow = anneal_wi_placement_reference(&topo, &traffic, 8, 8, 3, 3, sa_seed);
+            assert_eq!(fast, slow, "seeds ({topo_seed},{traffic_seed},{sa_seed})");
+        }
+    }
+
+    #[test]
+    fn min_hop_refinement_matches_reference_implementation() {
+        for (n_side, seed) in [(4usize, 13u64), (8, 29)] {
+            let n = n_side * n_side;
+            let clustering = quad_clustering(n_side, n_side);
+            let traffic = lcg_traffic(n, seed);
+            let dist = |a: NodeId, b: NodeId| {
+                let (ac, ar) = (a.index() % n_side, a.index() / n_side);
+                let (bc, br) = (b.index() % n_side, b.index() / n_side);
+                (ac.abs_diff(bc) + ar.abs_diff(br)) as f64
+            };
+            let initial = initial_mapping(&clustering, n_side, n_side);
+            let fast = refine_mapping_min_hop(initial.clone(), &clustering, &traffic, dist);
+            let slow = refine_mapping_min_hop_reference(initial, &clustering, &traffic, dist);
+            let fast_tiles: Vec<usize> = (0..n).map(|t| fast.tile_of(t).index()).collect();
+            let slow_tiles: Vec<usize> = (0..n).map(|t| slow.tile_of(t).index()).collect();
+            assert_eq!(fast_tiles, slow_tiles, "n={n} seed={seed}");
+        }
     }
 
     #[test]

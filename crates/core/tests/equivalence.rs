@@ -1,0 +1,341 @@
+//! Golden-pinned equivalence tests for the incremental optimizer kernels and
+//! the reused-simulator `run_system` path.
+//!
+//! Every constant below was captured from the pre-optimization implementation
+//! (full swap-cost clustering refinement, routing-table-per-candidate WI
+//! annealing, full-cost min-hop refinement, and a fresh `NetworkSim` per
+//! relaxation window). The optimized kernels are required to reproduce those
+//! results *bit for bit*: assignments and mappings must be identical vectors,
+//! and every floating-point observable must match on its `to_bits()`
+//! representation, not merely within a tolerance. Any drift here means an
+//! optimization changed the computation rather than just its cost.
+
+use mapwave::config::{PlacementStrategy, PlatformConfig};
+use mapwave::design_flow::{DesignFlow, VfStage};
+use mapwave::system::run_system;
+use mapwave_phoenix::apps::App;
+use mapwave_vfi::clustering::ClusteringProblem;
+
+/// Deterministic clustering instance generator shared with the unit tests:
+/// utilizations in [0, 1] and sparse-ish inter-process rates scaled by 0.1.
+fn lcg_instance(n: usize, seed: u64) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        ((state >> 33) as f64) / (u32::MAX as f64 / 2.0)
+    };
+    let u: Vec<f64> = (0..n).map(|_| next().min(1.0)).collect();
+    let f: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|p| if i == p { 0.0 } else { next() * 0.1 })
+                .collect()
+        })
+        .collect();
+    (u, f)
+}
+
+#[test]
+fn clustering_solve_matches_pinned_goldens() {
+    let cases: [(usize, usize, u64, &[usize], u64); 4] = [
+        (
+            64,
+            4,
+            99,
+            &[
+                0, 2, 2, 3, 0, 1, 3, 1, 2, 3, 3, 1, 3, 1, 1, 2, 1, 2, 0, 2, 3, 0, 2, 2, 0, 1, 3, 3,
+                2, 1, 0, 2, 1, 1, 1, 0, 2, 2, 3, 0, 3, 0, 3, 0, 1, 2, 3, 3, 1, 2, 0, 3, 1, 0, 2, 0,
+                3, 0, 0, 3, 1, 2, 0, 1,
+            ],
+            4655379387557553268,
+        ),
+        (
+            64,
+            4,
+            7,
+            &[
+                1, 2, 0, 3, 1, 2, 3, 2, 3, 3, 2, 3, 3, 3, 2, 2, 3, 1, 1, 0, 0, 1, 0, 1, 2, 1, 3, 3,
+                0, 1, 1, 2, 0, 1, 2, 0, 3, 2, 0, 1, 2, 1, 3, 3, 0, 2, 0, 3, 0, 1, 0, 0, 1, 2, 3, 1,
+                3, 1, 0, 2, 2, 0, 0, 2,
+            ],
+            4655442867031367507,
+        ),
+        (
+            16,
+            4,
+            3,
+            &[0, 1, 3, 3, 0, 0, 1, 2, 1, 3, 2, 1, 2, 0, 2, 3],
+            4636947327634976266,
+        ),
+        (
+            32,
+            2,
+            41,
+            &[
+                1, 0, 0, 0, 1, 0, 1, 1, 1, 0, 0, 0, 1, 0, 0, 1, 1, 1, 1, 1, 0, 1, 1, 0, 0, 1, 1, 0,
+                0, 0, 1, 0,
+            ],
+            4646258336752911209,
+        ),
+    ];
+    for (n, m, seed, want, want_bits) in cases {
+        let (u, f) = lcg_instance(n, seed);
+        let prob = ClusteringProblem::new(u, f, m).unwrap();
+        let c = prob.solve();
+        assert_eq!(c.as_slice(), want, "assignment drift at n={n} seed={seed}");
+        assert_eq!(
+            prob.evaluate(c.as_slice()).to_bits(),
+            want_bits,
+            "cost drift at n={n} seed={seed}"
+        );
+    }
+}
+
+#[test]
+fn clustering_multistart_matches_reference_implementation() {
+    for seed in [7u64, 99] {
+        let (u, f) = lcg_instance(64, seed);
+        let prob = ClusteringProblem::new(u, f, 4).unwrap();
+        let fast = prob.solve_with_starts(6, seed);
+        let slow = prob.solve_with_starts_reference(6, seed);
+        assert_eq!(
+            fast.as_slice(),
+            slow.as_slice(),
+            "incremental refinement diverged from reference at seed={seed}"
+        );
+    }
+}
+
+/// One pinned `run_system` outcome for a design-flow platform spec.
+struct SpecGolden {
+    label: &'static str,
+    wis: &'static [(usize, usize)],
+    mapping: &'static [usize],
+    edp_bits: u64,
+    exec_s_bits: u64,
+    core_j_bits: u64,
+    net_j_bits: u64,
+    pkts: u64,
+    flits: u64,
+}
+
+fn check_app(app: App, clustering: &[usize], goldens: &[SpecGolden; 4]) {
+    let cfg = PlatformConfig::small().with_scale(0.002);
+    let flow = DesignFlow::new(cfg.clone()).unwrap();
+    let d = flow.design(app);
+    assert_eq!(
+        d.clustering.as_slice(),
+        clustering,
+        "{app}: clustering drift"
+    );
+    let specs = [
+        flow.nvfi_spec(),
+        flow.vfi_mesh_spec(&d, VfStage::Vfi2),
+        flow.winoc_spec(&d, PlacementStrategy::MinHopCount),
+        flow.winoc_spec(&d, PlacementStrategy::MaxWirelessUtilization),
+    ];
+    for (spec, g) in specs.iter().zip(goldens) {
+        assert_eq!(spec.label, g.label, "{app}: spec order changed");
+        let wis: Vec<(usize, usize)> = spec
+            .overlay
+            .interfaces()
+            .iter()
+            .map(|w| (w.node.index(), w.channel.index()))
+            .collect();
+        assert_eq!(wis, g.wis, "{app}/{}: WI placement drift", g.label);
+        let mapping: Vec<usize> = (0..cfg.cores())
+            .map(|t| spec.mapping.tile_of(t).index())
+            .collect();
+        assert_eq!(mapping, g.mapping, "{app}/{}: mapping drift", g.label);
+        let r = run_system(spec, &d.workload, &cfg, flow.power());
+        assert_eq!(r.edp.to_bits(), g.edp_bits, "{app}/{}: EDP drift", g.label);
+        assert_eq!(
+            r.exec_seconds.to_bits(),
+            g.exec_s_bits,
+            "{app}/{}: exec-time drift",
+            g.label
+        );
+        assert_eq!(
+            r.core_energy_j.to_bits(),
+            g.core_j_bits,
+            "{app}/{}: core-energy drift",
+            g.label
+        );
+        assert_eq!(
+            r.net_energy_j.to_bits(),
+            g.net_j_bits,
+            "{app}/{}: network-energy drift",
+            g.label
+        );
+        assert_eq!(
+            r.net.packets_delivered, g.pkts,
+            "{app}/{}: packet-count drift",
+            g.label
+        );
+        assert_eq!(
+            r.net.flits_delivered, g.flits,
+            "{app}/{}: flit-count drift",
+            g.label
+        );
+    }
+}
+
+#[test]
+fn word_count_design_flow_matches_pinned_goldens() {
+    check_app(
+        App::WordCount,
+        &[3, 1, 1, 1, 3, 1, 2, 2, 3, 0, 2, 2, 3, 0, 0, 0],
+        &[
+            SpecGolden {
+                label: "NVFI Mesh",
+                wis: &[],
+                mapping: &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15],
+                edp_bits: 4500531719255532292,
+                exec_s_bits: 4546433203226585941,
+                core_j_bits: 4560662988908069539,
+                net_j_bits: 4540530008628726038,
+                pkts: 1173,
+                flits: 4692,
+            },
+            SpecGolden {
+                label: "VFI Mesh",
+                wis: &[],
+                mapping: &[10, 2, 6, 3, 11, 7, 9, 8, 14, 5, 13, 12, 15, 1, 4, 0],
+                edp_bits: 4498998284149600227,
+                exec_s_bits: 4547766197570880450,
+                core_j_bits: 4557725380449206000,
+                net_j_bits: 4540636925918002481,
+                pkts: 871,
+                flits: 3484,
+            },
+            SpecGolden {
+                label: "VFI WiNoC (min-hop-count)",
+                wis: &[
+                    (0, 0),
+                    (1, 1),
+                    (2, 0),
+                    (3, 1),
+                    (4, 2),
+                    (6, 2),
+                    (8, 0),
+                    (9, 1),
+                    (10, 0),
+                    (11, 1),
+                    (12, 2),
+                    (14, 2),
+                ],
+                mapping: &[15, 2, 6, 3, 10, 7, 9, 8, 14, 1, 13, 12, 11, 0, 5, 4],
+                edp_bits: 4498817093629414597,
+                exec_s_bits: 4547683737987720684,
+                core_j_bits: 4557665516274137090,
+                net_j_bits: 4540781517386087858,
+                pkts: 873,
+                flits: 3492,
+            },
+            SpecGolden {
+                label: "VFI WiNoC (max-wireless-util)",
+                wis: &[
+                    (0, 0),
+                    (1, 1),
+                    (2, 0),
+                    (3, 1),
+                    (4, 2),
+                    (6, 2),
+                    (8, 0),
+                    (9, 1),
+                    (10, 0),
+                    (11, 1),
+                    (12, 2),
+                    (14, 2),
+                ],
+                mapping: &[15, 7, 6, 3, 14, 2, 12, 13, 10, 1, 9, 8, 11, 4, 5, 0],
+                edp_bits: 4498783471384414207,
+                exec_s_bits: 4547671202171649983,
+                core_j_bits: 4557659166696033487,
+                net_j_bits: 4540703573859188003,
+                pkts: 885,
+                flits: 3540,
+            },
+        ],
+    );
+}
+
+#[test]
+fn histogram_design_flow_matches_pinned_goldens() {
+    check_app(
+        App::Histogram,
+        &[3, 3, 3, 2, 3, 2, 2, 2, 1, 1, 1, 0, 1, 0, 0, 0],
+        &[
+            SpecGolden {
+                label: "NVFI Mesh",
+                wis: &[],
+                mapping: &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15],
+                edp_bits: 4510616575407276016,
+                exec_s_bits: 4549905108438729989,
+                core_j_bits: 4567215503274819719,
+                net_j_bits: 4550609790951389738,
+                pkts: 1787,
+                flits: 7148,
+            },
+            SpecGolden {
+                label: "VFI Mesh",
+                wis: &[],
+                mapping: &[15, 11, 14, 13, 10, 9, 12, 8, 7, 3, 6, 5, 2, 1, 4, 0],
+                edp_bits: 4510603244902538918,
+                exec_s_bits: 4549898611793014813,
+                core_j_bits: 4567209181924916142,
+                net_j_bits: 4550643029656581466,
+                pkts: 1792,
+                flits: 7168,
+            },
+            SpecGolden {
+                label: "VFI WiNoC (min-hop-count)",
+                wis: &[
+                    (0, 1),
+                    (1, 0),
+                    (2, 2),
+                    (3, 1),
+                    (4, 2),
+                    (6, 0),
+                    (8, 1),
+                    (11, 1),
+                    (12, 2),
+                    (13, 0),
+                    (14, 2),
+                    (15, 0),
+                ],
+                mapping: &[14, 11, 15, 13, 10, 9, 12, 8, 7, 6, 3, 5, 2, 1, 4, 0],
+                edp_bits: 4510225743065942958,
+                exec_s_bits: 4549742952911914744,
+                core_j_bits: 4567069028646682297,
+                net_j_bits: 4550465319051733073,
+                pkts: 1822,
+                flits: 7288,
+            },
+            SpecGolden {
+                label: "VFI WiNoC (max-wireless-util)",
+                wis: &[
+                    (0, 0),
+                    (1, 1),
+                    (2, 0),
+                    (3, 1),
+                    (4, 2),
+                    (6, 2),
+                    (8, 0),
+                    (9, 1),
+                    (10, 0),
+                    (11, 1),
+                    (12, 2),
+                    (14, 2),
+                ],
+                mapping: &[15, 14, 11, 13, 10, 9, 8, 12, 7, 3, 6, 5, 2, 1, 4, 0],
+                edp_bits: 4510179240534308760,
+                exec_s_bits: 4549721795451196147,
+                core_j_bits: 4567050000529821836,
+                net_j_bits: 4550492393255335844,
+                pkts: 1822,
+                flits: 7288,
+            },
+        ],
+    );
+}

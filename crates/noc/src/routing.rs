@@ -481,6 +481,240 @@ impl RoutingTable {
     }
 }
 
+/// Distance-only up\*/down\* evaluation with reusable scratch buffers.
+///
+/// [`RoutingTable::up_down_weighted`] materialises a next-hop entry for
+/// every `(switch, phase, destination)` state; the per-state candidate
+/// collection, tie-break sorting, and hub resolution dominate construction
+/// cost. Placement search only needs the hop-metric *distances*, and
+/// shortest-path distances are unique values independent of tie-breaking —
+/// so an evaluator that computes just the distances returns exactly the
+/// numbers `RoutingTable::distance` would, at a fraction of the cost.
+///
+/// The evaluator keeps flat scratch across calls (no per-evaluation
+/// allocation once warm) and replaces the binary heap with a Dial bucket
+/// queue: edge weights are only `1` (wire) and `hub_edge_weight` (hub), so
+/// a ring of `hub_edge_weight + 1` buckets yields monotone extraction.
+///
+/// Usage: construct once per topology, [`prepare`](Self::prepare) per
+/// overlay (rebuilds the extended adjacency and BFS levels), then query
+/// [`distances_into`](Self::distances_into) per destination of interest.
+///
+/// # Examples
+///
+/// ```
+/// use mapwave_noc::routing::{RoutingTable, UpDownDistances};
+/// use mapwave_noc::topology::mesh::mesh;
+/// use mapwave_noc::topology::wireless::WirelessOverlay;
+/// use mapwave_noc::NodeId;
+///
+/// let m = mesh(4, 4, 1.0);
+/// let table = RoutingTable::up_down(&m, &WirelessOverlay::none()).unwrap();
+/// let mut eval = UpDownDistances::new(&m, 1);
+/// assert!(eval.prepare(&WirelessOverlay::none()));
+/// let mut out = vec![0u32; 16];
+/// eval.distances_into(NodeId(5), &mut out);
+/// for s in 0..16 {
+///     assert_eq!(out[s], table.distance(NodeId(s), NodeId(5)));
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct UpDownDistances {
+    n: usize,
+    hub_edge_weight: u32,
+    /// Wired adjacency CSR over the switches (fixed for the topology).
+    wired_off: Vec<usize>,
+    wired_adj: Vec<usize>,
+    /// Combined adjacency CSR (switches then hub vertices); per overlay.
+    adj_off: Vec<usize>,
+    adj: Vec<usize>,
+    /// BFS levels from the spanning-tree root; per overlay.
+    level: Vec<usize>,
+    /// Phase-expanded distances for the current destination.
+    dist: Vec<u32>,
+    /// Dial ring: `hub_edge_weight + 1` buckets of state ids.
+    buckets: Vec<Vec<usize>>,
+    bfs: VecDeque<usize>,
+}
+
+impl UpDownDistances {
+    /// Builds an evaluator for `topo` with the given hub-edge weight
+    /// (same metric as [`RoutingTable::up_down_weighted`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hub_edge_weight == 0`.
+    pub fn new(topo: &Topology, hub_edge_weight: u32) -> Self {
+        assert!(hub_edge_weight > 0, "hub edge weight must be nonzero");
+        let n = topo.len();
+        let mut wired_off = Vec::with_capacity(n + 1);
+        let mut wired_adj = Vec::new();
+        wired_off.push(0);
+        for v in topo.nodes() {
+            wired_adj.extend(topo.neighbors(v).iter().map(|w| w.index()));
+            wired_off.push(wired_adj.len());
+        }
+        UpDownDistances {
+            n,
+            hub_edge_weight,
+            wired_off,
+            wired_adj,
+            adj_off: Vec::new(),
+            adj: Vec::new(),
+            level: Vec::new(),
+            dist: Vec::new(),
+            buckets: vec![Vec::new(); hub_edge_weight as usize + 1],
+            bfs: VecDeque::new(),
+        }
+    }
+
+    /// Rebuilds the extended adjacency and spanning-tree levels for
+    /// `overlay`. Returns `false` when the extended graph is disconnected
+    /// or empty — exactly the cases where [`RoutingTable::up_down_weighted`]
+    /// returns an error and a placement cost would be infinite.
+    pub fn prepare(&mut self, overlay: &WirelessOverlay) -> bool {
+        let n = self.n;
+        if n == 0 {
+            return false;
+        }
+        let hubs = overlay.channel_count();
+        let total = n + hubs;
+
+        // Degree counts: wired degree plus one per attached WI; hub degree
+        // is its member count.
+        self.adj_off.clear();
+        self.adj_off.resize(total + 1, 0);
+        for v in 0..n {
+            self.adj_off[v + 1] = self.wired_off[v + 1] - self.wired_off[v];
+        }
+        for wi in overlay.interfaces() {
+            self.adj_off[wi.node.index() + 1] += 1;
+            self.adj_off[n + wi.channel.index() + 1] += 1;
+        }
+        for v in 0..total {
+            self.adj_off[v + 1] += self.adj_off[v];
+        }
+        self.adj.clear();
+        self.adj.resize(self.adj_off[total], usize::MAX);
+        // Fill via per-vertex cursors; neighbour order is irrelevant to
+        // levels and distances (BFS levels are shortest hop counts).
+        let mut cursor: Vec<usize> = self.adj_off[..total].to_vec();
+        for (v, cur) in cursor.iter_mut().enumerate().take(n) {
+            for &w in &self.wired_adj[self.wired_off[v]..self.wired_off[v + 1]] {
+                self.adj[*cur] = w;
+                *cur += 1;
+            }
+        }
+        for wi in overlay.interfaces() {
+            let (v, hub) = (wi.node.index(), n + wi.channel.index());
+            self.adj[cursor[v]] = hub;
+            cursor[v] += 1;
+            self.adj[cursor[hub]] = v;
+            cursor[hub] += 1;
+        }
+
+        // Root: highest combined degree, ties toward the lowest switch id —
+        // the same selection as `RoutingTable::up_down_weighted`.
+        let root = (0..n)
+            .max_by_key(|&v| (self.adj_off[v + 1] - self.adj_off[v], usize::MAX - v))
+            .expect("n > 0");
+        self.level.clear();
+        self.level.resize(total, usize::MAX);
+        self.level[root] = 0;
+        self.bfs.clear();
+        self.bfs.push_back(root);
+        let mut visited = 1usize;
+        while let Some(v) = self.bfs.pop_front() {
+            for &w in &self.adj[self.adj_off[v]..self.adj_off[v + 1]] {
+                if self.level[w] == usize::MAX {
+                    self.level[w] = self.level[v] + 1;
+                    visited += 1;
+                    self.bfs.push_back(w);
+                }
+            }
+        }
+        visited == total
+    }
+
+    /// Writes the hop-metric distance from every switch (fresh packet,
+    /// phase Up) to `dest` into `out[src]` — the same values
+    /// [`RoutingTable::distance`] reports for the prepared overlay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != topo.len()`, if `dest` is out of range, or
+    /// if called before a successful [`prepare`](Self::prepare).
+    pub fn distances_into(&mut self, dest: NodeId, out: &mut [u32]) {
+        let n = self.n;
+        assert_eq!(out.len(), n, "output slice must cover every switch");
+        let total = self.level.len();
+        assert!(total >= n && dest.index() < n, "prepare() before querying");
+        let w_hub = self.hub_edge_weight;
+        let ring = w_hub as usize + 1;
+        let state = |v: usize, p: usize| v * 2 + p;
+
+        self.dist.clear();
+        self.dist.resize(total * 2, u32::MAX);
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        let d = dest.index();
+        self.dist[state(d, 0)] = 0;
+        self.dist[state(d, 1)] = 0;
+        self.buckets[0].push(state(d, 0));
+        self.buckets[0].push(state(d, 1));
+        let mut pending = 2usize;
+        let mut c = 0u32;
+
+        // Reverse Dijkstra over the phase-expanded graph via Dial buckets:
+        // weights are 1 or `w_hub`, so draining buckets in ring order pops
+        // states in nondecreasing cost — distances match the heap version.
+        while pending > 0 {
+            while let Some(s) = self.buckets[c as usize % ring].pop() {
+                pending -= 1;
+                if self.dist[s] != c {
+                    continue; // stale entry superseded by a shorter path
+                }
+                let (w, q) = (s / 2, s % 2);
+                for &v in &self.adj[self.adj_off[w]..self.adj_off[w + 1]] {
+                    // Predecessor states that may step v -> w into phase q
+                    // (same transition legality as the table builder).
+                    let up = (self.level[w], w) < (self.level[v], v);
+                    let preds: &[usize] = if up {
+                        if q == 0 {
+                            &[0]
+                        } else {
+                            &[]
+                        }
+                    } else if q == 1 {
+                        &[0, 1]
+                    } else {
+                        &[]
+                    };
+                    let nc = c + if v >= n || w >= n { w_hub } else { 1 };
+                    for &pp in preds {
+                        let ps = state(v, pp);
+                        if nc < self.dist[ps] {
+                            self.dist[ps] = nc;
+                            self.buckets[nc as usize % ring].push(ps);
+                            pending += 1;
+                        }
+                    }
+                }
+            }
+            c += 1;
+        }
+
+        for (src, slot) in out.iter_mut().enumerate() {
+            let dv = self.dist[state(src, 0)];
+            // A connected graph always admits an Up-phase route: climb the
+            // tree to the root, then descend along BFS-tree edges.
+            debug_assert_ne!(dv, u32::MAX, "connected graph has Up routes");
+            *slot = dv;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -691,6 +925,92 @@ mod tests {
             RoutingTable::up_down(&topo, &WirelessOverlay::none()).unwrap_err(),
             RoutingError::Empty
         );
+    }
+
+    fn assert_distances_match(
+        topo: &Topology,
+        overlay: &WirelessOverlay,
+        weight: u32,
+        eval: &mut UpDownDistances,
+    ) {
+        let table = RoutingTable::up_down_weighted(topo, overlay, weight).unwrap();
+        assert!(eval.prepare(overlay), "table built, so graph is connected");
+        let n = topo.len();
+        let mut out = vec![0u32; n];
+        for d in 0..n {
+            eval.distances_into(NodeId(d), &mut out);
+            for (s, &got) in out.iter().enumerate() {
+                assert_eq!(
+                    got,
+                    table.distance(NodeId(s), NodeId(d)),
+                    "distance mismatch {s}->{d} (weight {weight})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distance_evaluator_matches_table_on_mesh() {
+        let m = mesh(4, 4, 1.0);
+        let mut eval = UpDownDistances::new(&m, 1);
+        assert_distances_match(&m, &WirelessOverlay::none(), 1, &mut eval);
+    }
+
+    #[test]
+    fn distance_evaluator_matches_table_on_winoc() {
+        let topo = SmallWorldBuilder::new(grid_positions(8, 8, 2.5), quadrant_clusters())
+            .seed(3)
+            .build()
+            .unwrap();
+        for weight in [1u32, 2, 3] {
+            let mut eval = UpDownDistances::new(&topo, weight);
+            assert_distances_match(&topo, &paper_overlay(), weight, &mut eval);
+        }
+    }
+
+    #[test]
+    fn distance_evaluator_scratch_reuse_across_overlays() {
+        // One evaluator, several overlays (including none): each prepare()
+        // must fully reset the per-overlay state.
+        let topo = SmallWorldBuilder::new(grid_positions(8, 8, 2.5), quadrant_clusters())
+            .seed(3)
+            .build()
+            .unwrap();
+        let mut eval = UpDownDistances::new(&topo, 2);
+        let moved = WirelessOverlay::new(
+            paper_overlay()
+                .interfaces()
+                .iter()
+                .map(|w| WirelessInterface {
+                    node: NodeId((w.node.index() + 8) % 64),
+                    channel: w.channel,
+                })
+                .collect(),
+            3,
+        )
+        .unwrap();
+        for overlay in [paper_overlay(), moved, WirelessOverlay::none()] {
+            assert_distances_match(&topo, &overlay, 2, &mut eval);
+        }
+    }
+
+    #[test]
+    fn distance_evaluator_detects_disconnection() {
+        let topo = Topology::new(
+            vec![
+                crate::node::Position::new(0.0, 0.0),
+                crate::node::Position::new(1.0, 0.0),
+            ],
+            crate::topology::TopologyKind::Custom,
+        );
+        let mut eval = UpDownDistances::new(&topo, 1);
+        assert!(!eval.prepare(&WirelessOverlay::none()));
+        // An unused channel's hub vertex is isolated: the table builder
+        // rejects it, and so must the evaluator.
+        let m = mesh(2, 2, 1.0);
+        assert!(RoutingTable::up_down(&m, &WirelessOverlay::new(vec![], 1).unwrap()).is_err());
+        let mut eval = UpDownDistances::new(&m, 1);
+        assert!(!eval.prepare(&WirelessOverlay::new(vec![], 1).unwrap()));
     }
 
     #[test]

@@ -50,6 +50,7 @@ use crate::traffic::{Injector, TrafficMatrix};
 use mapwave_harness::rng::SeedableRng;
 use mapwave_harness::rng::StdRng;
 use mapwave_harness::telemetry;
+use std::borrow::Cow;
 use std::collections::VecDeque;
 
 /// Tunable microarchitecture parameters of the simulated network.
@@ -156,6 +157,13 @@ fn mac_holds_packet(ports: &PortMap, fabric: &FabricState, holder: Option<NodeId
 
 /// A cycle-accurate simulator instance for one network configuration.
 ///
+/// The network description (topology, overlay, routing table) is held as
+/// [`Cow`]: the owned constructors ([`NetworkSim::new`],
+/// [`NetworkSim::with_clocks`]) yield a `NetworkSim<'static>`, while
+/// [`NetworkSim::with_clocks_borrowed`] borrows an existing description —
+/// callers that already hold a spec (e.g. a full-system run) build a
+/// simulator without cloning multi-kilobyte component state.
+///
 /// # Examples
 ///
 /// ```
@@ -182,10 +190,10 @@ fn mac_holds_packet(ports: &PortMap, fabric: &FabricState, holder: Option<NodeId
 /// # Ok::<(), mapwave_noc::sim::SimError>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct NetworkSim {
-    topo: Topology,
-    overlay: WirelessOverlay,
-    table: RoutingTable,
+pub struct NetworkSim<'a> {
+    topo: Cow<'a, Topology>,
+    overlay: Cow<'a, WirelessOverlay>,
+    table: Cow<'a, RoutingTable>,
     ports: PortMap,
     energy_model: EnergyModel,
     cfg: SimConfig,
@@ -255,7 +263,7 @@ pub struct NetworkSim {
     moves_last_step: u64,
 }
 
-impl NetworkSim {
+impl<'a> NetworkSim<'a> {
     /// Creates a simulator over `topo` with uniform full-speed clocks.
     ///
     /// # Errors
@@ -291,6 +299,53 @@ impl NetworkSim {
         topo: Topology,
         overlay: WirelessOverlay,
         table: RoutingTable,
+        energy_model: EnergyModel,
+        cfg: SimConfig,
+        speeds: Vec<f64>,
+        domains: Vec<usize>,
+    ) -> Result<Self, SimError> {
+        Self::build(
+            Cow::Owned(topo),
+            Cow::Owned(overlay),
+            Cow::Owned(table),
+            energy_model,
+            cfg,
+            speeds,
+            domains,
+        )
+    }
+
+    /// [`NetworkSim::with_clocks`] over borrowed network components: no
+    /// topology/overlay/table clone, so one simulator can be assembled per
+    /// evaluation without copying the network description.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`].
+    pub fn with_clocks_borrowed(
+        topo: &'a Topology,
+        overlay: &'a WirelessOverlay,
+        table: &'a RoutingTable,
+        energy_model: EnergyModel,
+        cfg: SimConfig,
+        speeds: Vec<f64>,
+        domains: Vec<usize>,
+    ) -> Result<Self, SimError> {
+        Self::build(
+            Cow::Borrowed(topo),
+            Cow::Borrowed(overlay),
+            Cow::Borrowed(table),
+            energy_model,
+            cfg,
+            speeds,
+            domains,
+        )
+    }
+
+    fn build(
+        topo: Cow<'a, Topology>,
+        overlay: Cow<'a, WirelessOverlay>,
+        table: Cow<'a, RoutingTable>,
         energy_model: EnergyModel,
         cfg: SimConfig,
         speeds: Vec<f64>,
@@ -1106,7 +1161,7 @@ mod tests {
     use crate::topology::small_world::SmallWorldBuilder;
     use crate::topology::wireless::{ChannelId, WirelessInterface};
 
-    fn mesh_sim(cols: usize, rows: usize) -> NetworkSim {
+    fn mesh_sim(cols: usize, rows: usize) -> NetworkSim<'static> {
         NetworkSim::new(
             mesh(cols, rows, 2.5),
             WirelessOverlay::none(),
@@ -1418,7 +1473,7 @@ mod tests {
         assert_eq!(err, SimError::InvalidConfig);
     }
 
-    fn adaptive_mesh_sim(cols: usize, rows: usize) -> NetworkSim {
+    fn adaptive_mesh_sim(cols: usize, rows: usize) -> NetworkSim<'static> {
         let cfg = SimConfig {
             vcs: 2,
             adaptive: true,

@@ -20,7 +20,7 @@ pub struct LinkLoad {
 
 /// Aggregate statistics collected during the measurement window of a
 /// [`crate::sim::NetworkSim`] run.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, PartialEq, Default)]
 pub struct NetworkStats {
     /// Cycles in the measurement window.
     pub cycles: u64,
@@ -58,6 +58,46 @@ impl StableHash for LinkLoad {
         self.from.index().stable_hash(h);
         self.to.index().stable_hash(h);
         self.flits.stable_hash(h);
+    }
+}
+
+/// Manual so that `clone_from` reuses the histogram and link-load
+/// allocations — callers that retain per-window statistics round after
+/// round (e.g. a relaxation loop) overwrite one slot in place instead of
+/// allocating fresh vectors each time.
+impl Clone for NetworkStats {
+    fn clone(&self) -> Self {
+        NetworkStats {
+            cycles: self.cycles,
+            packets_injected: self.packets_injected,
+            packets_delivered: self.packets_delivered,
+            flits_delivered: self.flits_delivered,
+            latency_sum: self.latency_sum,
+            max_latency: self.max_latency,
+            wireless_flit_hops: self.wireless_flit_hops,
+            wire_flit_hops: self.wire_flit_hops,
+            adaptive_flit_hops: self.adaptive_flit_hops,
+            energy: self.energy,
+            in_flight_at_end: self.in_flight_at_end,
+            latency_histogram: self.latency_histogram.clone(),
+            link_loads: self.link_loads.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.cycles = source.cycles;
+        self.packets_injected = source.packets_injected;
+        self.packets_delivered = source.packets_delivered;
+        self.flits_delivered = source.flits_delivered;
+        self.latency_sum = source.latency_sum;
+        self.max_latency = source.max_latency;
+        self.wireless_flit_hops = source.wireless_flit_hops;
+        self.wire_flit_hops = source.wire_flit_hops;
+        self.adaptive_flit_hops = source.adaptive_flit_hops;
+        self.energy = source.energy;
+        self.in_flight_at_end = source.in_flight_at_end;
+        self.latency_histogram.clone_from(&source.latency_histogram);
+        self.link_loads.clone_from(&source.link_loads);
     }
 }
 

@@ -24,7 +24,7 @@ use mapwave_noc::{EnergyModel, NodeId, TrafficMatrix};
 /// digest the reference implementation produced.
 struct Scenario {
     name: &'static str,
-    sim: NetworkSim,
+    sim: NetworkSim<'static>,
     traffic: TrafficMatrix,
     warmup: u64,
     measure: u64,
@@ -95,7 +95,7 @@ fn wireless_line(len: usize) -> (Topology, WirelessOverlay) {
     (topo, overlay)
 }
 
-fn mesh_sim(side: usize, cfg: SimConfig) -> NetworkSim {
+fn mesh_sim(side: usize, cfg: SimConfig) -> NetworkSim<'static> {
     NetworkSim::new(
         mesh(side, side, 2.5),
         WirelessOverlay::none(),

@@ -143,6 +143,13 @@ impl Executor {
         &self.cfg
     }
 
+    /// Replaces the per-stage remote-L2 latencies in place, so a relaxation
+    /// loop can re-run the executor with updated network feedback without
+    /// rebuilding (and recloning) the whole configuration each round.
+    pub fn set_phase_latencies(&mut self, latencies: PhaseLatencies) {
+        self.cfg.remote_l2_latency = latencies;
+    }
+
     /// Effective duration of `task` on `core`, in reference cycles.
     ///
     /// Compute cycles stretch with the core's clock divider, but cache-miss
