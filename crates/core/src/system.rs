@@ -20,7 +20,7 @@ use mapwave_noc::routing::RoutingTable;
 use mapwave_noc::sim::{NetworkSim, SimConfig};
 use mapwave_noc::topology::wireless::WirelessOverlay;
 use mapwave_noc::{EnergyModel, NetworkStats, NodeId, Topology};
-use mapwave_phoenix::runtime::{Executor, RuntimeConfig};
+use mapwave_phoenix::runtime::{ExecScratch, Executor, RuntimeConfig};
 use mapwave_phoenix::stealing::StealPolicy;
 use mapwave_phoenix::task::PhaseKind;
 use mapwave_phoenix::workload::{AppWorkload, ExecutionReport, PhaseLatencies};
@@ -117,14 +117,17 @@ pub fn run_system(
     let speeds = spec.vf.core_speeds(&spec.clustering, table);
 
     // Pass 1: execute with a nominal network latency to obtain traffic.
-    // One executor serves every relaxation round — latencies are swapped
-    // in place instead of recloning the configuration per round.
+    // One executor and one scheduler scratch serve every relaxation round —
+    // latencies are swapped in place instead of recloning the configuration
+    // per round, and the scratch keeps queue/heap/flit allocations warm
+    // across reruns.
     let base_cfg = RuntimeConfig::nvfi(n)
         .with_speeds(speeds)
         .with_steal_policy(spec.steal);
     let default_rt = base_cfg.remote_l2_latency.map;
     let mut executor = Executor::new(base_cfg);
-    let mut exec = executor.run(workload);
+    let mut scratch = ExecScratch::new();
+    let mut exec = executor.run_with_scratch(workload, &mut scratch);
 
     // The NoC is VFI-partitioned too: each quadrant's switches run at the
     // quadrant cluster's frequency.
@@ -233,7 +236,7 @@ pub fn run_system(
             break;
         }
         executor.set_phase_latencies(latencies);
-        exec = executor.run(workload);
+        exec = executor.run_with_scratch(workload, &mut scratch);
         prev = latencies;
     }
 

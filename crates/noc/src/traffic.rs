@@ -104,6 +104,29 @@ impl TrafficMatrix {
         Ok(m)
     }
 
+    /// Builds a matrix directly from a dense row-major rate buffer of
+    /// length `n * n`, forcing the (ignored) diagonal to zero. This is the
+    /// bulk-construction fast path: callers can produce the whole buffer
+    /// branch-free (e.g. scaling a flit-count accumulator) and this
+    /// constructor restores the diagonal invariant in one pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rates.len() != n * n`. Debug builds additionally reject
+    /// negative or non-finite off-diagonal rates, mirroring
+    /// [`TrafficMatrix::from_rows`].
+    pub fn from_dense(n: usize, mut rates: Vec<f64>) -> Self {
+        assert_eq!(rates.len(), n * n, "dense rate buffer must be n*n");
+        for s in 0..n {
+            rates[s * n + s] = 0.0;
+        }
+        debug_assert!(
+            rates.iter().all(|r| r.is_finite() && *r >= 0.0),
+            "rates must be finite and non-negative"
+        );
+        TrafficMatrix { n, rates }
+    }
+
     /// Uniform random traffic: every node sends to every other node at a
     /// rate such that each source injects `injection_rate` packets/cycle.
     pub fn uniform(n: usize, injection_rate: f64) -> Self {
@@ -371,6 +394,22 @@ mod tests {
     fn from_rows_rejects_ragged() {
         let err = TrafficMatrix::from_rows(vec![vec![0.0, 0.0], vec![0.0]]).unwrap_err();
         assert!(matches!(err, TrafficError::NotSquare { .. }));
+    }
+
+    #[test]
+    fn from_dense_zeroes_diagonal() {
+        let m = TrafficMatrix::from_dense(2, vec![7.0, 0.25, 0.5, 9.0]);
+        assert_eq!(m.rate(NodeId(0), NodeId(0)), 0.0);
+        assert_eq!(m.rate(NodeId(1), NodeId(1)), 0.0);
+        assert_eq!(m.rate(NodeId(0), NodeId(1)), 0.25);
+        assert_eq!(m.rate(NodeId(1), NodeId(0)), 0.5);
+        assert_eq!(m.total_rate(), 0.75);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense rate buffer")]
+    fn from_dense_rejects_wrong_length() {
+        let _ = TrafficMatrix::from_dense(2, vec![0.0; 3]);
     }
 
     #[test]

@@ -15,16 +15,32 @@
 //! Task durations combine modelled compute cycles with cache-miss stalls
 //! that depend on the NoC round-trip latency — the coupling through which a
 //! better interconnect (the WiNoC) shortens execution.
+//!
+//! # Execution-model kernels
+//!
+//! The scheduler's per-completion cost tracks tasks moved, not
+//! cores × tasks: steal victims come from an indexed max-structure
+//! ([`StealIndex`], length-bucketed core bitmasks) instead of an O(cores)
+//! scan, span recording compiles away in untraced [`Executor::run`] calls
+//! (the sealed [`SpanSink`] parameter), and all per-phase scratch (task
+//! queues, caps, the event heap, flit accumulators) lives in an
+//! [`ExecScratch`] that is reused across phases, iterations and —
+//! via [`Executor::run_with_scratch`] — across relaxation rounds. Every
+//! observable is bit-identical to the pre-optimization scheduler, which is
+//! kept in-tree as [`Executor::run_traced_reference`] and pinned by
+//! `crates/phoenix/tests/equivalence.rs`.
 
-use crate::stealing::{caps_for_phase, StealPolicy};
+use crate::stealing::{caps_for_phase_into, StealPolicy};
 use crate::task::{PhaseKind, TaskWork};
 use crate::timeline::{Span, Timeline};
 use crate::workload::{AppWorkload, ExecutionReport, PhaseBreakdown, PhaseLatencies, PhaseTraffic};
 use mapwave_harness::telemetry;
 use mapwave_manycore::cache::{CacheModel, MemoryProfile};
 use mapwave_manycore::event::EventQueue;
-use mapwave_noc::{NodeId, TrafficMatrix};
+use mapwave_noc::TrafficMatrix;
 use std::collections::VecDeque;
+
+mod reference;
 
 /// Platform/runtime parameters of one execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -104,14 +120,261 @@ impl RuntimeConfig {
     }
 }
 
+/// A task-completion event (internal).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Completion {
+    pub(crate) core: usize,
+}
+
+/// Where the scheduler reports busy spans.
+///
+/// The trait is crate-private (maximally sealed): the only implementors are
+/// [`Timeline`] (the traced path, byte-identical output to the reference
+/// scheduler) and [`NoSpans`] (the untraced path, where `record` compiles
+/// down to a counter increment and the span tuple is never materialised).
+pub(crate) trait SpanSink {
+    /// Accepts one busy span in absolute (run-clock) time.
+    fn record(&mut self, span: Span);
+}
+
+/// Span sink of untraced runs: discards every span, counting the elisions
+/// for the `phoenix.spans_skipped` telemetry counter.
+#[derive(Debug, Default)]
+pub(crate) struct NoSpans {
+    skipped: u64,
+}
+
+impl SpanSink for NoSpans {
+    #[inline]
+    fn record(&mut self, _span: Span) {
+        self.skipped += 1;
+    }
+}
+
+impl SpanSink for Timeline {
+    #[inline]
+    fn record(&mut self, span: Span) {
+        self.push(span);
+    }
+}
+
+/// Indexed max-structure over the nonempty task queues, keyed by queue
+/// length with lowest-core-index tie-break — the same victim order as the
+/// reference scheduler's `max_by_key(|&v| (queues[v].len(), usize::MAX - v))`
+/// scan, at O(words) per lookup instead of O(cores).
+///
+/// Queues only ever shrink after the round-robin distribution, so the
+/// structure is a dense array of length buckets (bitmask of cores per
+/// length) with a monotonically falling `cur_max` watermark: each
+/// `decrement` moves one core down one bucket, and `best` resumes its
+/// downward scan from the previous watermark, making the whole phase's
+/// bucket traversal amortized O(max queue length).
+#[derive(Debug, Default, Clone)]
+struct StealIndex {
+    /// `buckets[len * words ..][.. words]` = bitmask of cores whose queue
+    /// currently holds exactly `len` tasks (len ≥ 1 only).
+    buckets: Vec<u64>,
+    /// Bitmask words per bucket (`ceil(cores / 64)`).
+    words: usize,
+    /// No bucket above this length is nonempty.
+    cur_max: usize,
+}
+
+impl StealIndex {
+    /// Rebuilds the index from the per-core queues of a fresh phase.
+    fn rebuild(&mut self, queues: &[VecDeque<usize>]) {
+        self.words = queues.len().div_ceil(64).max(1);
+        let max_len = queues.iter().map(VecDeque::len).max().unwrap_or(0);
+        self.cur_max = max_len;
+        self.buckets.clear();
+        self.buckets.resize((max_len + 1) * self.words, 0);
+        for (core, q) in queues.iter().enumerate() {
+            let len = q.len();
+            if len > 0 {
+                self.buckets[len * self.words + (core >> 6)] |= 1u64 << (core & 63);
+            }
+        }
+    }
+
+    /// Records that `core`'s queue shrank from `old_len` to `old_len - 1`.
+    #[inline]
+    fn decrement(&mut self, core: usize, old_len: usize) {
+        debug_assert!(old_len >= 1);
+        let w = core >> 6;
+        let bit = 1u64 << (core & 63);
+        self.buckets[old_len * self.words + w] &= !bit;
+        if old_len > 1 {
+            self.buckets[(old_len - 1) * self.words + w] |= bit;
+        }
+    }
+
+    /// The steal victim: the core with the longest nonempty queue, lowest
+    /// index on ties. `None` when every queue is empty.
+    #[inline]
+    fn best(&mut self) -> Option<usize> {
+        while self.cur_max > 0 {
+            let row = &self.buckets[self.cur_max * self.words..(self.cur_max + 1) * self.words];
+            for (wi, &word) in row.iter().enumerate() {
+                if word != 0 {
+                    return Some((wi << 6) | word.trailing_zeros() as usize);
+                }
+            }
+            self.cur_max -= 1;
+        }
+        None
+    }
+}
+
+/// Reusable executor scratch: every per-phase allocation of the scheduler
+/// (task queues, caps, the completion heap, the steal index) plus the
+/// per-run flit accumulators and the neighbour table of the traffic model.
+///
+/// [`Executor::run`] creates one internally per call; hot loops that replay
+/// the same executor many times (the `run_system` relaxation rounds, the
+/// `phoenix_run` micro-bench) hold one across calls via
+/// [`Executor::run_with_scratch`] so no per-phase heap allocation remains.
+#[derive(Debug, Default, Clone)]
+pub struct ExecScratch {
+    queues: Vec<VecDeque<usize>>,
+    caps: Vec<usize>,
+    done: Vec<usize>,
+    events: EventQueue<Completion>,
+    steal_index: StealIndex,
+    /// Flattened neighbour lists of the memory-traffic model, valid for
+    /// `neighbors_n` cores.
+    neighbors_flat: Vec<usize>,
+    neighbors_off: Vec<usize>,
+    neighbors_n: usize,
+    map_flits: Vec<f64>,
+    reduce_flits: Vec<f64>,
+    merge_flits: Vec<f64>,
+    total_flits: Vec<f64>,
+    /// Per-core reduce-task counts, the 0/1 pass indicators, and the
+    /// high-count overflow list of the shuffle scatter (see the shuffle
+    /// block in `run_impl`).
+    shuffle_cnt: Vec<u32>,
+    shuffle_excess: Vec<(usize, u32)>,
+}
+
+/// Radius of the neighbour-locality bias: memory traffic is shared with
+/// cores within this index distance. `ensure_neighbors` materialises the
+/// lists; `account_memory_flits` relies on the same radius to test
+/// adjacency without walking a list.
+const NEIGHBORHOOD: isize = 4;
+
+impl ExecScratch {
+    /// An empty scratch (allocations grow on first use).
+    pub fn new() -> Self {
+        ExecScratch::default()
+    }
+
+    /// Ensures the neighbour table covers `n` cores, in the reference
+    /// order (for each offset 1..=NEIGHBORHOOD: lower index first, then
+    /// higher).
+    fn ensure_neighbors(&mut self, n: usize) {
+        if self.neighbors_n == n {
+            return;
+        }
+        self.neighbors_flat.clear();
+        self.neighbors_off.clear();
+        self.neighbors_off.push(0);
+        for c in 0..n {
+            for off in 1..=NEIGHBORHOOD {
+                let lo = c as isize - off;
+                let hi = c as isize + off;
+                if lo >= 0 {
+                    self.neighbors_flat.push(lo as usize);
+                }
+                if (hi as usize) < n {
+                    self.neighbors_flat.push(hi as usize);
+                }
+            }
+            self.neighbors_off.push(self.neighbors_flat.len());
+        }
+        self.neighbors_n = n;
+    }
+}
+
 /// Outcome of scheduling one task-parallel phase.
 #[derive(Debug, Clone)]
 struct PhaseOutcome {
     duration: f64,
     executed_by: Vec<usize>,
     steals: u64,
-    /// Per-task `(core, start, end, stolen)` in phase-relative time.
-    spans: Vec<(usize, f64, f64, bool)>,
+    /// O(cores) scans the reference scheduler would have run (victim scans
+    /// answered by the index + per-completion idle rescans elided).
+    scans_avoided: u64,
+}
+
+/// In-flight state of one phase's event loop (borrowed scheduler scratch
+/// plus the per-phase accumulators), so the start/steal logic reads as
+/// methods instead of a closure with a dozen parameters.
+struct PhaseCtx<'a, S: SpanSink> {
+    tasks: &'a [TaskWork],
+    speeds: &'a [f64],
+    stall: f64,
+    steal_overhead: f64,
+    phase: PhaseKind,
+    base: f64,
+    queues: &'a mut Vec<VecDeque<usize>>,
+    index: &'a mut StealIndex,
+    events: &'a mut EventQueue<Completion>,
+    caps: &'a mut Vec<usize>,
+    done: &'a mut Vec<usize>,
+    executed_by: &'a mut [usize],
+    queued: usize,
+    steals: u64,
+    scans_avoided: u64,
+    sink: &'a mut S,
+}
+
+impl<S: SpanSink> PhaseCtx<'_, S> {
+    /// Picks the next task for `core`: own queue first, else steal from the
+    /// most-loaded victim via the index. Returns `(task, stolen)`.
+    #[inline]
+    fn next_task(&mut self, core: usize) -> Option<(usize, bool)> {
+        if let Some(t) = self.queues[core].pop_front() {
+            self.index.decrement(core, self.queues[core].len() + 1);
+            return Some((t, false));
+        }
+        // The requester's queue is empty, so it is absent from the index
+        // and the best entry is automatically a legal victim.
+        let victim = self.index.best()?;
+        self.scans_avoided += 1;
+        let t = self.queues[victim]
+            .pop_back()
+            .expect("indexed victim queue nonempty");
+        self.index.decrement(victim, self.queues[victim].len() + 1);
+        Some((t, true))
+    }
+
+    /// Starts the next task on `core` at time `now`, if the cap allows and
+    /// work exists.
+    fn start_core(&mut self, core: usize, now: f64) {
+        if self.done[core] >= self.caps[core] {
+            return;
+        }
+        let Some((t, stolen)) = self.next_task(core) else {
+            return;
+        };
+        let task = &self.tasks[t];
+        let mut dur = task.cycles / self.speeds[core] + task.instructions * self.stall;
+        if stolen {
+            dur += self.steal_overhead / self.speeds[core];
+            self.steals += 1;
+        }
+        self.executed_by[t] = core;
+        self.done[core] += 1;
+        self.queued -= 1;
+        self.events.push(now + dur, Completion { core });
+        self.sink.record(Span {
+            core,
+            phase: self.phase,
+            start: self.base + now,
+            end: self.base + (now + dur),
+            stolen,
+        });
+    }
 }
 
 /// The execution engine.
@@ -157,7 +420,7 @@ impl Executor {
     /// regardless of the requesting core's frequency. This memory-bound
     /// slack is exactly the lever VFI pulls — slowing a stall-heavy core
     /// barely stretches it while cutting its V²f energy.
-    fn task_duration(
+    pub(crate) fn task_duration(
         &self,
         task: &TaskWork,
         memory: &MemoryProfile,
@@ -170,23 +433,56 @@ impl Executor {
 
     /// Replays `workload` and reports the observables.
     pub fn run(&self, workload: &AppWorkload) -> ExecutionReport {
-        self.run_traced(workload).0
+        self.run_with_scratch(workload, &mut ExecScratch::new())
+    }
+
+    /// Like [`Executor::run`], reusing caller-held [`ExecScratch`] so
+    /// repeated executions (relaxation rounds, sweeps) perform no per-phase
+    /// heap allocation. The report is identical to [`Executor::run`]'s.
+    pub fn run_with_scratch(
+        &self,
+        workload: &AppWorkload,
+        scratch: &mut ExecScratch,
+    ) -> ExecutionReport {
+        let mut sink = NoSpans::default();
+        let report = self.run_impl(workload, scratch, &mut sink);
+        telemetry::count("phoenix.spans_skipped", sink.skipped);
+        report
     }
 
     /// Like [`Executor::run`], but also records the full schedule as a
     /// [`Timeline`] (per-core busy spans for Gantt-style inspection).
     pub fn run_traced(&self, workload: &AppWorkload) -> (ExecutionReport, Timeline) {
+        let mut timeline = Timeline::new(self.cfg.cores);
+        let report = self.run_impl(workload, &mut ExecScratch::new(), &mut timeline);
+        (report, timeline)
+    }
+
+    /// The shared engine behind [`Executor::run`] (span sink [`NoSpans`])
+    /// and [`Executor::run_traced`] (span sink [`Timeline`]).
+    fn run_impl<S: SpanSink>(
+        &self,
+        workload: &AppWorkload,
+        scratch: &mut ExecScratch,
+        sink: &mut S,
+    ) -> ExecutionReport {
         let _span = telemetry::span_labeled("phoenix.exec", workload.name);
         let n = self.cfg.cores;
         let lat = self.cfg.remote_l2_latency;
         let mut phases = PhaseBreakdown::default();
         let mut busy = vec![0.0f64; n];
-        let mut map_flits = vec![0.0f64; n * n];
-        let mut reduce_flits = vec![0.0f64; n * n];
-        let mut merge_flits = vec![0.0f64; n * n];
+        scratch.ensure_neighbors(n);
+        for buf in [
+            &mut scratch.map_flits,
+            &mut scratch.reduce_flits,
+            &mut scratch.merge_flits,
+        ] {
+            buf.clear();
+            buf.resize(n * n, 0.0);
+        }
         let mut steals = 0u64;
+        let mut scans_avoided = 0u64;
         let mut tasks_per_core = vec![0u32; n];
-        let mut timeline = Timeline::new(n);
         let mut clock = 0.0f64;
 
         for it in &workload.iterations {
@@ -197,7 +493,7 @@ impl Executor {
             let li = self.task_duration(&li_task, &it.map_memory, master, lat.lib_init);
             busy[master] += li;
             phases.lib_init += li;
-            timeline.push(Span {
+            sink.record(Span {
                 core: master,
                 phase: PhaseKind::LibraryInit,
                 start: clock,
@@ -207,26 +503,34 @@ impl Executor {
             clock += li;
 
             // --- Map ---
-            let map = self.run_phase(&it.map_tasks, &it.map_memory, lat.map);
+            let map = self.run_phase(
+                &it.map_tasks,
+                &it.map_memory,
+                lat.map,
+                PhaseKind::Map,
+                clock,
+                scratch,
+                sink,
+            );
             phases.map += map.duration;
-            for &(core, start, end, stolen) in &map.spans {
-                timeline.push(Span {
-                    core,
-                    phase: PhaseKind::Map,
-                    start: clock + start,
-                    end: clock + end,
-                    stolen,
-                });
-            }
             clock += map.duration;
+            let map_stall = self
+                .cfg
+                .cache
+                .stall_cycles_per_inst(&it.map_memory, lat.map);
             for (t, &c) in map.executed_by.iter().enumerate() {
-                let dur = self.task_duration(&it.map_tasks[t], &it.map_memory, c, lat.map);
-                busy[c] += dur;
+                let task = &it.map_tasks[t];
+                busy[c] += task.cycles / self.cfg.core_speeds[c] + task.instructions * map_stall;
                 tasks_per_core[c] += 1;
             }
             steals += map.steals;
-            self.account_memory_flits(
-                &mut map_flits,
+            scans_avoided += map.scans_avoided;
+            account_memory_flits(
+                &self.cfg.cache,
+                &mut scratch.map_flits,
+                &scratch.neighbors_flat,
+                &scratch.neighbors_off,
+                n,
                 &it.map_tasks,
                 &map.executed_by,
                 &it.map_memory,
@@ -234,26 +538,34 @@ impl Executor {
             );
 
             // --- Reduce ---
-            let red = self.run_phase(&it.reduce_tasks, &it.reduce_memory, lat.reduce);
+            let red = self.run_phase(
+                &it.reduce_tasks,
+                &it.reduce_memory,
+                lat.reduce,
+                PhaseKind::Reduce,
+                clock,
+                scratch,
+                sink,
+            );
             phases.reduce += red.duration;
-            for &(core, start, end, stolen) in &red.spans {
-                timeline.push(Span {
-                    core,
-                    phase: PhaseKind::Reduce,
-                    start: clock + start,
-                    end: clock + end,
-                    stolen,
-                });
-            }
             clock += red.duration;
+            let red_stall = self
+                .cfg
+                .cache
+                .stall_cycles_per_inst(&it.reduce_memory, lat.reduce);
             for (t, &c) in red.executed_by.iter().enumerate() {
-                let dur = self.task_duration(&it.reduce_tasks[t], &it.reduce_memory, c, lat.reduce);
-                busy[c] += dur;
+                let task = &it.reduce_tasks[t];
+                busy[c] += task.cycles / self.cfg.core_speeds[c] + task.instructions * red_stall;
                 tasks_per_core[c] += 1;
             }
             steals += red.steals;
-            self.account_memory_flits(
-                &mut reduce_flits,
+            scans_avoided += red.scans_avoided;
+            account_memory_flits(
+                &self.cfg.cache,
+                &mut scratch.reduce_flits,
+                &scratch.neighbors_flat,
+                &scratch.neighbors_off,
+                n,
                 &it.reduce_tasks,
                 &red.executed_by,
                 &it.reduce_memory,
@@ -265,24 +577,17 @@ impl Executor {
             //     Phoenix++ the transfer is cache-mediated: producers write
             //     container buckets back during Map and consumers fetch
             //     them during Reduce, so the flits split between the two
-            //     windows instead of bursting into the (short) Reduce. ---
-            if !it.reduce_tasks.is_empty() {
-                let r = it.reduce_tasks.len() as f64;
-                for (t, &c_m) in map.executed_by.iter().enumerate() {
-                    let keys = it.map_tasks[t].keys_emitted as f64;
-                    if keys == 0.0 {
-                        continue;
-                    }
-                    let per_bucket = keys * it.kv_flits_per_key / r / 2.0;
-                    for (b, &c_r) in red.executed_by.iter().enumerate() {
-                        let _ = b;
-                        if c_m != c_r {
-                            map_flits[c_m * n + c_r] += per_bucket;
-                            reduce_flits[c_m * n + c_r] += per_bucket;
-                        }
-                    }
-                }
-            }
+            //     windows instead of bursting into the (short) Reduce.
+            //     See [`scatter_shuffle_flits`] for the bit-identity
+            //     argument of the pass-based scatter. ---
+            scatter_shuffle_flits(
+                scratch,
+                n,
+                &it.map_tasks,
+                &map.executed_by,
+                &red.executed_by,
+                it.kv_flits_per_key,
+            );
 
             // --- Merge: binary tree, active threads halve per level. After
             //     the hash-partitioned Reduce, each of the n partitions
@@ -291,6 +596,10 @@ impl Executor {
             //     so the critical path is ~2·total_items·cycles_per_item
             //     while early levels stay cheap and wide. ---
             if let Some(merge) = it.merge {
+                let merge_stall = self
+                    .cfg
+                    .cache
+                    .stall_cycles_per_inst(&it.reduce_memory, lat.merge);
                 let levels = (n as f64).log2().ceil() as u32;
                 for l in 0..levels {
                     let stride = 1usize << (l + 1);
@@ -307,10 +616,10 @@ impl Executor {
                     while merger < n {
                         let partner = merger + half;
                         if partner < n {
-                            let dur =
-                                self.task_duration(&mtask, &it.reduce_memory, merger, lat.merge);
+                            let dur = mtask.cycles / self.cfg.core_speeds[merger]
+                                + mtask.instructions * merge_stall;
                             busy[merger] += dur;
-                            timeline.push(Span {
+                            sink.record(Span {
                                 core: merger,
                                 phase: PhaseKind::Merge,
                                 start: clock,
@@ -319,7 +628,7 @@ impl Executor {
                             });
                             level_time = level_time.max(dur);
                             // Partner ships its partition to the merger.
-                            merge_flits[partner * n + merger] +=
+                            scratch.merge_flits[partner * n + merger] +=
                                 partition_items * merge.flits_per_item;
                         }
                         merger += stride;
@@ -338,31 +647,35 @@ impl Executor {
         // whole execution.
         let packet_flits = 4.0; // matches the NoC simulator's default packet length
         let to_matrix = |flits: &[f64], cycles: f64| -> TrafficMatrix {
-            let mut m = TrafficMatrix::zeros(n);
             if cycles <= 0.0 {
-                return m;
+                return TrafficMatrix::zeros(n);
             }
-            for s in 0..n {
-                for d in 0..n {
-                    if s != d && flits[s * n + d] > 0.0 {
-                        m.set(
-                            NodeId(s),
-                            NodeId(d),
-                            flits[s * n + d] / packet_flits / cycles,
-                        );
-                    }
-                }
-            }
-            m
+            // `packet_flits` is a power of two, so `flits / packet_flits`
+            // is an exact exponent shift and folding it into the divisor
+            // leaves exactly one rounding step — the quotient is
+            // bit-identical to the reference's two-step division at half
+            // the divide count. Dividing the whole buffer branch-free
+            // keeps untouched entries untouched too (`0.0 / denom` is the
+            // `+0.0` the reference left in place) while letting the loop
+            // vectorise; `from_dense` then clears the diagonal the
+            // reference's `set` guard never wrote.
+            let denom = packet_flits * cycles;
+            TrafficMatrix::from_dense(n, flits.iter().map(|&f| f / denom).collect())
         };
-        let total_flits: Vec<f64> = (0..n * n)
-            .map(|i| map_flits[i] + reduce_flits[i] + merge_flits[i])
-            .collect();
-        let traffic = to_matrix(&total_flits, total);
+        scratch.total_flits.clear();
+        scratch.total_flits.extend(
+            scratch
+                .map_flits
+                .iter()
+                .zip(&scratch.reduce_flits)
+                .zip(&scratch.merge_flits)
+                .map(|((&m, &r), &g)| m + r + g),
+        );
+        let traffic = to_matrix(&scratch.total_flits, total);
         let phase_traffic = PhaseTraffic {
-            map: to_matrix(&map_flits, phases.map),
-            reduce: to_matrix(&reduce_flits, phases.reduce),
-            merge: to_matrix(&merge_flits, phases.merge),
+            map: to_matrix(&scratch.map_flits, phases.map),
+            reduce: to_matrix(&scratch.reduce_flits, phases.reduce),
+            merge: to_matrix(&scratch.merge_flits, phases.merge),
         };
 
         telemetry::count(
@@ -370,78 +683,41 @@ impl Executor {
             tasks_per_core.iter().map(|&t| u64::from(t)).sum(),
         );
         telemetry::count("phoenix.tasks_stolen", steals);
-        (
-            ExecutionReport {
-                name: workload.name,
-                phases,
-                busy_cycles: busy,
-                utilization,
-                traffic,
-                phase_traffic,
-                steals,
-                tasks_per_core,
-            },
-            timeline,
-        )
-    }
-
-    /// Distributes the memory traffic of executed tasks: requests to home L2
-    /// slices and line-sized replies back, with a neighbour-locality bias.
-    fn account_memory_flits(
-        &self,
-        flits: &mut [f64],
-        tasks: &[TaskWork],
-        executed_by: &[usize],
-        memory: &MemoryProfile,
-        neighbor_bias: f64,
-    ) {
-        let n = self.cfg.cores;
-        if n < 2 {
-            return;
-        }
-        let line_flits = self.cfg.cache.line_flits() as f64;
-        const NEIGHBORHOOD: isize = 4;
-        for (t, &c) in executed_by.iter().enumerate() {
-            let accesses = tasks[t].instructions
-                * (memory.l1_mpki / 1000.0)
-                * memory.remote_fraction
-                * self.cfg.cache.network_fraction;
-            if accesses <= 0.0 {
-                continue;
-            }
-            let req = accesses; // 1 flit per request
-            let rep = accesses * line_flits;
-            // Neighbour share: split over up to 2*NEIGHBORHOOD nearby cores.
-            let mut neighbors: Vec<usize> = Vec::new();
-            for off in 1..=NEIGHBORHOOD {
-                let lo = c as isize - off;
-                let hi = c as isize + off;
-                if lo >= 0 {
-                    neighbors.push(lo as usize);
-                }
-                if (hi as usize) < n {
-                    neighbors.push(hi as usize);
-                }
-            }
-            if !neighbors.is_empty() {
-                let share = neighbor_bias / neighbors.len() as f64;
-                for &d in &neighbors {
-                    flits[c * n + d] += req * share;
-                    flits[d * n + c] += rep * share;
-                }
-            }
-            let uniform = (1.0 - neighbor_bias) / (n - 1) as f64;
-            for d in 0..n {
-                if d != c {
-                    flits[c * n + d] += req * uniform;
-                    flits[d * n + c] += rep * uniform;
-                }
-            }
+        telemetry::count("phoenix.steal_scans_avoided", scans_avoided);
+        ExecutionReport {
+            name: workload.name,
+            phases,
+            busy_cycles: busy,
+            utilization,
+            traffic,
+            phase_traffic,
+            steals,
+            tasks_per_core,
         }
     }
 
     /// Event-driven scheduling of one task-parallel phase.
-    fn run_phase(&self, tasks: &[TaskWork], memory: &MemoryProfile, latency: f64) -> PhaseOutcome {
+    ///
+    /// Per-completion cost is O(1) amortized: victim selection comes from
+    /// the [`StealIndex`] and no idle rescan exists. The reference
+    /// scheduler rescanned every core after each completion looking for
+    /// idle cores that could start; that scan is provably dead while tasks
+    /// remain queued — `queued` always equals the total queued-task count,
+    /// a core only goes idle-with-capacity when `next_task` finds every
+    /// queue empty (i.e. `queued == 0`), and queues never refill — so the
+    /// only resume point that can ever start an idle core is the cap-lift
+    /// batch below, which restarts all cores at once.
+    #[allow(clippy::too_many_arguments)]
+    fn run_phase<S: SpanSink>(
+        &self,
+        tasks: &[TaskWork],
+        memory: &MemoryProfile,
+        latency: f64,
+        phase: PhaseKind,
+        base: f64,
+        scratch: &mut ExecScratch,
+        sink: &mut S,
+    ) -> PhaseOutcome {
         let n = self.cfg.cores;
         let mut executed_by = vec![usize::MAX; tasks.len()];
         if tasks.is_empty() {
@@ -449,162 +725,342 @@ impl Executor {
                 duration: 0.0,
                 executed_by,
                 steals: 0,
-                spans: Vec::new(),
+                scans_avoided: 0,
             };
         }
 
-        // Round-robin initial assignment (Phoenix chunk distribution).
-        let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); n];
+        // Round-robin initial assignment (Phoenix chunk distribution) into
+        // the reused queue set.
+        scratch.queues.truncate(n);
+        for q in scratch.queues.iter_mut() {
+            q.clear();
+        }
+        scratch.queues.resize_with(n, VecDeque::new);
         for t in 0..tasks.len() {
-            queues[t % n].push_back(t);
+            scratch.queues[t % n].push_back(t);
         }
-        let mut caps = caps_for_phase(self.cfg.steal_policy, tasks.len(), &self.cfg.core_speeds);
-        let mut done = vec![0usize; n];
-        let mut queued = tasks.len();
-        let mut steals = 0u64;
+        caps_for_phase_into(
+            self.cfg.steal_policy,
+            tasks.len(),
+            &self.cfg.core_speeds,
+            &mut scratch.caps,
+        );
+        scratch.done.clear();
+        scratch.done.resize(n, 0);
+        scratch.events.clear();
+        scratch.steal_index.rebuild(&scratch.queues);
+
+        let stall = self.cfg.cache.stall_cycles_per_inst(memory, latency);
         let mut phase_end = 0.0f64;
-        let mut spans: Vec<(usize, f64, f64, bool)> = Vec::with_capacity(tasks.len());
-
-        #[derive(Debug, Clone, Copy)]
-        struct Completion {
-            core: usize,
-        }
-
-        let mut events: EventQueue<Completion> = EventQueue::new();
-        let mut idle: Vec<bool> = vec![false; n];
-
-        // Pick the next task for `core`: own queue first, else steal from
-        // the most-loaded victim. Returns (task, stolen).
-        let next_task = |queues: &mut Vec<VecDeque<usize>>, core: usize| -> Option<(usize, bool)> {
-            if let Some(t) = queues[core].pop_front() {
-                return Some((t, false));
-            }
-            let victim = (0..queues.len())
-                .filter(|&v| v != core && !queues[v].is_empty())
-                .max_by_key(|&v| (queues[v].len(), usize::MAX - v));
-            victim.map(|v| (queues[v].pop_back().expect("victim queue nonempty"), true))
+        let mut ctx = PhaseCtx {
+            tasks,
+            speeds: &self.cfg.core_speeds,
+            stall,
+            steal_overhead: self.cfg.steal_overhead_cycles,
+            phase,
+            base,
+            queues: &mut scratch.queues,
+            index: &mut scratch.steal_index,
+            events: &mut scratch.events,
+            caps: &mut scratch.caps,
+            done: &mut scratch.done,
+            executed_by: &mut executed_by,
+            queued: tasks.len(),
+            steals: 0,
+            scans_avoided: 0,
+            sink,
         };
 
         // Start as many cores as possible at t = 0.
-        let start_core = |core: usize,
-                          now: f64,
-                          queues: &mut Vec<VecDeque<usize>>,
-                          events: &mut EventQueue<Completion>,
-                          executed_by: &mut Vec<usize>,
-                          done: &mut Vec<usize>,
-                          queued: &mut usize,
-                          steals: &mut u64,
-                          idle: &mut Vec<bool>,
-                          caps: &[usize],
-                          spans: &mut Vec<(usize, f64, f64, bool)>| {
-            if done[core] >= caps[core] {
-                idle[core] = true;
-                return;
-            }
-            match next_task(queues, core) {
-                Some((t, stolen)) => {
-                    let mut dur = self.task_duration(&tasks[t], memory, core, latency);
-                    if stolen {
-                        dur += self.cfg.steal_overhead_cycles / self.cfg.core_speeds[core];
-                        *steals += 1;
-                    }
-                    executed_by[t] = core;
-                    done[core] += 1;
-                    *queued -= 1;
-                    events.push(now + dur, Completion { core });
-                    spans.push((core, now, now + dur, stolen));
-                    idle[core] = false;
-                }
-                None => {
-                    idle[core] = true;
-                }
-            }
-        };
-
         for core in 0..n {
-            start_core(
-                core,
-                0.0,
-                &mut queues,
-                &mut events,
-                &mut executed_by,
-                &mut done,
-                &mut queued,
-                &mut steals,
-                &mut idle,
-                &caps,
-                &mut spans,
-            );
+            ctx.start_core(core, 0.0);
         }
 
         loop {
-            while let Some((now, ev)) = events.pop() {
+            while let Some((now, ev)) = ctx.events.pop() {
                 phase_end = phase_end.max(now);
-                // The finishing core tries to pick up more work.
-                start_core(
-                    ev.core,
-                    now,
-                    &mut queues,
-                    &mut events,
-                    &mut executed_by,
-                    &mut done,
-                    &mut queued,
-                    &mut steals,
-                    &mut idle,
-                    &caps,
-                    &mut spans,
-                );
-                // Any idle core may now find stealable work (e.g. a capped
-                // core's leftovers became the only queue with tasks).
-                if queued > 0 {
-                    for core in 0..n {
-                        if idle[core] && done[core] < caps[core] {
-                            start_core(
-                                core,
-                                now,
-                                &mut queues,
-                                &mut events,
-                                &mut executed_by,
-                                &mut done,
-                                &mut queued,
-                                &mut steals,
-                                &mut idle,
-                                &caps,
-                                &mut spans,
-                            );
-                        }
-                    }
+                // The finishing core tries to pick up more work; no other
+                // core can become runnable here (see the method docs), so
+                // the reference's per-completion idle rescan is counted as
+                // avoided rather than replayed.
+                ctx.start_core(ev.core, now);
+                if ctx.queued > 0 {
+                    ctx.scans_avoided += 1;
                 }
             }
-            if queued == 0 {
+            debug_assert_eq!(
+                ctx.queued,
+                ctx.queues.iter().map(VecDeque::len).sum::<usize>(),
+                "queued counter must track queue contents"
+            );
+            if ctx.queued == 0 {
                 break;
             }
             // Every core hit its cap while tasks remain (possible only when
-            // no core runs at f_max): lift the caps and resume.
-            caps.fill(usize::MAX);
+            // no core runs at f_max): lift the caps and resume the whole
+            // platform in one batch at the current phase end.
+            ctx.caps.fill(usize::MAX);
             for core in 0..n {
-                start_core(
-                    core,
-                    phase_end,
-                    &mut queues,
-                    &mut events,
-                    &mut executed_by,
-                    &mut done,
-                    &mut queued,
-                    &mut steals,
-                    &mut idle,
-                    &caps,
-                    &mut spans,
-                );
+                ctx.start_core(core, phase_end);
             }
         }
 
+        let steals = ctx.steals;
+        let scans_avoided = ctx.scans_avoided;
         debug_assert!(executed_by.iter().all(|&c| c != usize::MAX));
         PhaseOutcome {
             duration: phase_end,
             executed_by,
             steals,
-            spans,
+            scans_avoided,
+        }
+    }
+}
+
+/// Scatters the shuffle traffic of one iteration into the map and reduce
+/// flit accumulators: each map task spreads its emitted keys uniformly
+/// over the reduce buckets, half charged to the Map window and half to
+/// the Reduce window.
+///
+/// The reference walks `red_by` per map task, so entry (c_m, c) receives
+/// exactly cnt[c] adds of the task's per-bucket value, where cnt[c]
+/// counts the reduce tasks on core c. Because every add to a given entry
+/// carries the *same* addend, any schedule that delivers cnt[c]
+/// sequential adds to entry c produces bit-identical results — there is
+/// no ordering constraint between entries, and none within an entry
+/// beyond the count. The cheapest such schedule is the one used here:
+/// `cnt_min` unmasked full-row passes (branch-free, vectorisable, no
+/// indicator loads or multiplies) cover the shared floor of every count,
+/// and a compact excess list of (core, cnt[c] - cnt_min) pairs tops up
+/// the rest with register-resident scalar chains. The map core's own
+/// column — skipped by the reference's `c_m != c_r` guard — is written
+/// anyway and restored afterwards, leaving identical final bits.
+fn scatter_shuffle_flits(
+    scratch: &mut ExecScratch,
+    n: usize,
+    map_tasks: &[TaskWork],
+    map_by: &[usize],
+    red_by: &[usize],
+    kv_flits_per_key: f64,
+) {
+    if red_by.is_empty() {
+        return;
+    }
+    let r = red_by.len() as f64;
+    scratch.shuffle_cnt.clear();
+    scratch.shuffle_cnt.resize(n, 0);
+    for &c in red_by {
+        scratch.shuffle_cnt[c] += 1;
+    }
+    let cnt_min = scratch.shuffle_cnt.iter().copied().min().unwrap_or(0);
+    scratch.shuffle_excess.clear();
+    for c in 0..n {
+        let extra = scratch.shuffle_cnt[c] - cnt_min;
+        if extra > 0 {
+            scratch.shuffle_excess.push((c, extra));
+        }
+    }
+    for (t, &c_m) in map_by.iter().enumerate() {
+        let keys = map_tasks[t].keys_emitted as f64;
+        if keys == 0.0 {
+            continue;
+        }
+        let per_bucket = keys * kv_flits_per_key / r / 2.0;
+        let row = c_m * n;
+        let own_map = scratch.map_flits[row + c_m];
+        let own_red = scratch.reduce_flits[row + c_m];
+        let mrow = &mut scratch.map_flits[row..row + n];
+        let rrow = &mut scratch.reduce_flits[row..row + n];
+        for _ in 0..cnt_min {
+            for (v, w) in mrow.iter_mut().zip(rrow.iter_mut()) {
+                *v += per_bucket;
+                *w += per_bucket;
+            }
+        }
+        for &(c, extra) in &scratch.shuffle_excess {
+            let mut m = mrow[c];
+            let mut q = rrow[c];
+            for _ in 0..extra {
+                m += per_bucket;
+                q += per_bucket;
+            }
+            mrow[c] = m;
+            rrow[c] = q;
+        }
+        mrow[c_m] = own_map;
+        rrow[c_m] = own_red;
+    }
+}
+
+/// Distributes the memory traffic of executed tasks: requests to home L2
+/// slices and line-sized replies back, with a neighbour-locality bias.
+///
+/// The per-destination weights (`share`, `uniform`) and the per-task
+/// scaled addends are hoisted out of the scatter loops — each is one
+/// multiplication whose repeated evaluation in the reference produced the
+/// same value — and the neighbour lists come from the precomputed
+/// [`ExecScratch`] table, so the only per-destination work left is the
+/// additions themselves, which stay in the reference's exact order (the
+/// add sequence per matrix entry is what the bit-identity guarantee pins).
+#[allow(clippy::too_many_arguments)]
+fn account_memory_flits(
+    cache: &CacheModel,
+    flits: &mut [f64],
+    neighbors_flat: &[usize],
+    neighbors_off: &[usize],
+    n: usize,
+    tasks: &[TaskWork],
+    executed_by: &[usize],
+    memory: &MemoryProfile,
+    neighbor_bias: f64,
+) {
+    if n < 2 {
+        return;
+    }
+    let line_flits = cache.line_flits() as f64;
+    let mpki = memory.l1_mpki / 1000.0;
+    let uniform = (1.0 - neighbor_bias) / (n - 1) as f64;
+
+    // Tasks are processed in batches of up to BATCH consecutive tasks on
+    // pairwise-distinct cores. Entries touched by at most one batch task
+    // keep their reference add order automatically: the neighbour
+    // scatters and request rows run per task in task order, and the
+    // fused reply-column walk appends each task's single column add. The
+    // only entries where *cross-task* order matters are the k×k
+    // core-intersection entries (task a's row crosses task b's column
+    // exactly at (cores[a], cores[b])) — those are snapshot before the
+    // batch and recomputed afterwards by replaying the reference's exact
+    // per-entry add sequence, so every final bit matches the reference's
+    // one-task-at-a-time walk. Fusing the columns is what pays: the k
+    // strided column walks collapse into one pass that touches each
+    // cache line once instead of k times.
+    const BATCH: usize = 4;
+    let len = tasks.len();
+    let mut cores = [0usize; BATCH];
+    let mut reqs = [0.0f64; BATCH];
+    let mut reps = [0.0f64; BATCH];
+    let mut req_sh = [0.0f64; BATCH];
+    let mut rep_sh = [0.0f64; BATCH];
+    let mut req_u = [0.0f64; BATCH];
+    let mut rep_u = [0.0f64; BATCH];
+    let mut i = 0;
+    while i < len {
+        // Collect the batch: tasks with no traffic pass through freely
+        // (the reference skips them too); a repeated core flushes early.
+        let mut k = 0;
+        while i < len && k < BATCH {
+            let accesses =
+                tasks[i].instructions * mpki * memory.remote_fraction * cache.network_fraction;
+            if accesses <= 0.0 {
+                i += 1;
+                continue;
+            }
+            let c = executed_by[i];
+            if cores[..k].contains(&c) {
+                break;
+            }
+            cores[k] = c;
+            reqs[k] = accesses; // 1 flit per request
+            reps[k] = accesses * line_flits;
+            k += 1;
+            i += 1;
+        }
+        if k == 0 {
+            continue;
+        }
+        // Snapshot the intersection entries (including diagonals, which
+        // the reference never writes).
+        let mut saved = [[0.0f64; BATCH]; BATCH];
+        for a in 0..k {
+            for b in 0..k {
+                saved[a][b] = flits[cores[a] * n + cores[b]];
+            }
+        }
+        // Neighbour share: split over up to 2*NEIGHBORHOOD nearby cores,
+        // per task in task order.
+        for a in 0..k {
+            let c = cores[a];
+            let neighbors = &neighbors_flat[neighbors_off[c]..neighbors_off[c + 1]];
+            req_sh[a] = 0.0;
+            rep_sh[a] = 0.0;
+            if !neighbors.is_empty() {
+                let share = neighbor_bias / neighbors.len() as f64;
+                req_sh[a] = reqs[a] * share;
+                rep_sh[a] = reps[a] * share;
+                for &d in neighbors {
+                    flits[c * n + d] += req_sh[a];
+                    flits[d * n + c] += rep_sh[a];
+                }
+            }
+            req_u[a] = reqs[a] * uniform;
+            rep_u[a] = reps[a] * uniform;
+        }
+        // Request rows, per task in task order, branch-free over the full
+        // row (the diagonal garbage is fixed by the replay below).
+        for a in 0..k {
+            let c = cores[a];
+            for v in &mut flits[c * n..(c + 1) * n] {
+                *v += req_u[a];
+            }
+        }
+        // Reply columns, fused into a single walk over the rows. The
+        // full-batch case is unrolled by hand so the four independent
+        // scattered adds pipeline instead of sharing a counted loop.
+        if k == BATCH {
+            let [c0, c1, c2, c3] = cores;
+            let [r0, r1, r2, r3] = rep_u;
+            for chunk in flits.chunks_exact_mut(n) {
+                chunk[c0] += r0;
+                chunk[c1] += r1;
+                chunk[c2] += r2;
+                chunk[c3] += r3;
+            }
+        } else {
+            for chunk in flits.chunks_exact_mut(n) {
+                for a in 0..k {
+                    chunk[cores[a]] += rep_u[a];
+                }
+            }
+        }
+        // Replay the intersection entries from the snapshot in the
+        // reference's order: for entry (cores[a], cores[b]) the adds come
+        // from task a (neighbour request share if the cores are adjacent,
+        // then the uniform request) and task b (neighbour reply share,
+        // then the uniform reply), sequenced by task position. Adjacency
+        // is symmetric, so one membership test covers both directions.
+        for a in 0..k {
+            for b in 0..k {
+                let (x, y) = (cores[a], cores[b]);
+                if a == b {
+                    flits[x * n + x] = saved[a][a];
+                    continue;
+                }
+                // Membership in the neighbour list is exactly index
+                // distance <= NEIGHBORHOOD (both cores are in-bounds), so
+                // no list walk is needed.
+                let near = x.abs_diff(y) <= NEIGHBORHOOD as usize;
+                let mut val = saved[a][b];
+                if a < b {
+                    if near {
+                        val += req_sh[a];
+                    }
+                    val += req_u[a];
+                    if near {
+                        val += rep_sh[b];
+                    }
+                    val += rep_u[b];
+                } else {
+                    if near {
+                        val += rep_sh[b];
+                    }
+                    val += rep_u[b];
+                    if near {
+                        val += req_sh[a];
+                    }
+                    val += req_u[a];
+                }
+                flits[x * n + y] = val;
+            }
         }
     }
 }
@@ -613,6 +1069,7 @@ impl Executor {
 mod tests {
     use super::*;
     use crate::workload::{IterationWorkload, MergeSpec};
+    use mapwave_noc::NodeId;
 
     fn simple_workload(tasks: usize, cycles: f64) -> AppWorkload {
         AppWorkload {
@@ -801,6 +1258,24 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reuse_is_transparent() {
+        // One scratch across heterogeneous runs (different task counts and
+        // core counts upstream of it) changes nothing.
+        let mut scratch = ExecScratch::new();
+        for tasks in [3usize, 64, 17] {
+            let w = simple_workload(tasks, 20_000.0);
+            let exec = Executor::new(RuntimeConfig::nvfi(8));
+            let fresh = exec.run(&w);
+            let reused = exec.run_with_scratch(&w, &mut scratch);
+            assert_eq!(fresh, reused, "scratch reuse diverged at tasks={tasks}");
+        }
+        // A smaller platform after a larger one (scratch shrinks).
+        let w = simple_workload(9, 5_000.0);
+        let exec = Executor::new(RuntimeConfig::nvfi(2));
+        assert_eq!(exec.run(&w), exec.run_with_scratch(&w, &mut scratch));
+    }
+
+    #[test]
     fn merge_busy_lands_on_tree_mergers() {
         let exec = Executor::new(RuntimeConfig::nvfi(8));
         let report = exec.run(&simple_workload(8, 1_000.0));
@@ -859,5 +1334,25 @@ mod tests {
         assert_eq!(report.phases.reduce, 0.0);
         assert_eq!(report.phases.merge, 0.0);
         assert!(report.phases.lib_init > 0.0);
+    }
+
+    #[test]
+    fn steal_index_matches_scan_order() {
+        // Drive a StealIndex and a naive max-scan side by side through a
+        // deterministic pop sequence; the victims must agree throughout.
+        let mut queues: Vec<VecDeque<usize>> = (0..7)
+            .map(|c| (0..[3usize, 1, 4, 4, 0, 2, 4][c]).collect())
+            .collect();
+        let mut index = StealIndex::default();
+        index.rebuild(&queues);
+        for _ in 0..20 {
+            let scan = (0..queues.len())
+                .filter(|&v| !queues[v].is_empty())
+                .max_by_key(|&v| (queues[v].len(), usize::MAX - v));
+            assert_eq!(index.best(), scan, "victim order diverged");
+            let Some(v) = scan else { break };
+            queues[v].pop_back();
+            index.decrement(v, queues[v].len() + 1);
+        }
     }
 }

@@ -1,0 +1,470 @@
+//! The pre-optimization phase scheduler, kept verbatim as the equivalence
+//! baseline for the reworked execution-model kernels.
+//!
+//! [`Executor::run_traced_reference`] is the scheduler as it stood before
+//! the indexed steal structure, span elision and scratch reuse landed:
+//! O(cores) victim scans via `max_by_key`, a full idle-core rescan after
+//! every completion, per-phase heap allocations and span tuples collected
+//! even for untraced runs. `crates/phoenix/tests/equivalence.rs` pins the
+//! optimized scheduler against this implementation bit for bit
+//! (`ExecutionReport`, `Timeline`, `TrafficMatrix`), and the `phoenix_run`
+//! micro-bench times the two back to back, so keep this file frozen: any
+//! behavioural change here silently redefines the baseline.
+
+use super::{Executor, PhaseKind, Span, Timeline};
+use crate::stealing::caps_for_phase;
+use crate::task::TaskWork;
+use crate::workload::{AppWorkload, ExecutionReport, PhaseBreakdown, PhaseTraffic};
+use mapwave_harness::telemetry;
+use mapwave_manycore::cache::MemoryProfile;
+use mapwave_manycore::event::EventQueue;
+use mapwave_noc::{NodeId, TrafficMatrix};
+use std::collections::VecDeque;
+
+/// Outcome of scheduling one task-parallel phase (reference layout, with
+/// span tuples materialised unconditionally).
+#[derive(Debug, Clone)]
+struct PhaseOutcome {
+    duration: f64,
+    executed_by: Vec<usize>,
+    steals: u64,
+    /// Busy spans as `(core, start, end, stolen)` in phase-local time.
+    spans: Vec<(usize, f64, f64, bool)>,
+}
+
+impl Executor {
+    /// [`Executor::run`] as implemented before the execution-model kernel
+    /// rework. Kept only as the equivalence/benchmark baseline.
+    pub fn run_reference(&self, workload: &AppWorkload) -> ExecutionReport {
+        self.run_traced_reference(workload).0
+    }
+
+    /// [`Executor::run_traced`] as implemented before the execution-model
+    /// kernel rework. Kept only as the equivalence/benchmark baseline.
+    pub fn run_traced_reference(&self, workload: &AppWorkload) -> (ExecutionReport, Timeline) {
+        let _span = telemetry::span_labeled("phoenix.exec", workload.name);
+        let n = self.cfg.cores;
+        let lat = self.cfg.remote_l2_latency;
+        let mut phases = PhaseBreakdown::default();
+        let mut busy = vec![0.0f64; n];
+        let mut map_flits = vec![0.0f64; n * n];
+        let mut reduce_flits = vec![0.0f64; n * n];
+        let mut merge_flits = vec![0.0f64; n * n];
+        let mut steals = 0u64;
+        let mut tasks_per_core = vec![0u32; n];
+        let mut timeline = Timeline::new(n);
+        let mut clock = 0.0f64;
+
+        for it in &workload.iterations {
+            // --- Library init (serial, on the master core) ---
+            let master = self.cfg.master_core;
+            let li_task =
+                TaskWork::new(workload.lib_init_cycles, workload.lib_init_instructions, 0);
+            let li = self.task_duration(&li_task, &it.map_memory, master, lat.lib_init);
+            busy[master] += li;
+            phases.lib_init += li;
+            timeline.push(Span {
+                core: master,
+                phase: PhaseKind::LibraryInit,
+                start: clock,
+                end: clock + li,
+                stolen: false,
+            });
+            clock += li;
+
+            // --- Map ---
+            let map = self.run_phase_reference(&it.map_tasks, &it.map_memory, lat.map);
+            phases.map += map.duration;
+            for &(core, start, end, stolen) in &map.spans {
+                timeline.push(Span {
+                    core,
+                    phase: PhaseKind::Map,
+                    start: clock + start,
+                    end: clock + end,
+                    stolen,
+                });
+            }
+            clock += map.duration;
+            for (t, &c) in map.executed_by.iter().enumerate() {
+                let dur = self.task_duration(&it.map_tasks[t], &it.map_memory, c, lat.map);
+                busy[c] += dur;
+                tasks_per_core[c] += 1;
+            }
+            steals += map.steals;
+            self.account_memory_flits_reference(
+                &mut map_flits,
+                &it.map_tasks,
+                &map.executed_by,
+                &it.map_memory,
+                it.neighbor_bias,
+            );
+
+            // --- Reduce ---
+            let red = self.run_phase_reference(&it.reduce_tasks, &it.reduce_memory, lat.reduce);
+            phases.reduce += red.duration;
+            for &(core, start, end, stolen) in &red.spans {
+                timeline.push(Span {
+                    core,
+                    phase: PhaseKind::Reduce,
+                    start: clock + start,
+                    end: clock + end,
+                    stolen,
+                });
+            }
+            clock += red.duration;
+            for (t, &c) in red.executed_by.iter().enumerate() {
+                let dur = self.task_duration(&it.reduce_tasks[t], &it.reduce_memory, c, lat.reduce);
+                busy[c] += dur;
+                tasks_per_core[c] += 1;
+            }
+            steals += red.steals;
+            self.account_memory_flits_reference(
+                &mut reduce_flits,
+                &it.reduce_tasks,
+                &red.executed_by,
+                &it.reduce_memory,
+                it.neighbor_bias,
+            );
+
+            // --- Shuffle traffic: map cores → reduce cores, keys spread
+            //     uniformly over buckets by hashing. ---
+            if !it.reduce_tasks.is_empty() {
+                let r = it.reduce_tasks.len() as f64;
+                for (t, &c_m) in map.executed_by.iter().enumerate() {
+                    let keys = it.map_tasks[t].keys_emitted as f64;
+                    if keys == 0.0 {
+                        continue;
+                    }
+                    let per_bucket = keys * it.kv_flits_per_key / r / 2.0;
+                    for (b, &c_r) in red.executed_by.iter().enumerate() {
+                        let _ = b;
+                        if c_m != c_r {
+                            map_flits[c_m * n + c_r] += per_bucket;
+                            reduce_flits[c_m * n + c_r] += per_bucket;
+                        }
+                    }
+                }
+            }
+
+            // --- Merge: binary tree, active threads halve per level. ---
+            if let Some(merge) = it.merge {
+                let levels = (n as f64).log2().ceil() as u32;
+                for l in 0..levels {
+                    let stride = 1usize << (l + 1);
+                    let half = 1usize << l;
+                    let partition_items = merge.total_items * (1usize << l) as f64 / n as f64;
+                    let merged_items = 2.0 * partition_items;
+                    let mtask = TaskWork::new(
+                        merged_items * merge.cycles_per_item,
+                        merged_items * merge.instructions_per_item,
+                        0,
+                    );
+                    let mut level_time = 0.0f64;
+                    let mut merger = 0usize;
+                    while merger < n {
+                        let partner = merger + half;
+                        if partner < n {
+                            let dur =
+                                self.task_duration(&mtask, &it.reduce_memory, merger, lat.merge);
+                            busy[merger] += dur;
+                            timeline.push(Span {
+                                core: merger,
+                                phase: PhaseKind::Merge,
+                                start: clock,
+                                end: clock + dur,
+                                stolen: false,
+                            });
+                            level_time = level_time.max(dur);
+                            // Partner ships its partition to the merger.
+                            merge_flits[partner * n + merger] +=
+                                partition_items * merge.flits_per_item;
+                        }
+                        merger += stride;
+                    }
+                    phases.merge += level_time;
+                    clock += level_time;
+                }
+            }
+        }
+
+        let total = phases.total().max(1e-9);
+        let utilization: Vec<f64> = busy.iter().map(|&b| (b / total).min(1.0)).collect();
+
+        let packet_flits = 4.0; // matches the NoC simulator's default packet length
+        let to_matrix = |flits: &[f64], cycles: f64| -> TrafficMatrix {
+            let mut m = TrafficMatrix::zeros(n);
+            if cycles <= 0.0 {
+                return m;
+            }
+            for s in 0..n {
+                for d in 0..n {
+                    if s != d && flits[s * n + d] > 0.0 {
+                        m.set(
+                            NodeId(s),
+                            NodeId(d),
+                            flits[s * n + d] / packet_flits / cycles,
+                        );
+                    }
+                }
+            }
+            m
+        };
+        let total_flits: Vec<f64> = (0..n * n)
+            .map(|i| map_flits[i] + reduce_flits[i] + merge_flits[i])
+            .collect();
+        let traffic = to_matrix(&total_flits, total);
+        let phase_traffic = PhaseTraffic {
+            map: to_matrix(&map_flits, phases.map),
+            reduce: to_matrix(&reduce_flits, phases.reduce),
+            merge: to_matrix(&merge_flits, phases.merge),
+        };
+
+        telemetry::count(
+            "phoenix.tasks_executed",
+            tasks_per_core.iter().map(|&t| u64::from(t)).sum(),
+        );
+        telemetry::count("phoenix.tasks_stolen", steals);
+        (
+            ExecutionReport {
+                name: workload.name,
+                phases,
+                busy_cycles: busy,
+                utilization,
+                traffic,
+                phase_traffic,
+                steals,
+                tasks_per_core,
+            },
+            timeline,
+        )
+    }
+
+    /// Reference memory-traffic accounting: per-task neighbour list
+    /// allocation and per-destination re-multiplication.
+    fn account_memory_flits_reference(
+        &self,
+        flits: &mut [f64],
+        tasks: &[TaskWork],
+        executed_by: &[usize],
+        memory: &MemoryProfile,
+        neighbor_bias: f64,
+    ) {
+        let n = self.cfg.cores;
+        if n < 2 {
+            return;
+        }
+        let line_flits = self.cfg.cache.line_flits() as f64;
+        const NEIGHBORHOOD: isize = 4;
+        for (t, &c) in executed_by.iter().enumerate() {
+            let accesses = tasks[t].instructions
+                * (memory.l1_mpki / 1000.0)
+                * memory.remote_fraction
+                * self.cfg.cache.network_fraction;
+            if accesses <= 0.0 {
+                continue;
+            }
+            let req = accesses; // 1 flit per request
+            let rep = accesses * line_flits;
+            // Neighbour share: split over up to 2*NEIGHBORHOOD nearby cores.
+            let mut neighbors: Vec<usize> = Vec::new();
+            for off in 1..=NEIGHBORHOOD {
+                let lo = c as isize - off;
+                let hi = c as isize + off;
+                if lo >= 0 {
+                    neighbors.push(lo as usize);
+                }
+                if (hi as usize) < n {
+                    neighbors.push(hi as usize);
+                }
+            }
+            if !neighbors.is_empty() {
+                let share = neighbor_bias / neighbors.len() as f64;
+                for &d in &neighbors {
+                    flits[c * n + d] += req * share;
+                    flits[d * n + c] += rep * share;
+                }
+            }
+            let uniform = (1.0 - neighbor_bias) / (n - 1) as f64;
+            for d in 0..n {
+                if d != c {
+                    flits[c * n + d] += req * uniform;
+                    flits[d * n + c] += rep * uniform;
+                }
+            }
+        }
+    }
+
+    /// Reference event-driven scheduling: O(cores) steal-victim scan and a
+    /// full idle-core rescan after every completion.
+    fn run_phase_reference(
+        &self,
+        tasks: &[TaskWork],
+        memory: &MemoryProfile,
+        latency: f64,
+    ) -> PhaseOutcome {
+        let n = self.cfg.cores;
+        let mut executed_by = vec![usize::MAX; tasks.len()];
+        if tasks.is_empty() {
+            return PhaseOutcome {
+                duration: 0.0,
+                executed_by,
+                steals: 0,
+                spans: Vec::new(),
+            };
+        }
+
+        // Round-robin initial assignment (Phoenix chunk distribution).
+        let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); n];
+        for t in 0..tasks.len() {
+            queues[t % n].push_back(t);
+        }
+        let mut caps = caps_for_phase(self.cfg.steal_policy, tasks.len(), &self.cfg.core_speeds);
+        let mut done = vec![0usize; n];
+        let mut queued = tasks.len();
+        let mut steals = 0u64;
+        let mut phase_end = 0.0f64;
+        let mut spans: Vec<(usize, f64, f64, bool)> = Vec::with_capacity(tasks.len());
+
+        #[derive(Debug, Clone, Copy)]
+        struct Completion {
+            core: usize,
+        }
+
+        let mut events: EventQueue<Completion> = EventQueue::new();
+        let mut idle: Vec<bool> = vec![false; n];
+
+        // Pick the next task for `core`: own queue first, else steal from
+        // the most-loaded victim. Returns (task, stolen).
+        let next_task = |queues: &mut Vec<VecDeque<usize>>, core: usize| -> Option<(usize, bool)> {
+            if let Some(t) = queues[core].pop_front() {
+                return Some((t, false));
+            }
+            let victim = (0..queues.len())
+                .filter(|&v| v != core && !queues[v].is_empty())
+                .max_by_key(|&v| (queues[v].len(), usize::MAX - v));
+            victim.map(|v| (queues[v].pop_back().expect("victim queue nonempty"), true))
+        };
+
+        // Start as many cores as possible at t = 0.
+        let start_core = |core: usize,
+                          now: f64,
+                          queues: &mut Vec<VecDeque<usize>>,
+                          events: &mut EventQueue<Completion>,
+                          executed_by: &mut Vec<usize>,
+                          done: &mut Vec<usize>,
+                          queued: &mut usize,
+                          steals: &mut u64,
+                          idle: &mut Vec<bool>,
+                          caps: &[usize],
+                          spans: &mut Vec<(usize, f64, f64, bool)>| {
+            if done[core] >= caps[core] {
+                idle[core] = true;
+                return;
+            }
+            match next_task(queues, core) {
+                Some((t, stolen)) => {
+                    let mut dur = self.task_duration(&tasks[t], memory, core, latency);
+                    if stolen {
+                        dur += self.cfg.steal_overhead_cycles / self.cfg.core_speeds[core];
+                        *steals += 1;
+                    }
+                    executed_by[t] = core;
+                    done[core] += 1;
+                    *queued -= 1;
+                    events.push(now + dur, Completion { core });
+                    spans.push((core, now, now + dur, stolen));
+                    idle[core] = false;
+                }
+                None => {
+                    idle[core] = true;
+                }
+            }
+        };
+
+        for core in 0..n {
+            start_core(
+                core,
+                0.0,
+                &mut queues,
+                &mut events,
+                &mut executed_by,
+                &mut done,
+                &mut queued,
+                &mut steals,
+                &mut idle,
+                &caps,
+                &mut spans,
+            );
+        }
+
+        loop {
+            while let Some((now, ev)) = events.pop() {
+                phase_end = phase_end.max(now);
+                // The finishing core tries to pick up more work.
+                start_core(
+                    ev.core,
+                    now,
+                    &mut queues,
+                    &mut events,
+                    &mut executed_by,
+                    &mut done,
+                    &mut queued,
+                    &mut steals,
+                    &mut idle,
+                    &caps,
+                    &mut spans,
+                );
+                // Any idle core may now find stealable work (e.g. a capped
+                // core's leftovers became the only queue with tasks).
+                if queued > 0 {
+                    for core in 0..n {
+                        if idle[core] && done[core] < caps[core] {
+                            start_core(
+                                core,
+                                now,
+                                &mut queues,
+                                &mut events,
+                                &mut executed_by,
+                                &mut done,
+                                &mut queued,
+                                &mut steals,
+                                &mut idle,
+                                &caps,
+                                &mut spans,
+                            );
+                        }
+                    }
+                }
+            }
+            if queued == 0 {
+                break;
+            }
+            // Every core hit its cap while tasks remain (possible only when
+            // no core runs at f_max): lift the caps and resume.
+            caps.fill(usize::MAX);
+            for core in 0..n {
+                start_core(
+                    core,
+                    phase_end,
+                    &mut queues,
+                    &mut events,
+                    &mut executed_by,
+                    &mut done,
+                    &mut queued,
+                    &mut steals,
+                    &mut idle,
+                    &caps,
+                    &mut spans,
+                );
+            }
+        }
+
+        debug_assert!(executed_by.iter().all(|&c| c != usize::MAX));
+        PhaseOutcome {
+            duration: phase_end,
+            executed_by,
+            steals,
+            spans,
+        }
+    }
+}

@@ -27,11 +27,23 @@ pub enum StealPolicy {
 /// Eq. (3): the task cap for a core at relative speed `f / f_max`, given
 /// `total_tasks` in the phase and `cores` in the system.
 ///
-/// Cores at full speed (`speed_ratio >= 1`) are uncapped (`usize::MAX`).
+/// Cores at full speed are uncapped (`usize::MAX`). "Full speed" is judged
+/// with an absolute tolerance of `1e-12`: any `speed_ratio >= 1.0 - 1e-12`
+/// counts as `f == f_max`, and ratios up to `1.0 + 1e-12` are accepted as
+/// valid input. The tolerance absorbs the rounding of the
+/// [`caps_for_phase`] renormalisation (`s / fastest` can land one ULP on
+/// either side of 1.0 for the fastest core itself) without ever flipping a
+/// genuinely slower core to uncapped — real frequency steps are many orders
+/// of magnitude wider than `1e-12`.
+///
+/// With `total_tasks == 0` every below-maximum core's cap is 0 (nothing to
+/// run, nothing to steal), and when `cores > total_tasks` the per-core
+/// share `N / C` is below 1, so any below-maximum core caps at 0 and all
+/// leftover work lands on full-speed cores.
 ///
 /// # Panics
 ///
-/// Panics if `cores == 0` or `speed_ratio` is not in `(0, 1]`.
+/// Panics if `cores == 0` or `speed_ratio` is outside `(0, 1 + 1e-12]`.
 ///
 /// # Examples
 ///
@@ -64,17 +76,33 @@ pub fn task_cap(total_tasks: usize, cores: usize, speed_ratio: f64) -> usize {
 /// still keeps that island uncapped. Under [`StealPolicy::Default`] every
 /// core is uncapped.
 pub fn caps_for_phase(policy: StealPolicy, total_tasks: usize, speed_ratios: &[f64]) -> Vec<usize> {
+    let mut caps = Vec::new();
+    caps_for_phase_into(policy, total_tasks, speed_ratios, &mut caps);
+    caps
+}
+
+/// [`caps_for_phase`] into a caller-owned buffer, so schedulers running
+/// many phases can reuse one allocation. The buffer is cleared first.
+pub fn caps_for_phase_into(
+    policy: StealPolicy,
+    total_tasks: usize,
+    speed_ratios: &[f64],
+    out: &mut Vec<usize>,
+) {
+    out.clear();
     match policy {
-        StealPolicy::Default => vec![usize::MAX; speed_ratios.len()],
+        StealPolicy::Default => out.resize(speed_ratios.len(), usize::MAX),
         StealPolicy::VfiCapped => {
             let fastest = speed_ratios.iter().cloned().fold(0.0, f64::max);
             if fastest <= 0.0 {
-                return vec![usize::MAX; speed_ratios.len()];
+                out.resize(speed_ratios.len(), usize::MAX);
+                return;
             }
-            speed_ratios
-                .iter()
-                .map(|&s| task_cap(total_tasks, speed_ratios.len(), s / fastest))
-                .collect()
+            out.extend(
+                speed_ratios
+                    .iter()
+                    .map(|&s| task_cap(total_tasks, speed_ratios.len(), s / fastest)),
+            );
         }
     }
 }
@@ -130,6 +158,53 @@ mod tests {
     #[should_panic]
     fn rejects_zero_speed() {
         let _ = task_cap(10, 4, 0.0);
+    }
+
+    #[test]
+    fn full_speed_tolerance_boundary() {
+        // Exactly 1.0 and anything within 1e-12 of it count as full speed;
+        // ratios measurably below the band are capped.
+        assert_eq!(task_cap(100, 64, 1.0), usize::MAX);
+        assert_eq!(task_cap(100, 64, 1.0 - 1e-12), usize::MAX);
+        assert_eq!(task_cap(100, 64, 1.0 - 0.5e-12), usize::MAX);
+        assert_eq!(task_cap(100, 64, 1.0 + 1e-12), usize::MAX);
+        assert_eq!(task_cap(100, 64, 1.0 - 1e-9), 1);
+        assert_eq!(task_cap(1000, 8, 1.0 - 1e-9), 124);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_ratio_above_tolerance_band() {
+        let _ = task_cap(10, 4, 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn zero_tasks_cap_slow_cores_at_zero() {
+        assert_eq!(task_cap(0, 8, 0.5), 0);
+        assert_eq!(task_cap(0, 8, 0.999), 0);
+        let caps = caps_for_phase(StealPolicy::VfiCapped, 0, &[0.5, 1.0]);
+        assert_eq!(caps, vec![0, usize::MAX]);
+    }
+
+    #[test]
+    fn more_cores_than_tasks_caps_slow_cores_at_zero() {
+        // N/C < 1, so every below-maximum core floors to zero and the
+        // full-speed cores carry the whole (tiny) phase.
+        assert_eq!(task_cap(3, 8, 0.9), 0);
+        let caps = caps_for_phase(StealPolicy::VfiCapped, 3, &[0.8, 0.9, 1.0, 1.0]);
+        assert_eq!(caps, vec![0, 0, usize::MAX, usize::MAX]);
+    }
+
+    #[test]
+    fn caps_for_phase_into_reuses_buffer() {
+        let mut buf = vec![123usize; 7];
+        caps_for_phase_into(StealPolicy::VfiCapped, 64, &[0.6, 1.0, 0.8, 1.0], &mut buf);
+        assert_eq!(
+            buf,
+            caps_for_phase(StealPolicy::VfiCapped, 64, &[0.6, 1.0, 0.8, 1.0])
+        );
+        caps_for_phase_into(StealPolicy::Default, 10, &[1.0, 1.0], &mut buf);
+        assert_eq!(buf, vec![usize::MAX; 2]);
     }
 
     #[test]
