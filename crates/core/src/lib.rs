@@ -21,6 +21,8 @@
 //! * [`orchestrator`] — stable configuration keys and the cached
 //!   design/run stages behind that dispatch;
 //! * [`ablations`] — controlled one-knob studies of the design choices;
+//! * [`survivability`] — the fault-injection sweep: how much of the EDP
+//!   saving survives link errors, core degradation and task failures;
 //! * [`report`] — text rendering of the results.
 //!
 //! ## Quick start
@@ -58,17 +60,22 @@ pub mod experiments;
 pub mod orchestrator;
 pub mod placement;
 pub mod report;
+pub mod survivability;
 pub mod system;
 
 pub use config::{PlacementStrategy, PlatformConfig};
 pub use design_flow::{Design, DesignFlow, VfStage};
 pub use experiments::ExperimentContext;
-pub use system::{run_system, RunReport, SystemSpec};
+pub use survivability::{fault_sweep, FaultSweepConfig, FaultSweepPoint, FaultSweepReport};
+pub use system::{run_system, run_system_with_faults, FaultRunReport, RunReport, SystemSpec};
 
 /// Convenient glob import.
 pub mod prelude {
     pub use crate::config::{PlacementStrategy, PlatformConfig};
     pub use crate::design_flow::{Design, DesignFlow, VfStage};
     pub use crate::experiments::ExperimentContext;
-    pub use crate::system::{run_system, RunReport, SystemSpec};
+    pub use crate::survivability::{fault_sweep, FaultSweepConfig, FaultSweepReport};
+    pub use crate::system::{
+        run_system, run_system_with_faults, FaultRunReport, RunReport, SystemSpec,
+    };
 }

@@ -15,12 +15,13 @@
 
 use crate::config::PlatformConfig;
 use crate::placement::quadrant_of;
+use mapwave_faults::{FaultPlan, FaultStats};
 use mapwave_manycore::mapping::ThreadMapping;
 use mapwave_noc::routing::RoutingTable;
 use mapwave_noc::sim::{NetworkSim, SimConfig};
 use mapwave_noc::topology::wireless::WirelessOverlay;
 use mapwave_noc::{EnergyModel, NetworkStats, NodeId, Topology};
-use mapwave_phoenix::runtime::{ExecScratch, Executor, RuntimeConfig};
+use mapwave_phoenix::runtime::{ExecScratch, Executor, PhoenixFaults, RuntimeConfig};
 use mapwave_phoenix::stealing::StealPolicy;
 use mapwave_phoenix::task::PhaseKind;
 use mapwave_phoenix::workload::{AppWorkload, ExecutionReport, PhaseLatencies};
@@ -83,6 +84,18 @@ impl RunReport {
     }
 }
 
+/// A [`RunReport`] together with the fault activity observed while
+/// producing it.
+#[derive(Debug, Clone)]
+pub struct FaultRunReport {
+    /// The system observables (same shape as a fault-free run).
+    pub report: RunReport,
+    /// Injected-fault counters: runtime retries/re-steals/core events from
+    /// the final relaxed execution plus NoC corruption/fallback counts
+    /// accumulated over every simulated stage window.
+    pub faults: FaultStats,
+}
+
 /// The bit patterns of the four per-stage latencies — the relaxation
 /// loop's fixpoint test compares exact representations, not tolerances.
 fn latencies_bits(l: &PhaseLatencies) -> [u64; 4] {
@@ -107,6 +120,36 @@ pub fn run_system(
     cfg: &PlatformConfig,
     power: &CorePowerModel,
 ) -> RunReport {
+    run_system_inner(spec, workload, cfg, power, None).report
+}
+
+/// Like [`run_system`], with the deterministic fault model live in both
+/// substrates: the runtime retries failed tasks and reschedules around
+/// degraded/dead cores, and the NoC retransmits corrupted wireless flits
+/// (diverting persistent offenders onto the wireline fallback tree).
+///
+/// With [`FaultPlan::none`] the report is bit-identical to
+/// [`run_system`]'s — the fault-free path never even consults the plan.
+pub fn run_system_with_faults(
+    spec: &SystemSpec,
+    workload: &AppWorkload,
+    cfg: &PlatformConfig,
+    power: &CorePowerModel,
+    plan: &FaultPlan,
+) -> FaultRunReport {
+    run_system_inner(spec, workload, cfg, power, Some(plan))
+}
+
+/// The shared engine behind [`run_system`] (no plan — every fault hook in
+/// the runtime and the NoC stays on its zero-cost disabled path) and
+/// [`run_system_with_faults`].
+fn run_system_inner(
+    spec: &SystemSpec,
+    workload: &AppWorkload,
+    cfg: &PlatformConfig,
+    power: &CorePowerModel,
+    faults: Option<&FaultPlan>,
+) -> FaultRunReport {
     let _span = mapwave_harness::telemetry::span_labeled("core.run_system", spec.label.clone());
     let n = cfg.cores();
     assert_eq!(spec.topology.len(), n, "topology size mismatch");
@@ -127,7 +170,27 @@ pub fn run_system(
     let default_rt = base_cfg.remote_l2_latency.map;
     let mut executor = Executor::new(base_cfg);
     let mut scratch = ExecScratch::new();
-    let mut exec = executor.run_with_scratch(workload, &mut scratch);
+    // Each executor invocation replays the fault schedule from scratch
+    // (fresh health/retry state), so relaxation rounds see the *same*
+    // deterministic fault history rather than compounding degradation
+    // across what are re-simulations of one and the same execution. The
+    // state of the last (final relaxed) run is kept for the report.
+    let runtime_faulted = faults.is_some_and(FaultPlan::affects_runtime);
+    let mut last_phx: Option<PhoenixFaults> = None;
+    let run_exec =
+        |executor: &Executor, scratch: &mut ExecScratch, last_phx: &mut Option<PhoenixFaults>| {
+            if runtime_faulted {
+                let plan = faults.expect("runtime_faulted implies a plan");
+                let master = executor.config().master_core;
+                let mut phx = PhoenixFaults::new(plan, n, master);
+                let report = executor.run_with_faults(workload, scratch, &mut phx);
+                *last_phx = Some(phx);
+                report
+            } else {
+                executor.run_with_scratch(workload, scratch)
+            }
+        };
+    let mut exec = run_exec(&executor, &mut scratch, &mut last_phx);
 
     // The NoC is VFI-partitioned too: each quadrant's switches run at the
     // quadrant cluster's frequency.
@@ -158,6 +221,10 @@ pub fn run_system(
         tile_domain,
     )
     .expect("spec-consistent network");
+    if let Some(plan) = faults {
+        sim.set_faults(plan);
+    }
+    let mut noc_fault_counts = mapwave_noc::NocFaultCounts::default();
 
     // Phase-resolved NoC simulation: each stage's traffic pattern loads the
     // network differently (Map's memory streaming vs Reduce's key shuffle
@@ -192,6 +259,9 @@ pub fn run_system(
                     Some(s) => s.clone_from(stats),
                     None => *slot = Some(stats.clone()),
                 }
+                let counts = sim.fault_counts();
+                noc_fault_counts.flit_corruptions += counts.flit_corruptions;
+                noc_fault_counts.wi_fallbacks += counts.wi_fallbacks;
             };
         run_phase_net(&mut map_net, &exec.phase_traffic.map);
         run_phase_net(&mut reduce_net, &exec.phase_traffic.reduce);
@@ -236,7 +306,7 @@ pub fn run_system(
             break;
         }
         executor.set_phase_latencies(latencies);
-        exec = executor.run_with_scratch(workload, &mut scratch);
+        exec = run_exec(&executor, &mut scratch, &mut last_phx);
         prev = latencies;
     }
 
@@ -288,15 +358,25 @@ pub fn run_system(
     .filter_map(|(k, s)| s.map(|s| (k, s)))
     .collect();
 
-    RunReport {
-        label: spec.label.clone(),
-        exec,
-        net,
-        net_by_phase,
-        exec_seconds,
-        core_energy_j,
-        net_energy_j,
-        edp,
+    let mut fault_stats = last_phx.map(|p| *p.stats()).unwrap_or_default();
+    fault_stats.flit_corruptions += noc_fault_counts.flit_corruptions;
+    fault_stats.wi_fallbacks += noc_fault_counts.wi_fallbacks;
+    if faults.is_some() {
+        fault_stats.emit_telemetry();
+    }
+
+    FaultRunReport {
+        report: RunReport {
+            label: spec.label.clone(),
+            exec,
+            net,
+            net_by_phase,
+            exec_seconds,
+            core_energy_j,
+            net_energy_j,
+            edp,
+        },
+        faults: fault_stats,
     }
 }
 

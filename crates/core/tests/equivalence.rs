@@ -12,7 +12,8 @@
 
 use mapwave::config::{PlacementStrategy, PlatformConfig};
 use mapwave::design_flow::{DesignFlow, VfStage};
-use mapwave::system::run_system;
+use mapwave::system::{run_system, run_system_with_faults};
+use mapwave_faults::FaultPlan;
 use mapwave_phoenix::apps::App;
 use mapwave_vfi::clustering::ClusteringProblem;
 
@@ -148,6 +149,32 @@ fn check_app(app: App, clustering: &[usize], goldens: &[SpecGolden; 4]) {
             .collect();
         assert_eq!(mapping, g.mapping, "{app}/{}: mapping drift", g.label);
         let r = run_system(spec, &d.workload, &cfg, flow.power());
+        // The disabled fault plan must leave the whole coupled simulation
+        // bit-identical and observe zero fault activity.
+        let fr = run_system_with_faults(spec, &d.workload, &cfg, flow.power(), &FaultPlan::none());
+        assert_eq!(
+            fr.report.edp.to_bits(),
+            r.edp.to_bits(),
+            "{app}/{}: FaultPlan::none() perturbed the EDP",
+            g.label
+        );
+        assert_eq!(
+            fr.report.exec_seconds.to_bits(),
+            r.exec_seconds.to_bits(),
+            "{app}/{}: FaultPlan::none() perturbed the execution time",
+            g.label
+        );
+        assert_eq!(
+            fr.report.net.flits_delivered, r.net.flits_delivered,
+            "{app}/{}: FaultPlan::none() perturbed the NoC",
+            g.label
+        );
+        assert_eq!(
+            fr.faults.injected(),
+            0,
+            "{app}/{}: disabled plan reported fault activity",
+            g.label
+        );
         assert_eq!(r.edp.to_bits(), g.edp_bits, "{app}/{}: EDP drift", g.label);
         assert_eq!(
             r.exec_seconds.to_bits(),

@@ -38,6 +38,47 @@ pub fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Domain constant decoupling named child streams from the plain
+/// `seed_from_u64` expansion chain (which starts its SplitMix64 walk at the
+/// root seed itself).
+const STREAM_DOMAIN: u64 = 0x5157_4E4F_4D41_5053; // "SPAMONWQ" — arbitrary tag
+
+/// Derives the seed of a named child stream from a root seed.
+///
+/// The derivation folds the stream name byte-by-byte through SplitMix64
+/// starting from `root ^ STREAM_DOMAIN`, so:
+///
+/// * the same `(root, name)` pair always yields the same child seed;
+/// * different names yield statistically independent seeds;
+/// * no child seed collides with the root's own `seed_from_u64` expansion
+///   (which walks SplitMix64 from `root`, not `root ^ domain`).
+///
+/// This is how subsystems obtain private randomness (e.g. a fault schedule)
+/// without consuming — or even touching — the workload generator's stream.
+///
+/// # Examples
+///
+/// ```
+/// use mapwave_harness::rng::stream_seed;
+///
+/// let a = stream_seed(42, "faults");
+/// assert_eq!(a, stream_seed(42, "faults"));
+/// assert_ne!(a, stream_seed(42, "workload"));
+/// assert_ne!(a, stream_seed(43, "faults"));
+/// ```
+pub fn stream_seed(root: u64, name: &str) -> u64 {
+    let mut state = root ^ STREAM_DOMAIN;
+    let mut acc = splitmix64(&mut state);
+    for &b in name.as_bytes() {
+        state ^= u64::from(b);
+        acc ^= splitmix64(&mut state);
+    }
+    // Mix the name length in so "ab"+"c" and "a"+"bc" style prefix games
+    // cannot collide trivially.
+    state ^= name.len() as u64;
+    acc ^ splitmix64(&mut state)
+}
+
 /// A generator constructible from a 64-bit seed.
 pub trait SeedableRng: Sized {
     /// Builds the generator from `seed`; equal seeds give equal streams.
@@ -75,6 +116,17 @@ impl SeedableRng for StdRng {
             splitmix64(&mut sm),
         ];
         StdRng { s }
+    }
+}
+
+impl StdRng {
+    /// A named child stream rooted at `root` — see [`stream_seed`].
+    ///
+    /// Drawing from the returned generator never advances any generator
+    /// seeded with `seed_from_u64(root)`: the two are independent objects
+    /// with unrelated state.
+    pub fn stream(root: u64, name: &str) -> Self {
+        StdRng::seed_from_u64(stream_seed(root, name))
     }
 }
 
@@ -285,5 +337,34 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         assert_ne!(rng.next_u64(), 0);
         assert_ne!(rng.s, [0; 4]);
+    }
+
+    #[test]
+    fn stream_seed_is_deterministic_and_name_sensitive() {
+        assert_eq!(stream_seed(42, "faults"), stream_seed(42, "faults"));
+        assert_ne!(stream_seed(42, "faults"), stream_seed(42, "workload"));
+        assert_ne!(stream_seed(42, "faults"), stream_seed(7, "faults"));
+        // Prefix/suffix games don't trivially collide.
+        assert_ne!(stream_seed(42, "ab"), stream_seed(42, "a"));
+        assert_ne!(stream_seed(42, ""), stream_seed(42, "a"));
+    }
+
+    #[test]
+    fn stream_is_independent_of_root_stream() {
+        // The child stream's state differs from the root generator's, and
+        // drawing from the child does not perturb the root: seeding the
+        // root again afterwards reproduces the exact same sequence.
+        let mut root = StdRng::seed_from_u64(42);
+        let before: Vec<u64> = (0..32).map(|_| root.next_u64()).collect();
+
+        let mut child = StdRng::stream(42, "faults");
+        let child_vals: Vec<u64> = (0..32).map(|_| child.next_u64()).collect();
+
+        let mut root_again = StdRng::seed_from_u64(42);
+        let after: Vec<u64> = (0..32).map(|_| root_again.next_u64()).collect();
+        assert_eq!(before, after, "drawing a fault stream perturbed the root");
+        assert_ne!(before, child_vals, "child stream must not alias the root");
+        // And the child seed is not the root seed itself.
+        assert_ne!(stream_seed(42, "faults"), 42);
     }
 }

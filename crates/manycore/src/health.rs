@@ -1,0 +1,173 @@
+//! Per-core health state for degradation and failure modelling.
+//!
+//! [`CoreHealth`] tracks, for every core of a platform, whether it is still
+//! online and the cumulative frequency-degradation factor applied to it.
+//! The type is plan-agnostic: *what* degrades or dies (and when) is decided
+//! elsewhere (the `mapwave-faults` plan, driven by the Phoenix runtime
+//! hooks); this module only holds the resulting state and answers the
+//! queries schedulers need — effective speeds, liveness, and live
+//! substitutes for work assigned to dead cores.
+
+use std::fmt;
+
+/// Health of every core on a platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreHealth {
+    alive: Vec<bool>,
+    /// Cumulative speed multiplier per core (1.0 = pristine). A dead core
+    /// keeps its last factor — schedulers must never run work there, but
+    /// speed vectors derived from this state stay valid (entries in
+    /// `(0, 1]`) for capacity computations that iterate all cores.
+    factor: Vec<f64>,
+}
+
+impl CoreHealth {
+    /// A pristine platform of `n` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "a platform has at least one core");
+        CoreHealth {
+            alive: vec![true; n],
+            factor: vec![1.0; n],
+        }
+    }
+
+    /// Number of cores tracked.
+    pub fn len(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Whether the platform has no cores (never true; see [`CoreHealth::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.alive.is_empty()
+    }
+
+    /// Whether `core` is still online.
+    pub fn is_alive(&self, core: usize) -> bool {
+        self.alive[core]
+    }
+
+    /// Cumulative speed multiplier of `core`.
+    pub fn factor(&self, core: usize) -> f64 {
+        self.factor[core]
+    }
+
+    /// Number of cores still online.
+    pub fn alive_count(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Multiplies `core`'s speed by `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is not in `(0, 1]`.
+    pub fn degrade(&mut self, core: usize, f: f64) {
+        assert!(f > 0.0 && f <= 1.0, "degradation factor must be in (0, 1]");
+        self.factor[core] *= f;
+    }
+
+    /// Takes `core` offline.
+    pub fn kill(&mut self, core: usize) {
+        self.alive[core] = false;
+    }
+
+    /// Fills `out` with `base[c] * factor(c)` for every core. Dead cores
+    /// keep a valid (positive) entry — they are excluded by capacity
+    /// masking, not by a poisoned speed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base.len() != self.len()`.
+    pub fn effective_speeds(&self, base: &[f64], out: &mut Vec<f64>) {
+        assert_eq!(base.len(), self.len(), "speed vector length mismatch");
+        out.clear();
+        out.extend(base.iter().zip(&self.factor).map(|(&b, &f)| b * f));
+    }
+
+    /// The first live core at or after `core` (wrapping); `core` itself
+    /// when it is alive. Falls back to `core` when every core is dead —
+    /// callers that guarantee at least one survivor (e.g. a protected
+    /// master) never hit that case.
+    pub fn live_substitute(&self, core: usize) -> usize {
+        let n = self.len();
+        (0..n)
+            .map(|off| (core + off) % n)
+            .find(|&c| self.alive[c])
+            .unwrap_or(core)
+    }
+}
+
+impl fmt::Display for CoreHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{} cores alive", self.alive_count(), self.alive.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pristine_platform_is_fully_alive() {
+        let h = CoreHealth::new(8);
+        assert_eq!(h.alive_count(), 8);
+        assert!(h.is_alive(3));
+        assert_eq!(h.factor(3), 1.0);
+        assert_eq!(h.live_substitute(3), 3);
+    }
+
+    #[test]
+    fn degradation_compounds() {
+        let mut h = CoreHealth::new(4);
+        h.degrade(1, 0.5);
+        h.degrade(1, 0.5);
+        assert!((h.factor(1) - 0.25).abs() < 1e-15);
+        assert!(h.is_alive(1));
+    }
+
+    #[test]
+    fn effective_speeds_multiply_and_stay_positive() {
+        let mut h = CoreHealth::new(3);
+        h.degrade(0, 0.6);
+        h.kill(2);
+        let mut out = Vec::new();
+        h.effective_speeds(&[1.0, 0.8, 0.9], &mut out);
+        assert_eq!(out.len(), 3);
+        assert!((out[0] - 0.6).abs() < 1e-15);
+        assert_eq!(out[1].to_bits(), 0.8f64.to_bits(), "untouched core exact");
+        assert!(out[2] > 0.0, "dead core keeps a valid speed entry");
+    }
+
+    #[test]
+    fn untouched_core_speed_is_bit_exact() {
+        // factor 1.0: base * 1.0 must be bit-identical to base (the
+        // zero-impact guarantee of the fault hooks relies on this).
+        let h = CoreHealth::new(2);
+        let base = [0.7342891, 1.0];
+        let mut out = Vec::new();
+        h.effective_speeds(&base, &mut out);
+        assert_eq!(out[0].to_bits(), base[0].to_bits());
+        assert_eq!(out[1].to_bits(), base[1].to_bits());
+    }
+
+    #[test]
+    fn live_substitute_wraps_past_dead_cores() {
+        let mut h = CoreHealth::new(4);
+        h.kill(2);
+        h.kill(3);
+        assert_eq!(h.live_substitute(2), 0);
+        assert_eq!(h.live_substitute(3), 0);
+        assert_eq!(h.live_substitute(1), 1);
+        assert_eq!(h.alive_count(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_degradation_rejected() {
+        CoreHealth::new(2).degrade(0, 0.0);
+    }
+}

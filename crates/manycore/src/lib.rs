@@ -32,6 +32,7 @@
 pub mod cache;
 pub mod clock;
 pub mod event;
+pub mod health;
 pub mod mapping;
 pub mod memory;
 pub mod platform;
@@ -39,6 +40,7 @@ pub mod platform;
 pub use cache::{CacheModel, MemoryProfile};
 pub use clock::ClockDomains;
 pub use event::EventQueue;
+pub use health::CoreHealth;
 pub use mapping::{MappingError, ThreadMapping};
 pub use memory::{ControllerLayout, MemorySystem};
 pub use platform::Platform;

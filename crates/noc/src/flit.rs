@@ -60,6 +60,10 @@ pub struct Flit {
     pub created: u64,
     /// Earliest cycle at which this flit may move again (one hop per cycle).
     pub ready_at: u64,
+    /// Whether the packet was diverted onto the wireline-only fallback tree
+    /// after its wireless interface was disabled by the fault model; always
+    /// `false` in fault-free simulations.
+    pub wired_fallback: bool,
 }
 
 /// Builds the flit sequence for a packet of `len` flits.
@@ -114,6 +118,7 @@ pub fn flit_sequence(
         phase: Phase::Up,
         created: now,
         ready_at: now,
+        wired_fallback: false,
     })
 }
 

@@ -60,7 +60,7 @@ pub mod traffic;
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use node::{NodeId, Position};
 pub use routing::{Hop, Phase, RoutingTable};
-pub use sim::{NetworkSim, SimConfig};
+pub use sim::{NetworkSim, NocFaultCounts, SimConfig};
 pub use stats::NetworkStats;
 pub use topology::wireless::{ChannelId, WirelessInterface, WirelessOverlay};
 pub use topology::{Topology, TopologyKind};

@@ -18,7 +18,7 @@
 //! once they drain, so per-cycle cost is proportional to the number of
 //! in-flight flits rather than the topology size. Fractional clock
 //! accumulators of dormant switches are replayed on wake (see
-//! [`NetworkSim::clock_fires`]), preserving bit-identical firing sequences.
+//! `NetworkSim::clock_fires`), preserving bit-identical firing sequences.
 //!
 //! During the drain phase (no injection), whenever every buffered flit is
 //! still in its router pipeline (`ready_at` in the future) and no source
@@ -47,6 +47,7 @@ use crate::switch::{FabricState, OutRoute, Owner, PortMap, PORT_LOCAL};
 use crate::topology::wireless::WirelessOverlay;
 use crate::topology::Topology;
 use crate::traffic::{Injector, TrafficMatrix};
+use mapwave_faults::FaultPlan;
 use mapwave_harness::rng::SeedableRng;
 use mapwave_harness::rng::StdRng;
 use mapwave_harness::telemetry;
@@ -155,6 +156,37 @@ fn mac_holds_packet(ports: &PortMap, fabric: &FabricState, holder: Option<NodeId
     })
 }
 
+/// Counters of the wireless-link faults that fired during the last run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NocFaultCounts {
+    /// Corrupted wireless transfer attempts (each burned a token slot and
+    /// retransmitted later).
+    pub flit_corruptions: u64,
+    /// Wireless interfaces disabled after crossing the consecutive-error
+    /// threshold (their packets divert to the wireline escape tree).
+    pub wi_fallbacks: u64,
+}
+
+/// Runtime fault-injection state for the wireless layer. Present only when
+/// a [`FaultPlan`] with a nonzero link-error rate is attached to a network
+/// that actually has wireless equipment — fault-free simulations carry no
+/// fault state at all and take the exact pre-fault code paths.
+#[derive(Debug, Clone)]
+struct NocFaults {
+    plan: FaultPlan,
+    /// Wireline-only escape table (same flat layout as `NetworkSim::escape`)
+    /// that diverted packets follow after their WI is disabled.
+    fallback: Vec<Option<(OutRoute, Phase)>>,
+    /// Transfer attempts per wireless channel — the deterministic hazard
+    /// counter fed to [`FaultPlan::link_corrupts`].
+    attempts: Vec<u64>,
+    /// Consecutive corrupted attempts per source switch.
+    consec: Vec<u32>,
+    /// Switches whose WI crossed the fallback threshold and was disabled.
+    disabled: Vec<bool>,
+    counts: NocFaultCounts,
+}
+
 /// A cycle-accurate simulator instance for one network configuration.
 ///
 /// The network description (topology, overlay, routing table) is held as
@@ -254,6 +286,10 @@ pub struct NetworkSim<'a> {
     mac_used: Vec<bool>,
     /// Reusable per-switch output-port-used scratch (max port count).
     out_used: Vec<bool>,
+
+    /// Wireless fault-injection state; `None` unless a plan that can
+    /// corrupt links is attached (see [`NetworkSim::set_faults`]).
+    faults: Option<NocFaults>,
 
     /// Cycles advanced by stepping in the last run (telemetry).
     stepped_cycles: u64,
@@ -476,6 +512,7 @@ impl<'a> NetworkSim<'a> {
             mac_holders: Vec::with_capacity(macs.len()),
             mac_used: Vec::with_capacity(macs.len()),
             out_used: vec![false; max_ports],
+            faults: None,
             stepped_cycles: 0,
             ff_cycles: 0,
             moves_last_step: 0,
@@ -523,6 +560,65 @@ impl<'a> NetworkSim<'a> {
         self.ff_cycles
     }
 
+    /// Attaches (or detaches) a fault plan.
+    ///
+    /// Fault state is only materialised when `plan` can corrupt wireless
+    /// links *and* the network has wireless equipment; otherwise the
+    /// simulator carries no fault state and behaves exactly as before this
+    /// call. Attaching a plan precomputes the wireline-only escape table
+    /// diverted packets fall back to. Per-run counters reset on every
+    /// [`NetworkSim::run`], so one attached plan replays the identical
+    /// fault schedule across runs.
+    pub fn set_faults(&mut self, plan: &FaultPlan) {
+        if !plan.affects_noc() || self.overlay.is_empty() {
+            self.faults = None;
+            return;
+        }
+        let n = self.topo.len();
+        let wired = RoutingTable::up_down(&self.topo, &WirelessOverlay::none())
+            .expect("wireline topology must be connected");
+        let mut fallback = vec![None; 2 * n * n];
+        for v in self.topo.nodes() {
+            for (pi, phase) in [(0usize, Phase::Up), (1, Phase::Down)] {
+                for d in 0..n {
+                    let Some(entry) = wired.try_entry(v, phase, NodeId(d)) else {
+                        continue;
+                    };
+                    let route = match entry.hop {
+                        Hop::Local => OutRoute {
+                            out_port: PORT_LOCAL,
+                            wireless_to: None,
+                            down_vc: 0,
+                        },
+                        Hop::Wire(w) => OutRoute {
+                            out_port: self.ports.wire_port(v, w),
+                            wireless_to: None,
+                            down_vc: 0,
+                        },
+                        Hop::Wireless { .. } => {
+                            unreachable!("wireline-only table cannot route wireless")
+                        }
+                    };
+                    fallback[(v.index() * 2 + pi) * n + d] = Some((route, entry.next_phase));
+                }
+            }
+        }
+        self.faults = Some(NocFaults {
+            plan: plan.clone(),
+            fallback,
+            attempts: vec![0; self.macs.len()],
+            consec: vec![0; n],
+            disabled: vec![false; n],
+            counts: NocFaultCounts::default(),
+        });
+    }
+
+    /// Wireless-fault counters of the last run (zeros when no plan is
+    /// attached or nothing fired).
+    pub fn fault_counts(&self) -> NocFaultCounts {
+        self.faults.as_ref().map(|f| f.counts).unwrap_or_default()
+    }
+
     fn reset(&mut self) {
         self.fabric.reset();
         self.macs = macs_for(&self.overlay);
@@ -545,6 +641,14 @@ impl<'a> NetworkSim<'a> {
         self.stepped_cycles = 0;
         self.ff_cycles = 0;
         self.moves_last_step = 0;
+        if let Some(fl) = &mut self.faults {
+            // The plan (and fallback table) survives; the per-run hazard
+            // counters restart so every run replays the same schedule.
+            fl.attempts.fill(0);
+            fl.consec.fill(0);
+            fl.disabled.fill(false);
+            fl.counts = NocFaultCounts::default();
+        }
     }
 
     /// Runs `warmup` cycles, then `measure` cycles of measured injection,
@@ -855,13 +959,17 @@ impl<'a> NetworkSim<'a> {
     /// Routes a head flit at `(v, in-VC vc)`: the escape VC follows the
     /// table; adaptive VCs take any free minimal wired hop and fall back to
     /// the escape channel when blocked (conservative Duato).
+    ///
+    /// The third return is the fault-model divert flag: `true` when the
+    /// packet leaves the wireless tree for the wireline-only fallback tree
+    /// at this hop (it commits onto the flit only when the move succeeds).
     fn route_head(
         &self,
         v: NodeId,
         vc: usize,
         f: &Flit,
         out_used: &[bool],
-    ) -> (OutRoute, Option<Phase>) {
+    ) -> (OutRoute, Option<Phase>, bool) {
         if f.dest == v {
             return (
                 OutRoute {
@@ -870,11 +978,39 @@ impl<'a> NetworkSim<'a> {
                     down_vc: 0,
                 },
                 None,
+                false,
             );
         }
         if vc == 0 || !self.cfg.adaptive {
+            if let Some(fl) = &self.faults {
+                let n = self.topo.len();
+                if f.wired_fallback {
+                    // Already diverted: stay on the wireline-only tree.
+                    let p = match f.phase {
+                        Phase::Up => 0,
+                        Phase::Down => 1,
+                    };
+                    let (route, np) = fl.fallback[(v.index() * 2 + p) * n + f.dest.index()]
+                        .unwrap_or_else(|| {
+                            panic!("no wireline fallback route from {v} to {}", f.dest)
+                        });
+                    return (route, Some(np), false);
+                }
+                let (route, next_phase) = self.escape_route(v, f.phase, f.dest);
+                if route.wireless_to.is_some() && fl.disabled[v.index()] {
+                    // The WI here fell back: divert onto the wireline-only
+                    // up*/down* tree, restarting the phase at this switch
+                    // (the same restart the adaptive fallback performs).
+                    let (wr, np) = fl.fallback[(v.index() * 2) * n + f.dest.index()]
+                        .unwrap_or_else(|| {
+                            panic!("no wireline fallback route from {v} to {}", f.dest)
+                        });
+                    return (wr, Some(np), true);
+                }
+                return (route, Some(next_phase), false);
+            }
             let (route, next_phase) = self.escape_route(v, f.phase, f.dest);
-            return (route, Some(next_phase));
+            return (route, Some(next_phase), false);
         }
         // Adaptive: any wired neighbour strictly closer to the destination,
         // preferring the one with the most free downstream adaptive space.
@@ -916,12 +1052,12 @@ impl<'a> NetworkSim<'a> {
             }
         }
         match best {
-            Some((_, route)) => (route, None),
+            Some((_, route)) => (route, None, false),
             None => {
                 // All minimal adaptive channels blocked: drain via the
                 // escape network, restarting the up*/down* phase here.
                 let (route, next_phase) = self.escape_route(v, Phase::Up, f.dest);
-                (route, Some(next_phase))
+                (route, Some(next_phase), false)
             }
         }
     }
@@ -965,6 +1101,7 @@ impl<'a> NetworkSim<'a> {
                 holders,
                 channel_used,
                 false,
+                false,
             );
         }
 
@@ -985,7 +1122,7 @@ impl<'a> NetworkSim<'a> {
                 if f.ready_at > self.now || !f.kind.is_head() {
                     continue;
                 }
-                let (route, next_phase) = self.route_head(v, vc, &f, out_used);
+                let (route, next_phase, divert) = self.route_head(v, vc, &f, out_used);
                 let o = route.out_port;
                 if out_used[o] || self.fabric.out_owner[sb + o * vcs + route.down_vc].is_some() {
                     continue;
@@ -1001,6 +1138,7 @@ impl<'a> NetworkSim<'a> {
                     holders,
                     channel_used,
                     true,
+                    divert,
                 );
                 if moved {
                     self.fabric.rr_next[v.index()] = ((p + 1) % ports) as u32;
@@ -1028,6 +1166,7 @@ impl<'a> NetworkSim<'a> {
         holders: &[Option<NodeId>],
         channel_used: &mut [bool],
         is_new_packet: bool,
+        divert: bool,
     ) -> bool {
         let o = route.out_port;
         debug_assert!(!out_used[o], "caller reserves the output port");
@@ -1056,6 +1195,32 @@ impl<'a> NetworkSim<'a> {
                 .expect("wireless target is a WI");
             if self.fabric.space(self.fabric.slot(to, tp, route.down_vc)) == 0 {
                 return false;
+            }
+            if let Some(fl) = self.faults.as_mut() {
+                // Fault model: the transfer attempt may be corrupted by a
+                // wireless bit error. The token slot is burned either way;
+                // a corrupted flit stays put and retransmits on a later
+                // slot, and past a threshold of consecutive corruptions the
+                // source WI is disabled (future packets divert to wireline).
+                let attempt = fl.attempts[ch];
+                fl.attempts[ch] += 1;
+                if fl.plan.link_corrupts(ch, attempt) {
+                    fl.counts.flit_corruptions += 1;
+                    fl.consec[v.index()] += 1;
+                    if fl.consec[v.index()] >= fl.plan.wi_fallback_threshold()
+                        && !fl.disabled[v.index()]
+                    {
+                        fl.disabled[v.index()] = true;
+                        fl.counts.wi_fallbacks += 1;
+                    }
+                    channel_used[ch] = true;
+                    if self.measured(&f) {
+                        // The corrupted transfer still radiated.
+                        self.stats.energy.wireless_pj += self.energy_model.wireless_energy_pj();
+                    }
+                    return false;
+                }
+                fl.consec[v.index()] = 0;
             }
             let penalty = if self.domains[v.index()] != self.domains[to.index()] {
                 self.cfg.sync_penalty
@@ -1086,6 +1251,9 @@ impl<'a> NetworkSim<'a> {
         self.moves_last_step += 1;
         if let Some(ph) = next_phase {
             f.phase = ph;
+        }
+        if divert {
+            f.wired_fallback = true;
         }
         if measured {
             self.stats.energy.switch_pj += self.switch_pj[v.index()];

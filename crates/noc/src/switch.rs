@@ -231,6 +231,7 @@ const PLACEHOLDER: Flit = Flit {
     phase: Phase::Up,
     created: 0,
     ready_at: 0,
+    wired_fallback: false,
 };
 
 impl FabricState {

@@ -355,3 +355,87 @@ fn golden_digests_are_rerun_stable() {
     let b = sim.run(&tm, 200, 1000, 20_000).digest();
     assert_eq!(a, b);
 }
+
+#[test]
+fn none_fault_plan_preserves_every_golden_digest() {
+    // The tentpole's zero-cost guarantee at the NoC layer: attaching the
+    // disabled fault plan must leave every pinned digest bit-identical —
+    // the hooks are provably inert when no fault can fire.
+    let plan = mapwave_faults::FaultPlan::none();
+    for mut s in scenarios() {
+        s.sim.set_faults(&plan);
+        let stats = s.sim.run(&s.traffic, s.warmup, s.measure, s.drain);
+        let got = stats.digest().to_hex();
+        assert_eq!(
+            got, s.expected,
+            "{}: digest drifted under FaultPlan::none()",
+            s.name
+        );
+        assert_eq!(s.sim.fault_counts(), mapwave_noc::NocFaultCounts::default());
+    }
+}
+
+#[test]
+fn link_faults_fire_deterministically_and_deliver() {
+    // A lossy wireless line: corruptions fire, the schedule is identical
+    // across runs of the same plan, and traffic still drains (retransmission
+    // and the wireline fallback keep the network functional).
+    let plan = mapwave_faults::FaultPlan::build(&mapwave_faults::FaultConfig::at_rate(0.3, 7));
+    let (line, line_overlay) = wireless_line(20);
+    let line_table = RoutingTable::up_down(&line, &line_overlay).unwrap();
+    let mut tm = TrafficMatrix::zeros(20);
+    tm.set(NodeId(0), NodeId(19), 0.03);
+    tm.set(NodeId(19), NodeId(0), 0.03);
+    let mut sim = NetworkSim::new(
+        line,
+        line_overlay,
+        line_table,
+        EnergyModel::default_65nm(),
+        SimConfig::default(),
+    )
+    .unwrap();
+    sim.set_faults(&plan);
+    let (digest_a, delivered) = {
+        let stats = sim.run(&tm, 200, 3000, 60_000);
+        (stats.digest(), stats.packets_delivered)
+    };
+    let counts_a = sim.fault_counts();
+    assert!(counts_a.flit_corruptions > 0, "30% link errors must fire");
+    assert!(delivered > 0, "faulty network must still deliver");
+    let stats_b = sim.run(&tm, 200, 3000, 60_000);
+    assert_eq!(digest_a, stats_b.digest(), "fault schedule must replay");
+    assert_eq!(counts_a, sim.fault_counts());
+
+    // A fault-free run of the same instance differs: faults are observable.
+    sim.set_faults(&mapwave_faults::FaultPlan::none());
+    let clean = sim.run(&tm, 200, 3000, 60_000).digest();
+    assert_ne!(digest_a, clean, "30% corruption must perturb the digest");
+}
+
+#[test]
+fn heavy_link_faults_trigger_wireline_fallback_on_winoc() {
+    // At a near-certain corruption rate every WI crosses the consecutive
+    // threshold quickly; packets divert to the wireline escape tree and the
+    // WiNoC keeps delivering.
+    let plan = mapwave_faults::FaultPlan::build(&mapwave_faults::FaultConfig::at_rate(0.95, 3));
+    let sw = small_world_64();
+    let overlay = winoc_overlay();
+    let table = RoutingTable::up_down_weighted(&sw, &overlay, 1).unwrap();
+    let mut sim = NetworkSim::new(
+        sw,
+        overlay,
+        table,
+        EnergyModel::default_65nm(),
+        SimConfig::default(),
+    )
+    .unwrap();
+    sim.set_faults(&plan);
+    let stats = sim.run(&TrafficMatrix::uniform(64, 0.02), 300, 2000, 60_000);
+    let delivered = stats.packets_delivered;
+    let counts = sim.fault_counts();
+    assert!(counts.wi_fallbacks > 0, "WIs must fall back at 95% loss");
+    assert!(
+        delivered > 0,
+        "WiNoC must survive on the wireline escape tree"
+    );
+}

@@ -20,9 +20,9 @@
 //!
 //! The scheduler's per-completion cost tracks tasks moved, not
 //! cores × tasks: steal victims come from an indexed max-structure
-//! ([`StealIndex`], length-bucketed core bitmasks) instead of an O(cores)
+//! (`StealIndex`, length-bucketed core bitmasks) instead of an O(cores)
 //! scan, span recording compiles away in untraced [`Executor::run`] calls
-//! (the sealed [`SpanSink`] parameter), and all per-phase scratch (task
+//! (the sealed `SpanSink` parameter), and all per-phase scratch (task
 //! queues, caps, the event heap, flit accumulators) lives in an
 //! [`ExecScratch`] that is reused across phases, iterations and —
 //! via [`Executor::run_with_scratch`] — across relaxation rounds. Every
@@ -34,9 +34,11 @@ use crate::stealing::{caps_for_phase_into, StealPolicy};
 use crate::task::{PhaseKind, TaskWork};
 use crate::timeline::{Span, Timeline};
 use crate::workload::{AppWorkload, ExecutionReport, PhaseBreakdown, PhaseLatencies, PhaseTraffic};
+use mapwave_faults::{CoreEvent, FaultPlan, FaultStats};
 use mapwave_harness::telemetry;
 use mapwave_manycore::cache::{CacheModel, MemoryProfile};
 use mapwave_manycore::event::EventQueue;
+use mapwave_manycore::health::CoreHealth;
 use mapwave_noc::TrafficMatrix;
 use std::collections::VecDeque;
 
@@ -124,6 +126,9 @@ impl RuntimeConfig {
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct Completion {
     pub(crate) core: usize,
+    /// The phase-local task index that just finished — the fault layer
+    /// needs it to decide (and bill) a retry of exactly this task.
+    pub(crate) task: usize,
 }
 
 /// Where the scheduler reports busy spans.
@@ -155,6 +160,201 @@ impl SpanSink for Timeline {
     #[inline]
     fn record(&mut self, span: Span) {
         self.push(span);
+    }
+}
+
+/// Where the scheduler consults the fault model.
+///
+/// Like [`SpanSink`], the trait is crate-private and monomorphised: the
+/// fault-free implementor [`NoFaults`] carries `ACTIVE = false`, so every
+/// `if F::ACTIVE` hook in the scheduler compiles away and the untraced,
+/// unfaulted path is instruction-for-instruction the pre-fault scheduler —
+/// the bit-identity pinned by `tests/equivalence.rs` costs nothing to keep.
+pub(crate) trait FaultHook {
+    /// Whether any hook can ever fire. `false` removes every hook at
+    /// compile time.
+    const ACTIVE: bool;
+    /// Opens a fault slot (a scheduling window between global barriers):
+    /// applies pending core degrade/fail events and fills `buf` with the
+    /// effective per-core speeds derived from `base`.
+    fn begin_slot(&mut self, base: &[f64], buf: &mut Vec<f64>);
+    /// Resets per-task retry state for a phase of `len` tasks and advances
+    /// the global task serial (task identities must differ across phases).
+    fn begin_phase(&mut self, len: usize);
+    /// Zeroes the task caps of offline cores so they never start work.
+    fn mask_caps(&self, caps: &mut [usize]);
+    /// Whether the just-finished attempt of phase-local task `t` failed
+    /// (and must be requeued). Charges the retry and arms its backoff.
+    fn task_failed(&mut self, t: usize) -> bool;
+    /// Consumes the pending backoff delay of task `t`, in reference cycles.
+    fn take_backoff(&mut self, t: usize) -> f64;
+    /// The core that actually performs serial work assigned to `core` —
+    /// `core` itself when alive, else the nearest surviving substitute.
+    fn live_core(&self, core: usize) -> usize;
+    /// Observes a steal from `victim` (bills a re-steal when the victim is
+    /// an offline core whose queue survivors are draining).
+    fn note_steal(&mut self, victim: usize);
+}
+
+/// Fault hook of unfaulted runs: every hook is a no-op that the optimiser
+/// removes (`ACTIVE = false`).
+#[derive(Debug, Default)]
+pub(crate) struct NoFaults;
+
+impl FaultHook for NoFaults {
+    const ACTIVE: bool = false;
+    #[inline]
+    fn begin_slot(&mut self, _base: &[f64], _buf: &mut Vec<f64>) {}
+    #[inline]
+    fn begin_phase(&mut self, _len: usize) {}
+    #[inline]
+    fn mask_caps(&self, _caps: &mut [usize]) {}
+    #[inline]
+    fn task_failed(&mut self, _t: usize) -> bool {
+        false
+    }
+    #[inline]
+    fn take_backoff(&mut self, _t: usize) -> f64 {
+        0.0
+    }
+    #[inline]
+    fn live_core(&self, core: usize) -> usize {
+        core
+    }
+    #[inline]
+    fn note_steal(&mut self, _victim: usize) {}
+}
+
+/// Live fault state of one faulted execution: the deterministic plan plus
+/// the core-health, retry, and counter state it drives.
+///
+/// Create one per [`Executor::run_with_faults`] call (health and counters
+/// accumulate monotonically — reusing an instance carries degradation over,
+/// which models long-running deployments but is usually not what a sweep
+/// wants). The master core is exempt from core events entirely: exempt from
+/// failure so forward progress is guaranteed (some core always drains the
+/// queues), and exempt from degradation because library init is serial on
+/// the master and a degraded master would conflate serial-fraction stretch
+/// with the parallel-phase fault response the sweep isolates.
+#[derive(Debug, Clone)]
+pub struct PhoenixFaults {
+    plan: FaultPlan,
+    master: usize,
+    health: CoreHealth,
+    /// Next fault-slot index (advanced once per scheduling window).
+    slot: u64,
+    /// Global task serial at the start of the current phase.
+    task_base: u64,
+    /// Running task serial across phases.
+    task_serial: u64,
+    /// Failed-attempt count per phase-local task.
+    attempts: Vec<u32>,
+    /// Pending backoff delay per phase-local task, in reference cycles.
+    backoff: Vec<f64>,
+    stats: FaultStats,
+}
+
+impl PhoenixFaults {
+    /// Fault state for a platform of `cores` cores whose master is
+    /// `master`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0` or `master >= cores`.
+    pub fn new(plan: &FaultPlan, cores: usize, master: usize) -> Self {
+        assert!(master < cores, "master core out of range");
+        PhoenixFaults {
+            plan: plan.clone(),
+            master,
+            health: CoreHealth::new(cores),
+            slot: 0,
+            task_base: 0,
+            task_serial: 0,
+            attempts: Vec::new(),
+            backoff: Vec::new(),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Fault counters accumulated so far (retries, re-steals, core events).
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    /// Current per-core health (liveness and degradation factors).
+    pub fn health(&self) -> &CoreHealth {
+        &self.health
+    }
+}
+
+impl FaultHook for PhoenixFaults {
+    const ACTIVE: bool = true;
+
+    fn begin_slot(&mut self, base: &[f64], buf: &mut Vec<f64>) {
+        let slot = self.slot;
+        self.slot += 1;
+        for core in 0..self.health.len() {
+            if core == self.master || !self.health.is_alive(core) {
+                continue;
+            }
+            match self.plan.core_event(core, slot) {
+                CoreEvent::Fail => {
+                    self.health.kill(core);
+                    self.stats.cores_failed += 1;
+                }
+                CoreEvent::Degrade => {
+                    self.health.degrade(core, self.plan.degrade_factor());
+                    self.stats.cores_degraded += 1;
+                }
+                CoreEvent::None => {}
+            }
+        }
+        self.health.effective_speeds(base, buf);
+    }
+
+    fn begin_phase(&mut self, len: usize) {
+        self.task_base = self.task_serial;
+        self.task_serial += len as u64;
+        self.attempts.clear();
+        self.attempts.resize(len, 0);
+        self.backoff.clear();
+        self.backoff.resize(len, 0.0);
+    }
+
+    fn mask_caps(&self, caps: &mut [usize]) {
+        for (core, cap) in caps.iter_mut().enumerate() {
+            if !self.health.is_alive(core) {
+                *cap = 0;
+            }
+        }
+    }
+
+    fn task_failed(&mut self, t: usize) -> bool {
+        let attempt = self.attempts[t];
+        if self.plan.task_fails(self.task_base + t as u64, attempt) {
+            self.attempts[t] += 1;
+            self.stats.task_retries += 1;
+            self.backoff[t] = self.plan.backoff_cycles(self.attempts[t]);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn take_backoff(&mut self, t: usize) -> f64 {
+        let b = self.backoff[t];
+        self.backoff[t] = 0.0;
+        b
+    }
+
+    fn live_core(&self, core: usize) -> usize {
+        self.health.live_substitute(core)
+    }
+
+    fn note_steal(&mut self, victim: usize) {
+        if !self.health.is_alive(victim) {
+            self.stats.re_steals += 1;
+        }
     }
 }
 
@@ -205,6 +405,27 @@ impl StealIndex {
         self.buckets[old_len * self.words + w] &= !bit;
         if old_len > 1 {
             self.buckets[(old_len - 1) * self.words + w] |= bit;
+        }
+    }
+
+    /// Records that `core`'s queue grew from `new_len - 1` to `new_len`
+    /// (a fault-layer requeue — the only way queues refill mid-phase).
+    /// Raises the watermark back up when the requeued length exceeds it.
+    #[inline]
+    fn increment(&mut self, core: usize, new_len: usize) {
+        debug_assert!(new_len >= 1);
+        let needed = (new_len + 1) * self.words;
+        if self.buckets.len() < needed {
+            self.buckets.resize(needed, 0);
+        }
+        let w = core >> 6;
+        let bit = 1u64 << (core & 63);
+        if new_len > 1 {
+            self.buckets[(new_len - 1) * self.words + w] &= !bit;
+        }
+        self.buckets[new_len * self.words + w] |= bit;
+        if new_len > self.cur_max {
+            self.cur_max = new_len;
         }
     }
 
@@ -309,7 +530,7 @@ struct PhaseOutcome {
 /// In-flight state of one phase's event loop (borrowed scheduler scratch
 /// plus the per-phase accumulators), so the start/steal logic reads as
 /// methods instead of a closure with a dozen parameters.
-struct PhaseCtx<'a, S: SpanSink> {
+struct PhaseCtx<'a, S: SpanSink, F: FaultHook> {
     tasks: &'a [TaskWork],
     speeds: &'a [f64],
     stall: f64,
@@ -326,9 +547,10 @@ struct PhaseCtx<'a, S: SpanSink> {
     steals: u64,
     scans_avoided: u64,
     sink: &'a mut S,
+    faults: &'a mut F,
 }
 
-impl<S: SpanSink> PhaseCtx<'_, S> {
+impl<S: SpanSink, F: FaultHook> PhaseCtx<'_, S, F> {
     /// Picks the next task for `core`: own queue first, else steal from the
     /// most-loaded victim via the index. Returns `(task, stolen)`.
     #[inline]
@@ -345,6 +567,9 @@ impl<S: SpanSink> PhaseCtx<'_, S> {
             .pop_back()
             .expect("indexed victim queue nonempty");
         self.index.decrement(victim, self.queues[victim].len() + 1);
+        if F::ACTIVE {
+            self.faults.note_steal(victim);
+        }
         Some((t, true))
     }
 
@@ -363,10 +588,15 @@ impl<S: SpanSink> PhaseCtx<'_, S> {
             dur += self.steal_overhead / self.speeds[core];
             self.steals += 1;
         }
+        if F::ACTIVE {
+            // Retry backoff is wall-clock (a timer, not compute): it does
+            // not stretch with the core's clock divider.
+            dur += self.faults.take_backoff(t);
+        }
         self.executed_by[t] = core;
         self.done[core] += 1;
         self.queued -= 1;
-        self.events.push(now + dur, Completion { core });
+        self.events.push(now + dur, Completion { core, task: t });
         self.sink.record(Span {
             core,
             phase: self.phase,
@@ -374,6 +604,14 @@ impl<S: SpanSink> PhaseCtx<'_, S> {
             end: self.base + (now + dur),
             stolen,
         });
+    }
+
+    /// Puts a failed task back on `core`'s queue tail, re-registering it
+    /// with the steal index so idle cores can pick up the retry.
+    fn requeue(&mut self, core: usize, t: usize) {
+        self.queues[core].push_back(t);
+        self.index.increment(core, self.queues[core].len());
+        self.queued += 1;
     }
 }
 
@@ -445,7 +683,7 @@ impl Executor {
         scratch: &mut ExecScratch,
     ) -> ExecutionReport {
         let mut sink = NoSpans::default();
-        let report = self.run_impl(workload, scratch, &mut sink);
+        let report = self.run_impl(workload, scratch, &mut sink, &mut NoFaults);
         telemetry::count("phoenix.spans_skipped", sink.skipped);
         report
     }
@@ -454,17 +692,57 @@ impl Executor {
     /// [`Timeline`] (per-core busy spans for Gantt-style inspection).
     pub fn run_traced(&self, workload: &AppWorkload) -> (ExecutionReport, Timeline) {
         let mut timeline = Timeline::new(self.cfg.cores);
-        let report = self.run_impl(workload, &mut ExecScratch::new(), &mut timeline);
+        let report = self.run_impl(
+            workload,
+            &mut ExecScratch::new(),
+            &mut timeline,
+            &mut NoFaults,
+        );
         (report, timeline)
     }
 
+    /// Like [`Executor::run_with_scratch`], with the fault model live:
+    /// cores may degrade or fail at scheduling-window boundaries (survivors
+    /// re-steal a dead core's queue), map/reduce task attempts may fail and
+    /// retry with exponential backoff, and the merge tree routes around
+    /// offline mergers. With a plan built from an all-zero
+    /// [`FaultConfig`](mapwave_faults::FaultConfig) no hook ever fires and
+    /// the report is bit-identical to [`Executor::run`]'s.
+    ///
+    /// `faults` accumulates health and counters across calls; pass a fresh
+    /// [`PhoenixFaults`] per execution unless degradation should carry
+    /// over.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `faults` was built for a different core count.
+    pub fn run_with_faults(
+        &self,
+        workload: &AppWorkload,
+        scratch: &mut ExecScratch,
+        faults: &mut PhoenixFaults,
+    ) -> ExecutionReport {
+        assert_eq!(
+            faults.health.len(),
+            self.cfg.cores,
+            "fault state platform size mismatch"
+        );
+        let mut sink = NoSpans::default();
+        let report = self.run_impl(workload, scratch, &mut sink, faults);
+        telemetry::count("phoenix.spans_skipped", sink.skipped);
+        report
+    }
+
     /// The shared engine behind [`Executor::run`] (span sink [`NoSpans`])
-    /// and [`Executor::run_traced`] (span sink [`Timeline`]).
-    fn run_impl<S: SpanSink>(
+    /// and [`Executor::run_traced`] (span sink [`Timeline`]), fault hook
+    /// [`NoFaults`] on both, and [`Executor::run_with_faults`] (hook
+    /// [`PhoenixFaults`]).
+    fn run_impl<S: SpanSink, F: FaultHook>(
         &self,
         workload: &AppWorkload,
         scratch: &mut ExecScratch,
         sink: &mut S,
+        faults: &mut F,
     ) -> ExecutionReport {
         let _span = telemetry::span_labeled("phoenix.exec", workload.name);
         let n = self.cfg.cores;
@@ -484,13 +762,30 @@ impl Executor {
         let mut scans_avoided = 0u64;
         let mut tasks_per_core = vec![0u32; n];
         let mut clock = 0.0f64;
+        // Effective per-core speeds of the current fault slot. Stays empty
+        // on the unfaulted path (`NoFaults::begin_slot` is a no-op), in
+        // which case the base speed vector is used directly — no copy, no
+        // extra float op, bit-identical schedules.
+        let mut fault_speeds: Vec<f64> = Vec::new();
 
         for it in &workload.iterations {
+            // --- Fault slot A: library init + Map ---
+            faults.begin_slot(&self.cfg.core_speeds, &mut fault_speeds);
+            let speeds: &[f64] = if F::ACTIVE && !fault_speeds.is_empty() {
+                &fault_speeds
+            } else {
+                &self.cfg.core_speeds
+            };
+
             // --- Library init (serial, on the master core) ---
             let master = self.cfg.master_core;
             let li_task =
                 TaskWork::new(workload.lib_init_cycles, workload.lib_init_instructions, 0);
-            let li = self.task_duration(&li_task, &it.map_memory, master, lat.lib_init);
+            let li_stall = self
+                .cfg
+                .cache
+                .stall_cycles_per_inst(&it.map_memory, lat.lib_init);
+            let li = li_task.cycles / speeds[master] + li_task.instructions * li_stall;
             busy[master] += li;
             phases.lib_init += li;
             sink.record(Span {
@@ -509,8 +804,10 @@ impl Executor {
                 lat.map,
                 PhaseKind::Map,
                 clock,
+                speeds,
                 scratch,
                 sink,
+                faults,
             );
             phases.map += map.duration;
             clock += map.duration;
@@ -520,7 +817,7 @@ impl Executor {
                 .stall_cycles_per_inst(&it.map_memory, lat.map);
             for (t, &c) in map.executed_by.iter().enumerate() {
                 let task = &it.map_tasks[t];
-                busy[c] += task.cycles / self.cfg.core_speeds[c] + task.instructions * map_stall;
+                busy[c] += task.cycles / speeds[c] + task.instructions * map_stall;
                 tasks_per_core[c] += 1;
             }
             steals += map.steals;
@@ -537,6 +834,14 @@ impl Executor {
                 it.neighbor_bias,
             );
 
+            // --- Fault slot B: Reduce ---
+            faults.begin_slot(&self.cfg.core_speeds, &mut fault_speeds);
+            let speeds: &[f64] = if F::ACTIVE && !fault_speeds.is_empty() {
+                &fault_speeds
+            } else {
+                &self.cfg.core_speeds
+            };
+
             // --- Reduce ---
             let red = self.run_phase(
                 &it.reduce_tasks,
@@ -544,8 +849,10 @@ impl Executor {
                 lat.reduce,
                 PhaseKind::Reduce,
                 clock,
+                speeds,
                 scratch,
                 sink,
+                faults,
             );
             phases.reduce += red.duration;
             clock += red.duration;
@@ -555,7 +862,7 @@ impl Executor {
                 .stall_cycles_per_inst(&it.reduce_memory, lat.reduce);
             for (t, &c) in red.executed_by.iter().enumerate() {
                 let task = &it.reduce_tasks[t];
-                busy[c] += task.cycles / self.cfg.core_speeds[c] + task.instructions * red_stall;
+                busy[c] += task.cycles / speeds[c] + task.instructions * red_stall;
                 tasks_per_core[c] += 1;
             }
             steals += red.steals;
@@ -595,6 +902,14 @@ impl Executor {
             //     combines two partitions of total_items·2^l/n keys each,
             //     so the critical path is ~2·total_items·cycles_per_item
             //     while early levels stay cheap and wide. ---
+            // --- Fault slot C: Merge ---
+            faults.begin_slot(&self.cfg.core_speeds, &mut fault_speeds);
+            let speeds: &[f64] = if F::ACTIVE && !fault_speeds.is_empty() {
+                &fault_speeds
+            } else {
+                &self.cfg.core_speeds
+            };
+
             if let Some(merge) = it.merge {
                 let merge_stall = self
                     .cfg
@@ -616,19 +931,26 @@ impl Executor {
                     while merger < n {
                         let partner = merger + half;
                         if partner < n {
-                            let dur = mtask.cycles / self.cfg.core_speeds[merger]
-                                + mtask.instructions * merge_stall;
-                            busy[merger] += dur;
+                            // The merge tree is positional; a dead merger's
+                            // slot is serviced by the nearest survivor
+                            // (identity when fault-free).
+                            let m = faults.live_core(merger);
+                            let dur = mtask.cycles / speeds[m] + mtask.instructions * merge_stall;
+                            busy[m] += dur;
                             sink.record(Span {
-                                core: merger,
+                                core: m,
                                 phase: PhaseKind::Merge,
                                 start: clock,
                                 end: clock + dur,
                                 stolen: false,
                             });
                             level_time = level_time.max(dur);
-                            // Partner ships its partition to the merger.
-                            scratch.merge_flits[partner * n + merger] +=
+                            // Partner ships its partition to the merger
+                            // (its L2 slice still holds the data even if
+                            // the partner core itself is offline; any
+                            // self-traffic from substitution lands on the
+                            // matrix diagonal, which `from_dense` clears).
+                            scratch.merge_flits[partner * n + m] +=
                                 partition_items * merge.flits_per_item;
                         }
                         merger += stride;
@@ -706,19 +1028,28 @@ impl Executor {
     /// a core only goes idle-with-capacity when `next_task` finds every
     /// queue empty (i.e. `queued == 0`), and queues never refill — so the
     /// only resume point that can ever start an idle core is the cap-lift
-    /// batch below, which restarts all cores at once.
+    /// batch below, which restarts all cores at once. (Under an active
+    /// fault hook a failed task *does* refill a queue, which can strand it
+    /// with every other core idle until the cap-lift batch; the retry
+    /// backoff models that pickup delay, so no extra wake-up pass is
+    /// needed there either.)
     #[allow(clippy::too_many_arguments)]
-    fn run_phase<S: SpanSink>(
+    fn run_phase<S: SpanSink, F: FaultHook>(
         &self,
         tasks: &[TaskWork],
         memory: &MemoryProfile,
         latency: f64,
         phase: PhaseKind,
         base: f64,
+        speeds: &[f64],
         scratch: &mut ExecScratch,
         sink: &mut S,
+        faults: &mut F,
     ) -> PhaseOutcome {
         let n = self.cfg.cores;
+        if F::ACTIVE {
+            faults.begin_phase(tasks.len());
+        }
         let mut executed_by = vec![usize::MAX; tasks.len()];
         if tasks.is_empty() {
             return PhaseOutcome {
@@ -742,9 +1073,12 @@ impl Executor {
         caps_for_phase_into(
             self.cfg.steal_policy,
             tasks.len(),
-            &self.cfg.core_speeds,
+            speeds,
             &mut scratch.caps,
         );
+        if F::ACTIVE {
+            faults.mask_caps(&mut scratch.caps);
+        }
         scratch.done.clear();
         scratch.done.resize(n, 0);
         scratch.events.clear();
@@ -754,7 +1088,7 @@ impl Executor {
         let mut phase_end = 0.0f64;
         let mut ctx = PhaseCtx {
             tasks,
-            speeds: &self.cfg.core_speeds,
+            speeds,
             stall,
             steal_overhead: self.cfg.steal_overhead_cycles,
             phase,
@@ -769,6 +1103,7 @@ impl Executor {
             steals: 0,
             scans_avoided: 0,
             sink,
+            faults,
         };
 
         // Start as many cores as possible at t = 0.
@@ -779,6 +1114,12 @@ impl Executor {
         loop {
             while let Some((now, ev)) = ctx.events.pop() {
                 phase_end = phase_end.max(now);
+                // A failed attempt re-enters the queues before the
+                // finishing core looks for more work, so the retry is
+                // immediately stealable (possibly by the same core).
+                if F::ACTIVE && ctx.faults.task_failed(ev.task) {
+                    ctx.requeue(ev.core, ev.task);
+                }
                 // The finishing core tries to pick up more work; no other
                 // core can become runnable here (see the method docs), so
                 // the reference's per-completion idle rescan is counted as
@@ -798,8 +1139,12 @@ impl Executor {
             }
             // Every core hit its cap while tasks remain (possible only when
             // no core runs at f_max): lift the caps and resume the whole
-            // platform in one batch at the current phase end.
+            // platform in one batch at the current phase end. Offline cores
+            // stay masked at zero — survivors drain the leftovers.
             ctx.caps.fill(usize::MAX);
+            if F::ACTIVE {
+                ctx.faults.mask_caps(ctx.caps);
+            }
             for core in 0..n {
                 ctx.start_core(core, phase_end);
             }

@@ -12,10 +12,11 @@
 //! within a tolerance. Any drift means an optimization changed the
 //! computation rather than just its cost.
 
+use mapwave_faults::{FaultConfig, FaultPlan};
 use mapwave_manycore::cache::MemoryProfile;
 use mapwave_noc::NodeId;
 use mapwave_phoenix::apps::App;
-use mapwave_phoenix::runtime::{ExecScratch, Executor, RuntimeConfig};
+use mapwave_phoenix::runtime::{ExecScratch, Executor, PhoenixFaults, RuntimeConfig};
 use mapwave_phoenix::stealing::StealPolicy;
 use mapwave_phoenix::task::TaskWork;
 use mapwave_phoenix::workload::{AppWorkload, ExecutionReport, IterationWorkload, PhaseLatencies};
@@ -97,7 +98,9 @@ fn assert_timelines_bit_identical(a: &Timeline, b: &Timeline, what: &str) {
 }
 
 /// Checks optimized-vs-reference equivalence for one executor/workload
-/// pair, on both the traced and untraced paths and under scratch reuse.
+/// pair, on both the traced and untraced paths, under scratch reuse, and
+/// through the fault-hooked path with an inert plan (which must be a
+/// transparent alias for the unfaulted scheduler, bit for bit).
 fn check(exec: &Executor, w: &AppWorkload, scratch: &mut ExecScratch, what: &str) {
     let (ref_report, ref_timeline) = exec.run_traced_reference(w);
     let (opt_report, opt_timeline) = exec.run_traced(w);
@@ -107,6 +110,14 @@ fn check(exec: &Executor, w: &AppWorkload, scratch: &mut ExecScratch, what: &str
     assert_reports_bit_identical(&untraced, &ref_report, &format!("{what} (untraced)"));
     let reused = exec.run_with_scratch(w, scratch);
     assert_reports_bit_identical(&reused, &ref_report, &format!("{what} (scratch reuse)"));
+    let mut faults = PhoenixFaults::new(&FaultPlan::none(), exec.config().cores, 0);
+    let faulted = exec.run_with_faults(w, scratch, &mut faults);
+    assert_reports_bit_identical(&faulted, &ref_report, &format!("{what} (none-plan faults)"));
+    assert_eq!(
+        *faults.stats(),
+        Default::default(),
+        "{what}: inert plan must inject nothing"
+    );
 }
 
 /// Heterogeneous speed vector of `n` cores cycling through the paper's
@@ -270,4 +281,115 @@ fn steal_order_pins_lowest_index_victim_on_ties() {
     let (ref_report, ref_timeline) = exec.run_traced_reference(&w);
     assert_reports_bit_identical(&report, &ref_report, "steal-order");
     assert_timelines_bit_identical(&timeline, &ref_timeline, "steal-order");
+}
+
+#[test]
+fn task_faults_retry_deterministically_and_still_complete() {
+    // A live plan with only task failures enabled: every task still
+    // executes (forced success at the retry budget), retries are billed,
+    // execution stretches, and the same seed replays bit-identically.
+    let w = App::WordCount.workload(0.002, 42, 16);
+    let exec = Executor::new(RuntimeConfig::nvfi(16));
+    let mut cfg = FaultConfig::disabled();
+    cfg.task_fail_rate = 0.2;
+    cfg.seed = 9;
+    let plan = FaultPlan::build(&cfg);
+    let mut scratch = ExecScratch::new();
+
+    let run = |scratch: &mut ExecScratch| {
+        let mut faults = PhoenixFaults::new(&plan, 16, 0);
+        let report = exec.run_with_faults(&w, scratch, &mut faults);
+        (report, *faults.stats())
+    };
+    let (report_a, stats_a) = run(&mut scratch);
+    let (report_b, stats_b) = run(&mut scratch);
+    assert_eq!(report_a, report_b, "same fault seed must replay exactly");
+    assert_eq!(stats_a, stats_b);
+    assert!(
+        stats_a.task_retries > 0,
+        "20% failure rate must bill retries"
+    );
+    assert_eq!(stats_a.cores_failed, 0);
+    assert_eq!(stats_a.cores_degraded, 0);
+
+    let clean = exec.run_with_scratch(&w, &mut scratch);
+    assert_eq!(
+        clean
+            .tasks_per_core
+            .iter()
+            .map(|&t| u64::from(t))
+            .sum::<u64>(),
+        report_a
+            .tasks_per_core
+            .iter()
+            .map(|&t| u64::from(t))
+            .sum::<u64>(),
+        "every task still executes exactly once (successfully)"
+    );
+    assert!(
+        report_a.total_cycles() > clean.total_cycles(),
+        "retries and backoff must stretch execution"
+    );
+}
+
+#[test]
+fn dead_cores_are_drained_by_survivors() {
+    // Aggressive core failures: dead cores' queued tasks must be re-stolen
+    // by survivors, all work completes, and dead cores stop accumulating
+    // tasks once killed.
+    let w = App::Kmeans.workload(0.002, 11, 16);
+    let exec = Executor::new(RuntimeConfig::nvfi(16));
+    let mut cfg = FaultConfig::disabled();
+    cfg.core_fail_rate = 0.35;
+    cfg.core_degrade_rate = 0.3;
+    cfg.seed = 4;
+    let plan = FaultPlan::build(&cfg);
+    let mut scratch = ExecScratch::new();
+    let mut faults = PhoenixFaults::new(&plan, 16, 0);
+    let report = exec.run_with_faults(&w, &mut scratch, &mut faults);
+    let stats = *faults.stats();
+    assert!(
+        stats.cores_failed > 0,
+        "35%/slot must kill cores: {stats:?}"
+    );
+    assert!(stats.re_steals > 0, "survivors must drain dead queues");
+    assert!(faults.health().is_alive(0), "master is protected");
+    assert!(faults.health().alive_count() < 16);
+    let clean = exec.run_with_scratch(&w, &mut scratch);
+    assert_eq!(
+        clean
+            .tasks_per_core
+            .iter()
+            .map(|&t| u64::from(t))
+            .sum::<u64>(),
+        report
+            .tasks_per_core
+            .iter()
+            .map(|&t| u64::from(t))
+            .sum::<u64>(),
+        "all tasks complete despite dead cores"
+    );
+    assert!(
+        report.total_cycles() > clean.total_cycles(),
+        "losing cores must stretch execution"
+    );
+}
+
+#[test]
+fn different_fault_seeds_diverge() {
+    let w = App::WordCount.workload(0.002, 42, 16);
+    let exec = Executor::new(RuntimeConfig::nvfi(16));
+    let mut scratch = ExecScratch::new();
+    let run = |seed: u64, scratch: &mut ExecScratch| {
+        let plan = FaultPlan::build(&FaultConfig::at_rate(0.15, seed));
+        let mut faults = PhoenixFaults::new(&plan, 16, 0);
+        exec.run_with_faults(&w, scratch, &mut faults)
+    };
+    let a = run(1, &mut scratch);
+    let b = run(2, &mut scratch);
+    assert_ne!(
+        a.total_cycles().to_bits(),
+        b.total_cycles().to_bits(),
+        "independent fault seeds should produce different schedules"
+    );
 }

@@ -255,6 +255,40 @@ pub fn reassign_for_bottlenecks(
     VfAssignment::new(per_cluster)
 }
 
+/// The graceful-degradation reaction: re-runs bottleneck detection against
+/// a *degraded* utilization profile (cores slowed or lost to faults shift
+/// load onto survivors, which can turn a formerly balanced profile into a
+/// homogeneous-with-bottlenecks one) and, when warranted, steps up the
+/// clusters hosting the new bottlenecks — the same single-level VFI 2 move,
+/// applied at fault-response time instead of design time. Returns the
+/// reassignment together with the analysis that justified (or declined) it,
+/// so callers can log why the fault response did or did not escalate V/F.
+///
+/// The clustering — and therefore the traffic pattern — stays untouched:
+/// degradation changes *when* clusters are clocked up, never *where* cores
+/// live.
+///
+/// # Panics
+///
+/// Panics if `degraded_utilization` is empty or its length differs from
+/// `clustering.len()`.
+pub fn reassign_for_degradation(
+    initial: &VfAssignment,
+    clustering: &Clustering,
+    degraded_utilization: &[f64],
+    table: &VfTable,
+    params: &BottleneckParams,
+) -> (VfAssignment, BottleneckAnalysis) {
+    assert_eq!(
+        degraded_utilization.len(),
+        clustering.len(),
+        "utilization length mismatch"
+    );
+    let analysis = detect_bottlenecks(degraded_utilization, params);
+    let reassigned = reassign_for_bottlenecks(initial, clustering, &analysis, table);
+    (reassigned, analysis)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -357,5 +391,47 @@ mod tests {
         let a = detect_bottlenecks(&[0.0; 8], &BottleneckParams::default());
         assert!(a.bottleneck_cores.is_empty());
         assert_eq!(a.peak_ratio, 0.0);
+    }
+
+    #[test]
+    fn degradation_reassignment_steps_up_overloaded_cluster() {
+        // A degraded core 1 forced its work onto core 0, which now runs
+        // hot against an otherwise flat survivor profile: its cluster must
+        // be clocked up, the other left alone.
+        let clustering = Clustering::new(vec![0, 0, 1, 1], 2).unwrap();
+        let table = VfTable::paper_levels();
+        let clean = vec![0.55, 0.55, 0.55, 0.55];
+        let vfi1 = assign_initial(&clustering, &clean, &table, 0.9);
+        let degraded = vec![0.95, 0.5, 0.55, 0.55];
+        let (vfi2, analysis) = reassign_for_degradation(
+            &vfi1,
+            &clustering,
+            &degraded,
+            &table,
+            &BottleneckParams::default(),
+        );
+        assert_eq!(analysis.bottleneck_cores, vec![0]);
+        assert!(analysis.needs_reassignment());
+        assert!(vfi2.vf_of(0).freq_ghz > vfi1.vf_of(0).freq_ghz);
+        assert_eq!(vfi2.vf_of(1), vfi1.vf_of(1));
+    }
+
+    #[test]
+    fn degradation_reassignment_declines_on_heterogeneous_profile() {
+        // Widespread degradation (no single hot survivor) must not trigger
+        // a step-up: the profile is heterogeneous, not bottlenecked.
+        let clustering = Clustering::new(vec![0, 0, 1, 1], 2).unwrap();
+        let table = VfTable::paper_levels();
+        let vfi1 = VfAssignment::uniform(2, table.min());
+        let degraded = vec![0.9, 0.1, 0.85, 0.15];
+        let (vfi2, analysis) = reassign_for_degradation(
+            &vfi1,
+            &clustering,
+            &degraded,
+            &table,
+            &BottleneckParams::default(),
+        );
+        assert!(!analysis.needs_reassignment());
+        assert_eq!(vfi2, vfi1);
     }
 }

@@ -38,8 +38,8 @@ pub mod power;
 pub mod vf;
 
 pub use assignment::{
-    assign_initial, detect_bottlenecks, reassign_for_bottlenecks, BottleneckAnalysis,
-    BottleneckParams, VfAssignment,
+    assign_initial, detect_bottlenecks, reassign_for_bottlenecks, reassign_for_degradation,
+    BottleneckAnalysis, BottleneckParams, VfAssignment,
 };
 pub use clustering::{Clustering, ClusteringError, ClusteringProblem};
 pub use power::{edp, CorePowerModel};
@@ -48,8 +48,8 @@ pub use vf::{VfPair, VfTable};
 /// Convenient glob import.
 pub mod prelude {
     pub use crate::assignment::{
-        assign_initial, detect_bottlenecks, reassign_for_bottlenecks, BottleneckAnalysis,
-        BottleneckParams, VfAssignment,
+        assign_initial, detect_bottlenecks, reassign_for_bottlenecks, reassign_for_degradation,
+        BottleneckAnalysis, BottleneckParams, VfAssignment,
     };
     pub use crate::clustering::{Clustering, ClusteringProblem};
     pub use crate::power::{edp, CorePowerModel};

@@ -12,6 +12,9 @@
 
 use mapwave::prelude::*;
 use mapwave_phoenix::apps::App;
+use mapwave_repro::cli;
+
+const USAGE: &str = "cargo run --release --example design_space [scale] [app]";
 
 fn parse_app(name: &str) -> Option<App> {
     App::ALL
@@ -20,14 +23,8 @@ fn parse_app(name: &str) -> Option<App> {
 }
 
 fn main() -> Result<(), String> {
-    let scale: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.02);
-    let app = std::env::args()
-        .nth(2)
-        .and_then(|s| parse_app(&s))
-        .unwrap_or(App::WordCount);
+    let scale: f64 = cli::parsed_arg_or(1, 0.02, "scale", USAGE)?;
+    let app = cli::arg_or(2, App::WordCount, "app name", USAGE, parse_app)?;
 
     println!("== design space for {app} at scale {scale} ==\n");
 

@@ -8,12 +8,15 @@
 
 use mapwave::prelude::*;
 use mapwave_phoenix::apps::App;
+use mapwave_repro::cli;
 
 fn main() -> Result<(), String> {
-    let scale: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.02);
+    let scale: f64 = cli::parsed_arg_or(
+        1,
+        0.02,
+        "scale",
+        "cargo run --release --example diagnose -- [scale]",
+    )?;
     let cfg = PlatformConfig::paper().with_scale(scale);
     let flow = DesignFlow::new(cfg.clone())?;
 

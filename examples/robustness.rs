@@ -11,16 +11,13 @@
 
 use mapwave::experiments::headline_across_seeds;
 use mapwave::prelude::*;
+use mapwave_repro::cli;
+
+const USAGE: &str = "cargo run --release --example robustness [scale] [seeds]";
 
 fn main() -> Result<(), String> {
-    let scale: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.02);
-    let seeds: usize = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(3);
+    let scale: f64 = cli::parsed_arg_or(1, 0.02, "scale", USAGE)?;
+    let seeds: usize = cli::parsed_arg_or(2, 3, "seed count", USAGE)?;
 
     eprintln!("running {seeds} seeds at scale {scale}...");
     let stats = headline_across_seeds(&PlatformConfig::paper().with_scale(scale), seeds)?;

@@ -14,20 +14,17 @@
 use mapwave::prelude::*;
 use mapwave_phoenix::apps::App;
 use mapwave_phoenix::runtime::{Executor, RuntimeConfig};
+use mapwave_repro::cli;
+
+const USAGE: &str = "cargo run --release --example timeline [APP] [scale]";
 
 fn main() -> Result<(), String> {
-    let app = std::env::args()
-        .nth(1)
-        .and_then(|s| {
-            App::ALL
-                .into_iter()
-                .find(|a| a.name().eq_ignore_ascii_case(&s))
-        })
-        .unwrap_or(App::WordCount);
-    let scale: f64 = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.01);
+    let app = cli::arg_or(1, App::WordCount, "app name", USAGE, |name| {
+        App::ALL
+            .into_iter()
+            .find(|a| a.name().eq_ignore_ascii_case(name))
+    })?;
+    let scale: f64 = cli::parsed_arg_or(2, 0.01, "scale", USAGE)?;
     let width = 100;
 
     let cfg = PlatformConfig::paper().with_scale(scale);

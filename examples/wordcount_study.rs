@@ -17,11 +17,13 @@ use mapwave_phoenix::apps::{word_count, App};
 use mapwave_phoenix::runtime::{Executor, RuntimeConfig};
 use mapwave_phoenix::stealing::{task_cap, StealPolicy};
 
-fn main() {
-    let scale: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.05);
+fn main() -> Result<(), String> {
+    let scale: f64 = mapwave_repro::cli::parsed_arg_or(
+        1,
+        0.05,
+        "scale",
+        "cargo run --release --example wordcount_study [scale]",
+    )?;
     let cores = 64;
 
     println!(
@@ -109,4 +111,5 @@ fn main() {
     // Cross-check against the full design flow's choice.
     let _ = App::WordCount;
     println!("\n(The design flow picks whichever policy executes faster; see `diagnose`.)");
+    Ok(())
 }

@@ -21,7 +21,50 @@
 //! paper-versus-measured record.
 
 pub use mapwave;
+pub use mapwave_faults;
 pub use mapwave_manycore;
 pub use mapwave_noc;
 pub use mapwave_phoenix;
 pub use mapwave_vfi;
+
+pub mod cli {
+    //! Strict positional-argument parsing shared by the repository
+    //! examples.
+    //!
+    //! A missing argument falls back to its default; a *present but
+    //! malformed* argument is a hard error carrying the example's usage
+    //! line. (Several examples used to `parse().ok()` and silently run
+    //! the default configuration on a typo — an easy way to benchmark
+    //! the wrong experiment.)
+
+    /// Parses positional argument `pos` (1-based, after the binary name)
+    /// with `parse`, falling back to `default` when the argument is
+    /// absent.
+    ///
+    /// Returns an error naming the offending value and echoing `usage`
+    /// when the argument is present but `parse` rejects it.
+    pub fn arg_or<T>(
+        pos: usize,
+        default: T,
+        what: &str,
+        usage: &str,
+        parse: impl FnOnce(&str) -> Option<T>,
+    ) -> Result<T, String> {
+        match std::env::args().nth(pos) {
+            None => Ok(default),
+            Some(raw) => {
+                parse(&raw).ok_or_else(|| format!("invalid {what} {raw:?}\nusage: {usage}"))
+            }
+        }
+    }
+
+    /// [`arg_or`] for any [`FromStr`](std::str::FromStr) type.
+    pub fn parsed_arg_or<T: std::str::FromStr>(
+        pos: usize,
+        default: T,
+        what: &str,
+        usage: &str,
+    ) -> Result<T, String> {
+        arg_or(pos, default, what, usage, |raw| raw.parse().ok())
+    }
+}
