@@ -1,0 +1,97 @@
+//! Wall-clock micro-bench of the sweep store's query path.
+//!
+//! Builds a small sweep store once (the `SweepSpec::smoke` four-cell
+//! sweep), then times:
+//!
+//! * `load_records` — manifest parse + content-verified blob decode of
+//!   every completed cell (the cold part of every query);
+//! * `render_table` — the pure in-memory table rendering over the decoded
+//!   records (the warm part, what repeated queries against a held-open
+//!   store cost).
+//!
+//! Both paths answer purely from artifacts — no simulation runs during the
+//! timed region; the store build is untimed setup.
+//!
+//! Prints one line per scenario; set `MAPWAVE_BENCH_JSON=<path>` to also
+//! write the medians as JSON (recorded in `BENCH_sweep_query.json`).
+
+use mapwave_sweep::prelude::*;
+use std::time::Instant;
+
+/// Median wall-clock seconds per call over enough samples to spend a
+/// bounded ~second per scenario.
+fn median_secs<F: FnMut()>(mut f: F) -> f64 {
+    let start = Instant::now();
+    f();
+    let once = start.elapsed().as_secs_f64().max(1e-6);
+    let samples = ((1.0 / once).ceil() as usize).clamp(3, 30);
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+fn main() {
+    let root = std::env::temp_dir().join(format!("mapwave-bench-sweep-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    // Untimed setup: populate the store.
+    let engine = SweepEngine::create(
+        &root,
+        SweepSpec::smoke(),
+        EngineOptions {
+            backoff_base_ms: 0,
+            ..EngineOptions::default()
+        },
+    )
+    .expect("create sweep");
+    let summary = engine.run().expect("run sweep");
+    assert_eq!(summary.pending, 0, "bench store must be complete");
+
+    let mut results: Vec<(&str, f64)> = Vec::new();
+
+    let store = ArtifactStore::open(&root).expect("open store");
+    results.push((
+        "sweep_query/load_records",
+        median_secs(|| {
+            let records = load_records(&store).expect("load");
+            assert_eq!(std::hint::black_box(records).len(), 4);
+        }),
+    ));
+
+    let records = load_records(&store).expect("load");
+    results.push((
+        "sweep_query/render_table",
+        median_secs(|| {
+            std::hint::black_box(render_table(
+                &records,
+                &QueryFilter::default(),
+                Metric::EdpSaving,
+            ));
+        }),
+    ));
+
+    for (name, secs) in &results {
+        println!("{name:<34} median {:>9.3} ms/call", secs * 1e3);
+    }
+
+    if let Ok(path) = std::env::var("MAPWAVE_BENCH_JSON") {
+        let entries: Vec<String> = results
+            .iter()
+            .map(|(k, v)| format!("    \"{k}\": {:.1}", v * 1e6))
+            .collect();
+        let json = format!(
+            "{{\n  \"unit\": \"microseconds/call (median)\",\n  \"results\": {{\n{}\n  }}\n}}\n",
+            entries.join(",\n")
+        );
+        std::fs::write(&path, json).expect("write bench json");
+        println!("wrote {path}");
+    }
+
+    let _ = std::fs::remove_dir_all(&root);
+}

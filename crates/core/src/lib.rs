@@ -66,7 +66,10 @@ pub mod system;
 pub use config::{PlacementStrategy, PlatformConfig};
 pub use design_flow::{Design, DesignFlow, VfStage};
 pub use experiments::ExperimentContext;
-pub use survivability::{fault_sweep, FaultSweepConfig, FaultSweepPoint, FaultSweepReport};
+pub use orchestrator::ArtifactSink;
+pub use survivability::{
+    fault_sweep, fault_sweep_with_sink, FaultSweepConfig, FaultSweepPoint, FaultSweepReport,
+};
 pub use system::{run_system, run_system_with_faults, FaultRunReport, RunReport, SystemSpec};
 
 /// Convenient glob import.

@@ -98,6 +98,21 @@ impl FaultConfig {
         }
     }
 
+    /// The same configuration re-seeded for one sweep cell: the seed is
+    /// replaced by the cell-scoped child stream [`cell_seed`] of the
+    /// current seed.
+    ///
+    /// Sweep engines use this so every cell of a design-space sweep draws
+    /// an *independent, reproducible* fault schedule from one root seed —
+    /// cell 17 sees the same faults whether the sweep ran uninterrupted,
+    /// was resumed after a kill, or ran cell 17 alone.
+    pub fn for_cell(&self, cell: u64) -> Self {
+        FaultConfig {
+            seed: cell_seed(self.seed, cell),
+            ..self.clone()
+        }
+    }
+
     /// Scales the whole model from one scalar fault rate — the knob the
     /// `fault_sweep` experiment turns. Link and task attempts fail at
     /// `rate`; cores degrade at `rate/2` and die at `rate/10` per phase
@@ -122,6 +137,85 @@ impl FaultConfig {
 impl Default for FaultConfig {
     fn default() -> Self {
         FaultConfig::disabled()
+    }
+}
+
+/// Derives the fault seed of one sweep cell from a root fault seed.
+///
+/// Each cell index names its own harness child stream (`"cell/<index>"`
+/// under the root), so:
+///
+/// * the same `(root, cell)` pair always yields the same seed — a resumed
+///   sweep replays exactly the faults an uninterrupted sweep would have;
+/// * different cells draw statistically independent schedules;
+/// * no cell seed collides with the root's own `"faults"` stream, so a
+///   sweep can never perturb a non-sweep run sharing the root seed.
+///
+/// # Examples
+///
+/// ```
+/// use mapwave_faults::cell_seed;
+///
+/// assert_eq!(cell_seed(7, 0), cell_seed(7, 0));
+/// assert_ne!(cell_seed(7, 0), cell_seed(7, 1));
+/// assert_ne!(cell_seed(7, 0), cell_seed(8, 0));
+/// ```
+pub fn cell_seed(root: u64, cell: u64) -> u64 {
+    stream_seed(root, &format!("cell/{cell}"))
+}
+
+/// A deterministic oracle for *execution-level* cell failures — the sweep
+/// engine's injectable "this work item crashed" hazard, distinct from the
+/// simulated hardware faults a [`FaultPlan`] schedules *inside* a run.
+///
+/// Decisions use the same counter-hash kernel as [`FaultPlan`]: pure in
+/// `(cell, attempt)`, order-independent, and reproducible from `(rate,
+/// seed)` alone. Unlike [`FaultPlan::task_fails`] there is **no** forced
+/// success past a retry budget — a cell that keeps failing keeps failing,
+/// which is exactly what a dead-letter queue needs to be testable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellFailureModel {
+    key: u64,
+    threshold: u64,
+}
+
+impl CellFailureModel {
+    /// A model failing each `(cell, attempt)` independently with
+    /// probability `rate`, keyed by the named `"sweep-exec"` child stream
+    /// of `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not in `[0, 1]`.
+    pub fn new(rate: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "cell failure rate must be in [0, 1]"
+        );
+        let mut stream = StdRng::seed_from_u64(stream_seed(seed, "sweep-exec"));
+        CellFailureModel {
+            key: stream.next_u64(),
+            threshold: rate_to_threshold(rate),
+        }
+    }
+
+    /// The model that never fails anything.
+    pub fn none() -> Self {
+        CellFailureModel {
+            key: 0,
+            threshold: 0,
+        }
+    }
+
+    /// Whether the model can ever fail a cell.
+    pub fn is_none(&self) -> bool {
+        self.threshold == 0
+    }
+
+    /// Whether attempt `attempt` (0-based) of cell `cell` fails.
+    #[inline]
+    pub fn attempt_fails(&self, cell: u64, attempt: u32) -> bool {
+        FaultPlan::fires(self.key, cell, u64::from(attempt), self.threshold)
     }
 }
 
@@ -346,7 +440,7 @@ impl FaultStats {
 
 /// Convenient glob import.
 pub mod prelude {
-    pub use crate::{CoreEvent, FaultConfig, FaultPlan, FaultStats};
+    pub use crate::{cell_seed, CellFailureModel, CoreEvent, FaultConfig, FaultPlan, FaultStats};
 }
 
 #[cfg(test)]
@@ -444,6 +538,57 @@ mod tests {
     #[should_panic]
     fn at_rate_rejects_out_of_range() {
         let _ = FaultConfig::at_rate(1.5, 0);
+    }
+
+    #[test]
+    fn cell_seeds_are_stable_and_distinct() {
+        let root = 0xFA17u64;
+        let seeds: Vec<u64> = (0..64).map(|c| cell_seed(root, c)).collect();
+        let again: Vec<u64> = (0..64).map(|c| cell_seed(root, c)).collect();
+        assert_eq!(seeds, again, "cell seeds must be a pure function");
+        let distinct: std::collections::BTreeSet<u64> = seeds.iter().copied().collect();
+        assert_eq!(distinct.len(), 64, "cells must not share fault schedules");
+        assert!(
+            !seeds.contains(&stream_seed(root, "faults")),
+            "cell streams must not collide with the root faults stream"
+        );
+    }
+
+    #[test]
+    fn for_cell_rebuilds_identical_plans() {
+        let base = FaultConfig::at_rate(0.1, 99);
+        let a = FaultPlan::build(&base.for_cell(5));
+        let b = FaultPlan::build(&base.for_cell(5));
+        assert_eq!(a, b, "same cell must replay the same schedule");
+        let c = FaultPlan::build(&base.for_cell(6));
+        let va: Vec<bool> = (0..512).map(|i| a.task_fails(i, 0)).collect();
+        let vc: Vec<bool> = (0..512).map(|i| c.task_fails(i, 0)).collect();
+        assert_ne!(va, vc, "neighbouring cells must differ somewhere");
+    }
+
+    #[test]
+    fn cell_failure_model_is_deterministic_and_unbudgeted() {
+        let m = CellFailureModel::new(1.0, 3);
+        for attempt in 0..64 {
+            assert!(
+                m.attempt_fails(0, attempt),
+                "rate 1.0 must fail every attempt (no forced success)"
+            );
+        }
+        let none = CellFailureModel::none();
+        assert!(none.is_none());
+        assert!(!none.attempt_fails(0, 0));
+        let a = CellFailureModel::new(0.5, 11);
+        let b = CellFailureModel::new(0.5, 11);
+        assert_eq!(a, b);
+        let verdicts: Vec<bool> = (0..128).map(|c| a.attempt_fails(c, 0)).collect();
+        assert!(verdicts.iter().any(|&v| v) && verdicts.iter().any(|&v| !v));
+    }
+
+    #[test]
+    #[should_panic]
+    fn cell_failure_model_rejects_out_of_range() {
+        let _ = CellFailureModel::new(-0.1, 0);
     }
 
     #[test]

@@ -166,9 +166,25 @@ impl<V: Clone> StageCache<V> {
 /// inspectable with any pager, removable with `rm`. Writes go through a
 /// temporary file and rename, so a crashed process never leaves a torn
 /// entry behind.
+///
+/// Entries carry an integrity header (`mapwave-cache v1 <body hash>`): a
+/// load whose body fails the checksum — truncation, bit rot, a partial
+/// copy, or a pre-header legacy file — is **quarantined** (renamed to
+/// `<name>.corrupt`, counted as `cache.corrupt_evicted`) and reported as a
+/// miss, so callers recompute instead of consuming garbage.
 #[derive(Debug, Clone)]
 pub struct DiskCache {
     dir: PathBuf,
+}
+
+/// Magic prefix of a v1 disk-cache entry header.
+const DISK_HEADER_PREFIX: &str = "mapwave-cache v1 ";
+
+/// The stable hash of an entry body, as stored in its header.
+fn body_digest(body: &str) -> String {
+    let mut h = crate::hash::StableHasher::new();
+    h.write(body.as_bytes());
+    h.finish().to_hex()
 }
 
 impl DiskCache {
@@ -192,12 +208,45 @@ impl DiskCache {
         self.dir.join(format!("{}.txt", key.to_hex()))
     }
 
-    /// The stored text for `key`, if present and readable.
+    /// The stored text for `key`, if present and intact.
+    ///
+    /// An entry whose integrity header is missing or whose body fails the
+    /// checksum is quarantined (renamed to `<name>.corrupt`, counted as
+    /// `cache.corrupt_evicted`) and treated as absent — the caller
+    /// recomputes rather than panicking on (or silently trusting) a torn
+    /// file.
     pub fn load(&self, key: CacheKey) -> Option<String> {
-        std::fs::read_to_string(self.path_of(key)).ok()
+        let path = self.path_of(key);
+        let raw = std::fs::read_to_string(&path).ok()?;
+        match Self::verify(&raw) {
+            Some(body) => Some(body.to_string()),
+            None => {
+                self.quarantine(&path);
+                None
+            }
+        }
     }
 
-    /// Stores `text` under `key`.
+    /// Splits off and checks the integrity header; `Some(body)` iff intact.
+    fn verify(raw: &str) -> Option<&str> {
+        let rest = raw.strip_prefix(DISK_HEADER_PREFIX)?;
+        let (digest, body) = rest.split_once('\n')?;
+        (digest == body_digest(body)).then_some(body)
+    }
+
+    /// Moves a failed entry aside so the slot reads as a miss from now on.
+    fn quarantine(&self, path: &Path) {
+        telemetry::count("cache.corrupt_evicted", 1);
+        let mut corrupt = path.as_os_str().to_owned();
+        corrupt.push(".corrupt");
+        // If even the rename fails, fall back to removal: a corrupt entry
+        // must never be served twice.
+        if std::fs::rename(path, PathBuf::from(corrupt)).is_err() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    /// Stores `text` under `key` (with its integrity header).
     ///
     /// # Errors
     ///
@@ -205,7 +254,10 @@ impl DiskCache {
     pub fn store(&self, key: CacheKey, text: &str) -> std::io::Result<()> {
         let path = self.path_of(key);
         let tmp = self.dir.join(format!(".{}.tmp", key.to_hex()));
-        std::fs::write(&tmp, text)?;
+        std::fs::write(
+            &tmp,
+            format!("{DISK_HEADER_PREFIX}{}\n{text}", body_digest(text)),
+        )?;
         std::fs::rename(&tmp, &path)
     }
 
@@ -306,6 +358,71 @@ mod tests {
         assert_eq!(cache.load(k), Some("table body\n".to_string()));
         let again = cache.load_or_store_with(k, || unreachable!("must hit disk"));
         assert_eq!(again, "table body\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disk_cache_quarantines_truncated_entries() {
+        let dir =
+            std::env::temp_dir().join(format!("mapwave-disk-cache-trunc-{}", std::process::id()));
+        let cache = DiskCache::open(&dir).expect("temp dir is writable");
+        let k = stable_hash_of(&("fig8", 7u64));
+        cache.store(k, "full table body\n").unwrap();
+
+        // Simulate a torn write: chop the file mid-body.
+        let path = dir.join(format!("{}.txt", k.to_hex()));
+        let raw = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &raw[..raw.len() - 5]).unwrap();
+
+        assert_eq!(cache.load(k), None, "truncated entry must read as a miss");
+        assert!(
+            dir.join(format!("{}.txt.corrupt", k.to_hex())).exists(),
+            "truncated entry must be quarantined, not deleted silently"
+        );
+        let recomputed = cache.load_or_store_with(k, || "recomputed\n".to_string());
+        assert_eq!(recomputed, "recomputed\n");
+        assert_eq!(
+            cache.load(k),
+            Some("recomputed\n".to_string()),
+            "recomputed entry is stored back intact"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disk_cache_rejects_headerless_legacy_entries() {
+        let dir =
+            std::env::temp_dir().join(format!("mapwave-disk-cache-legacy-{}", std::process::id()));
+        let cache = DiskCache::open(&dir).expect("temp dir is writable");
+        let k = stable_hash_of(&("legacy", 1u64));
+        // A pre-header file (or arbitrary garbage dropped in the dir).
+        std::fs::write(dir.join(format!("{}.txt", k.to_hex())), "old payload").unwrap();
+        assert_eq!(cache.load(k), None, "headerless entry must not be served");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disk_cache_counts_corrupt_evictions() {
+        telemetry::enable();
+        let dir =
+            std::env::temp_dir().join(format!("mapwave-disk-cache-count-{}", std::process::id()));
+        let cache = DiskCache::open(&dir).expect("temp dir is writable");
+        let k = stable_hash_of(&("counted", 2u64));
+        // Other tests in this binary may reset the global telemetry store
+        // concurrently; retry until an eviction is observed in a snapshot.
+        let mut observed = false;
+        for _ in 0..32 {
+            std::fs::write(dir.join(format!("{}.txt", k.to_hex())), "garbage").unwrap();
+            assert_eq!(cache.load(k), None);
+            if telemetry::snapshot().counter("cache.corrupt_evicted") >= 1 {
+                observed = true;
+                break;
+            }
+        }
+        assert!(
+            observed,
+            "quarantine must be observable via cache.corrupt_evicted"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 }

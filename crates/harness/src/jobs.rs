@@ -138,6 +138,197 @@ impl<T: Send + Sync> JobGraph<T> {
             .collect()
     }
 
+    /// Executes jobs on the pool, committing each completed job **in
+    /// insertion order** through `commit` — the checkpointing hook behind
+    /// `mapwave-sweep`'s resumable engine.
+    ///
+    /// Workers complete jobs in any order, but `commit(id, &output)` is
+    /// invoked on the calling thread strictly in [`JobId`] order, so an
+    /// append-only journal written from `commit` is byte-identical for any
+    /// worker count. Returning `false` from `commit` stops the run early:
+    /// no further jobs are committed, idle workers drain, and jobs that
+    /// never ran are abandoned (their side effects simply don't happen —
+    /// a resumed run re-adds them).
+    ///
+    /// Returns the number of committed jobs (`== len()` unless stopped
+    /// early).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first panic of any job after the pool drains; jobs
+    /// committed before the panic stay committed.
+    pub fn run_checkpointed(
+        self,
+        threads: usize,
+        mut commit: impl FnMut(JobId, &T) -> bool,
+    ) -> usize {
+        let n = self.jobs.len();
+        let threads = threads.max(1).min(n.max(1));
+        if threads == 1 {
+            let mut committed = 0;
+            let mut results: Vec<Option<T>> = Vec::with_capacity(n);
+            for (id, job) in self.jobs.into_iter().enumerate() {
+                let out = {
+                    let dep_results: Vec<&T> = job
+                        .deps
+                        .iter()
+                        .map(|&d| results[d].as_ref().expect("deps precede dependents"))
+                        .collect();
+                    let _span = telemetry::span_labeled("harness.job", job.label.clone());
+                    (job.work)(&dep_results)
+                };
+                telemetry::count("harness.jobs_executed", 1);
+                let go_on = commit(id, &out);
+                committed += 1;
+                results.push(Some(out));
+                if !go_on {
+                    break;
+                }
+            }
+            return committed;
+        }
+        self.run_checkpointed_pool(threads, &mut commit)
+    }
+
+    fn run_checkpointed_pool(
+        self,
+        threads: usize,
+        commit: &mut dyn FnMut(JobId, &T) -> bool,
+    ) -> usize {
+        struct Exec<T> {
+            pending: Vec<PendingJob<T>>,
+            dependents: Vec<Vec<JobId>>,
+            indegree: Vec<usize>,
+            ready: VecDeque<JobId>,
+            results: Vec<Option<Arc<T>>>,
+            remaining: usize,
+            stop: bool,
+            panic: Option<Box<dyn std::any::Any + Send>>,
+        }
+
+        let n = self.jobs.len();
+        let mut dependents = vec![Vec::new(); n];
+        let mut indegree = vec![0usize; n];
+        let mut pending: Vec<PendingJob<T>> = Vec::with_capacity(n);
+        for (id, job) in self.jobs.into_iter().enumerate() {
+            indegree[id] = job.deps.len();
+            for &d in &job.deps {
+                dependents[d].push(id);
+            }
+            pending.push(Some((job.label, job.deps, job.work)));
+        }
+        let ready: VecDeque<JobId> = (0..n).filter(|&id| indegree[id] == 0).collect();
+
+        let exec = Mutex::new(Exec {
+            pending,
+            dependents,
+            indegree,
+            ready,
+            results: (0..n).map(|_| None).collect(),
+            remaining: n,
+            stop: false,
+            panic: None,
+        });
+        let cv = Condvar::new();
+        let mut committed = 0usize;
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let mut guard = exec.lock().expect("job pool poisoned");
+                    loop {
+                        if guard.remaining == 0 || guard.stop || guard.panic.is_some() {
+                            cv.notify_all();
+                            break;
+                        }
+                        let Some(id) = guard.ready.pop_front() else {
+                            guard = cv.wait(guard).expect("job pool poisoned");
+                            continue;
+                        };
+                        let (label, deps, work) =
+                            guard.pending[id].take().expect("job scheduled once");
+                        let dep_arcs: Vec<Arc<T>> = deps
+                            .iter()
+                            .map(|&d| {
+                                Arc::clone(
+                                    guard.results[d]
+                                        .as_ref()
+                                        .expect("deps complete before dependents"),
+                                )
+                            })
+                            .collect();
+                        drop(guard);
+
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            let dep_refs: Vec<&T> = dep_arcs.iter().map(Arc::as_ref).collect();
+                            let _span = telemetry::span_labeled("harness.job", label);
+                            work(&dep_refs)
+                        }));
+                        telemetry::count("harness.jobs_executed", 1);
+                        telemetry::flush();
+
+                        guard = exec.lock().expect("job pool poisoned");
+                        match outcome {
+                            Ok(value) => {
+                                guard.results[id] = Some(Arc::new(value));
+                                guard.remaining -= 1;
+                                let unlocked: Vec<JobId> = guard.dependents[id]
+                                    .clone()
+                                    .into_iter()
+                                    .filter(|&dep| {
+                                        guard.indegree[dep] -= 1;
+                                        guard.indegree[dep] == 0
+                                    })
+                                    .collect();
+                                guard.ready.extend(unlocked);
+                                cv.notify_all();
+                            }
+                            Err(payload) => {
+                                guard.panic.get_or_insert(payload);
+                                cv.notify_all();
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+
+            // The calling thread is the committer: it releases completed
+            // jobs in insertion order, so journals written from `commit`
+            // are deterministic for any worker count.
+            let mut next = 0usize;
+            let mut guard = exec.lock().expect("job pool poisoned");
+            while next < n {
+                if guard.panic.is_some() {
+                    break;
+                }
+                if let Some(arc) = guard.results[next].as_ref().map(Arc::clone) {
+                    drop(guard);
+                    let go_on = commit(next, arc.as_ref());
+                    committed += 1;
+                    next += 1;
+                    guard = exec.lock().expect("job pool poisoned");
+                    if !go_on {
+                        guard.stop = true;
+                        cv.notify_all();
+                        break;
+                    }
+                } else if guard.remaining == 0 {
+                    break;
+                } else {
+                    guard = cv.wait(guard).expect("job pool poisoned");
+                }
+            }
+            drop(guard);
+        });
+
+        let mut exec = exec.into_inner().expect("job pool poisoned");
+        if let Some(payload) = exec.panic.take() {
+            resume_unwind(payload);
+        }
+        committed
+    }
+
     fn run_pool(self, threads: usize) -> Vec<T> {
         struct Exec<T> {
             pending: Vec<PendingJob<T>>,
@@ -324,6 +515,61 @@ mod tests {
         }
         let result = catch_unwind(AssertUnwindSafe(|| g.run(4)));
         assert!(result.is_err(), "pool re-raises the job panic");
+    }
+
+    #[test]
+    fn checkpoint_commits_in_insertion_order() {
+        for threads in [1, 4] {
+            let mut order = Vec::new();
+            let committed = diamond().run_checkpointed(threads, |id, out| {
+                order.push((id, out.clone()));
+                true
+            });
+            assert_eq!(committed, 4, "threads={threads}");
+            assert_eq!(
+                order,
+                vec![
+                    (0, "r".to_string()),
+                    (1, "r-l".to_string()),
+                    (2, "r-r".to_string()),
+                    (3, "r-l+r-r".to_string()),
+                ],
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_stops_early_when_commit_declines() {
+        for threads in [1, 4] {
+            let mut g: JobGraph<u64> = JobGraph::new();
+            for i in 0..32u64 {
+                g.add(format!("cell/{i}"), vec![], move |_| i);
+            }
+            let mut seen = Vec::new();
+            let committed = g.run_checkpointed(threads, |id, out| {
+                seen.push((id, *out));
+                seen.len() < 5
+            });
+            assert_eq!(committed, 5, "threads={threads}");
+            assert_eq!(
+                seen,
+                (0..5).map(|i| (i, i as u64)).collect::<Vec<_>>(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_propagates_job_panics() {
+        let mut g: JobGraph<u8> = JobGraph::new();
+        g.add("ok", vec![], |_| 1);
+        g.add("boom", vec![], |_| panic!("job failure"));
+        for _ in 0..16 {
+            g.add("filler", vec![], |_| 0);
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| g.run_checkpointed(4, |_, _| true)));
+        assert!(result.is_err(), "checkpointed pool re-raises the job panic");
     }
 
     #[test]

@@ -1,0 +1,286 @@
+//! Byte-stable encoding of sweep-cell results.
+//!
+//! A [`CellRecord`] is the durable projection of one cell's
+//! [`mapwave::RunReport`] (plus its [`mapwave_faults::FaultStats`] when the
+//! cell injected faults): the scalar observables every query needs, none of
+//! the bulky per-phase structures. Records serialize to a line-based text
+//! form in which every `f64` carries its exact bit pattern
+//! (`{:016x}` of [`f64::to_bits`]) next to a human-readable rendering —
+//! decoding reproduces the value bit-for-bit, which is what makes the
+//! store's byte-identity guarantees possible.
+
+use mapwave::{FaultRunReport, RunReport};
+use mapwave_faults::FaultStats;
+
+/// Header line of every encoded record.
+pub const RECORD_HEADER: &str = "mapwave-artifact v1";
+
+/// The durable scalar observables of one completed sweep cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellRecord {
+    /// The cell's human-readable label.
+    pub label: String,
+    /// Application name.
+    pub app: String,
+    /// System-variant name.
+    pub variant: String,
+    /// Platform preset name.
+    pub preset: String,
+    /// Input scale.
+    pub scale: f64,
+    /// Workload seed.
+    pub workload_seed: u64,
+    /// Injected fault rate (`0.0` = clean).
+    pub fault_rate: f64,
+    /// Root fault seed of the sweep the cell belongs to.
+    pub fault_seed: u64,
+    /// Wall-clock execution time in seconds.
+    pub exec_seconds: f64,
+    /// Core energy in joules.
+    pub core_energy_j: f64,
+    /// Network energy in joules.
+    pub net_energy_j: f64,
+    /// Full-system energy–delay product (J·s).
+    pub edp: f64,
+    /// Average NoC packet latency in cycles.
+    pub net_avg_latency: f64,
+    /// Packets the NoC delivered across all simulated stages.
+    pub packets_delivered: u64,
+    /// Flit hops taken over wireless links.
+    pub wireless_flit_hops: u64,
+    /// Flit hops taken over wireline links.
+    pub wire_flit_hops: u64,
+    /// Fault activity observed while producing the report (all zero for a
+    /// clean cell).
+    pub faults: FaultStats,
+}
+
+/// The coordinate part of a record the engine fills in before attaching a
+/// report.
+#[derive(Debug, Clone)]
+pub struct CellCoords {
+    /// Cell label.
+    pub label: String,
+    /// Application name.
+    pub app: String,
+    /// Variant name.
+    pub variant: String,
+    /// Preset name.
+    pub preset: String,
+    /// Input scale.
+    pub scale: f64,
+    /// Workload seed.
+    pub workload_seed: u64,
+    /// Fault rate.
+    pub fault_rate: f64,
+    /// Root fault seed.
+    pub fault_seed: u64,
+}
+
+impl CellRecord {
+    /// Builds a record from a fault-free run.
+    pub fn from_run(coords: CellCoords, report: &RunReport) -> Self {
+        Self::build(coords, report, FaultStats::default())
+    }
+
+    /// Builds a record from a faulted run.
+    pub fn from_fault_run(coords: CellCoords, report: &FaultRunReport) -> Self {
+        Self::build(coords, &report.report, report.faults)
+    }
+
+    fn build(coords: CellCoords, report: &RunReport, faults: FaultStats) -> Self {
+        CellRecord {
+            label: coords.label,
+            app: coords.app,
+            variant: coords.variant,
+            preset: coords.preset,
+            scale: coords.scale,
+            workload_seed: coords.workload_seed,
+            fault_rate: coords.fault_rate,
+            fault_seed: coords.fault_seed,
+            exec_seconds: report.exec_seconds,
+            core_energy_j: report.core_energy_j,
+            net_energy_j: report.net_energy_j,
+            edp: report.edp,
+            net_avg_latency: report.net.avg_latency(),
+            packets_delivered: report.net.packets_delivered,
+            wireless_flit_hops: report.net.wireless_flit_hops,
+            wire_flit_hops: report.net.wire_flit_hops,
+            faults,
+        }
+    }
+
+    /// Total (core + network) energy in joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.core_energy_j + self.net_energy_j
+    }
+
+    /// Serializes the record to its canonical text form.
+    pub fn encode(&self) -> String {
+        let mut out = String::from(RECORD_HEADER);
+        out.push('\n');
+        let s = |out: &mut String, name: &str, v: &str| {
+            out.push_str(&format!("{name} {v}\n"));
+        };
+        let f = |out: &mut String, name: &str, v: f64| {
+            out.push_str(&format!("{name} {:016x} {v}\n", v.to_bits()));
+        };
+        let u = |out: &mut String, name: &str, v: u64| {
+            out.push_str(&format!("{name} {v}\n"));
+        };
+        s(&mut out, "label", &self.label);
+        s(&mut out, "app", &self.app);
+        s(&mut out, "variant", &self.variant);
+        s(&mut out, "preset", &self.preset);
+        f(&mut out, "scale", self.scale);
+        u(&mut out, "workload_seed", self.workload_seed);
+        f(&mut out, "fault_rate", self.fault_rate);
+        u(&mut out, "fault_seed", self.fault_seed);
+        f(&mut out, "exec_seconds", self.exec_seconds);
+        f(&mut out, "core_energy_j", self.core_energy_j);
+        f(&mut out, "net_energy_j", self.net_energy_j);
+        f(&mut out, "edp", self.edp);
+        f(&mut out, "net_avg_latency", self.net_avg_latency);
+        u(&mut out, "packets_delivered", self.packets_delivered);
+        u(&mut out, "wireless_flit_hops", self.wireless_flit_hops);
+        u(&mut out, "wire_flit_hops", self.wire_flit_hops);
+        u(&mut out, "flit_corruptions", self.faults.flit_corruptions);
+        u(&mut out, "wi_fallbacks", self.faults.wi_fallbacks);
+        u(&mut out, "task_retries", self.faults.task_retries);
+        u(&mut out, "re_steals", self.faults.re_steals);
+        u(&mut out, "cores_degraded", self.faults.cores_degraded);
+        u(&mut out, "cores_failed", self.faults.cores_failed);
+        out
+    }
+
+    /// Parses [`CellRecord::encode`]'s output; `f64`s are restored from
+    /// their bit patterns, so `decode(encode(r)) == r` exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn decode(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        if lines.next() != Some(RECORD_HEADER) {
+            return Err("not a mapwave artifact (bad header)".into());
+        }
+        let mut field = |name: &str| -> Result<String, String> {
+            let line = lines.next().ok_or_else(|| format!("missing {name}"))?;
+            line.strip_prefix(name)
+                .and_then(|rest| rest.strip_prefix(' '))
+                .map(str::to_string)
+                .ok_or_else(|| format!("expected `{name} ...`, found {line:?}"))
+        };
+        let parse_f64 = |raw: String, name: &str| -> Result<f64, String> {
+            let bits = raw.split(' ').next().unwrap_or("");
+            u64::from_str_radix(bits, 16)
+                .map(f64::from_bits)
+                .map_err(|e| format!("bad {name} bits {bits:?}: {e}"))
+        };
+        let parse_u64 = |raw: String, name: &str| -> Result<u64, String> {
+            raw.parse().map_err(|e| format!("bad {name} {raw:?}: {e}"))
+        };
+        let label = field("label")?;
+        let app = field("app")?;
+        let variant = field("variant")?;
+        let preset = field("preset")?;
+        let scale = parse_f64(field("scale")?, "scale")?;
+        let workload_seed = parse_u64(field("workload_seed")?, "workload_seed")?;
+        let fault_rate = parse_f64(field("fault_rate")?, "fault_rate")?;
+        let fault_seed = parse_u64(field("fault_seed")?, "fault_seed")?;
+        let exec_seconds = parse_f64(field("exec_seconds")?, "exec_seconds")?;
+        let core_energy_j = parse_f64(field("core_energy_j")?, "core_energy_j")?;
+        let net_energy_j = parse_f64(field("net_energy_j")?, "net_energy_j")?;
+        let edp = parse_f64(field("edp")?, "edp")?;
+        let net_avg_latency = parse_f64(field("net_avg_latency")?, "net_avg_latency")?;
+        let packets_delivered = parse_u64(field("packets_delivered")?, "packets_delivered")?;
+        let wireless_flit_hops = parse_u64(field("wireless_flit_hops")?, "wireless_flit_hops")?;
+        let wire_flit_hops = parse_u64(field("wire_flit_hops")?, "wire_flit_hops")?;
+        let faults = FaultStats {
+            flit_corruptions: parse_u64(field("flit_corruptions")?, "flit_corruptions")?,
+            wi_fallbacks: parse_u64(field("wi_fallbacks")?, "wi_fallbacks")?,
+            task_retries: parse_u64(field("task_retries")?, "task_retries")?,
+            re_steals: parse_u64(field("re_steals")?, "re_steals")?,
+            cores_degraded: parse_u64(field("cores_degraded")?, "cores_degraded")?,
+            cores_failed: parse_u64(field("cores_failed")?, "cores_failed")?,
+        };
+        Ok(CellRecord {
+            label,
+            app,
+            variant,
+            preset,
+            scale,
+            workload_seed,
+            fault_rate,
+            fault_seed,
+            exec_seconds,
+            core_energy_j,
+            net_energy_j,
+            edp,
+            net_avg_latency,
+            packets_delivered,
+            wireless_flit_hops,
+            wire_flit_hops,
+            faults,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CellRecord {
+        CellRecord {
+            label: "cell/0/WC/nvfi@0.002r0".into(),
+            app: "WC".into(),
+            variant: "nvfi".into(),
+            preset: "small".into(),
+            scale: 0.002,
+            workload_seed: 0xDAC_2015,
+            fault_rate: 0.1,
+            fault_seed: 0xFA17,
+            exec_seconds: 1.2345678901234567e-3,
+            core_energy_j: 0.25,
+            net_energy_j: f64::MIN_POSITIVE,
+            edp: 3.9e-7,
+            net_avg_latency: 17.25,
+            packets_delivered: 4821,
+            wireless_flit_hops: 901,
+            wire_flit_hops: 12000,
+            faults: FaultStats {
+                flit_corruptions: 3,
+                wi_fallbacks: 1,
+                task_retries: 7,
+                re_steals: 2,
+                cores_degraded: 1,
+                cores_failed: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn record_roundtrips_bit_exactly() {
+        let r = sample();
+        let decoded = CellRecord::decode(&r.encode()).expect("roundtrip");
+        assert_eq!(decoded, r);
+        assert_eq!(
+            decoded.exec_seconds.to_bits(),
+            r.exec_seconds.to_bits(),
+            "f64 bit patterns must survive the text form"
+        );
+    }
+
+    #[test]
+    fn encode_is_deterministic() {
+        assert_eq!(sample().encode(), sample().encode());
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        assert!(CellRecord::decode("garbage").is_err());
+        let mut truncated = sample().encode();
+        truncated.truncate(truncated.len() - 40);
+        assert!(CellRecord::decode(&truncated).is_err());
+    }
+}

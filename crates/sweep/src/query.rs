@@ -1,0 +1,334 @@
+//! Answering questions from the store — no simulation, only artifacts.
+//!
+//! [`load_records`] decodes every completed cell's blob (each read counts
+//! `sweep.artifact_hits`); [`render_table`] turns a filtered, sorted view
+//! of those records into a fixed-width text table, and [`render_status`]
+//! summarises sweep progress against the spec. Everything here is a pure
+//! function of the store's bytes: the same store renders the same report
+//! on every machine.
+
+use std::io;
+
+use crate::codec::CellRecord;
+use crate::store::{ArtifactStore, CellState};
+
+/// The scalar a query table reports per cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Full-system energy–delay product (J·s).
+    Edp,
+    /// Total (core + network) energy (J).
+    Energy,
+    /// Execution time (s).
+    Time,
+    /// Average NoC packet latency (cycles).
+    Latency,
+    /// EDP saving over the `nvfi` baseline at the same coordinates
+    /// (`1 - edp / baseline_edp`), in percent.
+    EdpSaving,
+}
+
+impl Metric {
+    /// The stable name used on the CLI.
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::Edp => "edp",
+            Metric::Energy => "energy",
+            Metric::Time => "time",
+            Metric::Latency => "latency",
+            Metric::EdpSaving => "edp-saving",
+        }
+    }
+
+    /// Parses a metric name (case-insensitive).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "edp" => Some(Metric::Edp),
+            "energy" => Some(Metric::Energy),
+            "time" => Some(Metric::Time),
+            "latency" => Some(Metric::Latency),
+            "edp-saving" => Some(Metric::EdpSaving),
+            _ => None,
+        }
+    }
+
+    /// All metrics (help text).
+    pub const ALL: [Metric; 5] = [
+        Metric::Edp,
+        Metric::Energy,
+        Metric::Time,
+        Metric::Latency,
+        Metric::EdpSaving,
+    ];
+}
+
+/// Row filters of a query.
+#[derive(Debug, Clone, Default)]
+pub struct QueryFilter {
+    /// Keep only this application (by name, case-insensitive).
+    pub app: Option<String>,
+    /// Keep only this variant (by name, case-insensitive).
+    pub variant: Option<String>,
+}
+
+impl QueryFilter {
+    fn keeps(&self, r: &CellRecord) -> bool {
+        self.app
+            .as_deref()
+            .is_none_or(|a| r.app.eq_ignore_ascii_case(a))
+            && self
+                .variant
+                .as_deref()
+                .is_none_or(|v| r.variant.eq_ignore_ascii_case(v))
+    }
+}
+
+/// Decodes every completed cell of the store, in cell-index order.
+///
+/// # Errors
+///
+/// Fails on I/O errors, a missing manifest, or a corrupt blob.
+pub fn load_records(store: &ArtifactStore) -> io::Result<Vec<CellRecord>> {
+    let manifest = store.load_manifest()?.ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("no sweep manifest at {}", store.root().display()),
+        )
+    })?;
+    let mut records = Vec::with_capacity(manifest.entries.len());
+    for entry in manifest.entries.values() {
+        if let CellState::Ok { content_key, .. } = entry.state {
+            let text = store.read_blob(content_key)?;
+            let record = CellRecord::decode(&text).map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("corrupt artifact for cell {}: {e}", entry.index),
+                )
+            })?;
+            records.push(record);
+        }
+    }
+    Ok(records)
+}
+
+/// The metric value of one record; `None` when the metric needs a baseline
+/// the store does not hold (EDP saving without the matching `nvfi` cell).
+fn metric_value(metric: Metric, r: &CellRecord, records: &[CellRecord]) -> Option<f64> {
+    match metric {
+        Metric::Edp => Some(r.edp),
+        Metric::Energy => Some(r.total_energy_j()),
+        Metric::Time => Some(r.exec_seconds),
+        Metric::Latency => Some(r.net_avg_latency),
+        Metric::EdpSaving => {
+            let baseline = records.iter().find(|b| {
+                b.variant == "nvfi"
+                    && b.app == r.app
+                    && b.preset == r.preset
+                    && b.scale.to_bits() == r.scale.to_bits()
+                    && b.workload_seed == r.workload_seed
+                    && b.fault_rate.to_bits() == r.fault_rate.to_bits()
+            })?;
+            Some((1.0 - r.edp / baseline.edp) * 100.0)
+        }
+    }
+}
+
+/// Renders the query result as a fixed-width table, sorted by
+/// (app, variant, scale, fault rate) — a pure function of the records.
+pub fn render_table(records: &[CellRecord], filter: &QueryFilter, metric: Metric) -> String {
+    let mut rows: Vec<&CellRecord> = records.iter().filter(|r| filter.keeps(r)).collect();
+    rows.sort_by(|a, b| {
+        (a.app.as_str(), a.variant.as_str(), a.scale.to_bits())
+            .cmp(&(b.app.as_str(), b.variant.as_str(), b.scale.to_bits()))
+            .then(a.fault_rate.total_cmp(&b.fault_rate))
+    });
+    let mut out = format!(
+        "{:<8} {:<18} {:>7} {:>6} {:>14}  faults\n",
+        "app",
+        "variant",
+        "scale",
+        "rate",
+        metric.name()
+    );
+    for r in &rows {
+        let value = match metric_value(metric, r, records) {
+            Some(v) if metric == Metric::EdpSaving => format!("{v:>+13.2}%"),
+            Some(v) => format!("{v:>14.6e}"),
+            None => format!("{:>14}", "n/a"),
+        };
+        out.push_str(&format!(
+            "{:<8} {:<18} {:>7} {:>6} {}  {}\n",
+            r.app,
+            r.variant,
+            r.scale,
+            r.fault_rate,
+            value,
+            r.faults.injected()
+        ));
+    }
+    if rows.is_empty() {
+        out.push_str("(no matching cells)\n");
+    }
+    out
+}
+
+/// Renders sweep progress against its spec.
+///
+/// # Errors
+///
+/// Propagates store I/O failures.
+pub fn render_status(store: &ArtifactStore) -> io::Result<String> {
+    let spec = store.read_spec()?;
+    let (completed, dead_lettered, dlq_cells) = match store.load_manifest()? {
+        Some(m) => {
+            let dlq: Vec<String> = m
+                .entries
+                .values()
+                .filter_map(|e| match e.state {
+                    CellState::DeadLetter { attempts } => {
+                        Some(format!("  cell {} after {} attempts", e.index, attempts))
+                    }
+                    CellState::Ok { .. } => None,
+                })
+                .collect();
+            (m.completed(), m.dead_lettered(), dlq)
+        }
+        None => (0, 0, Vec::new()),
+    };
+    let total = spec.cell_count();
+    let mut out = format!(
+        "sweep {} ({} preset)\ncells: {total} total, {completed} completed, \
+         {dead_lettered} dead-lettered, {} pending\n",
+        spec.key().to_hex(),
+        spec.preset.name(),
+        total - completed - dead_lettered,
+    );
+    if !dlq_cells.is_empty() {
+        out.push_str("dead-letter queue:\n");
+        for line in dlq_cells {
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+    Ok(out)
+}
+
+/// Convenience: parses filters/metric and renders in one step.
+///
+/// # Errors
+///
+/// Fails on store errors or an unknown metric name.
+pub fn run_query(
+    store: &ArtifactStore,
+    filter: &QueryFilter,
+    metric_name: &str,
+) -> io::Result<String> {
+    let metric = Metric::parse(metric_name).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "unknown metric {metric_name:?} (expected one of: {})",
+                Metric::ALL
+                    .iter()
+                    .map(|m| m.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        )
+    })?;
+    let records = load_records(store)?;
+    Ok(render_table(&records, filter, metric))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapwave_faults::FaultStats;
+
+    fn record(app: &str, variant: &str, rate: f64, edp: f64) -> CellRecord {
+        CellRecord {
+            label: format!("cell/{app}/{variant}"),
+            app: app.into(),
+            variant: variant.into(),
+            preset: "small".into(),
+            scale: 0.002,
+            workload_seed: 1,
+            fault_rate: rate,
+            fault_seed: 2,
+            exec_seconds: 1.0,
+            core_energy_j: 2.0,
+            net_energy_j: 0.5,
+            edp,
+            net_avg_latency: 10.0,
+            packets_delivered: 100,
+            wireless_flit_hops: 10,
+            wire_flit_hops: 90,
+            faults: FaultStats::default(),
+        }
+    }
+
+    #[test]
+    fn edp_saving_uses_the_nvfi_baseline() {
+        let records = vec![
+            record("WC", "nvfi", 0.0, 4.0),
+            record("WC", "winoc-max-wireless", 0.0, 1.0),
+        ];
+        let table = render_table(
+            &records,
+            &QueryFilter {
+                variant: Some("winoc-max-wireless".into()),
+                ..Default::default()
+            },
+            Metric::EdpSaving,
+        );
+        assert!(table.contains("+75.00%"), "75% saving expected:\n{table}");
+    }
+
+    #[test]
+    fn missing_baseline_renders_na() {
+        let records = vec![record("WC", "vfi-mesh", 0.0, 1.0)];
+        let table = render_table(&records, &QueryFilter::default(), Metric::EdpSaving);
+        assert!(table.contains("n/a"), "no baseline → n/a:\n{table}");
+    }
+
+    #[test]
+    fn filters_restrict_rows() {
+        let records = vec![
+            record("WC", "nvfi", 0.0, 4.0),
+            record("KMEANS", "nvfi", 0.0, 2.0),
+        ];
+        let table = render_table(
+            &records,
+            &QueryFilter {
+                app: Some("wc".into()),
+                ..Default::default()
+            },
+            Metric::Edp,
+        );
+        assert!(table.contains("WC"));
+        assert!(!table.contains("KMEANS"));
+    }
+
+    #[test]
+    fn table_is_deterministic_and_sorted() {
+        let records = vec![
+            record("WC", "vfi-mesh", 0.1, 1.0),
+            record("WC", "nvfi", 0.0, 4.0),
+            record("KMEANS", "nvfi", 0.0, 2.0),
+        ];
+        let a = render_table(&records, &QueryFilter::default(), Metric::Edp);
+        let b = render_table(&records, &QueryFilter::default(), Metric::Edp);
+        assert_eq!(a, b);
+        let kmeans = a.find("KMEANS").unwrap();
+        let wc = a.find("WC").unwrap();
+        assert!(kmeans < wc, "rows sorted by app:\n{a}");
+    }
+
+    #[test]
+    fn metric_names_roundtrip() {
+        for m in Metric::ALL {
+            assert_eq!(Metric::parse(m.name()), Some(m));
+        }
+        assert_eq!(Metric::parse("bogus"), None);
+    }
+}

@@ -1,0 +1,378 @@
+//! Declarative sweep specifications and their cell enumeration.
+//!
+//! A [`SweepSpec`] names the full cross-product of an evaluation sweep —
+//! platform preset × input scale × workload seed × application × system
+//! variant × fault rate — without running anything. [`SweepSpec::cells`]
+//! expands it into a deterministic, stably ordered list of [`SweepCell`]s;
+//! each cell is keyed by the stable hash of everything its result depends
+//! on (the [`mapwave::orchestrator::config_key`] of its platform
+//! configuration plus the cell's discrete coordinates), so a cell's
+//! identity survives process restarts, machine changes, and spec
+//! re-parsing.
+//!
+//! Specs have a canonical text form ([`SweepSpec::encode`] /
+//! [`SweepSpec::decode`]) that the artifact store persists next to the
+//! manifest: a resumed sweep re-reads the spec it was started with instead
+//! of trusting the caller to repeat it.
+
+use mapwave::config::PlatformConfig;
+use mapwave::orchestrator::{config_key, RunVariant};
+use mapwave_harness::hash::{stable_hash_of, CacheKey};
+use mapwave_phoenix::apps::App;
+
+/// The base platform a sweep runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Preset {
+    /// [`PlatformConfig::small`] — the 16-core smoke platform.
+    Small,
+    /// [`PlatformConfig::paper`] — the paper's 64-core platform.
+    Paper,
+}
+
+impl Preset {
+    /// The stable name used in spec encodings and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            Preset::Small => "small",
+            Preset::Paper => "paper",
+        }
+    }
+
+    /// Parses a preset name (case-insensitive).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "small" => Some(Preset::Small),
+            "paper" => Some(Preset::Paper),
+            _ => None,
+        }
+    }
+
+    /// The base configuration of the preset (scale/seed still to apply).
+    pub fn config(self) -> PlatformConfig {
+        match self {
+            Preset::Small => PlatformConfig::small(),
+            Preset::Paper => PlatformConfig::paper(),
+        }
+    }
+}
+
+/// A declarative sweep: the cross-product of every listed dimension.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Base platform.
+    pub preset: Preset,
+    /// Input scales relative to the paper's Table-1 dataset sizes.
+    pub scales: Vec<f64>,
+    /// Workload-generation seeds.
+    pub workload_seeds: Vec<u64>,
+    /// Applications.
+    pub apps: Vec<App>,
+    /// System variants per application.
+    pub variants: Vec<RunVariant>,
+    /// Injected fault rates (`0.0` = the clean anchor).
+    pub fault_rates: Vec<f64>,
+    /// Root fault seed; every faulted cell derives its own schedule from
+    /// this through [`mapwave_faults::cell_seed`].
+    pub fault_seed: u64,
+}
+
+impl SweepSpec {
+    /// The seconds-scale smoke sweep CI and the tests run: one app on the
+    /// small platform, two variants, a clean and a faulted point — four
+    /// cells.
+    pub fn smoke() -> Self {
+        SweepSpec {
+            preset: Preset::Small,
+            scales: vec![0.002],
+            workload_seeds: vec![0xDAC_2015],
+            apps: vec![App::WordCount],
+            variants: vec![RunVariant::Nvfi, RunVariant::WinocMaxWireless],
+            fault_rates: vec![0.0, 0.1],
+            fault_seed: 0xFA17,
+        }
+    }
+
+    /// The paper-shaped sweep: all six applications × all five system
+    /// variants on the 64-core platform, with a clean anchor and two fault
+    /// rates (90 cells at the default scale).
+    pub fn paper() -> Self {
+        SweepSpec {
+            preset: Preset::Paper,
+            scales: vec![0.02],
+            workload_seeds: vec![0xDAC_2015],
+            apps: App::ALL.to_vec(),
+            variants: RunVariant::ALL.to_vec(),
+            fault_rates: vec![0.0, 0.05, 0.1],
+            fault_seed: 0xFA17,
+        }
+    }
+
+    /// Total number of cells the spec expands to.
+    pub fn cell_count(&self) -> usize {
+        self.scales.len()
+            * self.workload_seeds.len()
+            * self.apps.len()
+            * self.variants.len()
+            * self.fault_rates.len()
+    }
+
+    /// Expands the cross-product in canonical order (scale, seed, app,
+    /// variant, rate — outermost first). Cell indices are positions in
+    /// this order and are what seeds each cell's fault stream, so the
+    /// enumeration order is part of the persisted format.
+    pub fn cells(&self) -> Vec<SweepCell> {
+        let mut cells = Vec::with_capacity(self.cell_count());
+        for &scale in &self.scales {
+            for &workload_seed in &self.workload_seeds {
+                for &app in &self.apps {
+                    for &variant in &self.variants {
+                        for &fault_rate in &self.fault_rates {
+                            cells.push(SweepCell {
+                                index: cells.len(),
+                                preset: self.preset,
+                                scale,
+                                workload_seed,
+                                app,
+                                variant,
+                                fault_rate,
+                                fault_seed: self.fault_seed,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// The stable key of the spec — the hash of its canonical encoding.
+    pub fn key(&self) -> CacheKey {
+        stable_hash_of(self.encode().as_str())
+    }
+
+    /// Canonical text form (also what the store persists as `spec.txt`).
+    pub fn encode(&self) -> String {
+        let f64s = |v: &[f64]| {
+            v.iter()
+                .map(|x| format!("{:016x}", x.to_bits()))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let u64s = |v: &[u64]| v.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
+        let mut out = String::from("mapwave-sweep spec v1\n");
+        out.push_str(&format!("preset {}\n", self.preset.name()));
+        out.push_str(&format!("scales {}\n", f64s(&self.scales)));
+        out.push_str(&format!("workload_seeds {}\n", u64s(&self.workload_seeds)));
+        out.push_str(&format!(
+            "apps {}\n",
+            self.apps
+                .iter()
+                .map(|a| a.name())
+                .collect::<Vec<_>>()
+                .join(",")
+        ));
+        out.push_str(&format!(
+            "variants {}\n",
+            self.variants
+                .iter()
+                .map(|v| v.name())
+                .collect::<Vec<_>>()
+                .join(",")
+        ));
+        out.push_str(&format!("fault_rates {}\n", f64s(&self.fault_rates)));
+        out.push_str(&format!("fault_seed {}\n", self.fault_seed));
+        out
+    }
+
+    /// Parses [`SweepSpec::encode`]'s output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn decode(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        if lines.next() != Some("mapwave-sweep spec v1") {
+            return Err("not a mapwave-sweep spec (bad header)".into());
+        }
+        let mut field = |name: &str| -> Result<String, String> {
+            let line = lines.next().ok_or_else(|| format!("missing {name}"))?;
+            line.strip_prefix(name)
+                .and_then(|rest| rest.strip_prefix(' '))
+                .map(str::to_string)
+                .ok_or_else(|| format!("expected `{name} ...`, found {line:?}"))
+        };
+        let preset = Preset::parse(&field("preset")?).ok_or("unknown preset")?;
+        let parse_f64s = |s: String, what: &str| -> Result<Vec<f64>, String> {
+            s.split(',')
+                .map(|t| {
+                    u64::from_str_radix(t, 16)
+                        .map(f64::from_bits)
+                        .map_err(|e| format!("bad {what} {t:?}: {e}"))
+                })
+                .collect()
+        };
+        let parse_u64s = |s: String, what: &str| -> Result<Vec<u64>, String> {
+            s.split(',')
+                .map(|t| t.parse().map_err(|e| format!("bad {what} {t:?}: {e}")))
+                .collect()
+        };
+        let scales = parse_f64s(field("scales")?, "scale")?;
+        let workload_seeds = parse_u64s(field("workload_seeds")?, "workload seed")?;
+        let apps = field("apps")?
+            .split(',')
+            .map(|t| parse_app(t).ok_or_else(|| format!("unknown app {t:?}")))
+            .collect::<Result<Vec<_>, _>>()?;
+        let variants = field("variants")?
+            .split(',')
+            .map(|t| parse_variant(t).ok_or_else(|| format!("unknown variant {t:?}")))
+            .collect::<Result<Vec<_>, _>>()?;
+        let fault_rates = parse_f64s(field("fault_rates")?, "fault rate")?;
+        let fault_seed = field("fault_seed")?
+            .parse()
+            .map_err(|e| format!("bad fault seed: {e}"))?;
+        Ok(SweepSpec {
+            preset,
+            scales,
+            workload_seeds,
+            apps,
+            variants,
+            fault_rates,
+            fault_seed,
+        })
+    }
+}
+
+/// Parses an application by its stable name (case-insensitive).
+pub fn parse_app(name: &str) -> Option<App> {
+    App::ALL
+        .into_iter()
+        .find(|a| a.name().eq_ignore_ascii_case(name))
+}
+
+/// Parses a system variant by its stable name (case-insensitive).
+pub fn parse_variant(name: &str) -> Option<RunVariant> {
+    RunVariant::ALL
+        .into_iter()
+        .find(|v| v.name().eq_ignore_ascii_case(name))
+}
+
+/// One point of the sweep cross-product.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepCell {
+    /// Position in the spec's canonical enumeration (also the cell-stream
+    /// index of its fault seed).
+    pub index: usize,
+    /// Base platform.
+    pub preset: Preset,
+    /// Input scale.
+    pub scale: f64,
+    /// Workload-generation seed.
+    pub workload_seed: u64,
+    /// Application.
+    pub app: App,
+    /// System variant.
+    pub variant: RunVariant,
+    /// Injected fault rate (`0.0` = clean).
+    pub fault_rate: f64,
+    /// The sweep's *root* fault seed (the cell derives its own stream).
+    pub fault_seed: u64,
+}
+
+impl SweepCell {
+    /// The fully applied platform configuration of this cell.
+    pub fn config(&self) -> PlatformConfig {
+        self.preset
+            .config()
+            .with_scale(self.scale)
+            .with_seed(self.workload_seed)
+    }
+
+    /// The cell's stable content key: the hash of the platform
+    /// configuration key plus the cell's discrete coordinates. Equal for
+    /// structurally equal cells across processes; independent of the
+    /// cell's position in the spec.
+    pub fn key(&self) -> CacheKey {
+        stable_hash_of(&(
+            "sweep-cell",
+            config_key(&self.config()).to_hex(),
+            self.app.name(),
+            self.variant.name(),
+            (self.fault_rate.to_bits(), self.fault_seed),
+        ))
+    }
+
+    /// A short human-readable label (job labels, logs).
+    pub fn label(&self) -> String {
+        format!(
+            "cell/{}/{}/{}@{}r{}",
+            self.index,
+            self.app.name(),
+            self.variant.name(),
+            self.scale,
+            self.fault_rate
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_roundtrips_through_text() {
+        for spec in [SweepSpec::smoke(), SweepSpec::paper()] {
+            let decoded = SweepSpec::decode(&spec.encode()).expect("roundtrip");
+            assert_eq!(decoded, spec);
+            assert_eq!(decoded.key(), spec.key());
+        }
+    }
+
+    #[test]
+    fn cells_enumerate_in_stable_order() {
+        let spec = SweepSpec::smoke();
+        let cells = spec.cells();
+        assert_eq!(cells.len(), spec.cell_count());
+        assert_eq!(cells.len(), 4);
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(c.index, i);
+        }
+        // variant is the next-outer loop over rate.
+        assert_eq!(cells[0].variant, RunVariant::Nvfi);
+        assert_eq!(cells[0].fault_rate, 0.0);
+        assert_eq!(cells[1].variant, RunVariant::Nvfi);
+        assert_eq!(cells[1].fault_rate, 0.1);
+        assert_eq!(cells[2].variant, RunVariant::WinocMaxWireless);
+    }
+
+    #[test]
+    fn cell_keys_are_distinct_and_stable() {
+        let cells = SweepSpec::paper().cells();
+        let keys: std::collections::BTreeSet<String> =
+            cells.iter().map(|c| c.key().to_hex()).collect();
+        assert_eq!(keys.len(), cells.len(), "cell keys must not collide");
+        assert_eq!(cells[0].key(), SweepSpec::paper().cells()[0].key());
+    }
+
+    #[test]
+    fn spec_key_tracks_every_field() {
+        let base = SweepSpec::smoke();
+        let k = base.key();
+        let mut with_rate = base.clone();
+        with_rate.fault_rates.push(0.2);
+        assert_ne!(with_rate.key(), k);
+        let mut with_seed = base.clone();
+        with_seed.fault_seed = 1;
+        assert_ne!(with_seed.key(), k);
+        let mut with_preset = base.clone();
+        with_preset.preset = Preset::Paper;
+        assert_ne!(with_preset.key(), k);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(SweepSpec::decode("nope").is_err());
+        let mut truncated = SweepSpec::smoke().encode();
+        truncated.truncate(truncated.len() / 2);
+        assert!(SweepSpec::decode(&truncated).is_err());
+    }
+}

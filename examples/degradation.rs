@@ -25,6 +25,7 @@ fn main() -> Result<(), String> {
     let smoke = std::env::args().nth(1).as_deref() == Some("--smoke");
 
     let (cfg, sweep) = if smoke {
+        cli::expect_no_args_past(1, USAGE)?;
         (
             PlatformConfig::small().with_scale(0.002),
             FaultSweepConfig::smoke(),
@@ -33,6 +34,7 @@ fn main() -> Result<(), String> {
         let scale: f64 = cli::parsed_arg_or(1, 0.02, "scale", USAGE)?;
         let mut sweep = FaultSweepConfig::paper_defaults();
         sweep.fault_seed = cli::parsed_arg_or(2, sweep.fault_seed, "fault seed", USAGE)?;
+        cli::expect_no_args_past(2, USAGE)?;
         (PlatformConfig::paper().with_scale(scale), sweep)
     };
 

@@ -25,6 +25,7 @@ fn parse_app(name: &str) -> Option<App> {
 fn main() -> Result<(), String> {
     let scale: f64 = cli::parsed_arg_or(1, 0.02, "scale", USAGE)?;
     let app = cli::arg_or(2, App::WordCount, "app name", USAGE, parse_app)?;
+    cli::expect_no_args_past(2, USAGE)?;
 
     println!("== design space for {app} at scale {scale} ==\n");
 

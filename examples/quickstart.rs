@@ -11,13 +11,13 @@
 
 use mapwave::prelude::*;
 use mapwave::report;
+use mapwave_repro::cli;
+
+const USAGE: &str = "cargo run --release --example quickstart [scale]";
 
 fn main() -> Result<(), String> {
-    let scale: f64 = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().map_err(|e| format!("bad scale: {e}")))
-        .transpose()?
-        .unwrap_or(0.02);
+    let scale: f64 = cli::parsed_arg_or(1, 0.02, "scale", USAGE)?;
+    cli::expect_no_args_past(1, USAGE)?;
 
     eprintln!("designing all six applications at scale {scale} (64 cores)...");
     let cfg = PlatformConfig::paper().with_scale(scale);

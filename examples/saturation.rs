@@ -14,8 +14,12 @@ use mapwave_noc::prelude::*;
 use mapwave_noc::routing::RoutingTable;
 use mapwave_noc::sim::SimConfig;
 use mapwave_noc::topology::mesh::mesh;
+use mapwave_repro::cli;
 
-fn main() {
+const USAGE: &str = "cargo run --release --example saturation";
+
+fn main() -> Result<(), String> {
+    cli::expect_no_args_past(0, USAGE)?;
     let clusters: Vec<usize> = (0..64).map(|i| (i % 8) / 4 + 2 * ((i / 8) / 4)).collect();
     let topo = SmallWorldBuilder::new(grid_positions(8, 8, 2.5), clusters)
         .alpha(1.5)
@@ -92,4 +96,5 @@ fn main() {
             ads.avg_latency()
         );
     }
+    Ok(())
 }

@@ -25,6 +25,7 @@ fn main() -> Result<(), String> {
             .find(|a| a.name().eq_ignore_ascii_case(name))
     })?;
     let scale: f64 = cli::parsed_arg_or(2, 0.01, "scale", USAGE)?;
+    cli::expect_no_args_past(2, USAGE)?;
     let width = 100;
 
     let cfg = PlatformConfig::paper().with_scale(scale);

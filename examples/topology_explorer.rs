@@ -12,6 +12,7 @@ use mapwave_noc::prelude::*;
 use mapwave_noc::topology::dot::to_dot;
 use mapwave_noc::topology::mesh::mesh;
 use mapwave_noc::topology::metrics::summarize;
+use mapwave_repro::cli;
 
 fn quadrants() -> Vec<usize> {
     (0..64).map(|i| (i % 8) / 4 + 2 * ((i / 8) / 4)).collect()
@@ -42,8 +43,13 @@ fn paper_overlay() -> WirelessOverlay {
     WirelessOverlay::new(wis, 3).expect("valid overlay")
 }
 
-fn main() {
-    let dump_dot = std::env::args().nth(1).as_deref() == Some("dot");
+const USAGE: &str = "cargo run --release --example topology_explorer [dot]";
+
+fn main() -> Result<(), String> {
+    let dump_dot = cli::arg_or(1, false, "mode (expected `dot`)", USAGE, |raw| {
+        (raw == "dot").then_some(true)
+    })?;
+    cli::expect_no_args_past(1, USAGE)?;
 
     let m = mesh(8, 8, 2.5);
     println!("mesh 8x8        : {}", summarize(&m));
@@ -80,4 +86,5 @@ fn main() {
         std::fs::write("winoc.dot", to_dot(&sw, &paper_overlay())).expect("write winoc.dot");
         println!("\nwrote mesh.dot and winoc.dot (render with: dot -Kneato -n -Tpng ...)");
     }
+    Ok(())
 }

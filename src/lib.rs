@@ -15,7 +15,9 @@
 //! * [`mapwave_vfi`] — VFI clustering, V/F assignment and power models;
 //! * [`mapwave_manycore`] — the tiled-platform substrate;
 //! * [`mapwave_phoenix`] — the Phoenix++-style runtime model and the six
-//!   instrumented applications.
+//!   instrumented applications;
+//! * [`mapwave_sweep`] — the persistent, resumable design-space sweep
+//!   engine with its content-addressed artifact store and query CLI.
 //!
 //! See the workspace `README.md` for a tour and `EXPERIMENTS.md` for the
 //! paper-versus-measured record.
@@ -25,6 +27,7 @@ pub use mapwave_faults;
 pub use mapwave_manycore;
 pub use mapwave_noc;
 pub use mapwave_phoenix;
+pub use mapwave_sweep;
 pub use mapwave_vfi;
 
 pub mod cli {
@@ -66,5 +69,16 @@ pub mod cli {
         usage: &str,
     ) -> Result<T, String> {
         arg_or(pos, default, what, usage, |raw| raw.parse().ok())
+    }
+
+    /// Fails when any argument beyond position `last` (1-based) is
+    /// present. Every example calls this after consuming its known
+    /// positions, so a misspelled or unsupported flag errors with the
+    /// usage line instead of silently running the default configuration.
+    pub fn expect_no_args_past(last: usize, usage: &str) -> Result<(), String> {
+        match std::env::args().nth(last + 1) {
+            None => Ok(()),
+            Some(extra) => Err(format!("unexpected argument {extra:?}\nusage: {usage}")),
+        }
     }
 }
