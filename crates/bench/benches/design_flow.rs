@@ -148,6 +148,18 @@ fn main() {
         }),
     ));
 
+    // The same report with the relaxation windows fanned out over 4 NoC
+    // worker threads — bit-identical results (see
+    // crates/core/tests/thread_invariance.rs), wall-clock scaling only on
+    // multi-core hosts.
+    let cfg4 = cfg.clone().with_sim_threads(4);
+    results.push((
+        "run_system_paper/threads4",
+        median_secs(|| {
+            std::hint::black_box(run_system(&spec, &d.workload, &cfg4, flow.power()));
+        }),
+    ));
+
     for (name, secs) in &results {
         println!("{name:<34} median {:>9.3} ms/call", secs * 1e3);
     }

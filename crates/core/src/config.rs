@@ -81,6 +81,13 @@ pub struct PlatformConfig {
     /// Duato-style minimal adaptive routing on the upper VCs (an extension
     /// beyond the paper's router; requires `noc_vcs >= 2`).
     pub noc_adaptive: bool,
+    /// Worker threads for the NoC simulations inside [`run_system`]
+    /// (1 = fully serial). A wall-clock knob only: every thread count
+    /// produces bit-identical results, so this field is deliberately
+    /// excluded from the configuration's stable hash and cache keys.
+    ///
+    /// [`run_system`]: crate::system::run_system
+    pub sim_threads: usize,
 }
 
 impl PlatformConfig {
@@ -106,6 +113,7 @@ impl PlatformConfig {
             noc_measure: 5_000,
             noc_vcs: 1,
             noc_adaptive: false,
+            sim_threads: 1,
         }
     }
 
@@ -151,6 +159,13 @@ impl PlatformConfig {
         self
     }
 
+    /// Sets the NoC simulation worker-thread count (results are
+    /// bit-identical for every value).
+    pub fn with_sim_threads(mut self, threads: usize) -> Self {
+        self.sim_threads = threads;
+        self
+    }
+
     /// Validates internal consistency.
     ///
     /// # Errors
@@ -183,6 +198,9 @@ impl PlatformConfig {
         }
         if self.noc_adaptive && self.noc_vcs < 2 {
             return Err("adaptive routing needs at least two virtual channels".into());
+        }
+        if self.sim_threads == 0 {
+            return Err("need at least one simulation thread".into());
         }
         Ok(())
     }

@@ -72,6 +72,9 @@ impl StableHash for PlatformConfig {
         self.noc_measure.stable_hash(h);
         self.noc_vcs.stable_hash(h);
         self.noc_adaptive.stable_hash(h);
+        // `sim_threads` is deliberately omitted: it only changes wall-clock
+        // time, never results, so configurations differing only in thread
+        // count share cache entries.
     }
 }
 

@@ -207,23 +207,45 @@ fn run_system_inner(
     let sim_cfg = SimConfig {
         vcs: cfg.noc_vcs,
         adaptive: cfg.noc_adaptive,
+        threads: cfg.sim_threads,
         ..SimConfig::default()
     };
     // One simulator serves all 9 stage windows, borrowing the spec's
-    // topology/overlay/table instead of cloning them.
-    let mut sim = NetworkSim::with_clocks_borrowed(
-        &spec.topology,
-        &spec.overlay,
-        &spec.routing,
-        EnergyModel::default_65nm(),
-        sim_cfg,
-        tile_speed,
-        tile_domain,
-    )
-    .expect("spec-consistent network");
-    if let Some(plan) = faults {
-        sim.set_faults(plan);
-    }
+    // topology/overlay/table instead of cloning them. With `sim_threads >
+    // 1` the three stage windows of a round run concurrently on one
+    // simulator per stage instead: every `NetworkSim::run` fully resets
+    // its simulator, so a window's statistics depend only on its own
+    // traffic and per-stage simulators are observably identical to the
+    // shared one. Each lane then sweeps serially — the window fan-out
+    // already occupies the extra cores, and nested per-lane pools would
+    // oversubscribe them.
+    let window_lanes = if cfg.sim_threads > 1 { 3 } else { 1 };
+    let lane_cfg = SimConfig {
+        threads: 1,
+        ..sim_cfg.clone()
+    };
+    let mut lane_sims: Vec<NetworkSim> = (0..window_lanes)
+        .map(|_| {
+            let mut sim = NetworkSim::with_clocks_borrowed(
+                &spec.topology,
+                &spec.overlay,
+                &spec.routing,
+                EnergyModel::default_65nm(),
+                if window_lanes > 1 {
+                    lane_cfg.clone()
+                } else {
+                    sim_cfg.clone()
+                },
+                tile_speed.clone(),
+                tile_domain.clone(),
+            )
+            .expect("spec-consistent network");
+            if let Some(plan) = faults {
+                sim.set_faults(plan);
+            }
+            sim
+        })
+        .collect();
     let mut noc_fault_counts = mapwave_noc::NocFaultCounts::default();
 
     // Phase-resolved NoC simulation: each stage's traffic pattern loads the
@@ -242,11 +264,67 @@ fn run_system_inner(
         // so each window's statistics overwrite a persistent slot in place
         // (`clone_from` reuses the histogram/link-load allocations) rather
         // than cloning a fresh copy per round.
-        let mut run_phase_net =
-            |slot: &mut Option<NetworkStats>, traffic: &mapwave_noc::TrafficMatrix| {
+        let stage_traffic = [
+            &exec.phase_traffic.map,
+            &exec.phase_traffic.reduce,
+            &exec.phase_traffic.merge,
+        ];
+        let slots = [&mut map_net, &mut reduce_net, &mut merge_net];
+        if window_lanes > 1 {
+            // Parallel windows: one simulator per live stage, results
+            // committed in stage order below so statistics accumulation
+            // and fault accounting match the serial path exactly.
+            let physical: Vec<Option<mapwave_noc::TrafficMatrix>> = stage_traffic
+                .iter()
+                .map(|t| (t.total_rate() > 1e-9).then(|| spec.mapping.traffic_to_tiles(t)))
+                .collect();
+            let live = physical.iter().flatten().count() as u64;
+            let mut outs: Vec<Option<(NetworkStats, mapwave_noc::NocFaultCounts)>> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = lane_sims
+                        .iter_mut()
+                        .zip(&physical)
+                        .map(|(sim, traffic)| {
+                            traffic.as_ref().map(|traffic| {
+                                scope.spawn(move || {
+                                    let stats = sim
+                                        .run(
+                                            traffic,
+                                            cfg.noc_warmup,
+                                            cfg.noc_measure,
+                                            cfg.noc_measure * 10,
+                                        )
+                                        .clone();
+                                    (stats, sim.fault_counts())
+                                })
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.map(|h| h.join().expect("window simulation panicked")))
+                        .collect()
+                });
+            mapwave_harness::telemetry::count("core.windows_parallel", live);
+            for (slot, out) in slots.into_iter().zip(outs.iter_mut()) {
+                match out.take() {
+                    None => *slot = None,
+                    Some((stats, counts)) => {
+                        match slot {
+                            Some(s) => s.clone_from(&stats),
+                            None => *slot = Some(stats),
+                        }
+                        noc_fault_counts.flit_corruptions += counts.flit_corruptions;
+                        noc_fault_counts.wi_fallbacks += counts.wi_fallbacks;
+                    }
+                }
+            }
+        } else {
+            let sim = &mut lane_sims[0];
+            for (slot, traffic) in slots.into_iter().zip(stage_traffic) {
                 if traffic.total_rate() <= 1e-9 {
                     *slot = None;
-                    return;
+                    continue;
                 }
                 let physical = spec.mapping.traffic_to_tiles(traffic);
                 let stats = sim.run(
@@ -262,10 +340,8 @@ fn run_system_inner(
                 let counts = sim.fault_counts();
                 noc_fault_counts.flit_corruptions += counts.flit_corruptions;
                 noc_fault_counts.wi_fallbacks += counts.wi_fallbacks;
-            };
-        run_phase_net(&mut map_net, &exec.phase_traffic.map);
-        run_phase_net(&mut reduce_net, &exec.phase_traffic.reduce);
-        run_phase_net(&mut merge_net, &exec.phase_traffic.merge);
+            }
+        }
 
         let rt = |stats: &Option<NetworkStats>, fallback: f64| -> f64 {
             stats

@@ -1,0 +1,85 @@
+//! Cross-thread determinism suite for `run_system`: the worker-thread count
+//! is a wall-clock knob only, so every observable of a [`RunReport`] (and of
+//! a faulted [`FaultRunReport`]) must be byte-identical for
+//! `sim_threads ∈ {1, 2, 4, 7}`. Floating-point observables compare on
+//! `to_bits()`, the network statistics on their full `Debug` rendering.
+
+use mapwave::config::{PlacementStrategy, PlatformConfig};
+use mapwave::design_flow::{DesignFlow, VfStage};
+use mapwave::system::{run_system, run_system_with_faults, RunReport};
+use mapwave_faults::{FaultConfig, FaultPlan};
+use mapwave_phoenix::apps::App;
+
+const THREADS: [usize; 3] = [2, 4, 7];
+
+/// Full byte-level fingerprint of a report: every float as raw bits plus the
+/// `Debug` rendering of the aggregate and per-phase network statistics.
+fn fingerprint(r: &RunReport) -> String {
+    format!(
+        "{} edp={:016x} exec={:016x} core_j={:016x} net_j={:016x} net={:?} phases={:?} exec_detail={:?}",
+        r.label,
+        r.edp.to_bits(),
+        r.exec_seconds.to_bits(),
+        r.core_energy_j.to_bits(),
+        r.net_energy_j.to_bits(),
+        r.net,
+        r.net_by_phase,
+        r.exec,
+    )
+}
+
+#[test]
+fn run_system_is_thread_invariant() {
+    let base = PlatformConfig::small().with_scale(0.002);
+    let flow = DesignFlow::new(base.clone()).unwrap();
+    let d = flow.design(App::WordCount);
+    let specs = [
+        flow.vfi_mesh_spec(&d, VfStage::Vfi2),
+        flow.winoc_spec(&d, PlacementStrategy::MinHopCount),
+    ];
+    for spec in &specs {
+        let serial = run_system(spec, &d.workload, &base, flow.power());
+        let want = fingerprint(&serial);
+        for t in THREADS {
+            let cfg = base.clone().with_sim_threads(t);
+            let got = fingerprint(&run_system(spec, &d.workload, &cfg, flow.power()));
+            assert_eq!(
+                got, want,
+                "{}: sim_threads={t} diverged from the serial run",
+                spec.label
+            );
+        }
+    }
+}
+
+#[test]
+fn faulted_run_system_is_thread_invariant() {
+    let base = PlatformConfig::small().with_scale(0.002);
+    let flow = DesignFlow::new(base.clone()).unwrap();
+    let d = flow.design(App::Histogram);
+    let spec = flow.winoc_spec(&d, PlacementStrategy::MaxWirelessUtilization);
+    let plan = FaultPlan::build(&FaultConfig {
+        link_error_rate: 0.05,
+        core_degrade_rate: 0.02,
+        task_fail_rate: 0.01,
+        seed: 11,
+        ..FaultConfig::disabled()
+    });
+    let serial = run_system_with_faults(&spec, &d.workload, &base, flow.power(), &plan);
+    let want = (fingerprint(&serial.report), format!("{:?}", serial.faults));
+    // The plan must actually exercise the fault path, or this test pins
+    // nothing beyond the fault-free variant above.
+    assert!(
+        serial.faults.injected() > 0,
+        "fault plan injected nothing; raise the rates"
+    );
+    for t in THREADS {
+        let cfg = base.clone().with_sim_threads(t);
+        let fr = run_system_with_faults(&spec, &d.workload, &cfg, flow.power(), &plan);
+        let got = (fingerprint(&fr.report), format!("{:?}", fr.faults));
+        assert_eq!(
+            got, want,
+            "faulted run diverged from serial at sim_threads={t}"
+        );
+    }
+}

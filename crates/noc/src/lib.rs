@@ -50,9 +50,11 @@ pub mod energy;
 pub mod flit;
 pub mod mac;
 pub mod node;
+pub(crate) mod par;
 pub mod routing;
 pub mod sim;
 pub mod stats;
+pub(crate) mod steady;
 pub mod switch;
 pub mod topology;
 pub mod traffic;

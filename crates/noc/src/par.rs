@@ -1,0 +1,385 @@
+//! Deterministic parallel switch sweep.
+//!
+//! The per-cycle worklist of *due* switches is partitioned into
+//! **wavefronts**: two switches share a wave only when they are at
+//! interaction distance ≥ 3, where the interaction graph joins wired
+//! neighbours and members of the same wireless channel. A switch only
+//! touches its own router state and the input FIFOs of its interaction
+//! neighbours, so within one wave every direct mutation (FIFO push,
+//! `buffered`/`wake` update, wormhole bookkeeping) lands on switch-disjoint
+//! state — and because a switch's interaction neighbours are *excluded*
+//! from its wave, a switch still observes its own pushes exactly as the
+//! serial sweep would.
+//!
+//! Waves are numbered so that interacting due switches run in ascending
+//! index order across waves (`wave(v) = 1 + max wave(u)` over due
+//! interacting `u < v`), which reproduces the serial sweep's ordering for
+//! every pair that can observe each other; non-interacting switches
+//! commute. Everything order-sensitive that is *not* switch-disjoint —
+//! floating-point stat/energy accumulation (`f64` addition is not
+//! associative), delivery counters, worklist enrollment — is recorded in a
+//! per-switch [`EffectBuf`] and replayed in ascending switch order after
+//! the sweep, performing the bit-for-bit identical sequence of additions
+//! the serial sweep performs. The 11 golden digests in
+//! `crates/noc/tests/golden.rs` pin this equivalence.
+//!
+//! Worker threads live for one [`crate::sim::NetworkSim::run`] (scoped),
+//! parking on a condvar between waves; the coordinator publishes a [`Job`]
+//! per wave and participates itself, with workers chunk-stealing via a
+//! shared atomic cursor.
+
+use crate::topology::wireless::WirelessOverlay;
+use crate::topology::Topology;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// One order-sensitive side effect of processing a switch, replayed in
+/// ascending switch order after a parallel wave sweep. Each variant's
+/// replay performs the exact statement sequence the serial sweep runs at
+/// the same point.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum StatOp {
+    /// Crossbar traversal energy of a measured flit.
+    SwitchPj(f64),
+    /// Measured head/body flit ejected at its destination.
+    EjectFlit,
+    /// Measured tail flit ejected: packet delivered with this latency.
+    EjectTail { latency: u64 },
+    /// Measured flit crossed a wired link (flattened `from * n + to`).
+    WireHop { pj: f64, adaptive: bool, link: u32 },
+    /// Measured flit crossed a wireless channel.
+    WirelessHop { pj: f64 },
+    /// The flit landed in switch `w`: enroll it if not already enrolled
+    /// (the `active` check runs at replay time, so each switch enrolls at
+    /// most once, exactly as in the serial sweep).
+    Enroll(u32),
+}
+
+/// Per-switch buffer of order-sensitive effects from one parallel wave.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct EffectBuf {
+    pub ops: Vec<StatOp>,
+    /// Flit moves committed by this switch (summed into
+    /// `moves_last_step` at replay).
+    pub moves: u64,
+}
+
+/// Interaction-distance-2 adjacency (CSR), built once per simulator and
+/// reused every cycle to assign wavefronts.
+#[derive(Debug, Clone)]
+pub(crate) struct WavePlan {
+    off: Vec<u32>,
+    adj: Vec<u32>,
+}
+
+impl WavePlan {
+    pub fn build(topo: &Topology, overlay: &WirelessOverlay) -> Self {
+        let n = topo.len();
+        // Interaction graph N1: wired neighbours plus same-channel WI
+        // members (a wireless transfer pushes into another member's FIFO,
+        // and all members arbitrate the shared token).
+        let mut n1: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for v in topo.nodes() {
+            n1[v.index()].extend(topo.neighbors(v).iter().map(|w| w.index() as u32));
+        }
+        for c in 0..overlay.channel_count() {
+            let members = overlay.channel_members(crate::topology::wireless::ChannelId(c));
+            for &a in &members {
+                for &b in &members {
+                    if a != b {
+                        n1[a.index()].push(b.index() as u32);
+                    }
+                }
+            }
+        }
+        // adj2 = N1 ∪ N1∘N1: everything within interaction distance 2.
+        let mut off = Vec::with_capacity(n + 1);
+        let mut adj = Vec::new();
+        let mut stamp = vec![u32::MAX; n];
+        off.push(0u32);
+        for v in 0..n {
+            let mark = v as u32;
+            for &u in &n1[v] {
+                if u as usize != v && stamp[u as usize] != mark {
+                    stamp[u as usize] = mark;
+                    adj.push(u);
+                }
+            }
+            let direct = n1[v].clone();
+            for u in direct {
+                for &w in &n1[u as usize] {
+                    if w as usize != v && stamp[w as usize] != mark {
+                        stamp[w as usize] = mark;
+                        adj.push(w);
+                    }
+                }
+            }
+            adj[*off.last().unwrap() as usize..].sort_unstable();
+            off.push(adj.len() as u32);
+        }
+        WavePlan { off, adj }
+    }
+
+    pub fn adjacent(&self, v: usize) -> &[u32] {
+        &self.adj[self.off[v] as usize..self.off[v + 1] as usize]
+    }
+}
+
+/// Reusable per-cycle scratch of the parallel sweep.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct Scratch {
+    /// Due switches this cycle, ascending.
+    pub due: Vec<u32>,
+    /// One effect buffer per due index (cleared, not reallocated).
+    pub effects: Vec<EffectBuf>,
+    /// `(switch, due index)` pairs grouped by wave, ascending within one.
+    pub order: Vec<(u32, u32)>,
+    /// Start offset of each wave in `order`, plus a final end sentinel.
+    pub wave_bounds: Vec<u32>,
+    /// Wave number per node for the current cycle (epoch-stamped).
+    node_wave: Vec<u32>,
+    node_epoch: Vec<u32>,
+    epoch: u32,
+}
+
+impl Scratch {
+    /// Assigns each due switch (ascending in `self.due`) the smallest wave
+    /// compatible with `wave(v) > wave(u)` for every due interacting
+    /// `u < v`, then groups `order`/`wave_bounds` by wave. Returns the
+    /// number of waves.
+    pub fn assign_waves(&mut self, plan: &WavePlan, n: usize) -> usize {
+        if self.node_wave.len() != n {
+            self.node_wave = vec![0; n];
+            self.node_epoch = vec![u32::MAX; n];
+            self.epoch = 0;
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == u32::MAX {
+            self.node_epoch.fill(u32::MAX - 1);
+            self.epoch = 0;
+        }
+        let mut waves = 0u32;
+        for i in 0..self.due.len() {
+            let v = self.due[i] as usize;
+            let mut w = 0u32;
+            for &u in plan.adjacent(v) {
+                // Ascending iteration: a stamped neighbour is a due u < v.
+                if (u as usize) < v && self.node_epoch[u as usize] == self.epoch {
+                    w = w.max(self.node_wave[u as usize] + 1);
+                }
+            }
+            self.node_wave[v] = w;
+            self.node_epoch[v] = self.epoch;
+            waves = waves.max(w + 1);
+        }
+        // Counting sort by wave; due order (ascending switch) within one.
+        self.wave_bounds.clear();
+        self.wave_bounds.resize(waves as usize + 1, 0);
+        for &v in &self.due {
+            self.wave_bounds[self.node_wave[v as usize] as usize + 1] += 1;
+        }
+        for k in 1..self.wave_bounds.len() {
+            self.wave_bounds[k] += self.wave_bounds[k - 1];
+        }
+        self.order.clear();
+        self.order.resize(self.due.len(), (0, 0));
+        let mut cursor: Vec<u32> = self.wave_bounds[..waves as usize].to_vec();
+        for (i, &v) in self.due.iter().enumerate() {
+            let w = self.node_wave[v as usize] as usize;
+            self.order[cursor[w] as usize] = (v, i as u32);
+            cursor[w] += 1;
+        }
+        waves as usize
+    }
+}
+
+/// One wave of work, published to the worker pool. All pointers are erased
+/// to `usize` so the job is `Send`; see the safety contract on
+/// [`crate::sim::par_drain_chunks`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Job {
+    /// `*mut NetworkSim` of the coordinating simulator.
+    pub sim: usize,
+    /// `*const (u32, u32)` — this wave's `(switch, due index)` pairs.
+    pub pairs: usize,
+    pub pairs_len: usize,
+    /// `*mut EffectBuf` — base of the per-due-index effect buffers.
+    pub effects: usize,
+    /// `*const Option<NodeId>` / `*mut bool` — the cycle's MAC snapshot.
+    pub holders: usize,
+    pub holders_len: usize,
+    pub used: usize,
+    pub used_len: usize,
+    /// Maximum port count (size of each worker's `out_used` scratch).
+    pub max_ports: usize,
+    /// Pairs claimed per cursor fetch.
+    pub chunk: usize,
+}
+
+#[derive(Debug)]
+struct BoardState {
+    /// Bumped per published job; workers pick up a job once per epoch.
+    epoch: u64,
+    job: Option<Job>,
+    /// Participants (workers + coordinator) still inside the current wave.
+    remaining: usize,
+    shutdown: bool,
+}
+
+/// Coordination board of one run's worker pool: a published [`Job`] per
+/// wave, a chunk-steal cursor, and condvars for wave start/end.
+#[derive(Debug)]
+pub(crate) struct Board {
+    state: Mutex<BoardState>,
+    go: Condvar,
+    done: Condvar,
+    cursor: AtomicUsize,
+    workers: usize,
+}
+
+impl Board {
+    pub fn new(workers: usize) -> Self {
+        Board {
+            state: Mutex::new(BoardState {
+                epoch: 0,
+                job: None,
+                remaining: 0,
+                shutdown: false,
+            }),
+            go: Condvar::new(),
+            done: Condvar::new(),
+            cursor: AtomicUsize::new(0),
+            workers,
+        }
+    }
+
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Worker-thread body: drain chunks of each published wave until
+    /// shutdown.
+    pub fn worker(&self) {
+        let mut seen = 0u64;
+        let mut out_used: Vec<bool> = Vec::new();
+        loop {
+            let job = {
+                let mut st = self.state.lock().unwrap();
+                loop {
+                    if st.shutdown {
+                        return;
+                    }
+                    if st.epoch != seen {
+                        seen = st.epoch;
+                        break st.job.expect("epoch bumped with a job published");
+                    }
+                    st = self.go.wait(st).unwrap();
+                }
+            };
+            out_used.clear();
+            out_used.resize(job.max_ports, false);
+            crate::sim::par_drain_chunks(&job, &self.cursor, &mut out_used);
+            let mut st = self.state.lock().unwrap();
+            st.remaining -= 1;
+            if st.remaining == 0 {
+                self.done.notify_all();
+            }
+        }
+    }
+
+    /// Publishes `job`, helps drain it, and returns once every participant
+    /// is done. The caller must uphold the pointer contract of
+    /// [`crate::sim::par_drain_chunks`] for the duration of this call.
+    pub fn run_wave(&self, job: Job, out_used: &mut Vec<bool>) {
+        self.cursor.store(0, Ordering::Relaxed);
+        {
+            let mut st = self.state.lock().unwrap();
+            st.job = Some(job);
+            st.epoch += 1;
+            st.remaining = self.workers + 1;
+            self.go.notify_all();
+        }
+        out_used.clear();
+        out_used.resize(job.max_ports, false);
+        crate::sim::par_drain_chunks(&job, &self.cursor, out_used);
+        let mut st = self.state.lock().unwrap();
+        st.remaining -= 1;
+        while st.remaining > 0 {
+            st = self.done.wait(st).unwrap();
+        }
+    }
+
+    /// Releases the workers (their scoped threads then join).
+    pub fn shutdown(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.shutdown = true;
+        self.go.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeId;
+    use crate::topology::mesh::mesh;
+    use crate::topology::wireless::{ChannelId, WirelessInterface};
+
+    #[test]
+    fn waves_separate_interacting_switches() {
+        let topo = mesh(4, 4, 2.5);
+        let overlay = WirelessOverlay::new(
+            vec![
+                WirelessInterface {
+                    node: NodeId(0),
+                    channel: ChannelId(0),
+                },
+                WirelessInterface {
+                    node: NodeId(15),
+                    channel: ChannelId(0),
+                },
+            ],
+            1,
+        )
+        .unwrap();
+        let plan = WavePlan::build(&topo, &overlay);
+        // Wired neighbours and distance-2 pairs interact.
+        assert!(plan.adjacent(0).contains(&1));
+        assert!(plan.adjacent(0).contains(&2));
+        assert!(plan.adjacent(0).contains(&5));
+        // Same-channel members interact regardless of wire distance.
+        assert!(plan.adjacent(0).contains(&15));
+        // Distance 3, different channels: independent.
+        assert!(!plan.adjacent(0).contains(&3));
+
+        let mut scratch = Scratch {
+            due: (0..16).collect(),
+            ..Default::default()
+        };
+        let waves = scratch.assign_waves(&plan, 16);
+        assert!(waves >= 2);
+        // Every interacting due pair lands in distinct waves, ascending
+        // with switch index.
+        for i in 0..16usize {
+            for &u in plan.adjacent(i) {
+                if (u as usize) < i {
+                    assert!(
+                        scratch.node_wave[u as usize] < scratch.node_wave[i],
+                        "due interacting pair ({u}, {i}) must be wave-ordered"
+                    );
+                }
+            }
+        }
+        // Grouping covers every due switch exactly once, ascending within
+        // a wave.
+        let mut seen: Vec<u32> = Vec::new();
+        for w in 0..waves {
+            let lo = scratch.wave_bounds[w] as usize;
+            let hi = scratch.wave_bounds[w + 1] as usize;
+            let wave: Vec<u32> = scratch.order[lo..hi].iter().map(|&(v, _)| v).collect();
+            assert!(wave.windows(2).all(|p| p[0] < p[1]));
+            seen.extend(wave);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, scratch.due);
+    }
+}

@@ -41,6 +41,7 @@ use crate::energy::EnergyModel;
 use crate::flit::{flit_sequence, Flit, PacketId};
 use crate::mac::{macs_for, ChannelMac};
 use crate::node::NodeId;
+use crate::par::StatOp;
 use crate::routing::{Hop, Phase, RoutingTable};
 use crate::stats::NetworkStats;
 use crate::switch::{FabricState, OutRoute, Owner, PortMap, PORT_LOCAL};
@@ -53,6 +54,116 @@ use mapwave_harness::rng::StdRng;
 use mapwave_harness::telemetry;
 use std::borrow::Cow;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Due-worklist size below which a parallel sweep falls back to inline
+/// serial processing (a wave dispatch costs more than the work).
+const PAR_MIN_DUE: usize = 4;
+
+/// A routing-table entry (out-port, wireless target, next up\*/down\*
+/// phase) packed into 4 bytes. Table routes always use down-VC 0, so the
+/// VC is not stored. The packing keeps the `2·n²`-entry escape and
+/// wireline-fallback tables cache-resident (4 B/entry instead of the ~40 B
+/// of `Option<(OutRoute, Phase)>`), which matters because every head-flit
+/// routing decision is one random-index load from these tables.
+///
+/// Layout: bit 31 = present, bit 30 = next phase is `Down`, bits 16–29 =
+/// out port, bits 0–15 = wireless target node (`0xFFFF` = wired hop).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PackedRoute(u32);
+
+impl PackedRoute {
+    /// An unreachable routing state (no route).
+    const NONE: PackedRoute = PackedRoute(0);
+
+    fn pack(route: OutRoute, next_phase: Phase) -> Self {
+        debug_assert_eq!(route.down_vc, 0, "table routes use the escape VC");
+        debug_assert!(route.out_port < (1 << 14));
+        let wt = route.wireless_to.map_or(0xFFFF, |w| {
+            debug_assert!(w.index() < 0xFFFF);
+            w.index() as u32
+        });
+        PackedRoute(
+            (1 << 31)
+                | (u32::from(matches!(next_phase, Phase::Down)) << 30)
+                | ((route.out_port as u32) << 16)
+                | wt,
+        )
+    }
+
+    #[inline]
+    fn unpack(self) -> Option<(OutRoute, Phase)> {
+        if self.0 & (1 << 31) == 0 {
+            return None;
+        }
+        let wt = self.0 & 0xFFFF;
+        let phase = if self.0 & (1 << 30) != 0 {
+            Phase::Down
+        } else {
+            Phase::Up
+        };
+        Some((
+            OutRoute {
+                out_port: ((self.0 >> 16) & 0x3FFF) as usize,
+                wireless_to: (wt != 0xFFFF).then_some(NodeId(wt as usize)),
+                down_vc: 0,
+            },
+            phase,
+        ))
+    }
+}
+
+/// Where a switch-processing pass sends its order-sensitive effects:
+/// straight into the simulator (serial sweep), or into a per-switch buffer
+/// replayed in ascending switch order after a parallel wave (see
+/// [`crate::par`]).
+pub(crate) enum Sink<'e> {
+    Direct,
+    Buffer(&'e mut crate::par::EffectBuf),
+}
+
+/// Drains chunks of one parallel wave: claims `(switch, due index)` pairs
+/// from the shared cursor and processes each switch with its effects
+/// buffered. Called by every wave participant (workers and coordinator).
+///
+/// # Safety contract (upheld by `NetworkSim::sweep_parallel`)
+///
+/// The erased pointers in `job` stay valid for the wave: `sim` is the
+/// coordinating simulator, `pairs`/`effects` point into the wave scratch
+/// (moved out of the simulator for the call), `holders`/`used` at the
+/// cycle's MAC snapshot. Participants reconstitute `&mut` references
+/// concurrently; disjointness is structural — same-wave switches are at
+/// interaction distance ≥ 3, so every direct mutation lands on
+/// switch-disjoint state, each due index owns its effect buffer, and
+/// `used` is only written by a channel's current token holder.
+pub(crate) fn par_drain_chunks(job: &crate::par::Job, cursor: &AtomicUsize, out_used: &mut [bool]) {
+    let sim = unsafe { &mut *(job.sim as *mut NetworkSim<'_>) };
+    let pairs =
+        unsafe { std::slice::from_raw_parts(job.pairs as *const (u32, u32), job.pairs_len) };
+    let holders = unsafe {
+        std::slice::from_raw_parts(job.holders as *const Option<NodeId>, job.holders_len)
+    };
+    loop {
+        let start = cursor.fetch_add(job.chunk, Ordering::Relaxed);
+        if start >= pairs.len() {
+            return;
+        }
+        let end = (start + job.chunk).min(pairs.len());
+        for &(v, due_idx) in &pairs[start..end] {
+            let used =
+                unsafe { std::slice::from_raw_parts_mut(job.used as *mut bool, job.used_len) };
+            let buf =
+                unsafe { &mut *(job.effects as *mut crate::par::EffectBuf).add(due_idx as usize) };
+            sim.process_switch(
+                NodeId(v as usize),
+                holders,
+                used,
+                out_used,
+                &mut Sink::Buffer(buf),
+            );
+        }
+    }
+}
 
 /// Tunable microarchitecture parameters of the simulated network.
 #[derive(Debug, Clone, PartialEq)]
@@ -85,6 +196,16 @@ pub struct SimConfig {
     pub adaptive: bool,
     /// RNG seed for the injection process.
     pub seed: u64,
+    /// Worker threads for the per-cycle switch sweep. `1` (the default)
+    /// keeps the exact serial code path; `> 1` processes the due-switch
+    /// worklist in interaction-free wavefronts on a worker pool, with all
+    /// order-sensitive effects (stat/energy accumulation, worklist
+    /// enrollment) buffered per switch and replayed in ascending switch
+    /// order — every observable is bit-identical to `threads = 1` (see
+    /// `crates/noc/src/par.rs`). Parallel sweeps are skipped automatically
+    /// while a wireless fault plan is attached (the fault hazard counters
+    /// are serial state).
+    pub threads: usize,
 }
 
 impl Default for SimConfig {
@@ -98,6 +219,7 @@ impl Default for SimConfig {
             vcs: 1,
             adaptive: false,
             seed: 0,
+            threads: 1,
         }
     }
 }
@@ -149,9 +271,7 @@ fn mac_holds_packet(ports: &PortMap, fabric: &FabricState, holder: Option<NodeId
     holder.is_some_and(|h| {
         ports.wireless_port(h).is_some_and(|wp| {
             let base = fabric.slot(h, wp, 0);
-            fabric.out_owner[base..base + fabric.vcs()]
-                .iter()
-                .any(Option::is_some)
+            (base..base + fabric.vcs()).any(|s| fabric.out_owner_set(s))
         })
     })
 }
@@ -176,7 +296,7 @@ struct NocFaults {
     plan: FaultPlan,
     /// Wireline-only escape table (same flat layout as `NetworkSim::escape`)
     /// that diverted packets follow after their WI is disabled.
-    fallback: Vec<Option<(OutRoute, Phase)>>,
+    fallback: Vec<PackedRoute>,
     /// Transfer attempts per wireless channel — the deterministic hazard
     /// counter fed to [`FaultPlan::link_corrupts`].
     attempts: Vec<u64>,
@@ -242,14 +362,17 @@ pub struct NetworkSim<'a> {
     injected_measured: u64,
     delivered_measured: u64,
     stats: NetworkStats,
-    /// Measured flits per directed wire link (`from * n + to`).
+    /// Measured flits per wired output port, CSR-aligned with `ports`
+    /// (a directed wire link is one output port; the flat index keeps the
+    /// hot-path counter array at `total_ports` entries instead of `n²`).
     link_flits: Vec<u64>,
     /// All-pairs wireline hop distances, flattened `v * n + dest`
     /// (adaptive routing only).
     hop_dist: Vec<u32>,
     /// Escape route and next phase per routing state, flattened
-    /// `(v * 2 + phase) * n + dest`; `None` for unreachable states.
-    escape: Vec<Option<(OutRoute, Phase)>>,
+    /// `(v * 2 + phase) * n + dest`; [`PackedRoute::NONE`] for unreachable
+    /// states.
+    escape: Vec<PackedRoute>,
     /// Per-port flit traversal energy, CSR-aligned with `ports` (wired
     /// ports only; zero elsewhere).
     wire_energy: Vec<f64>,
@@ -276,9 +399,27 @@ pub struct NetworkSim<'a> {
     src_list: Vec<u32>,
     /// Membership flags for `src_list`.
     src_listed: Vec<bool>,
+    /// Sources whose local inject slot was full at the last attempt; the
+    /// per-cycle space probe is skipped until that slot pops (the pop
+    /// site in `try_advance` clears the flag), which is the only event
+    /// that can free it.
+    src_blocked: Vec<bool>,
     /// First cycle whose clock tick has not been applied per switch;
     /// dormant switches replay the gap when they wake.
     clock_next: Vec<u64>,
+    /// Earliest cycle at which processing switch `v` could do anything
+    /// observable (`u64::MAX` when dormant). Between a switch's last
+    /// processed cycle and `wake[v]`, clocking it is a proven no-op: every
+    /// FIFO front is still inside a router pipeline, so `process_switch`
+    /// would mutate nothing and the lazy clock replay covers the skipped
+    /// `clock_fires` calls. A switch that saw a ready front this cycle
+    /// (moved *or* blocked) wakes again next cycle; pushes into `v` lower
+    /// `wake[v]` to the new flit's pipeline exit.
+    wake: Vec<u64>,
+    /// Minimum `wake` over the enrolled switches — the next cycle on which
+    /// any switch has work. May be stale-low (a wasted sweep recomputes
+    /// it), never stale-high.
+    next_due: u64,
 
     /// Reusable per-cycle MAC holder snapshot.
     mac_holders: Vec<Option<NodeId>>,
@@ -287,6 +428,17 @@ pub struct NetworkSim<'a> {
     /// Reusable per-switch output-port-used scratch (max port count).
     out_used: Vec<bool>,
 
+    /// Whether blocked switches may park (serial fault-free runs only).
+    /// A parked switch skips its proven-no-op retry cycles; the pop sites
+    /// in `try_advance` rearm it mid-sweep, which the fixed wavefront
+    /// schedule of a parallel run cannot reproduce — parallel runs keep
+    /// the per-cycle retry semantics instead (same outcomes either way).
+    park: bool,
+    /// Switches currently parked *with a ready front* (blocked): the only
+    /// ones a full-slot pop needs to rearm. Switches whose fronts are all
+    /// in flight keep their pipeline-exit wake and must not be woken by
+    /// neighbour pops.
+    parked: Vec<bool>,
     /// Wireless fault-injection state; `None` unless a plan that can
     /// corrupt links is attached (see [`NetworkSim::set_faults`]).
     faults: Option<NocFaults>,
@@ -295,8 +447,22 @@ pub struct NetworkSim<'a> {
     stepped_cycles: u64,
     /// Cycles advanced by fast-forward in the last run (telemetry).
     ff_cycles: u64,
+    /// Stepped cycles whose switch work was replayed in closed form —
+    /// steady-state cycles where only injection sampling and token-MAC
+    /// rotation happened — plus drain cycles skipped after a periodic
+    /// fixpoint was proven (telemetry).
+    steady_cycles: u64,
+    /// Shard tasks dispatched to the parallel sweep pool in the last run
+    /// (telemetry).
+    par_shards: u64,
     /// Flit moves (switch and source) performed by the last step.
     moves_last_step: u64,
+    /// Interaction-distance-2 adjacency for the parallel wavefront
+    /// schedule; built on first use (see `crate::par`).
+    par_plan: Option<crate::par::WavePlan>,
+    /// Reusable scratch of the parallel sweep (due list, wave numbers,
+    /// per-switch effect buffers).
+    par_scratch: crate::par::Scratch,
 }
 
 impl<'a> NetworkSim<'a> {
@@ -404,6 +570,7 @@ impl<'a> NetworkSim<'a> {
             || cfg.wi_buffer_depth == 0
             || cfg.packet_len == 0
             || cfg.vcs == 0
+            || cfg.threads == 0
             || (cfg.adaptive && cfg.vcs < 2)
         {
             return Err(SimError::InvalidConfig);
@@ -430,7 +597,7 @@ impl<'a> NetworkSim<'a> {
         // Precompute the full escape-route table: every reachable
         // (switch, phase, destination) state maps straight to its out-port
         // route, replacing per-flit table lookups and neighbour scans.
-        let mut escape = vec![None; 2 * n * n];
+        let mut escape = vec![PackedRoute::NONE; 2 * n * n];
         for v in topo.nodes() {
             for (pi, phase) in [(0usize, Phase::Up), (1, Phase::Down)] {
                 for d in 0..n {
@@ -456,7 +623,8 @@ impl<'a> NetworkSim<'a> {
                             down_vc: 0,
                         },
                     };
-                    escape[(v.index() * 2 + pi) * n + d] = Some((route, entry.next_phase));
+                    escape[(v.index() * 2 + pi) * n + d] =
+                        PackedRoute::pack(route, entry.next_phase);
                 }
             }
         }
@@ -493,7 +661,7 @@ impl<'a> NetworkSim<'a> {
         let inject_vc = if cfg.adaptive { cfg.vcs - 1 } else { 0 };
 
         Ok(NetworkSim {
-            link_flits: vec![0; n * n],
+            link_flits: vec![0; total_ports],
             hop_dist,
             escape,
             wire_energy,
@@ -508,14 +676,23 @@ impl<'a> NetworkSim<'a> {
             list_scratch: Vec::with_capacity(n),
             src_list: Vec::with_capacity(n),
             src_listed: vec![false; n],
+            src_blocked: vec![false; n],
             clock_next: vec![0; n],
+            wake: vec![u64::MAX; n],
+            next_due: u64::MAX,
             mac_holders: Vec::with_capacity(macs.len()),
             mac_used: Vec::with_capacity(macs.len()),
             out_used: vec![false; max_ports],
+            park: false,
+            parked: vec![false; n],
             faults: None,
             stepped_cycles: 0,
             ff_cycles: 0,
+            steady_cycles: 0,
+            par_shards: 0,
             moves_last_step: 0,
+            par_plan: None,
+            par_scratch: crate::par::Scratch::default(),
             src_q: vec![VecDeque::new(); n],
             fabric,
             macs,
@@ -560,6 +737,13 @@ impl<'a> NetworkSim<'a> {
         self.ff_cycles
     }
 
+    /// Sets the worker-thread count of subsequent runs
+    /// ([`SimConfig::threads`]; clamped to ≥ 1). A wall-clock knob only —
+    /// every thread count produces bit-identical statistics.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.cfg.threads = threads.max(1);
+    }
+
     /// Attaches (or detaches) a fault plan.
     ///
     /// Fault state is only materialised when `plan` can corrupt wireless
@@ -577,7 +761,7 @@ impl<'a> NetworkSim<'a> {
         let n = self.topo.len();
         let wired = RoutingTable::up_down(&self.topo, &WirelessOverlay::none())
             .expect("wireline topology must be connected");
-        let mut fallback = vec![None; 2 * n * n];
+        let mut fallback = vec![PackedRoute::NONE; 2 * n * n];
         for v in self.topo.nodes() {
             for (pi, phase) in [(0usize, Phase::Up), (1, Phase::Down)] {
                 for d in 0..n {
@@ -599,7 +783,8 @@ impl<'a> NetworkSim<'a> {
                             unreachable!("wireline-only table cannot route wireless")
                         }
                     };
-                    fallback[(v.index() * 2 + pi) * n + d] = Some((route, entry.next_phase));
+                    fallback[(v.index() * 2 + pi) * n + d] =
+                        PackedRoute::pack(route, entry.next_phase);
                 }
             }
         }
@@ -637,9 +822,15 @@ impl<'a> NetworkSim<'a> {
         self.pending.clear();
         self.src_list.clear();
         self.src_listed.fill(false);
+        self.src_blocked.fill(false);
+        self.parked.fill(false);
         self.clock_next.fill(0);
+        self.wake.fill(u64::MAX);
+        self.next_due = u64::MAX;
         self.stepped_cycles = 0;
         self.ff_cycles = 0;
+        self.steady_cycles = 0;
+        self.par_shards = 0;
         self.moves_last_step = 0;
         if let Some(fl) = &mut self.faults {
             // The plan (and fallback table) survives; the per-run hazard
@@ -672,46 +863,171 @@ impl<'a> NetworkSim<'a> {
         let injector = Injector::new(traffic);
         let mut rng = StdRng::seed_from_u64(self.cfg.seed);
 
-        {
-            let _loop_span = telemetry::span("noc.sim.cycle_loop");
-            for _ in 0..warmup + measure {
-                self.step(Some((&injector, &mut rng)));
-            }
-            let mut drained = 0u64;
-            while drained < drain_limit && self.delivered_measured < self.injected_measured {
-                // Only look for a jump after a cycle in which nothing
-                // moved; while flits are flowing, stepping is the fast path.
-                if self.moves_last_step == 0 {
-                    let gap = self.drain_gap();
-                    if gap > 1 {
-                        let jump = gap.min(drain_limit - drained);
-                        self.fast_forward(jump);
-                        drained += jump;
-                        continue;
-                    }
+        // A wireless fault plan pins the sweep to the serial path: the
+        // per-channel hazard counters are consumed in sweep order, which a
+        // buffered replay cannot reproduce (attempts are burned by *failed*
+        // transfers too).
+        let workers = if self.faults.is_none() {
+            self.cfg.threads.saturating_sub(1)
+        } else {
+            0
+        };
+        self.park = workers == 0 && self.faults.is_none();
+        if workers > 0 {
+            let board = crate::par::Board::new(workers);
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| board.worker());
                 }
-                self.step(None);
-                drained += 1;
-            }
+                self.cycle_loop(
+                    &injector,
+                    &mut rng,
+                    warmup,
+                    measure,
+                    drain_limit,
+                    Some(&board),
+                );
+                board.shutdown();
+            });
+        } else {
+            self.cycle_loop(&injector, &mut rng, warmup, measure, drain_limit, None);
         }
         self.stats.cycles = measure;
         self.stats.packets_injected = self.injected_measured;
         self.stats.in_flight_at_end = self.injected_measured - self.delivered_measured;
-        let n = self.topo.len();
-        self.stats.link_loads = (0..n * n)
-            .filter(|&idx| self.link_flits[idx] > 0)
-            .map(|idx| crate::stats::LinkLoad {
-                from: NodeId(idx / n),
-                to: NodeId(idx % n),
-                flits: self.link_flits[idx],
-            })
-            .collect();
+        // Wired ports enumerate in ascending (from, to) order (ports
+        // 1..=degree are sorted by neighbour id), matching the order the
+        // old dense `from * n + to` scan produced.
+        let mut loads = Vec::new();
+        for v in self.topo.nodes() {
+            for p in 1..self.ports.port_count(v) {
+                if Some(p) == self.ports.wireless_port(v) {
+                    continue;
+                }
+                let flits = self.link_flits[self.ports.flat_index(v, p)];
+                if flits > 0 {
+                    let (w, _) = self.ports.wire_peer(v, p);
+                    loads.push(crate::stats::LinkLoad {
+                        from: v,
+                        to: w,
+                        flits,
+                    });
+                }
+            }
+        }
+        self.stats.link_loads = loads;
         telemetry::count("noc.packets_injected", self.stats.packets_injected);
         telemetry::count("noc.packets_delivered", self.stats.packets_delivered);
         telemetry::count("noc.flits_delivered", self.stats.flits_delivered);
         telemetry::count("noc.cycles_simulated", self.stepped_cycles);
         telemetry::count("noc.cycles_fast_forwarded", self.ff_cycles);
+        telemetry::count("noc.cycles_steady_replayed", self.steady_cycles);
+        telemetry::count("noc.parallel_shards", self.par_shards);
         &self.stats
+    }
+
+    /// The warmup/measure/drain cycle loop of one [`NetworkSim::run`],
+    /// optionally backed by a parallel-sweep worker board.
+    fn cycle_loop(
+        &mut self,
+        injector: &Injector,
+        rng: &mut StdRng,
+        warmup: u64,
+        measure: u64,
+        drain_limit: u64,
+        board: Option<&crate::par::Board>,
+    ) {
+        let _loop_span = telemetry::span("noc.sim.cycle_loop");
+        for _ in 0..warmup + measure {
+            self.step(Some((injector, rng)), board);
+        }
+        let mut detector = crate::steady::PeriodDetector::new();
+        let mut drained = 0u64;
+        while drained < drain_limit && self.delivered_measured < self.injected_measured {
+            // Only look for a jump after a cycle in which nothing
+            // moved; while flits are flowing, stepping is the fast path.
+            if self.moves_last_step == 0 {
+                let gap = self.drain_gap();
+                if gap > 1 {
+                    let jump = gap.min(drain_limit - drained);
+                    self.fast_forward(jump);
+                    drained += jump;
+                    detector.reset();
+                    continue;
+                }
+                // Stalled and not fast-forwardable (a front is ready but
+                // blocked). Injection is over, so the remaining dynamics
+                // are a deterministic function of a small compact state;
+                // if that state exactly recurs with every observable
+                // counter unchanged, the drain is livelocked and every
+                // remaining cycle is a verbatim repeat — consume the rest
+                // of the budget in closed form.
+                if detector.observe(|out| self.steady_snapshot(out)) {
+                    let rest = drain_limit - drained;
+                    self.now += rest;
+                    self.steady_cycles += rest;
+                    break;
+                }
+            } else {
+                detector.reset();
+            }
+            self.step(None, board);
+            drained += 1;
+        }
+    }
+
+    /// The compact drain-phase state consumed by the livelock detector.
+    ///
+    /// During a streak of zero-move cycles the FIFO contents, wormhole
+    /// bindings, round-robin pointers and source queues are all frozen —
+    /// everything that *can* evolve is written here, in now-relative form:
+    /// token positions, fractional clock accumulators (with their lazy
+    /// replay cursors), per-switch wake offsets, and the wireless fault
+    /// hazard counters plus the only stats field a zero-move cycle can
+    /// touch (a corrupted transfer still radiates). Including the hazard
+    /// counters is what disables detection under an *active* fault stream:
+    /// while attempts keep burning, the state never recurs; once the
+    /// stream is cycle-stable the counters freeze and detection resumes.
+    fn steady_snapshot(&self, out: &mut Vec<u64>) {
+        out.push(self.delivered_measured);
+        out.push(self.stats.flits_delivered);
+        out.push(self.stats.packets_delivered);
+        out.push(self.stats.energy.wireless_pj.to_bits());
+        for m in &self.macs {
+            out.push(m.holder().map_or(u64::MAX, |h| h.index() as u64));
+        }
+        for &v in self.active_list.iter().chain(&self.pending) {
+            let v = v as usize;
+            out.push(v as u64);
+            out.push(self.fabric.clock_acc[v].to_bits());
+            out.push(self.now + 1 - self.clock_next[v].min(self.now + 1));
+            out.push(match self.wake[v] {
+                u64::MAX => u64::MAX,
+                w => w.saturating_sub(self.now),
+            });
+        }
+        for &s in &self.src_list {
+            out.push(s as u64);
+        }
+        if let Some(fl) = &self.faults {
+            out.extend(fl.attempts.iter().copied());
+            out.extend(fl.consec.iter().map(|&c| u64::from(c)));
+            out.extend(fl.disabled.iter().map(|&d| u64::from(d)));
+            out.push(fl.counts.flit_corruptions);
+            out.push(fl.counts.wi_fallbacks);
+        }
+    }
+
+    /// Stepped cycles of the last run whose switch work was replayed in
+    /// closed form (steady-state fast path + livelocked drain cycles).
+    pub fn steady_replayed_cycles(&self) -> u64 {
+        self.steady_cycles
+    }
+
+    /// Shard tasks the last run dispatched to the parallel sweep pool
+    /// (zero on the serial path).
+    pub fn parallel_shards(&self) -> u64 {
+        self.par_shards
     }
 
     /// Cycles until the next possible flit move during drain, or 0 when
@@ -734,9 +1050,7 @@ impl<'a> NetworkSim<'a> {
         let mut min_ready = u64::MAX;
         for &v in self.active_list.iter().chain(&self.pending) {
             for slot in self.fabric.slots_of(NodeId(v as usize)) {
-                if let Some(f) = self.fabric.front(slot) {
-                    min_ready = min_ready.min(f.ready_at);
-                }
+                min_ready = min_ready.min(self.fabric.front_ready(slot));
             }
         }
         if min_ready == u64::MAX || min_ready <= self.now {
@@ -782,16 +1096,21 @@ impl<'a> NetworkSim<'a> {
     }
 
     /// One global clock cycle.
-    fn step(&mut self, mut inject: Option<(&Injector, &mut StdRng)>) {
+    fn step(
+        &mut self,
+        mut inject: Option<(&Injector, &mut StdRng)>,
+        board: Option<&crate::par::Board>,
+    ) {
         self.stepped_cycles += 1;
         self.moves_last_step = 0;
 
-        // 1. Packet generation into source queues. Every source samples the
-        //    RNG every cycle, so the injection sequence is independent of
-        //    scheduling decisions.
+        // 1. Packet generation into source queues. Every source with a
+        //    nonzero rate samples the RNG every cycle, so the injection
+        //    sequence is independent of scheduling decisions (zero-rate
+        //    sources never draw — see `Injector::nonzero_sources`).
         if let Some((injector, rng)) = inject.as_mut() {
-            let n = self.topo.len();
-            for s in 0..n {
+            for &s in injector.nonzero_sources() {
+                let s = s as usize;
                 if let Some(d) = injector.sample(NodeId(s), rng) {
                     if d.index() != s {
                         let id = PacketId(self.next_packet);
@@ -815,6 +1134,23 @@ impl<'a> NetworkSim<'a> {
             }
         }
 
+        // Steady-state fast path: nothing is backlogged at a source, no
+        //    switch gained its first flit, and no enrolled switch has work
+        //    before `next_due` — every front is still in its router
+        //    pipeline. Sections 2–5 are then provably no-ops (the sweep
+        //    would process nothing and keep every switch), so the cycle
+        //    reduces to idle token-MAC bookkeeping; the skipped clock
+        //    ticks replay lazily on wake, bit-identically.
+        if self.src_list.is_empty() && self.pending.is_empty() && self.next_due > self.now {
+            for mac in &mut self.macs {
+                let holds = mac_holds_packet(&self.ports, &self.fabric, mac.holder());
+                mac.end_cycle(false, holds);
+            }
+            self.steady_cycles += 1;
+            self.now += 1;
+            return;
+        }
+
         // 2. Move one flit per backlogged node from the source queue into
         //    the local input port, enrolling the switch. New packets start
         //    on the top VC (the adaptive one when adaptive routing is on).
@@ -823,20 +1159,35 @@ impl<'a> NetworkSim<'a> {
         let mut r = 0;
         while r < src_list.len() {
             let s = src_list[r] as usize;
+            // A source that found its inject slot full stays backlogged
+            // until that slot pops; the probe below is pure, so skipping
+            // it until the pop rearms the flag changes nothing.
+            if self.src_blocked[s] {
+                src_list[keep] = s as u32;
+                keep += 1;
+                r += 1;
+                continue;
+            }
             let slot = self.fabric.slot(NodeId(s), PORT_LOCAL, self.inject_vc);
             if self.fabric.space(slot) > 0 {
                 if let Some(mut f) = self.src_q[s].pop_front() {
                     // Entering the injection port costs the router pipeline
                     // too.
                     f.ready_at = f.ready_at.max(self.now + self.cfg.router_delay);
+                    let ready = f.ready_at;
                     self.fabric.push_back(slot, f);
                     self.buffered[s] += 1;
                     self.moves_last_step += 1;
+                    if self.wake[s] > ready {
+                        self.wake[s] = ready;
+                    }
                     if !self.active[s] {
                         self.active[s] = true;
                         self.pending.push(s as u32);
                     }
                 }
+            } else {
+                self.src_blocked[s] = true;
             }
             if self.src_q[s].is_empty() {
                 self.src_listed[s] = false;
@@ -862,28 +1213,15 @@ impl<'a> NetworkSim<'a> {
         self.merge_pending();
 
         // 5. Switch operation, ascending over the active set. A switch's
-        //    clock catches up lazily right before it is consulted; switches
-        //    that end the sweep empty are dropped and re-enroll on arrival.
-        let mut list = std::mem::take(&mut self.active_list);
-        let mut out_used = std::mem::take(&mut self.out_used);
-        let mut keep = 0;
-        let mut r = 0;
-        while r < list.len() {
-            let v = list[r] as usize;
-            if self.buffered[v] > 0 && self.clock_fires(v) {
-                self.process_switch(NodeId(v), &holders, &mut channel_used, &mut out_used);
-            }
-            if self.buffered[v] > 0 {
-                list[keep] = v as u32;
-                keep += 1;
-            } else {
-                self.active[v] = false;
-            }
-            r += 1;
+        //    clock catches up lazily right before it is consulted, and a
+        //    switch whose `wake` lies in the future is skipped outright
+        //    (clocking it is a proven no-op). Switches that end the sweep
+        //    empty are dropped and re-enroll on arrival.
+        match board {
+            Some(b) => self.sweep_parallel(b, &holders, &mut channel_used),
+            None => self.sweep_serial(&holders, &mut channel_used),
         }
-        list.truncate(keep);
-        self.active_list = list;
-        self.out_used = out_used;
+        self.refresh_next_due();
 
         // 6. MAC bookkeeping.
         for (c, mac) in self.macs.iter_mut().enumerate() {
@@ -894,6 +1232,203 @@ impl<'a> NetworkSim<'a> {
         self.mac_used = channel_used;
 
         self.now += 1;
+    }
+
+    /// The serial switch sweep: ascending over the active list, due
+    /// switches processed with effects applied directly, drained switches
+    /// dropped in place.
+    fn sweep_serial(&mut self, holders: &[Option<NodeId>], channel_used: &mut [bool]) {
+        let mut list = std::mem::take(&mut self.active_list);
+        let mut out_used = std::mem::take(&mut self.out_used);
+        let mut keep = 0;
+        for r in 0..list.len() {
+            let v = list[r] as usize;
+            debug_assert!(self.buffered[v] > 0, "enrolled switches hold flits");
+            if self.wake[v] <= self.now {
+                if self.clock_fires(v) {
+                    self.process_switch(
+                        NodeId(v),
+                        holders,
+                        channel_used,
+                        &mut out_used,
+                        &mut Sink::Direct,
+                    );
+                } else {
+                    // The clock sat out this cycle: retry on the next one,
+                    // exactly as a per-cycle sweep would.
+                    self.wake[v] = self.now + 1;
+                }
+            }
+            if self.buffered[v] > 0 {
+                list[keep] = v as u32;
+                keep += 1;
+            } else {
+                self.active[v] = false;
+            }
+        }
+        list.truncate(keep);
+        self.active_list = list;
+        self.out_used = out_used;
+    }
+
+    /// The parallel switch sweep: collect the due worklist serially, run
+    /// it in interaction-free wavefronts on the board, replay buffered
+    /// effects in ascending switch order, then compact the active list.
+    ///
+    /// Deferring the drained-switch compaction to after the waves is
+    /// equivalent to the serial interleaved keep-check: the only divergent
+    /// case — `v` drains, then a later `u` pushes into it — leaves `v`
+    /// enrolled either way (serial re-enrolls it via `pending`, the late
+    /// check simply keeps it), and the next cycle's sorted worklist is
+    /// identical.
+    fn sweep_parallel(
+        &mut self,
+        board: &crate::par::Board,
+        holders: &[Option<NodeId>],
+        channel_used: &mut [bool],
+    ) {
+        let mut scratch = std::mem::take(&mut self.par_scratch);
+        scratch.due.clear();
+        let list = std::mem::take(&mut self.active_list);
+        for &v32 in &list {
+            let v = v32 as usize;
+            debug_assert!(self.buffered[v] > 0, "enrolled switches hold flits");
+            if self.wake[v] <= self.now {
+                if self.clock_fires(v) {
+                    scratch.due.push(v32);
+                } else {
+                    self.wake[v] = self.now + 1;
+                }
+            }
+        }
+        self.active_list = list;
+
+        if scratch.due.len() < PAR_MIN_DUE {
+            // Too little work to amortise a wave dispatch: take the exact
+            // serial path over the due switches.
+            let mut out_used = std::mem::take(&mut self.out_used);
+            for i in 0..scratch.due.len() {
+                let v = scratch.due[i] as usize;
+                self.process_switch(
+                    NodeId(v),
+                    holders,
+                    channel_used,
+                    &mut out_used,
+                    &mut Sink::Direct,
+                );
+            }
+            self.out_used = out_used;
+        } else {
+            if self.par_plan.is_none() {
+                self.par_plan = Some(crate::par::WavePlan::build(&self.topo, &self.overlay));
+            }
+            let plan = self.par_plan.take().expect("built above");
+            let waves = scratch.assign_waves(&plan, self.topo.len());
+            if scratch.effects.len() < scratch.due.len() {
+                scratch
+                    .effects
+                    .resize_with(scratch.due.len(), Default::default);
+            }
+            for b in &mut scratch.effects[..scratch.due.len()] {
+                b.ops.clear();
+                b.moves = 0;
+            }
+            let max_ports = self.out_used.len();
+            let chunk_div = (board.workers() + 1) * 2;
+            let mut out_used = std::mem::take(&mut self.out_used);
+            for w in 0..waves {
+                let lo = scratch.wave_bounds[w] as usize;
+                let hi = scratch.wave_bounds[w + 1] as usize;
+                let pairs = &scratch.order[lo..hi];
+                let chunk = pairs.len().div_ceil(chunk_div).max(1);
+                self.par_shards += pairs.len().div_ceil(chunk) as u64;
+                let job = crate::par::Job {
+                    sim: self as *mut NetworkSim<'a> as usize,
+                    pairs: pairs.as_ptr() as usize,
+                    pairs_len: pairs.len(),
+                    effects: scratch.effects.as_mut_ptr() as usize,
+                    holders: holders.as_ptr() as usize,
+                    holders_len: holders.len(),
+                    used: channel_used.as_mut_ptr() as usize,
+                    used_len: channel_used.len(),
+                    max_ports,
+                    chunk,
+                };
+                board.run_wave(job, &mut out_used);
+            }
+            self.out_used = out_used;
+            self.apply_effects(&mut scratch);
+            self.par_plan = Some(plan);
+        }
+
+        // Late compaction (see above).
+        let mut list = std::mem::take(&mut self.active_list);
+        let mut keep = 0;
+        for r in 0..list.len() {
+            let v = list[r] as usize;
+            if self.buffered[v] > 0 {
+                list[keep] = v as u32;
+                keep += 1;
+            } else {
+                self.active[v] = false;
+            }
+        }
+        list.truncate(keep);
+        self.active_list = list;
+        self.par_scratch = scratch;
+    }
+
+    /// Replays the order-sensitive effects of a parallel sweep in
+    /// ascending switch order — the bit-for-bit identical sequence of
+    /// additions and enrollments the serial sweep performs.
+    fn apply_effects(&mut self, scratch: &mut crate::par::Scratch) {
+        use crate::par::StatOp;
+        for i in 0..scratch.due.len() {
+            let buf = &scratch.effects[i];
+            self.moves_last_step += buf.moves;
+            for op in &buf.ops {
+                match *op {
+                    StatOp::SwitchPj(pj) => self.stats.energy.switch_pj += pj,
+                    StatOp::EjectFlit => self.stats.flits_delivered += 1,
+                    StatOp::EjectTail { latency } => {
+                        self.stats.flits_delivered += 1;
+                        self.stats.packets_delivered += 1;
+                        self.stats.latency_sum += latency;
+                        self.stats.max_latency = self.stats.max_latency.max(latency);
+                        self.stats.record_latency(latency);
+                        self.delivered_measured += 1;
+                    }
+                    StatOp::WireHop { pj, adaptive, link } => {
+                        self.stats.energy.wire_pj += pj;
+                        self.stats.wire_flit_hops += 1;
+                        if adaptive {
+                            self.stats.adaptive_flit_hops += 1;
+                        }
+                        self.link_flits[link as usize] += 1;
+                    }
+                    StatOp::WirelessHop { pj } => {
+                        self.stats.energy.wireless_pj += pj;
+                        self.stats.wireless_flit_hops += 1;
+                    }
+                    StatOp::Enroll(w) => {
+                        let w = w as usize;
+                        if !self.active[w] {
+                            self.active[w] = true;
+                            self.pending.push(w as u32);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Recomputes `next_due` as the minimum wake over enrolled switches.
+    fn refresh_next_due(&mut self) {
+        let mut nd = u64::MAX;
+        for &v in self.active_list.iter().chain(&self.pending) {
+            nd = nd.min(self.wake[v as usize]);
+        }
+        self.next_due = nd;
     }
 
     /// Catches switch `v`'s fractional clock up to the current cycle and
@@ -953,6 +1488,7 @@ impl<'a> NetworkSim<'a> {
             Phase::Down => 1,
         };
         self.escape[(v.index() * 2 + p) * self.topo.len() + dest.index()]
+            .unpack()
             .unwrap_or_else(|| panic!("no route from {v} (phase {phase:?}) to {dest}"))
     }
 
@@ -991,6 +1527,7 @@ impl<'a> NetworkSim<'a> {
                         Phase::Down => 1,
                     };
                     let (route, np) = fl.fallback[(v.index() * 2 + p) * n + f.dest.index()]
+                        .unpack()
                         .unwrap_or_else(|| {
                             panic!("no wireline fallback route from {v} to {}", f.dest)
                         });
@@ -1002,6 +1539,7 @@ impl<'a> NetworkSim<'a> {
                     // up*/down* tree, restarting the phase at this switch
                     // (the same restart the adaptive fallback performs).
                     let (wr, np) = fl.fallback[(v.index() * 2) * n + f.dest.index()]
+                        .unpack()
                         .unwrap_or_else(|| {
                             panic!("no wireline fallback route from {v} to {}", f.dest)
                         });
@@ -1031,7 +1569,7 @@ impl<'a> NetworkSim<'a> {
             let (_, wp) = self.ports.wire_peer(v, o);
             // Pick the free downstream adaptive VC with the most space.
             let Some((dvc, space)) = (1..vcs)
-                .filter(|&c| self.fabric.out_owner[sb + o * vcs + c].is_none())
+                .filter(|&c| !self.fabric.out_owner_set(sb + o * vcs + c))
                 .map(|c| (c, self.fabric.space(self.fabric.slot(w, wp, c))))
                 .max_by_key(|&(c, s)| (s, usize::MAX - c))
             else {
@@ -1069,6 +1607,7 @@ impl<'a> NetworkSim<'a> {
         holders: &[Option<NodeId>],
         channel_used: &mut [bool],
         out_used: &mut [bool],
+        sink: &mut Sink<'_>,
     ) {
         let ports = self.ports.port_count(v);
         let vcs = self.cfg.vcs;
@@ -1076,21 +1615,20 @@ impl<'a> NetworkSim<'a> {
         out_used[..ports].fill(false);
 
         // Pass A: continue established wormholes.
+        let mut any_moved = false;
         for slot in sb..sb + ports * vcs {
-            let Some(route) = self.fabric.in_route[slot] else {
+            let Some(route) = self.fabric.in_route(slot) else {
                 continue;
             };
             if out_used[route.out_port] {
                 continue;
             }
-            let Some(&f) = self.fabric.front(slot) else {
-                continue;
-            };
-            if f.ready_at > self.now {
+            if self.fabric.front_ready(slot) > self.now {
                 continue;
             }
+            let f = *self.fabric.front(slot).expect("ready slot has a front");
             let local = slot - sb;
-            self.try_advance(
+            any_moved |= self.try_advance(
                 v,
                 local / vcs,
                 local % vcs,
@@ -1102,29 +1640,30 @@ impl<'a> NetworkSim<'a> {
                 channel_used,
                 false,
                 false,
+                sink,
             );
         }
 
         // Pass B: route new head flits, round-robin over input ports
         // (escape VC first within a port, so draining traffic keeps
         // priority over fresh adaptive traffic).
-        let start = self.fabric.rr_next[v.index()] as usize;
-        for off in 0..ports {
-            let p = (start + off) % ports;
+        let mut p = self.fabric.rr_next[v.index()] as usize;
+        for _ in 0..ports {
             for vc in 0..vcs {
                 let slot = sb + p * vcs + vc;
-                if self.fabric.in_route[slot].is_some() {
+                if self.fabric.in_route_set(slot) {
                     continue;
                 }
-                let Some(f) = self.fabric.front(slot).copied() else {
+                if self.fabric.front_ready(slot) > self.now {
                     continue;
-                };
-                if f.ready_at > self.now || !f.kind.is_head() {
+                }
+                let f = *self.fabric.front(slot).expect("ready slot has a front");
+                if !f.kind.is_head() {
                     continue;
                 }
                 let (route, next_phase, divert) = self.route_head(v, vc, &f, out_used);
                 let o = route.out_port;
-                if out_used[o] || self.fabric.out_owner[sb + o * vcs + route.down_vc].is_some() {
+                if out_used[o] || self.fabric.out_owner_set(sb + o * vcs + route.down_vc) {
                     continue;
                 }
                 let moved = self.try_advance(
@@ -1139,12 +1678,48 @@ impl<'a> NetworkSim<'a> {
                     channel_used,
                     true,
                     divert,
+                    sink,
                 );
                 if moved {
+                    any_moved = true;
                     self.fabric.rr_next[v.index()] = ((p + 1) % ports) as u32;
                 }
             }
+            p += 1;
+            if p == ports {
+                p = 0;
+            }
         }
+
+        // Decide when this switch next needs clocking. A ready front after
+        // a cycle that moved flits retries immediately (the move may have
+        // freed the port or ownership it waits on). A ready front after a
+        // *move-free* cycle is blocked on state this switch cannot change:
+        // the switch parks until a neighbour pops the full slot it pushes
+        // into (`try_advance` rearms `wake`), a flit arrives (the push
+        // sites lower `wake`), or an in-flight front exits its pipeline
+        // (`fut_min`). Two carve-outs keep the skip a proven no-op:
+        // wireless switches never park (token rotation is not a wake
+        // source, and the holder check must burn its slot every cycle),
+        // and under a fault plan a blocked wireless retry still mutates
+        // hazard counters, so every ready front retries per-cycle.
+        let mut ready_now = false;
+        let mut fut_min = u64::MAX;
+        for slot in sb..sb + ports * vcs {
+            let r = self.fabric.front_ready(slot);
+            if r <= self.now {
+                ready_now = true;
+            } else if r < fut_min {
+                fut_min = r;
+            }
+        }
+        let parkable = self.park && !any_moved && self.wi_channel[v.index()] == u32::MAX;
+        self.parked[v.index()] = ready_now && parkable;
+        self.wake[v.index()] = if ready_now && !parkable {
+            self.now + 1
+        } else {
+            fut_min
+        };
     }
 
     /// Attempts to move flit `f` — the validated (ready, front-of-queue)
@@ -1167,6 +1742,7 @@ impl<'a> NetworkSim<'a> {
         channel_used: &mut [bool],
         is_new_packet: bool,
         divert: bool,
+        sink: &mut Sink<'_>,
     ) -> bool {
         let o = route.out_port;
         debug_assert!(!out_used[o], "caller reserves the output port");
@@ -1197,6 +1773,10 @@ impl<'a> NetworkSim<'a> {
                 return false;
             }
             if let Some(fl) = self.faults.as_mut() {
+                debug_assert!(
+                    matches!(sink, Sink::Direct),
+                    "fault plans pin the sweep to the serial path"
+                );
                 // Fault model: the transfer attempt may be corrupted by a
                 // wireless bit error. The token slot is burned either way;
                 // a corrupted flit stays put and retransmits on a later
@@ -1243,12 +1823,40 @@ impl<'a> NetworkSim<'a> {
             Dest::Into(w, wp, self.port_penalty[i], self.wire_energy[i], false)
         };
 
-        // Commit the move.
+        // Commit the move. In `Sink::Buffer` mode every order-sensitive
+        // effect (float accumulation, delivery counters, enrollment) is
+        // recorded instead of applied; switch-disjoint state (FIFOs,
+        // `buffered`, `wake`, wormhole bookkeeping) mutates directly.
         let measured = self.measured(&f);
         let mut f = f;
+        let was_full = self.fabric.space(slot) == 0;
         self.fabric.pop_front(slot);
         self.buffered[v.index()] -= 1;
-        self.moves_last_step += 1;
+        if p == PORT_LOCAL && vc == self.inject_vc {
+            self.src_blocked[v.index()] = false;
+        } else if self.park && was_full && p != PORT_LOCAL && Some(p) != self.ports.wireless_port(v)
+        {
+            // Popping a full wired slot is the only event that can unblock
+            // the wire peer behind it (the peer is also the only switch
+            // whose adaptive route choice reads this slot's space). A peer
+            // later in this cycle's ascending sweep still gets consulted
+            // *this* cycle — exactly as the per-cycle retry would.
+            let (u, _) = self.ports.wire_peer(v, p);
+            if self.parked[u.index()] {
+                let t = if u.index() > v.index() {
+                    self.now
+                } else {
+                    self.now + 1
+                };
+                if self.wake[u.index()] > t {
+                    self.wake[u.index()] = t;
+                }
+            }
+        }
+        match sink {
+            Sink::Direct => self.moves_last_step += 1,
+            Sink::Buffer(b) => b.moves += 1,
+        }
         if let Some(ph) = next_phase {
             f.phase = ph;
         }
@@ -1256,35 +1864,64 @@ impl<'a> NetworkSim<'a> {
             f.wired_fallback = true;
         }
         if measured {
-            self.stats.energy.switch_pj += self.switch_pj[v.index()];
+            match sink {
+                Sink::Direct => self.stats.energy.switch_pj += self.switch_pj[v.index()],
+                Sink::Buffer(b) => b.ops.push(StatOp::SwitchPj(self.switch_pj[v.index()])),
+            }
         }
         match dest {
             Dest::Eject => {
                 if measured {
-                    self.stats.flits_delivered += 1;
                     if f.kind.is_tail() {
                         let latency = self.now + 1 - f.created;
-                        self.stats.packets_delivered += 1;
-                        self.stats.latency_sum += latency;
-                        self.stats.max_latency = self.stats.max_latency.max(latency);
-                        self.stats.record_latency(latency);
-                        self.delivered_measured += 1;
+                        match sink {
+                            Sink::Direct => {
+                                self.stats.flits_delivered += 1;
+                                self.stats.packets_delivered += 1;
+                                self.stats.latency_sum += latency;
+                                self.stats.max_latency = self.stats.max_latency.max(latency);
+                                self.stats.record_latency(latency);
+                                self.delivered_measured += 1;
+                            }
+                            Sink::Buffer(b) => b.ops.push(StatOp::EjectTail { latency }),
+                        }
+                    } else {
+                        match sink {
+                            Sink::Direct => self.stats.flits_delivered += 1,
+                            Sink::Buffer(b) => b.ops.push(StatOp::EjectFlit),
+                        }
                     }
                 }
             }
             Dest::Into(w, wp, penalty, link_pj, wireless) => {
                 f.ready_at = self.now + 1 + self.cfg.router_delay + penalty;
+                let ready = f.ready_at;
                 if measured {
                     if wireless {
-                        self.stats.energy.wireless_pj += link_pj;
-                        self.stats.wireless_flit_hops += 1;
-                    } else {
-                        self.stats.energy.wire_pj += link_pj;
-                        self.stats.wire_flit_hops += 1;
-                        if route.down_vc > 0 {
-                            self.stats.adaptive_flit_hops += 1;
+                        match sink {
+                            Sink::Direct => {
+                                self.stats.energy.wireless_pj += link_pj;
+                                self.stats.wireless_flit_hops += 1;
+                            }
+                            Sink::Buffer(b) => b.ops.push(StatOp::WirelessHop { pj: link_pj }),
                         }
-                        self.link_flits[v.index() * self.topo.len() + w.index()] += 1;
+                    } else {
+                        let link = self.ports.flat_index(v, o) as u32;
+                        match sink {
+                            Sink::Direct => {
+                                self.stats.energy.wire_pj += link_pj;
+                                self.stats.wire_flit_hops += 1;
+                                if route.down_vc > 0 {
+                                    self.stats.adaptive_flit_hops += 1;
+                                }
+                                self.link_flits[link as usize] += 1;
+                            }
+                            Sink::Buffer(b) => b.ops.push(StatOp::WireHop {
+                                pj: link_pj,
+                                adaptive: route.down_vc > 0,
+                                link,
+                            }),
+                        }
                     }
                 }
                 if wireless {
@@ -1293,9 +1930,19 @@ impl<'a> NetworkSim<'a> {
                 let wslot = self.fabric.slot(w, wp, route.down_vc);
                 self.fabric.push_back(wslot, f);
                 self.buffered[w.index()] += 1;
-                if !self.active[w.index()] {
-                    self.active[w.index()] = true;
-                    self.pending.push(w.index() as u32);
+                if self.wake[w.index()] > ready {
+                    self.wake[w.index()] = ready;
+                }
+                match sink {
+                    Sink::Direct => {
+                        if !self.active[w.index()] {
+                            self.active[w.index()] = true;
+                            self.pending.push(w.index() as u32);
+                        }
+                    }
+                    // Enrollment replays after the wave with the `active`
+                    // check done then, so each switch enrolls at most once.
+                    Sink::Buffer(b) => b.ops.push(StatOp::Enroll(w.index() as u32)),
                 }
             }
         }
@@ -1304,14 +1951,17 @@ impl<'a> NetworkSim<'a> {
         // Wormhole bookkeeping.
         let oslot = sb + o * vcs + route.down_vc;
         if f.kind.is_tail() {
-            self.fabric.in_route[slot] = None;
-            self.fabric.out_owner[oslot] = None;
+            self.fabric.set_in_route(slot, None);
+            self.fabric.set_out_owner(oslot, None);
         } else if is_new_packet {
-            self.fabric.in_route[slot] = Some(route);
-            self.fabric.out_owner[oslot] = Some(Owner {
-                in_port: p,
-                in_vc: vc,
-            });
+            self.fabric.set_in_route(slot, Some(route));
+            self.fabric.set_out_owner(
+                oslot,
+                Some(Owner {
+                    in_port: p,
+                    in_vc: vc,
+                }),
+            );
         }
         true
     }

@@ -206,14 +206,23 @@ pub struct FabricState {
     head: Box<[u32]>,
     /// Flits currently queued per slot.
     len: Box<[u32]>,
+    /// `ready_at` of the front flit per slot, `u64::MAX` when empty.
+    /// Maintained on push/pop (a queued flit's `ready_at` is fixed at push
+    /// time), so the per-cycle readiness scans touch one flat array
+    /// instead of loading whole flits from the rings.
+    front_ready: Box<[u64]>,
     /// Wormhole binding per input slot (set by the head, cleared by the
-    /// tail).
-    pub in_route: Box<[Option<OutRoute>]>,
-    /// Which input VC owns each `(output port, downstream VC)` slot. The
-    /// physical port is time-multiplexed per flit between downstream VCs —
-    /// per-VC ownership is what keeps a stalled adaptive wormhole from
-    /// blocking the escape network on a shared link.
-    pub out_owner: Box<[Option<Owner>]>,
+    /// tail), packed into 4 bytes each (see [`FabricState::in_route`]) so
+    /// the per-cycle wormhole scans stay within one cache line per switch.
+    /// Layout: bit 31 = bound, bits 26–30 = down VC, bits 16–25 = out
+    /// port, bits 0–15 = wireless target node (`0xFFFF` = wired).
+    in_route: Box<[u32]>,
+    /// Which input VC owns each `(output port, downstream VC)` slot,
+    /// packed as bit 31 = owned, bits 16–30 = input port, bits 0–15 =
+    /// input VC. The physical port is time-multiplexed per flit between
+    /// downstream VCs — per-VC ownership is what keeps a stalled adaptive
+    /// wormhole from blocking the escape network on a shared link.
+    out_owner: Box<[u32]>,
     /// Round-robin pointer for new-packet arbitration, per switch.
     pub rr_next: Box<[u32]>,
     /// Fractional clock accumulator per switch (fires when ≥ 1).
@@ -262,8 +271,9 @@ impl FabricState {
             off: off.into_boxed_slice(),
             head: vec![0; slots].into_boxed_slice(),
             len: vec![0; slots].into_boxed_slice(),
-            in_route: vec![None; slots].into_boxed_slice(),
-            out_owner: vec![None; slots].into_boxed_slice(),
+            front_ready: vec![u64::MAX; slots].into_boxed_slice(),
+            in_route: vec![0; slots].into_boxed_slice(),
+            out_owner: vec![0; slots].into_boxed_slice(),
             rr_next: vec![0; switches].into_boxed_slice(),
             clock_acc: vec![0.0; switches].into_boxed_slice(),
             vcs,
@@ -332,6 +342,85 @@ impl FabricState {
         }
         self.flits[(self.off[s] + pos) as usize] = f;
         self.len[s] += 1;
+        if self.len[s] == 1 {
+            self.front_ready[s] = f.ready_at;
+        }
+    }
+
+    /// `ready_at` of the front flit in slot `s`, `u64::MAX` when empty.
+    #[inline]
+    pub fn front_ready(&self, s: usize) -> u64 {
+        self.front_ready[s]
+    }
+
+    /// The wormhole binding of input slot `s`, if any.
+    #[inline]
+    pub fn in_route(&self, s: usize) -> Option<OutRoute> {
+        let w = self.in_route[s];
+        if w & (1 << 31) == 0 {
+            return None;
+        }
+        let wt = w & 0xFFFF;
+        Some(OutRoute {
+            out_port: ((w >> 16) & 0x3FF) as usize,
+            wireless_to: (wt != 0xFFFF).then_some(NodeId(wt as usize)),
+            down_vc: ((w >> 26) & 0x1F) as usize,
+        })
+    }
+
+    /// Whether input slot `s` is mid-wormhole (cheaper than
+    /// [`FabricState::in_route`] when the route itself is not needed).
+    #[inline]
+    pub fn in_route_set(&self, s: usize) -> bool {
+        self.in_route[s] & (1 << 31) != 0
+    }
+
+    /// Binds or clears the wormhole route of input slot `s`.
+    #[inline]
+    pub fn set_in_route(&mut self, s: usize, route: Option<OutRoute>) {
+        self.in_route[s] = match route {
+            None => 0,
+            Some(r) => {
+                debug_assert!(r.out_port < (1 << 10) && r.down_vc < (1 << 5));
+                let wt = r.wireless_to.map_or(0xFFFF, |w| {
+                    debug_assert!(w.index() < 0xFFFF);
+                    w.index() as u32
+                });
+                (1 << 31) | ((r.down_vc as u32) << 26) | ((r.out_port as u32) << 16) | wt
+            }
+        };
+    }
+
+    /// Whether `(output port, downstream VC)` slot `s` is owned by a
+    /// wormhole.
+    #[inline]
+    pub fn out_owner_set(&self, s: usize) -> bool {
+        self.out_owner[s] & (1 << 31) != 0
+    }
+
+    /// The input VC owning output slot `s`, if any.
+    #[inline]
+    pub fn out_owner(&self, s: usize) -> Option<Owner> {
+        let w = self.out_owner[s];
+        if w & (1 << 31) == 0 {
+            return None;
+        }
+        Some(Owner {
+            in_port: ((w >> 16) & 0x7FFF) as usize,
+            in_vc: (w & 0xFFFF) as usize,
+        })
+    }
+
+    /// Assigns or releases ownership of output slot `s`.
+    #[inline]
+    pub fn set_out_owner(&mut self, s: usize, owner: Option<Owner>) {
+        self.out_owner[s] = match owner {
+            None => 0,
+            Some(o) => {
+                debug_assert!(o.in_port < (1 << 15) && o.in_vc < (1 << 16));
+                (1 << 31) | ((o.in_port as u32) << 16) | o.in_vc as u32
+            }
+        };
     }
 
     /// Removes and returns the oldest flit queued in slot `s`.
@@ -347,6 +436,11 @@ impl FabricState {
             self.head[s] + 1
         };
         self.len[s] -= 1;
+        self.front_ready[s] = if self.len[s] == 0 {
+            u64::MAX
+        } else {
+            self.flits[(self.off[s] + self.head[s]) as usize].ready_at
+        };
         Some(f)
     }
 
@@ -367,8 +461,9 @@ impl FabricState {
     pub fn reset(&mut self) {
         self.head.fill(0);
         self.len.fill(0);
-        self.in_route.fill(None);
-        self.out_owner.fill(None);
+        self.front_ready.fill(u64::MAX);
+        self.in_route.fill(0);
+        self.out_owner.fill(0);
         self.rr_next.fill(0);
         self.clock_acc.fill(0.0);
     }

@@ -328,6 +328,11 @@ pub struct Injector {
     /// Cumulative destination weights, one stride of `n` per source
     /// (`cumulative[s * n..(s + 1) * n]`).
     cumulative: Vec<f64>,
+    /// Sources with a positive rate, ascending. A zero-rate source never
+    /// consumes an RNG draw (see [`Injector::sample`]), so a per-cycle scan
+    /// over this list produces the identical draw stream as scanning all
+    /// `n` sources — sparse matrices skip the dead rows entirely.
+    nonzero: Vec<u32>,
 }
 
 impl Injector {
@@ -336,9 +341,13 @@ impl Injector {
         let n = matrix.len();
         let mut row_rate = Vec::with_capacity(n);
         let mut cumulative = Vec::with_capacity(n * n);
+        let mut nonzero = Vec::new();
         for s in 0..n {
             let total = matrix.row_rate(NodeId(s));
             row_rate.push(total.min(1.0));
+            if total > 0.0 {
+                nonzero.push(s as u32);
+            }
             let mut acc = 0.0;
             for d in 0..n {
                 acc += matrix.rate(NodeId(s), NodeId(d));
@@ -349,7 +358,13 @@ impl Injector {
             n,
             row_rate,
             cumulative,
+            nonzero,
         }
+    }
+
+    /// The sources with a positive injection rate, in ascending order.
+    pub fn nonzero_sources(&self) -> &[u32] {
+        &self.nonzero
     }
 
     /// Samples this cycle's destination for `src`, or `None` when the source

@@ -346,6 +346,24 @@ fn golden_network_stats_digests() {
 }
 
 #[test]
+fn parallel_sweep_preserves_every_golden_digest() {
+    // The sharded worker sweep is pinned by the same table as the serial
+    // walk: at 4 threads every scenario — meshes, small worlds, the WiNoC,
+    // VFI clocks, adaptive VCs, the drain-limited window — must reproduce
+    // its digest bit for bit.
+    for mut s in scenarios() {
+        s.sim.set_threads(4);
+        let stats = s.sim.run(&s.traffic, s.warmup, s.measure, s.drain);
+        let got = stats.digest().to_hex();
+        assert_eq!(
+            got, s.expected,
+            "{}: digest drifted with threads = 4",
+            s.name
+        );
+    }
+}
+
+#[test]
 fn golden_digests_are_rerun_stable() {
     // The digest itself must be a pure function of the run: re-running the
     // same scenario on the same simulator instance reproduces it.

@@ -1,0 +1,165 @@
+//! Cross-thread determinism suite: the parallel switch sweep must produce
+//! **byte-identical** [`NetworkStats`] for every thread count, across
+//! topology families and load regimes. Together with the golden digests
+//! this pins the wavefront/replay engine to the serial semantics.
+
+use mapwave_noc::energy::EnergyModel;
+use mapwave_noc::node::{grid_positions, NodeId};
+use mapwave_noc::routing::RoutingTable;
+use mapwave_noc::sim::{NetworkSim, SimConfig};
+use mapwave_noc::stats::NetworkStats;
+use mapwave_noc::topology::mesh::mesh;
+use mapwave_noc::topology::small_world::SmallWorldBuilder;
+use mapwave_noc::topology::wireless::{ChannelId, WirelessInterface, WirelessOverlay};
+use mapwave_noc::topology::Topology;
+use mapwave_noc::traffic::TrafficMatrix;
+
+const THREADS: [usize; 4] = [1, 2, 4, 7];
+
+/// Byte-level equality: every float compared by bit pattern.
+fn assert_identical(a: &NetworkStats, b: &NetworkStats, what: &str) {
+    assert_eq!(format!("{a:?}"), format!("{b:?}"), "{what}");
+    assert_eq!(
+        a.energy.wire_pj.to_bits(),
+        b.energy.wire_pj.to_bits(),
+        "{what}: wire energy bits"
+    );
+    assert_eq!(
+        a.energy.wireless_pj.to_bits(),
+        b.energy.wireless_pj.to_bits(),
+        "{what}: wireless energy bits"
+    );
+    assert_eq!(
+        a.energy.switch_pj.to_bits(),
+        b.energy.switch_pj.to_bits(),
+        "{what}: switch energy bits"
+    );
+}
+
+fn run_at(
+    build: &dyn Fn() -> (Topology, WirelessOverlay, RoutingTable),
+    threads: usize,
+    adaptive: bool,
+    traffic: &TrafficMatrix,
+) -> NetworkStats {
+    let (topo, overlay, table) = build();
+    let cfg = SimConfig {
+        threads,
+        vcs: if adaptive { 2 } else { 1 },
+        adaptive,
+        ..SimConfig::default()
+    };
+    let mut sim = NetworkSim::new(topo, overlay, table, EnergyModel::default_65nm(), cfg).unwrap();
+    sim.run(traffic, 200, 1500, 20_000).clone()
+}
+
+fn check_all_threads(
+    name: &str,
+    build: &dyn Fn() -> (Topology, WirelessOverlay, RoutingTable),
+    adaptive: bool,
+    n: usize,
+) {
+    for rate in [0.02, 0.30] {
+        let traffic = TrafficMatrix::uniform(n, rate);
+        let baseline = run_at(build, 1, adaptive, &traffic);
+        assert!(
+            baseline.packets_delivered > 0,
+            "{name}: no traffic at {rate}"
+        );
+        for threads in &THREADS[1..] {
+            let stats = run_at(build, *threads, adaptive, &traffic);
+            assert_identical(
+                &baseline,
+                &stats,
+                &format!("{name} rate {rate} threads {threads}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn mesh_is_thread_invariant() {
+    check_all_threads(
+        "mesh 8x8",
+        &|| {
+            (
+                mesh(8, 8, 2.5),
+                WirelessOverlay::none(),
+                RoutingTable::xy(8, 8),
+            )
+        },
+        false,
+        64,
+    );
+}
+
+#[test]
+fn adaptive_mesh_is_thread_invariant() {
+    check_all_threads(
+        "adaptive mesh 6x6",
+        &|| {
+            (
+                mesh(6, 6, 2.5),
+                WirelessOverlay::none(),
+                RoutingTable::xy(6, 6),
+            )
+        },
+        true,
+        36,
+    );
+}
+
+#[test]
+fn small_world_is_thread_invariant() {
+    check_all_threads(
+        "small-world 36",
+        &|| {
+            let clusters = (0..36).map(|i| (i % 6) / 3 + 2 * ((i / 6) / 3)).collect();
+            let topo = SmallWorldBuilder::new(grid_positions(6, 6, 2.5), clusters)
+                .alpha(1.8)
+                .seed(7)
+                .build()
+                .expect("builds");
+            let table = RoutingTable::up_down(&topo, &WirelessOverlay::none()).unwrap();
+            (topo, WirelessOverlay::none(), table)
+        },
+        false,
+        36,
+    );
+}
+
+#[test]
+fn winoc_is_thread_invariant() {
+    check_all_threads(
+        "WiNoC 6x6",
+        &|| {
+            let topo = mesh(6, 6, 2.5);
+            let overlay = WirelessOverlay::new(
+                vec![
+                    WirelessInterface {
+                        node: NodeId(0),
+                        channel: ChannelId(0),
+                    },
+                    WirelessInterface {
+                        node: NodeId(35),
+                        channel: ChannelId(0),
+                    },
+                    WirelessInterface {
+                        node: NodeId(5),
+                        channel: ChannelId(1),
+                    },
+                    WirelessInterface {
+                        node: NodeId(30),
+                        channel: ChannelId(1),
+                    },
+                ],
+                2,
+            )
+            .unwrap();
+            let table = RoutingTable::up_down(&topo, &overlay).unwrap();
+            (topo, overlay, table)
+        },
+        false,
+        36,
+    );
+}

@@ -5,8 +5,9 @@
 //! mapwave-sweep run    --store DIR [--preset small|paper] [--scales S,..]
 //!                      [--apps A,..] [--variants V,..] [--rates R,..]
 //!                      [--workload-seeds N,..] [--fault-seed N]
-//!                      [--jobs J] [--limit N] [--max-attempts N]
-//!                      [--backoff-ms N] [--fail-rate R --fail-seed N]
+//!                      [--jobs J] [--sim-threads N] [--limit N]
+//!                      [--max-attempts N] [--backoff-ms N]
+//!                      [--fail-rate R --fail-seed N]
 //! mapwave-sweep resume --store DIR [--jobs J] [--limit N] ...
 //! mapwave-sweep status --store DIR
 //! mapwave-sweep query  --store DIR [--metric M] [--app A] [--variant V]
@@ -37,6 +38,7 @@ struct Args {
     rates: Vec<f64>,
     fault_seed: u64,
     jobs: usize,
+    sim_threads: usize,
     limit: Option<usize>,
     max_attempts: u32,
     backoff_ms: u64,
@@ -60,6 +62,7 @@ fn parse_args() -> Result<Args, String> {
         rates: smoke.fault_rates,
         fault_seed: smoke.fault_seed,
         jobs: mapwave_harness::jobs::available_parallelism(),
+        sim_threads: 1,
         limit: None,
         max_attempts: 3,
         backoff_ms: 10,
@@ -106,6 +109,12 @@ fn parse_args() -> Result<Args, String> {
                 args.jobs = parse_num(&value("--jobs", &mut it)?)?;
                 if args.jobs == 0 {
                     return Err("--jobs needs at least one worker".into());
+                }
+            }
+            "--sim-threads" => {
+                args.sim_threads = parse_num(&value("--sim-threads", &mut it)?)?;
+                if args.sim_threads == 0 {
+                    return Err("--sim-threads needs at least one thread".into());
                 }
             }
             "--limit" => args.limit = Some(parse_num(&value("--limit", &mut it)?)?),
@@ -161,6 +170,7 @@ fn engine_options(args: &Args) -> EngineOptions {
             CellFailureModel::none()
         },
         commit_limit: args.limit,
+        sim_threads: args.sim_threads,
     }
 }
 
@@ -231,8 +241,9 @@ mapwave-sweep — persistent design-space sweeps over the mapwave evaluation
   mapwave-sweep run    --store DIR [--preset small|paper] [--scales S,..]
                        [--apps A,..] [--variants V,..] [--rates R,..]
                        [--workload-seeds N,..] [--fault-seed N]
-                       [--jobs J] [--limit N] [--max-attempts N]
-                       [--backoff-ms N] [--fail-rate R --fail-seed N]
+                       [--jobs J] [--sim-threads N] [--limit N]
+                       [--max-attempts N] [--backoff-ms N]
+                       [--fail-rate R --fail-seed N]
   mapwave-sweep resume --store DIR [--jobs J] [--limit N] ...
   mapwave-sweep status --store DIR
   mapwave-sweep query  --store DIR [--metric M] [--app A] [--variant V]

@@ -52,6 +52,12 @@ pub struct EngineOptions {
     /// Stop after committing this many cells (simulates a kill for resume
     /// tests and the CI smoke job). `None` runs to completion.
     pub commit_limit: Option<usize>,
+    /// NoC worker threads *inside* each cell's system simulation
+    /// (`PlatformConfig::sim_threads`). A wall-clock knob only — results
+    /// and cell keys are identical for every value — so prefer raising
+    /// [`EngineOptions::jobs`] first; this helps when a sweep has fewer
+    /// pending cells than cores.
+    pub sim_threads: usize,
 }
 
 impl Default for EngineOptions {
@@ -62,6 +68,7 @@ impl Default for EngineOptions {
             backoff_base_ms: 10,
             exec_faults: CellFailureModel::none(),
             commit_limit: None,
+            sim_threads: 1,
         }
     }
 }
@@ -255,7 +262,7 @@ fn execute_cell(cell: &SweepCell, opts: &EngineOptions) -> CellOutcome {
         let outcome = if injected_failure {
             None
         } else {
-            attempt_cell(cell)
+            attempt_cell(cell, opts)
         };
         match outcome {
             Some(record) => {
@@ -275,8 +282,9 @@ fn execute_cell(cell: &SweepCell, opts: &EngineOptions) -> CellOutcome {
 }
 
 /// One attempt at a cell; `None` means the attempt failed organically.
-fn attempt_cell(cell: &SweepCell) -> Option<CellRecord> {
-    let flow = DesignFlow::new(cell.config()).ok()?;
+fn attempt_cell(cell: &SweepCell, opts: &EngineOptions) -> Option<CellRecord> {
+    let cfg = cell.config().with_sim_threads(opts.sim_threads.max(1));
+    let flow = DesignFlow::new(cfg).ok()?;
     let design = design_cached(&flow, cell.app);
     let coords = CellCoords {
         label: cell.label(),

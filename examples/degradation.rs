@@ -19,10 +19,12 @@ use mapwave::prelude::*;
 use mapwave::survivability::{fault_sweep, FaultSweepConfig};
 use mapwave_repro::cli;
 
-const USAGE: &str = "cargo run --release --example degradation [scale] [fault_seed] | -- --smoke";
+const USAGE: &str =
+    "cargo run --release --example degradation [scale] [fault_seed] [--sim-threads N] | -- --smoke";
 
 fn main() -> Result<(), String> {
-    let smoke = std::env::args().nth(1).as_deref() == Some("--smoke");
+    let smoke = cli::positional(1).as_deref() == Some("--smoke");
+    let threads = cli::sim_threads(USAGE)?;
 
     let (cfg, sweep) = if smoke {
         cli::expect_no_args_past(1, USAGE)?;
@@ -37,6 +39,7 @@ fn main() -> Result<(), String> {
         cli::expect_no_args_past(2, USAGE)?;
         (PlatformConfig::paper().with_scale(scale), sweep)
     };
+    let cfg = cfg.with_sim_threads(threads);
 
     eprintln!(
         "sweeping {} app(s) x {} fault rates (seed {:#x})...",

@@ -14,7 +14,7 @@ use mapwave::prelude::*;
 use mapwave_phoenix::apps::App;
 use mapwave_repro::cli;
 
-const USAGE: &str = "cargo run --release --example design_space [scale] [app]";
+const USAGE: &str = "cargo run --release --example design_space [scale] [app] [--sim-threads N]";
 
 fn parse_app(name: &str) -> Option<App> {
     App::ALL
@@ -25,12 +25,15 @@ fn parse_app(name: &str) -> Option<App> {
 fn main() -> Result<(), String> {
     let scale: f64 = cli::parsed_arg_or(1, 0.02, "scale", USAGE)?;
     let app = cli::arg_or(2, App::WordCount, "app name", USAGE, parse_app)?;
+    let threads = cli::sim_threads(USAGE)?;
     cli::expect_no_args_past(2, USAGE)?;
 
     println!("== design space for {app} at scale {scale} ==\n");
 
     // Baselines shared by every variant.
-    let base_cfg = PlatformConfig::paper().with_scale(scale);
+    let base_cfg = PlatformConfig::paper()
+        .with_scale(scale)
+        .with_sim_threads(threads);
     let flow = DesignFlow::new(base_cfg.clone())?;
     let design = flow.design(app);
     let nvfi = run_system(&flow.nvfi_spec(), &design.workload, &base_cfg, flow.power());

@@ -10,12 +10,15 @@ use mapwave::prelude::*;
 use mapwave_phoenix::apps::App;
 use mapwave_repro::cli;
 
-const USAGE: &str = "cargo run --release --example diagnose -- [scale]";
+const USAGE: &str = "cargo run --release --example diagnose -- [scale] [--sim-threads N]";
 
 fn main() -> Result<(), String> {
     let scale: f64 = cli::parsed_arg_or(1, 0.02, "scale", USAGE)?;
+    let threads = cli::sim_threads(USAGE)?;
     cli::expect_no_args_past(1, USAGE)?;
-    let cfg = PlatformConfig::paper().with_scale(scale);
+    let cfg = PlatformConfig::paper()
+        .with_scale(scale)
+        .with_sim_threads(threads);
     let flow = DesignFlow::new(cfg.clone())?;
 
     for app in App::ALL {

@@ -13,14 +13,17 @@ use mapwave::prelude::*;
 use mapwave::report;
 use mapwave_repro::cli;
 
-const USAGE: &str = "cargo run --release --example quickstart [scale]";
+const USAGE: &str = "cargo run --release --example quickstart [scale] [--sim-threads N]";
 
 fn main() -> Result<(), String> {
     let scale: f64 = cli::parsed_arg_or(1, 0.02, "scale", USAGE)?;
+    let threads = cli::sim_threads(USAGE)?;
     cli::expect_no_args_past(1, USAGE)?;
 
     eprintln!("designing all six applications at scale {scale} (64 cores)...");
-    let cfg = PlatformConfig::paper().with_scale(scale);
+    let cfg = PlatformConfig::paper()
+        .with_scale(scale)
+        .with_sim_threads(threads);
     let ctx = ExperimentContext::new(cfg)?;
     println!("{}", report::full_report(&ctx));
     Ok(())

@@ -16,9 +16,10 @@ use mapwave_noc::sim::SimConfig;
 use mapwave_noc::topology::mesh::mesh;
 use mapwave_repro::cli;
 
-const USAGE: &str = "cargo run --release --example saturation";
+const USAGE: &str = "cargo run --release --example saturation [--sim-threads N]";
 
 fn main() -> Result<(), String> {
+    let threads = cli::sim_threads(USAGE)?;
     cli::expect_no_args_past(0, USAGE)?;
     let clusters: Vec<usize> = (0..64).map(|i| (i % 8) / 4 + 2 * ((i / 8) / 4)).collect();
     let topo = SmallWorldBuilder::new(grid_positions(8, 8, 2.5), clusters)
@@ -49,10 +50,14 @@ fn main() -> Result<(), String> {
     let overlay = WirelessOverlay::new(wis, 3).unwrap();
     let wtable = RoutingTable::up_down_weighted(&topo, &overlay, 1).unwrap();
 
+    let base_cfg = SimConfig {
+        threads,
+        ..SimConfig::default()
+    };
     let adaptive_cfg = SimConfig {
         vcs: 2,
         adaptive: true,
-        ..SimConfig::default()
+        ..base_cfg.clone()
     };
 
     println!(
@@ -66,7 +71,7 @@ fn main() -> Result<(), String> {
             WirelessOverlay::none(),
             RoutingTable::xy(8, 8),
             EnergyModel::default_65nm(),
-            SimConfig::default(),
+            base_cfg.clone(),
         )
         .unwrap();
         let ms = msim.run(&tm, 1000, 5000, 50_000);
@@ -75,7 +80,7 @@ fn main() -> Result<(), String> {
             overlay.clone(),
             wtable.clone(),
             EnergyModel::default_65nm(),
-            SimConfig::default(),
+            base_cfg.clone(),
         )
         .unwrap();
         let ws = wsim.run(&tm, 1000, 5000, 50_000);

@@ -43,12 +43,15 @@ fn paper_overlay() -> WirelessOverlay {
     WirelessOverlay::new(wis, 3).expect("valid overlay")
 }
 
-const USAGE: &str = "cargo run --release --example topology_explorer [dot]";
+const USAGE: &str = "cargo run --release --example topology_explorer [dot] [--sim-threads N]";
 
 fn main() -> Result<(), String> {
     let dump_dot = cli::arg_or(1, false, "mode (expected `dot`)", USAGE, |raw| {
         (raw == "dot").then_some(true)
     })?;
+    // Accepted for interface uniformity; this example analyses topologies
+    // as graphs and runs no NoC simulation.
+    cli::sim_threads(USAGE)?;
     cli::expect_no_args_past(1, USAGE)?;
 
     let m = mesh(8, 8, 2.5);

@@ -31,14 +31,68 @@ pub use mapwave_sweep;
 pub use mapwave_vfi;
 
 pub mod cli {
-    //! Strict positional-argument parsing shared by the repository
-    //! examples.
+    //! Strict argument parsing shared by the repository examples.
     //!
     //! A missing argument falls back to its default; a *present but
     //! malformed* argument is a hard error carrying the example's usage
     //! line. (Several examples used to `parse().ok()` and silently run
     //! the default configuration on a typo — an easy way to benchmark
     //! the wrong experiment.)
+    //!
+    //! Besides positional arguments, every example accepts one flag:
+    //! `--sim-threads N` (or `--sim-threads=N`), the NoC worker-thread
+    //! count. The flag may appear anywhere on the command line — it is
+    //! stripped before positional indexing — defaults to 1, and is a
+    //! wall-clock knob only: results are bit-identical for every value.
+    //! A duplicate flag, a missing value, or a value that is not a
+    //! positive integer is a hard error.
+
+    /// The command line split into `--sim-threads` occurrences (each
+    /// occurrence's raw value, `None` when the flag is last with no
+    /// value) and the remaining positional arguments, in order.
+    fn split() -> (Vec<Option<String>>, Vec<String>) {
+        let mut flags = Vec::new();
+        let mut positional = Vec::new();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            if arg == "--sim-threads" {
+                flags.push(args.next());
+            } else if let Some(value) = arg.strip_prefix("--sim-threads=") {
+                flags.push(Some(value.to_string()));
+            } else {
+                positional.push(arg);
+            }
+        }
+        (flags, positional)
+    }
+
+    /// The `--sim-threads` worker-thread count: 1 when the flag is
+    /// absent, otherwise its value.
+    ///
+    /// # Errors
+    ///
+    /// A duplicate flag, a flag with no value, and a value that is not
+    /// an integer ≥ 1 all fail with a message echoing `usage`.
+    pub fn sim_threads(usage: &str) -> Result<usize, String> {
+        let (flags, _) = split();
+        match flags.as_slice() {
+            [] => Ok(1),
+            [Some(raw)] => match raw.parse::<usize>() {
+                Ok(n) if n >= 1 => Ok(n),
+                _ => Err(format!(
+                    "invalid --sim-threads value {raw:?} (want an integer >= 1)\nusage: {usage}"
+                )),
+            },
+            [None] => Err(format!("--sim-threads needs a value\nusage: {usage}")),
+            _ => Err(format!("duplicate --sim-threads flag\nusage: {usage}")),
+        }
+    }
+
+    /// Positional argument `pos` (1-based, after the binary name, with
+    /// the `--sim-threads` flag stripped), if present.
+    pub fn positional(pos: usize) -> Option<String> {
+        split().1.into_iter().nth(pos - 1)
+    }
 
     /// Parses positional argument `pos` (1-based, after the binary name)
     /// with `parse`, falling back to `default` when the argument is
@@ -53,7 +107,7 @@ pub mod cli {
         usage: &str,
         parse: impl FnOnce(&str) -> Option<T>,
     ) -> Result<T, String> {
-        match std::env::args().nth(pos) {
+        match positional(pos) {
             None => Ok(default),
             Some(raw) => {
                 parse(&raw).ok_or_else(|| format!("invalid {what} {raw:?}\nusage: {usage}"))
@@ -71,12 +125,13 @@ pub mod cli {
         arg_or(pos, default, what, usage, |raw| raw.parse().ok())
     }
 
-    /// Fails when any argument beyond position `last` (1-based) is
-    /// present. Every example calls this after consuming its known
-    /// positions, so a misspelled or unsupported flag errors with the
-    /// usage line instead of silently running the default configuration.
+    /// Fails when any positional argument beyond position `last`
+    /// (1-based) is present. Every example calls this after consuming
+    /// its known positions, so a misspelled or unsupported flag errors
+    /// with the usage line instead of silently running the default
+    /// configuration.
     pub fn expect_no_args_past(last: usize, usage: &str) -> Result<(), String> {
-        match std::env::args().nth(last + 1) {
+        match positional(last + 1) {
             None => Ok(()),
             Some(extra) => Err(format!("unexpected argument {extra:?}\nusage: {usage}")),
         }
