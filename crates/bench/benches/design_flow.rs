@@ -5,19 +5,25 @@
 //!
 //! * `cluster_refine` — multi-start Eq.(1) clustering at n=64, reference
 //!   (full swap-cost re-evaluation) vs incremental (aggregated W table +
-//!   improving-move cache);
+//!   improving-move cache), plus n=256 and n=1024 rows comparing the flat
+//!   incremental path against the multilevel coarsen/solve/refine hierarchy;
 //! * `wi_anneal` — WI placement annealing on an 8×8 small-world fabric,
 //!   reference (routing table per candidate overlay) vs incremental
-//!   (distance-only up*/down* evaluation);
+//!   (distance-only up*/down* evaluation), plus a 16×16 row timing the
+//!   coarse-then-fine large-die schedule against the flat reference;
 //! * `run_system` — one WordCount WiNoC report on the 64-core paper
 //!   platform with the reused-simulator relaxation loop (current
 //!   implementation only; the pre-optimization median is recorded in
-//!   `BENCH_design_flow.json`).
+//!   `BENCH_design_flow.json`), plus the full 256-core report
+//!   (budgeted at ≤10× the 64-core row).
 //!
-//! Both sides of each reference/incremental pair are required to produce
-//! bit-identical results (see `crates/core/tests/equivalence.rs` and the
-//! unit tests in `clustering.rs` / `placement.rs`), so the timings compare
-//! like for like.
+//! Both sides of each reference/incremental pair at the 64-core operating
+//! points are required to produce bit-identical results (see
+//! `crates/core/tests/equivalence.rs` and the unit tests in
+//! `clustering.rs` / `placement.rs`), so those timings compare like for
+//! like. The multilevel rows at n=256/1024 and the 16×16 anneal row time
+//! deliberately different (hierarchical) algorithms against the flat path
+//! they replace at scale.
 //!
 //! Prints one line per scenario; set `MAPWAVE_BENCH_JSON=<path>` to also
 //! write the medians as JSON (used to record before/after numbers in
@@ -110,6 +116,35 @@ fn main() {
         }),
     ));
 
+    // Beyond the paper's 64 cores the flat refinement loop is the
+    // bottleneck; the multilevel path coarsens heavy talkers pairwise,
+    // solves the 64-supernode problem exactly, and polishes each level
+    // with the same incremental refine.
+    for n in [256usize, 1024] {
+        let (u, f) = lcg_instance(n, 11);
+        let prob = ClusteringProblem::new(u, f, 4).expect("valid instance");
+        let flat = median_secs(|| {
+            std::hint::black_box(prob.solve_with_starts(4, 7));
+        });
+        let multilevel = median_secs(|| {
+            std::hint::black_box(prob.solve_multilevel_with_starts(4, 7));
+        });
+        results.push((
+            match n {
+                256 => "cluster_refine_n256/flat",
+                _ => "cluster_refine_n1024/flat",
+            },
+            flat,
+        ));
+        results.push((
+            match n {
+                256 => "cluster_refine_n256/multilevel",
+                _ => "cluster_refine_n1024/multilevel",
+            },
+            multilevel,
+        ));
+    }
+
     // WI annealing on an 8×8 small-world fabric, 3 WIs per quadrant over
     // 3 channels — the paper's WiNoC configuration at 64 cores.
     let clusters: Vec<usize> = (0..64).map(|i| (i % 8) / 4 + 2 * ((i / 8) / 4)).collect();
@@ -131,6 +166,39 @@ fn main() {
         "wi_anneal_64/incremental",
         median_secs(|| {
             std::hint::black_box(anneal_wi_placement(&topo, &traffic, 8, 8, 3, 3, 7));
+        }),
+    ));
+
+    // The same anneal on the 16×16 fabric with the scaled wireless budget
+    // (6 WIs per quadrant over 6 channels): flat reference vs the
+    // coarse-then-fine schedule with in-place relocate/undo moves.
+    let clusters256: Vec<usize> = (0..256)
+        .map(|i| (i % 16) / 8 + 2 * ((i / 16) / 8))
+        .collect();
+    let topo256 = SmallWorldBuilder::new(grid_positions(16, 16, 2.5), clusters256)
+        .alpha(1.5)
+        .seed(5)
+        .build()
+        .expect("builds");
+    let traffic256 = lcg_traffic(256, 11);
+    results.push((
+        "wi_anneal_256/reference",
+        median_secs(|| {
+            std::hint::black_box(anneal_wi_placement_reference(
+                &topo256,
+                &traffic256,
+                16,
+                16,
+                6,
+                6,
+                7,
+            ));
+        }),
+    ));
+    results.push((
+        "wi_anneal_256/hierarchical",
+        median_secs(|| {
+            std::hint::black_box(anneal_wi_placement(&topo256, &traffic256, 16, 16, 6, 6, 7));
         }),
     ));
 
@@ -157,6 +225,19 @@ fn main() {
         "run_system_paper/threads4",
         median_secs(|| {
             std::hint::black_box(run_system(&spec, &d.workload, &cfg4, flow.power()));
+        }),
+    ));
+
+    // The full 256-core report on the generated 16×16 fabric — budgeted at
+    // ≤10× the 64-core `run_system_paper/report` row.
+    let cfg_l = PlatformConfig::large().with_scale(0.002);
+    let flow_l = DesignFlow::new(cfg_l.clone()).expect("valid platform");
+    let d_l = flow_l.design(App::WordCount);
+    let spec_l = flow_l.winoc_spec(&d_l, PlacementStrategy::MinHopCount);
+    results.push((
+        "run_system_large/report",
+        median_secs(|| {
+            std::hint::black_box(run_system(&spec_l, &d_l.workload, &cfg_l, flow_l.power()));
         }),
     ));
 

@@ -1,10 +1,13 @@
 //! Simulated-cycles/sec micro-benches of the NoC cycle loop itself.
 //!
-//! Three fabrics (mesh, small world, WiNoC) × two operating points (low
-//! injection, saturation) time full `NetworkSim::run` windows and report
-//! throughput in simulated cycles per wall-clock second — the figure of
-//! merit for the active-set scheduler, which aims to make cycle cost
-//! proportional to in-flight flits rather than topology size.
+//! Three 64-core fabrics (mesh, small world, WiNoC) × two operating points
+//! (low injection, saturation) time full `NetworkSim::run` windows and
+//! report throughput in simulated cycles per wall-clock second — the figure
+//! of merit for the active-set scheduler, which aims to make cycle cost
+//! proportional to in-flight flits rather than topology size. Parametric
+//! 256-core (16×16) and 1024-core (32×32) rows cover the generated large
+//! fabrics; their saturation rates drop with the mesh bisection bandwidth
+//! per node.
 //!
 //! Prints one line per scenario; set `MAPWAVE_BENCH_JSON=<path>` to also
 //! write the results as JSON (used to record before/after numbers in
@@ -20,6 +23,47 @@ use std::time::Instant;
 const WARMUP: u64 = 500;
 const MEASURE: u64 = 5_000;
 const DRAIN: u64 = 20_000;
+
+/// Quadrant labels for an even `cols`×`rows` die (the VFI cluster shape the
+/// design flow feeds the small-world builder).
+fn quadrant_clusters(cols: usize, rows: usize) -> Vec<usize> {
+    (0..cols * rows)
+        .map(|i| (i % cols) / (cols / 2) + 2 * ((i / cols) / (rows / 2)))
+        .collect()
+}
+
+/// A generated WiNoC at an arbitrary even die size: small-world wireline,
+/// `wis_per_cluster` WIs spaced on a stride-2 grid inside each quadrant,
+/// channels assigned round-robin so every channel spans all four quadrants.
+fn winoc_parametric(
+    cols: usize,
+    rows: usize,
+    wis_per_cluster: usize,
+    channels: usize,
+) -> (mapwave_noc::Topology, WirelessOverlay, RoutingTable) {
+    let topo = SmallWorldBuilder::new(
+        grid_positions(cols, rows, 2.5),
+        quadrant_clusters(cols, rows),
+    )
+    .alpha(1.5)
+    .seed(0xDAC_2015)
+    .build()
+    .expect("builds");
+    let mut wis = Vec::with_capacity(4 * wis_per_cluster);
+    for q in 0..4 {
+        for k in 0..wis_per_cluster {
+            let col = cols / 2 * (q % 2) + 2 + 2 * (k % 3);
+            let row = rows / 2 * (q / 2) + 2 + 2 * (k / 3);
+            wis.push(WirelessInterface {
+                node: NodeId(row * cols + col),
+                channel: ChannelId(k % channels),
+            });
+        }
+    }
+    let overlay = WirelessOverlay::new(wis, channels).expect("valid overlay");
+    let table = RoutingTable::up_down_weighted(&topo, &overlay, 1).expect("routable");
+    (topo, overlay, table)
+}
 
 fn winoc() -> (mapwave_noc::Topology, WirelessOverlay, RoutingTable) {
     let clusters: Vec<usize> = (0..64).map(|i| (i % 8) / 4 + 2 * ((i / 8) / 4)).collect();
@@ -90,6 +134,7 @@ fn main() {
     let scenarios: Vec<(&str, NetworkSim, f64)> = {
         let (sw_topo, sw_overlay, sw_table) = small_world();
         let (wi_topo, wi_overlay, wi_table) = winoc();
+        let (wi256_topo, wi256_overlay, wi256_table) = winoc_parametric(16, 16, 6, 6);
         vec![
             (
                 "noc_step_mesh",
@@ -126,6 +171,42 @@ fn main() {
                 )
                 .expect("valid"),
                 0.06,
+            ),
+            (
+                "noc_step_mesh_256",
+                NetworkSim::new(
+                    mesh(16, 16, 2.5),
+                    WirelessOverlay::none(),
+                    RoutingTable::xy(16, 16),
+                    EnergyModel::default_65nm(),
+                    SimConfig::default(),
+                )
+                .expect("valid"),
+                0.15,
+            ),
+            (
+                "noc_step_mesh_1024",
+                NetworkSim::new(
+                    mesh(32, 32, 2.5),
+                    WirelessOverlay::none(),
+                    RoutingTable::xy(32, 32),
+                    EnergyModel::default_65nm(),
+                    SimConfig::default(),
+                )
+                .expect("valid"),
+                0.06,
+            ),
+            (
+                "noc_step_wireless_256",
+                NetworkSim::new(
+                    wi256_topo,
+                    wi256_overlay,
+                    wi256_table,
+                    EnergyModel::default_65nm(),
+                    SimConfig::default(),
+                )
+                .expect("valid"),
+                0.03,
             ),
         ]
     };

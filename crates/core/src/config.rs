@@ -129,9 +129,61 @@ impl PlatformConfig {
         }
     }
 
+    /// A 256-core configuration: 16×16 die in four 8×8 VFIs, with the WI
+    /// count scaled to the die (6 per cluster, 6 channels — the wireless
+    /// budget grows linearly with the die edge, see
+    /// [`PlatformConfig::wi_channels`]).
+    pub fn large() -> Self {
+        PlatformConfig {
+            cols: 16,
+            rows: 16,
+            wis_per_cluster: 6,
+            ..PlatformConfig::paper()
+        }
+    }
+
+    /// A 1024-core configuration: 32×32 die in four 16×16 VFIs (the
+    /// Epiphany-V scale), 12 WIs per cluster on 12 channels.
+    pub fn huge() -> Self {
+        PlatformConfig {
+            cols: 32,
+            rows: 32,
+            wis_per_cluster: 12,
+            ..PlatformConfig::paper()
+        }
+    }
+
+    /// A parametric die: `cols × rows` tiles with the WI budget scaled to
+    /// the die edge. Validation still applies — call
+    /// [`PlatformConfig::validate`] (or [`crate::design_flow::DesignFlow::new`])
+    /// to reject inconsistent dimensions with a clear error.
+    pub fn with_dims(mut self, cols: usize, rows: usize) -> Self {
+        self.cols = cols;
+        self.rows = rows;
+        self.wis_per_cluster = 3 * Self::die_scale(cols, rows);
+        self
+    }
+
     /// Number of cores.
     pub fn cores(&self) -> usize {
         self.cols * self.rows
+    }
+
+    /// The die-edge scale factor relative to the paper's 8×8 platform
+    /// (≥ 1; the 4×4 test die shares the paper's wireless budget).
+    fn die_scale(cols: usize, rows: usize) -> usize {
+        (cols.max(rows) / 8).max(1)
+    }
+
+    /// Number of non-overlapping wireless channels for this die: the
+    /// paper's 3 channels on the 8×8 die, scaled linearly with the die edge
+    /// (6 on 16×16, 12 on 32×32) and never exceeding the per-cluster WI
+    /// count. Identical to the paper's `min(3, wis_per_cluster)` on the
+    /// 8×8 and 4×4 configurations.
+    pub fn wi_channels(&self) -> usize {
+        (mapwave_noc::topology::wireless::WirelessOverlay::PAPER_CHANNELS
+            * Self::die_scale(self.cols, self.rows))
+        .min(self.wis_per_cluster)
     }
 
     /// Sets the input scale.
@@ -193,6 +245,16 @@ impl PlatformConfig {
         if self.wis_per_cluster == 0 {
             return Err("need at least one WI per cluster".into());
         }
+        let quadrant_tiles = (self.cols / 2) * (self.rows / 2);
+        if self.wis_per_cluster > quadrant_tiles {
+            return Err(format!(
+                "{} WIs per cluster exceed the {} tiles of a {}x{} quadrant",
+                self.wis_per_cluster,
+                quadrant_tiles,
+                self.cols / 2,
+                self.rows / 2
+            ));
+        }
         if self.noc_vcs == 0 {
             return Err("need at least one virtual channel".into());
         }
@@ -229,10 +291,71 @@ mod tests {
     }
 
     #[test]
+    fn large_and_huge_configs_are_valid() {
+        let large = PlatformConfig::large();
+        assert_eq!(large.validate(), Ok(()));
+        assert_eq!(large.cores(), 256);
+        assert_eq!(large.wi_channels(), 6);
+        assert_eq!(large.wis_per_cluster, 6);
+        let huge = PlatformConfig::huge();
+        assert_eq!(huge.validate(), Ok(()));
+        assert_eq!(huge.cores(), 1024);
+        assert_eq!(huge.wi_channels(), 12);
+    }
+
+    #[test]
+    fn wi_channels_match_paper_on_existing_dies() {
+        // The channel scaling must be invisible on the 8×8 and 4×4
+        // platforms: 3 channels, exactly the old min(3, wis_per_cluster).
+        assert_eq!(PlatformConfig::paper().wi_channels(), 3);
+        assert_eq!(PlatformConfig::small().wi_channels(), 3);
+    }
+
+    #[test]
+    fn with_dims_scales_wireless_budget() {
+        let c = PlatformConfig::paper().with_dims(16, 16);
+        assert_eq!(c.validate(), Ok(()));
+        assert_eq!(c, PlatformConfig::large());
+        let d = PlatformConfig::paper().with_dims(32, 32);
+        assert_eq!(d, PlatformConfig::huge());
+    }
+
+    #[test]
+    fn non_square_even_dims_validate() {
+        // A rectangular die is fine as long as quadrants exist: 12×4 = 48
+        // cores (not a power of two), quadrants of 6×2 tiles.
+        let c = PlatformConfig::paper().with_dims(12, 4);
+        assert_eq!(c.validate(), Ok(()));
+        assert_eq!(c.cores(), 48);
+    }
+
+    #[test]
     fn rejects_odd_dimensions() {
         let mut c = PlatformConfig::paper();
         c.cols = 7;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_non_square_odd_and_degenerate_dims_with_clear_errors() {
+        // Every rejection is an Err, never a panic, and names the
+        // constraint.
+        for (cols, rows) in [(5usize, 8usize), (8, 5), (9, 9), (0, 8), (8, 0), (1, 64)] {
+            let c = PlatformConfig::paper().with_dims(cols, rows);
+            let err = c.validate().expect_err(&format!("{cols}x{rows} must fail"));
+            assert!(
+                err.contains("even") || err.contains("nonzero"),
+                "{cols}x{rows}: unexpected message {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_wi_overflowing_quadrant() {
+        let mut c = PlatformConfig::small();
+        c.wis_per_cluster = 5; // 2×2 quadrant has only 4 tiles
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("quadrant"), "unexpected message {err:?}");
     }
 
     #[test]

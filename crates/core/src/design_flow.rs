@@ -151,7 +151,9 @@ impl DesignFlow {
         let problem =
             ClusteringProblem::new(profile.utilization.clone(), traffic_rows, cfg.clusters)
                 .expect("profile produces a well-formed instance");
-        let clustering = problem.solve();
+        // Bit-identical to the flat solve() for n ≤ 64; coarsen/refine
+        // hierarchy beyond that.
+        let clustering = problem.solve_multilevel();
 
         // Step 3: V/F assignment (VFI 1).
         let vfi1 = assign_initial(
@@ -261,7 +263,9 @@ impl DesignFlow {
         .build()
         .expect("validated configuration builds a connected WiNoC");
 
-        let channels = WirelessOverlay::PAPER_CHANNELS.min(cfg.wis_per_cluster);
+        // Scales with the die edge (3 on 8×8, 6 on 16×16, 12 on 32×32);
+        // identical to the paper's min(3, wis_per_cluster) on ≤ 8×8 dies.
+        let channels = cfg.wi_channels();
         let (overlay, mapping) = match strategy {
             PlacementStrategy::MinHopCount => {
                 // Minimise distance over the *actual* wireline graph, not

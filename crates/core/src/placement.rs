@@ -95,16 +95,86 @@ pub fn mapping_cost<F: Fn(NodeId, NodeId) -> f64>(
     cost
 }
 
-/// Methodology 1, step 1: greedy best-improvement within-quadrant swaps
-/// minimising the traffic-weighted tile distance.
+/// Size threshold past which [`refine_mapping_min_hop`] (and the
+/// max-wireless seeding) switch to their hierarchical paths. At or below
+/// the paper's 64 cores the flat implementations run unchanged, keeping
+/// every existing golden bit-identical.
+const HIER_LEAF: usize = 64;
+
+/// Methodology 1, step 1: greedy within-quadrant swaps minimising the
+/// traffic-weighted tile distance.
 ///
-/// The tile-distance grid and traffic rates are flattened once, and each
+/// Up to [`HIER_LEAF`] cores this is the flat best-improvement loop: the
+/// tile-distance grid and traffic rates are flattened once, and each
 /// candidate swap is scored by an O(n) directed delta over the two threads'
-/// traffic rows/columns instead of an O(n²) full-cost recomputation —
-/// same scan order and acceptance rule as
-/// [`refine_mapping_min_hop_reference`], so the refined mapping is
-/// identical (pinned by the equivalence tests).
+/// traffic rows/columns instead of an O(n²) full-cost recomputation — same
+/// scan order and acceptance rule as [`refine_mapping_min_hop_reference`],
+/// so the refined mapping is identical (pinned by the equivalence tests).
+///
+/// Beyond [`HIER_LEAF`] cores the flat loop's move count makes it
+/// quadratic-ish in practice, so the refinement goes hierarchical:
+/// cluster-level moves first (threads are coarsened into the 4-tile
+/// proximity blocks they currently occupy and whole blocks are swapped
+/// under aggregated traffic / mean block distance), then a bounded number
+/// of first-improvement core-level polish sweeps with the same O(n)
+/// directed delta. Both stages reuse the flattened scratch tables; no
+/// per-move allocation.
 pub fn refine_mapping_min_hop<F: Fn(NodeId, NodeId) -> f64>(
+    mapping: ThreadMapping,
+    clustering: &Clustering,
+    traffic: &TrafficMatrix,
+    dist: F,
+) -> ThreadMapping {
+    if mapping.len() <= HIER_LEAF {
+        refine_mapping_min_hop_flat(mapping, clustering, traffic, dist)
+    } else {
+        refine_mapping_min_hop_hier(mapping, clustering, traffic, dist)
+    }
+}
+
+/// The directed O(n) swap delta shared by the flat and hierarchical paths:
+/// cost change from swapping the tiles of threads `a` and `b`, over the
+/// flattened distance (`d`) and rate (`r`) tables.
+#[inline]
+fn directed_swap_delta(
+    tile_of: impl Fn(usize) -> usize,
+    d: &[f64],
+    r: &[f64],
+    n: usize,
+    a: usize,
+    b: usize,
+) -> f64 {
+    let (ta, tb) = (tile_of(a), tile_of(b));
+    // Swapping threads a <-> b only changes terms involving a or b:
+    // a's traffic is re-routed from tile ta to tb and vice versa.
+    let mut delta = 0.0;
+    for t in 0..n {
+        if t == a || t == b {
+            continue;
+        }
+        let tt = tile_of(t);
+        let (rat, rta) = (r[a * n + t], r[t * n + a]);
+        if rat != 0.0 {
+            delta += rat * (d[tb * n + tt] - d[ta * n + tt]);
+        }
+        if rta != 0.0 {
+            delta += rta * (d[tt * n + tb] - d[tt * n + ta]);
+        }
+        let (rbt, rtb) = (r[b * n + t], r[t * n + b]);
+        if rbt != 0.0 {
+            delta += rbt * (d[ta * n + tt] - d[tb * n + tt]);
+        }
+        if rtb != 0.0 {
+            delta += rtb * (d[tt * n + ta] - d[tt * n + tb]);
+        }
+    }
+    delta += r[a * n + b] * (d[tb * n + ta] - d[ta * n + tb]);
+    delta += r[b * n + a] * (d[ta * n + tb] - d[tb * n + ta]);
+    delta
+}
+
+/// The flat (≤ [`HIER_LEAF`]) best-improvement refinement.
+fn refine_mapping_min_hop_flat<F: Fn(NodeId, NodeId) -> f64>(
     mut mapping: ThreadMapping,
     clustering: &Clustering,
     traffic: &TrafficMatrix,
@@ -127,32 +197,7 @@ pub fn refine_mapping_min_hop<F: Fn(NodeId, NodeId) -> f64>(
     for _ in 0..max_passes {
         let mut best: Option<(usize, usize, f64)> = None;
         for &(a, b) in &pairs {
-            let (ta, tb) = (mapping.tile_of(a).index(), mapping.tile_of(b).index());
-            // Swapping threads a <-> b only changes terms involving a or b:
-            // a's traffic is re-routed from tile ta to tb and vice versa.
-            let mut delta = 0.0;
-            for t in 0..n {
-                if t == a || t == b {
-                    continue;
-                }
-                let tt = mapping.tile_of(t).index();
-                let (rat, rta) = (r[a * n + t], r[t * n + a]);
-                if rat != 0.0 {
-                    delta += rat * (d[tb * n + tt] - d[ta * n + tt]);
-                }
-                if rta != 0.0 {
-                    delta += rta * (d[tt * n + tb] - d[tt * n + ta]);
-                }
-                let (rbt, rtb) = (r[b * n + t], r[t * n + b]);
-                if rbt != 0.0 {
-                    delta += rbt * (d[ta * n + tt] - d[tb * n + tt]);
-                }
-                if rtb != 0.0 {
-                    delta += rtb * (d[tt * n + ta] - d[tt * n + tb]);
-                }
-            }
-            delta += r[a * n + b] * (d[tb * n + ta] - d[ta * n + tb]);
-            delta += r[b * n + a] * (d[ta * n + tb] - d[tb * n + ta]);
+            let delta = directed_swap_delta(|t| mapping.tile_of(t).index(), &d, &r, n, a, b);
             if delta < -1e-12 && best.is_none_or(|(_, _, dd)| delta < dd) {
                 best = Some((a, b, delta));
             }
@@ -160,6 +205,166 @@ pub fn refine_mapping_min_hop<F: Fn(NodeId, NodeId) -> f64>(
         match best {
             Some((a, b, _)) => mapping.swap_threads(a, b),
             None => break,
+        }
+    }
+    mapping
+}
+
+/// The hierarchical (> [`HIER_LEAF`]) refinement: cluster-level block
+/// swaps, then bounded core-level polish.
+fn refine_mapping_min_hop_hier<F: Fn(NodeId, NodeId) -> f64>(
+    mut mapping: ThreadMapping,
+    clustering: &Clustering,
+    traffic: &TrafficMatrix,
+    dist: F,
+) -> ThreadMapping {
+    let n = mapping.len();
+    let d: Vec<f64> = (0..n * n)
+        .map(|k| dist(NodeId(k / n), NodeId(k % n)))
+        .collect();
+    let r: Vec<f64> = (0..n * n)
+        .map(|k| traffic.rate(NodeId(k / n), NodeId(k % n)))
+        .collect();
+
+    const BLOCK: usize = 4;
+    let m = clustering.cluster_count();
+    if (0..m).all(|j| clustering.members(j).len().is_multiple_of(BLOCK)) {
+        // --- Stage 1: cluster-level moves. ---
+        //
+        // Coarsen the incoming mapping: each quadrant's tiles are grouped
+        // into proximity blocks of 4 (smallest unplaced tile anchors a
+        // block, its 3 nearest unplaced tiles join it), and the threads
+        // currently on a block form its thread group — so whatever
+        // structure the seeding put into the mapping (e.g. heavy external
+        // talkers near the WIs) survives coarsening. Best-improvement
+        // swaps then move whole groups between same-cluster blocks under
+        // the aggregated group traffic and mean inter-block distance.
+        let mut blocks: Vec<[usize; BLOCK]> = Vec::with_capacity(n / BLOCK);
+        let mut block_cluster: Vec<usize> = Vec::with_capacity(n / BLOCK);
+        for j in 0..m {
+            let mut tiles: Vec<usize> = clustering
+                .members(j)
+                .iter()
+                .map(|&t| mapping.tile_of(t).index())
+                .collect();
+            tiles.sort_unstable();
+            while !tiles.is_empty() {
+                let anchor = tiles.remove(0);
+                tiles.sort_by(|&a, &b| {
+                    d[anchor * n + a]
+                        .partial_cmp(&d[anchor * n + b])
+                        .expect("finite distance")
+                        .then(a.cmp(&b))
+                });
+                let mut block = [anchor, tiles[0], tiles[1], tiles[2]];
+                tiles.drain(0..BLOCK - 1);
+                tiles.sort_unstable();
+                block.sort_unstable();
+                blocks.push(block);
+                block_cluster.push(j);
+            }
+        }
+        let nb = blocks.len();
+
+        // Thread group of each block, aligned with the block's sorted
+        // tiles, plus aggregated group traffic and mean block distance.
+        let mut tile_to_thread = vec![0usize; n];
+        for t in 0..n {
+            tile_to_thread[mapping.tile_of(t).index()] = t;
+        }
+        let groups: Vec<[usize; BLOCK]> = blocks
+            .iter()
+            .map(|b| b.map(|tile| tile_to_thread[tile]))
+            .collect();
+        let mut group_of_thread = vec![0usize; n];
+        for (g, members) in groups.iter().enumerate() {
+            for &t in members {
+                group_of_thread[t] = g;
+            }
+        }
+        let mut gr = vec![0.0f64; nb * nb]; // directed group traffic
+        for i in 0..n {
+            let gi = group_of_thread[i];
+            for p in 0..n {
+                if i != p {
+                    gr[gi * nb + group_of_thread[p]] += r[i * n + p];
+                }
+            }
+        }
+        let mut gd = vec![0.0f64; nb * nb]; // mean inter-block distance
+        for a in 0..nb {
+            for b in 0..nb {
+                let mut sum = 0.0;
+                for &ta in &blocks[a] {
+                    for &tb in &blocks[b] {
+                        sum += d[ta * n + tb];
+                    }
+                }
+                gd[a * nb + b] = sum / (BLOCK * BLOCK) as f64;
+            }
+        }
+
+        let gpairs: Vec<(usize, usize)> = (0..nb)
+            .flat_map(|a| (a + 1..nb).map(move |b| (a, b)))
+            .filter(|&(a, b)| block_cluster[a] == block_cluster[b])
+            .collect();
+        let mut assign: Vec<usize> = (0..nb).collect(); // group -> block
+        let mut accepted = 0u64;
+        for _ in 0..2 * nb {
+            let mut best: Option<(usize, usize, f64)> = None;
+            for &(a, b) in &gpairs {
+                let delta = directed_swap_delta(|g| assign[g], &gd, &gr, nb, a, b);
+                if delta < -1e-12 && best.is_none_or(|(_, _, dd)| delta < dd) {
+                    best = Some((a, b, delta));
+                }
+            }
+            match best {
+                Some((a, b, _)) => {
+                    assign.swap(a, b);
+                    accepted += 1;
+                }
+                None => break,
+            }
+        }
+        telemetry::count("placement.block_swaps_accepted", accepted);
+
+        // Uncoarsen: group g's threads land on its assigned block's tiles,
+        // preserving the within-block tile order.
+        for (g, members) in groups.iter().enumerate() {
+            for (k, &thread) in members.iter().enumerate() {
+                let target_tile = blocks[assign[g]][k];
+                let occupant = tile_to_thread[target_tile];
+                if occupant != thread {
+                    let freed = mapping.tile_of(thread).index();
+                    mapping.swap_threads(thread, occupant);
+                    tile_to_thread[target_tile] = thread;
+                    tile_to_thread[freed] = occupant;
+                }
+            }
+        }
+    }
+
+    // --- Stage 2: core-level polish. ---
+    //
+    // Bounded first-improvement sweeps (the flat path's one-move-per-pass
+    // best-improvement schedule would rescan all pairs once per accepted
+    // move, which is exactly what does not scale).
+    let pairs: Vec<(usize, usize)> = (0..n)
+        .flat_map(|a| (a + 1..n).map(move |b| (a, b)))
+        .filter(|&(a, b)| clustering.cluster_of(a) == clustering.cluster_of(b))
+        .collect();
+    let polish_sweeps = 2;
+    for _ in 0..polish_sweeps {
+        let mut improved = false;
+        for &(a, b) in &pairs {
+            let delta = directed_swap_delta(|t| mapping.tile_of(t).index(), &d, &r, n, a, b);
+            if delta < -1e-12 {
+                mapping.swap_threads(a, b);
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
         }
     }
     mapping
@@ -248,6 +453,26 @@ pub fn refine_mapping_max_wireless(
     rows: usize,
 ) -> ThreadMapping {
     let n = mapping.len();
+    // Hierarchical treatment for dies past the paper size: the external
+    // volume of every thread is aggregated per *cluster* in one pass over
+    // the traffic matrix (`cluster_rates`-style), then summed over foreign
+    // clusters — instead of re-filtering the full row against the cluster
+    // labels once per thread. Dies ≤ HIER_LEAF keep the elementwise
+    // accumulation order of the original loop so existing goldens stay
+    // bit-identical.
+    let m = clustering.cluster_count();
+    let cluster_sums: Option<Vec<f64>> = (n > HIER_LEAF).then(|| {
+        let mut sums = vec![0.0f64; n * m]; // sums[i*m + c]
+        for i in 0..n {
+            for p in 0..n {
+                if p != i {
+                    sums[i * m + clustering.cluster_of(p)] +=
+                        traffic.rate(NodeId(i), NodeId(p)) + traffic.rate(NodeId(p), NodeId(i));
+                }
+            }
+        }
+        sums
+    });
     let mut to_tile = vec![0usize; n];
     for j in 0..clustering.cluster_count() {
         let threads = clustering.members(j);
@@ -278,10 +503,15 @@ pub fn refine_mapping_max_wireless(
         let mut ranked_threads = threads.clone();
         let mut ext = vec![0.0f64; n];
         for &i in &ranked_threads {
-            ext[i] = (0..n)
-                .filter(|&p| clustering.cluster_of(p) != j)
-                .map(|p| traffic.rate(NodeId(i), NodeId(p)) + traffic.rate(NodeId(p), NodeId(i)))
-                .sum();
+            ext[i] = match &cluster_sums {
+                Some(sums) => (0..m).filter(|&c| c != j).map(|c| sums[i * m + c]).sum(),
+                None => (0..n)
+                    .filter(|&p| clustering.cluster_of(p) != j)
+                    .map(|p| {
+                        traffic.rate(NodeId(i), NodeId(p)) + traffic.rate(NodeId(p), NodeId(i))
+                    })
+                    .sum(),
+            };
         }
         ranked_threads.sort_by(|&a, &b| {
             ext[b]
@@ -385,6 +615,17 @@ pub fn anneal_wi_placement_reference(
 /// The shared annealing schedule: both the optimized and reference entry
 /// points drive this exact loop (same RNG stream, same move proposals,
 /// same acceptance rule), differing only in how `cost` is evaluated.
+///
+/// The move loop works in place: the per-quadrant tile lists are built
+/// once, the candidate buffer is reused across steps, and each proposal is
+/// a [`WirelessOverlay::relocate`]/undo pair instead of cloning the
+/// interface list into a freshly sorted overlay — no per-move buffer
+/// allocation. On dies larger than the paper's 8×8 the schedule is
+/// hierarchical: the first half of the iteration budget proposes
+/// cluster-level moves on the even-parity tile sublattice (a 2× coarser
+/// placement grid that covers the quadrant quickly), the second half
+/// polishes at full tile resolution. Dies ≤ 8×8 keep the original
+/// single-phase schedule, bit for bit.
 fn anneal_overlay(
     cols: usize,
     rows: usize,
@@ -400,41 +641,42 @@ fn anneal_overlay(
     let mut best = overlay.clone();
     let mut best_cost = current_cost;
 
+    let quad_tiles: [Vec<NodeId>; 4] = std::array::from_fn(|q| quadrant_tiles(q, cols, rows));
+    let mut candidates: Vec<NodeId> = Vec::with_capacity(quad_tiles[0].len());
+
+    let hierarchical = cols.max(rows) > 8;
     let iterations = 120;
     let mut evaluated = 0u64;
     for step in 0..iterations {
         let temp = 0.3 * (1.0 - step as f64 / iterations as f64) + 1e-3;
         // Move: relocate one WI within its quadrant.
-        let wis: Vec<WirelessInterface> = overlay.interfaces().to_vec();
-        let pick = rng.random_range(0..wis.len());
-        let victim = wis[pick];
+        let pick = rng.random_range(0..overlay.len());
+        let victim = overlay.interfaces()[pick];
         let q = quadrant_of(victim.node, cols, rows);
-        let candidates: Vec<NodeId> = quadrant_tiles(q, cols, rows)
-            .into_iter()
-            .filter(|&t| !overlay.is_wi(t))
-            .collect();
+        let coarse = hierarchical && step < iterations / 2;
+        candidates.clear();
+        candidates.extend(quad_tiles[q].iter().copied().filter(|&t| {
+            !overlay.is_wi(t)
+                && (!coarse
+                    || (t.index() % cols).is_multiple_of(2) && (t.index() / cols).is_multiple_of(2))
+        }));
         if candidates.is_empty() {
             continue;
         }
         let target = candidates[rng.random_range(0..candidates.len())];
-        let mut new_wis = wis.clone();
-        new_wis[pick] = WirelessInterface {
-            node: target,
-            channel: victim.channel,
-        };
-        let candidate =
-            WirelessOverlay::new(new_wis, channels).expect("relocation keeps nodes distinct");
-        let c = cost(&candidate);
+        let moved = overlay.relocate(pick, target);
+        let c = cost(&overlay);
         evaluated += 1;
         let accept =
             c < current_cost || rng.random::<f64>() < (-(c - current_cost) / temp.max(1e-9)).exp();
         if accept {
-            overlay = candidate;
             current_cost = c;
             if c < best_cost {
                 best_cost = c;
-                best = overlay.clone();
+                best.clone_from(&overlay);
             }
+        } else {
+            overlay.relocate(moved, victim.node);
         }
     }
     telemetry::count("placement.sa_moves_evaluated", evaluated);
@@ -637,6 +879,81 @@ mod tests {
             let slow_tiles: Vec<usize> = (0..n).map(|t| slow.tile_of(t).index()).collect();
             assert_eq!(fast_tiles, slow_tiles, "n={n} seed={seed}");
         }
+    }
+
+    #[test]
+    fn hierarchical_min_hop_reduces_cost_on_large_die() {
+        // 16×16 = 256 cores exercises the block-swap + polish path.
+        let side = 16;
+        let n = side * side;
+        let clustering = quad_clustering(side, side);
+        let traffic = lcg_traffic(n, 21);
+        let dist = |a: NodeId, b: NodeId| {
+            let (ac, ar) = (a.index() % side, a.index() / side);
+            let (bc, br) = (b.index() % side, b.index() / side);
+            (ac.abs_diff(bc) + ar.abs_diff(br)) as f64
+        };
+        let initial = initial_mapping(&clustering, side, side);
+        let before = mapping_cost(&initial, &traffic, dist);
+        let refined = refine_mapping_min_hop(initial, &clustering, &traffic, dist);
+        let after = mapping_cost(&refined, &traffic, dist);
+        assert!(
+            after < before,
+            "hier refinement must improve: {after} >= {before}"
+        );
+        for thread in 0..n {
+            assert_eq!(
+                clustering.cluster_of(thread),
+                quadrant_of(refined.tile_of(thread), side, side),
+                "thread {thread} escaped its quadrant"
+            );
+        }
+    }
+
+    #[test]
+    fn hierarchical_min_hop_is_deterministic() {
+        let side = 16;
+        let n = side * side;
+        let clustering = quad_clustering(side, side);
+        let traffic = lcg_traffic(n, 33);
+        let dist = |a: NodeId, b: NodeId| {
+            let (ac, ar) = (a.index() % side, a.index() / side);
+            let (bc, br) = (b.index() % side, b.index() / side);
+            (ac.abs_diff(bc) + ar.abs_diff(br)) as f64
+        };
+        let initial = initial_mapping(&clustering, side, side);
+        let a = refine_mapping_min_hop(initial.clone(), &clustering, &traffic, dist);
+        let b = refine_mapping_min_hop(initial, &clustering, &traffic, dist);
+        let ta: Vec<usize> = (0..n).map(|t| a.tile_of(t).index()).collect();
+        let tb: Vec<usize> = (0..n).map(|t| b.tile_of(t).index()).collect();
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn large_die_anneal_places_scaled_overlay() {
+        // 16×16 die, 6 WIs per cluster on 6 channels: the hierarchical
+        // (coarse-then-fine) schedule must produce a valid 24-WI overlay
+        // no worse than its centre-seeded start.
+        let side = 16;
+        let clusters: Vec<usize> = (0..side * side)
+            .map(|i| quadrant_of(NodeId(i), side, side))
+            .collect();
+        let topo = SmallWorldBuilder::new(grid_positions(side, side, 2.5), clusters)
+            .seed(9)
+            .build()
+            .unwrap();
+        let mut traffic = TrafficMatrix::zeros(side * side);
+        traffic.set(NodeId(0), NodeId(255), 1.0);
+        traffic.set(NodeId(15), NodeId(240), 1.0);
+        let annealed = anneal_wi_placement(&topo, &traffic, side, side, 6, 6, 13);
+        assert_eq!(annealed.len(), 24);
+        assert_eq!(annealed.channel_count(), 6);
+        let centre = center_wis(side, side, 2.5, 6, 6);
+        let cost = |o: &WirelessOverlay| {
+            let t = RoutingTable::up_down(&topo, o).unwrap();
+            traffic.weighted_mean(|s, d| t.distance(s, d) as f64)
+        };
+        assert!(cost(&annealed) <= cost(&centre) + 1e-9);
     }
 
     #[test]

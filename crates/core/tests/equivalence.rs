@@ -89,6 +89,10 @@ fn clustering_solve_matches_pinned_goldens() {
             want_bits,
             "cost drift at n={n} seed={seed}"
         );
+        // The multilevel entry point produces no coarsening levels at
+        // n ≤ 64 and must reproduce every golden bit for bit.
+        let ml = prob.solve_multilevel();
+        assert_eq!(ml.as_slice(), want, "multilevel drift at n={n} seed={seed}");
     }
 }
 

@@ -1,0 +1,143 @@
+//! Pinned 256-core (16×16) golden for the full design flow.
+//!
+//! The hierarchical optimizer paths (multilevel clustering, block-level
+//! placement refinement, coarse-then-fine WI annealing) only engage above 64
+//! cores, so the small-die goldens in `equivalence.rs` cannot see them. This
+//! test pins the complete 256-core `run_system` outcome as a single FNV-1a
+//! digest over every observable: clustering assignment, WI placement, thread
+//! mapping, and the bit patterns of the `RunReport` floats. Any drift in a
+//! hierarchical kernel shows up as a digest change.
+//!
+//! To re-pin after an intentional change, run
+//! `cargo test --release -p mapwave --test large_die -- --ignored --nocapture`
+//! and copy the printed values.
+
+use mapwave::config::{PlacementStrategy, PlatformConfig};
+use mapwave::design_flow::DesignFlow;
+use mapwave::system::run_system;
+use mapwave_phoenix::apps::App;
+
+/// Digest pinned from the first hierarchical implementation.
+const GOLDEN_DIGEST: u64 = 3535511723987142824;
+/// Individually pinned observables so a digest mismatch is diagnosable.
+const GOLDEN_EDP_BITS: u64 = 4510606804132475074;
+const GOLDEN_EXEC_S_BITS: u64 = 4547781043763061020;
+const GOLDEN_FLITS: u64 = 19148;
+
+struct LargeDieOutcome {
+    clustering: Vec<usize>,
+    wis: Vec<(usize, usize)>,
+    mapping: Vec<usize>,
+    edp_bits: u64,
+    exec_s_bits: u64,
+    core_j_bits: u64,
+    net_j_bits: u64,
+    pkts: u64,
+    flits: u64,
+}
+
+impl LargeDieOutcome {
+    fn digest(&self) -> u64 {
+        // FNV-1a over every observable, fed as little-endian u64 words.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |word: u64| {
+            for b in word.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for &c in &self.clustering {
+            eat(c as u64);
+        }
+        for &(node, ch) in &self.wis {
+            eat(node as u64);
+            eat(ch as u64);
+        }
+        for &t in &self.mapping {
+            eat(t as u64);
+        }
+        eat(self.edp_bits);
+        eat(self.exec_s_bits);
+        eat(self.core_j_bits);
+        eat(self.net_j_bits);
+        eat(self.pkts);
+        eat(self.flits);
+        h
+    }
+}
+
+fn run_large_die() -> LargeDieOutcome {
+    let cfg = PlatformConfig::large().with_scale(0.002);
+    let flow = DesignFlow::new(cfg.clone()).unwrap();
+    let d = flow.design(App::WordCount);
+    let spec = flow.winoc_spec(&d, PlacementStrategy::MaxWirelessUtilization);
+    let r = run_system(&spec, &d.workload, &cfg, flow.power());
+    LargeDieOutcome {
+        clustering: d.clustering.as_slice().to_vec(),
+        wis: spec
+            .overlay
+            .interfaces()
+            .iter()
+            .map(|w| (w.node.index(), w.channel.index()))
+            .collect(),
+        mapping: (0..cfg.cores())
+            .map(|t| spec.mapping.tile_of(t).index())
+            .collect(),
+        edp_bits: r.edp.to_bits(),
+        exec_s_bits: r.exec_seconds.to_bits(),
+        core_j_bits: r.core_energy_j.to_bits(),
+        net_j_bits: r.net_energy_j.to_bits(),
+        pkts: r.net.packets_delivered,
+        flits: r.net.flits_delivered,
+    }
+}
+
+#[test]
+fn large_die_design_flow_matches_pinned_golden() {
+    let out = run_large_die();
+    // Structural sanity independent of the pins: 24 WIs over 6 channels on
+    // the 16×16 die, every thread mapped to a distinct tile.
+    assert_eq!(out.clustering.len(), 256);
+    assert_eq!(out.wis.len(), 24);
+    assert!(out.wis.iter().all(|&(_, ch)| ch < 6));
+    let mut tiles = out.mapping.clone();
+    tiles.sort_unstable();
+    assert_eq!(tiles, (0..256).collect::<Vec<_>>());
+    assert_eq!(
+        out.edp_bits, GOLDEN_EDP_BITS,
+        "256-core EDP drift (got {})",
+        out.edp_bits
+    );
+    assert_eq!(
+        out.exec_s_bits, GOLDEN_EXEC_S_BITS,
+        "256-core exec-time drift (got {})",
+        out.exec_s_bits
+    );
+    assert_eq!(
+        out.flits, GOLDEN_FLITS,
+        "256-core flit-count drift (got {})",
+        out.flits
+    );
+    assert_eq!(
+        out.digest(),
+        GOLDEN_DIGEST,
+        "256-core RunReport digest drift (got {})",
+        out.digest()
+    );
+}
+
+/// Prints the current outcome so the pins above can be refreshed.
+#[test]
+#[ignore = "capture helper for re-pinning the golden"]
+fn capture_large_die_golden() {
+    let start = std::time::Instant::now();
+    let out = run_large_die();
+    println!("wall-clock: {:?}", start.elapsed());
+    println!("GOLDEN_DIGEST: u64 = {};", out.digest());
+    println!("GOLDEN_EDP_BITS: u64 = {};", out.edp_bits);
+    println!("GOLDEN_EXEC_S_BITS: u64 = {};", out.exec_s_bits);
+    println!("core_j_bits = {};", out.core_j_bits);
+    println!("net_j_bits = {};", out.net_j_bits);
+    println!("pkts = {};", out.pkts);
+    println!("flits = {};", out.flits);
+}

@@ -870,6 +870,11 @@ impl<'a> NetworkSim<'a> {
         let workers = if self.faults.is_none() {
             self.cfg.threads.saturating_sub(1)
         } else {
+            if self.cfg.threads > 1 {
+                // Surface the silent serial fallback: a sweep configured for
+                // N threads that also injects faults gets no parallelism.
+                telemetry::count("noc.parallel_disabled_faults", 1);
+            }
             0
         };
         self.park = workers == 0 && self.faults.is_none();

@@ -171,6 +171,43 @@ impl WirelessOverlay {
         self.by_node.contains_key(&node)
     }
 
+    /// Moves the WI at `index` (in [`WirelessOverlay::interfaces`] order) to
+    /// `node`, keeping the list sorted by node id, and returns the WI's new
+    /// index. The in-place dual of rebuilding the overlay through
+    /// [`WirelessOverlay::new`] with one entry changed — the placement
+    /// annealer uses a relocate/undo pair per move instead of cloning the
+    /// interface list and re-sorting a fresh overlay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or `node` already carries a
+    /// different WI.
+    pub fn relocate(&mut self, index: usize, node: NodeId) -> usize {
+        let old = self.wis[index];
+        if node == old.node {
+            return index;
+        }
+        assert!(
+            !self.by_node.contains_key(&node),
+            "target node already carries a WI"
+        );
+        self.by_node.remove(&old.node);
+        self.by_node.insert(node, old.channel);
+        self.wis[index].node = node;
+        // Bubble the entry to its sorted position (node ids are unique, so
+        // the order matches a full re-sort).
+        let mut i = index;
+        while i + 1 < self.wis.len() && self.wis[i + 1].node < node {
+            self.wis.swap(i, i + 1);
+            i += 1;
+        }
+        while i > 0 && self.wis[i - 1].node > node {
+            self.wis.swap(i, i - 1);
+            i -= 1;
+        }
+        i
+    }
+
     /// Nodes whose WIs are tuned to `channel`, sorted by id.
     pub fn channel_members(&self, channel: ChannelId) -> Vec<NodeId> {
         self.wis
@@ -226,6 +263,24 @@ mod tests {
         assert_eq!(o.wireless_hop(NodeId(1), NodeId(3)), None);
         assert_eq!(o.wireless_hop(NodeId(1), NodeId(1)), None);
         assert_eq!(o.wireless_hop(NodeId(1), NodeId(7)), None);
+    }
+
+    #[test]
+    fn relocate_matches_rebuild() {
+        let o = WirelessOverlay::new(vec![wi(2, 0), wi(5, 1), wi(9, 0)], 2).unwrap();
+        for (index, node) in [(0usize, 7usize), (2, 0), (1, 6), (0, 2)] {
+            let mut moved = o.clone();
+            let new_index = moved.relocate(index, NodeId(node));
+            let mut list = o.interfaces().to_vec();
+            list[index].node = NodeId(node);
+            let rebuilt = WirelessOverlay::new(list, 2).unwrap();
+            assert_eq!(moved, rebuilt, "relocate {index} -> {node}");
+            assert_eq!(moved.interfaces()[new_index].node, NodeId(node));
+            // Undo restores the original overlay exactly.
+            let old_node = o.interfaces()[index].node;
+            moved.relocate(new_index, old_node);
+            assert_eq!(moved, o);
+        }
     }
 
     #[test]

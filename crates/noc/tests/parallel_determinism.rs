@@ -163,3 +163,64 @@ fn winoc_is_thread_invariant() {
         36,
     );
 }
+
+/// A faulted run silently pins itself to the serial path; the
+/// `noc.parallel_disabled_faults` counter makes that fallback observable.
+#[test]
+fn faulted_parallel_request_is_counted() {
+    use mapwave_faults::{FaultConfig, FaultPlan};
+    use mapwave_harness::telemetry;
+
+    let build = || {
+        let topo = mesh(6, 6, 2.5);
+        let overlay = WirelessOverlay::new(
+            vec![
+                WirelessInterface {
+                    node: NodeId(0),
+                    channel: ChannelId(0),
+                },
+                WirelessInterface {
+                    node: NodeId(35),
+                    channel: ChannelId(0),
+                },
+            ],
+            1,
+        )
+        .unwrap();
+        let table = RoutingTable::up_down(&topo, &overlay).unwrap();
+        (topo, overlay, table)
+    };
+    let traffic = TrafficMatrix::uniform(36, 0.02);
+    let plan = FaultPlan::build(&FaultConfig::at_rate(0.05, 9));
+    assert!(plan.affects_noc());
+    telemetry::enable();
+
+    let counter = || telemetry::snapshot().counter("noc.parallel_disabled_faults");
+
+    // threads > 1 with an armed plan: one bump per run.
+    let (topo, overlay, table) = build();
+    let cfg = SimConfig {
+        threads: 4,
+        ..SimConfig::default()
+    };
+    let mut sim = NetworkSim::new(topo, overlay, table, EnergyModel::default_65nm(), cfg).unwrap();
+    sim.set_faults(&plan);
+    let before = counter();
+    sim.run(&traffic, 200, 1000, 20_000);
+    sim.run(&traffic, 200, 1000, 20_000);
+    assert_eq!(counter() - before, 2, "one count per pinned run");
+
+    // A serial faulted run loses nothing, so it must not count.
+    sim.set_threads(1);
+    let before = counter();
+    sim.run(&traffic, 200, 1000, 20_000);
+    assert_eq!(counter() - before, 0, "serial faulted run counted");
+
+    // A parallel run without faults must not count either.
+    sim.set_threads(4);
+    sim.set_faults(&FaultPlan::none());
+    let before = counter();
+    sim.run(&traffic, 200, 1000, 20_000);
+    assert_eq!(counter() - before, 0, "fault-free parallel run counted");
+    telemetry::disable();
+}

@@ -17,7 +17,10 @@
 //! solved by an exact branch-and-bound ([`ClusteringProblem::solve_exact`],
 //! practical to ~14 cores) and by a deterministic refinement heuristic
 //! ([`ClusteringProblem::solve`]) that matches the exact optimum on small
-//! instances (asserted in tests) and scales to the paper's 64 cores.
+//! instances (asserted in tests) and scales to the paper's 64 cores. Past
+//! the paper size, [`ClusteringProblem::solve_multilevel`] wraps the same
+//! refinement in a heavy-edge coarsen/uncoarsen hierarchy that stays
+//! bit-identical to the flat path for n ≤ 64 and scales to 1024 cores.
 
 use std::fmt;
 
@@ -529,6 +532,158 @@ impl ClusteringProblem {
     /// `design_flow` micro-bench measures the two side by side.
     pub fn solve_with_starts_reference(&self, starts: usize, seed: u64) -> Clustering {
         self.solve_multi(starts, seed, Self::refine_reference)
+    }
+
+    /// Size threshold below which [`ClusteringProblem::solve_multilevel`]
+    /// produces no coarsening levels and degenerates to the flat
+    /// multi-start path, keeping every n≤64 golden bit-identical.
+    pub const MULTILEVEL_LEAF: usize = 64;
+
+    /// Multilevel coarsen/refine solve: greedy heavy-edge coarsening of the
+    /// core traffic graph down to [`ClusteringProblem::MULTILEVEL_LEAF`]
+    /// supernodes, the flat multi-start KL solve at the coarsest level, then
+    /// uncoarsening with one run of the O(1)-delta incremental
+    /// [`refine`](ClusteringProblem::solve) pass chain at every level.
+    ///
+    /// For `n ≤ MULTILEVEL_LEAF` (or when the per-cluster quota is odd, so
+    /// pairwise merging cannot preserve the balance constraint) this is
+    /// **bit-identical** to [`ClusteringProblem::solve`]: no coarsening
+    /// level is built and the call forwards to the flat path unchanged.
+    /// Beyond the leaf size, the multi-start search runs only on the
+    /// coarsest instance; fine levels start from the projected coarse
+    /// optimum, which converges in a handful of passes instead of the flat
+    /// path's full random-restart refinement.
+    pub fn solve_multilevel(&self) -> Clustering {
+        self.solve_multilevel_with_starts(8, 0xC0FF_EE00)
+    }
+
+    /// Multi-start variant of [`ClusteringProblem::solve_multilevel`] with
+    /// the same `(starts, seed)` contract as
+    /// [`ClusteringProblem::solve_with_starts`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `starts == 0`.
+    pub fn solve_multilevel_with_starts(&self, starts: usize, seed: u64) -> Clustering {
+        let n = self.len();
+        let cap = n.checked_div(self.m).unwrap_or(0);
+        // Pairwise merging halves the per-cluster quota, so coarsening is
+        // only admissible while the quota is even; odd quotas (and leaf
+        // sizes) take the flat path, bit-for-bit.
+        if n <= Self::MULTILEVEL_LEAF || !cap.is_multiple_of(2) {
+            return self.solve_with_starts(starts, seed);
+        }
+
+        let (coarse, fine_to_coarse) = self.coarsen();
+        let coarse_solution = coarse.solve_multilevel_with_starts(starts, seed);
+
+        // Uncoarsen: project the coarse labels onto the fine cores. Every
+        // supernode carries exactly two fine cores, so a balanced coarse
+        // assignment projects to a balanced fine one.
+        let projected: Vec<usize> = fine_to_coarse
+            .iter()
+            .map(|&s| coarse_solution.cluster_of(s))
+            .collect();
+        debug_assert!(
+            Self::is_balanced(&projected, self.m),
+            "uncoarsening broke the balance constraint"
+        );
+        let refined = self.refine(projected);
+        debug_assert!(
+            Self::is_balanced(&refined, self.m),
+            "refinement broke the balance constraint"
+        );
+        Clustering {
+            assignment: refined,
+            m: self.m,
+        }
+    }
+
+    /// One greedy heavy-edge coarsening level: a maximum greedy matching of
+    /// the symmetric pair-weight graph (heaviest edges first, ties broken by
+    /// ascending endpoint indices) merges cores two at a time into `n/2`
+    /// supernodes.
+    ///
+    /// The coarse instance represents the fine objective exactly, up to an
+    /// assignment-independent constant:
+    ///
+    /// * traffic aggregates additively (`cluster_rates`-style row/column
+    ///   sums over the merged pair; intra-supernode traffic drops out — the
+    ///   pair always shares a cluster, so its φ is constant);
+    /// * `Σ_{i∈s} (u_i − t_j)² = w·(ū_s − t_j)² + Σ_{i∈s} (u_i − ū_s)²`
+    ///   with `w = 2` members per supernode, so the coarse problem carries
+    ///   the supernode *mean* utilization, doubles `ω_u`, and inherits the
+    ///   fine targets — the second term is constant per supernode.
+    ///
+    /// Returns the coarse problem and the fine→supernode index map.
+    fn coarsen(&self) -> (ClusteringProblem, Vec<usize>) {
+        let n = self.len();
+        debug_assert!(n.is_multiple_of(2), "coarsening needs an even core count");
+
+        // All unordered pairs, heaviest symmetric weight first; index order
+        // breaks ties so the matching is deterministic.
+        let mut edges: Vec<(usize, usize)> = (0..n)
+            .flat_map(|i| (i + 1..n).map(move |p| (i, p)))
+            .collect();
+        edges.sort_by(|&(a, b), &(c, d)| {
+            self.pair_weight(c, d)
+                .partial_cmp(&self.pair_weight(a, b))
+                .expect("finite traffic")
+                .then(a.cmp(&c))
+                .then(b.cmp(&d))
+        });
+        let mut fine_to_coarse = vec![usize::MAX; n];
+        let mut merged: Vec<(usize, usize)> = Vec::with_capacity(n / 2);
+        for (i, p) in edges {
+            if fine_to_coarse[i] == usize::MAX && fine_to_coarse[p] == usize::MAX {
+                fine_to_coarse[i] = merged.len();
+                fine_to_coarse[p] = merged.len();
+                merged.push((i, p));
+                if merged.len() == n / 2 {
+                    break;
+                }
+            }
+        }
+        debug_assert!(
+            fine_to_coarse.iter().all(|&s| s != usize::MAX),
+            "greedy matching over the complete pair list must be perfect"
+        );
+
+        let nc = merged.len();
+        let utilization: Vec<f64> = merged
+            .iter()
+            .map(|&(a, b)| (self.utilization[a] + self.utilization[b]) / 2.0)
+            .collect();
+        let mut traffic = vec![vec![0.0f64; nc]; nc];
+        for i in 0..n {
+            let si = fine_to_coarse[i];
+            for (p, &sp) in fine_to_coarse.iter().enumerate() {
+                if si != sp {
+                    traffic[si][sp] += self.traffic[i][p];
+                }
+            }
+        }
+        let coarse = ClusteringProblem {
+            utilization,
+            traffic,
+            m: self.m,
+            omega_c: self.omega_c,
+            omega_u: self.omega_u * 2.0,
+            targets: self.targets.clone(),
+        };
+        (coarse, fine_to_coarse)
+    }
+
+    /// Whether `assignment` puts exactly `len/m` cores in every cluster.
+    fn is_balanced(assignment: &[usize], m: usize) -> bool {
+        let mut sizes = vec![0usize; m];
+        for &j in assignment {
+            if j >= m {
+                return false;
+            }
+            sizes[j] += 1;
+        }
+        sizes.iter().all(|&s| s == assignment.len() / m)
     }
 
     fn solve_multi(
@@ -1131,6 +1286,97 @@ mod tests {
             4655379387557553268,
             "objective drifted from the pre-optimization golden"
         );
+    }
+
+    #[test]
+    fn multilevel_matches_flat_solver_on_small_instances() {
+        // For n ≤ MULTILEVEL_LEAF no coarsening level exists, so the
+        // multilevel entry point must be bit-identical to the flat path —
+        // this is what keeps every existing golden green.
+        for n in [8usize, 16, 32, 64] {
+            for seed in [3u64, 7, 41, 99, 1234] {
+                let m = if n == 8 { 2 } else { 4 };
+                let (u, f) = lcg_instance(n, seed);
+                let prob = ClusteringProblem::new(u, f, m).unwrap();
+                let flat = prob.solve();
+                let multi = prob.solve_multilevel();
+                assert_eq!(
+                    flat.as_slice(),
+                    multi.as_slice(),
+                    "n={n} seed={seed}: multilevel diverged from flat solver"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multilevel_handles_odd_quota_without_coarsening() {
+        // n=72, m=4 → quota 18 is even once, then 9 is odd: one coarsening
+        // level only, and the recursion must still return a valid balanced
+        // clustering.
+        let (u, f) = lcg_instance(72, 5);
+        let prob = ClusteringProblem::new(u, f, 4).unwrap();
+        let c = prob.solve_multilevel();
+        assert_eq!(c.cluster_size(), 18);
+        assert!(ClusteringProblem::is_balanced(c.as_slice(), 4));
+    }
+
+    #[test]
+    fn multilevel_scales_to_256_and_beats_greedy() {
+        let (u, f) = lcg_instance(256, 11);
+        let prob = ClusteringProblem::new(u, f, 4).unwrap();
+        let c = prob.solve_multilevel();
+        assert_eq!(c.cluster_count(), 4);
+        assert_eq!(c.cluster_size(), 64);
+        assert!(ClusteringProblem::is_balanced(c.as_slice(), 4));
+        let greedy = prob.solve_greedy();
+        assert!(
+            prob.evaluate(c.as_slice()) <= prob.evaluate(greedy.as_slice()) + 1e-9,
+            "multilevel must not lose to the traffic-oblivious slicing"
+        );
+    }
+
+    #[test]
+    fn coarse_objective_tracks_fine_objective() {
+        // The coarse instance must preserve objective *differences* between
+        // projected assignments (the absolute values differ by a constant:
+        // intra-supernode traffic and within-supernode utilization
+        // variance drop out).
+        let (u, f) = lcg_instance(32, 13);
+        let prob = ClusteringProblem::new(u, f, 4).unwrap();
+        let (coarse, map) = prob.coarsen();
+        assert_eq!(coarse.len(), 16);
+
+        let project = |coarse_assignment: &[usize]| -> Vec<usize> {
+            map.iter().map(|&s| coarse_assignment[s]).collect()
+        };
+        let a: Vec<usize> = (0..16).map(|s| s / 4).collect();
+        let mut b = a.clone();
+        b.swap(0, 7);
+        b.swap(3, 12);
+        let coarse_delta = coarse.evaluate(&b) - coarse.evaluate(&a);
+        let fine_delta = prob.evaluate(&project(&b)) - prob.evaluate(&project(&a));
+        assert!(
+            (coarse_delta - fine_delta).abs() < 1e-9,
+            "coarse delta {coarse_delta} vs fine delta {fine_delta}"
+        );
+    }
+
+    #[test]
+    fn heavy_edge_matching_pairs_heaviest_talkers() {
+        // Cores (0,5) and (2,7) exchange dominant traffic: the greedy
+        // matching must merge exactly those pairs first.
+        let n = 8;
+        let mut f = uniform_traffic(n, 0.01);
+        f[0][5] = 1.0;
+        f[5][0] = 1.0;
+        f[2][7] = 0.9;
+        f[7][2] = 0.9;
+        let prob = ClusteringProblem::new(vec![0.5; n], f, 2).unwrap();
+        let (_, map) = prob.coarsen();
+        assert_eq!(map[0], map[5], "heaviest pair must merge");
+        assert_eq!(map[2], map[7], "second-heaviest pair must merge");
+        assert_ne!(map[0], map[2]);
     }
 
     #[test]

@@ -14,7 +14,8 @@ use mapwave::prelude::*;
 use mapwave_phoenix::apps::App;
 use mapwave_repro::cli;
 
-const USAGE: &str = "cargo run --release --example design_space [scale] [app] [--sim-threads N]";
+const USAGE: &str =
+    "cargo run --release --example design_space [scale] [app] [--cores N] [--sim-threads N]";
 
 fn parse_app(name: &str) -> Option<App> {
     App::ALL
@@ -25,15 +26,21 @@ fn parse_app(name: &str) -> Option<App> {
 fn main() -> Result<(), String> {
     let scale: f64 = cli::parsed_arg_or(1, 0.02, "scale", USAGE)?;
     let app = cli::arg_or(2, App::WordCount, "app name", USAGE, parse_app)?;
+    let cores = cli::cores(64, USAGE)?;
     let threads = cli::sim_threads(USAGE)?;
     cli::expect_no_args_past(2, USAGE)?;
 
-    println!("== design space for {app} at scale {scale} ==\n");
+    println!("== design space for {app} at scale {scale} on {cores} cores ==\n");
 
     // Baselines shared by every variant.
+    let side = cli::die_side(cores);
     let base_cfg = PlatformConfig::paper()
+        .with_dims(side, side)
         .with_scale(scale)
         .with_sim_threads(threads);
+    base_cfg
+        .validate()
+        .map_err(|e| format!("--cores {cores}: {e}"))?;
     let flow = DesignFlow::new(base_cfg.clone())?;
     let design = flow.design(app);
     let nvfi = run_system(&flow.nvfi_spec(), &design.workload, &base_cfg, flow.power());

@@ -39,31 +39,60 @@ pub mod cli {
     //! the default configuration on a typo — an easy way to benchmark
     //! the wrong experiment.)
     //!
-    //! Besides positional arguments, every example accepts one flag:
-    //! `--sim-threads N` (or `--sim-threads=N`), the NoC worker-thread
-    //! count. The flag may appear anywhere on the command line — it is
-    //! stripped before positional indexing — defaults to 1, and is a
-    //! wall-clock knob only: results are bit-identical for every value.
-    //! A duplicate flag, a missing value, or a value that is not a
-    //! positive integer is a hard error.
+    //! Besides positional arguments, every example accepts two flags,
+    //! each of which may appear anywhere on the command line (they are
+    //! stripped before positional indexing):
+    //!
+    //! * `--sim-threads N` (or `--sim-threads=N`), the NoC worker-thread
+    //!   count. Defaults to 1 and is a wall-clock knob only: results are
+    //!   bit-identical for every value.
+    //! * `--cores N` (or `--cores=N`), the die size. Must be a perfect
+    //!   square with an even side (16, 64, 256, 1024, …) so the die can
+    //!   be quartered into VFI quadrants; the examples default to the
+    //!   paper's 64.
+    //!
+    //! A duplicate flag, a missing value, or a malformed value is a
+    //! hard error.
 
-    /// The command line split into `--sim-threads` occurrences (each
+    /// Names of the recognised flags, indexed by the `FLAG_*` constants.
+    const FLAG_NAMES: [&str; 2] = ["--sim-threads", "--cores"];
+    const FLAG_SIM_THREADS: usize = 0;
+    const FLAG_CORES: usize = 1;
+
+    /// The command line split into per-flag occurrence lists (each
     /// occurrence's raw value, `None` when the flag is last with no
     /// value) and the remaining positional arguments, in order.
-    fn split() -> (Vec<Option<String>>, Vec<String>) {
-        let mut flags = Vec::new();
+    fn split() -> ([Vec<Option<String>>; 2], Vec<String>) {
+        let mut flags: [Vec<Option<String>>; 2] = [Vec::new(), Vec::new()];
         let mut positional = Vec::new();
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
-            if arg == "--sim-threads" {
-                flags.push(args.next());
-            } else if let Some(value) = arg.strip_prefix("--sim-threads=") {
-                flags.push(Some(value.to_string()));
+            if let Some(i) = FLAG_NAMES.iter().position(|f| *f == arg) {
+                flags[i].push(args.next());
+            } else if let Some((i, value)) = FLAG_NAMES
+                .iter()
+                .enumerate()
+                .find_map(|(i, f)| Some((i, arg.strip_prefix(f)?.strip_prefix('=')?)))
+            {
+                flags[i].push(Some(value.to_string()));
             } else {
                 positional.push(arg);
             }
         }
         (flags, positional)
+    }
+
+    /// At most one occurrence of flag `index`, or an error echoing
+    /// `usage` on a duplicate flag or a flag with no value.
+    fn flag_value(index: usize, usage: &str) -> Result<Option<String>, String> {
+        let (flags, _) = split();
+        let name = FLAG_NAMES[index];
+        match &flags[index][..] {
+            [] => Ok(None),
+            [Some(raw)] => Ok(Some(raw.clone())),
+            [None] => Err(format!("{name} needs a value\nusage: {usage}")),
+            _ => Err(format!("duplicate {name} flag\nusage: {usage}")),
+        }
     }
 
     /// The `--sim-threads` worker-thread count: 1 when the flag is
@@ -74,22 +103,55 @@ pub mod cli {
     /// A duplicate flag, a flag with no value, and a value that is not
     /// an integer ≥ 1 all fail with a message echoing `usage`.
     pub fn sim_threads(usage: &str) -> Result<usize, String> {
-        let (flags, _) = split();
-        match flags.as_slice() {
-            [] => Ok(1),
-            [Some(raw)] => match raw.parse::<usize>() {
+        match flag_value(FLAG_SIM_THREADS, usage)? {
+            None => Ok(1),
+            Some(raw) => match raw.parse::<usize>() {
                 Ok(n) if n >= 1 => Ok(n),
                 _ => Err(format!(
                     "invalid --sim-threads value {raw:?} (want an integer >= 1)\nusage: {usage}"
                 )),
             },
-            [None] => Err(format!("--sim-threads needs a value\nusage: {usage}")),
-            _ => Err(format!("duplicate --sim-threads flag\nusage: {usage}")),
         }
     }
 
+    /// The `--cores` die size: `default` when the flag is absent,
+    /// otherwise its value. Accepted values are perfect squares with an
+    /// even side (16, 64, 144, 256, …, 1024) so the die can be laid out
+    /// as the quadrant-clustered squares the design flow generates; use
+    /// [`die_side`] for the side length.
+    ///
+    /// # Errors
+    ///
+    /// A duplicate flag, a flag with no value, and a value that is not
+    /// such a square all fail with a message echoing `usage`.
+    pub fn cores(default: usize, usage: &str) -> Result<usize, String> {
+        match flag_value(FLAG_CORES, usage)? {
+            None => Ok(default),
+            Some(raw) => match raw.parse::<usize>() {
+                Ok(n) if n >= 4 && die_side(n) * die_side(n) == n && die_side(n).is_multiple_of(2) => {
+                    Ok(n)
+                }
+                _ => Err(format!(
+                    "invalid --cores value {raw:?} (want a perfect square with an even side: 16, 64, 256, 1024, ...)\nusage: {usage}"
+                )),
+            },
+        }
+    }
+
+    /// The square die side for a core count accepted by [`cores`].
+    pub fn die_side(cores: usize) -> usize {
+        let mut side = (cores as f64).sqrt().round() as usize;
+        while side * side > cores {
+            side -= 1;
+        }
+        while (side + 1) * (side + 1) <= cores {
+            side += 1;
+        }
+        side
+    }
+
     /// Positional argument `pos` (1-based, after the binary name, with
-    /// the `--sim-threads` flag stripped), if present.
+    /// the recognised flags stripped), if present.
     pub fn positional(pos: usize) -> Option<String> {
         split().1.into_iter().nth(pos - 1)
     }
