@@ -16,6 +16,7 @@
 use crate::config::PlatformConfig;
 use crate::placement::quadrant_of;
 use mapwave_faults::{FaultPlan, FaultStats};
+use mapwave_harness::hash::{CacheKey, StableHash, StableHasher};
 use mapwave_manycore::mapping::ThreadMapping;
 use mapwave_noc::routing::RoutingTable;
 use mapwave_noc::sim::{NetworkSim, SimConfig};
@@ -248,6 +249,40 @@ fn run_system_inner(
         .collect();
     let mut noc_fault_counts = mapwave_noc::NocFaultCounts::default();
 
+    // Cross-round window memoization (fault-free runs only). The relaxation
+    // loop re-simulates each stage window every round, but once the blended
+    // latencies stop moving a stage's offered traffic, the window's inputs
+    // are bit-for-bit the ones already simulated — and `NetworkSim::run`
+    // fully resets its simulator, so the statistics are a pure function of
+    // (physical traffic, tile clocks, simulator config, window budget).
+    // Such windows replay the cached statistics instead of burning another
+    // full simulation. Fault runs are exempt: their windows consume the
+    // deterministic hazard stream, so a replay would skip fault events.
+    let memo_enabled = faults.is_none();
+    let mut window_memo: Vec<(CacheKey, NetworkStats)> = Vec::new();
+    let mut windows_memoized = 0u64;
+    let window_key = |stage: usize, physical: &mapwave_noc::TrafficMatrix| -> CacheKey {
+        let mut h = StableHasher::new();
+        h.write_u64(stage as u64);
+        physical.stable_hash(&mut h);
+        h.write_len(tile_speed.len());
+        for s in &tile_speed {
+            h.write_u64(s.to_bits());
+        }
+        h.write_u64(cfg.noc_vcs as u64);
+        h.write_u64(u64::from(cfg.noc_adaptive));
+        h.write_u64(sim_cfg.seed);
+        h.write_u64(cfg.noc_warmup);
+        h.write_u64(cfg.noc_measure);
+        h.finish()
+    };
+    // Period-hinted steady-state replay: each stage's drain livelock orbit
+    // is a property of its traffic pattern, which changes only slowly
+    // across rounds, so the period verified in a stage's previous window
+    // seeds the next window's detector (exact verification happens inside
+    // the simulator — a wrong hint is rejected, never trusted).
+    let mut stage_period: [Option<u64>; 3] = [None; 3];
+
     // Phase-resolved NoC simulation: each stage's traffic pattern loads the
     // network differently (Map's memory streaming vs Reduce's key shuffle
     // vs Merge's partition movement), so each gets its own window. The
@@ -278,38 +313,92 @@ fn run_system_inner(
                 .iter()
                 .map(|t| (t.total_rate() > 1e-9).then(|| spec.mapping.traffic_to_tiles(t)))
                 .collect();
-            let live = physical.iter().flatten().count() as u64;
-            let mut outs: Vec<Option<(NetworkStats, mapwave_noc::NocFaultCounts)>> =
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = lane_sims
-                        .iter_mut()
-                        .zip(&physical)
-                        .map(|(sim, traffic)| {
-                            traffic.as_ref().map(|traffic| {
-                                scope.spawn(move || {
-                                    let stats = sim
-                                        .run(
-                                            traffic,
-                                            cfg.noc_warmup,
-                                            cfg.noc_measure,
-                                            cfg.noc_measure * 10,
-                                        )
-                                        .clone();
-                                    (stats, sim.fault_counts())
-                                })
-                            })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.map(|h| h.join().expect("window simulation panicked")))
-                        .collect()
-                });
+            // Memo lookups happen before the fan-out so cached windows never
+            // occupy a lane; hits are cloned out here because the commit
+            // loop below also appends fresh entries to the memo.
+            let keys: Vec<Option<CacheKey>> = physical
+                .iter()
+                .enumerate()
+                .map(|(si, p)| {
+                    p.as_ref()
+                        .and_then(|p| memo_enabled.then(|| window_key(si, p)))
+                })
+                .collect();
+            let cached: Vec<Option<NetworkStats>> = keys
+                .iter()
+                .map(|k| {
+                    k.as_ref().and_then(|k| {
+                        window_memo
+                            .iter()
+                            .find(|(k2, _)| k2 == k)
+                            .map(|(_, s)| s.clone())
+                    })
+                })
+                .collect();
+            let hints: [Option<u64>; 3] = if memo_enabled {
+                stage_period
+            } else {
+                [None; 3]
+            };
+            let live = physical
+                .iter()
+                .zip(&cached)
+                .filter(|(p, c)| p.is_some() && c.is_none())
+                .count() as u64;
+            type LaneOut = (NetworkStats, mapwave_noc::NocFaultCounts, Option<u64>);
+            let mut outs: Vec<Option<LaneOut>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = lane_sims
+                    .iter_mut()
+                    .zip(&physical)
+                    .zip(&cached)
+                    .zip(hints)
+                    .map(|(((sim, traffic), cached), hint)| {
+                        match (traffic.as_ref(), cached.is_none()) {
+                            (Some(traffic), true) => Some(scope.spawn(move || {
+                                sim.set_steady_period_hint(hint);
+                                let stats = sim
+                                    .run(
+                                        traffic,
+                                        cfg.noc_warmup,
+                                        cfg.noc_measure,
+                                        cfg.noc_measure * 10,
+                                    )
+                                    .clone();
+                                (stats, sim.fault_counts(), sim.detected_steady_period())
+                            })),
+                            _ => None,
+                        }
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.map(|h| h.join().expect("window simulation panicked")))
+                    .collect()
+            });
             mapwave_harness::telemetry::count("core.windows_parallel", live);
-            for (slot, out) in slots.into_iter().zip(outs.iter_mut()) {
+            for (si, ((slot, out), cached)) in slots
+                .into_iter()
+                .zip(outs.iter_mut())
+                .zip(cached)
+                .enumerate()
+            {
+                if let Some(stats) = cached {
+                    match slot {
+                        Some(s) => s.clone_from(&stats),
+                        None => *slot = Some(stats),
+                    }
+                    windows_memoized += 1;
+                    continue;
+                }
                 match out.take() {
                     None => *slot = None,
-                    Some((stats, counts)) => {
+                    Some((stats, counts, period)) => {
+                        if memo_enabled {
+                            stage_period[si] = period;
+                            if let Some(k) = keys[si] {
+                                window_memo.push((k, stats.clone()));
+                            }
+                        }
                         match slot {
                             Some(s) => s.clone_from(&stats),
                             None => *slot = Some(stats),
@@ -321,25 +410,48 @@ fn run_system_inner(
             }
         } else {
             let sim = &mut lane_sims[0];
-            for (slot, traffic) in slots.into_iter().zip(stage_traffic) {
+            for (si, (slot, traffic)) in slots.into_iter().zip(stage_traffic).enumerate() {
                 if traffic.total_rate() <= 1e-9 {
                     *slot = None;
                     continue;
                 }
                 let physical = spec.mapping.traffic_to_tiles(traffic);
+                let key = memo_enabled.then(|| window_key(si, &physical));
+                if let Some(hit) = key
+                    .as_ref()
+                    .and_then(|k| window_memo.iter().find(|(k2, _)| k2 == k))
+                {
+                    match slot {
+                        Some(s) => s.clone_from(&hit.1),
+                        None => *slot = Some(hit.1.clone()),
+                    }
+                    windows_memoized += 1;
+                    continue;
+                }
+                if memo_enabled {
+                    sim.set_steady_period_hint(stage_period[si]);
+                }
                 let stats = sim.run(
                     &physical,
                     cfg.noc_warmup,
                     cfg.noc_measure,
                     cfg.noc_measure * 10,
                 );
+                let memo_entry = key.map(|k| (k, stats.clone()));
                 match slot {
                     Some(s) => s.clone_from(stats),
                     None => *slot = Some(stats.clone()),
                 }
-                let counts = sim.fault_counts();
-                noc_fault_counts.flit_corruptions += counts.flit_corruptions;
-                noc_fault_counts.wi_fallbacks += counts.wi_fallbacks;
+                if memo_enabled {
+                    stage_period[si] = sim.detected_steady_period();
+                    if let Some(entry) = memo_entry {
+                        window_memo.push(entry);
+                    }
+                } else {
+                    let counts = sim.fault_counts();
+                    noc_fault_counts.flit_corruptions += counts.flit_corruptions;
+                    noc_fault_counts.wi_fallbacks += counts.wi_fallbacks;
+                }
             }
         }
 
@@ -385,6 +497,7 @@ fn run_system_inner(
         exec = run_exec(&executor, &mut scratch, &mut last_phx);
         prev = latencies;
     }
+    mapwave_harness::telemetry::count("core.windows_memoized", windows_memoized);
 
     let ref_ghz = table.max().freq_ghz;
     let exec_seconds = exec.exec_seconds(ref_ghz);

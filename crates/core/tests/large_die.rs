@@ -1,12 +1,15 @@
-//! Pinned 256-core (16×16) golden for the full design flow.
+//! Pinned 256-core (16×16) and 1024-core (32×32) goldens for the full
+//! design flow.
 //!
 //! The hierarchical optimizer paths (multilevel clustering, block-level
 //! placement refinement, coarse-then-fine WI annealing) only engage above 64
-//! cores, so the small-die goldens in `equivalence.rs` cannot see them. This
-//! test pins the complete 256-core `run_system` outcome as a single FNV-1a
+//! cores, so the small-die goldens in `equivalence.rs` cannot see them. These
+//! tests pin the complete large-die `run_system` outcome as a single FNV-1a
 //! digest over every observable: clustering assignment, WI placement, thread
 //! mapping, and the bit patterns of the `RunReport` floats. Any drift in a
-//! hierarchical kernel shows up as a digest change.
+//! hierarchical kernel shows up as a digest change. The 1024-core test is
+//! `#[ignore]`d for the debug-mode tier-1 runs (the full flow takes minutes
+//! unoptimized) and exercised in release mode by the CI perf-smoke job.
 //!
 //! To re-pin after an intentional change, run
 //! `cargo test --release -p mapwave --test large_die -- --ignored --nocapture`
@@ -23,6 +26,12 @@ const GOLDEN_DIGEST: u64 = 3535511723987142824;
 const GOLDEN_EDP_BITS: u64 = 4510606804132475074;
 const GOLDEN_EXEC_S_BITS: u64 = 4547781043763061020;
 const GOLDEN_FLITS: u64 = 19148;
+
+/// 1024-core pins, captured in release mode (see the capture helper).
+const HUGE_DIGEST: u64 = 2071853611430855003;
+const HUGE_EDP_BITS: u64 = 4518478565531000839;
+const HUGE_EXEC_S_BITS: u64 = 4547199295047616973;
+const HUGE_FLITS: u64 = 29720;
 
 struct LargeDieOutcome {
     clustering: Vec<usize>,
@@ -66,8 +75,7 @@ impl LargeDieOutcome {
     }
 }
 
-fn run_large_die() -> LargeDieOutcome {
-    let cfg = PlatformConfig::large().with_scale(0.002);
+fn run_die(cfg: PlatformConfig) -> LargeDieOutcome {
     let flow = DesignFlow::new(cfg.clone()).unwrap();
     let d = flow.design(App::WordCount);
     let spec = flow.winoc_spec(&d, PlacementStrategy::MaxWirelessUtilization);
@@ -94,7 +102,7 @@ fn run_large_die() -> LargeDieOutcome {
 
 #[test]
 fn large_die_design_flow_matches_pinned_golden() {
-    let out = run_large_die();
+    let out = run_die(PlatformConfig::large().with_scale(0.002));
     // Structural sanity independent of the pins: 24 WIs over 6 channels on
     // the 16×16 die, every thread mapped to a distinct tile.
     assert_eq!(out.clustering.len(), 256);
@@ -126,18 +134,61 @@ fn large_die_design_flow_matches_pinned_golden() {
     );
 }
 
-/// Prints the current outcome so the pins above can be refreshed.
+/// 1024-core (32×32, Epiphany-V scale) end-to-end golden. Ignored in the
+/// default (debug) tier-1 sweep — run it in release mode:
+/// `cargo test --release -p mapwave --test large_die -- --ignored huge`.
 #[test]
-#[ignore = "capture helper for re-pinning the golden"]
+#[ignore = "release-mode only: the unoptimized 1024-core flow takes minutes"]
+fn huge_die_design_flow_matches_pinned_golden() {
+    let out = run_die(PlatformConfig::huge().with_scale(0.002));
+    // Structural sanity independent of the pins: 48 WIs over 12 channels on
+    // the 32×32 die, every thread mapped to a distinct tile.
+    assert_eq!(out.clustering.len(), 1024);
+    assert_eq!(out.wis.len(), 48);
+    assert!(out.wis.iter().all(|&(_, ch)| ch < 12));
+    let mut tiles = out.mapping.clone();
+    tiles.sort_unstable();
+    assert_eq!(tiles, (0..1024).collect::<Vec<_>>());
+    assert_eq!(
+        out.edp_bits, HUGE_EDP_BITS,
+        "1024-core EDP drift (got {})",
+        out.edp_bits
+    );
+    assert_eq!(
+        out.exec_s_bits, HUGE_EXEC_S_BITS,
+        "1024-core exec-time drift (got {})",
+        out.exec_s_bits
+    );
+    assert_eq!(
+        out.flits, HUGE_FLITS,
+        "1024-core flit-count drift (got {})",
+        out.flits
+    );
+    assert_eq!(
+        out.digest(),
+        HUGE_DIGEST,
+        "1024-core RunReport digest drift (got {})",
+        out.digest()
+    );
+}
+
+/// Prints the current outcomes so the pins above can be refreshed.
+#[test]
+#[ignore = "capture helper for re-pinning the goldens"]
 fn capture_large_die_golden() {
-    let start = std::time::Instant::now();
-    let out = run_large_die();
-    println!("wall-clock: {:?}", start.elapsed());
-    println!("GOLDEN_DIGEST: u64 = {};", out.digest());
-    println!("GOLDEN_EDP_BITS: u64 = {};", out.edp_bits);
-    println!("GOLDEN_EXEC_S_BITS: u64 = {};", out.exec_s_bits);
-    println!("core_j_bits = {};", out.core_j_bits);
-    println!("net_j_bits = {};", out.net_j_bits);
-    println!("pkts = {};", out.pkts);
-    println!("flits = {};", out.flits);
+    for (name, cfg) in [
+        ("large (256)", PlatformConfig::large().with_scale(0.002)),
+        ("huge (1024)", PlatformConfig::huge().with_scale(0.002)),
+    ] {
+        let start = std::time::Instant::now();
+        let out = run_die(cfg);
+        println!("=== {name} (wall-clock {:?})", start.elapsed());
+        println!("DIGEST: u64 = {};", out.digest());
+        println!("EDP_BITS: u64 = {};", out.edp_bits);
+        println!("EXEC_S_BITS: u64 = {};", out.exec_s_bits);
+        println!("core_j_bits = {};", out.core_j_bits);
+        println!("net_j_bits = {};", out.net_j_bits);
+        println!("pkts = {};", out.pkts);
+        println!("flits = {};", out.flits);
+    }
 }

@@ -47,7 +47,7 @@ use crate::stats::NetworkStats;
 use crate::switch::{FabricState, OutRoute, Owner, PortMap, PORT_LOCAL};
 use crate::topology::wireless::WirelessOverlay;
 use crate::topology::Topology;
-use crate::traffic::{Injector, TrafficMatrix};
+use crate::traffic::{InjectEvent, Injector, TrafficMatrix};
 use mapwave_faults::FaultPlan;
 use mapwave_harness::rng::SeedableRng;
 use mapwave_harness::rng::StdRng;
@@ -349,7 +349,6 @@ pub struct NetworkSim<'a> {
     ports: PortMap,
     energy_model: EnergyModel,
     cfg: SimConfig,
-    speeds: Vec<f64>,
     domains: Vec<usize>,
 
     fabric: FabricState,
@@ -404,9 +403,20 @@ pub struct NetworkSim<'a> {
     /// site in `try_advance` clears the flag), which is the only event
     /// that can free it.
     src_blocked: Vec<bool>,
-    /// First cycle whose clock tick has not been applied per switch;
-    /// dormant switches replay the gap when they wake.
-    clock_next: Vec<u64>,
+    /// Per-switch index into the shared clock classes. Switches with the
+    /// same speed bits walk the identical accumulator sequence from the
+    /// same start, so the fractional clock is tracked once per class and
+    /// `clock_fires` is a cached lookup after the first call of a cycle.
+    clock_class: Vec<u32>,
+    /// Distinct switch speed per clock class.
+    class_speed: Vec<f64>,
+    /// Fractional clock accumulator per class, caught up to `class_next`.
+    class_acc: Vec<f64>,
+    /// First cycle whose clock tick has not been applied per class;
+    /// classes whose switches are all dormant replay the gap on first use.
+    class_next: Vec<u64>,
+    /// Whether the class clock fired at cycle `class_next - 1`.
+    class_fires: Vec<bool>,
     /// Earliest cycle at which processing switch `v` could do anything
     /// observable (`u64::MAX` when dormant). Between a switch's last
     /// processed cycle and `wake[v]`, clocking it is a proven no-op: every
@@ -463,6 +473,23 @@ pub struct NetworkSim<'a> {
     /// Reusable scratch of the parallel sweep (due list, wave numbers,
     /// per-switch effect buffers).
     par_scratch: crate::par::Scratch,
+    /// Reusable buffer for the precomputed injection schedule of one run
+    /// (see [`Injector::schedule_into`]).
+    sched: Vec<InjectEvent>,
+
+    /// Caller-provided drain-period hint for the next runs (typically the
+    /// period the *previous* run of a similar window detected); see
+    /// [`NetworkSim::set_steady_period_hint`]. Ignored while a fault plan
+    /// is attached — an active fault stream advances hazard counters, so
+    /// a hinted early confirmation must not even be attempted.
+    steady_hint: Option<u64>,
+    /// Livelock period proven by the last run's drain detector (in
+    /// cycles), `None` when the drain completed or never stalled.
+    detected_period: Option<u64>,
+    /// Drain stalls of the last run confirmed via the hint ring.
+    hint_hits: u64,
+    /// Drain stalls of the last run whose hint did not hold.
+    hint_rejected: u64,
 }
 
 impl<'a> NetworkSim<'a> {
@@ -660,6 +687,21 @@ impl<'a> NetworkSim<'a> {
         let max_ports = topo.nodes().map(|v| ports.port_count(v)).max().unwrap_or(0);
         let inject_vc = if cfg.adaptive { cfg.vcs - 1 } else { 0 };
 
+        let mut class_speed: Vec<f64> = Vec::new();
+        let clock_class: Vec<u32> = speeds
+            .iter()
+            .map(|s| {
+                let bits = s.to_bits();
+                match class_speed.iter().position(|c| c.to_bits() == bits) {
+                    Some(i) => i as u32,
+                    None => {
+                        class_speed.push(*s);
+                        (class_speed.len() - 1) as u32
+                    }
+                }
+            })
+            .collect();
+
         Ok(NetworkSim {
             link_flits: vec![0; total_ports],
             hop_dist,
@@ -677,7 +719,11 @@ impl<'a> NetworkSim<'a> {
             src_list: Vec::with_capacity(n),
             src_listed: vec![false; n],
             src_blocked: vec![false; n],
-            clock_next: vec![0; n],
+            clock_class,
+            class_acc: vec![0.0; class_speed.len()],
+            class_next: vec![0; class_speed.len()],
+            class_fires: vec![false; class_speed.len()],
+            class_speed,
             wake: vec![u64::MAX; n],
             next_due: u64::MAX,
             mac_holders: Vec::with_capacity(macs.len()),
@@ -693,6 +739,11 @@ impl<'a> NetworkSim<'a> {
             moves_last_step: 0,
             par_plan: None,
             par_scratch: crate::par::Scratch::default(),
+            sched: Vec::new(),
+            steady_hint: None,
+            detected_period: None,
+            hint_hits: 0,
+            hint_rejected: 0,
             src_q: vec![VecDeque::new(); n],
             fabric,
             macs,
@@ -702,7 +753,6 @@ impl<'a> NetworkSim<'a> {
             ports,
             energy_model,
             cfg,
-            speeds,
             domains,
             now: 0,
             next_packet: 0,
@@ -742,6 +792,28 @@ impl<'a> NetworkSim<'a> {
     /// every thread count produces bit-identical statistics.
     pub fn set_threads(&mut self, threads: usize) {
         self.cfg.threads = threads.max(1);
+    }
+
+    /// Seeds the drain-phase livelock detector of subsequent runs with an
+    /// expected period (clamped to 1..=64 ring slots), typically the
+    /// period [`NetworkSim::detected_steady_period`] reported for a
+    /// previous run of a similar traffic window.
+    ///
+    /// A wall-clock knob only: the hint merely lets the detector confirm
+    /// recurrence after `hint + 1` stalled cycles instead of the Brent
+    /// search's O(period) re-pin rounds, and it is verified by exact
+    /// comparison against the live state snapshots before any closed-form
+    /// replay — a wrong hint costs nothing and changes nothing. Ignored
+    /// while a fault plan is attached.
+    pub fn set_steady_period_hint(&mut self, hint: Option<u64>) {
+        self.steady_hint = hint.map(|p| p.clamp(1, crate::steady::MAX_STEADY_HINT));
+    }
+
+    /// The livelock period (in cycles) the last run's drain detector
+    /// proved before replaying the remaining budget in closed form;
+    /// `None` when the drain completed without a proven fixpoint.
+    pub fn detected_steady_period(&self) -> Option<u64> {
+        self.detected_period
     }
 
     /// Attaches (or detaches) a fault plan.
@@ -824,7 +896,9 @@ impl<'a> NetworkSim<'a> {
         self.src_listed.fill(false);
         self.src_blocked.fill(false);
         self.parked.fill(false);
-        self.clock_next.fill(0);
+        self.class_acc.fill(0.0);
+        self.class_next.fill(0);
+        self.class_fires.fill(false);
         self.wake.fill(u64::MAX);
         self.next_due = u64::MAX;
         self.stepped_cycles = 0;
@@ -832,6 +906,9 @@ impl<'a> NetworkSim<'a> {
         self.steady_cycles = 0;
         self.par_shards = 0;
         self.moves_last_step = 0;
+        self.detected_period = None;
+        self.hint_hits = 0;
+        self.hint_rejected = 0;
         if let Some(fl) = &mut self.faults {
             // The plan (and fallback table) survives; the per-run hazard
             // counters restart so every run replays the same schedule.
@@ -860,8 +937,15 @@ impl<'a> NetworkSim<'a> {
         self.reset();
         self.measure_start = warmup;
         self.measure_end = warmup + measure;
+        // The injection process is independent of network state (see
+        // `Injector::nonzero_sources`), so the whole run's schedule is
+        // drawn up front in one tight pass over the same RNG stream a
+        // per-cycle scan would consume — bit-identical events, and the
+        // cycle loop can jump over event-free idle stretches.
         let injector = Injector::new(traffic);
         let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let mut sched = std::mem::take(&mut self.sched);
+        injector.schedule_into(&mut rng, warmup + measure, &mut sched);
 
         // A wireless fault plan pins the sweep to the serial path: the
         // per-channel hazard counters are consumed in sweep order, which a
@@ -884,19 +968,13 @@ impl<'a> NetworkSim<'a> {
                 for _ in 0..workers {
                     s.spawn(|| board.worker());
                 }
-                self.cycle_loop(
-                    &injector,
-                    &mut rng,
-                    warmup,
-                    measure,
-                    drain_limit,
-                    Some(&board),
-                );
+                self.cycle_loop(&sched, warmup, measure, drain_limit, Some(&board));
                 board.shutdown();
             });
         } else {
-            self.cycle_loop(&injector, &mut rng, warmup, measure, drain_limit, None);
+            self.cycle_loop(&sched, warmup, measure, drain_limit, None);
         }
+        self.sched = sched;
         self.stats.cycles = measure;
         self.stats.packets_injected = self.injected_measured;
         self.stats.in_flight_at_end = self.injected_measured - self.delivered_measured;
@@ -928,6 +1006,8 @@ impl<'a> NetworkSim<'a> {
         telemetry::count("noc.cycles_fast_forwarded", self.ff_cycles);
         telemetry::count("noc.cycles_steady_replayed", self.steady_cycles);
         telemetry::count("noc.parallel_shards", self.par_shards);
+        telemetry::count("noc.steady_hint_hits", self.hint_hits);
+        telemetry::count("noc.steady_hint_rejected", self.hint_rejected);
         &self.stats
     }
 
@@ -935,18 +1015,40 @@ impl<'a> NetworkSim<'a> {
     /// optionally backed by a parallel-sweep worker board.
     fn cycle_loop(
         &mut self,
-        injector: &Injector,
-        rng: &mut StdRng,
+        sched: &[InjectEvent],
         warmup: u64,
         measure: u64,
         drain_limit: u64,
         board: Option<&crate::par::Board>,
     ) {
         let _loop_span = telemetry::span("noc.sim.cycle_loop");
-        for _ in 0..warmup + measure {
-            self.step(Some((injector, rng)), board);
+        let end = warmup + measure;
+        let mut pos = 0usize;
+        while self.now < end {
+            // Idle-gap jump: under exactly the in-step steady fast-path
+            // conditions, and with no scheduled injection before the next
+            // switch wake, every intervening cycle is idle token-MAC
+            // bookkeeping — consume the stretch in closed form.
+            if self.src_list.is_empty() && self.pending.is_empty() && self.next_due > self.now {
+                let next_event = sched.get(pos).map_or(u64::MAX, |e| e.cycle);
+                let horizon = self.next_due.min(next_event).min(end);
+                if horizon > self.now + 1 {
+                    self.steady_jump(horizon - self.now);
+                    continue;
+                }
+            }
+            self.step(Some((sched, &mut pos)), board);
         }
-        let mut detector = crate::steady::PeriodDetector::new();
+        // Hints are suppressed under an active fault plan: hazard counters
+        // keep the snapshot advancing, so an early hint confirmation must
+        // not even be attempted (mirroring the Brent path's implicit
+        // disable while the stream is live).
+        let hint = if self.faults.is_some() {
+            None
+        } else {
+            self.steady_hint
+        };
+        let mut detector = crate::steady::PeriodDetector::with_hint(hint);
         let mut drained = 0u64;
         while drained < drain_limit && self.delivered_measured < self.injected_measured {
             // Only look for a jump after a cycle in which nothing
@@ -971,6 +1073,10 @@ impl<'a> NetworkSim<'a> {
                     let rest = drain_limit - drained;
                     self.now += rest;
                     self.steady_cycles += rest;
+                    self.detected_period = detector.period();
+                    if detector.fired_via_hint() {
+                        self.hint_hits += 1;
+                    }
                     break;
                 }
             } else {
@@ -979,6 +1085,7 @@ impl<'a> NetworkSim<'a> {
             self.step(None, board);
             drained += 1;
         }
+        self.hint_rejected += detector.hint_rejections();
     }
 
     /// The compact drain-phase state consumed by the livelock detector.
@@ -986,8 +1093,8 @@ impl<'a> NetworkSim<'a> {
     /// During a streak of zero-move cycles the FIFO contents, wormhole
     /// bindings, round-robin pointers and source queues are all frozen —
     /// everything that *can* evolve is written here, in now-relative form:
-    /// token positions, fractional clock accumulators (with their lazy
-    /// replay cursors), per-switch wake offsets, and the wireless fault
+    /// token positions, per-class fractional clock accumulators (with
+    /// their lazy replay cursors), per-switch wake offsets, and the fault
     /// hazard counters plus the only stats field a zero-move cycle can
     /// touch (a corrupted transfer still radiates). Including the hazard
     /// counters is what disables detection under an *active* fault stream:
@@ -1003,9 +1110,10 @@ impl<'a> NetworkSim<'a> {
         }
         for &v in self.active_list.iter().chain(&self.pending) {
             let v = v as usize;
+            let c = self.clock_class[v] as usize;
             out.push(v as u64);
-            out.push(self.fabric.clock_acc[v].to_bits());
-            out.push(self.now + 1 - self.clock_next[v].min(self.now + 1));
+            out.push(self.class_acc[c].to_bits());
+            out.push(self.now + 1 - self.class_next[c].min(self.now + 1));
             out.push(match self.wake[v] {
                 u64::MAX => u64::MAX,
                 w => w.saturating_sub(self.now),
@@ -1053,9 +1161,21 @@ impl<'a> NetworkSim<'a> {
             }
         }
         let mut min_ready = u64::MAX;
+        let masks = self.fabric.occ_masks_enabled();
         for &v in self.active_list.iter().chain(&self.pending) {
-            for slot in self.fabric.slots_of(NodeId(v as usize)) {
-                min_ready = min_ready.min(self.fabric.front_ready(slot));
+            let v = NodeId(v as usize);
+            if masks {
+                let sb = self.fabric.switch_base(v);
+                let mut m = self.fabric.occ_mask(v);
+                while m != 0 {
+                    let local = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    min_ready = min_ready.min(self.fabric.front_ready(sb + local));
+                }
+            } else {
+                for slot in self.fabric.slots_of(v) {
+                    min_ready = min_ready.min(self.fabric.front_ready(slot));
+                }
             }
         }
         if min_ready == u64::MAX || min_ready <= self.now {
@@ -1073,6 +1193,25 @@ impl<'a> NetworkSim<'a> {
     /// mid-wormhole on its wireless port — from then on that member would
     /// have kept the token every remaining cycle.
     fn fast_forward(&mut self, cycles: u64) {
+        self.rotate_macs_idle(cycles);
+        self.now += cycles;
+        self.ff_cycles += cycles;
+    }
+
+    /// Closed-form replay of observably idle warmup/measure cycles: the
+    /// same cycles the in-step steady fast path would consume one at a
+    /// time, credited to the same `steady_cycles` counter, with the idle
+    /// token-MAC rotation applied in one pass.
+    fn steady_jump(&mut self, cycles: u64) {
+        self.rotate_macs_idle(cycles);
+        self.now += cycles;
+        self.steady_cycles += cycles;
+        // What an idle step would have left behind.
+        self.moves_last_step = 0;
+    }
+
+    /// The idle token-MAC rotation shared by both closed-form advances.
+    fn rotate_macs_idle(&mut self, cycles: u64) {
         for c in 0..self.macs.len() {
             let len = self.macs[c].len() as u64;
             if len <= 1 {
@@ -1091,8 +1230,6 @@ impl<'a> NetworkSim<'a> {
             }
             self.macs[c].advance_idle(jump);
         }
-        self.now += cycles;
-        self.ff_cycles += cycles;
     }
 
     /// Whether a flit (packet) is inside the measurement window.
@@ -1103,38 +1240,38 @@ impl<'a> NetworkSim<'a> {
     /// One global clock cycle.
     fn step(
         &mut self,
-        mut inject: Option<(&Injector, &mut StdRng)>,
+        inject: Option<(&[InjectEvent], &mut usize)>,
         board: Option<&crate::par::Board>,
     ) {
         self.stepped_cycles += 1;
         self.moves_last_step = 0;
 
-        // 1. Packet generation into source queues. Every source with a
-        //    nonzero rate samples the RNG every cycle, so the injection
-        //    sequence is independent of scheduling decisions (zero-rate
-        //    sources never draw — see `Injector::nonzero_sources`).
-        if let Some((injector, rng)) = inject.as_mut() {
-            for &s in injector.nonzero_sources() {
-                let s = s as usize;
-                if let Some(d) = injector.sample(NodeId(s), rng) {
-                    if d.index() != s {
-                        let id = PacketId(self.next_packet);
-                        self.next_packet += 1;
-                        if self.now >= self.measure_start && self.now < self.measure_end {
-                            self.injected_measured += 1;
-                        }
-                        self.src_q[s].extend(flit_sequence(
-                            id,
-                            NodeId(s),
-                            d,
-                            self.cfg.packet_len,
-                            self.now,
-                        ));
-                        if !self.src_listed[s] {
-                            self.src_listed[s] = true;
-                            self.src_list.push(s as u32);
-                        }
-                    }
+        // 1. Packet generation into source queues, consuming this cycle's
+        //    slice of the precomputed schedule (events are sorted by cycle
+        //    and, within a cycle, by ascending source — the order the old
+        //    per-cycle sampling scan produced).
+        if let Some((sched, pos)) = inject {
+            while let Some(e) = sched.get(*pos) {
+                if e.cycle != self.now {
+                    break;
+                }
+                *pos += 1;
+                let s = e.src as usize;
+                let id = PacketId(self.next_packet);
+                self.next_packet += 1;
+                if self.now >= self.measure_start && self.now < self.measure_end {
+                    self.injected_measured += 1;
+                }
+                self.src_q[s].extend(flit_sequence(
+                    id,
+                    NodeId(s),
+                    NodeId(e.dest as usize),
+                    self.cfg.packet_len,
+                    self.now,
+                ));
+                if !self.src_listed[s] {
+                    self.src_listed[s] = true;
+                    self.src_list.push(s as u32);
                 }
             }
         }
@@ -1223,10 +1360,18 @@ impl<'a> NetworkSim<'a> {
         //    (clocking it is a proven no-op). Switches that end the sweep
         //    empty are dropped and re-enroll on arrival.
         match board {
-            Some(b) => self.sweep_parallel(b, &holders, &mut channel_used),
+            Some(b) => {
+                self.sweep_parallel(b, &holders, &mut channel_used);
+                // The wavefront schedule decouples wake writes from the
+                // compaction order, so the parallel path recomputes
+                // `next_due` in a separate pass.
+                self.refresh_next_due();
+            }
+            // The serial sweep folds the `next_due` recomputation into its
+            // compaction scan (plus the wake-lowering sites that touch
+            // already-compacted switches).
             None => self.sweep_serial(&holders, &mut channel_used),
         }
-        self.refresh_next_due();
 
         // 6. MAC bookkeeping.
         for (c, mac) in self.macs.iter_mut().enumerate() {
@@ -1242,10 +1387,21 @@ impl<'a> NetworkSim<'a> {
     /// The serial switch sweep: ascending over the active list, due
     /// switches processed with effects applied directly, drained switches
     /// dropped in place.
+    ///
+    /// `next_due` is rebuilt inline: the compaction scan folds in each
+    /// kept switch's wake right after it is processed, and the wake
+    /// writes that can touch a switch *earlier* in the list (a push into
+    /// a lower-numbered or pending switch, a park rearm of a lower wire
+    /// peer — both in `try_advance`) fold their lowered value in at the
+    /// write. The result may sit below the true minimum when a push
+    /// lowers a due switch that is later processed and re-armed higher —
+    /// i.e. `next_due` stays stale-low-never-stale-high, exactly the
+    /// contract the separate `refresh_next_due` pass provided.
     fn sweep_serial(&mut self, holders: &[Option<NodeId>], channel_used: &mut [bool]) {
         let mut list = std::mem::take(&mut self.active_list);
         let mut out_used = std::mem::take(&mut self.out_used);
         let mut keep = 0;
+        self.next_due = u64::MAX;
         for r in 0..list.len() {
             let v = list[r] as usize;
             debug_assert!(self.buffered[v] > 0, "enrolled switches hold flits");
@@ -1267,6 +1423,7 @@ impl<'a> NetworkSim<'a> {
             if self.buffered[v] > 0 {
                 list[keep] = v as u32;
                 keep += 1;
+                self.next_due = self.next_due.min(self.wake[v]);
             } else {
                 self.active[v] = false;
             }
@@ -1437,27 +1594,35 @@ impl<'a> NetworkSim<'a> {
     }
 
     /// Catches switch `v`'s fractional clock up to the current cycle and
-    /// reports whether it fires now. Dormant switches skip accumulation
-    /// entirely; the replay performs the identical sequence of additions a
-    /// per-cycle update would have, so firing patterns are bit-identical.
+    /// reports whether it fires now. Clocks are shared per speed class:
+    /// every switch with the same speed walks the identical accumulator
+    /// sequence from the same start, so the first call of a cycle replays
+    /// any dormant gap (the identical sequence of additions a per-cycle
+    /// update would have performed — firing patterns are bit-identical)
+    /// and later calls for the same class are a cached lookup.
     fn clock_fires(&mut self, v: usize) -> bool {
-        let from = self.clock_next[v];
-        self.clock_next[v] = self.now + 1;
-        let speed = self.speeds[v];
-        if speed == 1.0 {
-            // The accumulator stays exactly 0.0 and fires every cycle.
-            return true;
-        }
-        let acc = &mut self.fabric.clock_acc[v];
-        let mut fires = false;
-        for _ in from..=self.now {
-            *acc += speed;
-            fires = *acc >= 1.0;
-            if fires {
-                *acc -= 1.0;
+        let c = self.clock_class[v] as usize;
+        if self.class_next[c] <= self.now {
+            let from = self.class_next[c];
+            self.class_next[c] = self.now + 1;
+            let speed = self.class_speed[c];
+            if speed == 1.0 {
+                // The accumulator stays exactly 0.0 and fires every cycle.
+                self.class_fires[c] = true;
+            } else {
+                let acc = &mut self.class_acc[c];
+                let mut fires = false;
+                for _ in from..=self.now {
+                    *acc += speed;
+                    fires = *acc >= 1.0;
+                    if fires {
+                        *acc -= 1.0;
+                    }
+                }
+                self.class_fires[c] = fires;
             }
         }
-        fires
+        self.class_fires[c]
     }
 
     /// Merges newly enrolled switches into the sorted active list.
@@ -1618,81 +1783,81 @@ impl<'a> NetworkSim<'a> {
         let vcs = self.cfg.vcs;
         let sb = self.fabric.switch_base(v);
         out_used[..ports].fill(false);
+        let masks = self.fabric.occ_masks_enabled();
 
-        // Pass A: continue established wormholes.
+        // Pass A: continue established wormholes. Only an occupied slot
+        // can move, and `v`'s occupancy never grows while `v` is being
+        // processed (no switch pushes into itself), so iterating the set
+        // bits of the occupancy mask visits exactly the slots whose probe
+        // in the positional scan could succeed, in the same ascending
+        // order — slots that empty mid-pass are re-filtered by the fresh
+        // `front_ready` check either way.
         let mut any_moved = false;
-        for slot in sb..sb + ports * vcs {
-            let Some(route) = self.fabric.in_route(slot) else {
-                continue;
-            };
-            if out_used[route.out_port] {
-                continue;
+        if masks {
+            let mut m = self.fabric.occ_mask(v);
+            while m != 0 {
+                let local = m.trailing_zeros() as usize;
+                m &= m - 1;
+                any_moved |= self.continue_wormhole(
+                    v,
+                    sb,
+                    sb + local,
+                    holders,
+                    channel_used,
+                    out_used,
+                    sink,
+                );
             }
-            if self.fabric.front_ready(slot) > self.now {
-                continue;
+        } else {
+            for slot in sb..sb + ports * vcs {
+                any_moved |=
+                    self.continue_wormhole(v, sb, slot, holders, channel_used, out_used, sink);
             }
-            let f = *self.fabric.front(slot).expect("ready slot has a front");
-            let local = slot - sb;
-            any_moved |= self.try_advance(
-                v,
-                local / vcs,
-                local % vcs,
-                f,
-                route,
-                None,
-                out_used,
-                holders,
-                channel_used,
-                false,
-                false,
-                sink,
-            );
         }
 
         // Pass B: route new head flits, round-robin over input ports
         // (escape VC first within a port, so draining traffic keeps
-        // priority over fresh adaptive traffic).
-        let mut p = self.fabric.rr_next[v.index()] as usize;
-        for _ in 0..ports {
-            for vc in 0..vcs {
-                let slot = sb + p * vcs + vc;
-                if self.fabric.in_route_set(slot) {
-                    continue;
+        // priority over fresh adaptive traffic). The masked variant
+        // rotates the occupancy mask by whole ports so its set bits
+        // enumerate in exactly the positional scan's order: cyclic ports
+        // starting at `rr_next`, ascending VCs within a port.
+        let rr = self.fabric.rr_next[v.index()] as usize;
+        if masks {
+            let w = ports * vcs;
+            let m0 = self.fabric.occ_mask(v);
+            let s = rr * vcs;
+            let mut m = if s == 0 {
+                m0
+            } else {
+                let wide = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+                ((m0 >> s) | (m0 << (w - s))) & wide
+            };
+            while m != 0 {
+                let t = m.trailing_zeros() as usize;
+                m &= m - 1;
+                let mut local = t + s;
+                if local >= w {
+                    local -= w;
                 }
-                if self.fabric.front_ready(slot) > self.now {
-                    continue;
-                }
-                let f = *self.fabric.front(slot).expect("ready slot has a front");
-                if !f.kind.is_head() {
-                    continue;
-                }
-                let (route, next_phase, divert) = self.route_head(v, vc, &f, out_used);
-                let o = route.out_port;
-                if out_used[o] || self.fabric.out_owner_set(sb + o * vcs + route.down_vc) {
-                    continue;
-                }
-                let moved = self.try_advance(
-                    v,
-                    p,
-                    vc,
-                    f,
-                    route,
-                    next_phase,
-                    out_used,
-                    holders,
-                    channel_used,
-                    true,
-                    divert,
-                    sink,
-                );
-                if moved {
+                let (p, vc) = (local / vcs, local % vcs);
+                if self.route_new_head(v, sb, p, vc, holders, channel_used, out_used, sink) {
                     any_moved = true;
                     self.fabric.rr_next[v.index()] = ((p + 1) % ports) as u32;
                 }
             }
-            p += 1;
-            if p == ports {
-                p = 0;
+        } else {
+            let mut p = rr;
+            for _ in 0..ports {
+                for vc in 0..vcs {
+                    if self.route_new_head(v, sb, p, vc, holders, channel_used, out_used, sink) {
+                        any_moved = true;
+                        self.fabric.rr_next[v.index()] = ((p + 1) % ports) as u32;
+                    }
+                }
+                p += 1;
+                if p == ports {
+                    p = 0;
+                }
             }
         }
 
@@ -1710,12 +1875,28 @@ impl<'a> NetworkSim<'a> {
         // hazard counters, so every ready front retries per-cycle.
         let mut ready_now = false;
         let mut fut_min = u64::MAX;
-        for slot in sb..sb + ports * vcs {
-            let r = self.fabric.front_ready(slot);
-            if r <= self.now {
-                ready_now = true;
-            } else if r < fut_min {
-                fut_min = r;
+        if masks {
+            // Empty slots report `front_ready == MAX` and influence
+            // neither bound, so only the occupied slots need probing.
+            let mut m = self.fabric.occ_mask(v);
+            while m != 0 {
+                let local = m.trailing_zeros() as usize;
+                m &= m - 1;
+                let r = self.fabric.front_ready(sb + local);
+                if r <= self.now {
+                    ready_now = true;
+                } else if r < fut_min {
+                    fut_min = r;
+                }
+            }
+        } else {
+            for slot in sb..sb + ports * vcs {
+                let r = self.fabric.front_ready(slot);
+                if r <= self.now {
+                    ready_now = true;
+                } else if r < fut_min {
+                    fut_min = r;
+                }
             }
         }
         let parkable = self.park && !any_moved && self.wi_channel[v.index()] == u32::MAX;
@@ -1725,6 +1906,98 @@ impl<'a> NetworkSim<'a> {
         } else {
             fut_min
         };
+    }
+
+    /// One Pass-A probe of [`NetworkSim::process_switch`]: continues the
+    /// wormhole bound to `slot` when its front is ready and its output
+    /// port is still free this cycle. Returns whether a flit moved.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn continue_wormhole(
+        &mut self,
+        v: NodeId,
+        sb: usize,
+        slot: usize,
+        holders: &[Option<NodeId>],
+        channel_used: &mut [bool],
+        out_used: &mut [bool],
+        sink: &mut Sink<'_>,
+    ) -> bool {
+        let Some(route) = self.fabric.in_route(slot) else {
+            return false;
+        };
+        if out_used[route.out_port] {
+            return false;
+        }
+        if self.fabric.front_ready(slot) > self.now {
+            return false;
+        }
+        let f = *self.fabric.front(slot).expect("ready slot has a front");
+        let local = slot - sb;
+        let vcs = self.cfg.vcs;
+        self.try_advance(
+            v,
+            local / vcs,
+            local % vcs,
+            f,
+            route,
+            None,
+            out_used,
+            holders,
+            channel_used,
+            false,
+            false,
+            sink,
+        )
+    }
+
+    /// One Pass-B probe of [`NetworkSim::process_switch`]: routes the new
+    /// head flit at input `(p, vc)` when one is ready and unbound, and its
+    /// chosen output is free. Returns whether a flit moved.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn route_new_head(
+        &mut self,
+        v: NodeId,
+        sb: usize,
+        p: usize,
+        vc: usize,
+        holders: &[Option<NodeId>],
+        channel_used: &mut [bool],
+        out_used: &mut [bool],
+        sink: &mut Sink<'_>,
+    ) -> bool {
+        let vcs = self.cfg.vcs;
+        let slot = sb + p * vcs + vc;
+        if self.fabric.in_route_set(slot) {
+            return false;
+        }
+        if self.fabric.front_ready(slot) > self.now {
+            return false;
+        }
+        let f = *self.fabric.front(slot).expect("ready slot has a front");
+        if !f.kind.is_head() {
+            return false;
+        }
+        let (route, next_phase, divert) = self.route_head(v, vc, &f, out_used);
+        let o = route.out_port;
+        if out_used[o] || self.fabric.out_owner_set(sb + o * vcs + route.down_vc) {
+            return false;
+        }
+        self.try_advance(
+            v,
+            p,
+            vc,
+            f,
+            route,
+            next_phase,
+            out_used,
+            holders,
+            channel_used,
+            true,
+            divert,
+            sink,
+        )
     }
 
     /// Attempts to move flit `f` — the validated (ready, front-of-queue)
@@ -1855,6 +2128,13 @@ impl<'a> NetworkSim<'a> {
                 };
                 if self.wake[u.index()] > t {
                     self.wake[u.index()] = t;
+                    if u.index() < v.index() {
+                        // `u` was already compacted this sweep (parking is
+                        // serial-only); fold its lowered wake into
+                        // `next_due`. A higher peer is folded when its own
+                        // compaction slot comes around.
+                        self.next_due = self.next_due.min(t);
+                    }
                 }
             }
         }
@@ -1940,6 +2220,13 @@ impl<'a> NetworkSim<'a> {
                 }
                 match sink {
                     Sink::Direct => {
+                        // Fold the receiver's (possibly just-lowered) wake
+                        // into `next_due`: `w` may already be compacted or
+                        // sitting in `pending`, where the compaction scan
+                        // cannot see it. For a receiver processed later
+                        // this sweep the fold is merely conservative
+                        // (stale-low), matching the old refresh contract.
+                        self.next_due = self.next_due.min(self.wake[w.index()]);
                         if !self.active[w.index()] {
                             self.active[w.index()] = true;
                             self.pending.push(w.index() as u32);

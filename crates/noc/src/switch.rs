@@ -225,8 +225,16 @@ pub struct FabricState {
     out_owner: Box<[u32]>,
     /// Round-robin pointer for new-packet arbitration, per switch.
     pub rr_next: Box<[u32]>,
-    /// Fractional clock accumulator per switch (fires when ≥ 1).
-    pub clock_acc: Box<[f64]>,
+    /// Per-switch occupancy bitmask: bit `s - sbase[v]` is set iff slot
+    /// `s` of switch `v` holds at least one flit. Maintained on the
+    /// 0↔1 queue-length transitions of `push_back`/`pop_front`, so the
+    /// per-cycle sweeps iterate set bits instead of probing every slot.
+    /// Only maintained while `masks_ok` (every switch fits in 64 bits).
+    occ: Box<[u64]>,
+    /// Owning switch of each slot (for the occupancy-bit updates).
+    slot_sw: Box<[u32]>,
+    /// Whether every switch has ≤ 64 slots, i.e. `occ` is usable.
+    masks_ok: bool,
     vcs: usize,
 }
 
@@ -265,7 +273,19 @@ impl FabricState {
             }
         }
         let total = *off.last().unwrap() as usize;
+        let mut slot_sw = vec![0u32; slots];
+        let mut max_slots = 0usize;
+        for v in 0..switches {
+            let (lo, hi) = (sbase[v] as usize, sbase[v + 1] as usize);
+            max_slots = max_slots.max(hi - lo);
+            for s in slot_sw.iter_mut().take(hi).skip(lo) {
+                *s = v as u32;
+            }
+        }
         FabricState {
+            occ: vec![0; switches].into_boxed_slice(),
+            slot_sw: slot_sw.into_boxed_slice(),
+            masks_ok: max_slots <= 64,
             sbase,
             flits: vec![PLACEHOLDER; total].into_boxed_slice(),
             off: off.into_boxed_slice(),
@@ -275,7 +295,6 @@ impl FabricState {
             in_route: vec![0; slots].into_boxed_slice(),
             out_owner: vec![0; slots].into_boxed_slice(),
             rr_next: vec![0; switches].into_boxed_slice(),
-            clock_acc: vec![0.0; switches].into_boxed_slice(),
             vcs,
         }
     }
@@ -344,7 +363,26 @@ impl FabricState {
         self.len[s] += 1;
         if self.len[s] == 1 {
             self.front_ready[s] = f.ready_at;
+            if self.masks_ok {
+                let sw = self.slot_sw[s] as usize;
+                self.occ[sw] |= 1 << (s as u32 - self.sbase[sw]);
+            }
         }
+    }
+
+    /// Whether the per-switch occupancy masks are maintained (every switch
+    /// fits its slots in 64 bits — always true for realistic radixes).
+    #[inline]
+    pub fn occ_masks_enabled(&self) -> bool {
+        self.masks_ok
+    }
+
+    /// Occupancy bitmask of switch `v`: bit `i` set iff slot
+    /// `switch_base(v) + i` is nonempty. Meaningful only while
+    /// [`FabricState::occ_masks_enabled`].
+    #[inline]
+    pub fn occ_mask(&self, v: NodeId) -> u64 {
+        self.occ[v.index()]
     }
 
     /// `ready_at` of the front flit in slot `s`, `u64::MAX` when empty.
@@ -437,6 +475,10 @@ impl FabricState {
         };
         self.len[s] -= 1;
         self.front_ready[s] = if self.len[s] == 0 {
+            if self.masks_ok {
+                let sw = self.slot_sw[s] as usize;
+                self.occ[sw] &= !(1 << (s as u32 - self.sbase[sw]));
+            }
             u64::MAX
         } else {
             self.flits[(self.off[s] + self.head[s]) as usize].ready_at
@@ -465,7 +507,7 @@ impl FabricState {
         self.in_route.fill(0);
         self.out_owner.fill(0);
         self.rr_next.fill(0);
-        self.clock_acc.fill(0.0);
+        self.occ.fill(0);
     }
 }
 

@@ -7,6 +7,7 @@
 //! expectation while keeping per-cycle work `O(n)`.
 
 use crate::node::NodeId;
+use mapwave_harness::hash::{StableHash, StableHasher};
 use mapwave_harness::rng::RngExt;
 use mapwave_harness::rng::StdRng;
 
@@ -315,6 +316,30 @@ impl TrafficMatrix {
     }
 }
 
+/// Hashes the node count and every rate's bit pattern, so two matrices
+/// collide only when they are bitwise-equal — the property the
+/// `run_system` window memoization relies on.
+impl StableHash for TrafficMatrix {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_len(self.n);
+        for r in &self.rates {
+            h.write_u64(r.to_bits());
+        }
+    }
+}
+
+/// One precomputed packet injection: at `cycle`, `src` generates a packet
+/// addressed to `dest`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectEvent {
+    /// Cycle the packet is generated, counted from the start of the run.
+    pub cycle: u64,
+    /// Generating source node.
+    pub src: u32,
+    /// Drawn destination node.
+    pub dest: u32,
+}
+
 /// Bernoulli packet injector driven by a [`TrafficMatrix`].
 ///
 /// Per cycle and per source, a packet is generated with probability equal to
@@ -383,6 +408,45 @@ impl Injector {
         let idx = cum.partition_point(|&c| c <= x);
         Some(NodeId(idx.min(cum.len() - 1)))
     }
+
+    /// Precomputes the full injection schedule for `cycles` cycles into
+    /// `out` (cleared first), returning events sorted by cycle and, within
+    /// a cycle, by ascending source.
+    ///
+    /// The injection process is independent of network state by design
+    /// (see [`Injector::nonzero_sources`]), so the schedule can be drawn
+    /// up front in one tight pass: per cycle and nonzero source, one gate
+    /// draw, then one destination draw for each generated packet — the
+    /// exact draw stream a per-cycle [`Injector::sample`] scan consumes,
+    /// making event consumption bit-identical to in-loop sampling.
+    /// Self-addressed draws are dropped (as the simulator drops them) but
+    /// still burn their draws.
+    pub fn schedule_into(&self, rng: &mut StdRng, cycles: u64, out: &mut Vec<InjectEvent>) {
+        out.clear();
+        for cycle in 0..cycles {
+            for &s in &self.nonzero {
+                let su = s as usize;
+                let rate = self.row_rate[su];
+                if rate <= 0.0 || rng.random::<f64>() >= rate {
+                    continue;
+                }
+                let cum = &self.cumulative[su * self.n..(su + 1) * self.n];
+                let total = match cum.last() {
+                    Some(&t) if t > 0.0 => t,
+                    _ => continue,
+                };
+                let x = rng.random::<f64>() * total;
+                let idx = cum.partition_point(|&c| c <= x).min(self.n - 1);
+                if idx != su {
+                    out.push(InjectEvent {
+                        cycle,
+                        src: s,
+                        dest: idx as u32,
+                    });
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -397,6 +461,47 @@ mod tests {
             assert!((m.row_rate(NodeId(s)) - 0.1).abs() < 1e-12);
         }
         assert_eq!(m.rate(NodeId(3), NodeId(3)), 0.0);
+    }
+
+    #[test]
+    fn schedule_matches_per_cycle_sampling() {
+        // The precomputed schedule must consume the identical draw stream
+        // as an in-loop sample() scan and emit the identical events.
+        let mut m = TrafficMatrix::zeros(6);
+        m.set(NodeId(0), NodeId(5), 0.4);
+        m.set(NodeId(0), NodeId(2), 0.3);
+        m.set(NodeId(3), NodeId(1), 0.9);
+        m.set(NodeId(5), NodeId(0), 0.05);
+        let inj = Injector::new(&m);
+        let cycles = 500u64;
+
+        let mut reference = Vec::new();
+        let mut rng = StdRng::seed_from_u64(0xfeed);
+        for cycle in 0..cycles {
+            for &s in inj.nonzero_sources() {
+                if let Some(d) = inj.sample(NodeId(s as usize), &mut rng) {
+                    if d.index() != s as usize {
+                        reference.push(InjectEvent {
+                            cycle,
+                            src: s,
+                            dest: d.index() as u32,
+                        });
+                    }
+                }
+            }
+        }
+
+        let mut scheduled = Vec::new();
+        let mut rng2 = StdRng::seed_from_u64(0xfeed);
+        inj.schedule_into(&mut rng2, cycles, &mut scheduled);
+        assert!(!scheduled.is_empty(), "traffic must generate packets");
+        assert_eq!(scheduled, reference);
+        // Both paths must leave the RNG in the same state.
+        use mapwave_harness::rng::RngExt;
+        assert_eq!(
+            rng.random::<f64>().to_bits(),
+            rng2.random::<f64>().to_bits()
+        );
     }
 
     #[test]

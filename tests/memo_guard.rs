@@ -1,0 +1,105 @@
+//! Guard rails for cross-round window memoization.
+//!
+//! The relaxation loop in `run_system` replays a stage window's cached
+//! `NetworkStats` when a later round offers bit-identical inputs. Three
+//! invariants keep that sound:
+//!
+//! 1. **It fires** — on a workload whose relaxation rounds actually repeat
+//!    a stage's traffic, at least one window is memoized (this is also the
+//!    CI perf-smoke assertion that the optimization stays live);
+//! 2. **Replay is invisible** — a memoizing run is bit-identical to the
+//!    same run with memoization suppressed (an attached `FaultPlan::none()`
+//!    disables the cache but injects nothing), and to the parallel-lane
+//!    path (`sim_threads > 1`), which shares the same cache;
+//! 3. **Faults suppress it** — with any plan attached, every window burns
+//!    the live simulation so per-window hazard accounting is never skipped.
+//!
+//! Kept to a single `#[test]` on purpose: the telemetry counters are
+//! process-global, and a lone test per binary keeps the deltas exact.
+
+use mapwave::prelude::*;
+use mapwave_faults::{FaultConfig, FaultPlan};
+use mapwave_harness::telemetry;
+use mapwave_phoenix::apps::App;
+
+fn report_bits(r: &RunReport) -> Vec<u64> {
+    let mut bits = vec![
+        r.edp.to_bits(),
+        r.exec_seconds.to_bits(),
+        r.core_energy_j.to_bits(),
+        r.net_energy_j.to_bits(),
+        r.net.packets_delivered,
+        r.net.flits_delivered,
+    ];
+    bits.extend(r.exec.utilization.iter().map(|u| u.to_bits()));
+    bits
+}
+
+#[test]
+fn memoization_fires_replays_exactly_and_respects_faults() {
+    // LinearRegression on the 16-core mesh spec: round 1 re-offers the Map
+    // traffic of round 0 bit-for-bit before the latency fixpoint, so the
+    // window memo must hit at least once.
+    let cfg = PlatformConfig::small().with_scale(0.002);
+    let flow = DesignFlow::new(cfg.clone()).unwrap();
+    let d = flow.design(App::LinearRegression);
+    let spec = flow.nvfi_spec();
+
+    telemetry::enable();
+    let memoized = || telemetry::snapshot().counter("core.windows_memoized");
+
+    let base = memoized();
+    let clean = run_system(&spec, &d.workload, &cfg, flow.power());
+    let fired = memoized() - base;
+    assert!(fired >= 1, "expected a memo hit on this workload, got 0");
+
+    // Same run through the parallel-lane path: the memo is shared across
+    // lanes and the report must not move by a bit.
+    let cfg4 = cfg.clone().with_sim_threads(4);
+    let base = memoized();
+    let lanes = run_system(&spec, &d.workload, &cfg4, flow.power());
+    assert!(
+        memoized() - base >= 1,
+        "parallel-lane path must consult the same memo"
+    );
+    assert_eq!(
+        report_bits(&lanes),
+        report_bits(&clean),
+        "memoized lane path drifted from the serial report"
+    );
+
+    // A disabled plan turns the memo off (every window re-simulates) while
+    // injecting nothing: bit-identity here proves cached replay equals live
+    // re-simulation on every observable.
+    let base = memoized();
+    let unmemoized =
+        run_system_with_faults(&spec, &d.workload, &cfg, flow.power(), &FaultPlan::none());
+    assert_eq!(
+        memoized() - base,
+        0,
+        "an attached plan (even an empty one) must suppress memoization"
+    );
+    assert_eq!(
+        report_bits(&unmemoized.report),
+        report_bits(&clean),
+        "memoized replay drifted from the live simulation"
+    );
+
+    // An active plan must also run every window live — a replayed window
+    // would skip its share of the deterministic hazard stream.
+    let plan = FaultPlan::build(&FaultConfig::at_rate(0.2, 7));
+    let base = memoized();
+    let faulted = run_system_with_faults(&spec, &d.workload, &cfg, flow.power(), &plan);
+    assert_eq!(
+        memoized() - base,
+        0,
+        "memoization must stay off under an active fault plan"
+    );
+    let rerun = run_system_with_faults(&spec, &d.workload, &cfg, flow.power(), &plan);
+    assert_eq!(
+        report_bits(&faulted.report),
+        report_bits(&rerun.report),
+        "faulted runs must stay deterministic"
+    );
+    telemetry::disable();
+}
