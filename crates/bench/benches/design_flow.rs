@@ -15,7 +15,9 @@
 //!   platform with the reused-simulator relaxation loop (current
 //!   implementation only; the pre-optimization median is recorded in
 //!   `BENCH_design_flow.json`), plus the full 256-core report
-//!   (budgeted at ≤10× the 64-core row).
+//!   (budgeted at ≤10× the 64-core row) and a power-governed row
+//!   (same static run + the capped epoch replay) that isolates the
+//!   governor's overhead over the plain report.
 //!
 //! Both sides of each reference/incremental pair at the 64-core operating
 //! points are required to produce bit-identical results (see
@@ -240,6 +242,32 @@ fn main() {
         "run_system_memoized/report",
         median_secs(|| {
             std::hint::black_box(run_system(&spec_m, &d_m.workload, &cfg, flow.power()));
+        }),
+    ));
+
+    // The governed variant of the paper row: the same static run plus the
+    // epoch-replay pass under a cap at 80% of the measured static peak.
+    // The delta over `run_system_paper/report` is the governor's overhead
+    // (utilization sampling + capped level search + replay), which should
+    // stay a small fraction of the report itself.
+    let probe = mapwave::governed::run_system_governed(
+        &spec,
+        &d.workload,
+        &cfg,
+        flow.power(),
+        &mapwave_governor::GovernorConfig::new(1e9),
+    );
+    let gov = mapwave_governor::GovernorConfig::new(0.8 * probe.static_peak_power_w);
+    results.push((
+        "run_system_governed/report",
+        median_secs(|| {
+            std::hint::black_box(mapwave::governed::run_system_governed(
+                &spec,
+                &d.workload,
+                &cfg,
+                flow.power(),
+                &gov,
+            ));
         }),
     ));
 

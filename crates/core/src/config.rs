@@ -1,5 +1,6 @@
 //! Platform configuration for the design flow and experiments.
 
+use mapwave_manycore::dram::DramConfig;
 use mapwave_vfi::assignment::BottleneckParams;
 use mapwave_vfi::vf::VfTable;
 
@@ -88,6 +89,12 @@ pub struct PlatformConfig {
     ///
     /// [`run_system`]: crate::system::run_system
     pub sim_threads: usize,
+    /// Off-chip memory path: [`DramConfig::ideal`] (the fixed-latency
+    /// model every golden is pinned against) or [`DramConfig::banked`]
+    /// (per-controller command queues and bank state, so miss traffic
+    /// observes queueing latency). Ideal configurations hash identically
+    /// to configurations predating this field.
+    pub dram: DramConfig,
 }
 
 impl PlatformConfig {
@@ -114,6 +121,7 @@ impl PlatformConfig {
             noc_vcs: 1,
             noc_adaptive: false,
             sim_threads: 1,
+            dram: DramConfig::ideal(),
         }
     }
 
@@ -218,6 +226,12 @@ impl PlatformConfig {
         self
     }
 
+    /// Sets the off-chip memory model.
+    pub fn with_dram(mut self, dram: DramConfig) -> Self {
+        self.dram = dram;
+        self
+    }
+
     /// Validates internal consistency.
     ///
     /// # Errors
@@ -264,6 +278,7 @@ impl PlatformConfig {
         if self.sim_threads == 0 {
             return Err("need at least one simulation thread".into());
         }
+        self.dram.validate()?;
         Ok(())
     }
 }

@@ -57,6 +57,7 @@ pub mod ablations;
 pub mod config;
 pub mod design_flow;
 pub mod experiments;
+pub mod governed;
 pub mod orchestrator;
 pub mod placement;
 pub mod report;
@@ -66,6 +67,9 @@ pub mod system;
 pub use config::{PlacementStrategy, PlatformConfig};
 pub use design_flow::{Design, DesignFlow, VfStage};
 pub use experiments::ExperimentContext;
+pub use governed::{
+    run_system_governed, run_system_governed_with_faults, EpochRecord, GovernedRunReport,
+};
 pub use orchestrator::ArtifactSink;
 pub use survivability::{
     fault_sweep, fault_sweep_with_sink, FaultSweepConfig, FaultSweepPoint, FaultSweepReport,
@@ -77,6 +81,9 @@ pub mod prelude {
     pub use crate::config::{PlacementStrategy, PlatformConfig};
     pub use crate::design_flow::{Design, DesignFlow, VfStage};
     pub use crate::experiments::ExperimentContext;
+    pub use crate::governed::{
+        run_system_governed, run_system_governed_with_faults, GovernedRunReport,
+    };
     pub use crate::survivability::{fault_sweep, FaultSweepConfig, FaultSweepReport};
     pub use crate::system::{
         run_system, run_system_with_faults, FaultRunReport, RunReport, SystemSpec,

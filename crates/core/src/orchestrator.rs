@@ -75,6 +75,22 @@ impl StableHash for PlatformConfig {
         // `sim_threads` is deliberately omitted: it only changes wall-clock
         // time, never results, so configurations differing only in thread
         // count share cache entries.
+        //
+        // The DRAM model is hashed only when banked: an ideal configuration
+        // is behaviourally identical to one predating the field, so every
+        // pre-existing cache entry and sweep-cell key stays valid.
+        if !self.dram.is_ideal() {
+            "dram-banked".stable_hash(h);
+            self.dram.banks_per_controller.stable_hash(h);
+            self.dram.timing.t_rp.stable_hash(h);
+            self.dram.timing.t_rcd.stable_hash(h);
+            self.dram.timing.t_cas.stable_hash(h);
+            self.dram.timing.t_burst.stable_hash(h);
+            self.dram.queue_depth.stable_hash(h);
+            self.dram.spatial_run.stable_hash(h);
+            self.dram.streams.stable_hash(h);
+            self.dram.window_cycles.stable_hash(h);
+        }
     }
 }
 
@@ -281,6 +297,24 @@ mod tests {
         for (i, v) in variants.iter().enumerate() {
             assert_ne!(config_key(v), k, "field change {i} must change the key");
         }
+    }
+
+    #[test]
+    fn ideal_dram_keys_like_the_pre_dram_config() {
+        use mapwave_manycore::dram::DramConfig;
+        let base = PlatformConfig::paper();
+        // Ideal is the default; an explicitly-set ideal keys identically.
+        let explicit = base.clone().with_dram(DramConfig::ideal());
+        assert_eq!(config_key(&base), config_key(&explicit));
+        // Banked changes the key, and so does any banked parameter.
+        let banked = base.clone().with_dram(DramConfig::banked());
+        assert_ne!(config_key(&base), config_key(&banked));
+        let mut tweaked = DramConfig::banked();
+        tweaked.queue_depth = 32;
+        assert_ne!(
+            config_key(&banked),
+            config_key(&base.clone().with_dram(tweaked))
+        );
     }
 
     #[test]

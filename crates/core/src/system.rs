@@ -17,7 +17,10 @@ use crate::config::PlatformConfig;
 use crate::placement::quadrant_of;
 use mapwave_faults::{FaultPlan, FaultStats};
 use mapwave_harness::hash::{CacheKey, StableHash, StableHasher};
+use mapwave_manycore::dram::DramModel;
 use mapwave_manycore::mapping::ThreadMapping;
+use mapwave_manycore::memory::{ControllerLayout, MemorySystem};
+use mapwave_manycore::platform::Platform;
 use mapwave_noc::routing::RoutingTable;
 use mapwave_noc::sim::{NetworkSim, SimConfig};
 use mapwave_noc::topology::wireless::WirelessOverlay;
@@ -143,8 +146,9 @@ pub fn run_system_with_faults(
 
 /// The shared engine behind [`run_system`] (no plan — every fault hook in
 /// the runtime and the NoC stays on its zero-cost disabled path) and
-/// [`run_system_with_faults`].
-fn run_system_inner(
+/// [`run_system_with_faults`]; [`crate::governed`] reuses it for the
+/// static half of a governed run.
+pub(crate) fn run_system_inner(
     spec: &SystemSpec,
     workload: &AppWorkload,
     cfg: &PlatformConfig,
@@ -204,6 +208,70 @@ fn run_system_inner(
     let tile_domain: Vec<usize> = (0..n)
         .map(|t| quadrant_of(NodeId(t), cfg.cols, cfg.rows))
         .collect();
+
+    // Banked DRAM: per-controller command queues behind the corner memory
+    // controllers. Each relaxation round aggregates the execution's miss
+    // stream per controller, measures a queueing window, and feeds the
+    // measured latency (plus the geometric hop round trip) back into the
+    // cache model's off-chip term — exactly the loop the NoC latencies
+    // already run. Ideal DRAM (the default) never enters this block, so
+    // the executor keeps the calibrated fixed constant bit-for-bit.
+    let dram_enabled = !cfg.dram.is_ideal();
+    let mut dram_state = dram_enabled.then(|| {
+        let platform = Platform::new(cfg.cols, cfg.rows, cfg.tile_mm);
+        let memory = MemorySystem::new(&platform, ControllerLayout::Corners);
+        let model = DramModel::new(cfg.dram.clone(), memory.controllers().len())
+            .expect("validated banked config");
+        // Die-wide miss intensity (off-chip requests per instruction),
+        // phase-weighted over the workload's memory profiles.
+        let profile_mean = |f: &dyn Fn(&mapwave_phoenix::workload::IterationWorkload) -> f64| {
+            workload.iterations.iter().map(f).sum::<f64>() / workload.iterations.len().max(1) as f64
+        };
+        let map_mpi =
+            profile_mean(&|it| it.map_memory.l1_mpki / 1000.0 * it.map_memory.l2_miss_rate);
+        let reduce_mpi =
+            profile_mean(&|it| it.reduce_memory.l1_mpki / 1000.0 * it.reduce_memory.l2_miss_rate);
+        let hop_rt = memory.avg_hop_round_trip_cycles(&platform);
+        let rates = vec![0.0f64; memory.controllers().len()];
+        (platform, memory, model, map_mpi, reduce_mpi, hop_rt, rates)
+    });
+    let default_mem_bits = executor.config().cache.mem_latency_cycles.to_bits();
+    let mut prev_mem_bits = default_mem_bits;
+    // Measures one DRAM window for the current execution and returns the
+    // effective off-chip latency, or None when the workload misses nothing
+    // (zero-miss streams bypass the controller model entirely).
+    let mut dram_latency = |exec: &ExecutionReport, speeds: &[f64]| -> Option<f64> {
+        let (platform, memory, model, map_mpi, reduce_mpi, hop_rt, rates) = dram_state.as_mut()?;
+        let phases = &exec.phases;
+        let map_w = phases.lib_init + phases.map;
+        let reduce_w = phases.reduce + phases.merge;
+        let total_w = map_w + reduce_w;
+        if total_w <= 0.0 {
+            return None;
+        }
+        let miss_per_inst = (*map_mpi * map_w + *reduce_mpi * reduce_w) / total_w;
+        rates.iter_mut().for_each(|r| *r = 0.0);
+        let mut offered = 0.0;
+        for (core, &speed) in speeds.iter().enumerate().take(n) {
+            // A busy core at clock ratio `s` issues ~`s` instructions per
+            // reference cycle; its misses drain to the nearest controller.
+            let r = exec.utilization[core] * speed * miss_per_inst;
+            if r > 0.0 {
+                let tile = spec.mapping.tile_of(core);
+                rates[memory.nearest_controller_index(platform, tile)] += r;
+                offered += r;
+            }
+        }
+        if offered <= 0.0 {
+            return None;
+        }
+        let stats = model.measure(rates);
+        mapwave_harness::telemetry::count("dram.requests", stats.serviced);
+        mapwave_harness::telemetry::count("dram.row_hits", stats.row_hits);
+        mapwave_harness::telemetry::count("dram.row_misses", stats.row_misses);
+        mapwave_harness::telemetry::count("dram.stall_cycles", stats.backpressure_cycles);
+        Some(*hop_rt + stats.avg_latency_cycles(&model.config().timing))
+    };
 
     let sim_cfg = SimConfig {
         vcs: cfg.noc_vcs,
@@ -478,6 +546,16 @@ fn run_system_inner(
             reduce: blend(prev.reduce, rt(&reduce_net, map_rt)),
             merge: blend(prev.merge, rt(&merge_net, map_rt)),
         };
+        // Banked DRAM joins the relaxation: the effective off-chip latency
+        // is re-measured from this round's execution (None = the workload
+        // misses nothing and keeps the calibrated default).
+        let mem_bits = if dram_enabled {
+            dram_latency(&exec, &executor.config().core_speeds)
+                .map(f64::to_bits)
+                .unwrap_or(default_mem_bits)
+        } else {
+            prev_mem_bits
+        };
         // Early exit at a bit-exact fixpoint: this round's blended
         // latencies equal the previous round's, so the executor rerun would
         // reproduce `exec` exactly, the next round's windows would see the
@@ -486,7 +564,10 @@ fn run_system_inner(
         // ARE the final ones. (Only valid from round 1 on: the pass-1
         // executor ran with the config's own per-phase defaults, not with
         // `prev`.)
-        if round > 0 && latencies_bits(&latencies) == latencies_bits(&prev) {
+        if round > 0
+            && latencies_bits(&latencies) == latencies_bits(&prev)
+            && mem_bits == prev_mem_bits
+        {
             mapwave_harness::telemetry::count(
                 "core.relaxation_rounds_saved",
                 u64::from(rounds - 1 - round),
@@ -494,8 +575,12 @@ fn run_system_inner(
             break;
         }
         executor.set_phase_latencies(latencies);
+        if mem_bits != prev_mem_bits {
+            executor.set_mem_latency_cycles(f64::from_bits(mem_bits));
+        }
         exec = run_exec(&executor, &mut scratch, &mut last_phx);
         prev = latencies;
+        prev_mem_bits = mem_bits;
     }
     mapwave_harness::telemetry::count("core.windows_memoized", windows_memoized);
 

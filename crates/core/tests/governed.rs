@@ -1,0 +1,215 @@
+//! Power-capping governor and banked-DRAM integration tests.
+//!
+//! The acceptance bar for the governed path: a cap at 80% of the static
+//! design's peak power is never exceeded in any epoch — on WordCount and
+//! PCA, clean and faulted — and the governed report is byte-deterministic
+//! across simulation thread counts. The DRAM side pins the boundary
+//! behaviour: `DramConfig::ideal()` is bit-identical to the pre-DRAM
+//! platform, and zero-miss workloads bypass the banked controller model
+//! entirely.
+
+use mapwave::config::PlatformConfig;
+use mapwave::design_flow::{DesignFlow, VfStage};
+use mapwave::governed::{run_system_governed, run_system_governed_with_faults, GovernedRunReport};
+use mapwave::system::run_system;
+use mapwave_faults::{FaultConfig, FaultPlan};
+use mapwave_governor::GovernorConfig;
+use mapwave_manycore::dram::DramConfig;
+use mapwave_phoenix::apps::App;
+
+fn test_cfg() -> PlatformConfig {
+    PlatformConfig::small().with_scale(0.002)
+}
+
+fn governed(
+    cfg: &PlatformConfig,
+    app: App,
+    cap_w: f64,
+    plan: Option<&FaultPlan>,
+) -> GovernedRunReport {
+    let flow = DesignFlow::new(cfg.clone()).unwrap();
+    let design = flow.design(app);
+    let spec = flow.vfi_mesh_spec(&design, VfStage::Vfi2);
+    let gov = GovernorConfig::new(cap_w).with_epoch_cycles(20_000);
+    match plan {
+        None => run_system_governed(&spec, &design.workload, cfg, flow.power(), &gov),
+        Some(plan) => {
+            run_system_governed_with_faults(&spec, &design.workload, cfg, flow.power(), &gov, plan)
+        }
+    }
+}
+
+fn fault_plan() -> FaultPlan {
+    FaultPlan::build(&FaultConfig::at_rate(0.05, 0xCA9))
+}
+
+#[test]
+fn cap_at_80_percent_of_peak_is_respected_every_epoch() {
+    let cfg = test_cfg();
+    for app in [App::WordCount, App::Pca] {
+        // An effectively uncapped run measures the static peak.
+        let probe = governed(&cfg, app, 1e6, None);
+        let peak = probe.static_peak_power_w;
+        assert!(peak > 0.0);
+        let cap = 0.8 * peak;
+
+        for plan in [None, Some(fault_plan())] {
+            let faulted = plan.is_some();
+            let run = governed(&cfg, app, cap, plan.as_ref());
+            assert!(!run.epochs.is_empty(), "{app:?}: empty epoch trace");
+            assert!(
+                run.cap_respected(),
+                "{app:?} faulted={faulted}: peak measured {} over cap {cap}",
+                run.peak_measured_power_w()
+            );
+            assert_eq!(
+                run.stats.cap_violations, 0,
+                "{app:?} faulted={faulted}: 80% of peak must be feasible"
+            );
+            assert!(
+                run.stats.throttles > 0,
+                "{app:?} faulted={faulted}: a sub-peak cap must throttle"
+            );
+            // Every epoch's measured power is also bounded by its own
+            // projection (the hard-guarantee invariant).
+            for (k, e) in run.epochs.iter().enumerate() {
+                assert!(
+                    e.measured_power_w <= e.projected_power_w + 1e-9,
+                    "{app:?} epoch {k}: measured {} above projection {}",
+                    e.measured_power_w,
+                    e.projected_power_w
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn uncapped_governed_run_matches_the_static_run() {
+    let cfg = test_cfg();
+    let run = governed(&cfg, App::WordCount, 1e6, None);
+    assert_eq!(run.stats.throttles, 0);
+    assert_eq!(run.stats.cap_violations, 0);
+    assert!(
+        (run.slowdown() - 1.0).abs() < 1e-9,
+        "uncapped slowdown {}",
+        run.slowdown()
+    );
+    let energy_ratio = run.governed_core_energy_j / run.base.report.core_energy_j;
+    assert!(
+        (energy_ratio - 1.0).abs() < 1e-9,
+        "uncapped energy ratio {energy_ratio}"
+    );
+}
+
+#[test]
+fn capped_run_trades_time_for_power() {
+    let cfg = test_cfg();
+    let probe = governed(&cfg, App::Pca, 1e6, None);
+    let run = governed(&cfg, App::Pca, 0.8 * probe.static_peak_power_w, None);
+    assert!(
+        run.slowdown() >= 1.0,
+        "throttling cannot speed the run up: {}",
+        run.slowdown()
+    );
+    assert!(
+        run.peak_measured_power_w() < probe.peak_measured_power_w(),
+        "capped peak must sit below the uncapped peak"
+    );
+}
+
+#[test]
+fn governed_report_is_byte_deterministic_across_sim_threads() {
+    for plan in [None, Some(fault_plan())] {
+        let runs: Vec<GovernedRunReport> = [1usize, 4]
+            .iter()
+            .map(|&threads| {
+                let cfg = test_cfg().with_sim_threads(threads);
+                let probe = governed(&cfg, App::WordCount, 1e6, None);
+                governed(
+                    &cfg,
+                    App::WordCount,
+                    0.8 * probe.static_peak_power_w,
+                    plan.as_ref(),
+                )
+            })
+            .collect();
+        let (a, b) = (&runs[0], &runs[1]);
+        assert_eq!(a.epochs, b.epochs, "epoch traces diverge across threads");
+        for (x, y, what) in [
+            (a.governed_exec_seconds, b.governed_exec_seconds, "time"),
+            (a.governed_core_energy_j, b.governed_core_energy_j, "energy"),
+            (a.governed_edp, b.governed_edp, "edp"),
+            (a.base.report.edp, b.base.report.edp, "base edp"),
+        ] {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what} not byte-identical");
+        }
+    }
+}
+
+#[test]
+fn faulted_governed_run_composes_with_reassignment() {
+    let cfg = test_cfg();
+    let run = governed(&cfg, App::WordCount, 1e6, Some(&fault_plan()));
+    // The faulted path must at least have consulted the degradation
+    // reaction and carried fault activity through the base report.
+    assert!(run.base.faults.injected() > 0, "plan injected nothing");
+    assert!(run.cap_respected(), "generous cap trivially respected");
+}
+
+#[test]
+fn explicit_ideal_dram_is_bit_identical_to_the_default() {
+    let cfg = test_cfg();
+    let flow = DesignFlow::new(cfg.clone()).unwrap();
+    let design = flow.design(App::WordCount);
+    let spec = flow.vfi_mesh_spec(&design, VfStage::Vfi2);
+    let base = run_system(&spec, &design.workload, &cfg, flow.power());
+
+    let cfg_ideal = cfg.clone().with_dram(DramConfig::ideal());
+    let ideal = run_system(&spec, &design.workload, &cfg_ideal, flow.power());
+    assert_eq!(base.exec, ideal.exec);
+    assert_eq!(base.edp.to_bits(), ideal.edp.to_bits());
+    assert_eq!(
+        base.exec_seconds.to_bits(),
+        ideal.exec_seconds.to_bits(),
+        "ideal DRAM must never perturb the golden path"
+    );
+}
+
+#[test]
+fn zero_miss_workloads_bypass_the_banked_controller() {
+    let cfg = test_cfg();
+    let flow = DesignFlow::new(cfg.clone()).unwrap();
+    let design = flow.design(App::WordCount);
+    let spec = flow.vfi_mesh_spec(&design, VfStage::Vfi2);
+    // Strip all off-chip misses: every L2 access hits on-chip.
+    let mut workload = design.workload.clone();
+    for it in &mut workload.iterations {
+        it.map_memory.l2_miss_rate = 0.0;
+        it.reduce_memory.l2_miss_rate = 0.0;
+    }
+    let ideal = run_system(&spec, &workload, &cfg, flow.power());
+    let banked_cfg = cfg.clone().with_dram(DramConfig::banked());
+    let banked = run_system(&spec, &workload, &banked_cfg, flow.power());
+    assert_eq!(
+        ideal.exec, banked.exec,
+        "zero-miss run must never consult DRAM"
+    );
+    assert_eq!(ideal.edp.to_bits(), banked.edp.to_bits());
+}
+
+#[test]
+fn banked_dram_engages_on_missing_workloads() {
+    let cfg = test_cfg();
+    let flow = DesignFlow::new(cfg.clone()).unwrap();
+    let design = flow.design(App::WordCount);
+    let spec = flow.vfi_mesh_spec(&design, VfStage::Vfi2);
+    let ideal = run_system(&spec, &design.workload, &cfg, flow.power());
+    let banked_cfg = cfg.clone().with_dram(DramConfig::banked());
+    let banked = run_system(&spec, &design.workload, &banked_cfg, flow.power());
+    assert_ne!(
+        ideal.exec_seconds.to_bits(),
+        banked.exec_seconds.to_bits(),
+        "a missing workload must observe controller queueing"
+    );
+}

@@ -1,0 +1,497 @@
+//! # mapwave-governor
+//!
+//! Online power-capping DVFS governor for VFI islands — the dynamic
+//! counterpart to the design flow's static per-phase V/F assignment.
+//!
+//! The static flow (the DAC'15 study) picks one operating point per island
+//! from profiled utilization and never revisits it. This crate adds the
+//! scenario the KNL/KNM power-capping study measures on real hardware: a
+//! chip-level power cap enforced at runtime. Execution is divided into
+//! fixed-length **epochs**; at each epoch boundary the governor takes the
+//! islands' utilization telemetry from the previous epoch, projects chip
+//! power for the next one, and moves island V/F levels to keep the
+//! projection under the cap:
+//!
+//! * **Throttle pass** — while the projection exceeds the cap, the
+//!   lowest-utilization island above the bottom level steps down one level
+//!   (ties broken toward the lowest island index). Throttling ignores
+//!   hysteresis lockouts: the cap is a safety bound and acts immediately.
+//! * **Boost pass** — islands sitting below their statically desired level
+//!   step back up (highest-utilization first) only when the projection
+//!   stays under `cap · (1 − margin)` *and* their post-throttle lockout has
+//!   expired. The margin dead-band plus the lockout prevent
+//!   throttle/boost oscillation at a boundary cap.
+//!
+//! Both passes are pure functions of the sampled utilizations and the
+//! governor's own state, so a governed run is exactly as deterministic as
+//! the ungoverned simulation feeding it.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use mapwave_governor::{GovernorConfig, PowerGovernor};
+//! use mapwave_vfi::power::CorePowerModel;
+//! use mapwave_vfi::vf::VfTable;
+//!
+//! let table = VfTable::paper_levels();
+//! let model = CorePowerModel::default_x86();
+//! // Two 2-core islands, both statically assigned the top level.
+//! let mut gov = PowerGovernor::new(
+//!     GovernorConfig::new(3.0),
+//!     table,
+//!     model,
+//!     vec![3, 3],
+//! )
+//! .unwrap();
+//! let plan = gov.plan_epoch(&[vec![0.9, 0.9], vec![0.3, 0.3]]);
+//! assert!(plan.projected_power_w <= 3.0);
+//! // The busy island keeps a higher level than the idle one.
+//! assert!(plan.levels[0] >= plan.levels[1]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use mapwave_vfi::power::CorePowerModel;
+use mapwave_vfi::vf::VfTable;
+
+/// Governor tuning: the cap itself plus epoch/hysteresis shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GovernorConfig {
+    /// Chip-level power cap in watts.
+    pub power_cap_w: f64,
+    /// Epoch length in reference-clock cycles (the sampling and actuation
+    /// period).
+    pub epoch_cycles: u64,
+    /// Epochs a throttled island must wait before it may boost again.
+    pub hysteresis_epochs: u32,
+    /// Dead-band fraction under the cap required before boosting:
+    /// a boost is taken only if the projection stays at or below
+    /// `power_cap_w · (1 − cap_margin)`.
+    pub cap_margin: f64,
+}
+
+impl GovernorConfig {
+    /// Default epoch length: 50k reference cycles (20 µs at 2.5 GHz).
+    pub const DEFAULT_EPOCH_CYCLES: u64 = 50_000;
+
+    /// A cap at `power_cap_w` with the default epoch length, a 2-epoch
+    /// boost lockout after throttling and a 5% boost dead-band.
+    pub fn new(power_cap_w: f64) -> Self {
+        GovernorConfig {
+            power_cap_w,
+            epoch_cycles: Self::DEFAULT_EPOCH_CYCLES,
+            hysteresis_epochs: 2,
+            cap_margin: 0.05,
+        }
+    }
+
+    /// Sets the epoch length in reference cycles.
+    pub fn with_epoch_cycles(mut self, epoch_cycles: u64) -> Self {
+        self.epoch_cycles = epoch_cycles;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.power_cap_w > 0.0 && self.power_cap_w.is_finite()) {
+            return Err("power cap must be positive and finite".into());
+        }
+        if self.epoch_cycles == 0 {
+            return Err("epoch length must be nonzero".into());
+        }
+        if !(0.0..1.0).contains(&self.cap_margin) {
+            return Err("cap margin must be in [0, 1)".into());
+        }
+        Ok(())
+    }
+}
+
+/// The level assignment planned for one epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochPlan {
+    /// Planned level index per island (into the governor's [`VfTable`]).
+    pub levels: Vec<usize>,
+    /// Chip power projected for this plan from the sampled utilizations,
+    /// in watts.
+    pub projected_power_w: f64,
+    /// Whether the projection still exceeds the cap with every island at
+    /// the bottom level (the cap is infeasible for this telemetry; the
+    /// governor has no lever left).
+    pub violated: bool,
+    /// Islands stepped down this epoch.
+    pub throttled: u32,
+    /// Islands stepped up this epoch.
+    pub boosted: u32,
+}
+
+/// Lifetime counters of one governor instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GovernorStats {
+    /// Epochs planned.
+    pub epochs: u64,
+    /// Individual one-level throttle steps taken.
+    pub throttles: u64,
+    /// Individual one-level boost steps taken.
+    pub boosts: u64,
+    /// Epochs whose projection exceeded the cap with all islands already
+    /// at the bottom level.
+    pub cap_violations: u64,
+}
+
+/// The online power-capping governor.
+///
+/// One instance governs one chip: it owns the current per-island level
+/// assignment and is consulted once per epoch with fresh utilization
+/// telemetry. See the [crate docs](crate) for the control law.
+#[derive(Debug, Clone)]
+pub struct PowerGovernor {
+    cfg: GovernorConfig,
+    table: VfTable,
+    model: CorePowerModel,
+    /// Current level index per island.
+    levels: Vec<usize>,
+    /// Statically desired level index per island (the boost ceiling).
+    desired: Vec<usize>,
+    /// Epochs remaining before each island may boost again.
+    lockout: Vec<u32>,
+    stats: GovernorStats,
+}
+
+impl PowerGovernor {
+    /// Creates a governor over `desired_levels.len()` islands, each
+    /// starting at its statically desired level (indexes into `table`).
+    ///
+    /// # Errors
+    ///
+    /// Rejects an invalid configuration, an empty island set, and any
+    /// desired level outside the table.
+    pub fn new(
+        cfg: GovernorConfig,
+        table: VfTable,
+        model: CorePowerModel,
+        desired_levels: Vec<usize>,
+    ) -> Result<Self, String> {
+        cfg.validate()?;
+        if desired_levels.is_empty() {
+            return Err("governor needs at least one island".into());
+        }
+        if let Some(&bad) = desired_levels.iter().find(|&&l| l >= table.len()) {
+            return Err(format!(
+                "desired level {bad} out of range for a {}-level table",
+                table.len()
+            ));
+        }
+        let n = desired_levels.len();
+        Ok(PowerGovernor {
+            cfg,
+            table,
+            model,
+            levels: desired_levels.clone(),
+            desired: desired_levels,
+            lockout: vec![0; n],
+            stats: GovernorStats::default(),
+        })
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &GovernorConfig {
+        &self.cfg
+    }
+
+    /// The current level assignment.
+    pub fn levels(&self) -> &[usize] {
+        &self.levels
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> GovernorStats {
+        self.stats
+    }
+
+    /// Power of one island whose cores run at `level` with the given
+    /// utilizations, in watts.
+    pub fn island_power_w(&self, level: usize, utilizations: &[f64]) -> f64 {
+        let vf = self.table.levels()[level];
+        utilizations
+            .iter()
+            .map(|&u| self.model.power_w(u, vf))
+            .sum()
+    }
+
+    /// Chip power for an explicit level assignment, in watts.
+    pub fn chip_power_w(&self, levels: &[usize], island_utilization: &[Vec<f64>]) -> f64 {
+        levels
+            .iter()
+            .zip(island_utilization)
+            .map(|(&l, u)| self.island_power_w(l, u))
+            .sum()
+    }
+
+    /// Plans the next epoch from per-island, per-core utilization
+    /// telemetry (one inner vector per island, in island order).
+    ///
+    /// The sampled utilizations are treated as the projection for the
+    /// upcoming epoch. Because measured utilization in the replay model
+    /// never rises epoch-over-epoch for a fixed workload, and core power
+    /// is monotone in utilization, a plan whose projection respects the
+    /// cap also respects it when measured.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the island count differs from construction.
+    pub fn plan_epoch(&mut self, island_utilization: &[Vec<f64>]) -> EpochPlan {
+        assert_eq!(
+            island_utilization.len(),
+            self.levels.len(),
+            "one utilization vector per island"
+        );
+        self.stats.epochs += 1;
+        for l in &mut self.lockout {
+            *l = l.saturating_sub(1);
+        }
+        let n = self.levels.len();
+        let island_power: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..self.table.len())
+                    .map(|l| self.island_power_w(l, &island_utilization[i]))
+                    .collect()
+            })
+            .collect();
+        let mean_u: Vec<f64> = island_utilization
+            .iter()
+            .map(|u| {
+                if u.is_empty() {
+                    0.0
+                } else {
+                    u.iter().sum::<f64>() / u.len() as f64
+                }
+            })
+            .collect();
+        let mut total: f64 = (0..n).map(|i| island_power[i][self.levels[i]]).sum();
+        let mut boosted = 0u32;
+        let mut throttled = 0u32;
+
+        // Boost pass: hottest island first, one level per island per
+        // epoch, only into the dead-band below the cap.
+        let boost_ceiling = self.cfg.power_cap_w * (1.0 - self.cfg.cap_margin);
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            mean_u[b]
+                .partial_cmp(&mean_u[a])
+                .expect("utilizations are finite")
+                .then(a.cmp(&b))
+        });
+        for &i in &order {
+            if self.levels[i] >= self.desired[i] || self.lockout[i] > 0 {
+                continue;
+            }
+            let next = self.levels[i] + 1;
+            let candidate = total - island_power[i][self.levels[i]] + island_power[i][next];
+            if candidate <= boost_ceiling {
+                self.levels[i] = next;
+                total = candidate;
+                boosted += 1;
+                self.stats.boosts += 1;
+            }
+        }
+
+        // Throttle pass: coldest island first, as many steps as the cap
+        // needs. Safety ignores lockouts.
+        while total > self.cfg.power_cap_w {
+            let victim = (0..n).filter(|&i| self.levels[i] > 0).min_by(|&a, &b| {
+                mean_u[a]
+                    .partial_cmp(&mean_u[b])
+                    .expect("utilizations are finite")
+                    .then(a.cmp(&b))
+            });
+            let Some(i) = victim else { break };
+            let next = self.levels[i] - 1;
+            total = total - island_power[i][self.levels[i]] + island_power[i][next];
+            self.levels[i] = next;
+            self.lockout[i] = self.cfg.hysteresis_epochs;
+            throttled += 1;
+            self.stats.throttles += 1;
+        }
+
+        let violated = total > self.cfg.power_cap_w;
+        if violated {
+            self.stats.cap_violations += 1;
+        }
+        EpochPlan {
+            levels: self.levels.clone(),
+            projected_power_w: total,
+            violated,
+            throttled,
+            boosted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn governor(cap: f64, desired: Vec<usize>) -> PowerGovernor {
+        PowerGovernor::new(
+            GovernorConfig::new(cap),
+            VfTable::paper_levels(),
+            CorePowerModel::default_x86(),
+            desired,
+        )
+        .unwrap()
+    }
+
+    /// Four 4-core islands, everyone busy.
+    fn busy(n_islands: usize, cores: usize, u: f64) -> Vec<Vec<f64>> {
+        vec![vec![u; cores]; n_islands]
+    }
+
+    #[test]
+    fn generous_cap_never_throttles() {
+        let mut g = governor(1000.0, vec![3; 4]);
+        for _ in 0..5 {
+            let plan = g.plan_epoch(&busy(4, 4, 0.9));
+            assert_eq!(plan.levels, vec![3; 4]);
+            assert_eq!(plan.throttled, 0);
+        }
+        assert_eq!(g.stats().throttles, 0);
+        assert_eq!(g.stats().cap_violations, 0);
+    }
+
+    #[test]
+    fn tight_cap_throttles_coldest_island_first() {
+        let mut g = governor(10.0, vec![3; 4]);
+        let mut utils = busy(4, 4, 0.9);
+        utils[2] = vec![0.1; 4]; // island 2 is nearly idle
+        let plan = g.plan_epoch(&utils);
+        assert!(plan.projected_power_w <= 10.0);
+        assert!(plan.levels[2] < 3, "cold island throttles first");
+        assert!(plan.throttled > 0);
+    }
+
+    #[test]
+    fn projection_respects_cap_whenever_feasible() {
+        for cap in [4.0, 6.0, 8.0, 12.0, 14.5] {
+            let mut g = governor(cap, vec![3; 4]);
+            let plan = g.plan_epoch(&busy(4, 4, 0.95));
+            let floor = g.chip_power_w(&[0; 4], &busy(4, 4, 0.95));
+            if floor <= cap {
+                assert!(
+                    plan.projected_power_w <= cap,
+                    "cap {cap}: projection {} over",
+                    plan.projected_power_w
+                );
+                assert!(!plan.violated);
+            } else {
+                assert!(plan.violated, "cap {cap} is infeasible yet not reported");
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_cap_reports_violation_at_bottom() {
+        let mut g = governor(0.5, vec![3; 4]);
+        let plan = g.plan_epoch(&busy(4, 4, 0.9));
+        assert_eq!(plan.levels, vec![0; 4], "everything at the floor");
+        assert!(plan.violated);
+        assert_eq!(g.stats().cap_violations, 1);
+    }
+
+    #[test]
+    fn no_oscillation_at_a_boundary_cap() {
+        // Pick a cap strictly between the chip power at desired levels and
+        // one throttle step below, so the governor must throttle once and
+        // then hold: any boost would re-cross the cap.
+        let g0 = governor(100.0, vec![3; 4]);
+        let utils = busy(4, 4, 0.8);
+        let at_desired = g0.chip_power_w(&[3; 4], &utils);
+        let one_down = g0.chip_power_w(&[3, 3, 2, 3], &utils);
+        let cap = 0.5 * (at_desired + one_down);
+        let mut g = governor(cap, vec![3; 4]);
+        let first = g.plan_epoch(&utils);
+        assert!(first.throttled > 0, "boundary cap must throttle initially");
+        let settled = first.levels.clone();
+        // >= 3 consecutive epochs at the boundary: the assignment holds
+        // still — no throttle/boost ping-pong.
+        for epoch in 0..4 {
+            let plan = g.plan_epoch(&utils);
+            assert_eq!(plan.levels, settled, "oscillation at epoch {epoch}");
+            assert_eq!(plan.throttled, 0);
+            assert_eq!(plan.boosted, 0);
+        }
+    }
+
+    #[test]
+    fn boost_returns_to_desired_when_load_drops() {
+        let mut g = governor(8.0, vec![3; 4]);
+        // Hot start forces throttling.
+        let hot = busy(4, 4, 0.95);
+        let first = g.plan_epoch(&hot);
+        assert!(first.levels.iter().any(|&l| l < 3));
+        // Load collapses; after the lockout drains, islands boost back.
+        let cool = busy(4, 4, 0.05);
+        let mut last = Vec::new();
+        for _ in 0..6 {
+            last = g.plan_epoch(&cool).levels;
+        }
+        assert_eq!(last, vec![3; 4], "idle chip returns to desired levels");
+        assert!(g.stats().boosts > 0);
+    }
+
+    #[test]
+    fn boost_waits_out_the_lockout() {
+        let mut g = governor(8.0, vec![3; 4]);
+        let hot = busy(4, 4, 0.95);
+        let throttled_levels = g.plan_epoch(&hot).levels;
+        // Immediately cool: the throttled islands may not boost while the
+        // hysteresis lockout is live even though power headroom exists.
+        let cool = busy(4, 4, 0.05);
+        let plan = g.plan_epoch(&cool);
+        assert_eq!(
+            plan.levels, throttled_levels,
+            "lockout must hold the first cool epoch"
+        );
+        assert_eq!(plan.boosted, 0);
+    }
+
+    #[test]
+    fn determinism_same_telemetry_same_plans() {
+        let run = || {
+            let mut g = governor(9.0, vec![3, 2, 3, 1]);
+            let mut trace = Vec::new();
+            for e in 0..8 {
+                let u = 0.2 + 0.1 * (e % 4) as f64;
+                trace.push(g.plan_epoch(&busy(4, 4, u)));
+            }
+            trace
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn rejects_bad_construction() {
+        let t = VfTable::paper_levels();
+        let m = CorePowerModel::default_x86();
+        assert!(
+            PowerGovernor::new(GovernorConfig::new(5.0), t.clone(), m.clone(), vec![]).is_err()
+        );
+        assert!(
+            PowerGovernor::new(GovernorConfig::new(5.0), t.clone(), m.clone(), vec![4]).is_err()
+        );
+        assert!(
+            PowerGovernor::new(GovernorConfig::new(-1.0), t.clone(), m.clone(), vec![0]).is_err()
+        );
+        assert!(GovernorConfig::new(5.0)
+            .with_epoch_cycles(0)
+            .validate()
+            .is_err());
+        let mut c = GovernorConfig::new(5.0);
+        c.cap_margin = 1.0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -31,6 +31,7 @@
 
 pub mod cache;
 pub mod clock;
+pub mod dram;
 pub mod event;
 pub mod health;
 pub mod mapping;
@@ -39,6 +40,7 @@ pub mod platform;
 
 pub use cache::{CacheModel, MemoryProfile};
 pub use clock::ClockDomains;
+pub use dram::{DramConfig, DramModel, DramTiming, DramWindowStats};
 pub use event::EventQueue;
 pub use health::CoreHealth;
 pub use mapping::{MappingError, ThreadMapping};
@@ -49,6 +51,7 @@ pub use platform::Platform;
 pub mod prelude {
     pub use crate::cache::{CacheModel, MemoryProfile};
     pub use crate::clock::ClockDomains;
+    pub use crate::dram::{DramConfig, DramModel};
     pub use crate::event::EventQueue;
     pub use crate::mapping::ThreadMapping;
     pub use crate::platform::Platform;

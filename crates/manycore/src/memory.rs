@@ -107,6 +107,25 @@ impl MemorySystem {
             .sum::<f64>()
             / n as f64
     }
+
+    /// Die-wide average hop round trip to the nearest controller, in
+    /// reference cycles — the geometric component of a miss without the
+    /// DRAM access itself. The banked [`DramModel`](crate::dram::DramModel)
+    /// adds its measured queueing latency on top of this.
+    pub fn avg_hop_round_trip_cycles(&self, platform: &Platform) -> f64 {
+        self.avg_miss_latency_cycles(platform) - self.dram_latency_cycles
+    }
+
+    /// Index (into [`controllers`](Self::controllers)) of the controller
+    /// nearest to `tile` — the bucket a tile's miss stream drains into
+    /// when aggregating offered load per controller.
+    pub fn nearest_controller_index(&self, platform: &Platform, tile: NodeId) -> usize {
+        let nearest = self.nearest_controller(platform, tile);
+        self.controllers
+            .iter()
+            .position(|&m| m == nearest)
+            .expect("nearest_controller returns a member of controllers")
+    }
 }
 
 #[cfg(test)]

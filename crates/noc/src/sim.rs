@@ -417,6 +417,12 @@ pub struct NetworkSim<'a> {
     class_next: Vec<u64>,
     /// Whether the class clock fired at cycle `class_next - 1`.
     class_fires: Vec<bool>,
+    /// Whether every switch runs at full speed (one clock class at 1.0 —
+    /// class speeds are fixed at construction). The sweeps then skip the
+    /// per-switch clock-class indirection: the clock trivially fires every
+    /// cycle, and only the lazy cursor write is kept (snapshots read it),
+    /// so firing patterns and state stay bit-identical.
+    uniform_full_speed: bool,
     /// Earliest cycle at which processing switch `v` could do anything
     /// observable (`u64::MAX` when dormant). Between a switch's last
     /// processed cycle and `wake[v]`, clocking it is a proven no-op: every
@@ -723,6 +729,7 @@ impl<'a> NetworkSim<'a> {
             class_acc: vec![0.0; class_speed.len()],
             class_next: vec![0; class_speed.len()],
             class_fires: vec![false; class_speed.len()],
+            uniform_full_speed: class_speed == [1.0],
             class_speed,
             wake: vec![u64::MAX; n],
             next_due: u64::MAX,
@@ -1402,11 +1409,24 @@ impl<'a> NetworkSim<'a> {
         let mut out_used = std::mem::take(&mut self.out_used);
         let mut keep = 0;
         self.next_due = u64::MAX;
+        let uniform = self.uniform_full_speed;
         for r in 0..list.len() {
             let v = list[r] as usize;
             debug_assert!(self.buffered[v] > 0, "enrolled switches hold flits");
             if self.wake[v] <= self.now {
-                if self.clock_fires(v) {
+                // At uniform full speed the single class clock trivially
+                // fires; keep only its lazy cursor in sync (the writes
+                // `clock_fires` would make) and skip the class lookup.
+                let fires = if uniform {
+                    if self.class_next[0] <= self.now {
+                        self.class_next[0] = self.now + 1;
+                        self.class_fires[0] = true;
+                    }
+                    true
+                } else {
+                    self.clock_fires(v)
+                };
+                if fires {
                     self.process_switch(
                         NodeId(v),
                         holders,
@@ -1452,11 +1472,22 @@ impl<'a> NetworkSim<'a> {
         let mut scratch = std::mem::take(&mut self.par_scratch);
         scratch.due.clear();
         let list = std::mem::take(&mut self.active_list);
+        let uniform = self.uniform_full_speed;
         for &v32 in &list {
             let v = v32 as usize;
             debug_assert!(self.buffered[v] > 0, "enrolled switches hold flits");
             if self.wake[v] <= self.now {
-                if self.clock_fires(v) {
+                // Same uniform-full-speed shortcut as the serial sweep.
+                let fires = if uniform {
+                    if self.class_next[0] <= self.now {
+                        self.class_next[0] = self.now + 1;
+                        self.class_fires[0] = true;
+                    }
+                    true
+                } else {
+                    self.clock_fires(v)
+                };
+                if fires {
                     scratch.due.push(v32);
                 } else {
                     self.wake[v] = self.now + 1;

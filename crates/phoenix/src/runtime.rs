@@ -651,6 +651,14 @@ impl Executor {
         self.cfg.remote_l2_latency = latencies;
     }
 
+    /// Replaces the off-chip memory latency in place — the banked
+    /// DRAM-model counterpart of [`Executor::set_phase_latencies`], letting
+    /// the relaxation loop feed measured controller queueing back into the
+    /// cache model between rounds.
+    pub fn set_mem_latency_cycles(&mut self, cycles: f64) {
+        self.cfg.cache.mem_latency_cycles = cycles;
+    }
+
     /// Effective duration of `task` on `core`, in reference cycles.
     ///
     /// Compute cycles stretch with the core's clock divider, but cache-miss

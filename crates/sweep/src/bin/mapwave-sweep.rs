@@ -5,6 +5,7 @@
 //! mapwave-sweep run    --store DIR [--preset small|paper] [--scales S,..]
 //!                      [--apps A,..] [--variants V,..] [--rates R,..]
 //!                      [--workload-seeds N,..] [--fault-seed N]
+//!                      [--caps W,..] [--epoch-cycles N] [--dram ideal|banked]
 //!                      [--jobs J] [--sim-threads N] [--limit N]
 //!                      [--max-attempts N] [--backoff-ms N]
 //!                      [--fail-rate R --fail-seed N]
@@ -21,7 +22,10 @@
 //! purely from stored artifacts (`--metric` is one of `edp`, `energy`,
 //! `time`, `latency`, `edp-saving`). `--fail-rate`/`--fail-seed` inject
 //! deterministic engine-level cell failures for rehearsing the retry and
-//! dead-letter machinery.
+//! dead-letter machinery. `--caps` adds a power-governed cell per listed
+//! chip cap (W) next to every ungoverned anchor, `--epoch-cycles` sets
+//! the governor's sampling epoch, and `--dram banked` routes L2 misses
+//! through the banked memory-controller model.
 
 use mapwave_faults::CellFailureModel;
 use mapwave_sweep::prelude::*;
@@ -37,6 +41,9 @@ struct Args {
     variants: Vec<mapwave::orchestrator::RunVariant>,
     rates: Vec<f64>,
     fault_seed: u64,
+    power_caps: Vec<f64>,
+    epoch_cycles: u64,
+    dram_banked: bool,
     jobs: usize,
     sim_threads: usize,
     limit: Option<usize>,
@@ -61,6 +68,9 @@ fn parse_args() -> Result<Args, String> {
         variants: smoke.variants,
         rates: smoke.fault_rates,
         fault_seed: smoke.fault_seed,
+        power_caps: smoke.power_caps,
+        epoch_cycles: smoke.epoch_cycles,
+        dram_banked: smoke.dram_banked,
         jobs: mapwave_harness::jobs::available_parallelism(),
         sim_threads: 1,
         limit: None,
@@ -105,6 +115,27 @@ fn parse_args() -> Result<Args, String> {
                     .collect::<Result<_, _>>()?
             }
             "--fault-seed" => args.fault_seed = parse_num(&value("--fault-seed", &mut it)?)?,
+            "--caps" => {
+                args.power_caps = parse_f64_list(&value("--caps", &mut it)?, "power cap")?;
+                if args.power_caps.iter().any(|&c| !(c.is_finite() && c > 0.0)) {
+                    return Err("--caps wants watts > 0".into());
+                }
+            }
+            "--epoch-cycles" => {
+                args.epoch_cycles = parse_num(&value("--epoch-cycles", &mut it)?)?;
+                if args.epoch_cycles < 1000 {
+                    return Err("--epoch-cycles needs at least 1000 cycles".into());
+                }
+            }
+            "--dram" => {
+                args.dram_banked = match value("--dram", &mut it)?.as_str() {
+                    "ideal" => false,
+                    "banked" => true,
+                    other => {
+                        return Err(format!("--dram wants 'ideal' or 'banked', got '{other}'"))
+                    }
+                }
+            }
             "--jobs" => {
                 args.jobs = parse_num(&value("--jobs", &mut it)?)?;
                 if args.jobs == 0 {
@@ -198,6 +229,9 @@ fn run(args: &Args) -> Result<(), String> {
                 variants: args.variants.clone(),
                 fault_rates: args.rates.clone(),
                 fault_seed: args.fault_seed,
+                power_caps: args.power_caps.clone(),
+                epoch_cycles: args.epoch_cycles,
+                dram_banked: args.dram_banked,
             };
             let engine = SweepEngine::create(store_dir(args)?, spec, engine_options(args))
                 .map_err(|e| e.to_string())?;
@@ -241,6 +275,7 @@ mapwave-sweep — persistent design-space sweeps over the mapwave evaluation
   mapwave-sweep run    --store DIR [--preset small|paper] [--scales S,..]
                        [--apps A,..] [--variants V,..] [--rates R,..]
                        [--workload-seeds N,..] [--fault-seed N]
+                       [--caps W,..] [--epoch-cycles N] [--dram ideal|banked]
                        [--jobs J] [--sim-threads N] [--limit N]
                        [--max-attempts N] [--backoff-ms N]
                        [--fail-rate R --fail-seed N]
@@ -248,7 +283,7 @@ mapwave-sweep — persistent design-space sweeps over the mapwave evaluation
   mapwave-sweep status --store DIR
   mapwave-sweep query  --store DIR [--metric M] [--app A] [--variant V]
 
-metrics: edp, energy, time, latency, edp-saving
+metrics: edp, energy, time, latency, edp-saving, governed-edp
 apps:    MM, KMEANS, PCA, HIST, WC, LR
 variants: nvfi, vfi1-mesh, vfi-mesh, winoc-min-hop, winoc-max-wireless
 ";

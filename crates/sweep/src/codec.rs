@@ -9,7 +9,7 @@
 //! decoding reproduces the value bit-for-bit, which is what makes the
 //! store's byte-identity guarantees possible.
 
-use mapwave::{FaultRunReport, RunReport};
+use mapwave::{FaultRunReport, GovernedRunReport, RunReport};
 use mapwave_faults::FaultStats;
 
 /// Header line of every encoded record.
@@ -53,6 +53,30 @@ pub struct CellRecord {
     /// Fault activity observed while producing the report (all zero for a
     /// clean cell).
     pub faults: FaultStats,
+    /// Power-governed observables; `None` for ungoverned cells (whose
+    /// encoding is byte-identical to the pre-governor format).
+    pub governed: Option<GovernedCellMetrics>,
+}
+
+/// The governed-run observables of a power-capped cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GovernedCellMetrics {
+    /// The enforced chip power cap, W.
+    pub power_cap_w: f64,
+    /// Wall-clock time of the governed execution, seconds.
+    pub governed_exec_seconds: f64,
+    /// Core energy of the governed execution, joules.
+    pub governed_core_energy_j: f64,
+    /// Full-system EDP of the governed execution, J·s.
+    pub governed_edp: f64,
+    /// Highest measured epoch power, W.
+    pub peak_power_w: f64,
+    /// Epochs the governor planned.
+    pub epochs: u64,
+    /// One-level throttle steps taken over the run.
+    pub throttles: u64,
+    /// Whether every epoch's measured power stayed at or under the cap.
+    pub cap_respected: bool,
 }
 
 /// The coordinate part of a record the engine fills in before attaching a
@@ -88,6 +112,23 @@ impl CellRecord {
         Self::build(coords, &report.report, report.faults)
     }
 
+    /// Builds a record from a power-governed run (clean or faulted: the
+    /// base report carries the fault stats either way).
+    pub fn from_governed(coords: CellCoords, report: &GovernedRunReport) -> Self {
+        let mut record = Self::build(coords, &report.base.report, report.base.faults);
+        record.governed = Some(GovernedCellMetrics {
+            power_cap_w: report.cap_w,
+            governed_exec_seconds: report.governed_exec_seconds,
+            governed_core_energy_j: report.governed_core_energy_j,
+            governed_edp: report.governed_edp,
+            peak_power_w: report.peak_measured_power_w(),
+            epochs: report.stats.epochs,
+            throttles: report.stats.throttles,
+            cap_respected: report.cap_respected(),
+        });
+        record
+    }
+
     fn build(coords: CellCoords, report: &RunReport, faults: FaultStats) -> Self {
         CellRecord {
             label: coords.label,
@@ -107,6 +148,7 @@ impl CellRecord {
             wireless_flit_hops: report.net.wireless_flit_hops,
             wire_flit_hops: report.net.wire_flit_hops,
             faults,
+            governed: None,
         }
     }
 
@@ -150,6 +192,22 @@ impl CellRecord {
         u(&mut out, "re_steals", self.faults.re_steals);
         u(&mut out, "cores_degraded", self.faults.cores_degraded);
         u(&mut out, "cores_failed", self.faults.cores_failed);
+        // Governed lines only exist for capped cells: ungoverned records
+        // stay byte-identical to the pre-governor format.
+        if let Some(g) = &self.governed {
+            f(&mut out, "governed_power_cap_w", g.power_cap_w);
+            f(&mut out, "governed_exec_seconds", g.governed_exec_seconds);
+            f(&mut out, "governed_core_energy_j", g.governed_core_energy_j);
+            f(&mut out, "governed_edp", g.governed_edp);
+            f(&mut out, "governed_peak_power_w", g.peak_power_w);
+            u(&mut out, "governed_epochs", g.epochs);
+            u(&mut out, "governed_throttles", g.throttles);
+            s(
+                &mut out,
+                "governed_cap_respected",
+                if g.cap_respected { "true" } else { "false" },
+            );
+        }
         out
     }
 
@@ -204,6 +262,27 @@ impl CellRecord {
             cores_degraded: parse_u64(field("cores_degraded")?, "cores_degraded")?,
             cores_failed: parse_u64(field("cores_failed")?, "cores_failed")?,
         };
+        // The governed block is optional: a legacy record simply ends
+        // here, so a missing first governed line means `None`.
+        let governed = match field("governed_power_cap_w") {
+            Err(_) => None,
+            Ok(raw) => Some(GovernedCellMetrics {
+                power_cap_w: parse_f64(raw, "governed_power_cap_w")?,
+                governed_exec_seconds: parse_f64(
+                    field("governed_exec_seconds")?,
+                    "governed_exec_seconds",
+                )?,
+                governed_core_energy_j: parse_f64(
+                    field("governed_core_energy_j")?,
+                    "governed_core_energy_j",
+                )?,
+                governed_edp: parse_f64(field("governed_edp")?, "governed_edp")?,
+                peak_power_w: parse_f64(field("governed_peak_power_w")?, "governed_peak_power_w")?,
+                epochs: parse_u64(field("governed_epochs")?, "governed_epochs")?,
+                throttles: parse_u64(field("governed_throttles")?, "governed_throttles")?,
+                cap_respected: field("governed_cap_respected")? == "true",
+            }),
+        };
         Ok(CellRecord {
             label,
             app,
@@ -222,6 +301,7 @@ impl CellRecord {
             wireless_flit_hops,
             wire_flit_hops,
             faults,
+            governed,
         })
     }
 }
@@ -256,7 +336,23 @@ mod tests {
                 cores_degraded: 1,
                 cores_failed: 0,
             },
+            governed: None,
         }
+    }
+
+    fn governed_sample() -> CellRecord {
+        let mut r = sample();
+        r.governed = Some(GovernedCellMetrics {
+            power_cap_w: 3.5,
+            governed_exec_seconds: 1.5e-3,
+            governed_core_energy_j: 0.21,
+            governed_edp: 4.1e-7,
+            peak_power_w: 3.499999,
+            epochs: 12,
+            throttles: 3,
+            cap_respected: true,
+        });
+        r
     }
 
     #[test]
@@ -274,6 +370,19 @@ mod tests {
     #[test]
     fn encode_is_deterministic() {
         assert_eq!(sample().encode(), sample().encode());
+    }
+
+    #[test]
+    fn governed_records_roundtrip_and_ungoverned_keep_the_legacy_bytes() {
+        let g = governed_sample();
+        let decoded = CellRecord::decode(&g.encode()).expect("roundtrip");
+        assert_eq!(decoded, g);
+        // The governed block is strictly appended: stripping it yields
+        // exactly the ungoverned encoding, so legacy decoders and stores
+        // are unaffected by the new fields.
+        let plain = sample().encode();
+        assert!(g.encode().starts_with(&plain));
+        assert!(!plain.contains("governed_"));
     }
 
     #[test]

@@ -25,9 +25,11 @@
 use std::io;
 
 use mapwave::design_flow::DesignFlow;
+use mapwave::governed::{run_system_governed, run_system_governed_with_faults};
 use mapwave::orchestrator::{design_cached, run_cached_with_sink, RunVariant};
 use mapwave::run_system_with_faults;
 use mapwave_faults::{CellFailureModel, FaultConfig, FaultPlan};
+use mapwave_governor::GovernorConfig;
 use mapwave_harness::jobs::JobGraph;
 use mapwave_harness::telemetry;
 
@@ -296,7 +298,27 @@ fn attempt_cell(cell: &SweepCell, opts: &EngineOptions) -> Option<CellRecord> {
         fault_rate: cell.fault_rate,
         fault_seed: cell.fault_seed,
     };
-    if cell.fault_rate == 0.0 {
+    if let Some(cap_w) = cell.power_cap_w {
+        // Governed cells replay the measured run under the power cap.
+        let gov = GovernorConfig::new(cap_w).with_epoch_cycles(cell.epoch_cycles);
+        let spec = cell.variant.spec(&flow, &design);
+        let report = if cell.fault_rate == 0.0 {
+            run_system_governed(&spec, &design.workload, flow.config(), flow.power(), &gov)
+        } else {
+            let cfg =
+                FaultConfig::at_rate(cell.fault_rate, cell.fault_seed).for_cell(cell.index as u64);
+            let plan = FaultPlan::build(&cfg);
+            run_system_governed_with_faults(
+                &spec,
+                &design.workload,
+                flow.config(),
+                flow.power(),
+                &gov,
+                &plan,
+            )
+        };
+        Some(CellRecord::from_governed(coords, &report))
+    } else if cell.fault_rate == 0.0 {
         let report = run_cached_with_sink(&flow, &design, cell.variant, None);
         Some(CellRecord::from_run(coords, &report))
     } else {
@@ -363,6 +385,45 @@ mod tests {
         let again = engine.run().unwrap();
         assert_eq!(again.completed, 0);
         assert_eq!(again.pending, 0);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn governed_cells_sweep_resumably_with_cache_hits() {
+        let root = temp_root("governed");
+        let mut spec = SweepSpec::smoke();
+        // One cap next to every anchor: 2 variants × 2 rates × 2 = 8 cells.
+        spec.power_caps = vec![6.0];
+        spec.epoch_cycles = 20_000;
+        let kill_early = EngineOptions {
+            commit_limit: Some(5),
+            ..fast_opts()
+        };
+        let engine = SweepEngine::create(&root, spec, kill_early).unwrap();
+        let first = engine.run().unwrap();
+        assert_eq!(first.completed, 5);
+        assert_eq!(first.pending, 3);
+
+        // Resume finishes only the remaining cells, then re-running is a
+        // pure cache hit.
+        let engine = SweepEngine::resume(&root, fast_opts()).unwrap();
+        assert_eq!(engine.spec().power_caps, vec![6.0]);
+        let second = engine.run().unwrap();
+        assert_eq!(second.completed, 3);
+        assert_eq!(second.pending, 0);
+        assert_eq!(engine.run().unwrap().completed, 0);
+
+        // Every governed record answers the EDP-vs-cap question straight
+        // from the store.
+        let records = crate::query::load_records(engine.store()).unwrap();
+        assert_eq!(records.len(), 8);
+        let governed: Vec<_> = records.iter().filter_map(|r| r.governed.as_ref()).collect();
+        assert_eq!(governed.len(), 4);
+        for g in governed {
+            assert_eq!(g.power_cap_w, 6.0);
+            assert!(g.cap_respected, "sweep cells must honour their cap");
+            assert!(g.governed_edp > 0.0);
+        }
         let _ = fs::remove_dir_all(&root);
     }
 

@@ -50,7 +50,7 @@ pub mod query;
 pub mod spec;
 pub mod store;
 
-pub use codec::CellRecord;
+pub use codec::{CellRecord, GovernedCellMetrics};
 pub use engine::{EngineOptions, RunSummary, SweepEngine};
 pub use query::{load_records, render_status, render_table, run_query, Metric, QueryFilter};
 pub use spec::{Preset, SweepCell, SweepSpec};
@@ -58,7 +58,7 @@ pub use store::{ArtifactStore, CellState, Manifest, ManifestEntry};
 
 /// Convenient glob import.
 pub mod prelude {
-    pub use crate::codec::CellRecord;
+    pub use crate::codec::{CellRecord, GovernedCellMetrics};
     pub use crate::engine::{EngineOptions, RunSummary, SweepEngine};
     pub use crate::query::{
         load_records, render_status, render_table, run_query, Metric, QueryFilter,

@@ -26,6 +26,10 @@ pub enum Metric {
     /// EDP saving over the `nvfi` baseline at the same coordinates
     /// (`1 - edp / baseline_edp`), in percent.
     EdpSaving,
+    /// Full-system EDP of the power-governed execution (J·s); `n/a` for
+    /// ungoverned cells. With a caps dimension in the sweep this renders
+    /// the EDP-vs-cap curve.
+    GovernedEdp,
 }
 
 impl Metric {
@@ -37,6 +41,7 @@ impl Metric {
             Metric::Time => "time",
             Metric::Latency => "latency",
             Metric::EdpSaving => "edp-saving",
+            Metric::GovernedEdp => "governed-edp",
         }
     }
 
@@ -48,17 +53,19 @@ impl Metric {
             "time" => Some(Metric::Time),
             "latency" => Some(Metric::Latency),
             "edp-saving" => Some(Metric::EdpSaving),
+            "governed-edp" => Some(Metric::GovernedEdp),
             _ => None,
         }
     }
 
     /// All metrics (help text).
-    pub const ALL: [Metric; 5] = [
+    pub const ALL: [Metric; 6] = [
         Metric::Edp,
         Metric::Energy,
         Metric::Time,
         Metric::Latency,
         Metric::EdpSaving,
+        Metric::GovernedEdp,
     ];
 }
 
@@ -130,24 +137,31 @@ fn metric_value(metric: Metric, r: &CellRecord, records: &[CellRecord]) -> Optio
             })?;
             Some((1.0 - r.edp / baseline.edp) * 100.0)
         }
+        Metric::GovernedEdp => r.governed.as_ref().map(|g| g.governed_edp),
     }
 }
 
 /// Renders the query result as a fixed-width table, sorted by
-/// (app, variant, scale, fault rate) — a pure function of the records.
+/// (app, variant, scale, fault rate, power cap — ungoverned anchors
+/// first) — a pure function of the records.
 pub fn render_table(records: &[CellRecord], filter: &QueryFilter, metric: Metric) -> String {
     let mut rows: Vec<&CellRecord> = records.iter().filter(|r| filter.keeps(r)).collect();
     rows.sort_by(|a, b| {
         (a.app.as_str(), a.variant.as_str(), a.scale.to_bits())
             .cmp(&(b.app.as_str(), b.variant.as_str(), b.scale.to_bits()))
             .then(a.fault_rate.total_cmp(&b.fault_rate))
+            .then_with(|| {
+                let cap = |r: &CellRecord| r.governed.as_ref().map(|g| g.power_cap_w.to_bits());
+                cap(a).cmp(&cap(b))
+            })
     });
     let mut out = format!(
-        "{:<8} {:<18} {:>7} {:>6} {:>14}  faults\n",
+        "{:<8} {:<18} {:>7} {:>6} {:>7} {:>14}  faults\n",
         "app",
         "variant",
         "scale",
         "rate",
+        "cap",
         metric.name()
     );
     for r in &rows {
@@ -156,12 +170,17 @@ pub fn render_table(records: &[CellRecord], filter: &QueryFilter, metric: Metric
             Some(v) => format!("{v:>14.6e}"),
             None => format!("{:>14}", "n/a"),
         };
+        let cap = match &r.governed {
+            Some(g) => format!("{:>7.3}", g.power_cap_w),
+            None => format!("{:>7}", "-"),
+        };
         out.push_str(&format!(
-            "{:<8} {:<18} {:>7} {:>6} {}  {}\n",
+            "{:<8} {:<18} {:>7} {:>6} {} {}  {}\n",
             r.app,
             r.variant,
             r.scale,
             r.fault_rate,
+            cap,
             value,
             r.faults.injected()
         ));
@@ -264,6 +283,7 @@ mod tests {
             wireless_flit_hops: 10,
             wire_flit_hops: 90,
             faults: FaultStats::default(),
+            governed: None,
         }
     }
 
@@ -322,6 +342,33 @@ mod tests {
         let kmeans = a.find("KMEANS").unwrap();
         let wc = a.find("WC").unwrap();
         assert!(kmeans < wc, "rows sorted by app:\n{a}");
+    }
+
+    #[test]
+    fn governed_edp_distinguishes_capped_cells_from_anchors() {
+        let anchor = record("WC", "vfi-mesh", 0.0, 2.0);
+        let mut capped = record("WC", "vfi-mesh", 0.0, 2.0);
+        capped.governed = Some(crate::codec::GovernedCellMetrics {
+            power_cap_w: 3.0,
+            governed_exec_seconds: 1.2,
+            governed_core_energy_j: 1.8,
+            governed_edp: 2.5,
+            peak_power_w: 2.9,
+            epochs: 10,
+            throttles: 2,
+            cap_respected: true,
+        });
+        let table = render_table(
+            &[anchor, capped],
+            &QueryFilter::default(),
+            Metric::GovernedEdp,
+        );
+        assert!(
+            table.contains("n/a"),
+            "anchors have no governed EDP:\n{table}"
+        );
+        assert!(table.contains("3.000"), "cap column expected:\n{table}");
+        assert!(table.contains("2.5"), "governed EDP expected:\n{table}");
     }
 
     #[test]

@@ -17,7 +17,9 @@
 
 use mapwave::config::PlatformConfig;
 use mapwave::orchestrator::{config_key, RunVariant};
+use mapwave_governor::GovernorConfig;
 use mapwave_harness::hash::{stable_hash_of, CacheKey};
+use mapwave_manycore::dram::DramConfig;
 use mapwave_phoenix::apps::App;
 
 /// The base platform a sweep runs on.
@@ -74,6 +76,16 @@ pub struct SweepSpec {
     /// Root fault seed; every faulted cell derives its own schedule from
     /// this through [`mapwave_faults::cell_seed`].
     pub fault_seed: u64,
+    /// Chip power caps (W) for the governed EDP-vs-cap dimension. Every
+    /// coordinate always gets its ungoverned anchor cell; each listed cap
+    /// adds one governed cell next to it. Empty (the default) keeps
+    /// legacy specs, keys and manifests byte-identical.
+    pub power_caps: Vec<f64>,
+    /// Governor sampling epoch for capped cells, in reference cycles.
+    pub epoch_cycles: u64,
+    /// Whether cells route L2 misses through the banked
+    /// memory-controller model instead of the ideal fixed-latency DRAM.
+    pub dram_banked: bool,
 }
 
 impl SweepSpec {
@@ -89,6 +101,9 @@ impl SweepSpec {
             variants: vec![RunVariant::Nvfi, RunVariant::WinocMaxWireless],
             fault_rates: vec![0.0, 0.1],
             fault_seed: 0xFA17,
+            power_caps: Vec::new(),
+            epoch_cycles: GovernorConfig::DEFAULT_EPOCH_CYCLES,
+            dram_banked: false,
         }
     }
 
@@ -104,6 +119,9 @@ impl SweepSpec {
             variants: RunVariant::ALL.to_vec(),
             fault_rates: vec![0.0, 0.05, 0.1],
             fault_seed: 0xFA17,
+            power_caps: Vec::new(),
+            epoch_cycles: GovernorConfig::DEFAULT_EPOCH_CYCLES,
+            dram_banked: false,
         }
     }
 
@@ -114,6 +132,7 @@ impl SweepSpec {
             * self.apps.len()
             * self.variants.len()
             * self.fault_rates.len()
+            * (1 + self.power_caps.len())
     }
 
     /// Expands the cross-product in canonical order (scale, seed, app,
@@ -127,16 +146,23 @@ impl SweepSpec {
                 for &app in &self.apps {
                     for &variant in &self.variants {
                         for &fault_rate in &self.fault_rates {
-                            cells.push(SweepCell {
-                                index: cells.len(),
-                                preset: self.preset,
-                                scale,
-                                workload_seed,
-                                app,
-                                variant,
-                                fault_rate,
-                                fault_seed: self.fault_seed,
-                            });
+                            let caps = std::iter::once(None)
+                                .chain(self.power_caps.iter().copied().map(Some));
+                            for power_cap_w in caps {
+                                cells.push(SweepCell {
+                                    index: cells.len(),
+                                    preset: self.preset,
+                                    scale,
+                                    workload_seed,
+                                    app,
+                                    variant,
+                                    fault_rate,
+                                    fault_seed: self.fault_seed,
+                                    power_cap_w,
+                                    epoch_cycles: self.epoch_cycles,
+                                    dram_banked: self.dram_banked,
+                                });
+                            }
                         }
                     }
                 }
@@ -181,6 +207,17 @@ impl SweepSpec {
         ));
         out.push_str(&format!("fault_rates {}\n", f64s(&self.fault_rates)));
         out.push_str(&format!("fault_seed {}\n", self.fault_seed));
+        // Governed dimensions are encoded only when they deviate from the
+        // defaults, so every pre-governor spec (and its key) is unchanged.
+        if !self.power_caps.is_empty() {
+            out.push_str(&format!("power_caps {}\n", f64s(&self.power_caps)));
+        }
+        if self.epoch_cycles != GovernorConfig::DEFAULT_EPOCH_CYCLES {
+            out.push_str(&format!("epoch_cycles {}\n", self.epoch_cycles));
+        }
+        if self.dram_banked {
+            out.push_str("dram banked\n");
+        }
         out
     }
 
@@ -230,6 +267,26 @@ impl SweepSpec {
         let fault_seed = field("fault_seed")?
             .parse()
             .map_err(|e| format!("bad fault seed: {e}"))?;
+        // `field` borrowed `lines` mutably; shadow it away so the trailing
+        // optional-line loop below can take over the iterator.
+        #[allow(clippy::drop_non_drop)]
+        drop(field);
+        // Trailing governed lines are optional: their absence means the
+        // defaults (a pre-governor spec).
+        let mut power_caps = Vec::new();
+        let mut epoch_cycles = GovernorConfig::DEFAULT_EPOCH_CYCLES;
+        let mut dram_banked = false;
+        for line in lines {
+            if let Some(rest) = line.strip_prefix("power_caps ") {
+                power_caps = parse_f64s(rest.to_string(), "power cap")?;
+            } else if let Some(rest) = line.strip_prefix("epoch_cycles ") {
+                epoch_cycles = rest.parse().map_err(|e| format!("bad epoch_cycles: {e}"))?;
+            } else if line == "dram banked" {
+                dram_banked = true;
+            } else {
+                return Err(format!("unexpected spec line {line:?}"));
+            }
+        }
         Ok(SweepSpec {
             preset,
             scales,
@@ -238,6 +295,9 @@ impl SweepSpec {
             variants,
             fault_rates,
             fault_seed,
+            power_caps,
+            epoch_cycles,
+            dram_banked,
         })
     }
 }
@@ -276,41 +336,73 @@ pub struct SweepCell {
     pub fault_rate: f64,
     /// The sweep's *root* fault seed (the cell derives its own stream).
     pub fault_seed: u64,
+    /// Chip power cap in watts; `None` is the ungoverned anchor.
+    pub power_cap_w: Option<f64>,
+    /// Governor sampling epoch (reference cycles); only observable when
+    /// the cell is capped.
+    pub epoch_cycles: u64,
+    /// Whether the cell simulates the banked memory-controller model.
+    pub dram_banked: bool,
 }
 
 impl SweepCell {
     /// The fully applied platform configuration of this cell.
     pub fn config(&self) -> PlatformConfig {
-        self.preset
+        let cfg = self
+            .preset
             .config()
             .with_scale(self.scale)
-            .with_seed(self.workload_seed)
+            .with_seed(self.workload_seed);
+        if self.dram_banked {
+            cfg.with_dram(DramConfig::banked())
+        } else {
+            cfg
+        }
     }
 
     /// The cell's stable content key: the hash of the platform
     /// configuration key plus the cell's discrete coordinates. Equal for
     /// structurally equal cells across processes; independent of the
-    /// cell's position in the spec.
+    /// cell's position in the spec. Ungoverned anchors keep the exact
+    /// pre-governor key (banked DRAM enters through the configuration
+    /// key); capped cells get a tagged key that also covers the cap and
+    /// the governor epoch.
     pub fn key(&self) -> CacheKey {
-        stable_hash_of(&(
-            "sweep-cell",
-            config_key(&self.config()).to_hex(),
-            self.app.name(),
-            self.variant.name(),
-            (self.fault_rate.to_bits(), self.fault_seed),
-        ))
+        match self.power_cap_w {
+            None => stable_hash_of(&(
+                "sweep-cell",
+                config_key(&self.config()).to_hex(),
+                self.app.name(),
+                self.variant.name(),
+                (self.fault_rate.to_bits(), self.fault_seed),
+            )),
+            Some(cap) => stable_hash_of(&(
+                "sweep-cell-governed",
+                config_key(&self.config()).to_hex(),
+                self.app.name(),
+                self.variant.name(),
+                (
+                    (self.fault_rate.to_bits(), self.fault_seed),
+                    (cap.to_bits(), self.epoch_cycles),
+                ),
+            )),
+        }
     }
 
     /// A short human-readable label (job labels, logs).
     pub fn label(&self) -> String {
-        format!(
+        let mut label = format!(
             "cell/{}/{}/{}@{}r{}",
             self.index,
             self.app.name(),
             self.variant.name(),
             self.scale,
             self.fault_rate
-        )
+        );
+        if let Some(cap) = self.power_cap_w {
+            label.push_str(&format!("c{cap}"));
+        }
+        label
     }
 }
 
@@ -366,6 +458,41 @@ mod tests {
         let mut with_preset = base.clone();
         with_preset.preset = Preset::Paper;
         assert_ne!(with_preset.key(), k);
+    }
+
+    #[test]
+    fn governed_dimension_extends_specs_backward_compatibly() {
+        let legacy = SweepSpec::smoke();
+        // Defaults add no lines: a pre-governor store decodes this spec
+        // and its key is untouched.
+        assert!(!legacy.encode().contains("power_caps"));
+        assert!(!legacy.encode().contains("epoch_cycles"));
+        assert!(!legacy.encode().contains("dram"));
+
+        let mut governed = legacy.clone();
+        governed.power_caps = vec![3.0, 6.0];
+        governed.epoch_cycles = 10_000;
+        governed.dram_banked = true;
+        let decoded = SweepSpec::decode(&governed.encode()).expect("roundtrip");
+        assert_eq!(decoded, governed);
+        assert_ne!(governed.key(), legacy.key());
+
+        // Adding caps interleaves governed cells but every anchor keeps
+        // its exact legacy content key.
+        let mut with_caps = legacy.clone();
+        with_caps.power_caps = vec![6.0];
+        let cells = with_caps.cells();
+        assert_eq!(cells.len(), 2 * legacy.cell_count());
+        assert_eq!(cells[0].power_cap_w, None);
+        assert_eq!(cells[0].key(), legacy.cells()[0].key());
+        assert_eq!(cells[1].power_cap_w, Some(6.0));
+        assert_ne!(cells[1].key(), cells[0].key());
+        // Distinct epochs distinguish capped cells but not anchors.
+        let mut other_epoch = with_caps.clone();
+        other_epoch.epoch_cycles = 25_000;
+        let other = other_epoch.cells();
+        assert_eq!(other[0].key(), cells[0].key());
+        assert_ne!(other[1].key(), cells[1].key());
     }
 
     #[test]

@@ -24,6 +24,7 @@ const USAGE: &str =
 
 fn main() -> Result<(), String> {
     let smoke = cli::positional(1).as_deref() == Some("--smoke");
+    cli::forbid_governor_flags(USAGE)?;
     let threads = cli::sim_threads(USAGE)?;
 
     let (cfg, sweep) = if smoke {

@@ -27,6 +27,7 @@ fn main() -> Result<(), String> {
     let scale: f64 = cli::parsed_arg_or(1, 0.02, "scale", USAGE)?;
     let app = cli::arg_or(2, App::WordCount, "app name", USAGE, parse_app)?;
     let cores = cli::cores(64, USAGE)?;
+    cli::forbid_governor_flags(USAGE)?;
     let threads = cli::sim_threads(USAGE)?;
     cli::expect_no_args_past(2, USAGE)?;
 

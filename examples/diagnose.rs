@@ -14,6 +14,7 @@ const USAGE: &str = "cargo run --release --example diagnose -- [scale] [--sim-th
 
 fn main() -> Result<(), String> {
     let scale: f64 = cli::parsed_arg_or(1, 0.02, "scale", USAGE)?;
+    cli::forbid_governor_flags(USAGE)?;
     let threads = cli::sim_threads(USAGE)?;
     cli::expect_no_args_past(1, USAGE)?;
     let cfg = PlatformConfig::paper()

@@ -18,6 +18,7 @@ const USAGE: &str = "cargo run --release --example robustness [scale] [seeds] [-
 fn main() -> Result<(), String> {
     let scale: f64 = cli::parsed_arg_or(1, 0.02, "scale", USAGE)?;
     let seeds: usize = cli::parsed_arg_or(2, 3, "seed count", USAGE)?;
+    cli::forbid_governor_flags(USAGE)?;
     let threads = cli::sim_threads(USAGE)?;
     cli::expect_no_args_past(2, USAGE)?;
 

@@ -19,6 +19,7 @@ use mapwave_repro::cli;
 const USAGE: &str = "cargo run --release --example saturation [--sim-threads N]";
 
 fn main() -> Result<(), String> {
+    cli::forbid_governor_flags(USAGE)?;
     let threads = cli::sim_threads(USAGE)?;
     cli::expect_no_args_past(0, USAGE)?;
     let clusters: Vec<usize> = (0..64).map(|i| (i % 8) / 4 + 2 * ((i / 8) / 4)).collect();

@@ -27,6 +27,7 @@ fn main() -> Result<(), String> {
     let scale: f64 = cli::parsed_arg_or(2, 0.01, "scale", USAGE)?;
     // Accepted for interface uniformity; this example traces the runtime
     // model only and runs no NoC simulation.
+    cli::forbid_governor_flags(USAGE)?;
     cli::sim_threads(USAGE)?;
     cli::expect_no_args_past(2, USAGE)?;
     let width = 100;

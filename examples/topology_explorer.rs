@@ -78,6 +78,7 @@ fn main() -> Result<(), String> {
     let cores = cli::cores(64, USAGE)?;
     // Accepted for interface uniformity; this example analyses topologies
     // as graphs and runs no NoC simulation.
+    cli::forbid_governor_flags(USAGE)?;
     cli::sim_threads(USAGE)?;
     cli::expect_no_args_past(1, USAGE)?;
 

@@ -51,19 +51,42 @@ pub mod cli {
     //!   be quartered into VFI quadrants; the examples default to the
     //!   paper's 64.
     //!
+    //! Governed examples additionally accept:
+    //!
+    //! * `--power-cap W` (or `--power-cap=W`), the chip-level power cap
+    //!   in watts enforced by the online DVFS governor;
+    //! * `--epoch-cycles N`, the governor's sampling epoch in reference
+    //!   cycles;
+    //! * `--dram ideal|banked`, selecting the fixed-latency or the
+    //!   banked memory-controller model.
+    //!
+    //! Examples that do not run the governor reject these three flags
+    //! with a clear error (see [`forbid_governor_flags`]) instead of
+    //! silently ignoring them.
+    //!
     //! A duplicate flag, a missing value, or a malformed value is a
     //! hard error.
 
     /// Names of the recognised flags, indexed by the `FLAG_*` constants.
-    const FLAG_NAMES: [&str; 2] = ["--sim-threads", "--cores"];
+    const FLAG_NAMES: [&str; 5] = [
+        "--sim-threads",
+        "--cores",
+        "--power-cap",
+        "--epoch-cycles",
+        "--dram",
+    ];
     const FLAG_SIM_THREADS: usize = 0;
     const FLAG_CORES: usize = 1;
+    const FLAG_POWER_CAP: usize = 2;
+    const FLAG_EPOCH_CYCLES: usize = 3;
+    const FLAG_DRAM: usize = 4;
+    const FLAG_COUNT: usize = 5;
 
     /// The command line split into per-flag occurrence lists (each
     /// occurrence's raw value, `None` when the flag is last with no
     /// value) and the remaining positional arguments, in order.
-    fn split() -> ([Vec<Option<String>>; 2], Vec<String>) {
-        let mut flags: [Vec<Option<String>>; 2] = [Vec::new(), Vec::new()];
+    fn split() -> ([Vec<Option<String>>; FLAG_COUNT], Vec<String>) {
+        let mut flags: [Vec<Option<String>>; FLAG_COUNT] = Default::default();
         let mut positional = Vec::new();
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
@@ -136,6 +159,79 @@ pub mod cli {
                 )),
             },
         }
+    }
+
+    /// The `--power-cap` chip power budget in watts, if the flag is
+    /// present.
+    ///
+    /// # Errors
+    ///
+    /// A duplicate flag, a flag with no value, and a value that is not a
+    /// finite number > 0 all fail with a message echoing `usage`.
+    pub fn power_cap(usage: &str) -> Result<Option<f64>, String> {
+        match flag_value(FLAG_POWER_CAP, usage)? {
+            None => Ok(None),
+            Some(raw) => match raw.parse::<f64>() {
+                Ok(w) if w.is_finite() && w > 0.0 => Ok(Some(w)),
+                _ => Err(format!(
+                    "invalid --power-cap value {raw:?} (want watts > 0)\nusage: {usage}"
+                )),
+            },
+        }
+    }
+
+    /// The `--epoch-cycles` governor sampling epoch: `default` when the
+    /// flag is absent, otherwise its value.
+    ///
+    /// # Errors
+    ///
+    /// A duplicate flag, a flag with no value, and a value that is not
+    /// an integer ≥ 1000 (sub-millisecond epochs would outrun any real
+    /// power-telemetry loop) all fail with a message echoing `usage`.
+    pub fn epoch_cycles(default: u64, usage: &str) -> Result<u64, String> {
+        match flag_value(FLAG_EPOCH_CYCLES, usage)? {
+            None => Ok(default),
+            Some(raw) => match raw.parse::<u64>() {
+                Ok(n) if n >= 1000 => Ok(n),
+                _ => Err(format!(
+                    "invalid --epoch-cycles value {raw:?} (want an integer >= 1000)\nusage: {usage}"
+                )),
+            },
+        }
+    }
+
+    /// The `--dram` memory-model selector: `false` (ideal, the default)
+    /// or `true` (banked controller model).
+    ///
+    /// # Errors
+    ///
+    /// A duplicate flag, a flag with no value, and any value other than
+    /// `ideal` or `banked` all fail with a message echoing `usage`.
+    pub fn dram_banked(usage: &str) -> Result<bool, String> {
+        match flag_value(FLAG_DRAM, usage)?.as_deref() {
+            None | Some("ideal") => Ok(false),
+            Some("banked") => Ok(true),
+            Some(raw) => Err(format!(
+                "invalid --dram value {raw:?} (want \"ideal\" or \"banked\")\nusage: {usage}"
+            )),
+        }
+    }
+
+    /// Fails when any governor flag (`--power-cap`, `--epoch-cycles`,
+    /// `--dram`) is present. Examples that do not run the governed
+    /// system call this so the flags error loudly instead of being
+    /// silently ignored.
+    pub fn forbid_governor_flags(usage: &str) -> Result<(), String> {
+        let (flags, _) = split();
+        for i in [FLAG_POWER_CAP, FLAG_EPOCH_CYCLES, FLAG_DRAM] {
+            if !flags[i].is_empty() {
+                return Err(format!(
+                    "{} is not supported by this example\nusage: {usage}",
+                    FLAG_NAMES[i]
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// The square die side for a core count accepted by [`cores`].
